@@ -1,0 +1,224 @@
+//! The admission chain: identity assignment, generation tracking, and
+//! channel-based field ownership (server-side apply).
+//!
+//! Server Side Apply "prevents unauthorized entities from modifying fields
+//! of data structures not owned by them" (§II-D). The simulation enforces
+//! ownership by channel: the kubelet may only write pod/node *status*, the
+//! scheduler only the pod binding (`spec.nodeName`). Generation bumping
+//! implements the versioning gate behind the paper's latent-corruption
+//! observation: controllers skip instances whose generation they have
+//! already observed.
+
+use k8s_model::{Channel, Object, Op};
+
+/// Admission failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Identity or optimistic-concurrency conflict.
+    Conflict(String),
+}
+
+/// Runs admission over an incoming object, mutating it into its stored form.
+///
+/// # Errors
+///
+/// [`AdmitError::Conflict`] on uid or resourceVersion conflicts.
+pub fn admit(
+    new_obj: &mut Object,
+    existing: Option<&Object>,
+    channel: Channel,
+    op: Op,
+    now: u64,
+    uid_counter: &mut u64,
+) -> Result<(), AdmitError> {
+    match op {
+        Op::Create => {
+            *uid_counter += 1;
+            let meta = new_obj.meta_mut();
+            meta.uid = format!("uid-{uid_counter:06}");
+            meta.creation_timestamp = now as i64;
+            meta.generation = 1;
+        }
+        Op::Update => {
+            let old = existing.expect("update admission requires the existing object");
+
+            // Optimistic concurrency: a stale resourceVersion is rejected.
+            let new_rv = new_obj.meta().resource_version;
+            if new_rv != 0 && new_rv != old.meta().resource_version {
+                return Err(AdmitError::Conflict(format!(
+                    "resourceVersion {} is stale (current {})",
+                    new_rv,
+                    old.meta().resource_version
+                )));
+            }
+            // Identity continuity.
+            if !new_obj.meta().uid.is_empty() && new_obj.meta().uid != old.meta().uid {
+                return Err(AdmitError::Conflict("uid mismatch".into()));
+            }
+
+            apply_field_ownership(new_obj, old, channel);
+
+            // Preserve immutable identity fields.
+            let old_meta = old.meta().clone();
+            let meta = new_obj.meta_mut();
+            meta.uid = old_meta.uid;
+            meta.creation_timestamp = old_meta.creation_timestamp;
+
+            // Generation: bump only when the spec changed.
+            meta.generation = old_meta.generation;
+            if spec_changed(new_obj, old) {
+                new_obj.meta_mut().generation = old.meta().generation + 1;
+            }
+        }
+        Op::Delete => {}
+    }
+    Ok(())
+}
+
+/// Restricts which parts of the object each channel may modify.
+fn apply_field_ownership(new_obj: &mut Object, old: &Object, channel: Channel) {
+    match (new_obj, old, channel) {
+        // The kubelet owns pod status; spec and labels stay as stored.
+        (Object::Pod(new), Object::Pod(old), Channel::KubeletToApi) => {
+            new.spec = old.spec.clone();
+            new.metadata.labels = old.metadata.labels.clone();
+            new.metadata.owner_references = old.metadata.owner_references.clone();
+        }
+        // The scheduler owns only the binding (spec.nodeName).
+        (Object::Pod(new), Object::Pod(old), Channel::SchedulerToApi) => {
+            let binding = new.spec.node_name.clone();
+            new.spec = old.spec.clone();
+            new.spec.node_name = binding;
+            new.status = old.status.clone();
+            new.metadata.labels = old.metadata.labels.clone();
+            new.metadata.owner_references = old.metadata.owner_references.clone();
+        }
+        // The kubelet owns node status; taints/spec belong to controllers.
+        (Object::Node(new), Object::Node(old), Channel::KubeletToApi) => {
+            new.spec = old.spec.clone();
+        }
+        _ => {}
+    }
+}
+
+/// True when the desired-state portion of the object differs.
+pub fn spec_changed(a: &Object, b: &Object) -> bool {
+    match (a, b) {
+        (Object::Pod(x), Object::Pod(y)) => x.spec != y.spec,
+        (Object::ReplicaSet(x), Object::ReplicaSet(y)) => x.spec != y.spec,
+        (Object::Deployment(x), Object::Deployment(y)) => x.spec != y.spec,
+        (Object::DaemonSet(x), Object::DaemonSet(y)) => x.spec != y.spec,
+        (Object::Service(x), Object::Service(y)) => x.spec != y.spec,
+        (Object::Endpoints(x), Object::Endpoints(y)) => {
+            x.addresses != y.addresses || x.port != y.port
+        }
+        (Object::Node(x), Object::Node(y)) => x.spec != y.spec,
+        (Object::Namespace(x), Object::Namespace(y)) => x.phase != y.phase,
+        (Object::ConfigMap(x), Object::ConfigMap(y)) => x.data != y.data,
+        (Object::Lease(x), Object::Lease(y)) => x.spec != y.spec,
+        _ => true, // kind change: treat as spec change
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_model::{ObjectMeta, Pod};
+
+    fn stored_pod() -> Object {
+        let mut p = Pod::default();
+        p.metadata = ObjectMeta::named("default", "p");
+        p.metadata.uid = "uid-000001".into();
+        p.metadata.generation = 1;
+        p.metadata.resource_version = 5;
+        p.spec.priority = 0;
+        Object::Pod(p)
+    }
+
+    #[test]
+    fn create_assigns_identity() {
+        let mut obj = stored_pod();
+        obj.meta_mut().uid.clear();
+        let mut ctr = 7;
+        admit(&mut obj, None, Channel::UserToApi, Op::Create, 123, &mut ctr).unwrap();
+        assert_eq!(obj.meta().uid, "uid-000008");
+        assert_eq!(obj.meta().creation_timestamp, 123);
+        assert_eq!(obj.meta().generation, 1);
+    }
+
+    #[test]
+    fn stale_resource_version_conflicts() {
+        let old = stored_pod();
+        let mut new = stored_pod();
+        new.meta_mut().resource_version = 3; // stale
+        let mut ctr = 0;
+        let err = admit(&mut new, Some(&old), Channel::UserToApi, Op::Update, 0, &mut ctr);
+        assert!(matches!(err, Err(AdmitError::Conflict(_))));
+    }
+
+    #[test]
+    fn zero_resource_version_skips_conflict_check() {
+        let old = stored_pod();
+        let mut new = stored_pod();
+        new.meta_mut().resource_version = 0;
+        let mut ctr = 0;
+        admit(&mut new, Some(&old), Channel::UserToApi, Op::Update, 0, &mut ctr).unwrap();
+    }
+
+    #[test]
+    fn uid_mismatch_conflicts() {
+        let old = stored_pod();
+        let mut new = stored_pod();
+        new.meta_mut().uid = "uid-999999".into();
+        let mut ctr = 0;
+        let err = admit(&mut new, Some(&old), Channel::UserToApi, Op::Update, 0, &mut ctr);
+        assert!(matches!(err, Err(AdmitError::Conflict(_))));
+    }
+
+    #[test]
+    fn generation_bumps_only_on_spec_change() {
+        let old = stored_pod();
+        let mut status_only = stored_pod();
+        if let Object::Pod(p) = &mut status_only {
+            p.status.phase = "Running".into();
+        }
+        let mut ctr = 0;
+        admit(&mut status_only, Some(&old), Channel::UserToApi, Op::Update, 0, &mut ctr).unwrap();
+        assert_eq!(status_only.meta().generation, 1);
+
+        let mut spec_change = stored_pod();
+        if let Object::Pod(p) = &mut spec_change {
+            p.spec.priority = 9;
+        }
+        admit(&mut spec_change, Some(&old), Channel::UserToApi, Op::Update, 0, &mut ctr).unwrap();
+        assert_eq!(spec_change.meta().generation, 2);
+    }
+
+    #[test]
+    fn scheduler_channel_only_binds() {
+        let old = stored_pod();
+        let mut update = stored_pod();
+        if let Object::Pod(p) = &mut update {
+            p.spec.node_name = "worker-1".into();
+            p.spec.priority = 999; // not the scheduler's to set
+            p.status.phase = "Hacked".into();
+        }
+        let mut ctr = 0;
+        admit(&mut update, Some(&old), Channel::SchedulerToApi, Op::Update, 0, &mut ctr).unwrap();
+        let p = update.as_pod().unwrap();
+        assert_eq!(p.spec.node_name, "worker-1");
+        assert_eq!(p.spec.priority, 0);
+        assert_eq!(p.status.phase, "");
+    }
+
+    #[test]
+    fn spec_changed_detects_kinds() {
+        let a = stored_pod();
+        let mut b = stored_pod();
+        assert!(!spec_changed(&a, &b));
+        if let Object::Pod(p) = &mut b {
+            p.spec.node_name = "w".into();
+        }
+        assert!(spec_changed(&a, &b));
+    }
+}

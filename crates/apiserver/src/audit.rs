@@ -1,0 +1,117 @@
+//! Audit log: per-request outcomes.
+//!
+//! The paper's F4 finding — "errors can escape monitoring and propagate
+//! inside the system with the user being unaware" — is measured by counting
+//! how many injection experiments surfaced *any* error to the cluster user
+//! (Figure 7). The audit log records every API request's outcome per
+//! channel, so classifiers can ask exactly that question.
+
+use k8s_model::{Channel, Kind, Op};
+
+/// Outcome of an API request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestResult {
+    /// The apiserver acknowledged the request (which, per §V-C3, does NOT
+    /// imply the cluster reached the requested state).
+    Ok,
+    /// The apiserver returned an error (message retained).
+    Err(String),
+}
+
+impl RequestResult {
+    /// True for error outcomes.
+    pub fn is_err(&self) -> bool {
+        matches!(self, RequestResult::Err(_))
+    }
+}
+
+/// One audited request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Simulated time of the request.
+    pub at: u64,
+    /// Channel the request arrived on.
+    pub channel: Channel,
+    /// Operation.
+    pub op: Op,
+    /// Resource kind.
+    pub kind: Kind,
+    /// Registry key.
+    pub key: String,
+    /// Outcome.
+    pub result: RequestResult,
+}
+
+/// The apiserver's request audit log.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+}
+
+impl AuditLog {
+    /// Appends a record.
+    pub fn record(&mut self, rec: AuditRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// Number of requests on a channel.
+    pub fn count_by_channel(&self, channel: Channel) -> usize {
+        self.records.iter().filter(|r| r.channel == channel).count()
+    }
+
+    /// Number of error outcomes on a channel.
+    pub fn errors_by_channel(&self, channel: Channel) -> usize {
+        self.records.iter().filter(|r| r.channel == channel && r.result.is_err()).count()
+    }
+
+    /// Number of errors returned to the cluster user — the Figure 7 metric.
+    pub fn user_errors(&self) -> usize {
+        self.errors_by_channel(Channel::UserToApi)
+    }
+
+    /// True when the user saw at least one error.
+    pub fn user_saw_error(&self) -> bool {
+        self.user_errors() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(channel: Channel, err: bool) -> AuditRecord {
+        AuditRecord {
+            at: 0,
+            channel,
+            op: Op::Create,
+            kind: Kind::Pod,
+            key: "/registry/pods/default/p".into(),
+            result: if err { RequestResult::Err("boom".into()) } else { RequestResult::Ok },
+        }
+    }
+
+    #[test]
+    fn counts_by_channel() {
+        let mut log = AuditLog::default();
+        log.record(rec(Channel::UserToApi, false));
+        log.record(rec(Channel::UserToApi, true));
+        log.record(rec(Channel::KcmToApi, true));
+        assert_eq!(log.count_by_channel(Channel::UserToApi), 2);
+        assert_eq!(log.errors_by_channel(Channel::UserToApi), 1);
+        assert_eq!(log.errors_by_channel(Channel::KcmToApi), 1);
+        assert_eq!(log.user_errors(), 1);
+        assert!(log.user_saw_error());
+    }
+
+    #[test]
+    fn empty_log_reports_no_errors() {
+        let log = AuditLog::default();
+        assert!(!log.user_saw_error());
+        assert_eq!(log.records().len(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Client-side leader election over [`Lease`] objects.
+//!
+//! The Kcm and the Scheduler "use leader election so that there is only one
+//! active replica at a time" (§II-D). The paper's Timing-failure example
+//! hinges on this mechanism: after a scheduler restart, a new leader is
+//! elected only after the old lease expires (~20 s in the standard
+//! configuration), during which no pod is scheduled. Lease corruption can
+//! also lock a controller out permanently — one of the observed Stall
+//! causes ("Scheduler or Kcm unable to obtain a leadership role").
+
+use crate::ApiServer;
+use k8s_model::{Channel, Kind, Lease, Object, ObjectMeta};
+
+/// Default lease duration (kube-controller-manager default: 15 s).
+pub const DEFAULT_LEASE_DURATION_MS: u64 = 15_000;
+
+/// Default renewal cadence (kube default renewDeadline ≈ 10 s).
+pub const DEFAULT_RENEW_EVERY_MS: u64 = 10_000;
+
+/// A leader-election participant.
+#[derive(Debug, Clone)]
+pub struct LeaderElector {
+    /// Namespace of the lease object.
+    pub lease_namespace: String,
+    /// Name of the lease object.
+    pub lease_name: String,
+    /// This participant's identity string.
+    pub identity: String,
+    /// Channel its API requests travel on.
+    pub channel: Channel,
+    /// Lease validity duration.
+    pub duration_ms: u64,
+    /// How often the holder renews.
+    pub renew_every_ms: u64,
+    last_renew_attempt: u64,
+    is_leader: bool,
+}
+
+impl LeaderElector {
+    /// Creates an elector for `lease_name` in `kube-system`.
+    pub fn new(lease_name: &str, identity: &str, channel: Channel) -> LeaderElector {
+        LeaderElector {
+            lease_namespace: "kube-system".to_owned(),
+            lease_name: lease_name.to_owned(),
+            identity: identity.to_owned(),
+            channel,
+            duration_ms: DEFAULT_LEASE_DURATION_MS,
+            renew_every_ms: DEFAULT_RENEW_EVERY_MS,
+            last_renew_attempt: 0,
+            is_leader: false,
+        }
+    }
+
+    /// True while this participant holds the lease.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+
+    /// Steps down voluntarily (component restart). The lease is left in
+    /// place, so a successor waits out the remaining validity — the
+    /// mechanism behind the ~20 s re-election gap.
+    pub fn resign(&mut self) {
+        self.is_leader = false;
+    }
+
+    /// Runs one election round; returns leadership status.
+    pub fn step(&mut self, api: &mut ApiServer, now: u64) -> bool {
+        let current = api.get(Kind::Lease, &self.lease_namespace, &self.lease_name);
+        match current {
+            None => {
+                // No lease: try to create it and take leadership.
+                let mut lease = Lease::default();
+                lease.metadata = ObjectMeta::named(&self.lease_namespace, &self.lease_name);
+                lease.spec.holder = self.identity.clone();
+                lease.spec.lease_duration_ms = self.duration_ms as i64;
+                lease.spec.renew_time = now as i64;
+                self.is_leader = api.create(self.channel, Object::Lease(lease)).is_ok();
+                self.last_renew_attempt = now;
+            }
+            Some(Object::Lease(lease)) => {
+                if lease.spec.holder == self.identity && self.is_leader {
+                    // Holder: renew on cadence.
+                    if now.saturating_sub(self.last_renew_attempt) >= self.renew_every_ms {
+                        self.last_renew_attempt = now;
+                        let mut renewed = lease.clone();
+                        renewed.spec.renew_time = now as i64;
+                        if api.update(self.channel, Object::Lease(renewed)).is_err()
+                            && lease.expired(now)
+                        {
+                            self.is_leader = false;
+                        }
+                    }
+                } else if lease.expired(now) {
+                    // Expired: attempt takeover.
+                    let mut taken = lease.clone();
+                    taken.spec.holder = self.identity.clone();
+                    taken.spec.lease_duration_ms = self.duration_ms as i64;
+                    taken.spec.renew_time = now as i64;
+                    self.is_leader = api.update(self.channel, Object::Lease(taken)).is_ok();
+                    self.last_renew_attempt = now;
+                } else {
+                    // Someone else (possibly a corrupted holder string)
+                    // holds an unexpired lease: we are locked out.
+                    self.is_leader = false;
+                }
+            }
+            Some(_) => {
+                // The lease key decoded as a different kind (severe
+                // corruption): treat as lock-out.
+                self.is_leader = false;
+            }
+        }
+        self.is_leader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InterceptorHandle, TraceHandle};
+    use etcd_sim::Etcd;
+    use k8s_model::NoopInterceptor;
+    use simkit::Trace;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn api() -> ApiServer {
+        let interceptor: InterceptorHandle = Rc::new(RefCell::new(NoopInterceptor));
+        let trace: TraceHandle = Rc::new(RefCell::new(Trace::new(64)));
+        ApiServer::new(Etcd::new(1, 1 << 20), interceptor, trace)
+    }
+
+    #[test]
+    fn first_candidate_acquires() {
+        let mut api = api();
+        let mut el = LeaderElector::new("kcm-leader", "kcm-0", Channel::KcmToApi);
+        assert!(el.step(&mut api, 1000));
+        assert!(el.is_leader());
+    }
+
+    #[test]
+    fn second_candidate_waits_for_expiry() {
+        let mut api = api();
+        let mut a = LeaderElector::new("kcm-leader", "kcm-0", Channel::KcmToApi);
+        let mut b = LeaderElector::new("kcm-leader", "kcm-1", Channel::KcmToApi);
+        assert!(a.step(&mut api, 1000));
+        assert!(!b.step(&mut api, 2000));
+        // After the lease expires without renewal, b takes over.
+        assert!(b.step(&mut api, 1000 + DEFAULT_LEASE_DURATION_MS + 1));
+    }
+
+    #[test]
+    fn holder_renews_and_keeps_leadership() {
+        let mut api = api();
+        let mut a = LeaderElector::new("kcm-leader", "kcm-0", Channel::KcmToApi);
+        assert!(a.step(&mut api, 0));
+        // Renew at 10 s, then the 15 s expiry from t=0 passes harmlessly.
+        assert!(a.step(&mut api, 10_000));
+        assert!(a.step(&mut api, 16_000));
+        let mut b = LeaderElector::new("kcm-leader", "kcm-1", Channel::KcmToApi);
+        assert!(!b.step(&mut api, 16_001));
+    }
+
+    #[test]
+    fn resign_then_reelect_costs_the_lease_window() {
+        let mut api = api();
+        let mut a = LeaderElector::new("sched-leader", "sched-0", Channel::SchedulerToApi);
+        assert!(a.step(&mut api, 0));
+        a.resign();
+        // Immediately after resigning, even the same identity must wait
+        // out the lease (it no longer considers itself leader).
+        assert!(!a.is_leader());
+        let mut b = LeaderElector::new("sched-leader", "sched-1", Channel::SchedulerToApi);
+        assert!(!b.step(&mut api, 5_000));
+        assert!(b.step(&mut api, DEFAULT_LEASE_DURATION_MS + 1));
+    }
+
+    #[test]
+    fn corrupted_far_future_renew_time_locks_everyone_out() {
+        // The Stall pattern: a corrupted lease no controller can reclaim.
+        let mut api = api();
+        let mut a = LeaderElector::new("kcm-leader", "kcm-0", Channel::KcmToApi);
+        assert!(a.step(&mut api, 0));
+        // Corrupt renewTime to the far future and the holder to a ghost.
+        let obj = api.get(Kind::Lease, "kube-system", "kcm-leader").unwrap();
+        if let Object::Lease(mut l) = obj {
+            l.spec.holder = "ghost".into();
+            l.spec.renew_time = i64::MAX / 2;
+            api.update(Channel::ApiToEtcd, Object::Lease(l)).unwrap();
+        }
+        assert!(!a.step(&mut api, 20_000));
+        assert!(!a.step(&mut api, 10_000_000));
+    }
+}

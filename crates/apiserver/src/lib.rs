@@ -1,0 +1,962 @@
+//! # k8s-apiserver — the simulated kube-apiserver
+//!
+//! The apiserver is the only component that talks to etcd; every other
+//! component sends requests to it and observes state changes through its
+//! watch stream (§II-C). This simulation reproduces the mechanisms the
+//! paper's campaign exercises:
+//!
+//! * **request flow with two interception points** — component→apiserver
+//!   messages cross the wire codec, then authentication-style decode +
+//!   validation + admission, then the apiserver→etcd transaction crosses
+//!   the codec again. Mutiny hooks both (§IV-A);
+//! * **validation** — regex/border-case checks that reject malformed values
+//!   but cannot catch valid-but-wrong ones (§V-C4, Table VI), including the
+//!   namespace-vs-URL and selector-vs-template checks the paper credits
+//!   with preventing infinite pod spawn on the user channel;
+//! * **admission** — uid assignment, generation bumping, and channel-based
+//!   field ownership (server-side-apply: the kubelet may only write pod
+//!   status, the scheduler only the binding);
+//! * **watch cache** — reads are served from the decoded cache fed by the
+//!   watch stream, which is why at-rest etcd corruption propagates
+//!   differently from in-flight corruption (§V-C1);
+//! * **undecryptable-resource deletion** — objects whose stored bytes no
+//!   longer decode are deleted to protect list operations (§II-D);
+//! * **audit log** — records per-request outcomes, the data behind the
+//!   paper's user-unawareness finding (F4, Figure 7).
+
+pub mod admission;
+pub mod audit;
+pub mod leader;
+pub mod policy;
+pub mod validation;
+pub mod workqueue;
+
+pub use audit::{AuditLog, AuditRecord, RequestResult};
+pub use leader::LeaderElector;
+pub use policy::{
+    AdmissionPolicy, IntegrityAction, IntegrityChecker, IntegrityMetrics, PolicyCtx,
+};
+
+use etcd_sim::{Etcd, EtcdError};
+use k8s_model::{registry_key, registry_prefix, Channel, Interceptor, Kind, MsgCtx, Object, Op, WireVerdict};
+use simkit::{Trace, TraceLevel};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Errors returned to API clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// No such object.
+    NotFound,
+    /// Create of an existing object.
+    AlreadyExists,
+    /// Validation rejected the request (message names the rule).
+    Invalid(String),
+    /// Optimistic-concurrency or identity conflict.
+    Conflict(String),
+    /// The request payload could not be decoded.
+    Undecodable,
+    /// The data store rejected the transaction (disk full).
+    StoreUnavailable,
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::NotFound => write!(f, "not found"),
+            ApiError::AlreadyExists => write!(f, "already exists"),
+            ApiError::Invalid(m) => write!(f, "invalid: {m}"),
+            ApiError::Conflict(m) => write!(f, "conflict: {m}"),
+            ApiError::Undecodable => write!(f, "request payload undecodable"),
+            ApiError::StoreUnavailable => write!(f, "data store unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// A decoded change notification served to watching components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceEvent {
+    /// Monotone index in the apiserver's decoded event log.
+    pub index: u64,
+    /// Kind of the changed object.
+    pub kind: Kind,
+    /// Registry key of the changed object.
+    pub key: String,
+    /// New object state; `None` for deletions.
+    pub object: Option<Object>,
+}
+
+/// Shared handle to the injection interceptor.
+pub type InterceptorHandle = Rc<RefCell<dyn Interceptor>>;
+
+/// Shared handle to the cluster-wide trace buffer.
+pub type TraceHandle = Rc<RefCell<Trace>>;
+
+/// How many decoded events the apiserver retains for watchers.
+const EVENT_LOG_RETENTION: usize = 200_000;
+
+/// The simulated kube-apiserver.
+pub struct ApiServer {
+    etcd: Etcd,
+    interceptor: InterceptorHandle,
+    trace: TraceHandle,
+    audit: AuditLog,
+    /// Decoded watch cache: key → (object, resourceVersion).
+    cache: HashMap<String, Object>,
+    /// Decoded event log served to watchers.
+    events: std::collections::VecDeque<ResourceEvent>,
+    first_event_index: u64,
+    /// Cursor into etcd's raw watch log.
+    etcd_cursor: u64,
+    uid_counter: u64,
+    now: u64,
+    /// Validation toggle (ablation: what happens without the checks).
+    pub validation_enabled: bool,
+    /// Count of undecryptable objects deleted.
+    pub undecodable_deleted: u64,
+    /// Installed admission policies (§VI-B stricter checks).
+    policies: Vec<Box<dyn AdmissionPolicy>>,
+    /// Requests denied by an admission policy.
+    pub policy_denials: u64,
+    /// Installed integrity checker (§VI-B redundancy codes).
+    integrity: Option<Rc<dyn IntegrityChecker>>,
+    /// Integrity subsystem counters.
+    pub integrity_metrics: IntegrityMetrics,
+    /// When armed, records every key served to a reader (activation
+    /// analysis: an injection is *activated* when the injected instance is
+    /// requested after the injection, §V-C1).
+    read_tracking: Option<HashSet<String>>,
+}
+
+impl std::fmt::Debug for ApiServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApiServer")
+            .field("objects", &self.cache.len())
+            .field("etcd_revision", &self.etcd.revision())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl ApiServer {
+    /// Creates an apiserver over `etcd`, wiring in the interceptor and the
+    /// shared trace buffer.
+    pub fn new(etcd: Etcd, interceptor: InterceptorHandle, trace: TraceHandle) -> ApiServer {
+        let etcd_cursor = etcd.event_head();
+        ApiServer {
+            etcd,
+            interceptor,
+            trace,
+            audit: AuditLog::default(),
+            cache: HashMap::new(),
+            events: std::collections::VecDeque::new(),
+            first_event_index: 0,
+            etcd_cursor,
+            uid_counter: 0,
+            now: 0,
+            validation_enabled: true,
+            undecodable_deleted: 0,
+            policies: Vec::new(),
+            policy_denials: 0,
+            integrity: None,
+            integrity_metrics: IntegrityMetrics::default(),
+            read_tracking: None,
+        }
+    }
+
+    /// Installs a validating admission policy; policies run in install
+    /// order after the built-in validation layer.
+    pub fn install_policy(&mut self, policy: Box<dyn AdmissionPolicy>) {
+        self.policies.push(policy);
+    }
+
+    /// Installs the stored-state integrity checker. Objects written from
+    /// now on carry a redundancy code that is verified on every decode.
+    pub fn install_integrity(&mut self, checker: Rc<dyn IntegrityChecker>) {
+        self.integrity = Some(checker);
+    }
+
+    /// Runs the installed policies over one request.
+    fn review_policies(
+        &mut self,
+        op: Op,
+        channel: Channel,
+        object: &Object,
+        existing: Option<&Object>,
+    ) -> Result<(), ApiError> {
+        if self.policies.is_empty() {
+            return Ok(());
+        }
+        let ctx = PolicyCtx { op, channel, object, existing, now: self.now, view: &self.cache };
+        for p in &mut self.policies {
+            if let Err(reason) = p.review(&ctx) {
+                self.policy_denials += 1;
+                return Err(ApiError::Invalid(format!("policy {}: {reason}", p.name())));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies a decoded object against the installed integrity checker
+    /// and applies the configured action on failure. Returns the object to
+    /// serve (`None` when it was discarded or withheld).
+    fn check_integrity(&mut self, key: &str, obj: Object) -> Option<Object> {
+        let Some(checker) = self.integrity.clone() else { return Some(obj) };
+        if checker.verify(&obj) {
+            return Some(obj);
+        }
+        self.integrity_metrics.violations += 1;
+        match checker.action() {
+            IntegrityAction::Observe => Some(obj),
+            IntegrityAction::Discard => {
+                self.integrity_metrics.discarded += 1;
+                self.log(
+                    TraceLevel::Error,
+                    format!("integrity violation on {key}: discarding object"),
+                );
+                self.cache.remove(key);
+                self.etcd.delete(key);
+                None
+            }
+            IntegrityAction::Repair => match self.cache.get(key).cloned() {
+                Some(last_good) if checker.verify(&last_good) => {
+                    self.integrity_metrics.repaired += 1;
+                    self.log(
+                        TraceLevel::Error,
+                        format!(
+                            "integrity violation on {key}: rolling back to last good value"
+                        ),
+                    );
+                    // Rewrite the last good bytes to the store; the repair
+                    // transaction is internal and bypasses the interceptor.
+                    let _ = self.etcd.put(key, last_good.encode());
+                    Some(last_good)
+                }
+                _ => {
+                    // Nothing to roll back to (the create itself was
+                    // corrupted): fall back to discarding.
+                    self.integrity_metrics.discarded += 1;
+                    self.log(
+                        TraceLevel::Error,
+                        format!("integrity violation on {key}: no good value, discarding"),
+                    );
+                    self.cache.remove(key);
+                    self.etcd.delete(key);
+                    None
+                }
+            },
+        }
+    }
+
+    /// Arms read tracking: subsequently served keys are recorded so the
+    /// campaign can decide whether an injected instance was *activated*.
+    pub fn start_read_tracking(&mut self) {
+        self.read_tracking = Some(HashSet::new());
+    }
+
+    /// True when `key` was served to any reader since tracking was armed.
+    pub fn was_read(&self, key: &str) -> bool {
+        self.read_tracking.as_ref().map(|s| s.contains(key)).unwrap_or(false)
+    }
+
+    fn track_read(&mut self, key: &str) {
+        if let Some(s) = self.read_tracking.as_mut() {
+            if !s.contains(key) {
+                s.insert(key.to_owned());
+            }
+        }
+    }
+
+    /// Advances the apiserver's notion of simulated time.
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The audit log (Figure 7 data source).
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Direct access to the underlying store (campaign instrumentation).
+    pub fn etcd(&self) -> &Etcd {
+        &self.etcd
+    }
+
+    /// Mutable store access (at-rest corruption experiments).
+    pub fn etcd_mut(&mut self) -> &mut Etcd {
+        &mut self.etcd
+    }
+
+    fn log(&self, level: TraceLevel, msg: String) {
+        self.trace.borrow_mut().log(self.now, level, "apiserver", msg);
+    }
+
+    // --- the write path ----------------------------------------------------
+
+    /// Creates an object. The request travels `channel`, so Mutiny may
+    /// tamper with or drop it before validation; the resulting etcd
+    /// transaction may be tampered with again.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ApiError`]; every outcome is recorded in the audit log.
+    pub fn create(&mut self, channel: Channel, obj: Object) -> Result<Object, ApiError> {
+        let (url_ns, url_name) = (obj.namespace().to_owned(), obj.name().to_owned());
+        self.request(channel, Op::Create, obj.kind(), &url_ns, &url_name, Some(obj))
+    }
+
+    /// Updates an object (same pipeline as [`ApiServer::create`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ApiError`]; every outcome is recorded in the audit log.
+    pub fn update(&mut self, channel: Channel, obj: Object) -> Result<Object, ApiError> {
+        let (url_ns, url_name) = (obj.namespace().to_owned(), obj.name().to_owned());
+        self.request(channel, Op::Update, obj.kind(), &url_ns, &url_name, Some(obj))
+    }
+
+    /// Deletes an object.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ApiError`]; every outcome is recorded in the audit log.
+    pub fn delete(
+        &mut self,
+        channel: Channel,
+        kind: Kind,
+        namespace: &str,
+        name: &str,
+    ) -> Result<(), ApiError> {
+        self.request(channel, Op::Delete, kind, namespace, name, None).map(|_| ())
+    }
+
+    fn request(
+        &mut self,
+        channel: Channel,
+        op: Op,
+        kind: Kind,
+        url_ns: &str,
+        url_name: &str,
+        obj: Option<Object>,
+    ) -> Result<Object, ApiError> {
+        self.sync_cache();
+        let key = registry_key(kind, url_ns, url_name);
+        let result = self.request_inner(channel, op, kind, &key, url_ns, url_name, obj);
+        self.audit.record(AuditRecord {
+            at: self.now,
+            channel,
+            op,
+            kind,
+            key: key.clone(),
+            result: match &result {
+                Ok(_) => RequestResult::Ok,
+                Err(e) => RequestResult::Err(e.to_string()),
+            },
+        });
+        if let Err(e) = &result {
+            self.log(TraceLevel::Error, format!("{op} {key} via {channel} rejected: {e}"));
+        }
+        self.sync_cache();
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn request_inner(
+        &mut self,
+        channel: Channel,
+        op: Op,
+        kind: Kind,
+        key: &str,
+        url_ns: &str,
+        url_name: &str,
+        obj: Option<Object>,
+    ) -> Result<Object, ApiError> {
+        // 1. The request crosses the component→apiserver wire.
+        let mut incoming: Option<Object> = None;
+        if let Some(o) = obj {
+            let bytes = o.encode();
+            let verdict = self.intercept(channel, kind, key, op, Some(&bytes));
+            let effective = match verdict {
+                WireVerdict::Pass => bytes,
+                WireVerdict::Replace(b) => b,
+                WireVerdict::Drop => {
+                    // The sender's call returns without error; no request
+                    // ever arrives (message-drop semantics, §IV-A).
+                    self.log(
+                        TraceLevel::Debug,
+                        format!("{op} {key}: request dropped in flight on {channel}"),
+                    );
+                    return Ok(o);
+                }
+            };
+            // Authentication/decoding: garbage payloads are rejected here.
+            incoming =
+                Some(Object::decode(kind, &effective).map_err(|_| ApiError::Undecodable)?);
+        } else if op == Op::Delete {
+            let verdict = self.intercept(channel, kind, key, op, None);
+            if verdict == WireVerdict::Drop {
+                return Ok(self.cache.get(key).cloned().unwrap_or_else(|| {
+                    Object::Namespace(k8s_model::Namespace::default())
+                }));
+            }
+        }
+
+        // 2. Validation + admission (skipped for the internal store path).
+        match op {
+            Op::Delete => {
+                let existing = self.current_object(key);
+                if existing.is_none() && self.etcd.get(key).is_none() {
+                    return Err(ApiError::NotFound);
+                }
+                if channel != Channel::ApiToEtcd {
+                    if let Some(old) = &existing {
+                        self.review_policies(op, channel, &old.clone(), existing.as_ref())?;
+                    }
+                }
+                self.etcd_delete(key)?;
+                self.log(TraceLevel::Info, format!("deleted {key} via {channel}"));
+                Ok(self.cache.get(key).cloned().unwrap_or_else(|| {
+                    Object::Namespace(k8s_model::Namespace::default())
+                }))
+            }
+            Op::Create | Op::Update => {
+                let mut new_obj = incoming.expect("create/update carries an object");
+                let existing = self.current_object(key);
+
+                if op == Op::Create && existing.is_some() {
+                    return Err(ApiError::AlreadyExists);
+                }
+                if op == Op::Update && existing.is_none() {
+                    return Err(ApiError::NotFound);
+                }
+
+                // Status-only updates from components go through the
+                // status subresource, which does not re-validate the spec
+                // (so a controller can still report status on an object
+                // whose stored spec was corrupted post-validation).
+                let status_only = op == Op::Update
+                    && channel != Channel::ApiToEtcd
+                    && existing
+                        .as_ref()
+                        .map(|old| !admission::spec_changed(&new_obj, old))
+                        .unwrap_or(false);
+                if channel != Channel::ApiToEtcd && self.validation_enabled && !status_only {
+                    validation::validate(&new_obj, url_ns, url_name)
+                        .map_err(ApiError::Invalid)?;
+                    // Namespaced creates require the namespace to exist
+                    // (only once the cluster has namespaces at all, so
+                    // non-bootstrapped test fixtures stay usable).
+                    let has_namespaces =
+                        self.cache.keys().any(|k| k.starts_with("/registry/namespaces/"));
+                    if op == Op::Create
+                        && has_namespaces
+                        && !kind.cluster_scoped()
+                        && kind != Kind::Namespace
+                    {
+                        let ns_key = registry_key(Kind::Namespace, "", url_ns);
+                        if self.current_object(&ns_key).is_none() {
+                            return Err(ApiError::Invalid(format!(
+                                "namespace {url_ns:?} not found"
+                            )));
+                        }
+                    }
+                }
+
+                if channel != Channel::ApiToEtcd {
+                    self.review_policies(op, channel, &new_obj, existing.as_ref())?;
+                }
+
+                admission::admit(
+                    &mut new_obj,
+                    existing.as_ref(),
+                    channel,
+                    op,
+                    self.now,
+                    &mut self.uid_counter,
+                )
+                .map_err(|e| match e {
+                    admission::AdmitError::Conflict(m) => ApiError::Conflict(m),
+                })?;
+
+                // Stamp the resourceVersion the store will assign.
+                new_obj.meta_mut().resource_version = self.etcd.revision() as i64 + 1;
+
+                // Seal the redundancy code before the transaction crosses
+                // the wire, so in-flight corruption is detectable later.
+                if let Some(checker) = self.integrity.clone() {
+                    checker.seal(&mut new_obj);
+                }
+
+                // 3. The apiserver→etcd transaction crosses the wire again:
+                //    the campaign's primary injection point.
+                let bytes = new_obj.encode();
+                let verdict =
+                    self.intercept(Channel::ApiToEtcd, kind, key, op, Some(&bytes));
+                let store_bytes = match verdict {
+                    WireVerdict::Pass => bytes,
+                    WireVerdict::Replace(b) => b,
+                    WireVerdict::Drop => {
+                        // The state update silently never happens; the
+                        // caller still sees success (level-triggered
+                        // reconciliation must absorb this).
+                        self.log(
+                            TraceLevel::Debug,
+                            format!("{op} {key}: etcd transaction dropped"),
+                        );
+                        return Ok(new_obj);
+                    }
+                };
+                self.etcd_put(key, store_bytes)?;
+                Ok(new_obj)
+            }
+        }
+    }
+
+    fn intercept(
+        &mut self,
+        channel: Channel,
+        kind: Kind,
+        key: &str,
+        op: Op,
+        bytes: Option<&[u8]>,
+    ) -> WireVerdict {
+        let ctx = MsgCtx { channel, kind, key, op, bytes, now: self.now };
+        self.interceptor.borrow_mut().on_message(&ctx)
+    }
+
+    fn etcd_put(&mut self, key: &str, bytes: Vec<u8>) -> Result<(), ApiError> {
+        match self.etcd.put(key, bytes) {
+            Ok(_) => Ok(()),
+            Err(EtcdError::DiskFull) => {
+                self.log(TraceLevel::Error, format!("etcd write for {key} failed: disk full"));
+                Err(ApiError::StoreUnavailable)
+            }
+            Err(e) => {
+                self.log(TraceLevel::Error, format!("etcd write for {key} failed: {e}"));
+                Err(ApiError::StoreUnavailable)
+            }
+        }
+    }
+
+    fn etcd_delete(&mut self, key: &str) -> Result<(), ApiError> {
+        self.etcd.delete(key);
+        Ok(())
+    }
+
+    /// The freshest decoded object for a key: the watch cache, falling back
+    /// to a quorum read (cache-miss refresh).
+    fn current_object(&mut self, key: &str) -> Option<Object> {
+        self.track_read(key);
+        if let Some(o) = self.cache.get(key) {
+            return Some(o.clone());
+        }
+        let (bytes, _) = self.etcd.get(key)?;
+        let kind = kind_of_key(key)?;
+        match Object::decode(kind, &bytes) {
+            Ok(o) => self.check_integrity(key, o),
+            Err(_) => {
+                self.drop_undecodable(key);
+                None
+            }
+        }
+    }
+
+    fn drop_undecodable(&mut self, key: &str) {
+        self.undecodable_deleted += 1;
+        self.log(
+            TraceLevel::Error,
+            format!("stored object {key} is undecryptable; deleting it"),
+        );
+        self.etcd.delete(key);
+    }
+
+    // --- the read path -----------------------------------------------------
+
+    /// Drains etcd's raw watch log into the decoded cache and event log,
+    /// deleting undecryptable objects as they are discovered.
+    pub fn sync_cache(&mut self) {
+        loop {
+            let (raw, next) = match self.etcd.events_since(self.etcd_cursor) {
+                Ok(pair) => pair,
+                Err(_) => {
+                    // Compacted: rebuild the cache from a full range scan.
+                    self.etcd_cursor = self.etcd.event_head();
+                    self.rebuild_cache_from_store();
+                    continue;
+                }
+            };
+            if raw.is_empty() {
+                return;
+            }
+            self.etcd_cursor = next;
+            let mut undecodable: Vec<String> = Vec::new();
+            for ev in raw {
+                let Some(kind) = kind_of_key(&ev.key) else { continue };
+                match ev.value {
+                    None => {
+                        self.cache.remove(&ev.key);
+                        self.push_event(ResourceEvent {
+                            index: 0,
+                            kind,
+                            key: ev.key.clone(),
+                            object: None,
+                        });
+                    }
+                    Some(bytes) => match Object::decode(kind, &bytes) {
+                        Ok(obj) => {
+                            let Some(obj) = self.check_integrity(&ev.key, obj) else {
+                                continue;
+                            };
+                            self.cache.insert(ev.key.clone(), obj.clone());
+                            self.push_event(ResourceEvent {
+                                index: 0,
+                                kind,
+                                key: ev.key.clone(),
+                                object: Some(obj),
+                            });
+                        }
+                        Err(_) => undecodable.push(ev.key.clone()),
+                    },
+                }
+            }
+            for key in undecodable {
+                // Only delete if the *current* stored bytes are still bad
+                // (a later write may have fixed the object).
+                let still_bad = self
+                    .etcd
+                    .get(&key)
+                    .map(|(b, _)| {
+                        kind_of_key(&key)
+                            .map(|k| Object::decode(k, &b).is_err())
+                            .unwrap_or(false)
+                    })
+                    .unwrap_or(false);
+                if still_bad {
+                    self.cache.remove(&key);
+                    self.drop_undecodable(&key);
+                }
+            }
+        }
+    }
+
+    fn rebuild_cache_from_store(&mut self) {
+        self.cache.clear();
+        let all = self.etcd.range("/registry/");
+        let mut bad = Vec::new();
+        for (key, bytes, _) in all {
+            let Some(kind) = kind_of_key(&key) else { continue };
+            match Object::decode(kind, &bytes) {
+                Ok(obj) => {
+                    let Some(obj) = self.check_integrity(&key, obj) else { continue };
+                    self.cache.insert(key.clone(), obj.clone());
+                    self.push_event(ResourceEvent { index: 0, kind, key, object: Some(obj) });
+                }
+                Err(_) => bad.push(key),
+            }
+        }
+        for key in bad {
+            self.drop_undecodable(&key);
+        }
+    }
+
+    fn push_event(&mut self, mut ev: ResourceEvent) {
+        if self.events.len() == EVENT_LOG_RETENTION {
+            self.events.pop_front();
+            self.first_event_index += 1;
+        }
+        ev.index = self.first_event_index + self.events.len() as u64;
+        self.events.push_back(ev);
+    }
+
+    /// Initial cursor for a new watcher (only future events are seen).
+    pub fn watch_head(&self) -> u64 {
+        self.first_event_index + self.events.len() as u64
+    }
+
+    /// Returns decoded events at indices ≥ `cursor` and the next cursor.
+    /// Watchers that fell behind the retention window receive a fresh
+    /// cursor and should re-list.
+    pub fn poll_events(&mut self, cursor: u64) -> (Vec<ResourceEvent>, u64) {
+        self.sync_cache();
+        if cursor < self.first_event_index {
+            return (Vec::new(), self.watch_head());
+        }
+        let start = (cursor - self.first_event_index) as usize;
+        let out: Vec<ResourceEvent> = self.events.iter().skip(start).cloned().collect();
+        if self.read_tracking.is_some() {
+            for ev in &out {
+                let key = ev.key.clone();
+                self.track_read(&key);
+            }
+        }
+        (out, self.watch_head())
+    }
+
+    /// Reads one object through the watch cache.
+    pub fn get(&mut self, kind: Kind, namespace: &str, name: &str) -> Option<Object> {
+        self.sync_cache();
+        let key = registry_key(kind, namespace, name);
+        self.current_object(&key)
+    }
+
+    /// Reads one object bypassing the cache (quorum read from etcd) — used
+    /// by the at-rest-corruption ablation and by component restarts.
+    pub fn get_fresh(&mut self, kind: Kind, namespace: &str, name: &str) -> Option<Object> {
+        let key = registry_key(kind, namespace, name);
+        let (bytes, _) = self.etcd.get(&key)?;
+        match Object::decode(kind, &bytes) {
+            Ok(o) => {
+                self.cache.insert(key, o.clone());
+                Some(o)
+            }
+            Err(_) => {
+                self.drop_undecodable(&key);
+                None
+            }
+        }
+    }
+
+    /// Lists objects of `kind`, optionally scoped to a namespace, in key
+    /// order (served from the watch cache).
+    pub fn list(&mut self, kind: Kind, namespace: Option<&str>) -> Vec<Object> {
+        self.sync_cache();
+        let prefix = registry_prefix(kind, namespace);
+        let mut keys: Vec<String> =
+            self.cache.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        keys.sort();
+        if self.read_tracking.is_some() {
+            for k in &keys {
+                self.track_read(k);
+            }
+        }
+        keys.into_iter().map(|k| self.cache[&k].clone()).collect()
+    }
+
+    /// Visits objects of `kind` (optionally namespace-scoped) without
+    /// cloning them — the cheap path for metrics sampling and the network
+    /// fabric, which run even while a pod storm floods the cache.
+    pub fn for_each(&mut self, kind: Kind, namespace: Option<&str>, mut f: impl FnMut(&Object)) {
+        self.sync_cache();
+        let prefix = registry_prefix(kind, namespace);
+        for (k, obj) in &self.cache {
+            if k.starts_with(&prefix) {
+                f(obj);
+            }
+        }
+    }
+
+    /// Counts objects of `kind` without cloning.
+    pub fn count(&mut self, kind: Kind, namespace: Option<&str>) -> usize {
+        self.sync_cache();
+        let prefix = registry_prefix(kind, namespace);
+        self.cache.keys().filter(|k| k.starts_with(&prefix)).count()
+    }
+
+    /// Simulates an apiserver restart: the watch cache is dropped and
+    /// rebuilt from the store with quorum reads, which is when at-rest
+    /// corruption finally gets picked up (§V-C1).
+    pub fn restart(&mut self) {
+        self.log(TraceLevel::Warn, "apiserver restarting: rebuilding watch cache".to_owned());
+        self.etcd_cursor = self.etcd.event_head();
+        self.rebuild_cache_from_store();
+    }
+
+    /// Number of objects currently in the watch cache.
+    pub fn cached_objects(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Derives the kind from a registry key.
+pub fn kind_of_key(key: &str) -> Option<Kind> {
+    let rest = key.strip_prefix("/registry/")?;
+    let plural = rest.split('/').next()?;
+    Kind::ALL.iter().copied().find(|k| k.plural() == plural)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_model::{NoopInterceptor, Pod};
+
+    fn api() -> ApiServer {
+        let etcd = Etcd::new(1, 10 * 1024 * 1024);
+        let interceptor: InterceptorHandle = Rc::new(RefCell::new(NoopInterceptor));
+        let trace: TraceHandle = Rc::new(RefCell::new(Trace::new(1024)));
+        ApiServer::new(etcd, interceptor, trace)
+    }
+
+    fn pod(ns: &str, name: &str) -> Object {
+        let mut p = Pod::default();
+        p.metadata = k8s_model::ObjectMeta::named(ns, name);
+        p.metadata.labels.insert("app".into(), "web".into());
+        p.spec.containers.push(k8s_model::Container {
+            name: "c".into(),
+            image: "img:1".into(),
+            cpu_milli: 100,
+            memory_mb: 64,
+            port: 8080,
+            ..Default::default()
+        });
+        Object::Pod(p)
+    }
+
+    #[test]
+    fn create_get_roundtrip_assigns_uid_and_rv() {
+        let mut a = api();
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        assert!(!created.meta().uid.is_empty());
+        assert!(created.meta().resource_version > 0);
+        let got = a.get(Kind::Pod, "default", "p1").unwrap();
+        assert_eq!(got.meta().uid, created.meta().uid);
+    }
+
+    #[test]
+    fn create_twice_conflicts() {
+        let mut a = api();
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        assert_eq!(
+            a.create(Channel::UserToApi, pod("default", "p1")),
+            Err(ApiError::AlreadyExists)
+        );
+    }
+
+    #[test]
+    fn update_missing_is_not_found() {
+        let mut a = api();
+        assert_eq!(a.update(Channel::UserToApi, pod("default", "nope")), Err(ApiError::NotFound));
+    }
+
+    #[test]
+    fn delete_then_get_none() {
+        let mut a = api();
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        a.delete(Channel::UserToApi, Kind::Pod, "default", "p1").unwrap();
+        assert!(a.get(Kind::Pod, "default", "p1").is_none());
+        assert_eq!(
+            a.delete(Channel::UserToApi, Kind::Pod, "default", "p1"),
+            Err(ApiError::NotFound)
+        );
+    }
+
+    #[test]
+    fn list_scopes_by_namespace() {
+        let mut a = api();
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        a.create(Channel::UserToApi, pod("default", "p2")).unwrap();
+        a.create(Channel::UserToApi, pod("kube-system", "p3")).unwrap();
+        assert_eq!(a.list(Kind::Pod, Some("default")).len(), 2);
+        assert_eq!(a.list(Kind::Pod, None).len(), 3);
+    }
+
+    #[test]
+    fn invalid_name_rejected_on_user_channel() {
+        let mut a = api();
+        let bad = pod("default", "Bad_Name");
+        let res = a.create(Channel::UserToApi, bad);
+        assert!(matches!(res, Err(ApiError::Invalid(_))));
+        assert_eq!(a.audit().user_errors(), 1);
+    }
+
+    #[test]
+    fn watch_stream_delivers_created_objects() {
+        let mut a = api();
+        let cursor = a.watch_head();
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        let (events, next) = a.poll_events(cursor);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, Kind::Pod);
+        assert!(events[0].object.is_some());
+        let (empty, _) = a.poll_events(next);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn undecodable_store_bytes_delete_resource() {
+        let mut a = api();
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        // Corrupt the stored bytes into garbage via a raw etcd write,
+        // emulating a serialization-byte injection that broke decoding.
+        a.etcd_mut().put("/registry/pods/default/p1", vec![0xff, 0xff, 0xff]).unwrap();
+        assert!(a.get(Kind::Pod, "default", "p1").is_none());
+        assert_eq!(a.undecodable_deleted, 1);
+        assert!(a.etcd().get("/registry/pods/default/p1").is_none());
+    }
+
+    #[test]
+    fn kind_of_key_parses() {
+        assert_eq!(kind_of_key("/registry/pods/default/p"), Some(Kind::Pod));
+        assert_eq!(kind_of_key("/registry/nodes/w1"), Some(Kind::Node));
+        assert_eq!(kind_of_key("/registry/unknown/x"), None);
+        assert_eq!(kind_of_key("/other/pods/x"), None);
+    }
+
+    #[test]
+    fn generation_bumps_on_spec_change_only() {
+        let mut a = api();
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        assert_eq!(created.meta().generation, 1);
+
+        // Status-only change: generation stays.
+        let mut status_change = created.clone();
+        if let Object::Pod(p) = &mut status_change {
+            p.status.phase = "Running".into();
+        }
+        let updated = a.update(Channel::KubeletToApi, status_change).unwrap();
+        assert_eq!(updated.meta().generation, 1);
+
+        // Spec change: generation bumps.
+        let mut spec_change = updated.clone();
+        if let Object::Pod(p) = &mut spec_change {
+            p.spec.priority = 10;
+        }
+        let updated2 = a.update(Channel::UserToApi, spec_change).unwrap();
+        assert_eq!(updated2.meta().generation, 2);
+    }
+
+    #[test]
+    fn kubelet_cannot_change_pod_spec() {
+        // Server-side-apply field ownership: the kubelet owns status only.
+        let mut a = api();
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        let mut evil = created.clone();
+        if let Object::Pod(p) = &mut evil {
+            p.spec.priority = 999;
+            p.status.phase = "Running".into();
+        }
+        let stored = a.update(Channel::KubeletToApi, evil).unwrap();
+        if let Object::Pod(p) = &stored {
+            assert_eq!(p.spec.priority, 0, "kubelet-written spec must be discarded");
+            assert_eq!(p.status.phase, "Running");
+        } else {
+            panic!("not a pod");
+        }
+    }
+
+    #[test]
+    fn restart_rebuilds_cache_and_sees_at_rest_corruption() {
+        let mut a = api();
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        // At-rest corruption of a decodable-but-wrong flavour.
+        let mut tampered = created.clone();
+        if let Object::Pod(p) = &mut tampered {
+            p.spec.node_name = "ghost-node".into();
+        }
+        a.etcd_mut().corrupt_at_rest(0, "/registry/pods/default/p1", tampered.encode());
+        // Cache still serves the old (correct) value.
+        let via_cache = a.get(Kind::Pod, "default", "p1").unwrap();
+        assert_eq!(via_cache.as_pod().unwrap().spec.node_name, "");
+        // After a restart, the corrupted value is picked up.
+        a.restart();
+        let fresh = a.get(Kind::Pod, "default", "p1").unwrap();
+        assert_eq!(fresh.as_pod().unwrap().spec.node_name, "ghost-node");
+    }
+}

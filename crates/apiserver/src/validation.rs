@@ -1,0 +1,276 @@
+//! The apiserver's validation layer.
+//!
+//! Implements the "general validations, e.g., regex matching or border-case
+//! testing" of §V-C4, including the two checks the paper explicitly credits
+//! with blocking severe error patterns on the user channel:
+//!
+//! * a namespace (or name) that does not match the request URL;
+//! * label selectors that do not match the template labels of the same
+//!   resource instance — the condition that triggers infinite pod spawn.
+//!
+//! Everything here rejects *malformed* values; *valid-but-wrong* values
+//! sail through, which is exactly the gap Table VI quantifies.
+
+use k8s_model::validate::*;
+use k8s_model::workloads::selector_matches_template;
+use k8s_model::{LabelSelector, Object, PodTemplateSpec};
+
+/// Validates an incoming object against the URL it was submitted under.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the violated rule.
+pub fn validate(obj: &Object, url_ns: &str, url_name: &str) -> Result<(), String> {
+    let meta = obj.meta();
+
+    // Identity checks: URL ↔ body agreement.
+    if meta.name != url_name {
+        return Err(format!("name {:?} does not match request URL {:?}", meta.name, url_name));
+    }
+    if !obj.kind().cluster_scoped() && meta.namespace != url_ns {
+        return Err(format!(
+            "namespace {:?} does not match request URL {:?}",
+            meta.namespace, url_ns
+        ));
+    }
+    if !is_dns1123_subdomain(&meta.name) {
+        return Err(format!("name {:?} is not a valid DNS-1123 subdomain", meta.name));
+    }
+    if !obj.kind().cluster_scoped() && !is_dns1123_label(&meta.namespace) {
+        return Err(format!("namespace {:?} is not a valid DNS-1123 label", meta.namespace));
+    }
+
+    // Label syntax.
+    for (k, v) in &meta.labels {
+        if !is_label_key(k) {
+            return Err(format!("invalid label key {k:?}"));
+        }
+        if !is_label_value(v) {
+            return Err(format!("invalid label value {v:?} for key {k:?}"));
+        }
+    }
+
+    match obj {
+        Object::Pod(p) => {
+            if p.spec.containers.is_empty() {
+                return Err("pod must declare at least one container".into());
+            }
+            for c in &p.spec.containers {
+                if c.image.is_empty() {
+                    return Err(format!("container {:?} has an empty image", c.name));
+                }
+                if c.port != 0 && !is_valid_port(c.port) {
+                    return Err(format!("container port {} out of range", c.port));
+                }
+                if c.cpu_milli < 0 || c.memory_mb < 0 {
+                    return Err("negative resource request".into());
+                }
+            }
+            if !is_restart_policy(&p.spec.restart_policy) {
+                return Err(format!("unknown restartPolicy {:?}", p.spec.restart_policy));
+            }
+            if p.spec.priority < 0 {
+                return Err("negative pod priority".into());
+            }
+        }
+        Object::ReplicaSet(rs) => {
+            validate_workload(rs.spec.replicas, &rs.spec.selector, &rs.spec.template)?;
+        }
+        Object::Deployment(d) => {
+            validate_workload(d.spec.replicas, &d.spec.selector, &d.spec.template)?;
+            if d.spec.max_unavailable < 0 || d.spec.max_surge < 0 {
+                return Err("negative rolling-update bound".into());
+            }
+        }
+        Object::DaemonSet(ds) => {
+            validate_workload(0, &ds.spec.selector, &ds.spec.template)?;
+        }
+        Object::Service(s) => {
+            if !is_valid_port(s.spec.port) {
+                return Err(format!("service port {} out of range", s.spec.port));
+            }
+            if s.spec.target_port != 0 && !is_valid_port(s.spec.target_port) {
+                return Err(format!("service targetPort {} out of range", s.spec.target_port));
+            }
+            if !s.spec.cluster_ip.is_empty() && !is_ipv4(&s.spec.cluster_ip) {
+                return Err(format!("clusterIP {:?} is not a valid IPv4 address", s.spec.cluster_ip));
+            }
+            if !matches!(s.spec.protocol.as_str(), "" | "TCP" | "UDP") {
+                return Err(format!("unknown protocol {:?}", s.spec.protocol));
+            }
+        }
+        Object::Endpoints(e) => {
+            if e.port != 0 && !is_valid_port(e.port) {
+                return Err(format!("endpoints port {} out of range", e.port));
+            }
+            for a in &e.addresses {
+                if !a.ip.is_empty() && !is_ipv4(&a.ip) {
+                    return Err(format!("endpoint address {:?} is not a valid IPv4", a.ip));
+                }
+            }
+        }
+        Object::Node(n) => {
+            if !n.spec.pod_cidr.is_empty() && !is_cidr(&n.spec.pod_cidr) {
+                return Err(format!("podCIDR {:?} is not a valid CIDR", n.spec.pod_cidr));
+            }
+            for t in &n.spec.taints {
+                if !is_taint_effect(&t.effect) {
+                    return Err(format!("unknown taint effect {:?}", t.effect));
+                }
+            }
+            if n.status.cpu_milli < 0 || n.status.memory_mb < 0 {
+                return Err("negative node capacity".into());
+            }
+        }
+        Object::Namespace(_) | Object::ConfigMap(_) => {}
+        Object::Lease(l) => {
+            if l.spec.lease_duration_ms < 0 {
+                return Err("negative lease duration".into());
+            }
+        }
+        Object::HorizontalPodAutoscaler(h) => {
+            if !is_dns1123_subdomain(&h.spec.scale_target) {
+                return Err(format!(
+                    "scaleTargetRef {:?} is not a valid object name",
+                    h.spec.scale_target
+                ));
+            }
+            if h.spec.min_replicas < 1 {
+                return Err(format!("minReplicas {} must be at least 1", h.spec.min_replicas));
+            }
+            if h.spec.max_replicas < h.spec.min_replicas {
+                return Err(format!(
+                    "maxReplicas {} below minReplicas {}",
+                    h.spec.max_replicas, h.spec.min_replicas
+                ));
+            }
+            if h.spec.target_load < 1 {
+                return Err(format!(
+                    "targetLoadPerReplica {} must be positive",
+                    h.spec.target_load
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_workload(
+    replicas: i64,
+    selector: &LabelSelector,
+    template: &PodTemplateSpec,
+) -> Result<(), String> {
+    if !is_valid_replicas(replicas) {
+        return Err(format!("negative replicas {replicas}"));
+    }
+    if selector.is_empty() {
+        return Err("selector must not be empty".into());
+    }
+    // The infinite-spawn guard: template labels must satisfy the selector.
+    if !selector_matches_template(selector, template) {
+        return Err("selector does not match template labels".into());
+    }
+    if template.spec.containers.is_empty() {
+        return Err("template must declare at least one container".into());
+    }
+    for c in &template.spec.containers {
+        if c.image.is_empty() {
+            return Err(format!("template container {:?} has an empty image", c.name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_model::{Container, ObjectMeta, Pod, ReplicaSet, Service};
+
+    fn valid_pod() -> Object {
+        let mut p = Pod::default();
+        p.metadata = ObjectMeta::named("default", "web-1");
+        p.spec.containers.push(Container {
+            name: "c".into(),
+            image: "img:1".into(),
+            ..Default::default()
+        });
+        Object::Pod(p)
+    }
+
+    #[test]
+    fn accepts_valid_pod() {
+        assert!(validate(&valid_pod(), "default", "web-1").is_ok());
+    }
+
+    #[test]
+    fn url_mismatch_detected() {
+        // The check the paper credits with stopping namespace corruption on
+        // the user channel.
+        let p = valid_pod();
+        assert!(validate(&p, "other", "web-1").is_err());
+        assert!(validate(&p, "default", "other-name").is_err());
+    }
+
+    #[test]
+    fn malformed_names_rejected() {
+        let mut p = valid_pod();
+        p.meta_mut().name = "Web_1".into();
+        assert!(validate(&p, "default", "Web_1").is_err());
+    }
+
+    #[test]
+    fn empty_image_rejected() {
+        let mut p = valid_pod();
+        if let Object::Pod(pod) = &mut p {
+            pod.spec.containers[0].image.clear();
+        }
+        assert!(validate(&p, "default", "web-1").is_err());
+    }
+
+    #[test]
+    fn selector_template_mismatch_rejected() {
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named("default", "rs");
+        rs.spec.replicas = 2;
+        rs.spec.selector = LabelSelector::eq("app", "web");
+        rs.spec.template.metadata.labels.insert("app".into(), "web".into());
+        rs.spec.template.spec.containers.push(Container {
+            name: "c".into(),
+            image: "img:1".into(),
+            ..Default::default()
+        });
+        assert!(validate(&Object::ReplicaSet(rs.clone()), "default", "rs").is_ok());
+
+        rs.spec.template.metadata.labels.insert("app".into(), "wea".into());
+        let err = validate(&Object::ReplicaSet(rs), "default", "rs").unwrap_err();
+        assert!(err.contains("selector"), "{err}");
+    }
+
+    #[test]
+    fn valid_but_wrong_values_pass() {
+        // Bit-4 flip of port 80 → 64: in range, validation cannot catch it.
+        let mut s = Service::default();
+        s.metadata = ObjectMeta::named("default", "svc");
+        s.spec.port = 80 ^ 16;
+        s.spec.cluster_ip = "10.96.0.10".into();
+        assert!(validate(&Object::Service(s), "default", "svc").is_ok());
+    }
+
+    #[test]
+    fn out_of_range_port_rejected() {
+        let mut s = Service::default();
+        s.metadata = ObjectMeta::named("default", "svc");
+        s.spec.port = 0;
+        assert!(validate(&Object::Service(s), "default", "svc").is_err());
+    }
+
+    #[test]
+    fn negative_replicas_rejected() {
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named("default", "rs");
+        rs.spec.replicas = -1;
+        rs.spec.selector = LabelSelector::eq("a", "b");
+        rs.spec.template.metadata.labels.insert("a".into(), "b".into());
+        assert!(validate(&Object::ReplicaSet(rs), "default", "rs").is_err());
+    }
+}

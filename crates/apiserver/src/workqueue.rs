@@ -1,0 +1,202 @@
+//! Rate-limited work queue with exponential backoff.
+//!
+//! Controllers enqueue reconcile keys from watch events; failures requeue
+//! with exponentially increasing delays. This is one of the circuit-breaker
+//! resiliency strategies the paper lists (§II-D): it prevents a repeatedly
+//! failing reconcile from overloading the control plane.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Base requeue delay after the first failure.
+pub const BASE_BACKOFF_MS: u64 = 200;
+
+/// Backoff ceiling.
+pub const MAX_BACKOFF_MS: u64 = 30_000;
+
+/// A deduplicating FIFO queue with per-key failure backoff.
+///
+/// ```
+/// use k8s_apiserver::workqueue::WorkQueue;
+///
+/// let mut q: WorkQueue<&'static str> = WorkQueue::new();
+/// q.enqueue("a", 0);
+/// q.enqueue("a", 0); // deduplicated
+/// assert_eq!(q.len(), 1);
+/// assert_eq!(q.pop_ready(10), Some("a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkQueue<K> {
+    ready: VecDeque<K>,
+    queued: HashSet<K>,
+    /// Items waiting out a backoff: (not_before, key).
+    delayed: Vec<(u64, K)>,
+    failures: HashMap<K, u32>,
+    enqueued_total: u64,
+}
+
+impl<K: Clone + Eq + std::hash::Hash + Ord> Default for WorkQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone + Eq + std::hash::Hash + Ord> WorkQueue<K> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        WorkQueue {
+            ready: VecDeque::new(),
+            queued: HashSet::new(),
+            delayed: Vec::new(),
+            failures: HashMap::new(),
+            enqueued_total: 0,
+        }
+    }
+
+    /// Adds `key` for immediate processing (deduplicated against pending
+    /// entries). `now` promotes any expired delayed entries first.
+    pub fn enqueue(&mut self, key: K, now: u64) {
+        self.promote(now);
+        if self.queued.insert(key.clone()) {
+            self.enqueued_total += 1;
+            self.ready.push_back(key);
+        }
+    }
+
+    /// Requeues `key` after a failure, with exponential backoff.
+    pub fn requeue_failed(&mut self, key: K, now: u64) {
+        let f = self.failures.entry(key.clone()).or_insert(0);
+        *f = f.saturating_add(1);
+        let delay = (BASE_BACKOFF_MS << (*f - 1).min(16)).min(MAX_BACKOFF_MS);
+        self.enqueue_after(key, now, delay);
+    }
+
+    /// Requeues `key` to run no earlier than `now + delay`.
+    pub fn enqueue_after(&mut self, key: K, now: u64, delay: u64) {
+        self.promote(now);
+        if self.queued.insert(key.clone()) {
+            self.enqueued_total += 1;
+            self.delayed.push((now + delay, key));
+        }
+    }
+
+    /// Clears the failure counter after a success.
+    pub fn forget_failures(&mut self, key: &K) {
+        self.failures.remove(key);
+    }
+
+    /// Pops the next ready item at time `now`.
+    pub fn pop_ready(&mut self, now: u64) -> Option<K> {
+        self.promote(now);
+        let key = self.ready.pop_front()?;
+        self.queued.remove(&key);
+        Some(key)
+    }
+
+    fn promote(&mut self, now: u64) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        // Stable promotion in deadline order keeps the queue deterministic.
+        self.delayed.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut rest = Vec::new();
+        for (at, key) in self.delayed.drain(..) {
+            if at <= now {
+                self.ready.push_back(key);
+            } else {
+                rest.push((at, key));
+            }
+        }
+        self.delayed = rest;
+    }
+
+    /// Items pending (ready + delayed).
+    pub fn len(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queued.is_empty()
+    }
+
+    /// Total enqueues over the queue's lifetime (control-plane load proxy).
+    pub fn enqueued_total(&self) -> u64 {
+        self.enqueued_total
+    }
+
+    /// Current failure streak for `key`.
+    pub fn failure_count(&self, key: &K) -> u32 {
+        self.failures.get(key).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_fifo() {
+        let mut q = WorkQueue::new();
+        q.enqueue("a", 0);
+        q.enqueue("b", 0);
+        q.enqueue("a", 0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_ready(0), Some("a"));
+        assert_eq!(q.pop_ready(0), Some("b"));
+        assert_eq!(q.pop_ready(0), None);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let mut q = WorkQueue::new();
+        q.requeue_failed("a", 0);
+        assert_eq!(q.pop_ready(BASE_BACKOFF_MS - 1), None);
+        assert_eq!(q.pop_ready(BASE_BACKOFF_MS), Some("a"));
+        q.requeue_failed("a", 1000);
+        assert_eq!(q.pop_ready(1000 + 2 * BASE_BACKOFF_MS - 1), None);
+        assert_eq!(q.pop_ready(1000 + 2 * BASE_BACKOFF_MS), Some("a"));
+        assert_eq!(q.failure_count(&"a"), 2);
+        q.forget_failures(&"a");
+        assert_eq!(q.failure_count(&"a"), 0);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut q = WorkQueue::new();
+        for _ in 0..40 {
+            q.requeue_failed("a", 0);
+            q.pop_ready(u64::MAX / 2);
+        }
+        q.requeue_failed("a", 0);
+        assert_eq!(q.pop_ready(MAX_BACKOFF_MS), Some("a"));
+    }
+
+    #[test]
+    fn delayed_items_promote_in_deadline_order() {
+        let mut q = WorkQueue::new();
+        q.enqueue_after("late", 0, 100);
+        q.enqueue_after("early", 0, 50);
+        assert_eq!(q.pop_ready(200), Some("early"));
+        assert_eq!(q.pop_ready(200), Some("late"));
+    }
+
+    #[test]
+    fn enqueue_while_delayed_is_deduped() {
+        let mut q = WorkQueue::new();
+        q.enqueue_after("a", 0, 1000);
+        q.enqueue("a", 0);
+        assert_eq!(q.len(), 1);
+        // Still waiting out its delay.
+        assert_eq!(q.pop_ready(10), None);
+        assert_eq!(q.pop_ready(1000), Some("a"));
+    }
+
+    #[test]
+    fn total_counts_lifetime_enqueues() {
+        let mut q = WorkQueue::new();
+        q.enqueue("a", 0);
+        q.pop_ready(0);
+        q.enqueue("a", 0);
+        assert_eq!(q.enqueued_total(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Ablation — Wrong Autoscale Trigger (Table I(a)): how far a single
+//! corrupted load metric drives the autoscaler, with and without the
+//! replica-ceiling admission policy.
+//!
+//! Sweeps the corrupted metric value published for the client's service
+//! and reports the replica extremes the HorizontalPodAutoscaler reached
+//! and the client impact, mirroring the paper's observation that
+//! autoscaling on misleading information both over- and under-provisions
+//! services.
+
+use k8s_cluster::{ClusterConfig, MitigationsConfig, Workload, World};
+use k8s_model::{Channel, HorizontalPodAutoscaler, Kind, Object};
+use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec, Mutiny};
+use protowire::reflect::Value;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run_case(metric: Option<&str>, policies: bool, seed: u64) -> (i64, i64, usize) {
+    let mut cfg = ClusterConfig { seed, ..ClusterConfig::default() };
+    cfg.net.publish_metrics = true;
+    cfg.mitigations = MitigationsConfig { policies, ..Default::default() };
+    let mutiny = Rc::new(RefCell::new(match metric {
+        Some(v) => Mutiny::armed_from(
+            InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::ConfigMap,
+                point: InjectionPoint::Field {
+                    path: "data['default/web-1-svc']".into(),
+                    mutation: FieldMutation::Set(Value::Str(v.into())),
+                },
+                occurrence: 1,
+            },
+            k8s_cluster::WORKLOAD_START_MS,
+        ),
+        None => Mutiny::disarmed(),
+    }));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny;
+    let mut world = World::new(cfg, handle);
+    world.prepare(Workload::Deploy);
+    let mut hpa = HorizontalPodAutoscaler::default();
+    hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
+    hpa.spec.scale_target = "web-1".into();
+    hpa.spec.min_replicas = 2;
+    hpa.spec.max_replicas = 16;
+    hpa.spec.target_load = 5;
+    world
+        .api
+        .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa))
+        .expect("create hpa");
+    world.schedule_workload(Workload::Deploy);
+
+    let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+    while world.now() < world.horizon() {
+        let next = (world.now() + 500).min(world.horizon());
+        world.run_until(next);
+        if world.now() > world.t0() {
+            if let Some(Object::Deployment(d)) = world.api.get(Kind::Deployment, "default", "web-1")
+            {
+                lo = lo.min(d.spec.replicas);
+                hi = hi.max(d.spec.replicas);
+            }
+        }
+    }
+    (lo, hi, world.stats.client_failures())
+}
+
+fn main() {
+    println!("== Ablation — Wrong Autoscale Trigger (corrupted load metric) ==");
+    println!("target: 5 rps/replica, true load 20 rps → correct scale is 4\n");
+    println!(
+        "{:<18} {:>8} {:>8} {:>12}",
+        "published metric", "min", "max", "client fails"
+    );
+    println!("{}", "-".repeat(50));
+    for (label, metric) in [
+        ("(uncorrupted)", None),
+        ("0", Some("0")),
+        ("3", Some("3")),
+        ("200", Some("200")),
+        ("999", Some("999")),
+    ] {
+        let (lo, hi, fails) = run_case(metric, false, 71);
+        println!("{label:<18} {lo:>8} {hi:>8} {fails:>12}");
+    }
+
+    println!("\n-- with the replica-ceiling policy (max 50) the HPA bound still rules;");
+    println!("-- a corrupted *HPA spec* bound is what the policy intercepts:");
+    for policies in [false, true] {
+        let mut cfg = ClusterConfig { seed: 72, ..ClusterConfig::default() };
+        cfg.net.publish_metrics = true;
+        cfg.mitigations = MitigationsConfig { policies, ..Default::default() };
+        let mut world =
+            World::new(cfg, Rc::new(RefCell::new(k8s_model::NoopInterceptor)));
+        world.prepare(Workload::Deploy);
+        let mut hpa = HorizontalPodAutoscaler::default();
+        hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
+        hpa.spec.scale_target = "web-1".into();
+        hpa.spec.min_replicas = 2;
+        hpa.spec.max_replicas = 500; // a corrupted / hazardous bound
+        hpa.spec.target_load = 5;
+        let res = world.api.create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa));
+        println!(
+            "policies {}: HPA with maxReplicas=500 => {}",
+            if policies { "ON " } else { "OFF" },
+            if res.is_ok() { "accepted" } else { "REJECTED" }
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Ablation — the §VI-B mitigations against the campaign's critical
+//! injections.
+//!
+//! Takes every experiment of the main campaign that ended in Stall,
+//! Outage, or an unreachable service, replays it against clusters with
+//! each defense enabled (alone and combined), and prints how many
+//! critical failures each defense removes. This quantifies the paper's
+//! closing proposals: redundancy codes on critical fields, systematic
+//! replication circuit breakers, critical-field change guards with
+//! rollback, and stricter admission policies.
+//!
+//! Scale knobs are shared with the other benches (`MUTINY_SCALE`,
+//! `MUTINY_GOLDEN_RUNS`, `MUTINY_SEED`); the replay additionally honours
+//! `MUTINY_ABLATION_GOLDEN` (golden runs per arm baseline, default 16).
+
+use k8s_cluster::ClusterConfig;
+use mutiny_core::ablation::{critical_replay_plan, run_ablation, AblationArm, AblationSummary};
+
+fn main() {
+    let results = mutiny_bench::campaign();
+    let plan = critical_replay_plan(&results);
+    println!(
+        "== Ablation — §VI-B mitigations vs the campaign's {} critical injections ==",
+        plan.len()
+    );
+    if plan.is_empty() {
+        println!("(campaign produced no critical failures at this scale; raise MUTINY_SCALE)");
+        return;
+    }
+
+    let golden = std::env::var("MUTINY_ABLATION_GOLDEN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let arms = AblationArm::standard();
+    let t = std::time::Instant::now();
+    let outcomes = run_ablation(&ClusterConfig::default(), &plan, &arms, golden, mutiny_bench::seed());
+    eprintln!("[mutiny-bench] ablation finished in {:?}", t.elapsed());
+
+    println!("\n{:<12} {:>6} {:>5} {:>5} {:>5} {:>9} {:>7}", "arm", "n", "Sta", "Out", "SU", "critical", "rate");
+    println!("{}", "-".repeat(56));
+    let mut baseline_rate = None;
+    for (arm, res) in &outcomes {
+        let s = AblationSummary::of(&arm.label, res);
+        if arm.label == "unmitigated" {
+            baseline_rate = Some(s.critical_rate());
+        }
+        println!(
+            "{:<12} {:>6} {:>5} {:>5} {:>5} {:>9} {:>6.1}%",
+            s.label,
+            s.total,
+            s.sta,
+            s.out,
+            s.su,
+            s.critical,
+            100.0 * s.critical_rate()
+        );
+    }
+
+    if let Some(base) = baseline_rate {
+        println!();
+        for (arm, res) in &outcomes {
+            if arm.label == "unmitigated" {
+                continue;
+            }
+            let s = AblationSummary::of(&arm.label, res);
+            let removed = if base > 0.0 { 100.0 * (1.0 - s.critical_rate() / base) } else { 0.0 };
+            println!("{:<12} removes {removed:>5.1}% of critical failures", arm.label);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablations of the resiliency strategies DESIGN.md calls out:
+//! apiserver validation on/off (does the selector↔template check stop
+//! infinite spawn on the user path?), and full disruption mode on/off
+//! (does it stop the Figure 2 eviction cascade?).
+use k8s_cluster::{ClusterConfig, Workload, World};
+use k8s_model::{Channel, Kind, LabelSelector, Object};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    // Validation ablation: a user submits a ReplicaSet whose selector does
+    // not match its template (the infinite-spawn precondition).
+    println!("== Ablation — apiserver validation on/off ==");
+    for validation in [true, false] {
+        let cfg = ClusterConfig { seed: 42, ..Default::default() };
+        let mut world = World::new(cfg, Rc::new(RefCell::new(k8s_model::NoopInterceptor)));
+        world.prepare(Workload::Deploy);
+        world.api.validation_enabled = validation;
+        let mut rs = k8s_model::ReplicaSet::default();
+        rs.metadata = k8s_model::ObjectMeta::named("default", "evil-rs");
+        rs.spec.replicas = 2;
+        rs.spec.selector = LabelSelector::eq("app", "evil");
+        rs.spec.template.metadata.labels.insert("app".into(), "not-evil".into());
+        rs.spec.template.spec.containers.push(k8s_model::Container {
+            name: "c".into(),
+            image: "registry.local/web:1.0".into(),
+            command: vec!["serve".into()],
+            cpu_milli: 100,
+            memory_mb: 64,
+            port: 8080,
+            ..Default::default()
+        });
+        let res = world.api.create(Channel::UserToApi, Object::ReplicaSet(rs));
+        world.schedule_workload(Workload::Deploy);
+        world.run_to_horizon();
+        let pods = world.api.count(Kind::Pod, Some("default"));
+        println!(
+            "validation {}: create => {}; pods in default at end = {pods}{}",
+            if validation { "ON " } else { "OFF" },
+            if res.is_ok() { "accepted" } else { "REJECTED" },
+            if pods > 30 { "  ← uncontrolled replication" } else { "" },
+        );
+    }
+
+    // Full-disruption-mode ablation: silence every kubelet's heartbeats.
+    println!("\n== Ablation — full disruption mode on/off (heartbeat blackout) ==");
+    for fdm in [true, false] {
+        let mut cfg = ClusterConfig { seed: 43, ..Default::default() };
+        cfg.kcm.full_disruption_mode = fdm;
+        cfg.kcm.node_grace_ms = 15_000; // tighter grace to fit the window
+        let mut world = World::new(cfg, Rc::new(RefCell::new(k8s_model::NoopInterceptor)));
+        world.prepare(Workload::Deploy);
+        for kl in world.kubelets.iter_mut() {
+            kl.healthy = false; // the Figure 2 blackout
+        }
+        world.schedule_workload(Workload::Deploy);
+        world.run_to_horizon();
+        println!(
+            "full disruption mode {}: evictions = {} (mode ON must prevent the cascade)",
+            if fdm { "ON " } else { "OFF" },
+            world.kcm.metrics.pods_evicted
+        );
+    }
+}

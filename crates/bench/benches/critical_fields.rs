@@ -1,0 +1,6 @@
+//! Regenerates the critical-field analysis (§V-C2 / finding F2): the
+//! fields whose injections caused Sta, Out, or SU, grouped by category.
+fn main() {
+    let results = mutiny_bench::campaign();
+    println!("{}", mutiny_core::tables::critical_field_table(&results).render());
+}

@@ -1,0 +1,57 @@
+//! Regenerates Figure 5: a golden-run response-time series next to an
+//! injected run with a high MAE z-score. The injected run replays the
+//! campaign experiment with the largest observed client z-score, so the
+//! right panel always shows a genuinely impacted series.
+use k8s_cluster::ClusterConfig;
+use mutiny_core::campaign::{run_experiment_with_baseline, ExperimentConfig};
+
+fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇'];
+    let max = simkit::stats::max(series).max(1.0);
+    series
+        .chunks(10)
+        .map(|c| {
+            let avg = c.iter().sum::<f64>() / c.len() as f64;
+            BARS[((avg / max) * 7.0).round() as usize]
+        })
+        .collect()
+}
+
+fn main() {
+    // The campaign's worst client impact (paper: z ≈ 11 for its example).
+    let results = mutiny_bench::campaign();
+    let worst = results
+        .rows
+        .iter()
+        .max_by(|a, b| a.z.total_cmp(&b.z))
+        .expect("campaign is nonempty");
+
+    let cluster = ClusterConfig::default();
+    let workload = worst.workload;
+    let baseline = mutiny_core::golden::build_baseline(
+        &cluster,
+        workload,
+        mutiny_bench::golden_runs().min(40),
+        mutiny_bench::seed(),
+    );
+
+    // Left panel: a golden run.
+    let golden_cfg = ExperimentConfig::golden(workload, 777);
+    let golden = run_experiment_with_baseline(&golden_cfg, &baseline);
+
+    // Right panel: the worst campaign experiment replayed.
+    let injected_cfg = ExperimentConfig::injected(workload, 778, worst.spec.clone());
+    let injected = run_experiment_with_baseline(&injected_cfg, &baseline);
+
+    println!("== Figure 5 — golden vs injected response-time series ==");
+    println!(
+        "worst campaign experiment: {} {:?} on {} (campaign z = {:.1})",
+        workload.name(),
+        worst.fault,
+        worst.path.as_deref().unwrap_or("<message>"),
+        worst.z
+    );
+    println!("baseline avg series (one char = 10 requests): {}", sparkline(&baseline.avg_response));
+    println!("golden run   z = {:>6.1}  (of={}, cf={})", golden.z_latency, golden.orchestrator_failure, golden.client_failure);
+    println!("injected run z = {:>6.1}  (of={}, cf={})", injected.z_latency, injected.orchestrator_failure, injected.client_failure);
+}

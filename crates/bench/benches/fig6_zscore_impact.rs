@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: client-impact z-scores per orchestrator-failure
+//! category and workload.
+fn main() {
+    let results = mutiny_bench::campaign();
+    println!("{}", mutiny_core::tables::fig6(&results).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: how many experiments surfaced an API error to
+//! the cluster user (finding F4: mostly none).
+fn main() {
+    let results = mutiny_bench::campaign();
+    println!("{}", mutiny_core::tables::fig7(&results).render());
+    let f4 = mutiny_core::findings::finding4(&results);
+    println!(
+        "silent failures: {:.1}% of OF≠No experiments returned no user error (paper: >85%)",
+        f4.silent_failure_share * 100.0
+    );
+}

@@ -1,0 +1,6 @@
+//! Prints findings F1–F4 computed from this reproduction, next to the
+//! paper's reference values.
+fn main() {
+    let results = mutiny_bench::campaign();
+    println!("{}", mutiny_core::findings::render_findings(&results));
+}

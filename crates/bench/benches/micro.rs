@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the substrates: wire codec, store, and a
+//! full golden experiment (the unit of campaign cost).
+use criterion::{criterion_group, criterion_main, Criterion};
+use k8s_cluster::{ClusterConfig, Workload};
+use protowire::Message;
+use std::hint::black_box;
+
+fn sample_pod() -> k8s_model::Pod {
+    let mut p = k8s_model::Pod::default();
+    p.metadata = k8s_model::ObjectMeta::named("default", "web-1-abcde");
+    p.metadata.labels.insert("app".into(), "web-1".into());
+    p.spec.node_name = "w3".into();
+    p.spec.containers.push(k8s_model::Container {
+        name: "web".into(),
+        image: "registry.local/web:1.0".into(),
+        command: vec!["serve".into()],
+        cpu_milli: 500,
+        memory_mb: 256,
+        port: 8080,
+        ..Default::default()
+    });
+    p.status.phase = "Running".into();
+    p.status.pod_ip = "10.244.3.7".into();
+    p.status.ready = true;
+    p
+}
+
+fn wire(c: &mut Criterion) {
+    let pod = sample_pod();
+    let bytes = pod.encode();
+    c.bench_function("protowire/encode_pod", |b| b.iter(|| black_box(&pod).encode()));
+    c.bench_function("protowire/decode_pod", |b| {
+        b.iter(|| k8s_model::Pod::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn store(c: &mut Criterion) {
+    let bytes = sample_pod().encode();
+    c.bench_function("etcd/put_get", |b| {
+        let mut etcd = etcd_sim::Etcd::new(1, 1 << 30);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("/registry/pods/default/p{}", i % 512);
+            etcd.put(&key, bytes.clone()).unwrap();
+            black_box(etcd.get(&key));
+        })
+    });
+    c.bench_function("etcd/quorum3_get", |b| {
+        let mut etcd = etcd_sim::Etcd::new(3, 1 << 30);
+        etcd.put("/k", bytes.clone()).unwrap();
+        b.iter(|| black_box(etcd.get("/k")))
+    });
+}
+
+fn experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function("golden_deploy_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(mutiny_core::golden::run_golden(
+                &ClusterConfig { seed, ..Default::default() },
+                Workload::Deploy,
+                seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wire, store, experiment);
+criterion_main!(benches);

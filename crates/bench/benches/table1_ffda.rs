@@ -1,0 +1,14 @@
+//! Regenerates Table I: the fault/error/failure taxonomy with real-world
+//! incident counts from the FFDA dataset (§III).
+fn main() {
+    let (faults, errors, failures) = mutiny_core::ffda::table1();
+    println!("{}", faults.render());
+    println!("{}", errors.render());
+    println!("{}", failures.render());
+    let data = mutiny_core::ffda::incidents();
+    println!(
+        "81 incidents | Outages: {} | Mutiny-replicable: {}/81",
+        mutiny_core::ffda::count(&data, |i| i.failure == mutiny_core::ffda::FailureCat::Outage),
+        mutiny_core::ffda::count(&data, |i| i.mutiny_replicable),
+    );
+}

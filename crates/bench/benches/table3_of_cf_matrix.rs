@@ -1,0 +1,6 @@
+//! Regenerates Table III: the OF → CF propagation matrix per workload.
+fn main() {
+    let results = mutiny_bench::campaign();
+    println!("{}", mutiny_core::tables::table2().render());
+    println!("{}", mutiny_core::tables::table3(&results).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table VII: which real-world error/failure subcategories
+//! Mutiny's injections can replicate (§VI-A).
+fn main() {
+    println!("{}", mutiny_core::coverage::table7().render());
+    let ((er, et), (fr, ft)) = mutiny_core::coverage::coverage_summary();
+    println!("coverage: errors {er}/{et}, failures {fr}/{ft}");
+}

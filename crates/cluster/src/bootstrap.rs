@@ -1,0 +1,116 @@
+//! Cluster bootstrap: the system objects a kubeadm-style install creates.
+//!
+//! Namespaces, the network-manager ConfigMap, the net-agent and kube-proxy
+//! DaemonSets, the coreDNS Deployment + kube-dns Service, and the
+//! monitoring (prometheus) Deployment the paper's Outage definition checks.
+
+use k8s_apiserver::ApiServer;
+use k8s_model::node::{TAINT_NO_EXECUTE, TAINT_NO_SCHEDULE};
+use k8s_model::{
+    Channel, ConfigMap, Container, DaemonSet, Deployment, LabelSelector, Namespace, Object,
+    ObjectMeta, Service, Toleration, SYSTEM_CLUSTER_CRITICAL, SYSTEM_NODE_CRITICAL,
+};
+
+/// Creates every system object. Called once before the kubelets join.
+pub(crate) fn install_system_objects(api: &mut ApiServer) {
+    for ns in ["default", "kube-system"] {
+        let mut n = Namespace::default();
+        n.metadata = ObjectMeta::named("", ns);
+        n.phase = "Active".into();
+        api.create(Channel::UserToApi, Object::Namespace(n)).expect("create namespace");
+    }
+
+    // Network-manager configuration (flannel-style backend selection).
+    let mut cm = ConfigMap::default();
+    cm.metadata = ObjectMeta::named("kube-system", "net-conf");
+    cm.data.insert("backend".into(), "vxlan".into());
+    cm.data.insert("network".into(), "10.244.0.0/16".into());
+    api.create(Channel::UserToApi, Object::ConfigMap(cm)).expect("create net-conf");
+
+    // The network manager and kube-proxy DaemonSets.
+    for (name, command, image) in [
+        ("net-agent", "netagent", "registry.local/netagent:1.0"),
+        ("kube-proxy", "kubeproxy", "registry.local/kube-proxy:1.0"),
+    ] {
+        let ds = system_daemonset(name, command, image);
+        api.create(Channel::UserToApi, Object::DaemonSet(ds)).expect("create system ds");
+    }
+
+    // coreDNS.
+    let mut dns = app_deployment_base("coredns", "kube-system", 2);
+    dns.spec.template.metadata.labels.insert("k8s-app".into(), "kube-dns".into());
+    dns.metadata.labels.insert("k8s-app".into(), "kube-dns".into());
+    dns.spec.selector = LabelSelector::eq("app", "coredns");
+    dns.spec.template.spec.priority = SYSTEM_CLUSTER_CRITICAL;
+    dns.spec.template.spec.containers[0].image = "registry.local/coredns:1.10".into();
+    dns.spec.template.spec.containers[0].command = vec!["coredns".into()];
+    dns.spec.template.spec.containers[0].port = 53;
+    dns.spec.template.spec.containers[0].cpu_milli = 100;
+    dns.spec.template.spec.containers[0].memory_mb = 70;
+    api.create(Channel::UserToApi, Object::Deployment(dns)).expect("create coredns");
+
+    let mut dns_svc = Service::default();
+    dns_svc.metadata = ObjectMeta::named("kube-system", "kube-dns");
+    dns_svc.spec.selector.insert("k8s-app".into(), "kube-dns".into());
+    dns_svc.spec.cluster_ip = "10.96.0.10".into();
+    dns_svc.spec.port = 53;
+    dns_svc.spec.target_port = 53;
+    dns_svc.spec.protocol = "UDP".into();
+    api.create(Channel::UserToApi, Object::Service(dns_svc)).expect("create kube-dns svc");
+
+    // Monitoring.
+    let mut prom = app_deployment_base("prometheus", "kube-system", 1);
+    prom.spec.template.spec.containers[0].image = "registry.local/prometheus:2.45".into();
+    prom.spec.template.spec.containers[0].command = vec!["prom".into()];
+    prom.spec.template.spec.containers[0].port = 9090;
+    prom.spec.template.spec.containers[0].cpu_milli = 200;
+    prom.spec.template.spec.containers[0].memory_mb = 256;
+    api.create(Channel::UserToApi, Object::Deployment(prom)).expect("create prometheus");
+}
+
+fn system_daemonset(name: &str, command: &str, image: &str) -> DaemonSet {
+    let mut ds = DaemonSet::default();
+    ds.metadata = ObjectMeta::named("kube-system", name);
+    ds.metadata.labels.insert("app".into(), name.to_owned());
+    ds.spec.selector = LabelSelector::eq("app", name);
+    ds.spec.template.metadata.labels.insert("app".into(), name.to_owned());
+    ds.spec.template.spec.priority = SYSTEM_NODE_CRITICAL;
+    ds.spec.template.spec.restart_policy = "Always".into();
+    ds.spec.template.spec.tolerations = vec![
+        Toleration { key: String::new(), effect: TAINT_NO_EXECUTE.into() },
+        Toleration { key: String::new(), effect: TAINT_NO_SCHEDULE.into() },
+    ];
+    ds.spec.template.spec.containers.push(Container {
+        name: name.to_owned(),
+        image: image.to_owned(),
+        command: vec![command.to_owned()],
+        cpu_milli: 100,
+        memory_mb: 64,
+        port: 0,
+        ..Default::default()
+    });
+    ds
+}
+
+/// Base skeleton for an application-style Deployment.
+pub(crate) fn app_deployment_base(name: &str, ns: &str, replicas: i64) -> Deployment {
+    let mut d = Deployment::default();
+    d.metadata = ObjectMeta::named(ns, name);
+    d.metadata.labels.insert("app".into(), name.to_owned());
+    d.spec.replicas = replicas;
+    d.spec.max_unavailable = 1;
+    d.spec.max_surge = 1;
+    d.spec.selector = LabelSelector::eq("app", name);
+    d.spec.template.metadata.labels.insert("app".into(), name.to_owned());
+    d.spec.template.spec.restart_policy = "Always".into();
+    d.spec.template.spec.containers.push(Container {
+        name: name.to_owned(),
+        image: "registry.local/placeholder:1.0".into(),
+        command: Vec::new(),
+        cpu_milli: 100,
+        memory_mb: 64,
+        port: 8080,
+        ..Default::default()
+    });
+    d
+}

@@ -1,0 +1,200 @@
+//! Run statistics: what the paper's data-collection layer gathers.
+//!
+//! Mirrors §IV-C/§V-B: Prometheus-style gauges sampled every 3 seconds
+//! (ready replicas per ReplicaSet, Service endpoints), kbench statistics
+//! (pod creation/startup times), the client's response-time series, and
+//! component health snapshots used by the orchestrator-failure classifier.
+
+use k8s_netsim::RequestOutcome;
+use std::collections::{BTreeMap, HashMap};
+
+/// One client request observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientSample {
+    /// Send time (simulated ms).
+    pub at: u64,
+    /// Outcome.
+    pub outcome: RequestOutcome,
+}
+
+/// One 3-second metrics snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSample {
+    /// Sample time.
+    pub at: u64,
+    /// Ready replicas per application Deployment (`web-*`).
+    pub app_ready: BTreeMap<String, i64>,
+    /// Endpoint-address count per application Service.
+    pub app_endpoints: BTreeMap<String, usize>,
+    /// Total pods in the cluster.
+    pub pods_total: usize,
+    /// Cumulative pods created by controllers.
+    pub pods_created_cum: u64,
+    /// Objects in the store.
+    pub etcd_objects: usize,
+    /// True when the store is rejecting writes.
+    pub etcd_stalled: bool,
+    /// Kcm leadership.
+    pub kcm_leader: bool,
+    /// Kcm reconcile backlog.
+    pub kcm_queue: usize,
+    /// Scheduler leadership.
+    pub sched_leader: bool,
+    /// Unscheduled pods.
+    pub sched_pending: usize,
+    /// Cumulative scheduler self-restarts.
+    pub sched_restarts: u64,
+    /// Ready coreDNS pods.
+    pub dns_ready: i64,
+    /// Nodes whose network agent is down.
+    pub netagents_down: usize,
+    /// Total nodes known to the network fabric.
+    pub net_nodes: usize,
+    /// Any network-infrastructure pod (net-agent / kube-proxy) unhealthy.
+    pub netpods_failed: bool,
+    /// Monitoring pod (prometheus) ready.
+    pub prometheus_ready: bool,
+    /// Nodes reporting NotReady.
+    pub nodes_not_ready: usize,
+}
+
+/// Everything one experiment run produces.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Workload start time (client start).
+    pub t0: u64,
+    /// Client request observations, in send order.
+    pub client: Vec<ClientSample>,
+    /// Periodic snapshots, oldest first.
+    pub samples: Vec<MetricsSample>,
+    /// Pod key → creation time (application namespace only).
+    pub pod_created: HashMap<String, u64>,
+    /// Pod key → first Running time.
+    pub pod_running: HashMap<String, u64>,
+    /// Maximum restart count observed on an application pod.
+    pub app_pod_restarts: i64,
+    /// Application pods deleted after the workload started.
+    pub app_pods_deleted: u64,
+}
+
+impl RunStats {
+    /// The client's response-time series ordered by send time; failed
+    /// requests are padded with 0 as in the paper (§V-B).
+    pub fn response_series(&self) -> Vec<f64> {
+        self.client
+            .iter()
+            .map(|s| match s.outcome {
+                RequestOutcome::Ok { latency_ms } => latency_ms,
+                _ => 0.0,
+            })
+            .collect()
+    }
+
+    /// Pod startup durations (running − created) for pods created at or
+    /// after `from`, in ms.
+    pub fn startup_times(&self, from: u64) -> Vec<f64> {
+        self.pod_created
+            .iter()
+            .filter(|(_, t)| **t >= from)
+            .filter_map(|(k, created)| {
+                self.pod_running.get(k).map(|run| (*run - *created) as f64)
+            })
+            .collect()
+    }
+
+    /// Latest creation time among pods created at or after `from`.
+    pub fn last_pod_creation(&self, from: u64) -> Option<u64> {
+        self.pod_created.values().filter(|t| **t >= from).max().copied()
+    }
+
+    /// Count of failed client requests.
+    pub fn client_failures(&self) -> usize {
+        self.client.iter().filter(|s| s.outcome.is_failure()).count()
+    }
+
+    /// Index ranges of consecutive trailing failures (for Service
+    /// Unreachable detection: "from a certain instant, no response").
+    pub fn trailing_failures(&self) -> usize {
+        self.client.iter().rev().take_while(|s| s.outcome.is_failure()).count()
+    }
+
+    /// Failures that were errors rather than timeouts (for Intermittent
+    /// Availability: "errors not due to request timeouts").
+    pub fn non_timeout_failures(&self) -> usize {
+        self.client
+            .iter()
+            .filter(|s| {
+                matches!(s.outcome, RequestOutcome::Refused | RequestOutcome::DnsFailure)
+            })
+            .count()
+    }
+
+    /// The final metrics snapshot, if any.
+    pub fn last_sample(&self) -> Option<&MetricsSample> {
+        self.samples.last()
+    }
+
+    /// Snapshots taken in the last `window_ms` before the end of the run
+    /// (the "steady state" the OF classifier inspects).
+    pub fn tail_samples(&self, window_ms: u64) -> &[MetricsSample] {
+        let Some(last) = self.samples.last() else { return &[] };
+        let cutoff = last.at.saturating_sub(window_ms);
+        let start = self.samples.iter().position(|s| s.at >= cutoff).unwrap_or(0);
+        &self.samples[start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(at: u64, ms: f64) -> ClientSample {
+        ClientSample { at, outcome: RequestOutcome::Ok { latency_ms: ms } }
+    }
+
+    fn fail(at: u64, timeout: bool) -> ClientSample {
+        ClientSample {
+            at,
+            outcome: if timeout { RequestOutcome::Timeout } else { RequestOutcome::Refused },
+        }
+    }
+
+    #[test]
+    fn response_series_pads_failures_with_zero() {
+        let mut s = RunStats::default();
+        s.client = vec![ok(0, 20.0), fail(50, true), ok(100, 25.0)];
+        assert_eq!(s.response_series(), vec![20.0, 0.0, 25.0]);
+    }
+
+    #[test]
+    fn startup_and_last_creation() {
+        let mut s = RunStats::default();
+        s.pod_created.insert("a".into(), 1000);
+        s.pod_running.insert("a".into(), 3500);
+        s.pod_created.insert("b".into(), 500); // before the window
+        s.pod_running.insert("b".into(), 600);
+        assert_eq!(s.startup_times(800), vec![2500.0]);
+        assert_eq!(s.last_pod_creation(800), Some(1000));
+        assert_eq!(s.last_pod_creation(2000), None);
+    }
+
+    #[test]
+    fn failure_counters() {
+        let mut s = RunStats::default();
+        s.client = vec![ok(0, 1.0), fail(1, false), fail(2, true), fail(3, true)];
+        assert_eq!(s.client_failures(), 3);
+        assert_eq!(s.trailing_failures(), 3);
+        assert_eq!(s.non_timeout_failures(), 1);
+    }
+
+    #[test]
+    fn tail_samples_window() {
+        let mut s = RunStats::default();
+        for at in [0u64, 3000, 6000, 9000] {
+            s.samples.push(MetricsSample { at, ..Default::default() });
+        }
+        let tail = s.tail_samples(3000);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].at, 6000);
+    }
+}

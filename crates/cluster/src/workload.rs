@@ -1,0 +1,204 @@
+//! The orchestration workloads and the service application (kbench role).
+//!
+//! Parametrized exactly like the paper's setup (§V-A):
+//!
+//! * **deploy** — creates three new Deployments (two replicas each) with
+//!   their Services;
+//! * **scale-up** — scales two existing Deployments 2 → 3 → 4 → 5, with
+//!   10 s between steps;
+//! * **failover** — applies a NoExecute taint to one worker, forcing its
+//!   pods to respawn elsewhere.
+//!
+//! The service application is a stateless web server that reads a random
+//! seed from a volume at startup and answers CPU-bound requests; by
+//! default it does not require DNS (so cluster-wide DNS outages need not
+//! hurt it — a propagation subtlety the paper calls out).
+
+use crate::bootstrap::app_deployment_base;
+use k8s_model::{Channel, Deployment, Kind, Object, Service};
+
+/// The three orchestration workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Create three new Deployments plus Services.
+    Deploy,
+    /// Scale two Deployments 2 → 3 → 4 → 5 in 10-second steps.
+    ScaleUp,
+    /// Simulate a node failure with a NoExecute taint.
+    Failover,
+}
+
+impl Workload {
+    /// All workloads in paper order.
+    pub const ALL: [Workload; 3] = [Workload::Deploy, Workload::ScaleUp, Workload::Failover];
+
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Deploy => "deploy",
+            Workload::ScaleUp => "scale",
+            Workload::Failover => "failover",
+        }
+    }
+
+    /// Application Deployments created during scenario setup (before the
+    /// fault window). The client always targets `web-1`.
+    pub fn preinstalled_apps(self) -> &'static [u32] {
+        match self {
+            Workload::Deploy => &[1],
+            Workload::ScaleUp | Workload::Failover => &[1, 2, 3],
+        }
+    }
+
+    /// User operations of the workload, as offsets from the workload
+    /// start (`t0`).
+    pub fn ops(self) -> Vec<(u64, UserOp)> {
+        match self {
+            Workload::Deploy => vec![
+                (2_000, UserOp::CreateApp { index: 2, replicas: 2 }),
+                (2_200, UserOp::CreateApp { index: 3, replicas: 2 }),
+                (2_400, UserOp::CreateApp { index: 4, replicas: 2 }),
+            ],
+            Workload::ScaleUp => vec![
+                (2_000, UserOp::Scale { index: 1, replicas: 3 }),
+                (2_100, UserOp::Scale { index: 2, replicas: 3 }),
+                (12_000, UserOp::Scale { index: 1, replicas: 4 }),
+                (12_100, UserOp::Scale { index: 2, replicas: 4 }),
+                (22_000, UserOp::Scale { index: 1, replicas: 5 }),
+                (22_100, UserOp::Scale { index: 2, replicas: 5 }),
+            ],
+            Workload::Failover => vec![(2_000, UserOp::TaintNode { node: "w1".into() })],
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One kbench-style user operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserOp {
+    /// Create Deployment `web-<index>` plus its Service.
+    CreateApp {
+        /// Application index (names `web-<index>`).
+        index: u32,
+        /// Desired replicas.
+        replicas: i64,
+    },
+    /// Set `web-<index>`'s replica count.
+    Scale {
+        /// Application index.
+        index: u32,
+        /// New replica count.
+        replicas: i64,
+    },
+    /// Apply a NoExecute taint to a node (simulated node failure).
+    TaintNode {
+        /// Node name.
+        node: String,
+    },
+}
+
+/// Builds the application Deployment `web-<index>`.
+pub fn app_deployment(index: u32, replicas: i64, needs_dns: bool) -> Deployment {
+    let name = format!("web-{index}");
+    let mut d = app_deployment_base(&name, "default", replicas);
+    let c = &mut d.spec.template.spec.containers[0];
+    c.image = "registry.local/web:1.0".into();
+    c.command = vec!["serve".into()];
+    c.cpu_milli = 500;
+    c.memory_mb = 256;
+    c.port = 8080;
+    d.spec.template.spec.volume = "seed-vol".into();
+    d.spec.template.spec.needs_dns = needs_dns;
+    d
+}
+
+/// Builds the Service for `web-<index>`.
+pub fn app_service(index: u32) -> Service {
+    let mut s = Service::default();
+    s.metadata = k8s_model::ObjectMeta::named("default", &format!("web-{index}-svc"));
+    s.spec.selector.insert("app".into(), format!("web-{index}"));
+    s.spec.cluster_ip = format!("10.96.1.{index}");
+    s.spec.port = 80;
+    s.spec.target_port = 8080;
+    s.spec.protocol = "TCP".into();
+    s
+}
+
+/// Executes one user operation through the user channel. API errors are
+/// recorded in the audit log (Figure 7's data); kbench keeps going.
+pub(crate) fn execute_op(
+    api: &mut k8s_apiserver::ApiServer,
+    op: &UserOp,
+    needs_dns: bool,
+) {
+    match op {
+        UserOp::CreateApp { index, replicas } => {
+            let d = app_deployment(*index, *replicas, needs_dns);
+            let _ = api.create(Channel::UserToApi, Object::Deployment(d));
+            let _ = api.create(Channel::UserToApi, Object::Service(app_service(*index)));
+        }
+        UserOp::Scale { index, replicas } => {
+            let name = format!("web-{index}");
+            if let Some(Object::Deployment(mut d)) = api.get(Kind::Deployment, "default", &name) {
+                d.spec.replicas = *replicas;
+                let _ = api.update(Channel::UserToApi, Object::Deployment(d));
+            } else {
+                // kbench notices the object is gone; that surfaces as an
+                // audit error via a doomed update.
+                let d = app_deployment(*index, *replicas, needs_dns);
+                let _ = api.update(Channel::UserToApi, Object::Deployment(d));
+            }
+        }
+        UserOp::TaintNode { node } => {
+            if let Some(Object::Node(mut n)) = api.get(Kind::Node, "", node) {
+                n.add_taint("simulated-failure", k8s_model::node::TAINT_NO_EXECUTE);
+                let _ = api.update(Channel::UserToApi, Object::Node(n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_parameters_match_paper() {
+        // deploy: three Deployments, two replicas each.
+        let ops = Workload::Deploy.ops();
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|(_, op)| matches!(op, UserOp::CreateApp { replicas: 2, .. })));
+
+        // scale-up: two Deployments, 2→3→4→5 with 10 s steps.
+        let ops = Workload::ScaleUp.ops();
+        assert_eq!(ops.len(), 6);
+        let times: Vec<u64> = ops.iter().map(|(t, _)| *t).collect();
+        assert!(times[2] - times[0] == 10_000 && times[4] - times[2] == 10_000);
+
+        // failover: one taint.
+        assert_eq!(Workload::Failover.ops().len(), 1);
+    }
+
+    #[test]
+    fn app_objects_are_consistent() {
+        let d = app_deployment(1, 2, false);
+        let s = app_service(1);
+        assert_eq!(d.metadata.name, "web-1");
+        assert!(d.spec.selector.matches(&d.spec.template.metadata.labels));
+        assert_eq!(s.spec.selector.get("app").map(String::as_str), Some("web-1"));
+        assert_eq!(s.spec.target_port, d.spec.template.spec.containers[0].port);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        for wl in Workload::ALL {
+            assert!(!wl.name().is_empty());
+        }
+        assert_eq!(Workload::ScaleUp.to_string(), "scale");
+    }
+}

@@ -1,0 +1,240 @@
+//! Mitigation ablations: replay the critical injections with the §VI-B
+//! defenses switched on.
+//!
+//! The paper stops at *proposing* mitigations (redundancy codes on
+//! critical fields, systematic circuit breakers, change logging with
+//! rollback, stricter checks). This module closes the loop: it takes the
+//! campaign's critical experiments — the injections that caused Stall,
+//! Outage, or an unreachable service — replays them against clusters with
+//! one or all defenses enabled, and reports how many critical failures
+//! each defense removes.
+
+use crate::campaign::{run_campaign, CampaignResults, PlannedExperiment};
+use crate::classify::{ClientFailure, OrchestratorFailure};
+use crate::golden::{build_baseline, Baseline};
+use k8s_cluster::{ClusterConfig, MitigationsConfig, Workload};
+use std::collections::HashMap;
+
+/// One ablation arm: a label and the defenses it enables.
+#[derive(Debug, Clone)]
+pub struct AblationArm {
+    /// Human-readable arm name (printed by the bench).
+    pub label: String,
+    /// The defenses this arm enables.
+    pub mitigations: MitigationsConfig,
+}
+
+impl AblationArm {
+    /// The standard arms: unmitigated baseline, each defense alone, all
+    /// defenses together.
+    pub fn standard() -> Vec<AblationArm> {
+        vec![
+            AblationArm { label: "unmitigated".into(), mitigations: MitigationsConfig::default() },
+            AblationArm {
+                label: "integrity".into(),
+                mitigations: MitigationsConfig { integrity: true, ..Default::default() },
+            },
+            AblationArm {
+                label: "breaker".into(),
+                mitigations: MitigationsConfig { breaker: true, ..Default::default() },
+            },
+            AblationArm {
+                label: "guard".into(),
+                mitigations: MitigationsConfig { guard: true, ..Default::default() },
+            },
+            AblationArm {
+                label: "policies".into(),
+                mitigations: MitigationsConfig { policies: true, ..Default::default() },
+            },
+            AblationArm { label: "all".into(), mitigations: MitigationsConfig::all() },
+        ]
+    }
+}
+
+/// Failure counts of one finished arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationSummary {
+    /// Arm name.
+    pub label: String,
+    /// Experiments run.
+    pub total: usize,
+    /// Stall failures.
+    pub sta: usize,
+    /// Outage failures.
+    pub out: usize,
+    /// Service-unreachable client failures.
+    pub su: usize,
+    /// Experiments that were critical (Sta, Out, or SU).
+    pub critical: usize,
+    /// Experiments with any orchestrator-level failure.
+    pub any_of: usize,
+}
+
+impl AblationSummary {
+    /// Summarizes one arm's results.
+    pub fn of(label: &str, results: &CampaignResults) -> AblationSummary {
+        let sta = results.count(|r| r.of == OrchestratorFailure::Sta);
+        let out = results.count(|r| r.of == OrchestratorFailure::Out);
+        let su = results.count(|r| r.cf == ClientFailure::Su);
+        let critical = results.count(|r| r.of.is_system_wide() || r.cf == ClientFailure::Su);
+        let any_of = results.count(|r| r.of != OrchestratorFailure::No);
+        AblationSummary { label: label.to_owned(), total: results.len(), sta, out, su, critical, any_of }
+    }
+
+    /// Fraction of experiments that ended critical.
+    pub fn critical_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.critical as f64 / self.total as f64
+    }
+}
+
+impl std::fmt::Display for AblationSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} n={:<5} Sta={:<4} Out={:<4} SU={:<4} critical={:<4} ({:.1}%) any-OF={}",
+            self.label,
+            self.total,
+            self.sta,
+            self.out,
+            self.su,
+            self.critical,
+            100.0 * self.critical_rate(),
+            self.any_of,
+        )
+    }
+}
+
+/// Extracts the critical experiments (Sta/Out/SU outcomes) from campaign
+/// results as a replayable plan — the paper's critical-field follow-up
+/// set (§V-C2 re-runs "the injections targeting the critical data
+/// fields").
+pub fn critical_replay_plan(results: &CampaignResults) -> Vec<PlannedExperiment> {
+    results
+        .rows
+        .iter()
+        .filter(|r| r.of.is_system_wide() || r.cf == ClientFailure::Su)
+        .map(|r| PlannedExperiment { workload: r.workload, spec: r.spec.clone() })
+        .collect()
+}
+
+/// Runs `plan` once per arm and returns the per-arm results, in arm
+/// order. Baselines are rebuilt per arm so classification always compares
+/// against the arm's own golden behaviour.
+pub fn run_ablation(
+    cluster: &ClusterConfig,
+    plan: &[PlannedExperiment],
+    arms: &[AblationArm],
+    golden_runs: usize,
+    seed: u64,
+) -> Vec<(AblationArm, CampaignResults)> {
+    let workloads: Vec<Workload> = {
+        let mut w: Vec<Workload> = plan.iter().map(|p| p.workload).collect();
+        w.sort_by_key(|w| w.name());
+        w.dedup();
+        w
+    };
+    let mut out = Vec::with_capacity(arms.len());
+    for arm in arms {
+        let cfg = ClusterConfig { mitigations: arm.mitigations.clone(), ..cluster.clone() };
+        let mut baselines: HashMap<Workload, Baseline> = HashMap::new();
+        for wl in &workloads {
+            baselines.insert(*wl, build_baseline(&cfg, *wl, golden_runs, seed));
+        }
+        let results = run_campaign(&cfg, plan, &baselines, seed);
+        out.push((arm.clone(), results));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignRow;
+    use crate::injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec};
+    use k8s_model::{Channel, Kind};
+    use protowire::reflect::Value;
+
+    fn row(of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
+        CampaignRow {
+            workload: Workload::Deploy,
+            spec: InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::ReplicaSet,
+                point: InjectionPoint::Field {
+                    path: "spec.replicas".into(),
+                    mutation: FieldMutation::Set(Value::Int(0)),
+                },
+                occurrence: 1,
+            },
+            fault: FaultKind::ValueSet,
+            of,
+            cf,
+            z: 0.0,
+            fired: true,
+            activated: true,
+            user_error: false,
+            path: Some("spec.replicas".into()),
+        }
+    }
+
+    #[test]
+    fn critical_replay_selects_sta_out_su() {
+        let results = CampaignResults {
+            rows: vec![
+                row(OrchestratorFailure::No, ClientFailure::Nsi),
+                row(OrchestratorFailure::Sta, ClientFailure::Nsi),
+                row(OrchestratorFailure::Out, ClientFailure::Su),
+                row(OrchestratorFailure::Net, ClientFailure::Su),
+                row(OrchestratorFailure::LeR, ClientFailure::Hrt),
+            ],
+        };
+        let plan = critical_replay_plan(&results);
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn summary_counts_and_rate() {
+        let results = CampaignResults {
+            rows: vec![
+                row(OrchestratorFailure::No, ClientFailure::Nsi),
+                row(OrchestratorFailure::Sta, ClientFailure::Nsi),
+                row(OrchestratorFailure::Out, ClientFailure::Su),
+                row(OrchestratorFailure::MoR, ClientFailure::Nsi),
+            ],
+        };
+        let s = AblationSummary::of("test", &results);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.sta, 1);
+        assert_eq!(s.out, 1);
+        assert_eq!(s.su, 1);
+        assert_eq!(s.critical, 2);
+        assert_eq!(s.any_of, 3);
+        assert!((s.critical_rate() - 0.5).abs() < 1e-9);
+        let rendered = s.to_string();
+        assert!(rendered.contains("Sta=1"));
+    }
+
+    #[test]
+    fn standard_arms_cover_each_defense() {
+        let arms = AblationArm::standard();
+        assert_eq!(arms.len(), 6);
+        assert!(arms.iter().any(|a| a.mitigations == MitigationsConfig::all()));
+        assert!(arms.iter().any(|a| !a.mitigations.any()));
+        // Each single-defense arm enables exactly one defense.
+        let singles = arms
+            .iter()
+            .filter(|a| {
+                let m = &a.mitigations;
+                usize::from(m.integrity)
+                    + usize::from(m.breaker)
+                    + usize::from(m.guard)
+                    + usize::from(m.policies)
+                    == 1
+            })
+            .count();
+        assert_eq!(singles, 4);
+    }
+}

@@ -1,0 +1,504 @@
+//! The campaign manager: experiment generation, execution and bookkeeping.
+//!
+//! Implements the workflow of §IV-C / Figure 4: record the fields flowing
+//! to the store during a nominal workload, generate the injection plan
+//! (per-field bit-flips and data-type sets at occurrences 1–3, per-kind
+//! serialization-byte corruptions, per-kind message drops at occurrences
+//! 1–10), then drive one fresh cluster per experiment, injecting exactly
+//! one fault and classifying the outcome.
+
+use crate::classify::{classify_client, classify_orchestrator, ClientFailure, OrchestratorFailure};
+use crate::golden::{build_baseline, Baseline};
+use crate::injector::{
+    FaultKind, FieldMutation, InjectionPoint, InjectionRecord, InjectionSpec, Mutiny,
+};
+use crate::recorder::{FieldRecorder, RecordedField};
+use k8s_apiserver::InterceptorHandle;
+use k8s_cluster::{ClusterConfig, Workload, World};
+use k8s_model::{Channel, Kind};
+use protowire::reflect::{FieldType, Value};
+use simkit::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration of one injection experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Cluster parameters (including the deterministic seed).
+    pub cluster: ClusterConfig,
+    /// Orchestration workload to run.
+    pub workload: Workload,
+    /// The fault to inject; `None` runs a golden experiment.
+    pub injection: Option<InjectionSpec>,
+}
+
+impl ExperimentConfig {
+    /// A golden (fault-free) experiment.
+    pub fn golden(workload: Workload, seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            cluster: ClusterConfig { seed, ..ClusterConfig::default() },
+            workload,
+            injection: None,
+        }
+    }
+
+    /// An injection experiment.
+    pub fn injected(workload: Workload, seed: u64, spec: InjectionSpec) -> ExperimentConfig {
+        ExperimentConfig {
+            cluster: ClusterConfig { seed, ..ClusterConfig::default() },
+            workload,
+            injection: Some(spec),
+        }
+    }
+}
+
+/// Everything one experiment produced.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Orchestrator-level failure category.
+    pub orchestrator_failure: OrchestratorFailure,
+    /// Client-level failure category.
+    pub client_failure: ClientFailure,
+    /// MAE z-score of the client series against the golden baseline.
+    pub z_latency: f64,
+    /// The injection record, if the trigger fired.
+    pub injected: Option<InjectionRecord>,
+    /// True when the injected instance was requested after the injection.
+    pub activated: bool,
+    /// True when the cluster user received any API error after t0 (F4).
+    pub user_saw_error: bool,
+    /// Pods created by controllers over the run.
+    pub pods_created: u64,
+    /// Worst application-pod startup time (ms).
+    pub worst_startup_ms: f64,
+}
+
+/// Runs the full experiment timeline and returns the finished world plus
+/// the injection record. Shared by the campaign and the propagation study
+/// (§V-C4), which needs post-run access to the store.
+pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
+    let mutiny = Rc::new(RefCell::new(match &cfg.injection {
+        Some(spec) => Mutiny::armed_from(spec.clone(), k8s_cluster::WORKLOAD_START_MS),
+        None => Mutiny::disarmed(),
+    }));
+    let handle: InterceptorHandle = mutiny.clone();
+    let mut world = World::new(cfg.cluster.clone(), handle);
+    world.prepare(cfg.workload);
+    world.schedule_workload(cfg.workload);
+
+    // Step the horizon in slices so read-tracking can be armed right
+    // after the injection fires (activation analysis, §V-C1).
+    let mut tracking_armed = false;
+    let horizon = world.horizon();
+    while world.now() < horizon {
+        let next = (world.now() + 250).min(horizon);
+        world.run_until(next);
+        if !tracking_armed && mutiny.borrow().fired() {
+            world.api.start_read_tracking();
+            tracking_armed = true;
+        }
+    }
+    let record = mutiny.borrow().record().cloned();
+    (world, record)
+}
+
+/// Runs one experiment against a prebuilt baseline (the campaign path).
+pub fn run_experiment_with_baseline(
+    cfg: &ExperimentConfig,
+    baseline: &Baseline,
+) -> ExperimentOutcome {
+    let (world, injected) = run_world(cfg);
+    let activated = injected
+        .as_ref()
+        .map(|r| world.api.was_read(&r.key))
+        .unwrap_or(false);
+    let t0 = world.t0();
+    let user_saw_error = world
+        .api
+        .audit()
+        .records()
+        .iter()
+        .any(|r| r.channel == Channel::UserToApi && r.at >= t0 && r.result.is_err());
+
+    let stats = &world.stats;
+    let (client_failure, z_latency) = classify_client(stats, baseline);
+    let orchestrator_failure = classify_orchestrator(stats, baseline);
+    let startups = stats.startup_times(t0);
+
+    ExperimentOutcome {
+        orchestrator_failure,
+        client_failure,
+        z_latency,
+        injected,
+        activated,
+        user_saw_error,
+        pods_created: stats.samples.last().map(|s| s.pods_created_cum).unwrap_or(0),
+        worst_startup_ms: simkit::stats::max(&startups),
+    }
+}
+
+/// Golden runs used by the lazily cached default baselines.
+pub const DEFAULT_BASELINE_RUNS: usize = 12;
+
+/// Runs one experiment, building (and caching) a default baseline for the
+/// workload on first use. Campaigns should prebuild baselines and call
+/// [`run_experiment_with_baseline`] instead.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
+    let baseline = cached_default_baseline(cfg.workload);
+    run_experiment_with_baseline(cfg, &baseline)
+}
+
+/// A lazily computed baseline for the default [`ClusterConfig`].
+pub fn cached_default_baseline(workload: Workload) -> std::sync::Arc<Baseline> {
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<std::collections::HashMap<&'static str, Arc<Baseline>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let mut guard = cache.lock().expect("baseline cache poisoned");
+    if let Some(b) = guard.get(workload.name()) {
+        return Arc::clone(b);
+    }
+    let b = Arc::new(build_baseline(
+        &ClusterConfig::default(),
+        workload,
+        DEFAULT_BASELINE_RUNS,
+        0xBA5E,
+    ));
+    guard.insert(workload.name(), Arc::clone(&b));
+    b
+}
+
+// ---------------------------------------------------------------------------
+// Campaign generation
+// ---------------------------------------------------------------------------
+
+/// One planned experiment.
+#[derive(Debug, Clone)]
+pub struct PlannedExperiment {
+    /// Workload to run.
+    pub workload: Workload,
+    /// Fault to inject.
+    pub spec: InjectionSpec,
+}
+
+/// Records the fields flowing on `channels` during a golden run of
+/// `workload` (campaign phase 1).
+pub fn record_fields(
+    cluster: &ClusterConfig,
+    workload: Workload,
+    channels: Vec<Channel>,
+    seed: u64,
+) -> (Vec<RecordedField>, Vec<(Channel, Kind, u64)>) {
+    let recorder = Rc::new(RefCell::new(FieldRecorder::new(
+        channels,
+        k8s_cluster::WORKLOAD_START_MS,
+    )));
+    let handle: InterceptorHandle = recorder.clone();
+    let cfg = ClusterConfig { seed, ..cluster.clone() };
+    let mut world = World::new(cfg, handle);
+    world.prepare(workload);
+    world.schedule_workload(workload);
+    world.run_to_horizon();
+    let r = recorder.borrow();
+    (r.fields(), r.kinds_seen())
+}
+
+/// Serialization-byte injections generated per recorded kind.
+pub const PROTO_INJECTIONS_PER_KIND: usize = 8;
+/// Message-drop occurrences per recorded kind (paper: 1–10).
+pub const DROP_OCCURRENCES: u32 = 10;
+/// Field-injection occurrence indexes (paper: 1–3).
+pub const FIELD_OCCURRENCES: u32 = 3;
+
+/// Generates the injection plan from recorded fields (campaign phase 2,
+/// §IV-C rules).
+pub fn generate_plan(
+    fields: &[RecordedField],
+    kinds: &[(Channel, Kind, u64)],
+    workload: Workload,
+    rng: &mut Rng,
+) -> Vec<PlannedExperiment> {
+    let mut plan = Vec::new();
+
+    for f in fields {
+        let mutations: Vec<FieldMutation> = match f.field_type {
+            FieldType::Int => vec![
+                FieldMutation::FlipIntBit(0),
+                FieldMutation::FlipIntBit(4),
+                FieldMutation::Set(Value::Int(0)),
+            ],
+            FieldType::Str => {
+                let len = f.sample.as_str().map(str::len).unwrap_or(0);
+                let mut m = Vec::new();
+                if len >= 1 {
+                    m.push(FieldMutation::FlipStringChar(0));
+                }
+                if len >= 2 {
+                    m.push(FieldMutation::FlipStringChar(1));
+                }
+                if len >= 1 {
+                    m.push(FieldMutation::Set(Value::Str(String::new())));
+                }
+                m
+            }
+            FieldType::Bool => vec![FieldMutation::FlipBool],
+        };
+        for mutation in mutations {
+            for occurrence in 1..=FIELD_OCCURRENCES {
+                plan.push(PlannedExperiment {
+                    workload,
+                    spec: InjectionSpec {
+                        channel: f.channel,
+                        kind: f.kind,
+                        point: InjectionPoint::Field {
+                            path: f.path.clone(),
+                            mutation: mutation.clone(),
+                        },
+                        occurrence,
+                    },
+                });
+            }
+        }
+    }
+
+    for (channel, kind, _count) in kinds {
+        for _ in 0..PROTO_INJECTIONS_PER_KIND {
+            plan.push(PlannedExperiment {
+                workload,
+                spec: InjectionSpec {
+                    channel: *channel,
+                    kind: *kind,
+                    point: InjectionPoint::ProtoByte {
+                        byte_frac: rng.f64(),
+                        bit: rng.below(8) as u8,
+                    },
+                    occurrence: 1 + rng.below(u64::from(FIELD_OCCURRENCES)) as u32,
+                },
+            });
+        }
+        for occurrence in 1..=DROP_OCCURRENCES {
+            plan.push(PlannedExperiment {
+                workload,
+                spec: InjectionSpec {
+                    channel: *channel,
+                    kind: *kind,
+                    point: InjectionPoint::Drop,
+                    occurrence,
+                },
+            });
+        }
+    }
+
+    plan
+}
+
+// ---------------------------------------------------------------------------
+// Campaign execution
+// ---------------------------------------------------------------------------
+
+/// One finished campaign experiment.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Workload of the experiment.
+    pub workload: Workload,
+    /// Injected fault.
+    pub spec: InjectionSpec,
+    /// Fault-model bucket (Table IV/V rows).
+    pub fault: FaultKind,
+    /// Orchestrator-level failure.
+    pub of: OrchestratorFailure,
+    /// Client-level failure.
+    pub cf: ClientFailure,
+    /// Client MAE z-score.
+    pub z: f64,
+    /// The trigger fired during the run.
+    pub fired: bool,
+    /// The injected instance was requested after the injection.
+    pub activated: bool,
+    /// The user saw an API error (F4 / Figure 7).
+    pub user_error: bool,
+    /// Injected field path, when the target was a field.
+    pub path: Option<String>,
+}
+
+/// Results of a campaign (plus golden-run bookkeeping).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResults {
+    /// One row per injection experiment.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignResults {
+    /// Total experiments.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no experiments ran.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Fraction of fired injections whose instance was later requested.
+    pub fn activation_rate(&self) -> f64 {
+        let fired: Vec<&CampaignRow> = self.rows.iter().filter(|r| r.fired).collect();
+        if fired.is_empty() {
+            return 0.0;
+        }
+        fired.iter().filter(|r| r.activated).count() as f64 / fired.len() as f64
+    }
+
+    /// Rows of a given workload.
+    pub fn by_workload(&self, wl: Workload) -> impl Iterator<Item = &CampaignRow> {
+        self.rows.iter().filter(move |r| r.workload == wl)
+    }
+
+    /// Count matching a predicate.
+    pub fn count(&self, pred: impl Fn(&CampaignRow) -> bool) -> usize {
+        self.rows.iter().filter(|r| pred(r)).count()
+    }
+
+    /// Merges another result set into this one.
+    pub fn merge(&mut self, other: CampaignResults) {
+        self.rows.extend(other.rows);
+    }
+}
+
+/// Executes a plan in parallel; `baseline` must match the plan's workload
+/// distribution (one baseline per workload).
+pub fn run_campaign(
+    cluster: &ClusterConfig,
+    plan: &[PlannedExperiment],
+    baselines: &std::collections::HashMap<Workload, Baseline>,
+    base_seed: u64,
+) -> CampaignResults {
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(plan.len().max(1));
+    let chunk = plan.len().div_ceil(threads.max(1)).max(1);
+    let mut rows: Vec<Option<CampaignRow>> = (0..plan.len()).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = (lo + chunk).min(plan.len());
+            if lo >= hi {
+                break;
+            }
+            let cluster = cluster.clone();
+            let slice = &plan[lo..hi];
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(slice.len());
+                for (i, planned) in slice.iter().enumerate() {
+                    let seed = base_seed
+                        .wrapping_add((lo + i) as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let cfg = ExperimentConfig {
+                        cluster: ClusterConfig { seed, ..cluster.clone() },
+                        workload: planned.workload,
+                        injection: Some(planned.spec.clone()),
+                    };
+                    let baseline = baselines
+                        .get(&planned.workload)
+                        .expect("baseline for every planned workload");
+                    let outcome = run_experiment_with_baseline(&cfg, baseline);
+                    out.push(CampaignRow {
+                        workload: planned.workload,
+                        fault: planned.spec.fault_kind(),
+                        path: match &planned.spec.point {
+                            InjectionPoint::Field { path, .. } => Some(path.clone()),
+                            _ => None,
+                        },
+                        spec: planned.spec.clone(),
+                        of: outcome.orchestrator_failure,
+                        cf: outcome.client_failure,
+                        z: outcome.z_latency,
+                        fired: outcome.injected.is_some(),
+                        activated: outcome.activated,
+                        user_error: outcome.user_saw_error,
+                    });
+                }
+                (lo, out)
+            }));
+        }
+        for h in handles {
+            let (lo, out) = h.join().expect("campaign thread panicked");
+            for (i, row) in out.into_iter().enumerate() {
+                rows[lo + i] = Some(row);
+            }
+        }
+    });
+
+    CampaignResults { rows: rows.into_iter().map(|r| r.expect("row complete")).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_experiment_classifies_clean() {
+        let baseline = build_baseline(&ClusterConfig::default(), Workload::Deploy, 8, 10);
+        let cfg = ExperimentConfig::golden(Workload::Deploy, 999);
+        let out = run_experiment_with_baseline(&cfg, &baseline);
+        assert_eq!(out.orchestrator_failure, OrchestratorFailure::No);
+        assert_eq!(out.client_failure, ClientFailure::Nsi);
+        assert!(!out.user_saw_error);
+        assert!(out.injected.is_none());
+    }
+
+    #[test]
+    fn recording_covers_workload_kinds() {
+        let (fields, kinds) = record_fields(
+            &ClusterConfig::default(),
+            Workload::Deploy,
+            vec![Channel::ApiToEtcd],
+            42,
+        );
+        assert!(!fields.is_empty());
+        let kinds_seen: Vec<Kind> = kinds.iter().map(|(_, k, _)| *k).collect();
+        for expect in [Kind::Pod, Kind::ReplicaSet, Kind::Deployment, Kind::Service, Kind::Node, Kind::Endpoints, Kind::Lease] {
+            assert!(kinds_seen.contains(&expect), "kind {expect} not recorded: {kinds_seen:?}");
+        }
+        // The dependency-tracking fields the paper's F2 centres on.
+        assert!(fields.iter().any(|f| f.path.contains("matchLabels")), "selector fields missing");
+        assert!(fields.iter().any(|f| f.path.contains("labels[")), "label fields missing");
+        assert!(fields.iter().any(|f| f.path.contains("ownerReferences")), "ownerRefs missing");
+        assert!(fields.iter().any(|f| f.path == "spec.replicas"), "replicas missing");
+    }
+
+    #[test]
+    fn plan_follows_campaign_rules() {
+        let fields = vec![
+            RecordedField {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::ReplicaSet,
+                path: "spec.replicas".into(),
+                field_type: FieldType::Int,
+                sample: Value::Int(2),
+                message_count: 5,
+                max_occurrence: 3,
+            },
+            RecordedField {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::Pod,
+                path: "spec.nodeName".into(),
+                field_type: FieldType::Str,
+                sample: Value::Str("w1".into()),
+                message_count: 5,
+                max_occurrence: 2,
+            },
+        ];
+        let kinds = vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 5u64)];
+        let mut rng = Rng::new(1);
+        let plan = generate_plan(&fields, &kinds, Workload::Deploy, &mut rng);
+        // Int: 3 mutations × 3 occurrences; Str (len 2): 3 × 3;
+        // proto: 8; drops: 10.
+        assert_eq!(plan.len(), 9 + 9 + 8 + 10);
+        let drops = plan.iter().filter(|p| p.spec.fault_kind() == FaultKind::Drop).count();
+        assert_eq!(drops, 10);
+        let bitflips = plan.iter().filter(|p| p.spec.fault_kind() == FaultKind::BitFlip).count();
+        // 2 int flips ×3 + 2 char flips ×3 + 8 proto = 20.
+        assert_eq!(bitflips, 20);
+    }
+}

@@ -1,0 +1,463 @@
+//! Failure classification: the paper's two-level failure model (§V-B).
+//!
+//! **Orchestrator-level failures (OF)** are judged from the 3-second gauge
+//! samples and kbench statistics, against golden baselines; **client-level
+//! failures (CF)** from the response-time series via MAE z-scores. When a
+//! run matches several categories it is reported as the most severe one
+//! (ordering per Table I: No < Tim < LeR < MoR < Net < Sta < Out; Table
+//! II: NSI < HRT < IA < SU).
+
+use crate::golden::Baseline;
+use k8s_cluster::RunStats;
+use simkit::stats::{mae, mean, std_dev, z_score};
+
+/// Orchestrator-level failure categories (Table I c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OrchestratorFailure {
+    /// System recovered without consequences.
+    No,
+    /// Creation/update took significantly longer than expected.
+    Tim,
+    /// A service stably holds fewer resources than desired.
+    LeR,
+    /// A service temporarily or permanently holds more resources.
+    MoR,
+    /// Resources correct but incorrectly networked.
+    Net,
+    /// The cluster can no longer react to changes.
+    Sta,
+    /// A significant number of running services are compromised.
+    Out,
+}
+
+impl OrchestratorFailure {
+    /// All categories, in increasing severity.
+    pub const ALL: [OrchestratorFailure; 7] = [
+        OrchestratorFailure::No,
+        OrchestratorFailure::Tim,
+        OrchestratorFailure::LeR,
+        OrchestratorFailure::MoR,
+        OrchestratorFailure::Net,
+        OrchestratorFailure::Sta,
+        OrchestratorFailure::Out,
+    ];
+
+    /// Paper-style short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrchestratorFailure::No => "No",
+            OrchestratorFailure::Tim => "Tim",
+            OrchestratorFailure::LeR => "LeR",
+            OrchestratorFailure::MoR => "MoR",
+            OrchestratorFailure::Net => "Net",
+            OrchestratorFailure::Sta => "Sta",
+            OrchestratorFailure::Out => "Out",
+        }
+    }
+
+    /// True for the categories the paper calls critical (Sta, Out).
+    pub fn is_system_wide(self) -> bool {
+        matches!(self, OrchestratorFailure::Sta | OrchestratorFailure::Out)
+    }
+}
+
+impl std::fmt::Display for OrchestratorFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Client-level failure categories (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClientFailure {
+    /// No significant impact.
+    Nsi,
+    /// Higher response times (MAE z-score > 2).
+    Hrt,
+    /// Intermittent error responses not due to request timeouts.
+    Ia,
+    /// Service unreachable from a certain instant.
+    Su,
+}
+
+impl ClientFailure {
+    /// All categories, in increasing severity.
+    pub const ALL: [ClientFailure; 4] =
+        [ClientFailure::Nsi, ClientFailure::Hrt, ClientFailure::Ia, ClientFailure::Su];
+
+    /// Paper-style short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientFailure::Nsi => "NSI",
+            ClientFailure::Hrt => "HRT",
+            ClientFailure::Ia => "IA",
+            ClientFailure::Su => "SU",
+        }
+    }
+}
+
+impl std::fmt::Display for ClientFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// z-score threshold for HRT (paper: 2).
+pub const HRT_Z_THRESHOLD: f64 = 2.0;
+/// z-score threshold for Tim startup statistics (paper: 3).
+pub const TIM_Z_THRESHOLD: f64 = 3.0;
+/// Consecutive trailing failures that read as Service Unreachable (1 s of
+/// requests at 20 req/s).
+pub const SU_TRAILING: usize = 20;
+/// Non-timeout errors that read as Intermittent Availability.
+pub const IA_ERRORS: usize = 3;
+/// Steady-state window inspected at the end of the run.
+pub const TAIL_WINDOW_MS: u64 = 12_000;
+/// Extra created pods beyond the golden *maximum* that read as More
+/// Resources. The paper counts small transient surpluses as MoR; our
+/// deterministic golden runs have zero variance, so a ±1 tolerance keeps
+/// single-replacement recoveries (ghost-node GC, adoption churn) from
+/// reading as over-provisioning.
+pub const MOR_EXTRA_PODS: u64 = 1;
+/// Multiple of golden pod creations that reads as uncontrolled spawn.
+pub const SPAWN_STORM_FACTOR: u64 = 4;
+
+/// Classifies the client-level failure and returns `(category, z_score)`.
+pub fn classify_client(stats: &RunStats, baseline: &Baseline) -> (ClientFailure, f64) {
+    let series = stats.response_series();
+    let mae_x = mae(&series, &baseline.avg_response);
+    let z = z_floored(mae_x, &baseline.golden_maes);
+
+    let total = stats.client.len();
+    let trailing = stats.trailing_failures();
+    if total > 0 && trailing >= SU_TRAILING.min(total) {
+        return (ClientFailure::Su, z);
+    }
+    if stats.non_timeout_failures() >= IA_ERRORS {
+        return (ClientFailure::Ia, z);
+    }
+    if z > HRT_Z_THRESHOLD {
+        return (ClientFailure::Hrt, z);
+    }
+    (ClientFailure::Nsi, z)
+}
+
+/// Classifies the orchestrator-level failure per the §V-B rules.
+pub fn classify_orchestrator(stats: &RunStats, baseline: &Baseline) -> OrchestratorFailure {
+    let tail = stats.tail_samples(TAIL_WINDOW_MS);
+    let Some(last) = stats.samples.last() else { return OrchestratorFailure::No };
+
+    // --- Out: running services compromised cluster-wide -----------------
+    let dns_dead = baseline.expected_dns_ready > 0 && tail_all(tail, |s| s.dns_ready == 0);
+    let net_dead = tail_all(tail, |s| s.net_nodes > 0 && s.netagents_down >= s.net_nodes);
+    let all_services_dead = !baseline.expected_endpoints.is_empty()
+        && tail_all(tail, |s| {
+            baseline
+                .expected_endpoints
+                .keys()
+                .all(|svc| s.app_endpoints.get(svc).copied().unwrap_or(0) == 0)
+        })
+        && tail_all(tail, |s| !s.prometheus_ready);
+    if dns_dead || net_dead || all_services_dead {
+        return OrchestratorFailure::Out;
+    }
+
+    // --- Sta: the cluster can no longer react ---------------------------
+    let spawn_storm = last.pods_created_cum
+        > baseline.expected_pods_created * SPAWN_STORM_FACTOR + 20
+        && growing(stats);
+    let etcd_stalled = tail_all(tail, |s| s.etcd_stalled) && !tail.is_empty();
+    let kcm_stuck = !tail.is_empty() && tail_all(tail, |s| !s.kcm_leader);
+    let sched_stuck = !tail.is_empty() && tail_all(tail, |s| !s.sched_leader);
+    let netpods_failing = !tail.is_empty() && tail_all(tail, |s| s.netpods_failed);
+    if spawn_storm || etcd_stalled || kcm_stuck || sched_stuck || netpods_failing {
+        return OrchestratorFailure::Sta;
+    }
+
+    // --- Net: resources correct but incorrectly networked ---------------
+    let replicas_correct = tail_all(tail, |s| {
+        baseline
+            .expected_ready
+            .iter()
+            .all(|(app, want)| s.app_ready.get(app).copied().unwrap_or(0) == *want)
+    });
+    let endpoints_wrong = tail_all(tail, |s| {
+        baseline
+            .expected_endpoints
+            .iter()
+            .any(|(svc, want)| s.app_endpoints.get(svc).copied().unwrap_or(0) != *want)
+    });
+    let client_blocked = stats.client_failures() > stats.client.len() / 10;
+    if replicas_correct && (endpoints_wrong || client_blocked) && !tail.is_empty() {
+        return OrchestratorFailure::Net;
+    }
+
+    // --- MoR: more resources than desired --------------------------------
+    let ready_above = tail_all(tail, |s| {
+        baseline
+            .expected_ready
+            .iter()
+            .any(|(app, want)| s.app_ready.get(app).copied().unwrap_or(0) > *want)
+    }) && !tail.is_empty();
+    let extra_created =
+        last.pods_created_cum > baseline.golden_pods_created_max + MOR_EXTRA_PODS;
+    if ready_above || extra_created {
+        return OrchestratorFailure::MoR;
+    }
+
+    // --- LeR: fewer resources than desired --------------------------------
+    let ready_below = !tail.is_empty()
+        && tail_all(tail, |s| {
+            baseline
+                .expected_ready
+                .iter()
+                .any(|(app, want)| s.app_ready.get(app).copied().unwrap_or(0) < *want)
+        });
+    let endpoints_below = !tail.is_empty()
+        && tail_all(tail, |s| {
+            baseline
+                .expected_endpoints
+                .iter()
+                .any(|(svc, want)| s.app_endpoints.get(svc).copied().unwrap_or(0) < *want)
+        });
+    if ready_below || endpoints_below {
+        return OrchestratorFailure::LeR;
+    }
+
+    // --- Tim: significantly delayed creations / restarts ------------------
+    if stats.app_pod_restarts > 0 {
+        return OrchestratorFailure::Tim;
+    }
+    let startups = stats.startup_times(stats.t0);
+    if !startups.is_empty() && !baseline.golden_worst_startup.is_empty() {
+        let worst = simkit::stats::max(&startups);
+        if z_score(worst, &baseline.golden_worst_startup) > TIM_Z_THRESHOLD {
+            return OrchestratorFailure::Tim;
+        }
+    }
+    if let Some(last_creation) = stats.last_pod_creation(stats.t0) {
+        if !baseline.golden_last_creation.is_empty() {
+            let rel = (last_creation - stats.t0) as f64;
+            if z_score(rel, &baseline.golden_last_creation) > TIM_Z_THRESHOLD {
+                return OrchestratorFailure::Tim;
+            }
+        }
+    }
+
+    OrchestratorFailure::No
+}
+
+/// z-score with a relative floor on σ: deterministic simulation makes the
+/// golden MAE distribution very tight, so a bare z-score would flag even
+/// microscopic deviations. The floor (10% of the golden mean) keeps the
+/// paper's z > 2 rule meaningful: flagged runs deviate by at least ~20%.
+pub fn z_floored(x: f64, samples: &[f64]) -> f64 {
+    let m = mean(samples);
+    let s = std_dev(samples).max(0.1 * m.abs()).max(1e-9);
+    (x - m) / s
+}
+
+fn tail_all(tail: &[k8s_cluster::MetricsSample], pred: impl Fn(&k8s_cluster::MetricsSample) -> bool) -> bool {
+    !tail.is_empty() && tail.iter().all(pred)
+}
+
+/// True when pod creation is still climbing at the end of the run (or the
+/// store already stalled, which freezes the counter).
+fn growing(stats: &RunStats) -> bool {
+    let n = stats.samples.len();
+    if n < 3 {
+        return false;
+    }
+    let a = stats.samples[n - 3].pods_created_cum;
+    let b = stats.samples[n - 1].pods_created_cum;
+    b > a || stats.samples[n - 1].etcd_stalled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_cluster::{ClientSample, MetricsSample};
+    use k8s_netsim::RequestOutcome;
+
+    fn baseline() -> Baseline {
+        let mut b = Baseline::default();
+        b.avg_response = vec![20.0; 100];
+        b.golden_maes = vec![0.5, 0.6, 0.7, 0.5, 0.6];
+        b.golden_worst_startup = vec![3000.0, 3200.0, 3100.0, 2900.0];
+        b.golden_last_creation = vec![5000.0, 5100.0, 4900.0];
+        b.expected_ready.insert("web-1".into(), 2);
+        b.expected_endpoints.insert("web-1-svc".into(), 2);
+        b.expected_pods_created = 6;
+        b.golden_pods_created_max = 6;
+        b.expected_dns_ready = 2;
+        b
+    }
+
+    fn healthy_sample(at: u64) -> MetricsSample {
+        let mut s = MetricsSample { at, ..Default::default() };
+        s.app_ready.insert("web-1".into(), 2);
+        s.app_endpoints.insert("web-1-svc".into(), 2);
+        s.pods_created_cum = 6;
+        s.kcm_leader = true;
+        s.sched_leader = true;
+        s.dns_ready = 2;
+        s.prometheus_ready = true;
+        s.net_nodes = 5;
+        s
+    }
+
+    fn healthy_stats() -> RunStats {
+        let mut st = RunStats { t0: 0, ..Default::default() };
+        for i in 0..20u64 {
+            st.samples.push(healthy_sample(i * 3000));
+        }
+        for i in 0..100u64 {
+            st.client.push(ClientSample {
+                at: i * 50,
+                outcome: RequestOutcome::Ok { latency_ms: 20.0 },
+            });
+        }
+        st
+    }
+
+    #[test]
+    fn healthy_run_is_no_nsi() {
+        let st = healthy_stats();
+        let b = baseline();
+        assert_eq!(classify_orchestrator(&st, &b), OrchestratorFailure::No);
+        assert_eq!(classify_client(&st, &b).0, ClientFailure::Nsi);
+    }
+
+    #[test]
+    fn stable_fewer_replicas_is_ler() {
+        let mut st = healthy_stats();
+        for s in st.samples.iter_mut() {
+            s.app_ready.insert("web-1".into(), 1);
+            s.app_endpoints.insert("web-1-svc".into(), 1);
+        }
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::LeR);
+    }
+
+    #[test]
+    fn stable_more_replicas_is_mor() {
+        let mut st = healthy_stats();
+        for s in st.samples.iter_mut() {
+            s.app_ready.insert("web-1".into(), 3);
+        }
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::MoR);
+    }
+
+    #[test]
+    fn transient_extra_pods_is_mor() {
+        let mut st = healthy_stats();
+        for s in st.samples.iter_mut() {
+            s.pods_created_cum = 9; // 3 extra over golden max, stable
+        }
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::MoR);
+    }
+
+    #[test]
+    fn correct_replicas_wrong_endpoints_is_net() {
+        let mut st = healthy_stats();
+        for s in st.samples.iter_mut() {
+            s.app_endpoints.insert("web-1-svc".into(), 0);
+        }
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::Net);
+    }
+
+    #[test]
+    fn spawn_storm_is_sta() {
+        let mut st = healthy_stats();
+        let n = st.samples.len();
+        for (i, s) in st.samples.iter_mut().enumerate() {
+            s.pods_created_cum = (i as u64 + 1) * 40;
+            let _ = n;
+        }
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::Sta);
+    }
+
+    #[test]
+    fn lost_leadership_is_sta() {
+        let mut st = healthy_stats();
+        for s in st.samples.iter_mut() {
+            s.kcm_leader = false;
+        }
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::Sta);
+    }
+
+    #[test]
+    fn dead_dns_is_out() {
+        let mut st = healthy_stats();
+        for s in st.samples.iter_mut() {
+            s.dns_ready = 0;
+        }
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::Out);
+    }
+
+    #[test]
+    fn dead_network_is_out() {
+        let mut st = healthy_stats();
+        for s in st.samples.iter_mut() {
+            s.netagents_down = 5;
+        }
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::Out);
+    }
+
+    #[test]
+    fn pod_restart_is_tim() {
+        let mut st = healthy_stats();
+        st.app_pod_restarts = 1;
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::Tim);
+    }
+
+    #[test]
+    fn slow_startup_is_tim() {
+        let mut st = healthy_stats();
+        st.pod_created.insert("/registry/pods/default/web-x".into(), 1000);
+        st.pod_running.insert("/registry/pods/default/web-x".into(), 50_000);
+        assert_eq!(classify_orchestrator(&st, &baseline()), OrchestratorFailure::Tim);
+    }
+
+    #[test]
+    fn trailing_failures_are_su() {
+        let mut st = healthy_stats();
+        for s in st.client.iter_mut().skip(60) {
+            s.outcome = RequestOutcome::Timeout;
+        }
+        let (cf, _) = classify_client(&st, &baseline());
+        assert_eq!(cf, ClientFailure::Su);
+    }
+
+    #[test]
+    fn sparse_errors_are_ia() {
+        let mut st = healthy_stats();
+        st.client[10].outcome = RequestOutcome::Refused;
+        st.client[40].outcome = RequestOutcome::Refused;
+        st.client[70].outcome = RequestOutcome::Refused;
+        let (cf, _) = classify_client(&st, &baseline());
+        assert_eq!(cf, ClientFailure::Ia);
+    }
+
+    #[test]
+    fn elevated_latency_is_hrt() {
+        let mut st = healthy_stats();
+        for s in st.client.iter_mut() {
+            s.outcome = RequestOutcome::Ok { latency_ms: 80.0 };
+        }
+        let (cf, z) = classify_client(&st, &baseline());
+        assert_eq!(cf, ClientFailure::Hrt);
+        assert!(z > HRT_Z_THRESHOLD);
+    }
+
+    #[test]
+    fn severity_orderings() {
+        assert!(OrchestratorFailure::Out > OrchestratorFailure::Sta);
+        assert!(OrchestratorFailure::MoR > OrchestratorFailure::LeR);
+        assert!(ClientFailure::Su > ClientFailure::Ia);
+        for of in OrchestratorFailure::ALL {
+            assert!(!of.label().is_empty());
+        }
+        assert!(OrchestratorFailure::Sta.is_system_wide());
+        assert!(!OrchestratorFailure::Net.is_system_wide());
+    }
+}

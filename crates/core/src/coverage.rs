@@ -1,0 +1,168 @@
+//! Table VII: what Mutiny can and cannot replicate.
+//!
+//! The paper compares the error/failure subcategories observed in the
+//! real-world dataset with those Mutiny triggers. **Replicable** entries
+//! are coverable by store-level injections (the paper's bold); entries
+//! marked **mutiny-only** are triggered by the injector but were not seen
+//! in the wild (the paper's italics). Entries that are neither are the
+//! injector's blind spots — mostly worker-node-local and transient
+//! network conditions (§VI-A). The bold/italic assignment below is
+//! reconstructed from the §VI-A prose since the table formatting is not
+//! machine-readable in the source.
+
+use crate::report::Table;
+
+/// One subcategory row of Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subcategory {
+    /// Parent category label (Table I names).
+    pub category: &'static str,
+    /// Subcategory name.
+    pub name: &'static str,
+    /// Mutiny can replicate it (bold in the paper).
+    pub replicable: bool,
+    /// Triggered by Mutiny but absent from the real-world data (italics).
+    pub mutiny_only: bool,
+}
+
+const fn sub(category: &'static str, name: &'static str, replicable: bool, mutiny_only: bool) -> Subcategory {
+    Subcategory { category, name, replicable, mutiny_only }
+}
+
+/// Error subcategories (upper half of Table VII).
+pub const ERROR_SUBCATEGORIES: &[Subcategory] = &[
+    sub("State Retrieval", "State corrupted", true, false),
+    sub("State Retrieval", "State erased", true, false),
+    sub("State Retrieval", "State stale", true, false),
+    sub("State Retrieval", "State unretrievable", true, false),
+    sub("Misbehaving Logic", "Wrong label", true, false),
+    sub("Misbehaving Logic", "Wrong replica value", true, false),
+    sub("Misbehaving Logic", "Request rejected", true, false),
+    sub("Misbehaving Logic", "Lost update", true, false),
+    sub("Misbehaving Logic", "Controller loop not executed", true, false),
+    sub("Misbehaving Logic", "Relationship broken", true, false),
+    sub("Communication", "Connection delay", false, false),
+    sub("Communication", "Wrong IP address", true, false),
+    sub("Communication", "DNS resolution delay", false, false),
+    sub("Communication", "DNS not resolving", true, false),
+    sub("Communication", "Uneven load balancing", true, false),
+    sub("Communication", "Endpoint delete after Pod kill", true, true),
+    sub("Communication", "Routes dropped", true, false),
+    sub("Communication", "New Nodes' routes not configured", true, false),
+    sub("Communication", "Routes not updated", true, false),
+    sub("Capacity Exceeded", "Overcrowding", true, false),
+    sub("Capacity Exceeded", "Cluster out of resources", true, false),
+    sub("Capacity Exceeded", "Worker nodes cannot join", true, false),
+    sub("Capacity Exceeded", "Worker nodes unhealthy", true, false),
+    sub("CP Availability", "CP Pods crash loop", true, false),
+    sub("CP Availability", "CP Pods hang", false, false),
+    sub("CP Availability", "CP Pods deleted", true, false),
+    sub("CP Availability", "CP overload", true, false),
+    sub("Local to Nodes", "Kubelet delayed", false, false),
+    sub("Local to Nodes", "Container runtime failure", false, false),
+    sub("Local to Nodes", "Pods not ready", true, false),
+    sub("Local to Nodes", "Image Pull Error", true, false),
+    sub("Local to Nodes", "Slow/throttling", false, false),
+];
+
+/// Failure subcategories (lower half of Table VII).
+pub const FAILURE_SUBCATEGORIES: &[Subcategory] = &[
+    sub("Cluster Outage", "Cluster-wide networking drop", true, false),
+    sub("Cluster Outage", "Cluster-wide networking intermittent", false, false),
+    sub("Cluster Outage", "Massive Service Deletion", true, true),
+    sub("Cluster Outage", "DNS resolution failure", true, false),
+    sub("Stall", "Control Plane stuck", true, false),
+    sub("Stall", "Control Plane slow", true, false),
+    sub("Stall", "Control Plane quorum unreachable", false, false),
+    sub("Stall", "New Services network not configurable", true, true),
+    sub("Stall", "New Nodes network not reconfigurable", true, false),
+    sub("Service Networking", "Service Networking Drop Permanent", true, false),
+    sub("Service Networking", "Service Networking Drop Intermittent", false, false),
+    sub("Service Networking", "Service Networking Delay", false, false),
+    sub("More Resources", "Pods not deleted", true, false),
+    sub("More Resources", "Too many Pods created", true, false),
+    sub("More Resources", "More Pods Transient", true, true),
+    sub("More Resources", "More Resources Per Pod", false, false),
+    sub("Less Resources", "Pods deleted", true, false),
+    sub("Less Resources", "Pods not created", true, false),
+    sub("Less Resources", "Pods crashloop", true, false),
+    sub("Less Resources", "Less Resources Per Pod", false, false),
+    sub("Timing", "Pods' Creation Delayed", true, false),
+    sub("Timing", "Pods Restart", true, false),
+];
+
+/// Renders Table VII.
+pub fn table7() -> Table {
+    let mut t = Table::new(
+        "Table VII — Injections vs. real world ([M] = Mutiny-replicable, [M-only] = triggered only by Mutiny)",
+        &["Kind", "Category", "Subcategory", "Coverage"],
+    );
+    for (kind, list) in [("Error", ERROR_SUBCATEGORIES), ("Failure", FAILURE_SUBCATEGORIES)] {
+        for s in list {
+            let mark = match (s.replicable, s.mutiny_only) {
+                (true, true) => "[M-only]",
+                (true, false) => "[M]",
+                (false, _) => "not covered",
+            };
+            t.push_row([kind, s.category, s.name, mark]);
+        }
+    }
+    t
+}
+
+/// Coverage summary: `(replicable, total)` per subcategory list.
+pub fn coverage_summary() -> ((usize, usize), (usize, usize)) {
+    let count = |list: &[Subcategory]| {
+        (list.iter().filter(|s| s.replicable).count(), list.len())
+    };
+    (count(ERROR_SUBCATEGORIES), count(FAILURE_SUBCATEGORIES))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_subcategories_are_replicable() {
+        // §VI-A: "almost all failure subcategories can be covered".
+        let ((err_r, err_t), (fail_r, fail_t)) = coverage_summary();
+        assert!(err_r * 3 > err_t * 2, "errors: {err_r}/{err_t}");
+        assert!(fail_r * 3 > fail_t * 2, "failures: {fail_r}/{fail_t}");
+    }
+
+    #[test]
+    fn blind_spots_are_node_local_or_transient() {
+        for s in ERROR_SUBCATEGORIES.iter().chain(FAILURE_SUBCATEGORIES) {
+            if !s.replicable {
+                let lower = s.name.to_lowercase();
+                assert!(
+                    lower.contains("delay")
+                        || lower.contains("intermittent")
+                        || lower.contains("hang")
+                        || lower.contains("quorum")
+                        || lower.contains("kubelet")
+                        || lower.contains("runtime")
+                        || lower.contains("throttling")
+                        || lower.contains("per pod"),
+                    "unexpected blind spot: {}",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutiny_only_entries_are_replicable() {
+        for s in ERROR_SUBCATEGORIES.iter().chain(FAILURE_SUBCATEGORIES) {
+            if s.mutiny_only {
+                assert!(s.replicable, "{} marked mutiny-only but not replicable", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders_every_subcategory() {
+        let t = table7();
+        assert_eq!(t.len(), ERROR_SUBCATEGORIES.len() + FAILURE_SUBCATEGORIES.len());
+    }
+}

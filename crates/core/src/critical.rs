@@ -1,0 +1,328 @@
+//! Critical-field analysis (§V-C2, finding F2).
+//!
+//! After the main campaign, the paper derives the set of *critical
+//! fields* — those whose injections caused Stall, Outage, or Service
+//! Unreachable — and finds that 20 of 34 belong to the fields managing
+//! dependency relationships among resource instances (labels, label
+//! selectors, ownerReferences, targetRef), with the identity triple
+//! (name, namespace, uid) accounting for most of the rest. This module
+//! categorizes field paths, extracts critical fields from campaign
+//! results, and provides the semantics-specific data-set values used for
+//! the follow-up injections.
+
+use crate::campaign::{CampaignResults, PlannedExperiment};
+use crate::classify::ClientFailure;
+use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
+use crate::recorder::RecordedField;
+use k8s_cluster::Workload;
+use protowire::reflect::Value;
+use std::collections::BTreeMap;
+
+/// The paper's grouping of critical fields (§V-C2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldCategory {
+    /// Fields tracking dependency relationships: labels, selectors,
+    /// ownerReferences, endpoint target references.
+    Dependency,
+    /// Identity fields: name, namespace, uid (they appear in the URL).
+    Identity,
+    /// Networking fields: protocols, addresses, ports, CIDRs.
+    Networking,
+    /// Replica counts.
+    Replication,
+    /// Remaining specification fields (images, commands, …).
+    SpecOther,
+}
+
+impl FieldCategory {
+    /// All categories.
+    pub const ALL: [FieldCategory; 5] = [
+        FieldCategory::Dependency,
+        FieldCategory::Identity,
+        FieldCategory::Networking,
+        FieldCategory::Replication,
+        FieldCategory::SpecOther,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FieldCategory::Dependency => "dependency relationships",
+            FieldCategory::Identity => "identity (name/namespace/uid)",
+            FieldCategory::Networking => "networking",
+            FieldCategory::Replication => "replica counts",
+            FieldCategory::SpecOther => "other specification",
+        }
+    }
+}
+
+impl std::fmt::Display for FieldCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Categorizes a reflection path.
+pub fn field_category(path: &str) -> FieldCategory {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if path.contains("labels[")
+        || path.contains("matchLabels[")
+        || path.contains("selector[")
+        || path.contains("ownerReferences[")
+        || path.contains("annotations[")
+        || leaf == "podName"
+    {
+        return FieldCategory::Dependency;
+    }
+    if matches!(leaf, "name" | "namespace" | "uid") && path.contains("metadata.") {
+        return FieldCategory::Identity;
+    }
+    if matches!(
+        leaf,
+        "clusterIP" | "port" | "targetPort" | "protocol" | "podCIDR" | "ip" | "internalIP"
+            | "podIP" | "nodeName"
+    ) {
+        return FieldCategory::Networking;
+    }
+    if leaf == "replicas" {
+        return FieldCategory::Replication;
+    }
+    FieldCategory::SpecOther
+}
+
+/// One critical field: a path whose injections caused Sta, Out, or SU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalField {
+    /// Reflection path.
+    pub path: String,
+    /// Paper category.
+    pub category: FieldCategory,
+    /// Number of critical-failure experiments targeting it.
+    pub critical_injections: usize,
+}
+
+/// Extracts the critical fields from campaign results.
+pub fn critical_fields(results: &CampaignResults) -> Vec<CriticalField> {
+    let mut by_path: BTreeMap<String, usize> = BTreeMap::new();
+    for row in &results.rows {
+        let critical = row.of.is_system_wide() || row.cf == ClientFailure::Su;
+        if !critical {
+            continue;
+        }
+        if let Some(path) = &row.path {
+            *by_path.entry(path.clone()).or_insert(0) += 1;
+        }
+    }
+    by_path
+        .into_iter()
+        .map(|(path, critical_injections)| CriticalField {
+            category: field_category(&path),
+            path,
+            critical_injections,
+        })
+        .collect()
+}
+
+/// Share of critical-failure experiments that targeted dependency fields
+/// (the paper reports 51%).
+pub fn dependency_share(results: &CampaignResults) -> f64 {
+    let critical: Vec<_> = results
+        .rows
+        .iter()
+        .filter(|r| (r.of.is_system_wide() || r.cf == ClientFailure::Su) && r.path.is_some())
+        .collect();
+    if critical.is_empty() {
+        return 0.0;
+    }
+    let dep = critical
+        .iter()
+        .filter(|r| {
+            matches!(
+                field_category(r.path.as_deref().unwrap_or("")),
+                FieldCategory::Dependency
+            )
+        })
+        .count();
+    dep as f64 / critical.len() as f64
+}
+
+/// Semantics-specific data-set values for a critical field (the second
+/// injection pass of §IV-C).
+pub fn semantic_values(path: &str, sample: &Value) -> Vec<Value> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    match (field_category(path), sample) {
+        (FieldCategory::Replication, _) => {
+            vec![Value::Int(1), Value::Int(64)]
+        }
+        (FieldCategory::Networking, Value::Int(_)) => {
+            vec![Value::Int(81), Value::Int(8443)]
+        }
+        (FieldCategory::Networking, Value::Str(_)) if leaf == "nodeName" => {
+            vec![Value::Str("ghost-node".into())]
+        }
+        (FieldCategory::Networking, Value::Str(_)) if leaf == "clusterIP" || leaf == "ip" => {
+            vec![Value::Str("10.99.99.99".into()), Value::Str("not-an-ip".into())]
+        }
+        (FieldCategory::Networking, Value::Str(_)) if leaf == "podCIDR" => {
+            vec![Value::Str("10.99.0.0/16".into()), Value::Str("garbage".into())]
+        }
+        (FieldCategory::Dependency, Value::Str(_)) => {
+            vec![Value::Str("corrupted-value".into())]
+        }
+        (FieldCategory::Identity, Value::Str(_)) => {
+            vec![Value::Str("ghost".into())]
+        }
+        (_, Value::Str(_)) => vec![Value::Str("invalid".into())],
+        (_, Value::Int(_)) => vec![Value::Int(-1)],
+        (_, Value::Bool(b)) => vec![Value::Bool(!b)],
+    }
+}
+
+/// Builds the critical-field follow-up plan: data-set injections with
+/// semantics-specific values on the critical paths.
+pub fn generate_critical_plan(
+    fields: &[RecordedField],
+    critical: &[CriticalField],
+    workload: Workload,
+) -> Vec<PlannedExperiment> {
+    let mut plan = Vec::new();
+    for cf in critical {
+        let Some(rf) = fields.iter().find(|f| f.path == cf.path) else { continue };
+        for value in semantic_values(&cf.path, &rf.sample) {
+            for occurrence in 1..=2u32 {
+                plan.push(PlannedExperiment {
+                    workload,
+                    spec: InjectionSpec {
+                        channel: rf.channel,
+                        kind: rf.kind,
+                        point: InjectionPoint::Field {
+                            path: cf.path.clone(),
+                            mutation: FieldMutation::Set(value.clone()),
+                        },
+                        occurrence,
+                    },
+                });
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignRow;
+    use crate::classify::OrchestratorFailure;
+    use crate::injector::FaultKind;
+    use k8s_model::{Channel, Kind};
+
+    #[test]
+    fn categorizes_paper_fields() {
+        assert_eq!(
+            field_category("spec.template.metadata.labels['app']"),
+            FieldCategory::Dependency
+        );
+        assert_eq!(field_category("spec.selector.matchLabels['app']"), FieldCategory::Dependency);
+        assert_eq!(
+            field_category("metadata.ownerReferences[0].uid"),
+            FieldCategory::Dependency
+        );
+        assert_eq!(field_category("spec.selector['app']"), FieldCategory::Dependency);
+        assert_eq!(field_category("metadata.name"), FieldCategory::Identity);
+        assert_eq!(field_category("metadata.namespace"), FieldCategory::Identity);
+        assert_eq!(field_category("metadata.uid"), FieldCategory::Identity);
+        assert_eq!(field_category("spec.clusterIP"), FieldCategory::Networking);
+        assert_eq!(field_category("spec.port"), FieldCategory::Networking);
+        assert_eq!(field_category("spec.nodeName"), FieldCategory::Networking);
+        assert_eq!(field_category("spec.podCIDR"), FieldCategory::Networking);
+        assert_eq!(field_category("spec.replicas"), FieldCategory::Replication);
+        assert_eq!(field_category("spec.containers[0].image"), FieldCategory::SpecOther);
+        assert_eq!(field_category("spec.containers[0].command[0]"), FieldCategory::SpecOther);
+    }
+
+    fn row(path: &str, of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
+        CampaignRow {
+            workload: Workload::Deploy,
+            spec: InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::ReplicaSet,
+                point: InjectionPoint::Field {
+                    path: path.into(),
+                    mutation: FieldMutation::Set(Value::Int(0)),
+                },
+                occurrence: 1,
+            },
+            fault: FaultKind::ValueSet,
+            of,
+            cf,
+            z: 0.0,
+            fired: true,
+            activated: true,
+            user_error: false,
+            path: Some(path.into()),
+        }
+    }
+
+    #[test]
+    fn critical_extraction_and_dependency_share() {
+        let results = CampaignResults {
+            rows: vec![
+                row("spec.selector.matchLabels['app']", OrchestratorFailure::Sta, ClientFailure::Nsi),
+                row("spec.selector.matchLabels['app']", OrchestratorFailure::Out, ClientFailure::Su),
+                row("metadata.name", OrchestratorFailure::Sta, ClientFailure::Nsi),
+                row("spec.replicas", OrchestratorFailure::MoR, ClientFailure::Nsi), // not critical
+            ],
+        };
+        let crit = critical_fields(&results);
+        assert_eq!(crit.len(), 2);
+        assert!(crit.iter().any(|c| c.category == FieldCategory::Dependency
+            && c.critical_injections == 2));
+        let share = dependency_share(&results);
+        assert!((share - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semantic_values_are_type_consistent() {
+        for (path, sample) in [
+            ("spec.replicas", Value::Int(2)),
+            ("spec.port", Value::Int(80)),
+            ("spec.nodeName", Value::Str("w1".into())),
+            ("spec.clusterIP", Value::Str("10.96.0.1".into())),
+            ("spec.podCIDR", Value::Str("10.244.0.0/24".into())),
+            ("metadata.labels['app']", Value::Str("web".into())),
+            ("metadata.name", Value::Str("web-1".into())),
+            ("spec.paused", Value::Bool(false)),
+        ] {
+            let values = semantic_values(path, &sample);
+            assert!(!values.is_empty(), "{path}");
+            for v in values {
+                assert_eq!(
+                    std::mem::discriminant(&v),
+                    std::mem::discriminant(&sample),
+                    "type drift for {path}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_plan_generation() {
+        let fields = vec![RecordedField {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            path: "spec.replicas".into(),
+            field_type: protowire::reflect::FieldType::Int,
+            sample: Value::Int(2),
+            message_count: 3,
+            max_occurrence: 2,
+        }];
+        let critical = vec![CriticalField {
+            path: "spec.replicas".into(),
+            category: FieldCategory::Replication,
+            critical_injections: 1,
+        }];
+        let plan = generate_critical_plan(&fields, &critical, Workload::Deploy);
+        // 2 semantic values × 2 occurrences.
+        assert_eq!(plan.len(), 4);
+    }
+}

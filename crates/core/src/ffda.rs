@@ -1,0 +1,454 @@
+//! Field Failure Data Analysis: the 81 real-world Kubernetes incidents.
+//!
+//! The paper analyzes 81 failure reports collected from public sources
+//! (k8s.af, engineering blogs, conference talks) but does not publish the
+//! incident list. This module reconstructs a dataset whose *aggregate
+//! statistics match every figure the paper reports* (§III): 15 Outages;
+//! 33 misconfigurations (19 of Kubernetes, 3 of plugins, 11 of external
+//! software; 10 bad resource sizing); 13 bug-caused incidents (5 K8s,
+//! 4 external, 1 plugin, 3 custom); 21 capacity incidents (11 from
+//! control-plane overload); 19 communication incidents; 54 of 81
+//! replicable by Mutiny. Individual rows are composites inspired by the
+//! cited public reports (Reddit Pi-Day, GKE webhook outage, Zalando and
+//! Airbnb talks), not verbatim reproductions.
+
+use crate::report::Table;
+
+/// Fault categories (Table I a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fault {
+    /// Autoscaling driven by misleading information.
+    WrongAutoscaleTrigger,
+    /// Timing-dependent concurrent actions.
+    RaceCondition,
+    /// Certificates that cannot be verified or recognized.
+    UnverifiableCertificate,
+    /// Bug in K8s, third-party, plugins, or underlying code.
+    Bug,
+    /// Incorrect command or configuration.
+    HumanMistake,
+    /// Specification/implementation changes failing regression.
+    UnmanagedUpgrade,
+    /// Too many pods, or pods too large for the cluster.
+    Overload,
+    /// Faulty hardware or related drivers.
+    LowLevelIssues,
+    /// Misbehaving application flooding the control plane.
+    FailingApplication,
+}
+
+impl Fault {
+    /// All fault categories.
+    pub const ALL: [Fault; 9] = [
+        Fault::WrongAutoscaleTrigger,
+        Fault::RaceCondition,
+        Fault::UnverifiableCertificate,
+        Fault::Bug,
+        Fault::HumanMistake,
+        Fault::UnmanagedUpgrade,
+        Fault::Overload,
+        Fault::LowLevelIssues,
+        Fault::FailingApplication,
+    ];
+
+    /// Table I label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::WrongAutoscaleTrigger => "Wrong Autoscale Trigger",
+            Fault::RaceCondition => "Race Condition",
+            Fault::UnverifiableCertificate => "Unverifiable Certificate",
+            Fault::Bug => "Bug",
+            Fault::HumanMistake => "Human Mistake",
+            Fault::UnmanagedUpgrade => "Unmanaged Upgrade",
+            Fault::Overload => "Overload",
+            Fault::LowLevelIssues => "Low-Level Issues",
+            Fault::FailingApplication => "Failing Application",
+        }
+    }
+}
+
+/// Finer fault attribution used by the paper's breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultDetail {
+    /// Misconfiguration of Kubernetes itself.
+    MisconfigK8s {
+        /// Bad resource sizing of nodes/components/apps.
+        bad_sizing: bool,
+    },
+    /// Misconfiguration of a plugin.
+    MisconfigPlugin {
+        /// Bad resource sizing.
+        bad_sizing: bool,
+    },
+    /// Misconfiguration of external software.
+    MisconfigExternal {
+        /// Bad resource sizing.
+        bad_sizing: bool,
+    },
+    /// Bug in Kubernetes code.
+    BugK8s,
+    /// Bug in external software (OS, runtime).
+    BugExternal,
+    /// Bug in a plugin.
+    BugPlugin,
+    /// Bug in custom code.
+    BugCustom,
+    /// No finer attribution.
+    Other,
+}
+
+/// Error categories (Table I b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorCat {
+    /// Irretrievable, stale, or corrupted state.
+    StateRetrieval,
+    /// Components behaving differently from expected.
+    MisbehavingLogic,
+    /// Networking delays or failures.
+    Communication,
+    /// Reduced computational resources.
+    ResourceExhaustion,
+    /// Unhealthy/slow control-plane components.
+    ControlPlaneAvailability,
+    /// Errors in node-local software.
+    LocalToNodes,
+}
+
+impl ErrorCat {
+    /// All error categories.
+    pub const ALL: [ErrorCat; 6] = [
+        ErrorCat::StateRetrieval,
+        ErrorCat::MisbehavingLogic,
+        ErrorCat::Communication,
+        ErrorCat::ResourceExhaustion,
+        ErrorCat::ControlPlaneAvailability,
+        ErrorCat::LocalToNodes,
+    ];
+
+    /// Table I label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCat::StateRetrieval => "State Retrieval",
+            ErrorCat::MisbehavingLogic => "Misbehaving Logic",
+            ErrorCat::Communication => "Communication",
+            ErrorCat::ResourceExhaustion => "Resource Exhaustion",
+            ErrorCat::ControlPlaneAvailability => "Control Plane Availability",
+            ErrorCat::LocalToNodes => "Local to worker Nodes",
+        }
+    }
+}
+
+/// Real-world failure categories (Table I c) — same taxonomy as
+/// [`OrchestratorFailure`](crate::classify::OrchestratorFailure) plus an
+/// explicit `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailureCat {
+    /// Recovered without consequences.
+    None,
+    /// Timing failure.
+    Timing,
+    /// Less resources than planned.
+    LessResources,
+    /// More resources than needed.
+    MoreResources,
+    /// Service networking failure.
+    ServiceNetwork,
+    /// Stall.
+    Stall,
+    /// Cluster outage.
+    Outage,
+}
+
+impl FailureCat {
+    /// All failure categories in increasing severity.
+    pub const ALL: [FailureCat; 7] = [
+        FailureCat::None,
+        FailureCat::Timing,
+        FailureCat::LessResources,
+        FailureCat::MoreResources,
+        FailureCat::ServiceNetwork,
+        FailureCat::Stall,
+        FailureCat::Outage,
+    ];
+
+    /// Table I label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureCat::None => "None (No)",
+            FailureCat::Timing => "Timing Failure (Tim)",
+            FailureCat::LessResources => "Less Resources (LeR)",
+            FailureCat::MoreResources => "More Resources (MoR)",
+            FailureCat::ServiceNetwork => "Service Network (Net)",
+            FailureCat::Stall => "Stall (Sta)",
+            FailureCat::Outage => "Cluster Outage (Out)",
+        }
+    }
+}
+
+/// One real-world incident.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Sequential id.
+    pub id: u32,
+    /// Root-cause fault category.
+    pub fault: Fault,
+    /// Finer attribution.
+    pub detail: FaultDetail,
+    /// Errors observed along the propagation chain.
+    pub errors: Vec<ErrorCat>,
+    /// Final failure category.
+    pub failure: FailureCat,
+    /// Whether Mutiny's store-level injections can recreate the pattern.
+    pub mutiny_replicable: bool,
+    /// One-line composite description.
+    pub summary: &'static str,
+}
+
+macro_rules! incidents {
+    ($( $fault:ident / $detail:expr ; [$($err:ident),*] ; $fail:ident ; $repl:literal ; $sum:literal )*) => {{
+        let mut v: Vec<Incident> = Vec::new();
+        let mut id = 0u32;
+        $(
+            id += 1;
+            v.push(Incident {
+                id,
+                fault: Fault::$fault,
+                detail: $detail,
+                errors: vec![$(ErrorCat::$err),*],
+                failure: FailureCat::$fail,
+                mutiny_replicable: $repl,
+                summary: $sum,
+            });
+        )*
+        v
+    }};
+}
+
+use FaultDetail::{BugCustom, BugExternal, BugK8s, BugPlugin, Other};
+
+const fn mk8(s: bool) -> FaultDetail {
+    FaultDetail::MisconfigK8s { bad_sizing: s }
+}
+const fn mpl(s: bool) -> FaultDetail {
+    FaultDetail::MisconfigPlugin { bad_sizing: s }
+}
+const fn mex(s: bool) -> FaultDetail {
+    FaultDetail::MisconfigExternal { bad_sizing: s }
+}
+
+/// The reconstructed 81-incident dataset.
+pub fn incidents() -> Vec<Incident> {
+    incidents! {
+        // ---- Human Mistake / misconfiguration of K8s (19; 6 sizing) ----
+        HumanMistake / mk8(false); [StateRetrieval]; Outage; true; "kubectl deleted a production namespace with all its services"
+        HumanMistake / mk8(false); [StateRetrieval]; Outage; true; "etcd data directory wiped during maintenance"
+        HumanMistake / mk8(false); [Communication]; Outage; true; "node relabeling broke network-manager selectors cluster-wide (Reddit Pi-Day)"
+        HumanMistake / mk8(true);  [ResourceExhaustion, ControlPlaneAvailability]; Outage; true; "apiserver memory limits undersized; OOM loop under load"
+        HumanMistake / mk8(false); [MisbehavingLogic, ResourceExhaustion]; Stall; true; "wrong label selector made controller ignore its pods"
+        HumanMistake / mk8(true);  [ResourceExhaustion, ControlPlaneAvailability]; Stall; true; "etcd disk quota exhausted by oversized resource limits"
+        HumanMistake / mk8(false); [MisbehavingLogic]; Stall; true; "leader-election lease misconfigured; controllers idle"
+        HumanMistake / mk8(true);  [ResourceExhaustion]; Stall; true; "requests without limits filled every node"
+        HumanMistake / mk8(false); [Communication]; ServiceNetwork; true; "service selector typo published zero endpoints"
+        HumanMistake / mk8(false); [Communication]; ServiceNetwork; true; "wrong targetPort forwarded traffic to a closed port"
+        HumanMistake / mk8(false); [Communication]; ServiceNetwork; true; "overlapping pod CIDRs blackholed a subnet"
+        HumanMistake / mk8(true);  [ResourceExhaustion]; LessResources; true; "CPU requests too high: pods unschedulable"
+        HumanMistake / mk8(true);  [ResourceExhaustion]; LessResources; true; "quota misconfigured; replicas silently capped"
+        HumanMistake / mk8(false); [MisbehavingLogic]; LessResources; true; "PodDisruptionBudget blocked a required rollout"
+        HumanMistake / mk8(false); [MisbehavingLogic, ResourceExhaustion]; MoreResources; true; "HPA max replicas set orders of magnitude too high"
+        HumanMistake / mk8(true);  [ResourceExhaustion]; MoreResources; true; "replica count fat-fingered 10x during scale-up"
+        HumanMistake / mk8(false); [MisbehavingLogic]; Timing; true; "bad rolling-update bounds serialized the rollout"
+        HumanMistake / mk8(false); [MisbehavingLogic]; Timing; true; "priority class removed; pods waited behind batch jobs"
+        HumanMistake / mk8(false); [MisbehavingLogic]; None; false; "harmless deprecated flag triggered alert storm only"
+        // ---- Human Mistake / misconfiguration of plugins (3) ----
+        HumanMistake / mpl(false); [Communication]; ServiceNetwork; true; "CNI plugin MTU mismatch dropped large packets"
+        HumanMistake / mpl(false); [Communication]; ServiceNetwork; true; "ingress controller class mismatch left routes stale"
+        HumanMistake / mpl(false); [MisbehavingLogic, ResourceExhaustion]; Stall; true; "admission webhook plugin misconfigured fail-closed (GKE webhook outage)"
+        // ---- Human Mistake / misconfiguration of external software (11; 4 sizing) ----
+        HumanMistake / mex(false); [StateRetrieval]; Outage; true; "external backup job truncated the etcd keyspace"
+        HumanMistake / mex(true);  [ResourceExhaustion, ControlPlaneAvailability]; Outage; true; "VM host oversubscription starved the control plane"
+        HumanMistake / mex(false); [Communication]; Stall; true; "firewall rule blocked apiserver-to-kubelet traffic"
+        HumanMistake / mex(false); [Communication]; ServiceNetwork; true; "external LB health-check path wrong; flapping backends"
+        HumanMistake / mex(false); [Communication]; ServiceNetwork; true; "upstream DNS forwarder misconfigured; names unresolvable"
+        HumanMistake / mex(true);  [ResourceExhaustion]; LessResources; true; "container runtime PID limit too low; pods failed to start"
+        HumanMistake / mex(true);  [ResourceExhaustion]; LessResources; true; "disk pressure threshold evicted healthy pods"
+        HumanMistake / mex(true);  [ResourceExhaustion]; Timing; true; "registry rate limits throttled image pulls"
+        HumanMistake / mex(false); [LocalToNodes]; Timing; false; "kernel sysctl change slowed container startup"
+        HumanMistake / mex(false); [LocalToNodes]; None; false; "log rotation misconfigured; disk alerts only"
+        HumanMistake / mex(false); [MisbehavingLogic]; None; false; "monitoring scrape misconfigured; false alarms only"
+        // ---- Bugs (13: 5 K8s, 4 external, 1 plugin, 3 custom) ----
+        Bug / BugK8s; [MisbehavingLogic, StateRetrieval]; Outage; true; "kube-apiserver bug dropped node heartbeats; mass eviction"
+        Bug / BugK8s; [MisbehavingLogic]; Stall; true; "controller-manager deadlock stopped reconciliation"
+        Bug / BugK8s; [StateRetrieval]; Stall; true; "watch cache served stale state after compaction bug"
+        Bug / BugK8s; [Communication]; ServiceNetwork; true; "kube-proxy rule ordering bug blackholed a service"
+        Bug / BugK8s; [MisbehavingLogic]; Timing; true; "scheduler cache corruption forced repeated restarts"
+        Bug / BugExternal; [LocalToNodes]; Outage; false; "kernel conntrack race dropped connections cluster-wide"
+        Bug / BugExternal; [Communication]; ServiceNetwork; false; "OS DNS resolver bug delayed every lookup"
+        Bug / BugExternal; [LocalToNodes]; LessResources; false; "containerd leak prevented new pod sandboxes"
+        Bug / BugExternal; [LocalToNodes]; None; false; "filesystem driver warning; no service impact"
+        Bug / BugPlugin; [Communication]; ServiceNetwork; true; "CNI IPAM bug double-allocated pod IPs"
+        Bug / BugCustom; [MisbehavingLogic]; MoreResources; true; "custom operator retry loop spawned duplicate pods"
+        Bug / BugCustom; [MisbehavingLogic]; LessResources; true; "custom controller raced deletes against scale-ups"
+        Bug / BugCustom; [MisbehavingLogic]; None; true; "custom webhook rejected no-op updates only"
+        // ---- Overload (8) ----
+        Overload / Other; [ResourceExhaustion, ControlPlaneAvailability]; Outage; true; "event storm overwhelmed apiserver and etcd"
+        Overload / Other; [ResourceExhaustion, ControlPlaneAvailability]; Outage; true; "preemptive pods evicted every lower-priority service"
+        Overload / Other; [ResourceExhaustion, ControlPlaneAvailability]; Stall; true; "uncontrolled pod replication filled cluster capacity"
+        Overload / Other; [ResourceExhaustion]; Stall; true; "etcd disk filled by runaway object creation"
+        Overload / Other; [ResourceExhaustion]; LessResources; true; "node pressure evicted application pods"
+        Overload / Other; [ResourceExhaustion]; LessResources; true; "cluster out of allocatable CPU for replacements"
+        Overload / Other; [ResourceExhaustion, ControlPlaneAvailability]; Timing; true; "reconcile queues backed up for tens of minutes"
+        Overload / Other; [ResourceExhaustion]; None; true; "short burst absorbed by autoscaling headroom"
+        // ---- Wrong Autoscale Trigger (4) ----
+        WrongAutoscaleTrigger / Other; [MisbehavingLogic]; MoreResources; true; "stale metrics made HPA scale to maximum"
+        WrongAutoscaleTrigger / Other; [MisbehavingLogic]; MoreResources; true; "custom metric unit mismatch doubled the fleet"
+        WrongAutoscaleTrigger / Other; [MisbehavingLogic]; LessResources; true; "autoscaler scaled to zero on a gap in metrics"
+        WrongAutoscaleTrigger / Other; [MisbehavingLogic]; Outage; true; "node autoscaler deleted healthy nodes on false heartbeats (GKE)"
+        // ---- Race Condition (5) ----
+        RaceCondition / Other; [Communication]; ServiceNetwork; false; "route programming raced node bootstrap; transient blackhole"
+        RaceCondition / Other; [Communication]; ServiceNetwork; false; "endpoint update raced pod kill; brief misrouting"
+        RaceCondition / Other; [StateRetrieval]; Stall; true; "two controllers fought over one field in a tight loop"
+        RaceCondition / Other; [MisbehavingLogic]; Timing; false; "init-container ordering raced volume attach"
+        RaceCondition / Other; [MisbehavingLogic]; None; false; "idempotent retry hid a double-create race"
+        // ---- Unverifiable Certificate (4) ----
+        UnverifiableCertificate / Other; [Communication]; Outage; false; "expired apiserver certificate locked every kubelet out"
+        UnverifiableCertificate / Other; [Communication]; Stall; false; "webhook certificate rotation broke admission"
+        UnverifiableCertificate / Other; [Communication]; ServiceNetwork; false; "mTLS mesh certificates mismatched after rotation"
+        UnverifiableCertificate / Other; [MisbehavingLogic]; None; false; "metrics TLS failure; observability only"
+        // ---- Unmanaged Upgrade (6) ----
+        UnmanagedUpgrade / Other; [MisbehavingLogic]; Outage; false; "API removal in upgrade broke the network operator"
+        UnmanagedUpgrade / Other; [Communication]; Outage; false; "CNI upgrade changed encapsulation; nodes partitioned"
+        UnmanagedUpgrade / Other; [MisbehavingLogic]; LessResources; false; "default seccomp change crashed legacy containers"
+        UnmanagedUpgrade / Other; [LocalToNodes]; Timing; false; "runtime upgrade doubled pod start latency"
+        UnmanagedUpgrade / Other; [MisbehavingLogic]; Timing; false; "scheduler default profile changed spreading behavior"
+        UnmanagedUpgrade / Other; [MisbehavingLogic]; None; false; "deprecation warnings only after control-plane upgrade"
+        // ---- Low-Level Issues (4) ----
+        LowLevelIssues / Other; [LocalToNodes, Communication]; Outage; false; "NIC firmware dropped VXLAN packets under load"
+        LowLevelIssues / Other; [LocalToNodes]; LessResources; false; "flaky DIMM crashed pods on one node"
+        LowLevelIssues / Other; [LocalToNodes]; Timing; false; "failing disk slowed image extraction"
+        LowLevelIssues / Other; [LocalToNodes]; None; false; "single-bit ECC errors corrected silently"
+        // ---- Failing Application (4) ----
+        FailingApplication / Other; [ControlPlaneAvailability]; MoreResources; true; "crash-looping app caused restart storm and overscaling"
+        FailingApplication / Other; [ControlPlaneAvailability]; MoreResources; true; "app event flood ballooned etcd and duplicated pods"
+        FailingApplication / Other; [ControlPlaneAvailability]; LessResources; true; "failing readiness probes drained every endpoint"
+        FailingApplication / Other; [ControlPlaneAvailability]; Timing; false; "log flood throttled kubelets; slow starts"
+    }
+}
+
+/// Count incidents matching a predicate.
+pub fn count(incidents: &[Incident], pred: impl Fn(&Incident) -> bool) -> usize {
+    incidents.iter().filter(|i| pred(i)).count()
+}
+
+/// Renders Table I: the fault / error / failure taxonomy with the
+/// real-world counts.
+pub fn table1() -> (Table, Table, Table) {
+    let data = incidents();
+    let mut faults = Table::new("Table I(a) — Faults (81 real-world incidents)", &["Fault", "Count"]);
+    for f in Fault::ALL {
+        faults.push_row([f.label().to_string(), count(&data, |i| i.fault == f).to_string()]);
+    }
+    let mut errors = Table::new("Table I(b) — Errors (multi-label)", &["Error", "Count"]);
+    for e in ErrorCat::ALL {
+        errors.push_row([
+            e.label().to_string(),
+            count(&data, |i| i.errors.contains(&e)).to_string(),
+        ]);
+    }
+    let mut failures = Table::new("Table I(c) — Failures", &["Failure", "Count"]);
+    for f in FailureCat::ALL {
+        failures.push_row([f.label().to_string(), count(&data, |i| i.failure == f).to_string()]);
+    }
+    (faults, errors, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_81_incidents_with_unique_ids() {
+        let data = incidents();
+        assert_eq!(data.len(), 81);
+        let ids: std::collections::BTreeSet<u32> = data.iter().map(|i| i.id).collect();
+        assert_eq!(ids.len(), 81);
+    }
+
+    #[test]
+    fn outage_count_matches_paper() {
+        let data = incidents();
+        assert_eq!(count(&data, |i| i.failure == FailureCat::Outage), 15);
+    }
+
+    #[test]
+    fn misconfiguration_breakdown_matches_paper() {
+        let data = incidents();
+        let mis = |i: &Incident| {
+            matches!(
+                i.detail,
+                FaultDetail::MisconfigK8s { .. }
+                    | FaultDetail::MisconfigPlugin { .. }
+                    | FaultDetail::MisconfigExternal { .. }
+            )
+        };
+        assert_eq!(count(&data, |i| i.fault == Fault::HumanMistake), 33);
+        assert_eq!(count(&data, |i| mis(i)), 33);
+        assert_eq!(count(&data, |i| matches!(i.detail, FaultDetail::MisconfigK8s { .. })), 19);
+        assert_eq!(count(&data, |i| matches!(i.detail, FaultDetail::MisconfigPlugin { .. })), 3);
+        assert_eq!(count(&data, |i| matches!(i.detail, FaultDetail::MisconfigExternal { .. })), 11);
+        let sizing = |i: &Incident| {
+            matches!(
+                i.detail,
+                FaultDetail::MisconfigK8s { bad_sizing: true }
+                    | FaultDetail::MisconfigPlugin { bad_sizing: true }
+                    | FaultDetail::MisconfigExternal { bad_sizing: true }
+            )
+        };
+        assert_eq!(count(&data, sizing), 10);
+    }
+
+    #[test]
+    fn bug_breakdown_matches_paper() {
+        let data = incidents();
+        assert_eq!(count(&data, |i| i.fault == Fault::Bug), 13);
+        assert_eq!(count(&data, |i| i.detail == FaultDetail::BugK8s), 5);
+        assert_eq!(count(&data, |i| i.detail == FaultDetail::BugExternal), 4);
+        assert_eq!(count(&data, |i| i.detail == FaultDetail::BugPlugin), 1);
+        assert_eq!(count(&data, |i| i.detail == FaultDetail::BugCustom), 3);
+    }
+
+    #[test]
+    fn capacity_and_communication_match_paper() {
+        let data = incidents();
+        assert_eq!(count(&data, |i| i.errors.contains(&ErrorCat::ResourceExhaustion)), 21);
+        assert_eq!(
+            count(&data, |i| i.errors.contains(&ErrorCat::ControlPlaneAvailability)),
+            11
+        );
+        assert_eq!(count(&data, |i| i.errors.contains(&ErrorCat::Communication)), 19);
+    }
+
+    #[test]
+    fn mutiny_replicable_matches_paper() {
+        let data = incidents();
+        assert_eq!(count(&data, |i| i.mutiny_replicable), 54);
+    }
+
+    #[test]
+    fn misconfigurations_that_overload_match_f3() {
+        // F3: misconfigurations overloaded the system in 13 of 81 failures.
+        let data = incidents();
+        let n = count(&data, |i| {
+            i.fault == Fault::HumanMistake && i.errors.contains(&ErrorCat::ResourceExhaustion)
+        });
+        assert_eq!(n, 13, "misconfig→overload incidents");
+    }
+
+    #[test]
+    fn table1_renders_all_categories() {
+        let (f, e, fail) = table1();
+        assert_eq!(f.len(), 9);
+        assert_eq!(e.len(), 6);
+        assert_eq!(fail.len(), 7);
+        assert!(f.render().contains("Human Mistake"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Golden runs and baselines (§V-B).
+//!
+//! "For each workload, we collected data from 100 golden runs without any
+//! faults/errors injected." The baseline holds the averaged response-time
+//! series, the distribution of golden MAEs against it (for client
+//! z-scores), the golden pod-startup statistics (for Tim), and the
+//! expected steady-state gauge values (for LeR/MoR/Net).
+
+use k8s_cluster::{ClusterConfig, RunStats, Workload, World};
+use k8s_model::NoopInterceptor;
+use simkit::stats::{average_series, mae};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Golden-run baselines for one workload.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Element-wise average of golden response-time series.
+    pub avg_response: Vec<f64>,
+    /// MAE of each golden run against the average series.
+    pub golden_maes: Vec<f64>,
+    /// Worst pod startup time per golden run (ms).
+    pub golden_worst_startup: Vec<f64>,
+    /// Last pod creation time per golden run, relative to t0 (ms).
+    pub golden_last_creation: Vec<f64>,
+    /// Steady-state ready replicas per application Deployment.
+    pub expected_ready: BTreeMap<String, i64>,
+    /// Steady-state endpoint counts per application Service.
+    pub expected_endpoints: BTreeMap<String, usize>,
+    /// Median pods created by controllers during a golden run.
+    pub expected_pods_created: u64,
+    /// Maximum pods created across golden runs (MoR transient threshold:
+    /// the paper counts even 1–2 extra spawned pods as More Resources).
+    pub golden_pods_created_max: u64,
+    /// Steady-state ready coreDNS pods.
+    pub expected_dns_ready: i64,
+}
+
+/// Runs one golden (fault-free) experiment and returns its statistics.
+pub fn run_golden(cluster: &ClusterConfig, workload: Workload, seed: u64) -> RunStats {
+    let cfg = ClusterConfig { seed, ..cluster.clone() };
+    let mut world = World::new(cfg, Rc::new(RefCell::new(NoopInterceptor)));
+    world.prepare(workload);
+    world.schedule_workload(workload);
+    world.run_to_horizon();
+    world.stats
+}
+
+/// Builds the baseline for a workload from `runs` golden runs.
+///
+/// Runs execute in parallel across OS threads; results are deterministic
+/// for a given `(cluster, workload, runs, base_seed)`.
+pub fn build_baseline(
+    cluster: &ClusterConfig,
+    workload: Workload,
+    runs: usize,
+    base_seed: u64,
+) -> Baseline {
+    let runs = runs.max(3);
+    let stats = parallel_golden(cluster, workload, runs, base_seed);
+
+    let series: Vec<Vec<f64>> = stats.iter().map(RunStats::response_series).collect();
+    let avg_response = average_series(&series);
+    let golden_maes: Vec<f64> = series.iter().map(|s| mae(s, &avg_response)).collect();
+
+    let mut golden_worst_startup = Vec::new();
+    let mut golden_last_creation = Vec::new();
+    let mut created_counts = Vec::new();
+    for st in &stats {
+        let startups = st.startup_times(st.t0);
+        if !startups.is_empty() {
+            golden_worst_startup.push(simkit::stats::max(&startups));
+        }
+        if let Some(last) = st.last_pod_creation(st.t0) {
+            golden_last_creation.push((last - st.t0) as f64);
+        }
+        created_counts.push(st.samples.last().map(|s| s.pods_created_cum).unwrap_or(0));
+    }
+    created_counts.sort_unstable();
+    let expected_pods_created = created_counts.get(created_counts.len() / 2).copied().unwrap_or(0);
+    let golden_pods_created_max = created_counts.last().copied().unwrap_or(0);
+
+    // Steady-state gauges: majority vote over the golden final samples.
+    let mut expected_ready: BTreeMap<String, i64> = BTreeMap::new();
+    let mut expected_endpoints: BTreeMap<String, usize> = BTreeMap::new();
+    let mut dns_votes: Vec<i64> = Vec::new();
+    {
+        let mut ready_votes: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+        let mut ep_votes: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for st in &stats {
+            if let Some(last) = st.samples.last() {
+                for (k, v) in &last.app_ready {
+                    ready_votes.entry(k.clone()).or_default().push(*v);
+                }
+                for (k, v) in &last.app_endpoints {
+                    ep_votes.entry(k.clone()).or_default().push(*v);
+                }
+                dns_votes.push(last.dns_ready);
+            }
+        }
+        for (k, mut vs) in ready_votes {
+            vs.sort_unstable();
+            expected_ready.insert(k, vs[vs.len() / 2]);
+        }
+        for (k, mut vs) in ep_votes {
+            vs.sort_unstable();
+            expected_endpoints.insert(k, vs[vs.len() / 2]);
+        }
+    }
+    dns_votes.sort_unstable();
+    let expected_dns_ready = dns_votes.get(dns_votes.len() / 2).copied().unwrap_or(0);
+
+    Baseline {
+        avg_response,
+        golden_maes,
+        golden_worst_startup,
+        golden_last_creation,
+        expected_ready,
+        expected_endpoints,
+        expected_pods_created,
+        golden_pods_created_max,
+        expected_dns_ready,
+    }
+}
+
+fn parallel_golden(
+    cluster: &ClusterConfig,
+    workload: Workload,
+    runs: usize,
+    base_seed: u64,
+) -> Vec<RunStats> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(runs);
+    let mut out: Vec<Option<RunStats>> = (0..runs).map(|_| None).collect();
+    let chunk = runs.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = (lo + chunk).min(runs);
+            if lo >= hi {
+                break;
+            }
+            let cluster = cluster.clone();
+            handles.push(scope.spawn(move || {
+                (lo..hi)
+                    .map(|i| run_golden(&cluster, workload, base_seed + i as u64))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut idx = 0usize;
+        for h in handles {
+            for st in h.join().expect("golden run thread panicked") {
+                out[idx] = Some(st);
+                idx += 1;
+            }
+        }
+    });
+    out.into_iter().map(|o| o.expect("all golden runs complete")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    #[test]
+    fn baseline_captures_steady_state() {
+        let b = build_baseline(&small_cluster(), Workload::Deploy, 4, 100);
+        assert_eq!(b.avg_response.len(), 600);
+        assert_eq!(b.golden_maes.len(), 4);
+        assert!(b.expected_dns_ready >= 1);
+        assert_eq!(b.expected_ready.get("web-1"), Some(&2));
+        assert_eq!(b.expected_ready.get("web-4"), Some(&2));
+        assert_eq!(b.expected_endpoints.get("web-1-svc"), Some(&2));
+        // Deploy creates 3 new apps × 2 replicas = at least 6 pods.
+        assert!(b.expected_pods_created >= 6);
+        assert!(!b.golden_worst_startup.is_empty());
+        assert!(!b.golden_last_creation.is_empty());
+    }
+
+    #[test]
+    fn golden_maes_are_small() {
+        let b = build_baseline(&small_cluster(), Workload::ScaleUp, 4, 7);
+        let spread = simkit::stats::max(&b.golden_maes);
+        assert!(spread < 50.0, "golden runs disagree too much: {spread}");
+    }
+}

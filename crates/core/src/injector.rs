@@ -1,0 +1,444 @@
+//! Mutiny: the fault/error injector.
+//!
+//! Each injection is characterized by the triplet of §IV-A:
+//!
+//! * **where** — a communication [`Channel`], a resource [`Kind`], and
+//!   either a field path, a serialization-protocol byte, or the whole
+//!   message;
+//! * **what** — a bit-flip, a data-type set, or a message drop;
+//! * **when** — the occurrence index of messages *related to the same
+//!   resource instance* in which the target appears.
+//!
+//! Mutiny implements [`Interceptor`], sits on the wire paths of the
+//! simulated apiserver, and fires exactly once per experiment.
+
+use k8s_model::{Channel, Interceptor, Kind, MsgCtx, Object, Op, WireVerdict};
+use protowire::corrupt;
+use protowire::reflect::{Reflect, Value};
+use std::collections::HashMap;
+
+/// What part of the message the injection targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectionPoint {
+    /// A named leaf field (reflection path, e.g. `spec.replicas`).
+    Field {
+        /// Reflection path of the field.
+        path: String,
+        /// The mutation to apply.
+        mutation: FieldMutation,
+    },
+    /// A raw serialization-protocol byte (position as a fraction of the
+    /// encoded length, so one spec applies to variable-size messages).
+    ProtoByte {
+        /// Byte position as a fraction in `[0, 1)`.
+        byte_frac: f64,
+        /// Bit to flip within that byte.
+        bit: u8,
+    },
+    /// Drop the whole message (the sender still sees success).
+    Drop,
+}
+
+/// The value mutation applied to a field (§IV-C rules).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldMutation {
+    /// Flip bit `n` of an integer value (the campaign uses 0 and 4 —
+    /// the paper's "1st and 5th" bits).
+    FlipIntBit(u8),
+    /// Flip the least-significant bit of character `n` of a string
+    /// (stays a valid character for ASCII input).
+    FlipStringChar(usize),
+    /// Invert a boolean.
+    FlipBool,
+    /// Set an explicit value (data-type set: `0`, empty string, or a
+    /// semantics-specific value for critical fields).
+    Set(Value),
+}
+
+impl FieldMutation {
+    /// The paper's fault-model bucket this mutation reports under.
+    pub fn fault_kind(&self) -> FaultKind {
+        match self {
+            FieldMutation::FlipIntBit(_)
+            | FieldMutation::FlipStringChar(_)
+            | FieldMutation::FlipBool => FaultKind::BitFlip,
+            FieldMutation::Set(_) => FaultKind::ValueSet,
+        }
+    }
+}
+
+/// The three fault/error models of the campaign (Table IV rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Bit-flips (including serialization-byte flips and bool inversion).
+    BitFlip,
+    /// Data-type sets (extreme/invalid/wrong values).
+    ValueSet,
+    /// Message drops.
+    Drop,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::BitFlip => "Bit-flip",
+            FaultKind::ValueSet => "Value set",
+            FaultKind::Drop => "Drop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete injection specification (one experiment injects one fault).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionSpec {
+    /// Channel to tamper with.
+    pub channel: Channel,
+    /// Resource kind to target.
+    pub kind: Kind,
+    /// Where in the message.
+    pub point: InjectionPoint,
+    /// 1-based occurrence index (per resource instance).
+    pub occurrence: u32,
+}
+
+impl InjectionSpec {
+    /// The fault-model bucket of this spec.
+    pub fn fault_kind(&self) -> FaultKind {
+        match &self.point {
+            InjectionPoint::Field { mutation, .. } => mutation.fault_kind(),
+            InjectionPoint::ProtoByte { .. } => FaultKind::BitFlip,
+            InjectionPoint::Drop => FaultKind::Drop,
+        }
+    }
+
+    /// Short human-readable target description (for reports).
+    pub fn target_description(&self) -> String {
+        match &self.point {
+            InjectionPoint::Field { path, mutation } => format!("{}:{path} {mutation:?}", self.kind),
+            InjectionPoint::ProtoByte { byte_frac, bit } => {
+                format!("{}:proto-byte@{byte_frac:.2} bit {bit}", self.kind)
+            }
+            InjectionPoint::Drop => format!("{}:drop", self.kind),
+        }
+    }
+}
+
+/// What Mutiny actually did, recorded when the trigger fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionRecord {
+    /// Simulated time of the injection.
+    pub at: u64,
+    /// Registry key of the tampered instance.
+    pub key: String,
+    /// Operation of the tampered message.
+    pub op: Op,
+    /// Pre-injection field value, when applicable.
+    pub before: Option<Value>,
+    /// Post-injection field value, when applicable.
+    pub after: Option<Value>,
+}
+
+/// The Mutiny injector: arms one [`InjectionSpec`] and fires it once.
+///
+/// ```
+/// use k8s_model::{Channel, Kind};
+/// use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec, Mutiny};
+///
+/// let spec = InjectionSpec {
+///     channel: Channel::ApiToEtcd,
+///     kind: Kind::ReplicaSet,
+///     point: InjectionPoint::Field {
+///         path: "spec.replicas".into(),
+///         mutation: FieldMutation::FlipIntBit(4),
+///     },
+///     occurrence: 1,
+/// };
+/// let mutiny = Mutiny::armed(spec);
+/// assert!(mutiny.record().is_none()); // fires only when the message flows
+/// ```
+#[derive(Debug)]
+pub struct Mutiny {
+    spec: Option<InjectionSpec>,
+    counters: HashMap<String, u32>,
+    record: Option<InjectionRecord>,
+    /// Messages before this time are ignored: the campaign manager
+    /// programs the trigger only after scenario setup, right before the
+    /// orchestration workload executes (§IV-C's experiment phases).
+    armed_from: u64,
+}
+
+impl Default for Mutiny {
+    fn default() -> Self {
+        Mutiny::disarmed()
+    }
+}
+
+impl Mutiny {
+    /// An injector with no armed fault (golden runs).
+    pub fn disarmed() -> Mutiny {
+        Mutiny { spec: None, counters: HashMap::new(), record: None, armed_from: 0 }
+    }
+
+    /// An injector armed with one spec, counting occurrences immediately.
+    pub fn armed(spec: InjectionSpec) -> Mutiny {
+        Mutiny::armed_from(spec, 0)
+    }
+
+    /// An injector armed with one spec, counting occurrences only at or
+    /// after time `from` (the workload window).
+    pub fn armed_from(spec: InjectionSpec, from: u64) -> Mutiny {
+        Mutiny { spec: Some(spec), counters: HashMap::new(), record: None, armed_from: from }
+    }
+
+    /// The injection record, once the trigger has fired.
+    pub fn record(&self) -> Option<&InjectionRecord> {
+        self.record.as_ref()
+    }
+
+    /// True once the injection fired.
+    pub fn fired(&self) -> bool {
+        self.record.is_some()
+    }
+}
+
+impl Interceptor for Mutiny {
+    fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict {
+        let Some(spec) = &self.spec else { return WireVerdict::Pass };
+        if self.record.is_some() || ctx.now < self.armed_from {
+            return WireVerdict::Pass; // one fault, workload window only
+        }
+        if ctx.channel != spec.channel || ctx.kind != spec.kind {
+            return WireVerdict::Pass;
+        }
+
+        match &spec.point {
+            InjectionPoint::Drop => {
+                let count = bump(&mut self.counters, ctx.key);
+                if count == spec.occurrence {
+                    self.record = Some(InjectionRecord {
+                        at: ctx.now,
+                        key: ctx.key.to_owned(),
+                        op: ctx.op,
+                        before: None,
+                        after: None,
+                    });
+                    return WireVerdict::Drop;
+                }
+            }
+            InjectionPoint::ProtoByte { byte_frac, bit } => {
+                let Some(bytes) = ctx.bytes else { return WireVerdict::Pass };
+                if bytes.is_empty() {
+                    return WireVerdict::Pass;
+                }
+                let count = bump(&mut self.counters, ctx.key);
+                if count == spec.occurrence {
+                    let idx = ((bytes.len() as f64) * byte_frac.clamp(0.0, 0.999)) as usize;
+                    let tampered = corrupt::flip_bit(bytes, idx, *bit);
+                    self.record = Some(InjectionRecord {
+                        at: ctx.now,
+                        key: ctx.key.to_owned(),
+                        op: ctx.op,
+                        before: None,
+                        after: None,
+                    });
+                    return WireVerdict::Replace(tampered);
+                }
+            }
+            InjectionPoint::Field { path, mutation } => {
+                let Some(bytes) = ctx.bytes else { return WireVerdict::Pass };
+                // Only messages in which the injection target appears count
+                // towards the occurrence index (§IV-A, "when").
+                let Ok(mut obj) = Object::decode(ctx.kind, bytes) else {
+                    return WireVerdict::Pass;
+                };
+                let Some(before) = obj.get_field(path) else { return WireVerdict::Pass };
+                let count = bump(&mut self.counters, ctx.key);
+                if count == spec.occurrence {
+                    let after = mutate(&before, mutation);
+                    let applied = obj.set_field(path, after.clone());
+                    self.record = Some(InjectionRecord {
+                        at: ctx.now,
+                        key: ctx.key.to_owned(),
+                        op: ctx.op,
+                        before: Some(before),
+                        after: applied.then_some(after),
+                    });
+                    if applied {
+                        return WireVerdict::Replace(obj.encode());
+                    }
+                }
+            }
+        }
+        WireVerdict::Pass
+    }
+}
+
+fn bump(counters: &mut HashMap<String, u32>, key: &str) -> u32 {
+    let c = counters.entry(key.to_owned()).or_insert(0);
+    *c += 1;
+    *c
+}
+
+/// Applies a mutation to a value (§IV-C rules).
+pub fn mutate(before: &Value, mutation: &FieldMutation) -> Value {
+    match (before, mutation) {
+        (Value::Int(v), FieldMutation::FlipIntBit(bit)) => {
+            Value::Int(corrupt::flip_int_bit(*v, *bit))
+        }
+        (Value::Str(s), FieldMutation::FlipStringChar(i)) => {
+            Value::Str(corrupt::flip_char_lsb(s, *i).unwrap_or_else(|| s.clone()))
+        }
+        (Value::Bool(b), FieldMutation::FlipBool) => Value::Bool(!b),
+        (_, FieldMutation::Set(v)) => v.clone(),
+        // Type-mismatched mutations leave the value unchanged (the
+        // campaign generator never produces them, but corrupted specs
+        // must not panic).
+        (v, _) => v.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_model::{ObjectMeta, ReplicaSet};
+
+    fn rs_bytes(replicas: i64) -> Vec<u8> {
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named("default", "web-rs");
+        rs.spec.replicas = replicas;
+        Object::ReplicaSet(rs).encode()
+    }
+
+    fn ctx<'a>(bytes: &'a [u8], key: &'a str, now: u64) -> MsgCtx<'a> {
+        MsgCtx {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            key,
+            op: Op::Update,
+            bytes: Some(bytes),
+            now,
+        }
+    }
+
+    fn field_spec(occurrence: u32, mutation: FieldMutation) -> InjectionSpec {
+        InjectionSpec {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            point: InjectionPoint::Field { path: "spec.replicas".into(), mutation },
+            occurrence,
+        }
+    }
+
+    #[test]
+    fn fires_on_requested_occurrence_only() {
+        let mut m = Mutiny::armed(field_spec(2, FieldMutation::FlipIntBit(0)));
+        let bytes = rs_bytes(2);
+        assert_eq!(m.on_message(&ctx(&bytes, "/registry/replicasets/default/web-rs", 1)), WireVerdict::Pass);
+        let v = m.on_message(&ctx(&bytes, "/registry/replicasets/default/web-rs", 2));
+        match v {
+            WireVerdict::Replace(new_bytes) => {
+                let obj = Object::decode(Kind::ReplicaSet, &new_bytes).unwrap();
+                assert_eq!(obj.get_field("spec.replicas"), Some(Value::Int(3)));
+            }
+            other => panic!("expected Replace, got {other:?}"),
+        }
+        let rec = m.record().unwrap();
+        assert_eq!(rec.before, Some(Value::Int(2)));
+        assert_eq!(rec.after, Some(Value::Int(3)));
+        // Fires exactly once.
+        assert_eq!(m.on_message(&ctx(&bytes, "/registry/replicasets/default/web-rs", 3)), WireVerdict::Pass);
+    }
+
+    #[test]
+    fn occurrences_are_counted_per_instance() {
+        let mut m = Mutiny::armed(field_spec(2, FieldMutation::FlipIntBit(0)));
+        let bytes = rs_bytes(2);
+        // Two different instances at occurrence 1 each: no fire.
+        assert_eq!(m.on_message(&ctx(&bytes, "/registry/replicasets/default/a", 1)), WireVerdict::Pass);
+        assert_eq!(m.on_message(&ctx(&bytes, "/registry/replicasets/default/b", 2)), WireVerdict::Pass);
+        // Second message of instance a: fire.
+        assert!(matches!(
+            m.on_message(&ctx(&bytes, "/registry/replicasets/default/a", 3)),
+            WireVerdict::Replace(_)
+        ));
+    }
+
+    #[test]
+    fn wrong_channel_or_kind_ignored() {
+        let mut m = Mutiny::armed(field_spec(1, FieldMutation::FlipIntBit(0)));
+        let bytes = rs_bytes(2);
+        let mut c = ctx(&bytes, "/k", 0);
+        c.channel = Channel::KcmToApi;
+        assert_eq!(m.on_message(&c), WireVerdict::Pass);
+        let mut c = ctx(&bytes, "/k", 0);
+        c.kind = Kind::Pod;
+        assert_eq!(m.on_message(&c), WireVerdict::Pass);
+        assert!(!m.fired());
+    }
+
+    #[test]
+    fn drop_returns_drop_verdict() {
+        let mut m = Mutiny::armed(InjectionSpec {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            point: InjectionPoint::Drop,
+            occurrence: 1,
+        });
+        let bytes = rs_bytes(2);
+        assert_eq!(m.on_message(&ctx(&bytes, "/k", 5)), WireVerdict::Drop);
+        assert_eq!(m.record().unwrap().at, 5);
+    }
+
+    #[test]
+    fn proto_byte_flip_changes_bytes() {
+        let mut m = Mutiny::armed(InjectionSpec {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            point: InjectionPoint::ProtoByte { byte_frac: 0.5, bit: 3 },
+            occurrence: 1,
+        });
+        let bytes = rs_bytes(2);
+        match m.on_message(&ctx(&bytes, "/k", 0)) {
+            WireVerdict::Replace(tampered) => {
+                assert_eq!(tampered.len(), bytes.len());
+                assert_ne!(tampered, bytes);
+            }
+            other => panic!("expected Replace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_mutations() {
+        assert_eq!(mutate(&Value::Int(2), &FieldMutation::FlipIntBit(4)), Value::Int(18));
+        assert_eq!(
+            mutate(&Value::Str("web".into()), &FieldMutation::FlipStringChar(0)),
+            Value::Str("veb".into())
+        );
+        assert_eq!(mutate(&Value::Bool(true), &FieldMutation::FlipBool), Value::Bool(false));
+        assert_eq!(
+            mutate(&Value::Int(7), &FieldMutation::Set(Value::Int(0))),
+            Value::Int(0)
+        );
+        // Mismatched types degrade to no-op instead of panicking.
+        assert_eq!(mutate(&Value::Int(7), &FieldMutation::FlipBool), Value::Int(7));
+    }
+
+    #[test]
+    fn field_absent_does_not_count_occurrence() {
+        let mut m = Mutiny::armed(InjectionSpec {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            point: InjectionPoint::Field {
+                path: "spec.template.metadata.labels['missing']".into(),
+                mutation: FieldMutation::Set(Value::Str(String::new())),
+            },
+            occurrence: 1,
+        });
+        let bytes = rs_bytes(2);
+        for i in 0..5 {
+            assert_eq!(m.on_message(&ctx(&bytes, "/k", i)), WireVerdict::Pass);
+        }
+        assert!(!m.fired());
+    }
+}

@@ -1,0 +1,59 @@
+//! # mutiny-core — the paper's contribution
+//!
+//! *"Mutiny! How does Kubernetes fail, and what can we do about it?"*
+//! (Barletta, Cinque, Di Martino, Kalbarczyk, Iyer — DSN 2024) introduces
+//! a fault/error injector for the data store that preserves a Kubernetes
+//! cluster's state, runs a ~9,000-experiment campaign, and classifies the
+//! resulting failures. This crate implements all of it against the
+//! simulated cluster of [`k8s_cluster`]:
+//!
+//! * [`injector`] — Mutiny itself: bit-flips, data-type sets, and message
+//!   drops at (channel, kind, field/byte/message, occurrence);
+//! * [`recorder`] — campaign phase 1: field recording during a nominal
+//!   workload;
+//! * [`campaign`] — plan generation (§IV-C rules), experiment execution,
+//!   activation analysis;
+//! * [`classify`] — the two-level failure model (OF: No/Tim/LeR/MoR/Net/
+//!   Sta/Out; CF: NSI/HRT/IA/SU) with golden-run z-score machinery;
+//! * [`golden`] — golden runs and baselines;
+//! * [`critical`] — critical-field analysis (F2) and the
+//!   semantics-specific data-set values;
+//! * [`propagation`] — the §V-C4 study of injections on the
+//!   component→apiserver channels (Table VI);
+//! * [`ffda`] — the 81-incident real-world failure dataset (Table I);
+//! * [`coverage`] — Table VII, what Mutiny can and cannot replicate;
+//! * [`tables`] — builders regenerating Tables II–VI and Figures 6–7;
+//! * [`findings`] — the paper's findings F1–F4 computed from our data;
+//! * [`report`] — plain-text table rendering.
+//!
+//! ```no_run
+//! use mutiny_core::campaign::{run_experiment, ExperimentConfig};
+//! use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
+//! use k8s_cluster::Workload;
+//!
+//! let out = run_experiment(&ExperimentConfig::golden(Workload::Deploy, 42));
+//! assert_eq!(out.orchestrator_failure, OrchestratorFailure::No);
+//! assert_eq!(out.client_failure, ClientFailure::Nsi);
+//! ```
+
+pub mod ablation;
+pub mod campaign;
+pub mod classify;
+pub mod coverage;
+pub mod critical;
+pub mod ffda;
+pub mod findings;
+pub mod golden;
+pub mod injector;
+pub mod propagation;
+pub mod recorder;
+pub mod report;
+pub mod tables;
+
+pub use campaign::{
+    run_experiment, run_experiment_with_baseline, CampaignResults, CampaignRow, ExperimentConfig,
+    ExperimentOutcome,
+};
+pub use classify::{ClientFailure, OrchestratorFailure};
+pub use golden::{build_baseline, Baseline};
+pub use injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec, Mutiny};

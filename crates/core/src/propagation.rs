@@ -1,0 +1,212 @@
+//! Injection-propagation analysis (§V-C4, Table VI).
+//!
+//! Bit-flips are injected into messages sent *towards* the apiserver by
+//! the Kcm, the Scheduler, and the Kubelet, and two questions are asked
+//! per experiment: did the corrupted value reach etcd (**Prop**), and did
+//! the apiserver log an error for the wrong value (**Err**)? The paper
+//! finds the validation layer catches malformed values but not
+//! valid-but-wrong ones, and that Kcm corruption has the largest surface
+//! because it manipulates more resource kinds and fields.
+
+use crate::campaign::{run_world, ExperimentConfig};
+use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
+use crate::recorder::RecordedField;
+use k8s_cluster::{ClusterConfig, Workload};
+use k8s_model::Channel;
+use protowire::reflect::{FieldType, Reflect};
+
+/// Table VI cell values for one channel × workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PropagationCell {
+    /// Injections performed.
+    pub injections: usize,
+    /// Corrupted values that reached etcd.
+    pub propagated: usize,
+    /// Experiments where the apiserver logged an error on that channel.
+    pub errors: usize,
+}
+
+/// Generates the propagation plan for one channel: one bit-flip per
+/// recorded field (occurrence 1), as in the paper.
+pub fn propagation_plan(fields: &[RecordedField], channel: Channel) -> Vec<InjectionSpec> {
+    fields
+        .iter()
+        .filter(|f| f.channel == channel)
+        .filter_map(|f| {
+            let mutation = match f.field_type {
+                FieldType::Int => FieldMutation::FlipIntBit(0),
+                FieldType::Str => {
+                    if f.sample.as_str().map(str::is_empty).unwrap_or(true) {
+                        return None;
+                    }
+                    FieldMutation::FlipStringChar(0)
+                }
+                FieldType::Bool => FieldMutation::FlipBool,
+            };
+            Some(InjectionSpec {
+                channel,
+                kind: f.kind,
+                point: InjectionPoint::Field { path: f.path.clone(), mutation },
+                occurrence: 1,
+            })
+        })
+        .collect()
+}
+
+/// Runs the propagation experiments for one channel × workload.
+pub fn run_propagation(
+    cluster: &ClusterConfig,
+    workload: Workload,
+    specs: &[InjectionSpec],
+    base_seed: u64,
+) -> PropagationCell {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = specs.len().div_ceil(threads.max(1)).max(1);
+    let mut cells: Vec<PropagationCell> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = (lo + chunk).min(specs.len());
+            if lo >= hi {
+                break;
+            }
+            let cluster = cluster.clone();
+            let slice = &specs[lo..hi];
+            handles.push(scope.spawn(move || {
+                let mut cell = PropagationCell { injections: slice.len(), ..Default::default() };
+                for (i, spec) in slice.iter().enumerate() {
+                    let seed = base_seed.wrapping_add((lo + i) as u64).wrapping_mul(0x9e37);
+                    let cfg = ExperimentConfig {
+                        cluster: ClusterConfig { seed, ..cluster.clone() },
+                        workload,
+                        injection: Some(spec.clone()),
+                    };
+                    let (mut world, record) = run_world(&cfg);
+                    let Some(record) = record else { continue };
+
+                    // Err: the apiserver rejected something on this channel
+                    // at or after the injection.
+                    let errored = world.api.audit().records().iter().any(|r| {
+                        r.channel == spec.channel && r.at >= record.at && r.result.is_err()
+                    });
+                    if errored {
+                        cell.errors += 1;
+                    }
+
+                    // Prop: the corrupted value reached the store. Checked
+                    // against the store's write history, because recovery
+                    // paths (e.g. the Deployment controller resetting a
+                    // corrupted replica count) may overwrite it before the
+                    // run ends.
+                    if let (InjectionPoint::Field { path, .. }, Some(after)) =
+                        (&spec.point, &record.after)
+                    {
+                        let kind = k8s_apiserver::kind_of_key(&record.key);
+                        let in_history = world
+                            .api
+                            .etcd()
+                            .events_since(0)
+                            .ok()
+                            .map(|(events, _)| {
+                                events.iter().any(|ev| {
+                                    ev.key == record.key
+                                        && ev.value.as_ref().is_some_and(|bytes| {
+                                            kind.and_then(|k| {
+                                                k8s_model::Object::decode(k, bytes).ok()
+                                            })
+                                            .and_then(|o| o.get_field(path))
+                                            .as_ref()
+                                                == Some(after)
+                                        })
+                                })
+                            })
+                            .unwrap_or(false);
+                        let stored_now = kind
+                            .and_then(|k| {
+                                let (ns, name) = split_key(&record.key)?;
+                                world.api.get_fresh(k, &ns, &name)
+                            })
+                            .and_then(|obj| obj.get_field(path));
+                        if in_history || stored_now.as_ref() == Some(after) {
+                            cell.propagated += 1;
+                        }
+                    }
+                }
+                cell
+            }));
+        }
+        for h in handles {
+            cells.push(h.join().expect("propagation thread panicked"));
+        }
+    });
+
+    let mut total = PropagationCell::default();
+    for c in cells {
+        total.injections += c.injections;
+        total.propagated += c.propagated;
+        total.errors += c.errors;
+    }
+    total
+}
+
+fn split_key(key: &str) -> Option<(String, String)> {
+    let mut parts = key.strip_prefix("/registry/")?.split('/');
+    let _plural = parts.next()?;
+    let a = parts.next()?;
+    match parts.next() {
+        Some(b) => Some((a.to_owned(), b.to_owned())),
+        None => Some((String::new(), a.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_model::Kind;
+    use protowire::reflect::Value;
+
+    fn field(channel: Channel, kind: Kind, path: &str, sample: Value) -> RecordedField {
+        RecordedField {
+            channel,
+            kind,
+            path: path.into(),
+            field_type: sample.field_type(),
+            sample,
+            message_count: 1,
+            max_occurrence: 1,
+        }
+    }
+
+    #[test]
+    fn plan_selects_channel_and_skips_empty_strings() {
+        let fields = vec![
+            field(Channel::KcmToApi, Kind::Pod, "status.podIP", Value::Str("10.0.0.1".into())),
+            field(Channel::KcmToApi, Kind::Pod, "spec.nodeName", Value::Str(String::new())),
+            field(Channel::SchedulerToApi, Kind::Pod, "spec.nodeName", Value::Str("w1".into())),
+            field(Channel::KcmToApi, Kind::ReplicaSet, "spec.replicas", Value::Int(2)),
+        ];
+        let plan = propagation_plan(&fields, Channel::KcmToApi);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|s| s.channel == Channel::KcmToApi));
+    }
+
+    #[test]
+    fn propagation_detects_stored_corruption() {
+        // One real end-to-end experiment: flip a bit of the ReplicaSet
+        // replica count carried on the Kcm channel and verify it lands in
+        // the store without a user-visible error (the F4/Table VI gap).
+        let fields = vec![field(
+            Channel::KcmToApi,
+            Kind::ReplicaSet,
+            "spec.replicas",
+            Value::Int(2),
+        )];
+        let plan = propagation_plan(&fields, Channel::KcmToApi);
+        let cell = run_propagation(&ClusterConfig::default(), Workload::Deploy, &plan, 42);
+        assert_eq!(cell.injections, 1);
+        // A replica-count flip is valid-but-wrong: it must propagate.
+        assert_eq!(cell.propagated, 1, "{cell:?}");
+    }
+}

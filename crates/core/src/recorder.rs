@@ -1,0 +1,168 @@
+//! Field recording: the campaign's first phase.
+//!
+//! "First, we record the fields of the resource instances sent to Etcd
+//! during the execution of a nominal orchestration workload" (§IV-C). The
+//! [`FieldRecorder`] is an [`Interceptor`] that observes (never tampers
+//! with) messages and catalogues every leaf field per (channel, kind),
+//! along with a sample value and per-instance occurrence statistics.
+
+use k8s_model::{Channel, Interceptor, Kind, MsgCtx, Object, WireVerdict};
+use protowire::reflect::{FieldType, Reflect, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// One recorded field: where it was seen and what it looked like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedField {
+    /// Channel the containing messages travelled on.
+    pub channel: Channel,
+    /// Resource kind.
+    pub kind: Kind,
+    /// Reflection path.
+    pub path: String,
+    /// Scalar type.
+    pub field_type: FieldType,
+    /// First observed value (representative sample).
+    pub sample: Value,
+    /// Messages in which the field appeared.
+    pub message_count: u64,
+    /// Maximum per-instance occurrence count observed.
+    pub max_occurrence: u32,
+}
+
+/// Records the message fields flowing on selected channels.
+#[derive(Debug)]
+pub struct FieldRecorder {
+    /// Channels to observe.
+    channels: Vec<Channel>,
+    /// Recording is active only at or after this time (the workload
+    /// window; setup traffic is not part of the nominal workload).
+    from: u64,
+    fields: BTreeMap<(Channel, Kind, String), RecordedField>,
+    instance_counts: HashMap<(Channel, Kind, String), u32>,
+    /// Message drops per (channel, kind) are derived from these.
+    message_counts: BTreeMap<(Channel, Kind), u64>,
+}
+
+impl FieldRecorder {
+    /// Records messages on `channels`, starting at time `from`.
+    pub fn new(channels: Vec<Channel>, from: u64) -> FieldRecorder {
+        FieldRecorder {
+            channels,
+            from,
+            fields: BTreeMap::new(),
+            instance_counts: HashMap::new(),
+            message_counts: BTreeMap::new(),
+        }
+    }
+
+    /// The recorded fields, in stable (channel, kind, path) order.
+    pub fn fields(&self) -> Vec<RecordedField> {
+        self.fields.values().cloned().collect()
+    }
+
+    /// Kinds observed per channel, with message counts.
+    pub fn kinds_seen(&self) -> Vec<(Channel, Kind, u64)> {
+        self.message_counts.iter().map(|((c, k), n)| (*c, *k, *n)).collect()
+    }
+}
+
+impl Interceptor for FieldRecorder {
+    fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict {
+        if ctx.now < self.from || !self.channels.contains(&ctx.channel) {
+            return WireVerdict::Pass;
+        }
+        let Some(bytes) = ctx.bytes else { return WireVerdict::Pass };
+        let Ok(obj) = Object::decode(ctx.kind, bytes) else { return WireVerdict::Pass };
+
+        *self.message_counts.entry((ctx.channel, ctx.kind)).or_insert(0) += 1;
+        let inst = self
+            .instance_counts
+            .entry((ctx.channel, ctx.kind, ctx.key.to_owned()))
+            .or_insert(0);
+        *inst += 1;
+        let occurrence = *inst;
+
+        let channel = ctx.channel;
+        let kind = ctx.kind;
+        let fields = &mut self.fields;
+        obj.visit_fields("", &mut |path, value| {
+            let entry = fields.entry((channel, kind, path.to_owned())).or_insert_with(|| {
+                RecordedField {
+                    channel,
+                    kind,
+                    path: path.to_owned(),
+                    field_type: value.field_type(),
+                    sample: value.clone(),
+                    message_count: 0,
+                    max_occurrence: 0,
+                }
+            });
+            entry.message_count += 1;
+            entry.max_occurrence = entry.max_occurrence.max(occurrence);
+            // Prefer a non-default sample if one shows up later.
+            let default_sample = matches!(
+                &entry.sample,
+                Value::Int(0) | Value::Bool(false)
+            ) || entry.sample.as_str().map(str::is_empty).unwrap_or(false);
+            if default_sample {
+                entry.sample = value;
+            }
+        });
+        WireVerdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_model::{ObjectMeta, Op, ReplicaSet};
+
+    #[test]
+    fn records_fields_with_occurrences() {
+        let mut rec = FieldRecorder::new(vec![Channel::ApiToEtcd], 100);
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named("default", "web-rs");
+        rs.spec.replicas = 2;
+        let bytes = Object::ReplicaSet(rs).encode();
+
+        for (now, key) in [(50u64, "/a"), (150, "/a"), (200, "/a"), (250, "/b")] {
+            let ctx = MsgCtx {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::ReplicaSet,
+                key,
+                op: Op::Update,
+                bytes: Some(&bytes),
+                now,
+            };
+            assert_eq!(rec.on_message(&ctx), WireVerdict::Pass);
+        }
+
+        let fields = rec.fields();
+        let replicas = fields
+            .iter()
+            .find(|f| f.path == "spec.replicas")
+            .expect("spec.replicas recorded");
+        // The message at t=50 predates the window.
+        assert_eq!(replicas.message_count, 3);
+        assert_eq!(replicas.max_occurrence, 2); // /a seen twice in-window
+        assert_eq!(replicas.sample, Value::Int(2));
+        assert_eq!(rec.kinds_seen(), vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 3)]);
+    }
+
+    #[test]
+    fn ignores_unselected_channels() {
+        let mut rec = FieldRecorder::new(vec![Channel::KcmToApi], 0);
+        let rs = ReplicaSet::default();
+        let bytes = Object::ReplicaSet(rs).encode();
+        let ctx = MsgCtx {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            key: "/a",
+            op: Op::Create,
+            bytes: Some(&bytes),
+            now: 10,
+        };
+        rec.on_message(&ctx);
+        assert!(rec.fields().is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Plain-text table rendering for the evaluation harnesses.
+//!
+//! Every table/figure bench prints through this module so the regenerated
+//! artifacts have one consistent, diff-friendly format.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn push_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "{cell:<w$}  ", w = w);
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+            let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats `n/d` as the paper does: count plus percentage.
+pub fn count_pct(n: usize, d: usize) -> String {
+    if d == 0 {
+        return "0".into();
+    }
+    let pct = 100.0 * n as f64 / d as f64;
+    if pct >= 1.0 {
+        format!("{n} ({pct:.1}%)")
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(n: usize, d: usize) -> String {
+    if d == 0 {
+        "0.0%".into()
+    } else {
+        format!("{:.1}%", 100.0 * n as f64 / d as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "count"]);
+        t.push_row(["alpha", "1"]);
+        t.push_row(["b", "22222"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two rows (plus title).
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn count_pct_formats() {
+        assert_eq!(count_pct(5, 100), "5 (5.0%)");
+        assert_eq!(count_pct(1, 1000), "1");
+        assert_eq!(count_pct(0, 0), "0");
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(0, 0), "0.0%");
+    }
+}

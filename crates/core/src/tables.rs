@@ -1,0 +1,345 @@
+//! Builders regenerating the paper's evaluation tables and figures from
+//! campaign results.
+//!
+//! Every artifact of §V has a function here: Table II (category
+//! definitions), Table III (OF → CF propagation), Table IV (OF statistics
+//! per workload × injection type), Table V (CF statistics), Table VI
+//! (propagation study), Figure 6 (client z-scores per OF), and Figure 7
+//! (user-visible errors per OF). The bench targets in `mutiny-bench` call
+//! these and print the rendered tables.
+
+use crate::campaign::{CampaignResults, CampaignRow};
+use crate::classify::{ClientFailure, OrchestratorFailure};
+use crate::injector::FaultKind;
+use crate::propagation::PropagationCell;
+use crate::report::{count_pct, pct, Table};
+use k8s_cluster::Workload;
+use k8s_model::Channel;
+
+/// Table II: the client failure categories and their definitions.
+pub fn table2() -> Table {
+    let mut t = Table::new("Table II — Client failure categories", &["Category", "Definition"]);
+    t.push_row(["NSI", "service available; response times not significantly different from golden runs"]);
+    t.push_row(["HRT", "service available; response times significantly higher than golden runs"]);
+    t.push_row(["IA", "intermittent error responses not due to request timeouts"]);
+    t.push_row(["SU", "from a certain instant, the service is unreachable to the client"]);
+    t
+}
+
+/// Table III: mapping between orchestrator failures and client failures,
+/// one column group per workload.
+pub fn table3(results: &CampaignResults) -> Table {
+    let mut headers: Vec<String> = vec!["OF".into()];
+    for wl in Workload::ALL {
+        for cf in ClientFailure::ALL {
+            headers.push(format!("{}:{}", wl.name(), cf.label()));
+        }
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table III — Orchestrator failures (OF) vs client failures (CF)",
+        &hdr_refs,
+    );
+    for of in OrchestratorFailure::ALL {
+        let mut row: Vec<String> = vec![of.label().into()];
+        for wl in Workload::ALL {
+            let wl_total = results.count(|r| r.workload == wl).max(1);
+            for cf in ClientFailure::ALL {
+                let n = results.count(|r| r.workload == wl && r.of == of && r.cf == cf);
+                row.push(if n == 0 {
+                    "0".into()
+                } else {
+                    format!("{n} ({:.1}%)", 100.0 * n as f64 / wl_total as f64)
+                });
+            }
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Table IV: orchestrator-level failure statistics per workload and
+/// injection type.
+pub fn table4(results: &CampaignResults) -> Table {
+    let mut t = Table::new(
+        "Table IV — Orchestrator-level failures (OF) per workload × injection type",
+        &["WL", "Injection", "Perf.", "No", "Tim", "LeR", "MoR", "Net", "Sta", "Out"],
+    );
+    let mut totals = vec![0usize; 8];
+    for wl in Workload::ALL {
+        for fault in [FaultKind::BitFlip, FaultKind::ValueSet, FaultKind::Drop] {
+            let rows: Vec<&CampaignRow> = results
+                .rows
+                .iter()
+                .filter(|r| r.workload == wl && r.fault == fault)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let mut cells: Vec<String> =
+                vec![wl.name().into(), fault.to_string(), rows.len().to_string()];
+            totals[0] += rows.len();
+            for (i, of) in OrchestratorFailure::ALL.iter().enumerate() {
+                let n = rows.iter().filter(|r| r.of == *of).count();
+                totals[i + 1] += n;
+                cells.push(n.to_string());
+            }
+            t.push_row(cells);
+        }
+    }
+    let total = totals[0].max(1);
+    let mut sum_row: Vec<String> = vec!["Σ".into(), String::new(), totals[0].to_string()];
+    sum_row.extend(totals[1..].iter().map(|n| n.to_string()));
+    t.push_row(sum_row);
+    let mut pct_row: Vec<String> = vec!["%".into(), String::new(), "100%".into()];
+    pct_row.extend(totals[1..].iter().map(|n| pct(*n, total)));
+    t.push_row(pct_row);
+    t
+}
+
+/// Table V: client-level failure statistics per workload and injection
+/// type.
+pub fn table5(results: &CampaignResults) -> Table {
+    let mut t = Table::new(
+        "Table V — Client-level failures (CF) per workload × injection type",
+        &["WL", "Injection", "Perf.", "NSI", "HRT", "IA", "SU"],
+    );
+    let mut totals = vec![0usize; 5];
+    for wl in Workload::ALL {
+        for fault in [FaultKind::BitFlip, FaultKind::ValueSet, FaultKind::Drop] {
+            let rows: Vec<&CampaignRow> = results
+                .rows
+                .iter()
+                .filter(|r| r.workload == wl && r.fault == fault)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let mut cells: Vec<String> =
+                vec![wl.name().into(), fault.to_string(), rows.len().to_string()];
+            totals[0] += rows.len();
+            for (i, cf) in ClientFailure::ALL.iter().enumerate() {
+                let n = rows.iter().filter(|r| r.cf == *cf).count();
+                totals[i + 1] += n;
+                cells.push(n.to_string());
+            }
+            t.push_row(cells);
+        }
+    }
+    let total = totals[0].max(1);
+    let mut sum_row: Vec<String> = vec!["Σ".into(), String::new(), totals[0].to_string()];
+    sum_row.extend(totals[1..].iter().map(|n| n.to_string()));
+    t.push_row(sum_row);
+    let mut pct_row: Vec<String> = vec!["%".into(), String::new(), "100%".into()];
+    pct_row.extend(totals[1..].iter().map(|n| pct(*n, total)));
+    t.push_row(pct_row);
+    t
+}
+
+/// Table VI: the propagation study. `cells[(channel, workload)]`.
+pub fn table6(
+    cells: &[(Channel, Workload, PropagationCell)],
+) -> Table {
+    let mut t = Table::new(
+        "Table VI — Propagation of injections on component→apiserver channels",
+        &["WL", "Channel", "Inj.", "Prop", "Err."],
+    );
+    for (channel, wl, cell) in cells {
+        t.push_row([
+            wl.name().to_string(),
+            channel.to_string(),
+            cell.injections.to_string(),
+            cell.propagated.to_string(),
+            cell.errors.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 6 data: client z-score statistics per workload × OF category.
+pub fn fig6(results: &CampaignResults) -> Table {
+    let mut t = Table::new(
+        "Figure 6 — Client impact (MAE z-scores) per orchestrator failure",
+        &["WL", "OF", "n", "z median", "z p95", "z max"],
+    );
+    for wl in Workload::ALL {
+        for of in OrchestratorFailure::ALL {
+            let zs: Vec<f64> = results
+                .rows
+                .iter()
+                .filter(|r| r.workload == wl && r.of == of)
+                .map(|r| r.z)
+                .collect();
+            if zs.is_empty() {
+                continue;
+            }
+            t.push_row([
+                wl.name().to_string(),
+                of.label().to_string(),
+                zs.len().to_string(),
+                format!("{:.1}", simkit::stats::percentile(&zs, 50.0)),
+                format!("{:.1}", simkit::stats::percentile(&zs, 95.0)),
+                format!("{:.1}", simkit::stats::max(&zs)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 7 data: experiments vs experiments with a user-visible error,
+/// per workload × OF category (finding F4).
+pub fn fig7(results: &CampaignResults) -> Table {
+    let mut t = Table::new(
+        "Figure 7 — Experiments in which the user received an API error",
+        &["WL", "OF", "Total", "Error", "Error share"],
+    );
+    for wl in Workload::ALL {
+        for of in OrchestratorFailure::ALL {
+            let total = results.count(|r| r.workload == wl && r.of == of);
+            if total == 0 {
+                continue;
+            }
+            let err = results.count(|r| r.workload == wl && r.of == of && r.user_error);
+            t.push_row([
+                wl.name().to_string(),
+                of.label().to_string(),
+                total.to_string(),
+                err.to_string(),
+                pct(err, total),
+            ]);
+        }
+    }
+    t
+}
+
+/// Critical-field table (§V-C2): the fields whose injections caused
+/// Sta/Out/SU, grouped by category.
+pub fn critical_field_table(results: &CampaignResults) -> Table {
+    let fields = crate::critical::critical_fields(results);
+    let mut t = Table::new(
+        "Critical fields — injections causing Sta, Out, or SU",
+        &["Field", "Category", "Critical injections"],
+    );
+    for f in &fields {
+        t.push_row([f.path.clone(), f.category.to_string(), f.critical_injections.to_string()]);
+    }
+    let dep = crate::critical::dependency_share(results);
+    t.push_row([
+        "— dependency-field share of critical experiments".to_string(),
+        String::new(),
+        format!("{:.0}%", dep * 100.0),
+    ]);
+    t
+}
+
+/// One-paragraph summary in the style of the paper's finding boxes.
+pub fn summary_counts(results: &CampaignResults) -> String {
+    let total = results.len().max(1);
+    let sta_out = results.count(|r| r.of.is_system_wide());
+    let provision = results.count(|r| {
+        matches!(r.of, OrchestratorFailure::LeR | OrchestratorFailure::MoR)
+    });
+    let net = results.count(|r| r.of == OrchestratorFailure::Net);
+    let none = results.count(|r| r.of == OrchestratorFailure::No);
+    format!(
+        "{} injections: system-wide failures {} | under/over-provisioning {} | \
+         service networking {} | no effect {} | activation rate {:.0}%",
+        total,
+        count_pct(sta_out, total),
+        count_pct(provision, total),
+        count_pct(net, total),
+        count_pct(none, total),
+        results.activation_rate() * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
+    use k8s_model::Kind;
+    use protowire::reflect::Value;
+
+    fn row(wl: Workload, fault: FaultKind, of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
+        CampaignRow {
+            workload: wl,
+            spec: InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::Pod,
+                point: InjectionPoint::Field {
+                    path: "spec.nodeName".into(),
+                    mutation: FieldMutation::Set(Value::Str(String::new())),
+                },
+                occurrence: 1,
+            },
+            fault,
+            of,
+            cf,
+            z: 1.0,
+            fired: true,
+            activated: true,
+            user_error: of == OrchestratorFailure::Out,
+            path: Some("spec.nodeName".into()),
+        }
+    }
+
+    fn sample_results() -> CampaignResults {
+        CampaignResults {
+            rows: vec![
+                row(Workload::Deploy, FaultKind::BitFlip, OrchestratorFailure::No, ClientFailure::Nsi),
+                row(Workload::Deploy, FaultKind::BitFlip, OrchestratorFailure::MoR, ClientFailure::Hrt),
+                row(Workload::Deploy, FaultKind::ValueSet, OrchestratorFailure::Sta, ClientFailure::Nsi),
+                row(Workload::ScaleUp, FaultKind::Drop, OrchestratorFailure::No, ClientFailure::Nsi),
+                row(Workload::Failover, FaultKind::BitFlip, OrchestratorFailure::Out, ClientFailure::Su),
+            ],
+        }
+    }
+
+    #[test]
+    fn tables_render_with_totals() {
+        let r = sample_results();
+        let t4 = table4(&r);
+        let s4 = t4.render();
+        assert!(s4.contains("deploy"));
+        assert!(s4.contains("Σ"));
+        assert!(s4.contains("100%"));
+        let t5 = table5(&r);
+        assert!(t5.render().contains("NSI"));
+        let t3 = table3(&r);
+        assert!(t3.render().contains("deploy:NSI"));
+        assert!(!table2().is_empty());
+    }
+
+    #[test]
+    fn fig_tables_cover_categories_present() {
+        let r = sample_results();
+        assert!(fig6(&r).render().contains("Out"));
+        let f7 = fig7(&r).render();
+        assert!(f7.contains("100.0%"), "{f7}"); // the Out row had a user error
+    }
+
+    #[test]
+    fn summary_mentions_all_buckets() {
+        let s = summary_counts(&sample_results());
+        assert!(s.contains("system-wide"));
+        assert!(s.contains("activation rate"));
+    }
+
+    #[test]
+    fn critical_table_includes_share() {
+        let r = sample_results();
+        let t = critical_field_table(&r);
+        assert!(t.render().contains("dependency-field share"));
+    }
+
+    #[test]
+    fn table6_renders_cells() {
+        let cells = vec![(
+            Channel::KcmToApi,
+            Workload::Deploy,
+            PropagationCell { injections: 10, propagated: 4, errors: 2 },
+        )];
+        let t = table6(&cells);
+        assert!(t.render().contains("kcm->apiserver"));
+    }
+}

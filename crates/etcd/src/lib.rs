@@ -1,0 +1,424 @@
+//! # etcd-sim — the simulated cluster data store
+//!
+//! Kubernetes confines all state to etcd, which the paper identifies as the
+//! dependability bottleneck: "any corruption of the data in the data store
+//! may propagate and cause failures in every system component" (§I). This
+//! crate models the store at the fidelity the campaign needs:
+//!
+//! * **MVCC byte store** with a global revision counter and per-key
+//!   create/mod revisions;
+//! * **watch log** — an ordered event stream with compaction, from which
+//!   the apiserver's watch cache feeds controllers;
+//! * **quorum replication** — writes reach every replica (consensus runs
+//!   *after* the injection point, so replicas agree on faulty values,
+//!   exactly as §V-C1 observes); reads take a majority vote, which masks
+//!   single-replica at-rest corruption;
+//! * **disk-usage model** — uncontrolled object replication eventually
+//!   fills the control-plane disk and stalls the store (the terminal state
+//!   of the paper's uncontrolled-replication example).
+//!
+//! ```
+//! use etcd_sim::Etcd;
+//!
+//! let mut etcd = Etcd::new(1, 64 * 1024);
+//! let rev = etcd.put("/registry/pods/default/web-0", b"pod-bytes".to_vec()).unwrap();
+//! let (bytes, mod_rev) = etcd.get("/registry/pods/default/web-0").unwrap();
+//! assert_eq!(bytes, b"pod-bytes");
+//! assert_eq!(mod_rev, rev);
+//! ```
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EtcdError {
+    /// The store's disk budget is exhausted; writes are rejected and the
+    /// cluster state can no longer evolve (a Stall condition).
+    DiskFull,
+    /// A watcher asked for events older than the compaction horizon and
+    /// must re-list.
+    Compacted,
+}
+
+impl fmt::Display for EtcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtcdError::DiskFull => write!(f, "etcd disk full: write rejected"),
+            EtcdError::Compacted => write!(f, "requested watch revision was compacted"),
+        }
+    }
+}
+
+impl std::error::Error for EtcdError {}
+
+/// One change in the watch stream: `value: None` is a delete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// Store revision at which the change committed.
+    pub revision: u64,
+    /// Registry key that changed.
+    pub key: String,
+    /// New value (`None` for deletions).
+    pub value: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Versioned {
+    bytes: Vec<u8>,
+    create_rev: u64,
+    mod_rev: u64,
+}
+
+/// A single etcd replica: a byte map plus disk accounting.
+#[derive(Debug, Clone, Default)]
+struct Replica {
+    data: BTreeMap<String, Versioned>,
+    disk_used: u64,
+}
+
+impl Replica {
+    fn put(&mut self, key: &str, bytes: Vec<u8>, rev: u64) {
+        let len = bytes.len() as u64 + key.len() as u64;
+        match self.data.get_mut(key) {
+            Some(v) => {
+                self.disk_used =
+                    self.disk_used + len - (v.bytes.len() as u64 + key.len() as u64);
+                v.bytes = bytes;
+                v.mod_rev = rev;
+            }
+            None => {
+                self.disk_used += len;
+                self.data.insert(
+                    key.to_owned(),
+                    Versioned { bytes, create_rev: rev, mod_rev: rev },
+                );
+            }
+        }
+    }
+
+    fn delete(&mut self, key: &str) -> bool {
+        if let Some(v) = self.data.remove(key) {
+            self.disk_used -= v.bytes.len() as u64 + key.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// How many watch events are retained before compaction.
+pub const WATCH_LOG_RETENTION: usize = 200_000;
+
+/// The replicated data store front-end used by the apiserver.
+#[derive(Debug, Clone)]
+pub struct Etcd {
+    replicas: Vec<Replica>,
+    revision: u64,
+    capacity_bytes: u64,
+    events: VecDeque<WatchEvent>,
+    /// Log index of `events[0]`.
+    first_event_index: u64,
+    writes_rejected: u64,
+}
+
+impl Etcd {
+    /// Creates a store with `replicas` replicas (≥ 1) and a per-replica
+    /// disk budget of `capacity_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn new(replicas: usize, capacity_bytes: u64) -> Etcd {
+        assert!(replicas >= 1, "etcd needs at least one replica");
+        Etcd {
+            replicas: vec![Replica::default(); replicas],
+            revision: 0,
+            capacity_bytes,
+            events: VecDeque::new(),
+            first_event_index: 0,
+            writes_rejected: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Current global revision.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Bytes stored on the leader replica.
+    pub fn disk_used(&self) -> u64 {
+        self.replicas[0].disk_used
+    }
+
+    /// True once the disk budget is exhausted (writes are being rejected).
+    pub fn is_stalled(&self) -> bool {
+        self.disk_used() >= self.capacity_bytes
+    }
+
+    /// Number of writes rejected because the disk was full.
+    pub fn writes_rejected(&self) -> u64 {
+        self.writes_rejected
+    }
+
+    /// Number of keys stored.
+    pub fn object_count(&self) -> usize {
+        self.replicas[0].data.len()
+    }
+
+    /// Commits a write to every replica (post-consensus, so all replicas
+    /// carry the same — possibly faulty — value). Returns the new revision.
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::DiskFull`] when the disk budget is exhausted.
+    pub fn put(&mut self, key: &str, bytes: Vec<u8>) -> Result<u64, EtcdError> {
+        let grow = bytes.len() as u64 + key.len() as u64;
+        let existing = self.replicas[0]
+            .data
+            .get(key)
+            .map(|v| v.bytes.len() as u64 + key.len() as u64)
+            .unwrap_or(0);
+        if self.disk_used() + grow.saturating_sub(existing) > self.capacity_bytes {
+            self.writes_rejected += 1;
+            return Err(EtcdError::DiskFull);
+        }
+        self.revision += 1;
+        let rev = self.revision;
+        for r in &mut self.replicas {
+            r.put(key, bytes.clone(), rev);
+        }
+        self.push_event(WatchEvent { revision: rev, key: key.to_owned(), value: Some(bytes) });
+        Ok(rev)
+    }
+
+    /// Deletes a key from every replica. Returns the deletion revision, or
+    /// `None` when the key did not exist.
+    pub fn delete(&mut self, key: &str) -> Option<u64> {
+        let mut any = false;
+        for r in &mut self.replicas {
+            any |= r.delete(key);
+        }
+        if !any {
+            return None;
+        }
+        self.revision += 1;
+        let rev = self.revision;
+        self.push_event(WatchEvent { revision: rev, key: key.to_owned(), value: None });
+        Some(rev)
+    }
+
+    fn push_event(&mut self, ev: WatchEvent) {
+        if self.events.len() == WATCH_LOG_RETENTION {
+            self.events.pop_front();
+            self.first_event_index += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Quorum read: per-replica values are majority-voted, masking
+    /// single-replica at-rest corruption. Returns `(bytes, mod_revision)`.
+    pub fn get(&self, key: &str) -> Option<(Vec<u8>, u64)> {
+        let values: Vec<&Versioned> =
+            self.replicas.iter().filter_map(|r| r.data.get(key)).collect();
+        if values.is_empty() || values.len() * 2 <= self.replicas.len() - 1 {
+            return None; // no majority holds the key
+        }
+        // Majority vote on the byte content.
+        let mut counts: Vec<(usize, &Versioned)> = Vec::new();
+        for v in &values {
+            match counts.iter_mut().find(|(_, u)| u.bytes == v.bytes) {
+                Some((c, _)) => *c += 1,
+                None => counts.push((1, v)),
+            }
+        }
+        counts.sort_by(|a, b| b.0.cmp(&a.0));
+        let (_, winner) = counts[0];
+        Some((winner.bytes.clone(), winner.mod_rev))
+    }
+
+    /// Quorum range read over a key prefix, in key order.
+    pub fn range(&self, prefix: &str) -> Vec<(String, Vec<u8>, u64)> {
+        let leader = &self.replicas[0];
+        leader
+            .data
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, _)| self.get(k).map(|(b, rev)| (k.clone(), b, rev)))
+            .collect()
+    }
+
+    /// Returns watch events with log index ≥ `cursor` plus the next cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::Compacted`] when `cursor` precedes the retention window.
+    pub fn events_since(&self, cursor: u64) -> Result<(Vec<WatchEvent>, u64), EtcdError> {
+        if cursor < self.first_event_index {
+            return Err(EtcdError::Compacted);
+        }
+        let start = (cursor - self.first_event_index) as usize;
+        let out: Vec<WatchEvent> = self.events.iter().skip(start).cloned().collect();
+        let next = self.first_event_index + self.events.len() as u64;
+        Ok((out, next))
+    }
+
+    /// Log index one past the newest event (initial cursor for watchers).
+    pub fn event_head(&self) -> u64 {
+        self.first_event_index + self.events.len() as u64
+    }
+
+    /// Silently corrupts the bytes stored on one replica without bumping
+    /// revisions or emitting watch events — at-rest corruption (§V-C1).
+    ///
+    /// Returns `false` when the replica or key does not exist.
+    pub fn corrupt_at_rest(&mut self, replica: usize, key: &str, bytes: Vec<u8>) -> bool {
+        match self.replicas.get_mut(replica).and_then(|r| r.data.get_mut(key)) {
+            Some(v) => {
+                v.bytes = bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a single replica without quorum (models a client that talks
+    /// to one replica directly, bypassing linearizable reads).
+    pub fn get_unquorum(&self, replica: usize, key: &str) -> Option<(Vec<u8>, u64)> {
+        self.replicas.get(replica)?.data.get(key).map(|v| (v.bytes.clone(), v.mod_rev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_and_revisions() {
+        let mut e = Etcd::new(1, 4096);
+        let r1 = e.put("/a", vec![1]).unwrap();
+        let r2 = e.put("/b", vec![2]).unwrap();
+        assert!(r2 > r1);
+        assert_eq!(e.get("/a").unwrap().0, vec![1]);
+        let r3 = e.put("/a", vec![9]).unwrap();
+        let (bytes, rev) = e.get("/a").unwrap();
+        assert_eq!(bytes, vec![9]);
+        assert_eq!(rev, r3);
+        assert_eq!(e.revision(), 3);
+    }
+
+    #[test]
+    fn delete_and_missing() {
+        let mut e = Etcd::new(1, 4096);
+        e.put("/a", vec![1]).unwrap();
+        assert!(e.delete("/a").is_some());
+        assert!(e.get("/a").is_none());
+        assert!(e.delete("/a").is_none());
+    }
+
+    #[test]
+    fn range_is_prefix_scoped_and_ordered() {
+        let mut e = Etcd::new(1, 4096);
+        e.put("/registry/pods/default/b", vec![2]).unwrap();
+        e.put("/registry/pods/default/a", vec![1]).unwrap();
+        e.put("/registry/pods/kube-system/c", vec![3]).unwrap();
+        e.put("/registry/services/default/s", vec![4]).unwrap();
+        let r = e.range("/registry/pods/default/");
+        let keys: Vec<&str> = r.iter().map(|(k, _, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["/registry/pods/default/a", "/registry/pods/default/b"]);
+    }
+
+    #[test]
+    fn watch_events_stream_in_order() {
+        let mut e = Etcd::new(1, 4096);
+        let c0 = e.event_head();
+        e.put("/a", vec![1]).unwrap();
+        e.delete("/a");
+        let (evs, next) = e.events_since(c0).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].value, Some(vec![1]));
+        assert_eq!(evs[1].value, None);
+        let (evs2, _) = e.events_since(next).unwrap();
+        assert!(evs2.is_empty());
+    }
+
+    #[test]
+    fn disk_fill_stalls_writes() {
+        let mut e = Etcd::new(1, 64);
+        let mut wrote = 0;
+        loop {
+            match e.put(&format!("/k{wrote}"), vec![0u8; 16]) {
+                Ok(_) => wrote += 1,
+                Err(EtcdError::DiskFull) => break,
+                Err(other) => panic!("unexpected: {other}"),
+            }
+            assert!(wrote < 100, "disk never filled");
+        }
+        assert!(e.is_stalled() || e.writes_rejected() > 0);
+        // Updating an existing key to a smaller value still works.
+        assert!(e.put("/k0", vec![0u8; 1]).is_ok());
+    }
+
+    #[test]
+    fn quorum_masks_single_replica_at_rest_corruption() {
+        let mut e = Etcd::new(3, 4096);
+        e.put("/a", vec![7, 7, 7]).unwrap();
+        assert!(e.corrupt_at_rest(1, "/a", vec![0, 0, 0]));
+        // Quorum read returns the uncorrupted majority value.
+        assert_eq!(e.get("/a").unwrap().0, vec![7, 7, 7]);
+        // Direct unquorum read of the corrupted replica sees the bad value.
+        assert_eq!(e.get_unquorum(1, "/a").unwrap().0, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn in_flight_corruption_reaches_all_replicas() {
+        // The §V-C1 result: injections before consensus are NOT masked.
+        let mut e = Etcd::new(3, 4096);
+        e.put("/a", vec![0xBA, 0xD0]).unwrap(); // already-faulty value
+        for i in 0..3 {
+            assert_eq!(e.get_unquorum(i, "/a").unwrap().0, vec![0xBA, 0xD0]);
+        }
+        assert_eq!(e.get("/a").unwrap().0, vec![0xBA, 0xD0]);
+    }
+
+    #[test]
+    fn at_rest_corruption_emits_no_watch_event() {
+        let mut e = Etcd::new(1, 4096);
+        e.put("/a", vec![1]).unwrap();
+        let head = e.event_head();
+        e.corrupt_at_rest(0, "/a", vec![2]);
+        assert_eq!(e.event_head(), head);
+        assert_eq!(e.revision(), 1);
+    }
+
+    #[test]
+    fn compaction_forces_relist() {
+        let mut e = Etcd::new(1, u64::MAX);
+        for i in 0..(WATCH_LOG_RETENTION + 10) {
+            e.put(&format!("/k{}", i % 7), vec![1]).unwrap();
+        }
+        assert!(matches!(e.events_since(0), Err(EtcdError::Compacted)));
+        let head = e.event_head();
+        assert!(e.events_since(head).is_ok());
+    }
+
+    #[test]
+    fn corrupt_missing_key_or_replica_is_false() {
+        let mut e = Etcd::new(1, 4096);
+        assert!(!e.corrupt_at_rest(0, "/nope", vec![]));
+        e.put("/a", vec![1]).unwrap();
+        assert!(!e.corrupt_at_rest(5, "/a", vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        let _ = Etcd::new(0, 1);
+    }
+}

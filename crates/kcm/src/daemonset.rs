@@ -1,0 +1,134 @@
+//! The DaemonSet controller: one pod per eligible node.
+//!
+//! DaemonSet pods carry system-node-critical priority and pre-bound
+//! `nodeName`s (they bypass the scheduler), which is why the paper's
+//! uncontrolled-replication example is at its most destructive here: the
+//! spawned pods preempt application pods node by node until the cluster
+//! serves nothing (§V-C1's Outage path).
+
+use crate::{name_suffix, Ctx};
+use k8s_model::{Channel, DaemonSet, Kind, Node, Object, Pod};
+use simkit::TraceLevel;
+use std::collections::BTreeMap;
+
+/// Reconciles one DaemonSet.
+///
+/// # Errors
+///
+/// Returns a description of the first API failure; the caller requeues
+/// with backoff.
+pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
+    let Some(Object::DaemonSet(ds)) = ctx.api.get(Kind::DaemonSet, ns, name) else {
+        return Ok(());
+    };
+    if ds.metadata.is_terminating() {
+        return Ok(());
+    }
+    if k8s_model::is_suspended(&ds.metadata) {
+        ctx.metrics.suspended_skips += 1;
+        return Ok(()); // tripped circuit breaker (§VI-B)
+    }
+
+    let nodes: Vec<Node> = ctx
+        .api
+        .list(Kind::Node, None)
+        .into_iter()
+        .filter_map(|o| match o {
+            Object::Node(n) if !n.metadata.is_terminating() => Some(n),
+            _ => None,
+        })
+        .collect();
+
+    // Classify pods exactly like the ReplicaSet controller: owned pods
+    // whose labels stopped matching are released (the infinite-spawn seam).
+    let pods = ctx.api.list(Kind::Pod, Some(ns));
+    let mut by_node: BTreeMap<String, Vec<Pod>> = BTreeMap::new();
+    for obj in pods {
+        let Object::Pod(pod) = obj else { continue };
+        if pod.metadata.is_terminating() {
+            continue;
+        }
+        let is_mine = pod
+            .metadata
+            .controller_ref()
+            .map(|c| c.kind == "DaemonSet" && c.uid == ds.metadata.uid)
+            .unwrap_or(false);
+        if !is_mine {
+            continue;
+        }
+        if !ds.spec.selector.matches(&pod.metadata.labels) {
+            let mut released = pod.clone();
+            released.metadata.owner_references.retain(|o| !o.controller);
+            ctx.api
+                .update(Channel::KcmToApi, Object::Pod(released))
+                .map_err(|e| format!("release ds pod {}: {e}", pod.metadata.name))?;
+            ctx.metrics.orphaned += 1;
+            ctx.log(
+                TraceLevel::Warn,
+                "kcm/daemonset",
+                format!("released pod {} (labels no longer match selector)", pod.metadata.name),
+            );
+            continue;
+        }
+        by_node.entry(pod.spec.node_name.clone()).or_default().push(pod);
+    }
+
+    let mut ready = 0i64;
+    for node in &nodes {
+        match by_node.get(node.metadata.name.as_str()) {
+            None => create_pod(ctx, &ds, &node.metadata.name)?,
+            Some(pods) => {
+                ready += pods.iter().filter(|p| p.is_ready()).count() as i64;
+                // Duplicates on one node: keep the oldest.
+                if pods.len() > 1 {
+                    let mut extra: Vec<&Pod> = pods.iter().collect();
+                    extra.sort_by_key(|p| p.metadata.creation_timestamp);
+                    for p in &extra[1..] {
+                        ctx.api
+                            .delete(Channel::KcmToApi, Kind::Pod, ns, &p.metadata.name)
+                            .map_err(|e| format!("delete duplicate ds pod: {e}"))?;
+                        ctx.metrics.pods_deleted += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Pods bound to nodes that no longer exist.
+    for (node_name, pods) in &by_node {
+        if !nodes.iter().any(|n| &n.metadata.name == node_name) {
+            for p in pods {
+                ctx.api
+                    .delete(Channel::KcmToApi, Kind::Pod, ns, &p.metadata.name)
+                    .map_err(|e| format!("delete ds pod on missing node: {e}"))?;
+                ctx.metrics.pods_deleted += 1;
+            }
+        }
+    }
+
+    let mut updated = ds.clone();
+    updated.status.desired = nodes.len() as i64;
+    updated.status.ready = ready;
+    updated.status.observed_generation = ds.metadata.generation;
+    if updated.status != ds.status {
+        ctx.api
+            .update(Channel::KcmToApi, Object::DaemonSet(updated))
+            .map_err(|e| format!("update ds status: {e}"))?;
+    }
+    Ok(())
+}
+
+fn create_pod(ctx: &mut Ctx<'_>, ds: &DaemonSet, node: &str) -> Result<(), String> {
+    let mut pod = Pod::default();
+    pod.metadata = ds.spec.template.metadata.clone();
+    pod.metadata.namespace = ds.metadata.namespace.clone();
+    pod.metadata.name = format!("{}-{}", ds.metadata.name, name_suffix(ctx.rng));
+    pod.metadata.set_controller_ref("DaemonSet", &ds.metadata.name, &ds.metadata.uid);
+    pod.spec = ds.spec.template.spec.clone();
+    pod.spec.node_name = node.to_owned(); // DaemonSet pods bypass the scheduler
+    ctx.api
+        .create(Channel::KcmToApi, Object::Pod(pod))
+        .map_err(|e| format!("create pod for ds {}: {e}", ds.metadata.name))?;
+    ctx.metrics.pods_created += 1;
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! The Deployment controller: ReplicaSet management and rolling updates.
+//!
+//! Two behaviours matter for the campaign:
+//!
+//! * **overwrite recovery** — a corrupted `ReplicaSet.spec.replicas` is
+//!   reset from the owning Deployment on the next sync, one of the paper's
+//!   observed recovery paths ("the value is overwritten", §V-C1);
+//! * **MaxUnavailable / MaxSurge** — rolling updates keep a minimum number
+//!   of replicas available, limiting the blast radius of bad updates
+//!   (§II-D), which the ablation bench toggles.
+
+use crate::Ctx;
+use k8s_model::{Channel, Deployment, Kind, Object, ReplicaSet};
+use protowire::Message;
+
+/// Stable hash of a pod template (names the template's ReplicaSet).
+pub fn template_hash(d: &Deployment) -> u64 {
+    let bytes = d.spec.template.encode();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Reconciles one Deployment.
+///
+/// # Errors
+///
+/// Returns a description of the first API failure; the caller requeues
+/// with backoff.
+pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
+    let Some(Object::Deployment(dep)) = ctx.api.get(Kind::Deployment, ns, name) else {
+        return Ok(()); // deleted; GC reaps owned ReplicaSets
+    };
+    if dep.metadata.is_terminating() || dep.spec.paused {
+        return Ok(());
+    }
+    if k8s_model::is_suspended(&dep.metadata) {
+        ctx.metrics.suspended_skips += 1;
+        return Ok(()); // tripped circuit breaker (§VI-B)
+    }
+
+    let desired = dep.spec.replicas.max(0);
+    let hash = template_hash(&dep);
+    let new_rs_name = format!("{}-{:08x}", dep.metadata.name, hash & 0xffff_ffff);
+
+    // Collect owned ReplicaSets.
+    let mut owned: Vec<ReplicaSet> = ctx
+        .api
+        .list(Kind::ReplicaSet, Some(ns))
+        .into_iter()
+        .filter_map(|o| match o {
+            Object::ReplicaSet(rs)
+                if rs
+                    .metadata
+                    .controller_ref()
+                    .map(|c| c.kind == "Deployment" && c.uid == dep.metadata.uid)
+                    .unwrap_or(false) =>
+            {
+                Some(rs)
+            }
+            _ => None,
+        })
+        .collect();
+    owned.sort_by(|a, b| a.metadata.name.cmp(&b.metadata.name));
+
+    let new_rs = owned.iter().find(|rs| rs.metadata.name == new_rs_name).cloned();
+    let old_rses: Vec<ReplicaSet> =
+        owned.iter().filter(|rs| rs.metadata.name != new_rs_name).cloned().collect();
+
+    let max_surge = dep.spec.max_surge.max(0);
+    let max_unavailable = dep.spec.max_unavailable.max(0);
+    let old_total: i64 = old_rses.iter().map(|rs| rs.spec.replicas.max(0)).sum();
+    let old_ready: i64 = old_rses.iter().map(|rs| rs.status.ready_replicas.max(0)).sum();
+
+    let new_rs = match new_rs {
+        Some(rs) => rs,
+        None => {
+            // Create the ReplicaSet for the current template, respecting
+            // the surge budget while old ReplicaSets still run.
+            let initial = if old_total == 0 {
+                desired
+            } else {
+                (desired + max_surge - old_total).clamp(0, desired)
+            };
+            let mut rs = ReplicaSet::default();
+            rs.metadata = k8s_model::ObjectMeta::named(&dep.metadata.namespace, &new_rs_name);
+            rs.metadata.labels = dep.spec.template.metadata.labels.clone();
+            rs.metadata.set_controller_ref("Deployment", &dep.metadata.name, &dep.metadata.uid);
+            rs.spec.replicas = initial;
+            rs.spec.selector = dep.spec.selector.clone();
+            rs.spec.template = dep.spec.template.clone();
+            ctx.api
+                .create(Channel::KcmToApi, Object::ReplicaSet(rs))
+                .map_err(|e| format!("create rs {new_rs_name}: {e}"))?;
+            return Ok(()); // continue on the next event
+        }
+    };
+
+    if old_rses.is_empty() {
+        // Steady state: enforce the replica count (the recovery path that
+        // overwrites corrupted ReplicaSet.spec.replicas).
+        if new_rs.spec.replicas != desired {
+            let mut fixed = new_rs.clone();
+            fixed.spec.replicas = desired;
+            ctx.api
+                .update(Channel::KcmToApi, Object::ReplicaSet(fixed))
+                .map_err(|e| format!("sync rs replicas: {e}"))?;
+        }
+    } else {
+        // Rolling update: scale new up within the surge budget, old down
+        // within the availability floor.
+        let current_total = new_rs.spec.replicas.max(0) + old_total;
+        let allowed_total = desired + max_surge;
+        if new_rs.spec.replicas < desired && current_total < allowed_total {
+            let grow = (desired - new_rs.spec.replicas).min(allowed_total - current_total);
+            let mut scaled = new_rs.clone();
+            scaled.spec.replicas += grow;
+            ctx.api
+                .update(Channel::KcmToApi, Object::ReplicaSet(scaled))
+                .map_err(|e| format!("scale up new rs: {e}"))?;
+        }
+
+        let min_available = (desired - max_unavailable).max(0);
+        let total_ready = new_rs.status.ready_replicas.max(0) + old_ready;
+        let mut headroom = total_ready - min_available;
+        if headroom > 0 {
+            for old in &old_rses {
+                if headroom <= 0 {
+                    break;
+                }
+                let cur = old.spec.replicas.max(0);
+                if cur == 0 {
+                    // Fully drained: remove the historical ReplicaSet.
+                    ctx.api
+                        .delete(Channel::KcmToApi, Kind::ReplicaSet, ns, &old.metadata.name)
+                        .map_err(|e| format!("delete drained rs: {e}"))?;
+                    continue;
+                }
+                let shrink = cur.min(headroom);
+                let mut scaled = old.clone();
+                scaled.spec.replicas = cur - shrink;
+                headroom -= shrink;
+                ctx.api
+                    .update(Channel::KcmToApi, Object::ReplicaSet(scaled))
+                    .map_err(|e| format!("scale down old rs: {e}"))?;
+            }
+        }
+    }
+
+    // Status refresh.
+    let mut updated = dep.clone();
+    updated.status.replicas = new_rs.status.replicas + old_rses.iter().map(|r| r.status.replicas).sum::<i64>();
+    updated.status.ready_replicas =
+        new_rs.status.ready_replicas + old_ready;
+    updated.status.updated_replicas = new_rs.status.ready_replicas;
+    updated.status.observed_generation = dep.metadata.generation;
+    if updated.status != dep.status {
+        ctx.api
+            .update(Channel::KcmToApi, Object::Deployment(updated))
+            .map_err(|e| format!("update deployment status: {e}"))?;
+    }
+    Ok(())
+}

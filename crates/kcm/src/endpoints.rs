@@ -1,0 +1,77 @@
+//! The Endpoints controller: resolves each Service's backend set.
+//!
+//! A Service selects pods through a plain label map; ready pods with an
+//! assigned IP become endpoint addresses consumed by every node's
+//! kube-proxy. Corrupting the service selector, the target port, or the
+//! endpoint addresses yields the paper's Service-Network failures — the
+//! main source of client-visible Intermittent Availability and Service
+//! Unreachable outcomes (§V-C1).
+
+use crate::Ctx;
+use k8s_model::{Channel, EndpointAddress, Endpoints, Kind, Object};
+
+/// Reconciles the Endpoints object of one Service.
+///
+/// # Errors
+///
+/// Returns a description of the first API failure; the caller requeues
+/// with backoff.
+pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
+    let svc = match ctx.api.get(Kind::Service, ns, name) {
+        Some(Object::Service(s)) => s,
+        _ => {
+            // Service is gone: remove its endpoints.
+            if ctx.api.get(Kind::Endpoints, ns, name).is_some() {
+                ctx.api
+                    .delete(Channel::KcmToApi, Kind::Endpoints, ns, name)
+                    .map_err(|e| format!("delete endpoints {name}: {e}"))?;
+            }
+            return Ok(());
+        }
+    };
+
+    // Resolve ready backends.
+    let mut addresses: Vec<EndpointAddress> = Vec::new();
+    for obj in ctx.api.list(Kind::Pod, Some(ns)) {
+        let Object::Pod(pod) = obj else { continue };
+        if pod.metadata.is_terminating() || !svc.selects(&pod.metadata.labels) {
+            continue;
+        }
+        if !pod.is_ready() || pod.status.pod_ip.is_empty() || pod.spec.node_name.is_empty() {
+            continue;
+        }
+        addresses.push(EndpointAddress {
+            ip: pod.status.pod_ip.clone(),
+            pod_name: pod.metadata.name.clone(),
+            node_name: pod.spec.node_name.clone(),
+            ready: true,
+        });
+    }
+    addresses.sort_by(|a, b| a.pod_name.cmp(&b.pod_name));
+
+    let port = if svc.spec.target_port != 0 { svc.spec.target_port } else { svc.spec.port };
+
+    match ctx.api.get(Kind::Endpoints, ns, name) {
+        Some(Object::Endpoints(existing)) => {
+            if existing.addresses != addresses || existing.port != port {
+                let mut updated = existing.clone();
+                updated.addresses = addresses;
+                updated.port = port;
+                ctx.api
+                    .update(Channel::KcmToApi, Object::Endpoints(updated))
+                    .map_err(|e| format!("update endpoints {name}: {e}"))?;
+            }
+        }
+        _ => {
+            let mut ep = Endpoints::default();
+            ep.metadata = k8s_model::ObjectMeta::named(ns, name);
+            ep.metadata.set_controller_ref("Service", &svc.metadata.name, &svc.metadata.uid);
+            ep.addresses = addresses;
+            ep.port = port;
+            ctx.api
+                .create(Channel::KcmToApi, Object::Endpoints(ep))
+                .map_err(|e| format!("create endpoints {name}: {e}"))?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! The garbage collector: cascading deletion and orphan cleanup.
+//!
+//! Three sweeps, all driven by the ownerReference/namespace dependency
+//! metadata whose corruption the paper's critical-field analysis flags:
+//!
+//! 1. **cascading deletion** — children whose controller owner no longer
+//!    exists (by uid) are deleted; a corrupted ownerReference uid therefore
+//!    gets a healthy pod deleted;
+//! 2. **ghost-node pod GC** — pods bound to nonexistent nodes are removed
+//!    after a grace period (the mechanism that, per the paper's Timing
+//!    example, deletes a pod whose `nodeName` was corrupted, ~50 s in);
+//! 3. **namespace cleanup** — objects in a deleted namespace are removed,
+//!    modelling the real-world "erroneous namespace deletion" outages.
+
+use crate::Ctx;
+use k8s_model::{Channel, Kind, Object};
+use simkit::TraceLevel;
+use std::collections::{HashMap, HashSet};
+
+/// Runs one garbage-collection pass.
+pub(crate) fn tick(ctx: &mut Ctx<'_>, ghost_seen: &mut HashMap<String, u64>) {
+    // Live owner uids (the kinds that own children in this model).
+    let mut live_uids: HashSet<String> = HashSet::new();
+    for kind in [Kind::ReplicaSet, Kind::DaemonSet, Kind::Deployment, Kind::Service] {
+        for obj in ctx.api.list(kind, None) {
+            live_uids.insert(obj.meta().uid.clone());
+        }
+    }
+    let node_names: HashSet<String> =
+        ctx.api.list(Kind::Node, None).iter().map(|n| n.name().to_owned()).collect();
+    let namespaces: HashSet<String> =
+        ctx.api.list(Kind::Namespace, None).iter().map(|n| n.name().to_owned()).collect();
+
+    // Sweep 1 + 2: pods.
+    let pods = ctx.api.list(Kind::Pod, None);
+    let mut still_ghost: HashMap<String, u64> = HashMap::new();
+    for obj in &pods {
+        let Object::Pod(pod) = obj else { continue };
+        if pod.metadata.is_terminating() {
+            continue;
+        }
+        let key = obj.key();
+
+        // Cascading deletion: controller owner vanished.
+        if let Some(ctrl) = pod.metadata.controller_ref() {
+            if !ctrl.uid.is_empty() && !live_uids.contains(&ctrl.uid) {
+                ctx.log(
+                    TraceLevel::Info,
+                    "kcm/gc",
+                    format!("deleting pod {} (owner uid {} gone)", pod.metadata.name, ctrl.uid),
+                );
+                let _ = ctx.api.delete(
+                    Channel::KcmToApi,
+                    Kind::Pod,
+                    &pod.metadata.namespace,
+                    &pod.metadata.name,
+                );
+                ctx.metrics.gc_deleted += 1;
+                continue;
+            }
+        }
+
+        // Ghost-node GC: bound to a node that does not exist.
+        if pod.is_bound() && !node_names.contains(&pod.spec.node_name) {
+            let first = ghost_seen.get(&key).copied().unwrap_or(ctx.now);
+            if ctx.now.saturating_sub(first) >= ctx.cfg.ghost_pod_gc_ms {
+                ctx.log(
+                    TraceLevel::Warn,
+                    "kcm/gc",
+                    format!(
+                        "deleting pod {} bound to nonexistent node {:?}",
+                        pod.metadata.name, pod.spec.node_name
+                    ),
+                );
+                let _ = ctx.api.delete(
+                    Channel::KcmToApi,
+                    Kind::Pod,
+                    &pod.metadata.namespace,
+                    &pod.metadata.name,
+                );
+                ctx.metrics.gc_deleted += 1;
+            } else {
+                still_ghost.insert(key, first);
+            }
+        }
+    }
+    *ghost_seen = still_ghost;
+
+    // Sweep 1b: ReplicaSets whose Deployment vanished.
+    for obj in ctx.api.list(Kind::ReplicaSet, None) {
+        let Object::ReplicaSet(rs) = &obj else { continue };
+        if let Some(ctrl) = rs.metadata.controller_ref() {
+            if ctrl.kind == "Deployment" && !ctrl.uid.is_empty() && !live_uids.contains(&ctrl.uid)
+            {
+                // A deployment uid counts as live only if some deployment
+                // holds it; `live_uids` already includes all deployments.
+                let _ = ctx.api.delete(
+                    Channel::KcmToApi,
+                    Kind::ReplicaSet,
+                    &rs.metadata.namespace,
+                    &rs.metadata.name,
+                );
+                ctx.metrics.gc_deleted += 1;
+            }
+        }
+    }
+
+    // Sweep 3: namespaced objects in deleted namespaces.
+    for kind in [Kind::Pod, Kind::ReplicaSet, Kind::Deployment, Kind::DaemonSet, Kind::Service, Kind::Endpoints, Kind::ConfigMap] {
+        for obj in ctx.api.list(kind, None) {
+            let ns = obj.namespace();
+            if !ns.is_empty() && !namespaces.contains(ns) {
+                ctx.log(
+                    TraceLevel::Warn,
+                    "kcm/gc",
+                    format!("deleting {} {} (namespace {ns:?} gone)", kind_str(&obj), obj.name()),
+                );
+                let _ = ctx.api.delete(Channel::KcmToApi, obj.kind(), ns, obj.name());
+                ctx.metrics.gc_deleted += 1;
+            }
+        }
+    }
+}
+
+fn kind_str(obj: &Object) -> String {
+    obj.kind().to_string()
+}

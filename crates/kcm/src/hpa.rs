@@ -1,0 +1,286 @@
+//! The horizontal-pod-autoscaler controller.
+//!
+//! Reads the per-service load metric published by the network fabric (a
+//! ConfigMap maintained by the kube-proxy agents) and reconciles the
+//! target Deployment's replica count towards
+//! `ceil(load / targetLoadPerReplica)`.
+//!
+//! The controller trusts its metric source — which is exactly the fault
+//! class the paper's FFDA calls *Wrong Autoscale Trigger* ("autoscaling of
+//! Pods or Nodes is based on misleading information", Table I(a)). A
+//! corrupted metric value, target, or bound mis-sizes the service (MoR or
+//! LeR) and at the extremes floods the cluster with pods, the same
+//! capacity-exhaustion path as the GKE incident of Figure 2.
+
+use crate::Ctx;
+use k8s_model::{Channel, Kind, Object};
+use simkit::TraceLevel;
+
+/// Namespace of the load-metric ConfigMap.
+pub const METRICS_NAMESPACE: &str = "kube-system";
+/// Name of the load-metric ConfigMap (data: `"<ns>/<service>"` → RPS).
+pub const METRICS_CONFIGMAP: &str = "service-load";
+
+/// Minimum time between scale actions on one target (stabilization
+/// window; kube-controller-manager defaults to similar magnitudes).
+pub const SCALE_COOLDOWN_MS: u64 = 15_000;
+
+/// Reads the published load (requests/second) for `ns/service`.
+pub fn observed_load(
+    api: &mut k8s_apiserver::ApiServer,
+    ns: &str,
+    service: &str,
+) -> Option<i64> {
+    let Some(Object::ConfigMap(cm)) =
+        api.get(Kind::ConfigMap, METRICS_NAMESPACE, METRICS_CONFIGMAP)
+    else {
+        return None;
+    };
+    cm.data.get(&format!("{ns}/{service}")).and_then(|v| v.parse().ok())
+}
+
+/// Reconciles one HorizontalPodAutoscaler.
+///
+/// # Errors
+///
+/// Returns a description of the first API failure; the caller requeues
+/// with backoff.
+pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
+    let Some(Object::HorizontalPodAutoscaler(hpa)) =
+        ctx.api.get(Kind::HorizontalPodAutoscaler, ns, name)
+    else {
+        return Ok(());
+    };
+    if hpa.metadata.is_terminating() || k8s_model::is_suspended(&hpa.metadata) {
+        return Ok(());
+    }
+
+    let target = hpa.spec.scale_target.clone();
+    let Some(Object::Deployment(dep)) = ctx.api.get(Kind::Deployment, ns, &target) else {
+        return Err(format!("hpa {ns}/{name}: target deployment {target:?} not found"));
+    };
+
+    // The metric is keyed by the service fronting the target Deployment;
+    // by convention the workloads name it `<deployment>-svc`.
+    let service = format!("{target}-svc");
+    let Some(load) = observed_load(ctx.api, ns, &service) else {
+        return Ok(()); // no metric published yet: hold
+    };
+
+    let desired = hpa.desired_for(load);
+    let current = dep.spec.replicas.max(0);
+
+    // Status first, so operators can see what the controller saw (F4:
+    // silent divergence is the failure mode to avoid).
+    let mut updated = hpa.clone();
+    updated.status.observed_load = load;
+    updated.status.current_replicas = current;
+    updated.status.desired_replicas = desired;
+
+    let cooldown_over = {
+        let last = hpa.status.last_scale_time.max(0) as u64;
+        ctx.now.saturating_sub(last) >= SCALE_COOLDOWN_MS
+    };
+    if desired != current && cooldown_over {
+        let mut scaled = dep.clone();
+        scaled.spec.replicas = desired;
+        ctx.api
+            .update(Channel::KcmToApi, Object::Deployment(scaled))
+            .map_err(|e| format!("hpa scale {ns}/{target} to {desired}: {e}"))?;
+        ctx.metrics.hpa_scalings += 1;
+        updated.status.last_scale_time = ctx.now as i64;
+        ctx.log(
+            TraceLevel::Info,
+            "kcm/hpa",
+            format!("scaled {ns}/{target} {current} -> {desired} (load {load} rps)"),
+        );
+    }
+
+    if updated.status != hpa.status {
+        ctx.api
+            .update(Channel::KcmToApi, Object::HorizontalPodAutoscaler(updated))
+            .map_err(|e| format!("update hpa status: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ctx, KcmConfig, KcmMetrics};
+    use k8s_apiserver::{ApiServer, InterceptorHandle, TraceHandle};
+    use k8s_model::{
+        ConfigMap, Container, Deployment, HorizontalPodAutoscaler, LabelSelector, NoopInterceptor,
+        ObjectMeta, SUSPEND_ANNOTATION,
+    };
+    use simkit::{Rng, Trace};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+
+    fn api() -> ApiServer {
+        let interceptor: InterceptorHandle = Rc::new(RefCell::new(NoopInterceptor));
+        let trace: TraceHandle = Rc::new(RefCell::new(Trace::new(256)));
+        ApiServer::new(etcd_sim::Etcd::new(1, 8 << 20), interceptor, trace)
+    }
+
+    fn install_deployment(api: &mut ApiServer, replicas: i64) {
+        let mut d = Deployment::default();
+        d.metadata = ObjectMeta::named("default", "web-1");
+        d.spec.replicas = replicas;
+        d.spec.selector = LabelSelector::eq("app", "web-1");
+        d.spec.template.metadata.labels.insert("app".into(), "web-1".into());
+        d.spec.template.spec.containers.push(Container {
+            name: "c".into(),
+            image: "img:1".into(),
+            cpu_milli: 100,
+            memory_mb: 64,
+            ..Default::default()
+        });
+        api.create(Channel::UserToApi, Object::Deployment(d)).unwrap();
+    }
+
+    fn install_hpa(api: &mut ApiServer, min: i64, max: i64, target: i64) {
+        let mut h = HorizontalPodAutoscaler::default();
+        h.metadata = ObjectMeta::named("default", "web-1-hpa");
+        h.spec.scale_target = "web-1".into();
+        h.spec.min_replicas = min;
+        h.spec.max_replicas = max;
+        h.spec.target_load = target;
+        api.create(Channel::UserToApi, Object::HorizontalPodAutoscaler(h)).unwrap();
+    }
+
+    fn publish_load(api: &mut ApiServer, rps: &str) {
+        let key = "default/web-1-svc".to_owned();
+        match api.get(Kind::ConfigMap, METRICS_NAMESPACE, METRICS_CONFIGMAP) {
+            Some(Object::ConfigMap(mut cm)) => {
+                cm.data.insert(key, rps.into());
+                api.update(Channel::KcmToApi, Object::ConfigMap(cm)).unwrap();
+            }
+            _ => {
+                let mut cm = ConfigMap::default();
+                cm.metadata = ObjectMeta::named(METRICS_NAMESPACE, METRICS_CONFIGMAP);
+                cm.data.insert(key, rps.into());
+                api.create(Channel::KcmToApi, Object::ConfigMap(cm)).unwrap();
+            }
+        }
+    }
+
+    fn reconcile_at(api: &mut ApiServer, now: u64) -> (Result<(), String>, KcmMetrics) {
+        let trace: TraceHandle = Rc::new(RefCell::new(Trace::new(64)));
+        let mut metrics = KcmMetrics::default();
+        let mut rng = Rng::new(1);
+        let cfg = KcmConfig::default();
+        let mut expectations = HashMap::new();
+        let mut ctx = Ctx {
+            api,
+            now,
+            rng: &mut rng,
+            trace: &trace,
+            metrics: &mut metrics,
+            cfg: &cfg,
+            expectations: &mut expectations,
+        };
+        let res = reconcile(&mut ctx, "default", "web-1-hpa");
+        (res, metrics)
+    }
+
+    fn replicas(api: &mut ApiServer) -> i64 {
+        match api.get(Kind::Deployment, "default", "web-1") {
+            Some(Object::Deployment(d)) => d.spec.replicas,
+            _ => -1,
+        }
+    }
+
+    #[test]
+    fn scales_up_to_match_load() {
+        let mut a = api();
+        install_deployment(&mut a, 2);
+        install_hpa(&mut a, 1, 8, 5);
+        publish_load(&mut a, "20");
+        let (res, m) = reconcile_at(&mut a, 20_000);
+        res.unwrap();
+        assert_eq!(m.hpa_scalings, 1);
+        assert_eq!(replicas(&mut a), 4);
+        if let Some(Object::HorizontalPodAutoscaler(h)) =
+            a.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa")
+        {
+            assert_eq!(h.status.observed_load, 20);
+            assert_eq!(h.status.desired_replicas, 4);
+            assert_eq!(h.status.last_scale_time, 20_000);
+        } else {
+            panic!("hpa missing");
+        }
+    }
+
+    #[test]
+    fn holds_without_a_published_metric() {
+        let mut a = api();
+        install_deployment(&mut a, 2);
+        install_hpa(&mut a, 1, 8, 5);
+        let (res, m) = reconcile_at(&mut a, 20_000);
+        res.unwrap();
+        assert_eq!(m.hpa_scalings, 0);
+        assert_eq!(replicas(&mut a), 2);
+    }
+
+    #[test]
+    fn cooldown_blocks_consecutive_scale_actions() {
+        let mut a = api();
+        install_deployment(&mut a, 2);
+        install_hpa(&mut a, 1, 8, 5);
+        publish_load(&mut a, "20");
+        let (res, _) = reconcile_at(&mut a, 20_000);
+        res.unwrap();
+        assert_eq!(replicas(&mut a), 4);
+        publish_load(&mut a, "40");
+        // Inside the stabilization window: no action.
+        let (res, m) = reconcile_at(&mut a, 20_000 + SCALE_COOLDOWN_MS - 1);
+        res.unwrap();
+        assert_eq!(m.hpa_scalings, 0);
+        assert_eq!(replicas(&mut a), 4);
+        // After the window: the pending demand is applied.
+        let (res, m) = reconcile_at(&mut a, 20_000 + SCALE_COOLDOWN_MS);
+        res.unwrap();
+        assert_eq!(m.hpa_scalings, 1);
+        assert_eq!(replicas(&mut a), 8);
+    }
+
+    #[test]
+    fn suspended_hpa_is_skipped() {
+        let mut a = api();
+        install_deployment(&mut a, 2);
+        install_hpa(&mut a, 1, 8, 5);
+        if let Some(mut h) = a.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa") {
+            h.meta_mut().annotations.insert(SUSPEND_ANNOTATION.into(), "true".into());
+            a.update(Channel::UserToApi, h).unwrap();
+        }
+        publish_load(&mut a, "20");
+        let (res, m) = reconcile_at(&mut a, 20_000);
+        res.unwrap();
+        assert_eq!(m.hpa_scalings, 0);
+        assert_eq!(replicas(&mut a), 2);
+    }
+
+    #[test]
+    fn missing_target_is_a_reconcile_error() {
+        let mut a = api();
+        install_hpa(&mut a, 1, 8, 5);
+        publish_load(&mut a, "20");
+        let (res, _) = reconcile_at(&mut a, 20_000);
+        assert!(res.unwrap_err().contains("not found"));
+    }
+
+    #[test]
+    fn unparsable_metric_reads_as_absent() {
+        let mut a = api();
+        install_deployment(&mut a, 2);
+        install_hpa(&mut a, 1, 8, 5);
+        publish_load(&mut a, "garbage"); // a corrupted metric string
+        let (res, m) = reconcile_at(&mut a, 20_000);
+        res.unwrap();
+        assert_eq!(m.hpa_scalings, 0);
+        assert_eq!(replicas(&mut a), 2);
+        assert_eq!(observed_load(&mut a, "default", "web-1-svc"), None);
+    }
+}

@@ -1,0 +1,470 @@
+//! # k8s-kcm — the simulated kube-controller-manager
+//!
+//! Runs the reconciliation loops that keep the observed cluster state
+//! converging to the desired state (§II-C): Deployment, ReplicaSet,
+//! DaemonSet, Endpoints, node lifecycle, and garbage collection. The design
+//! mirrors the properties the paper's campaign probes:
+//!
+//! * **level-triggered reconciliation** — every loop compares full current
+//!   state against desired state, so dropped messages are eventually
+//!   repaired by the periodic resync (the resiliency strategy that absorbs
+//!   most message-drop injections);
+//! * **label/owner dependency tracking** — controllers find their children
+//!   through selectors and ownerReferences; corrupting either produces
+//!   orphaning, adoption, or the uncontrolled-replication loop behind the
+//!   paper's most severe failures (F2);
+//! * **leader election** — only one active Kcm instance; a corrupted lease
+//!   locks reconciliation out entirely (a Stall cause);
+//! * **work queues with backoff** — the circuit breaker that prevents a
+//!   failing reconcile from monopolizing the control plane;
+//! * **bounded reconcile budget per step** — control-plane overload makes
+//!   the backlog observable, as in the paper's capacity incidents.
+
+pub mod daemonset;
+pub mod deployment;
+pub mod endpoints;
+pub mod gc;
+pub mod hpa;
+pub mod node_lifecycle;
+pub mod replicaset;
+
+/// Re-export of the shared work-queue utility.
+pub use k8s_apiserver::workqueue;
+
+use k8s_apiserver::{ApiServer, LeaderElector, TraceHandle};
+use k8s_model::{Channel, Kind, Object};
+use simkit::{Rng, TraceLevel};
+use std::collections::{HashMap, HashSet};
+use workqueue::WorkQueue;
+
+/// Pending-create expectations of one ReplicaSet (the mechanism that keeps
+/// the real controller from double-creating while its informer cache lags,
+/// and that leaves it *stuck* when a create is silently lost — the paper's
+/// dominant message-drop failure, LeR).
+#[derive(Debug, Clone, Default)]
+pub struct Expectation {
+    /// Creates issued and not yet observed.
+    pub pending: usize,
+    /// Pod keys observed (via watch events) since the creates were issued.
+    pub seen: HashSet<String>,
+    /// Expectations expire after this time (K8s: 5 minutes).
+    pub deadline: u64,
+}
+
+impl Expectation {
+    /// True when the controller may act again.
+    pub fn fulfilled(&self, now: u64) -> bool {
+        self.seen.len() >= self.pending || now >= self.deadline
+    }
+}
+
+/// Expectation time-to-live (kube-controller-manager: 5 minutes).
+pub const EXPECTATION_TTL_MS: u64 = 300_000;
+
+/// One reconcile unit of work.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WorkItem {
+    /// Reconcile a Deployment.
+    Deployment(String, String),
+    /// Reconcile a ReplicaSet.
+    ReplicaSet(String, String),
+    /// Reconcile a DaemonSet.
+    DaemonSet(String, String),
+    /// Reconcile a Service's Endpoints.
+    Service(String, String),
+    /// Reconcile a HorizontalPodAutoscaler.
+    Hpa(String, String),
+}
+
+/// Tunables for the controller manager.
+#[derive(Debug, Clone)]
+pub struct KcmConfig {
+    /// Full informer resync period (level-trigger safety net).
+    pub resync_interval_ms: u64,
+    /// Maximum reconciles processed per step (control-plane capacity).
+    pub step_budget: usize,
+    /// Pods per ReplicaSet/DaemonSet create burst.
+    pub create_burst: usize,
+    /// Node heartbeat staleness before the node is marked NotReady.
+    pub node_grace_ms: u64,
+    /// Delay between a NoExecute taint appearing and pod eviction.
+    pub eviction_grace_ms: u64,
+    /// Age after which pods bound to nonexistent nodes are deleted.
+    pub ghost_pod_gc_ms: u64,
+    /// Stop evictions when every node is unhealthy (§II-D).
+    pub full_disruption_mode: bool,
+    /// Node-health check cadence.
+    pub node_check_interval_ms: u64,
+    /// Garbage-collection cadence.
+    pub gc_interval_ms: u64,
+}
+
+impl Default for KcmConfig {
+    fn default() -> Self {
+        KcmConfig {
+            resync_interval_ms: 10_000,
+            step_budget: 50,
+            create_burst: 10,
+            node_grace_ms: 40_000,
+            eviction_grace_ms: 5_000,
+            ghost_pod_gc_ms: 20_000,
+            full_disruption_mode: true,
+            node_check_interval_ms: 5_000,
+            gc_interval_ms: 10_000,
+        }
+    }
+}
+
+/// Counters exposed to the failure classifiers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KcmMetrics {
+    /// Pods created by workload controllers.
+    pub pods_created: u64,
+    /// Pods deleted by workload controllers (scale-down, duplicates).
+    pub pods_deleted: u64,
+    /// Pods evicted by the node-lifecycle controller.
+    pub pods_evicted: u64,
+    /// Objects deleted by the garbage collector.
+    pub gc_deleted: u64,
+    /// Pods adopted (matching orphans taken over).
+    pub adoptions: u64,
+    /// Pods orphaned (labels stopped matching the owner's selector).
+    pub orphaned: u64,
+    /// Reconciles that returned an error.
+    pub reconcile_errors: u64,
+    /// Reconciles skipped because the circuit breaker suspended the owner.
+    pub suspended_skips: u64,
+    /// Scale actions taken by the autoscaler controller.
+    pub hpa_scalings: u64,
+}
+
+/// Shared state handed to every reconcile function.
+pub(crate) struct Ctx<'a> {
+    pub api: &'a mut ApiServer,
+    pub now: u64,
+    pub rng: &'a mut Rng,
+    pub trace: &'a TraceHandle,
+    pub metrics: &'a mut KcmMetrics,
+    pub cfg: &'a KcmConfig,
+    pub expectations: &'a mut HashMap<String, Expectation>,
+}
+
+impl Ctx<'_> {
+    pub(crate) fn log(&self, level: TraceLevel, component: &str, msg: String) {
+        self.trace.borrow_mut().log(self.now, level, component, msg);
+    }
+}
+
+/// The controller manager.
+pub struct Kcm {
+    cursor: u64,
+    elector: LeaderElector,
+    queue: WorkQueue<WorkItem>,
+    cfg: KcmConfig,
+    /// Metrics exposed to the classifiers.
+    pub metrics: KcmMetrics,
+    trace: TraceHandle,
+    rng: Rng,
+    last_resync: Option<u64>,
+    last_node_check: u64,
+    last_gc: u64,
+    /// First time a NoExecute taint was observed per node.
+    taint_seen: HashMap<String, u64>,
+    /// First time a pod was observed bound to a nonexistent node.
+    ghost_seen: HashMap<String, u64>,
+    /// Pending-create expectations per ReplicaSet key.
+    expectations: HashMap<String, Expectation>,
+    needs_resync: bool,
+}
+
+impl std::fmt::Debug for Kcm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kcm")
+            .field("leader", &self.elector.is_leader())
+            .field("queue", &self.queue.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl Kcm {
+    /// Creates a controller manager watching from the apiserver's current
+    /// event head.
+    pub fn new(identity: &str, cfg: KcmConfig, api: &ApiServer, trace: TraceHandle, rng: Rng) -> Kcm {
+        Kcm {
+            cursor: api.watch_head(),
+            elector: LeaderElector::new("kcm-leader", identity, Channel::KcmToApi),
+            queue: WorkQueue::new(),
+            cfg,
+            metrics: KcmMetrics::default(),
+            trace,
+            rng,
+            last_resync: None,
+            last_node_check: 0,
+            last_gc: 0,
+            taint_seen: HashMap::new(),
+            ghost_seen: HashMap::new(),
+            expectations: HashMap::new(),
+            needs_resync: true,
+        }
+    }
+
+    /// True while this instance holds the Kcm leader lease.
+    pub fn is_leader(&self) -> bool {
+        self.elector.is_leader()
+    }
+
+    /// Reconcile backlog depth (control-plane load indicator).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs one controller-manager step at simulated time `now`.
+    pub fn step(&mut self, api: &mut ApiServer, now: u64) {
+        if !self.elector.step(api, now) {
+            // Not leading: drop event backlog; full resync on re-election.
+            self.cursor = api.watch_head();
+            self.needs_resync = true;
+            return;
+        }
+
+        // Watch events → work items.
+        let (events, next) = api.poll_events(self.cursor);
+        self.cursor = next;
+        for ev in &events {
+            self.route_event(api, &ev.key, ev.kind, ev.object.as_ref(), now);
+        }
+
+        // Periodic full resync (and resync on leadership gain).
+        let due = self
+            .last_resync
+            .map(|t| now.saturating_sub(t) >= self.cfg.resync_interval_ms)
+            .unwrap_or(true);
+        if due || self.needs_resync {
+            self.resync(api, now);
+            self.last_resync = Some(now);
+            self.needs_resync = false;
+        }
+
+        let mut metrics = self.metrics;
+        {
+            let mut ctx = Ctx {
+                api,
+                now,
+                rng: &mut self.rng,
+                trace: &self.trace,
+                metrics: &mut metrics,
+                cfg: &self.cfg,
+                expectations: &mut self.expectations,
+            };
+
+            // Singleton loops on their own cadence.
+            if now.saturating_sub(self.last_node_check) >= self.cfg.node_check_interval_ms {
+                self.last_node_check = now;
+                node_lifecycle::tick(&mut ctx, &mut self.taint_seen);
+            }
+            if now.saturating_sub(self.last_gc) >= self.cfg.gc_interval_ms {
+                self.last_gc = now;
+                gc::tick(&mut ctx, &mut self.ghost_seen);
+            }
+        }
+
+        // Drain the work queue within the step budget.
+        for _ in 0..self.cfg.step_budget {
+            let Some(item) = self.queue.pop_ready(now) else { break };
+            let mut ctx = Ctx {
+                api,
+                now,
+                rng: &mut self.rng,
+                trace: &self.trace,
+                metrics: &mut metrics,
+                cfg: &self.cfg,
+                expectations: &mut self.expectations,
+            };
+            let result = match &item {
+                WorkItem::Deployment(ns, n) => deployment::reconcile(&mut ctx, ns, n),
+                WorkItem::ReplicaSet(ns, n) => replicaset::reconcile(&mut ctx, ns, n),
+                WorkItem::DaemonSet(ns, n) => daemonset::reconcile(&mut ctx, ns, n),
+                WorkItem::Service(ns, n) => endpoints::reconcile(&mut ctx, ns, n),
+                WorkItem::Hpa(ns, n) => hpa::reconcile(&mut ctx, ns, n),
+            };
+            match result {
+                Ok(()) => self.queue.forget_failures(&item),
+                Err(msg) => {
+                    metrics.reconcile_errors += 1;
+                    self.trace.borrow_mut().log(
+                        now,
+                        TraceLevel::Warn,
+                        "kcm",
+                        format!("reconcile {item:?} failed: {msg}; backing off"),
+                    );
+                    self.queue.requeue_failed(item, now);
+                }
+            }
+        }
+        self.metrics = metrics;
+    }
+
+    fn resync(&mut self, api: &mut ApiServer, now: u64) {
+        for obj in api.list(Kind::Deployment, None) {
+            self.queue.enqueue(
+                WorkItem::Deployment(obj.namespace().into(), obj.name().into()),
+                now,
+            );
+        }
+        for obj in api.list(Kind::ReplicaSet, None) {
+            self.queue
+                .enqueue(WorkItem::ReplicaSet(obj.namespace().into(), obj.name().into()), now);
+        }
+        for obj in api.list(Kind::DaemonSet, None) {
+            self.queue
+                .enqueue(WorkItem::DaemonSet(obj.namespace().into(), obj.name().into()), now);
+        }
+        for obj in api.list(Kind::Service, None) {
+            self.queue.enqueue(WorkItem::Service(obj.namespace().into(), obj.name().into()), now);
+        }
+        for obj in api.list(Kind::HorizontalPodAutoscaler, None) {
+            self.queue.enqueue(WorkItem::Hpa(obj.namespace().into(), obj.name().into()), now);
+        }
+    }
+
+    fn route_event(
+        &mut self,
+        api: &mut ApiServer,
+        key: &str,
+        kind: Kind,
+        obj: Option<&Object>,
+        now: u64,
+    ) {
+        let Some((ns, name)) = split_key(key) else { return };
+        match kind {
+            Kind::Pod => {
+                // Owner-based routing.
+                let mut routed_owner = false;
+                if let Some(Object::Pod(p)) = obj {
+                    if let Some(ctrl) = p.metadata.controller_ref() {
+                        routed_owner = true;
+                        match ctrl.kind.as_str() {
+                            "ReplicaSet" => {
+                                // Creation observed: fulfil expectations.
+                                let rs_key = k8s_model::registry_key(
+                                    Kind::ReplicaSet,
+                                    &ns,
+                                    &ctrl.name,
+                                );
+                                if let Some(exp) = self.expectations.get_mut(&rs_key) {
+                                    exp.seen.insert(key.to_owned());
+                                }
+                                self
+                                .queue
+                                .enqueue(WorkItem::ReplicaSet(ns.clone(), ctrl.name.clone()), now)
+                            },
+                            "DaemonSet" => self
+                                .queue
+                                .enqueue(WorkItem::DaemonSet(ns.clone(), ctrl.name.clone()), now),
+                            _ => routed_owner = false,
+                        }
+                    }
+                }
+                if !routed_owner {
+                    // Orphan or deletion: wake every workload controller in
+                    // the namespace (adoption/replacement checks).
+                    for rs in api.list(Kind::ReplicaSet, Some(&ns)) {
+                        self.queue
+                            .enqueue(WorkItem::ReplicaSet(ns.clone(), rs.name().into()), now);
+                    }
+                    for ds in api.list(Kind::DaemonSet, Some(&ns)) {
+                        self.queue
+                            .enqueue(WorkItem::DaemonSet(ns.clone(), ds.name().into()), now);
+                    }
+                }
+                // Endpoints follow pod readiness.
+                for svc in api.list(Kind::Service, Some(&ns)) {
+                    self.queue.enqueue(WorkItem::Service(ns.clone(), svc.name().into()), now);
+                }
+            }
+            Kind::ReplicaSet => {
+                self.queue.enqueue(WorkItem::ReplicaSet(ns.clone(), name.clone()), now);
+                if let Some(Object::ReplicaSet(rs)) = obj {
+                    if let Some(ctrl) = rs.metadata.controller_ref() {
+                        if ctrl.kind == "Deployment" {
+                            self.queue
+                                .enqueue(WorkItem::Deployment(ns, ctrl.name.clone()), now);
+                        }
+                    }
+                }
+            }
+            Kind::Deployment => self.queue.enqueue(WorkItem::Deployment(ns, name), now),
+            Kind::DaemonSet => self.queue.enqueue(WorkItem::DaemonSet(ns, name), now),
+            Kind::Service => self.queue.enqueue(WorkItem::Service(ns, name), now),
+            Kind::Endpoints => self.queue.enqueue(WorkItem::Service(ns, name), now),
+            Kind::Node => {
+                // A node change affects every DaemonSet.
+                for ds in api.list(Kind::DaemonSet, None) {
+                    self.queue.enqueue(
+                        WorkItem::DaemonSet(ds.namespace().into(), ds.name().into()),
+                        now,
+                    );
+                }
+            }
+            Kind::HorizontalPodAutoscaler => {
+                self.queue.enqueue(WorkItem::Hpa(ns, name), now);
+            }
+            Kind::ConfigMap => {
+                // A refreshed load metric wakes every autoscaler.
+                if name == hpa::METRICS_CONFIGMAP {
+                    for h in api.list(Kind::HorizontalPodAutoscaler, None) {
+                        self.queue.enqueue(
+                            WorkItem::Hpa(h.namespace().into(), h.name().into()),
+                            now,
+                        );
+                    }
+                }
+            }
+            Kind::Namespace | Kind::Lease => {}
+        }
+    }
+}
+
+/// Splits a registry key into `(namespace, name)`; cluster-scoped keys get
+/// an empty namespace.
+pub fn split_key(key: &str) -> Option<(String, String)> {
+    let mut parts = key.strip_prefix("/registry/")?.split('/');
+    let _plural = parts.next()?;
+    let a = parts.next()?;
+    match parts.next() {
+        Some(b) => Some((a.to_owned(), b.to_owned())),
+        None => Some((String::new(), a.to_owned())),
+    }
+}
+
+/// Generates a pod-name suffix (5 lowercase base-36 characters).
+pub(crate) fn name_suffix(rng: &mut Rng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..5).map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_key_variants() {
+        assert_eq!(
+            split_key("/registry/pods/default/web-1"),
+            Some(("default".into(), "web-1".into()))
+        );
+        assert_eq!(split_key("/registry/nodes/worker-1"), Some(("".into(), "worker-1".into())));
+        assert_eq!(split_key("/other"), None);
+    }
+
+    #[test]
+    fn suffix_is_deterministic_per_seed() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(1);
+        assert_eq!(name_suffix(&mut a), name_suffix(&mut b));
+        let s = name_suffix(&mut a);
+        assert_eq!(s.len(), 5);
+        assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,132 @@
+//! The node-lifecycle controller: heartbeat monitoring, NotReady marking,
+//! taint-based eviction, and full disruption mode.
+//!
+//! This loop drives two of the paper's scenarios. The failover workload
+//! applies a NoExecute taint and relies on this controller to evict the
+//! pods so the ReplicaSet respawns them elsewhere. And the Figure 2 cascade
+//! (the GKE webhook outage) starts with heartbeats failing to arrive: nodes
+//! are marked NotReady and their pods evicted — unless *every* node is
+//! unhealthy, in which case full disruption mode suspends evictions because
+//! the fault is probably in the heartbeat reporting itself (§II-D).
+
+use crate::Ctx;
+use k8s_model::node::{TAINT_NO_EXECUTE, TAINT_UNREACHABLE};
+use k8s_model::{Channel, Kind, Node, Object};
+use simkit::TraceLevel;
+use std::collections::HashMap;
+
+/// Runs one node-health pass.
+pub(crate) fn tick(ctx: &mut Ctx<'_>, taint_seen: &mut HashMap<String, u64>) {
+    let nodes: Vec<Node> = ctx
+        .api
+        .list(Kind::Node, None)
+        .into_iter()
+        .filter_map(|o| match o {
+            Object::Node(n) => Some(n),
+            _ => None,
+        })
+        .collect();
+    if nodes.is_empty() {
+        return;
+    }
+
+    let is_stale = |n: &Node| {
+        ctx.now.saturating_sub(n.status.last_heartbeat.max(0) as u64) > ctx.cfg.node_grace_ms
+    };
+    let unhealthy = nodes.iter().filter(|n| is_stale(n) || !n.status.ready).count();
+    let full_disruption =
+        ctx.cfg.full_disruption_mode && unhealthy == nodes.len();
+    if full_disruption {
+        ctx.log(
+            TraceLevel::Warn,
+            "kcm/node-lifecycle",
+            "all nodes unhealthy: entering full disruption mode, evictions suspended".to_owned(),
+        );
+    }
+
+    for node in &nodes {
+        let stale = is_stale(node);
+        if stale && node.status.ready {
+            let mut marked = node.clone();
+            marked.status.ready = false;
+            ctx.log(
+                TraceLevel::Warn,
+                "kcm/node-lifecycle",
+                format!("node {} heartbeat stale; marking NotReady", node.metadata.name),
+            );
+            let _ = ctx.api.update(Channel::KcmToApi, Object::Node(marked));
+            continue;
+        }
+        if stale && !full_disruption && !node.has_unreachable_taint() {
+            let mut tainted = node.clone();
+            tainted.add_taint(TAINT_UNREACHABLE, TAINT_NO_EXECUTE);
+            let _ = ctx.api.update(Channel::KcmToApi, Object::Node(tainted));
+        }
+        if !stale && node.has_unreachable_taint() {
+            let mut healed = node.clone();
+            healed.remove_taint(TAINT_UNREACHABLE);
+            let _ = ctx.api.update(Channel::KcmToApi, Object::Node(healed));
+        }
+    }
+
+    // Track how long each node has carried a NoExecute taint; evict the
+    // non-tolerating pods once the grace period elapses.
+    let mut currently_tainted: Vec<&Node> = Vec::new();
+    for node in &nodes {
+        if node.has_taint_effect(TAINT_NO_EXECUTE) {
+            taint_seen.entry(node.metadata.name.clone()).or_insert(ctx.now);
+            currently_tainted.push(node);
+        } else {
+            taint_seen.remove(node.metadata.name.as_str());
+        }
+    }
+
+    if full_disruption {
+        return;
+    }
+
+    for node in currently_tainted {
+        let since = taint_seen[node.metadata.name.as_str()];
+        if ctx.now.saturating_sub(since) < ctx.cfg.eviction_grace_ms {
+            continue;
+        }
+        let pods = ctx.api.list(Kind::Pod, None);
+        for obj in pods {
+            let Object::Pod(pod) = obj else { continue };
+            if pod.spec.node_name != node.metadata.name || pod.metadata.is_terminating() {
+                continue;
+            }
+            if pod.tolerates(TAINT_UNREACHABLE, TAINT_NO_EXECUTE)
+                || node
+                    .spec
+                    .taints
+                    .iter()
+                    .any(|t| t.effect == TAINT_NO_EXECUTE && pod.tolerates(&t.key, &t.effect))
+            {
+                continue;
+            }
+            ctx.log(
+                TraceLevel::Info,
+                "kcm/node-lifecycle",
+                format!("evicting pod {} from tainted node {}", pod.metadata.name, node.metadata.name),
+            );
+            let _ = ctx.api.delete(
+                Channel::KcmToApi,
+                Kind::Pod,
+                &pod.metadata.namespace,
+                &pod.metadata.name,
+            );
+            ctx.metrics.pods_evicted += 1;
+        }
+    }
+}
+
+trait NodeExt {
+    fn has_unreachable_taint(&self) -> bool;
+}
+
+impl NodeExt for Node {
+    fn has_unreachable_taint(&self) -> bool {
+        self.spec.taints.iter().any(|t| t.key == TAINT_UNREACHABLE)
+    }
+}

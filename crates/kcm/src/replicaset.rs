@@ -1,0 +1,171 @@
+//! The ReplicaSet controller: keeps `spec.replicas` pods matching the
+//! selector alive.
+//!
+//! Ownership semantics follow Kubernetes: the controller manages pods whose
+//! controller ownerReference points at it, adopts matching orphans, and
+//! *releases* owned pods whose labels no longer satisfy the selector. That
+//! release path is what turns a single corrupted bit into the paper's
+//! uncontrolled-replication loop: when the stored pod template stops
+//! matching the selector (an invariant only enforced at the API boundary,
+//! which store-channel injections bypass), every pod the controller creates
+//! is immediately released and replaced, forever.
+
+use crate::{name_suffix, Ctx};
+use k8s_model::{Channel, Kind, Object, Pod, ReplicaSet};
+use simkit::TraceLevel;
+
+/// Reconciles one ReplicaSet.
+///
+/// # Errors
+///
+/// Returns a description of the first API failure; the caller requeues
+/// with backoff.
+pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
+    let Some(Object::ReplicaSet(rs)) = ctx.api.get(Kind::ReplicaSet, ns, name) else {
+        return Ok(()); // deleted; GC reaps the children
+    };
+    if rs.metadata.is_terminating() {
+        return Ok(());
+    }
+    if k8s_model::is_suspended(&rs.metadata) {
+        ctx.metrics.suspended_skips += 1;
+        return Ok(()); // tripped circuit breaker (§VI-B)
+    }
+
+    let pods = ctx.api.list(Kind::Pod, Some(ns));
+    let mut owned: Vec<Pod> = Vec::new();
+    for obj in pods {
+        let Object::Pod(pod) = obj else { continue };
+        if pod.metadata.is_terminating() {
+            continue;
+        }
+        let is_mine = pod
+            .metadata
+            .controller_ref()
+            .map(|c| c.kind == "ReplicaSet" && c.uid == rs.metadata.uid)
+            .unwrap_or(false);
+        let matches = rs.spec.selector.matches(&pod.metadata.labels);
+        if is_mine && !matches {
+            // Release: the pod no longer belongs to us.
+            release_pod(ctx, &pod)?;
+            continue;
+        }
+        if !is_mine && matches && pod.metadata.controller_ref().is_none() {
+            if let Some(adopted) = adopt_pod(ctx, &pod, &rs)? {
+                owned.push(adopted);
+            }
+            continue;
+        }
+        if is_mine {
+            owned.push(pod);
+        }
+    }
+
+    let active: Vec<&Pod> = owned
+        .iter()
+        .filter(|p| p.status.phase != "Succeeded" && p.status.phase != "Failed")
+        .collect();
+    let desired = rs.spec.replicas.max(0) as usize;
+
+    // Expectations: while previously issued creates are unobserved (and
+    // unexpired), the controller must not issue more. A silently dropped
+    // create therefore leaves the ReplicaSet below target until the TTL —
+    // the paper's dominant message-drop outcome (LeR).
+    let rs_key = rs_registry_key(&rs);
+    let may_act = ctx
+        .expectations
+        .get(&rs_key)
+        .map(|e| e.fulfilled(ctx.now))
+        .unwrap_or(true);
+    if may_act {
+        ctx.expectations.remove(&rs_key);
+    }
+
+    if may_act && active.len() < desired {
+        let missing = desired - active.len();
+        let burst = missing.min(ctx.cfg.create_burst);
+        let mut issued = 0usize;
+        for _ in 0..burst {
+            create_pod(ctx, &rs)?;
+            issued += 1;
+        }
+        if issued > 0 {
+            ctx.expectations.insert(
+                rs_key.clone(),
+                crate::Expectation {
+                    pending: issued,
+                    seen: Default::default(),
+                    deadline: ctx.now + crate::EXPECTATION_TTL_MS,
+                },
+            );
+        }
+    } else if may_act && active.len() > desired {
+        // Prefer deleting not-ready, then youngest pods.
+        let mut victims: Vec<&&Pod> = active.iter().collect();
+        victims.sort_by_key(|p| (p.is_ready(), std::cmp::Reverse(p.metadata.creation_timestamp)));
+        for pod in victims.into_iter().take(active.len() - desired) {
+            ctx.api
+                .delete(Channel::KcmToApi, Kind::Pod, ns, &pod.metadata.name)
+                .map_err(|e| format!("delete pod {}: {e}", pod.metadata.name))?;
+            ctx.metrics.pods_deleted += 1;
+        }
+    }
+
+    // Status update (only when changed, to avoid write storms).
+    let ready = active.iter().filter(|p| p.is_ready()).count() as i64;
+    let mut updated = rs.clone();
+    updated.status.replicas = active.len() as i64;
+    updated.status.ready_replicas = ready;
+    updated.status.observed_generation = rs.metadata.generation;
+    if updated.status != rs.status {
+        ctx.api
+            .update(Channel::KcmToApi, Object::ReplicaSet(updated))
+            .map_err(|e| format!("update rs status: {e}"))?;
+    }
+    Ok(())
+}
+
+fn rs_registry_key(rs: &ReplicaSet) -> String {
+    k8s_model::registry_key(Kind::ReplicaSet, &rs.metadata.namespace, &rs.metadata.name)
+}
+
+fn release_pod(ctx: &mut Ctx<'_>, pod: &Pod) -> Result<(), String> {
+    let mut released = pod.clone();
+    released.metadata.owner_references.retain(|o| !o.controller);
+    ctx.api
+        .update(Channel::KcmToApi, Object::Pod(released))
+        .map_err(|e| format!("release pod {}: {e}", pod.metadata.name))?;
+    ctx.metrics.orphaned += 1;
+    ctx.log(
+        TraceLevel::Warn,
+        "kcm/replicaset",
+        format!("released pod {} (labels no longer match selector)", pod.metadata.name),
+    );
+    Ok(())
+}
+
+fn adopt_pod(ctx: &mut Ctx<'_>, pod: &Pod, rs: &ReplicaSet) -> Result<Option<Pod>, String> {
+    let mut adopted = pod.clone();
+    adopted.metadata.set_controller_ref("ReplicaSet", &rs.metadata.name, &rs.metadata.uid);
+    match ctx.api.update(Channel::KcmToApi, Object::Pod(adopted.clone())) {
+        Ok(_) => {
+            ctx.metrics.adoptions += 1;
+            Ok(Some(adopted))
+        }
+        Err(e) => Err(format!("adopt pod {}: {e}", pod.metadata.name)),
+    }
+}
+
+fn create_pod(ctx: &mut Ctx<'_>, rs: &ReplicaSet) -> Result<(), String> {
+    let mut pod = Pod::default();
+    pod.metadata = rs.spec.template.metadata.clone();
+    pod.metadata.namespace = rs.metadata.namespace.clone();
+    pod.metadata.name = format!("{}-{}", rs.metadata.name, name_suffix(ctx.rng));
+    pod.metadata.set_controller_ref("ReplicaSet", &rs.metadata.name, &rs.metadata.uid);
+    pod.spec = rs.spec.template.spec.clone();
+    ctx.api
+        .create(Channel::KcmToApi, Object::Pod(pod))
+        .map_err(|e| format!("create pod for rs {}: {e}", rs.metadata.name))?;
+    ctx.metrics.pods_created += 1;
+    Ok(())
+}

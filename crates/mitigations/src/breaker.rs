@@ -1,0 +1,345 @@
+//! The replication circuit breaker.
+//!
+//! The paper's most severe failure pattern is uncontrolled replication: a
+//! corrupted label or selector leaves a controller unable to recognize its
+//! own children, so it creates replacements in an infinite loop until the
+//! cluster's capacity (and eventually etcd's disk) is exhausted (§V-C1).
+//! Kubernetes has per-pod crash-loop breakers but nothing that covers the
+//! *creation* side; §VI-B calls for "circuit breakers … systematically
+//! designed to cover all the resource kinds that can cause overload
+//! errors, for example, when the relationship between resource instances
+//! is broken".
+//!
+//! [`ReplicationBreaker`] watches pod creations per owning controller in a
+//! sliding window. A controller that creates far more children than its
+//! desired scale within one window is *suspended* — the
+//! `mutiny.io/suspended` annotation is set, which every workload
+//! controller checks before reconciling — and the surplus not-ready
+//! children are deleted.
+
+use k8s_apiserver::ApiServer;
+use k8s_model::{Channel, Kind, Object, SUSPEND_ANNOTATION};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Breaker tunables.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Sliding-window length.
+    pub window_ms: u64,
+    /// Creations beyond the owner's desired scale tolerated per window
+    /// (rolling updates legitimately create `desired + surge` pods).
+    pub allowance: i64,
+    /// Delete the suspended owner's surplus not-ready children.
+    pub delete_surplus: bool,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { window_ms: 10_000, allowance: 10, delete_surplus: true }
+    }
+}
+
+/// Breaker counters, exposed to the ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerMetrics {
+    /// Controllers suspended.
+    pub trips: u64,
+    /// Surplus pods deleted after a trip.
+    pub surplus_deleted: u64,
+}
+
+/// Watches pod-creation rates per owner and suspends runaway controllers.
+pub struct ReplicationBreaker {
+    cfg: BreakerConfig,
+    cursor: u64,
+    /// Pod keys already observed (to distinguish creates from updates).
+    seen: HashSet<String>,
+    /// Creation timestamps per owner key, pruned to the window.
+    creates: HashMap<String, VecDeque<u64>>,
+    /// Owners already suspended by this breaker.
+    tripped: HashSet<String>,
+    /// Counters.
+    pub metrics: BreakerMetrics,
+}
+
+impl std::fmt::Debug for ReplicationBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationBreaker")
+            .field("tripped", &self.tripped)
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl ReplicationBreaker {
+    /// Creates a breaker watching from the apiserver's current event head.
+    pub fn new(cfg: BreakerConfig, api: &ApiServer) -> ReplicationBreaker {
+        ReplicationBreaker {
+            cfg,
+            cursor: api.watch_head(),
+            seen: HashSet::new(),
+            creates: HashMap::new(),
+            tripped: HashSet::new(),
+            metrics: BreakerMetrics::default(),
+        }
+    }
+
+    /// Owners currently suspended by this breaker.
+    pub fn tripped(&self) -> impl Iterator<Item = &str> {
+        self.tripped.iter().map(String::as_str)
+    }
+
+    /// Runs one breaker step at simulated time `now`.
+    pub fn step(&mut self, api: &mut ApiServer, now: u64) {
+        let (events, next) = api.poll_events(self.cursor);
+        self.cursor = next;
+
+        let mut to_check: HashSet<String> = HashSet::new();
+        for ev in events {
+            if ev.kind != Kind::Pod {
+                continue;
+            }
+            match &ev.object {
+                Some(Object::Pod(pod)) => {
+                    if !self.seen.insert(ev.key.clone()) {
+                        continue; // update, not a create
+                    }
+                    let Some(ctrl) = pod.metadata.controller_ref() else { continue };
+                    let owner = owner_key(&ctrl.kind, &pod.metadata.namespace, &ctrl.name);
+                    self.creates.entry(owner.clone()).or_default().push_back(now);
+                    to_check.insert(owner);
+                }
+                Some(_) => {}
+                None => {
+                    self.seen.remove(&ev.key);
+                }
+            }
+        }
+
+        for owner in to_check {
+            if self.tripped.contains(&owner) {
+                continue;
+            }
+            let in_window = {
+                let q = self.creates.get_mut(&owner).expect("owner just inserted");
+                while q.front().copied().unwrap_or(u64::MAX) + self.cfg.window_ms < now {
+                    q.pop_front();
+                }
+                q.len() as i64
+            };
+            let Some((kind, ns, name)) = parse_owner_key(&owner) else { continue };
+            let desired = desired_scale(api, kind, &ns, &name);
+            if in_window > desired + self.cfg.allowance {
+                self.trip(api, kind, &ns, &name, in_window, desired);
+            }
+        }
+    }
+
+    fn trip(
+        &mut self,
+        api: &mut ApiServer,
+        kind: Kind,
+        ns: &str,
+        name: &str,
+        created: i64,
+        desired: i64,
+    ) {
+        let Some(mut owner) = api.get(kind, ns, name) else { return };
+        owner
+            .meta_mut()
+            .annotations
+            .insert(SUSPEND_ANNOTATION.to_owned(), "true".to_owned());
+        if api.update(Channel::UserToApi, owner).is_err() {
+            return; // retried on the next runaway create
+        }
+        self.tripped.insert(owner_key(&kind.to_string(), ns, name));
+        self.metrics.trips += 1;
+
+        if self.cfg.delete_surplus {
+            self.delete_surplus_children(api, kind, ns, name, desired);
+        }
+        let _ = created;
+    }
+
+    /// Deletes the suspended owner's not-ready children beyond its desired
+    /// scale (youngest first — the storm pods).
+    fn delete_surplus_children(
+        &mut self,
+        api: &mut ApiServer,
+        kind: Kind,
+        ns: &str,
+        name: &str,
+        desired: i64,
+    ) {
+        let owner_uid = api.get(kind, ns, name).map(|o| o.meta().uid.clone()).unwrap_or_default();
+        let kind_name = kind.to_string();
+        let mut children: Vec<(i64, String, bool)> = Vec::new();
+        api.for_each(Kind::Pod, Some(ns), |obj| {
+            if let Object::Pod(p) = obj {
+                let mine = p
+                    .metadata
+                    .controller_ref()
+                    .map(|c| c.kind == kind_name && (c.uid == owner_uid || c.name == name))
+                    .unwrap_or(false);
+                if mine && !p.metadata.is_terminating() {
+                    children.push((
+                        p.metadata.creation_timestamp,
+                        p.metadata.name.clone(),
+                        p.is_ready(),
+                    ));
+                }
+            }
+        });
+        // Keep the oldest `desired` ready pods; delete the rest.
+        children.sort_by_key(|(created, _, ready)| (*ready, std::cmp::Reverse(*created)));
+        let keep = desired.max(0) as usize;
+        let surplus = children.len().saturating_sub(keep);
+        for (_, pod_name, _) in children.into_iter().take(surplus) {
+            if api.delete(Channel::UserToApi, Kind::Pod, ns, &pod_name).is_ok() {
+                self.metrics.surplus_deleted += 1;
+            }
+        }
+    }
+}
+
+fn owner_key(kind: &str, ns: &str, name: &str) -> String {
+    format!("{kind}/{ns}/{name}")
+}
+
+fn parse_owner_key(key: &str) -> Option<(Kind, String, String)> {
+    let mut parts = key.splitn(3, '/');
+    let kind = Kind::parse(parts.next()?)?;
+    let ns = parts.next()?.to_owned();
+    let name = parts.next()?.to_owned();
+    Some((kind, ns, name))
+}
+
+/// The desired child count of a workload controller (DaemonSets: one per
+/// node).
+fn desired_scale(api: &mut ApiServer, kind: Kind, ns: &str, name: &str) -> i64 {
+    match api.get(kind, ns, name) {
+        Some(Object::ReplicaSet(rs)) => rs.spec.replicas.max(0),
+        Some(Object::Deployment(d)) => d.spec.replicas.max(0),
+        Some(Object::DaemonSet(_)) => api.count(Kind::Node, None) as i64,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcd_sim::Etcd;
+    use k8s_apiserver::{InterceptorHandle, TraceHandle};
+    use k8s_model::{Container, LabelSelector, NoopInterceptor, ObjectMeta, Pod, ReplicaSet};
+    use simkit::Trace;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn api() -> ApiServer {
+        let interceptor: InterceptorHandle = Rc::new(RefCell::new(NoopInterceptor));
+        let trace: TraceHandle = Rc::new(RefCell::new(Trace::new(256)));
+        ApiServer::new(Etcd::new(1, 8 << 20), interceptor, trace)
+    }
+
+    fn install_rs(api: &mut ApiServer, replicas: i64) -> ReplicaSet {
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named("default", "web-rs");
+        rs.spec.replicas = replicas;
+        rs.spec.selector = LabelSelector::eq("app", "web");
+        rs.spec.template.metadata.labels.insert("app".into(), "web".into());
+        rs.spec.template.spec.containers.push(Container {
+            name: "c".into(),
+            image: "img:1".into(),
+            ..Default::default()
+        });
+        let created = api.create(Channel::UserToApi, Object::ReplicaSet(rs)).unwrap();
+        match created {
+            Object::ReplicaSet(rs) => rs,
+            _ => unreachable!(),
+        }
+    }
+
+    fn storm_pod(api: &mut ApiServer, rs: &ReplicaSet, i: usize) {
+        let mut p = Pod::default();
+        p.metadata = ObjectMeta::named("default", &format!("web-rs-{i:04}"));
+        p.metadata.labels.insert("app".into(), "web".into());
+        p.metadata.set_controller_ref("ReplicaSet", &rs.metadata.name, &rs.metadata.uid);
+        p.spec.containers.push(Container {
+            name: "c".into(),
+            image: "img:1".into(),
+            ..Default::default()
+        });
+        api.create(Channel::KcmToApi, Object::Pod(p)).unwrap();
+    }
+
+    #[test]
+    fn normal_scale_does_not_trip() {
+        let mut a = api();
+        let rs = install_rs(&mut a, 5);
+        let mut b = ReplicationBreaker::new(BreakerConfig::default(), &a);
+        for i in 0..5 {
+            storm_pod(&mut a, &rs, i);
+        }
+        b.step(&mut a, 1_000);
+        assert_eq!(b.metrics.trips, 0);
+        let fresh = a.get(Kind::ReplicaSet, "default", "web-rs").unwrap();
+        assert!(!k8s_model::is_suspended(fresh.meta()));
+    }
+
+    #[test]
+    fn storm_trips_and_suspends_owner() {
+        let mut a = api();
+        let rs = install_rs(&mut a, 2);
+        let mut b = ReplicationBreaker::new(BreakerConfig::default(), &a);
+        for i in 0..30 {
+            storm_pod(&mut a, &rs, i);
+        }
+        b.step(&mut a, 2_000);
+        assert_eq!(b.metrics.trips, 1);
+        let fresh = a.get(Kind::ReplicaSet, "default", "web-rs").unwrap();
+        assert!(k8s_model::is_suspended(fresh.meta()));
+        assert_eq!(b.tripped().count(), 1);
+    }
+
+    #[test]
+    fn trip_deletes_surplus_children() {
+        let mut a = api();
+        let rs = install_rs(&mut a, 2);
+        let mut b = ReplicationBreaker::new(BreakerConfig::default(), &a);
+        for i in 0..30 {
+            storm_pod(&mut a, &rs, i);
+        }
+        b.step(&mut a, 2_000);
+        assert!(b.metrics.surplus_deleted >= 28 - BreakerConfig::default().allowance as u64);
+        assert!(a.count(Kind::Pod, Some("default")) <= 2 + 10);
+    }
+
+    #[test]
+    fn slow_creation_outside_window_does_not_trip() {
+        let mut a = api();
+        let rs = install_rs(&mut a, 2);
+        let mut b = ReplicationBreaker::new(BreakerConfig::default(), &a);
+        // 30 creates spread over 60 s: never more than a few per window.
+        for i in 0..30 {
+            storm_pod(&mut a, &rs, i);
+            b.step(&mut a, (i as u64 + 1) * 2_000);
+        }
+        assert_eq!(b.metrics.trips, 0);
+    }
+
+    #[test]
+    fn second_step_does_not_retrip() {
+        let mut a = api();
+        let rs = install_rs(&mut a, 2);
+        let mut b = ReplicationBreaker::new(BreakerConfig::default(), &a);
+        for i in 0..30 {
+            storm_pod(&mut a, &rs, i);
+        }
+        b.step(&mut a, 2_000);
+        for i in 30..35 {
+            storm_pod(&mut a, &rs, i);
+        }
+        b.step(&mut a, 2_500);
+        assert_eq!(b.metrics.trips, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! The critical-field catalog.
+//!
+//! The paper's critical-field analysis (§V-C2) finds 34 fields behind
+//! every Stall/Outage/Service-Unreachable failure: 20 manage dependency
+//! relationships (labels, label selectors, ownerReferences, targetRef),
+//! the identity triple (name, namespace, uid) covers most of the rest,
+//! plus a handful of networking fields, the replica count, and the
+//! image/command fields of critical pods. It also observes that the
+//! critical fields are "<10% of total" — which is what makes protecting
+//! exactly this subset cheap.
+//!
+//! This module decides, from a reflection path, whether a field belongs to
+//! that protected subset.
+
+use k8s_model::Object;
+use protowire::reflect::{Reflect, Value};
+
+/// True when `path` belongs to the paper's critical subset.
+///
+/// The predicate deliberately mirrors the grouping of §V-C2:
+/// dependency-tracking metadata, identity, networking, replication, and
+/// the image/command specification fields.
+pub fn is_critical_path(path: &str) -> bool {
+    // Dependency-tracking fields (20 of the paper's 34).
+    if path.contains("labels[")
+        || path.contains("matchLabels[")
+        || path.contains("selector[")
+        || path.contains("ownerReferences[")
+    {
+        // The integrity annotation itself is never part of the code.
+        return !path.contains("annotations[");
+    }
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    // Identity triple (name/namespace/uid appear in the URL).
+    if matches!(leaf, "name" | "namespace" | "uid") && path.starts_with("metadata.") {
+        return true;
+    }
+    // Networking fields (protocols, addresses, ports).
+    if matches!(
+        leaf,
+        "clusterIP" | "port" | "targetPort" | "protocol" | "podCIDR" | "ip" | "nodeName"
+            | "holderIdentity"
+    ) {
+        return true;
+    }
+    // Replica counts and the spec fields that prevent critical pods from
+    // starting.
+    if matches!(leaf, "replicas" | "minReplicas" | "maxReplicas") && path.starts_with("spec.") {
+        return true;
+    }
+    if matches!(leaf, "image") || path.contains("command[") {
+        return true;
+    }
+    false
+}
+
+/// Collects the critical field paths (and their values) of an object, in
+/// deterministic (sorted) order.
+pub fn critical_paths(obj: &Object) -> Vec<(String, Value)> {
+    let mut out: Vec<(String, Value)> = Vec::new();
+    obj.visit_fields("", &mut |path, value| {
+        if is_critical_path(path) {
+            out.push((path.to_owned(), value));
+        }
+    });
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Catalog statistics for one object (used to check the paper's "<10% of
+/// total" overhead claim on our own resource model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalFieldCatalog {
+    /// Fields in the protected subset.
+    pub critical: usize,
+    /// All reflected fields.
+    pub total: usize,
+}
+
+impl CriticalFieldCatalog {
+    /// Computes the catalog statistics for an object.
+    pub fn of(obj: &Object) -> CriticalFieldCatalog {
+        let mut critical = 0usize;
+        let mut total = 0usize;
+        obj.visit_fields("", &mut |path, _| {
+            total += 1;
+            if is_critical_path(path) {
+                critical += 1;
+            }
+        });
+        CriticalFieldCatalog { critical, total }
+    }
+
+    /// Fraction of fields in the protected subset.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.critical as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_model::{Container, LabelSelector, ObjectMeta, Pod, ReplicaSet};
+
+    #[test]
+    fn dependency_fields_are_critical() {
+        assert!(is_critical_path("metadata.labels['app']"));
+        assert!(is_critical_path("spec.selector.matchLabels['app']"));
+        assert!(is_critical_path("spec.template.metadata.labels['app']"));
+        assert!(is_critical_path("metadata.ownerReferences[0].uid"));
+        assert!(is_critical_path("spec.selector['app']"));
+    }
+
+    #[test]
+    fn identity_and_networking_are_critical() {
+        assert!(is_critical_path("metadata.name"));
+        assert!(is_critical_path("metadata.namespace"));
+        assert!(is_critical_path("metadata.uid"));
+        assert!(is_critical_path("spec.clusterIP"));
+        assert!(is_critical_path("spec.nodeName"));
+        assert!(is_critical_path("spec.podCIDR"));
+        assert!(is_critical_path("spec.replicas"));
+        assert!(is_critical_path("spec.containers[0].image"));
+    }
+
+    #[test]
+    fn noncritical_fields_are_excluded() {
+        assert!(!is_critical_path("status.readyReplicas"));
+        assert!(!is_critical_path("metadata.resourceVersion"));
+        assert!(!is_critical_path("metadata.generation"));
+        assert!(!is_critical_path("spec.restartPolicy"));
+        assert!(!is_critical_path("metadata.annotations['mutiny.io/critical-crc']"));
+        // Template *names* are not identity: only metadata.-rooted paths.
+        assert!(!is_critical_path("spec.template.metadata.resourceVersion"));
+    }
+
+    fn sample_rs() -> Object {
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named("default", "web-rs");
+        rs.metadata.uid = "uid-1".into();
+        rs.spec.replicas = 2;
+        rs.spec.selector = LabelSelector::eq("app", "web");
+        rs.spec.template.metadata.labels.insert("app".into(), "web".into());
+        rs.spec.template.spec.containers.push(Container {
+            name: "c".into(),
+            image: "img:1".into(),
+            ..Default::default()
+        });
+        Object::ReplicaSet(rs)
+    }
+
+    #[test]
+    fn critical_paths_are_sorted_and_nonempty() {
+        let paths = critical_paths(&sample_rs());
+        assert!(!paths.is_empty());
+        let mut sorted = paths.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(paths, sorted);
+        assert!(paths.iter().any(|(p, _)| p == "spec.replicas"));
+        assert!(paths.iter().any(|(p, _)| p.contains("matchLabels")));
+    }
+
+    #[test]
+    fn overhead_stays_small() {
+        // The paper's claim: critical fields are a small fraction of the
+        // total, so redundancy codes are cheap. Our model is much smaller
+        // than the real API surface, so the fraction is higher, but it
+        // must remain a strict minority on a busy object.
+        let mut pod = Pod::default();
+        pod.metadata = ObjectMeta::named("default", "p");
+        pod.metadata.uid = "u".into();
+        pod.status.phase = "Running".into();
+        pod.status.pod_ip = "10.244.0.5".into();
+        pod.status.ready = true;
+        pod.spec.containers.push(Container {
+            name: "c".into(),
+            image: "img:1".into(),
+            cpu_milli: 100,
+            memory_mb: 64,
+            port: 8080,
+            ..Default::default()
+        });
+        let cat = CriticalFieldCatalog::of(&Object::Pod(pod));
+        assert!(cat.critical > 0);
+        assert!(cat.fraction() < 0.5, "fraction {} too high", cat.fraction());
+    }
+}

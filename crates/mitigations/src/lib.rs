@@ -1,0 +1,107 @@
+//! # mutiny-mitigations — the paper's §VI-B proposals, implemented
+//!
+//! The Mutiny paper closes with a list of defenses that Kubernetes lacks
+//! and that its injection campaign shows are needed ("What can we do about
+//! failures?", §VI-B). This crate implements each one against the
+//! simulated control plane, so the ablation benches can quantify how many
+//! of the campaign's critical failures each defense removes:
+//!
+//! * [`catalog`] — the critical-field catalog: which field paths carry
+//!   dependency-tracking, identity, networking, or replication semantics
+//!   (the fields behind 51% of critical failures, F2), and the paper's
+//!   observation that they are <10% of all fields;
+//! * [`checksum`] — redundancy codes (CRC-32) sealed over the critical
+//!   fields of every stored object and verified on every decode, with
+//!   roll-back-to-last-good repair ("simple data redundancy mechanisms …
+//!   can protect the cluster from hardware faults with a negligible
+//!   overhead");
+//! * [`breaker`] — a replication circuit breaker that detects uncontrolled
+//!   pod creation per owner and suspends the runaway controller
+//!   ("circuit breakers must be systematically designed to cover all the
+//!   resource kinds that can cause overload errors, for example, when the
+//!   relationship between resource instances is broken");
+//! * [`guard`] — a critical-field change journal with health monitoring
+//!   and automatic rollback ("the system should log changes to labels that
+//!   can cause critical failures, monitor whether those changes alter
+//!   system availability, and possibly roll back to the old values");
+//! * [`policy`] — stricter admission checks ("scaling of coreDNS to 0
+//!   should be denied", "reject the spawning of a large number of Pods
+//!   without resource limits", namespace resource quotas).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use k8s_apiserver::ApiServer;
+//! use mutiny_mitigations::{checksum::CriticalFieldSealer, policy};
+//! use std::rc::Rc;
+//! # use etcd_sim::Etcd;
+//! # use k8s_model::NoopInterceptor;
+//! # use simkit::Trace;
+//! # use std::cell::RefCell;
+//!
+//! # let etcd = Etcd::new(1, 1 << 20);
+//! # let interceptor: k8s_apiserver::InterceptorHandle =
+//! #     Rc::new(RefCell::new(NoopInterceptor));
+//! # let trace: k8s_apiserver::TraceHandle = Rc::new(RefCell::new(Trace::new(64)));
+//! let mut api = ApiServer::new(etcd, interceptor, trace);
+//! api.install_integrity(Rc::new(CriticalFieldSealer::default()));
+//! api.install_policy(Box::new(policy::DenyCriticalScaleToZero));
+//! ```
+
+pub mod breaker;
+pub mod catalog;
+pub mod checksum;
+pub mod guard;
+pub mod policy;
+
+pub use breaker::{BreakerConfig, BreakerMetrics, ReplicationBreaker};
+pub use catalog::{critical_paths, is_critical_path, CriticalFieldCatalog};
+pub use checksum::{crc32, CriticalFieldSealer};
+pub use guard::{ChangeRecord, CriticalFieldGuard, GuardConfig, GuardMetrics, HealthSample};
+pub use policy::{
+    DenyCriticalScaleToZero, NamespacePodQuota, ReplicaCeiling, RequireResourceLimits,
+};
+
+/// Which mitigations a cluster enables. All off by default, so installing
+/// the default bundle changes nothing — mirrors how each defense must be
+/// opted into in a real deployment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MitigationsConfig {
+    /// Seal + verify redundancy codes over critical fields.
+    pub integrity: bool,
+    /// Suspend controllers that create children uncontrollably.
+    pub breaker: bool,
+    /// Journal critical-field changes, monitor health, roll back.
+    pub guard: bool,
+    /// Install the stricter admission policies.
+    pub policies: bool,
+}
+
+impl MitigationsConfig {
+    /// Every defense enabled.
+    pub fn all() -> MitigationsConfig {
+        MitigationsConfig { integrity: true, breaker: true, guard: true, policies: true }
+    }
+
+    /// True when at least one defense is enabled.
+    pub fn any(&self) -> bool {
+        self.integrity || self.breaker || self.guard || self.policies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inert() {
+        assert!(!MitigationsConfig::default().any());
+    }
+
+    #[test]
+    fn all_config_enables_everything() {
+        let c = MitigationsConfig::all();
+        assert!(c.integrity && c.breaker && c.guard && c.policies);
+        assert!(c.any());
+    }
+}

@@ -1,0 +1,140 @@
+//! The HorizontalPodAutoscaler: scales a Deployment from observed load.
+//!
+//! The paper's fault taxonomy (Table I(a)) lists *Wrong Autoscale Trigger* —
+//! "autoscaling of Pods or Nodes based on misleading information" — among
+//! the real-world fault classes, and the GKE incident of Figure 2 is an
+//! autoscaler acting on corrupted health data. This kind provides the
+//! target for those experiments: the controller reads a load metric
+//! published by the network fabric and reconciles the target Deployment's
+//! replica count, so a single corrupted metric or spec value mis-sizes a
+//! service (MoR/LeR) or, at the extremes, storms the control plane.
+
+use crate::meta::ObjectMeta;
+use protowire::proto_message;
+
+proto_message! {
+    /// Desired autoscaling behaviour.
+    pub struct HpaSpec {
+        /// Name of the target Deployment (same namespace).
+        1 => scale_target @ "scaleTargetRef": str,
+        /// Lower replica bound (at least 1; 0 would scale the service away).
+        2 => min_replicas @ "minReplicas": int,
+        /// Upper replica bound.
+        3 => max_replicas @ "maxReplicas": int,
+        /// Per-replica load (requests/second) the controller aims for.
+        4 => target_load @ "targetLoadPerReplica": int,
+    }
+}
+
+proto_message! {
+    /// Observed autoscaling state.
+    pub struct HpaStatus {
+        1 => current_replicas @ "currentReplicas": int,
+        2 => desired_replicas @ "desiredReplicas": int,
+        /// Simulated time of the last scale action.
+        3 => last_scale_time @ "lastScaleTime": int,
+        /// Load observed at the last reconcile (requests/second).
+        4 => observed_load @ "observedLoad": int,
+    }
+}
+
+proto_message! {
+    /// Scales a Deployment horizontally from a published load metric.
+    pub struct HorizontalPodAutoscaler {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<HpaSpec>,
+        3 => status: msg<HpaStatus>,
+    }
+}
+
+impl HorizontalPodAutoscaler {
+    /// Replica count the spec demands for an observed `load`, before any
+    /// stabilization: `ceil(load / targetLoadPerReplica)` clamped to
+    /// `[minReplicas, maxReplicas]`.
+    ///
+    /// Corrupted inputs degrade safely: a non-positive `target_load` pins
+    /// the answer to `min_replicas` (scaling on garbage would otherwise
+    /// divide by zero), and inverted bounds collapse to `min_replicas`.
+    pub fn desired_for(&self, load: i64) -> i64 {
+        let min = self.spec.min_replicas.max(1);
+        let max = self.spec.max_replicas.max(min);
+        if self.spec.target_load <= 0 {
+            return min;
+        }
+        let load = load.max(0);
+        let raw = (load + self.spec.target_load - 1) / self.spec.target_load;
+        raw.clamp(min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protowire::reflect::{Reflect, Value};
+    use protowire::Message;
+
+    fn hpa(min: i64, max: i64, target: i64) -> HorizontalPodAutoscaler {
+        let mut h = HorizontalPodAutoscaler::default();
+        h.metadata = ObjectMeta::named("default", "web-1-hpa");
+        h.spec.scale_target = "web-1".into();
+        h.spec.min_replicas = min;
+        h.spec.max_replicas = max;
+        h.spec.target_load = target;
+        h
+    }
+
+    #[test]
+    fn roundtrips() {
+        let mut h = hpa(2, 8, 10);
+        h.status.current_replicas = 2;
+        h.status.observed_load = 37;
+        assert_eq!(HorizontalPodAutoscaler::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn desired_follows_ceiling_division() {
+        let h = hpa(1, 10, 10);
+        assert_eq!(h.desired_for(0), 1);
+        assert_eq!(h.desired_for(10), 1);
+        assert_eq!(h.desired_for(11), 2);
+        assert_eq!(h.desired_for(95), 10);
+        assert_eq!(h.desired_for(1000), 10); // clamped at max
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        let h = hpa(3, 5, 10);
+        assert_eq!(h.desired_for(1), 3);
+        assert_eq!(h.desired_for(100), 5);
+    }
+
+    #[test]
+    fn corrupted_target_load_degrades_to_min() {
+        // A zeroed metric target (the data-type-set injection) must not
+        // divide by zero or storm to max.
+        let mut h = hpa(2, 8, 10);
+        h.spec.target_load = 0;
+        assert_eq!(h.desired_for(50), 2);
+        h.spec.target_load = -4; // bit-flipped sign
+        assert_eq!(h.desired_for(50), 2);
+    }
+
+    #[test]
+    fn inverted_bounds_collapse_to_min() {
+        let mut h = hpa(6, 2, 10);
+        h.spec.max_replicas = 2;
+        assert_eq!(h.desired_for(100), 6);
+    }
+
+    #[test]
+    fn fields_reachable_by_injection_path() {
+        let mut h = hpa(2, 8, 10);
+        assert_eq!(h.get_field("spec.maxReplicas"), Some(Value::Int(8)));
+        assert!(h.set_field("spec.targetLoadPerReplica", Value::Int(1)));
+        assert_eq!(h.spec.target_load, 1);
+        assert_eq!(
+            h.get_field("spec.scaleTargetRef"),
+            Some(Value::Str("web-1".into()))
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Communication channels and the injection interceptor seam.
+//!
+//! The paper distinguishes two channel families (§IV-A): messages from the
+//! Apiserver to Etcd (directly altering the stored cluster state, injected
+//! *before* consensus so all replicas agree on the faulty value) and
+//! messages from other components to the Apiserver (subject to
+//! authentication/validation/admission, so corruption may be rejected).
+//!
+//! Every serialized write in the simulation flows through an
+//! [`Interceptor`]; Mutiny implements it, and a [`NoopInterceptor`] serves
+//! golden runs.
+
+use crate::Kind;
+
+/// The channel a message travels on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Channel {
+    /// Apiserver → Etcd transactions (the campaign's primary target).
+    ApiToEtcd,
+    /// kube-controller-manager → Apiserver requests.
+    KcmToApi,
+    /// kube-scheduler → Apiserver requests (bindings).
+    SchedulerToApi,
+    /// kubelet → Apiserver requests (status, heartbeats).
+    KubeletToApi,
+    /// Cluster user (kbench) → Apiserver requests.
+    UserToApi,
+}
+
+impl Channel {
+    /// All channels in a stable order.
+    pub const ALL: [Channel; 5] = [
+        Channel::ApiToEtcd,
+        Channel::KcmToApi,
+        Channel::SchedulerToApi,
+        Channel::KubeletToApi,
+        Channel::UserToApi,
+    ];
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Channel::ApiToEtcd => "apiserver->etcd",
+            Channel::KcmToApi => "kcm->apiserver",
+            Channel::SchedulerToApi => "scheduler->apiserver",
+            Channel::KubeletToApi => "kubelet->apiserver",
+            Channel::UserToApi => "user->apiserver",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operation a message performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Creates a new resource instance.
+    Create,
+    /// Updates an existing resource instance.
+    Update,
+    /// Deletes a resource instance (no payload).
+    Delete,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Op::Create => "create",
+            Op::Update => "update",
+            Op::Delete => "delete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Context handed to the interceptor for every serialized message.
+#[derive(Debug)]
+pub struct MsgCtx<'a> {
+    /// Channel the message travels on.
+    pub channel: Channel,
+    /// Resource kind the message concerns.
+    pub kind: Kind,
+    /// Registry key of the resource instance.
+    pub key: &'a str,
+    /// Operation being performed.
+    pub op: Op,
+    /// Serialized payload (`None` for deletes).
+    pub bytes: Option<&'a [u8]>,
+    /// Simulated time of the message.
+    pub now: u64,
+}
+
+/// The interceptor's decision about a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireVerdict {
+    /// Deliver the message unchanged.
+    Pass,
+    /// Deliver a tampered payload instead of the original.
+    Replace(Vec<u8>),
+    /// Silently drop the message (the sender sees success).
+    Drop,
+}
+
+/// A hook observing (and possibly tampering with) every serialized message.
+///
+/// Implementations must be deterministic: the campaign replays experiments
+/// from seeds.
+pub trait Interceptor {
+    /// Inspects one message and decides its fate.
+    fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict;
+}
+
+/// Pass-through interceptor used for golden runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopInterceptor;
+
+impl Interceptor for NoopInterceptor {
+    fn on_message(&mut self, _ctx: &MsgCtx<'_>) -> WireVerdict {
+        WireVerdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_always_passes() {
+        let mut n = NoopInterceptor;
+        let ctx = MsgCtx {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::Pod,
+            key: "/registry/pods/default/p",
+            op: Op::Create,
+            bytes: Some(&[1, 2, 3]),
+            now: 0,
+        };
+        assert_eq!(n.on_message(&ctx), WireVerdict::Pass);
+    }
+
+    #[test]
+    fn channel_display_is_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Channel::ALL {
+            assert!(seen.insert(c.to_string()));
+        }
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(Op::Create.to_string(), "create");
+        assert_eq!(Op::Update.to_string(), "update");
+        assert_eq!(Op::Delete.to_string(), "delete");
+    }
+}

@@ -1,0 +1,225 @@
+//! # k8s-model — the Kubernetes-like resource model
+//!
+//! Typed resource kinds (Pod, ReplicaSet, Deployment, DaemonSet, Service,
+//! Endpoints, Node, Namespace, ConfigMap, Lease) with:
+//!
+//! * Protobuf wire round-tripping via [`protowire::Message`] — every state
+//!   transition in the simulated cluster crosses real serialized bytes, so
+//!   Mutiny's injections behave exactly like the paper's;
+//! * field reflection via [`protowire::reflect::Reflect`] — the campaign
+//!   enumerates recorded fields and mutates them by path;
+//! * the dependency-tracking metadata the paper identifies as the dominant
+//!   cause of critical failures (F2): labels, label selectors and
+//!   ownerReferences;
+//! * the [`Channel`]/[`Interceptor`] abstraction — the seam where Mutiny
+//!   tampers with messages in flight.
+//!
+//! ```
+//! use k8s_model::{Kind, Object, Pod};
+//!
+//! let mut pod = Pod::default();
+//! pod.metadata.name = "web-0".into();
+//! pod.metadata.namespace = "default".into();
+//! pod.spec.node_name = "worker-1".into();
+//! let obj = Object::Pod(pod);
+//! let bytes = obj.encode();
+//! let back = Object::decode(Kind::Pod, &bytes).unwrap();
+//! assert_eq!(back.meta().name, "web-0");
+//! assert_eq!(back.key(), "/registry/pods/default/web-0");
+//! ```
+
+pub mod autoscale;
+pub mod channel;
+pub mod meta;
+pub mod misc;
+pub mod node;
+pub mod object;
+pub mod pod;
+pub mod selector;
+pub mod service;
+pub mod validate;
+pub mod workloads;
+
+pub use autoscale::{HorizontalPodAutoscaler, HpaSpec, HpaStatus};
+pub use channel::{Channel, Interceptor, MsgCtx, NoopInterceptor, Op, WireVerdict};
+pub use meta::{ObjectMeta, OwnerReference};
+pub use misc::{ConfigMap, Lease, LeaseSpec, Namespace};
+pub use node::{Node, NodeSpec, NodeStatus, Taint};
+pub use object::Object;
+pub use pod::{Container, Pod, PodSpec, PodStatus, Toleration};
+pub use selector::LabelSelector;
+pub use service::{EndpointAddress, Endpoints, Service, ServiceSpec};
+pub use workloads::{
+    DaemonSet, Deployment, DeploymentSpec, DeploymentStatus, DsSpec, DsStatus, PodTemplateSpec,
+    ReplicaSet, RsSpec, RsStatus,
+};
+
+/// Priority of pods created by DaemonSets that run system agents; such pods
+/// preempt any application pod (the paper's uncontrolled-replication example
+/// turns into an Outage precisely because of this priority).
+pub const SYSTEM_NODE_CRITICAL: i64 = 2_000_001_000;
+
+/// Priority of cluster-critical control-plane pods (coreDNS).
+pub const SYSTEM_CLUSTER_CRITICAL: i64 = 2_000_000_000;
+
+/// Annotation set by the replication circuit breaker to suspend a workload
+/// controller whose children are being created uncontrollably (§VI-B:
+/// "circuit breakers must be systematically designed to cover all the
+/// resource kinds that can cause overload errors"). Controllers skip
+/// reconciliation while the annotation value is `"true"`.
+pub const SUSPEND_ANNOTATION: &str = "mutiny.io/suspended";
+
+/// Annotation carrying the redundancy code over an object's critical
+/// fields (§VI-B: "simple data redundancy mechanisms, like redundancy
+/// codes on critical fields, can protect the cluster from hardware faults
+/// with a negligible overhead").
+pub const INTEGRITY_ANNOTATION: &str = "mutiny.io/critical-crc";
+
+/// True while an object is suspended by the replication circuit breaker.
+pub fn is_suspended(meta: &ObjectMeta) -> bool {
+    meta.annotations.get(SUSPEND_ANNOTATION).map(String::as_str) == Some("true")
+}
+
+/// The resource kinds handled by the simulated orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kind {
+    /// A set of containers in an isolated environment.
+    Pod,
+    /// Maintains a desired number of pod replicas.
+    ReplicaSet,
+    /// Manages rolling updates of a ReplicaSet.
+    Deployment,
+    /// Spawns one pod on every eligible node.
+    DaemonSet,
+    /// A stable virtual endpoint load-balancing over selected pods.
+    Service,
+    /// The resolved backend addresses of a Service.
+    Endpoints,
+    /// A control-plane or worker machine.
+    Node,
+    /// A named isolation scope for other resources.
+    Namespace,
+    /// Plain configuration data (used by the network manager).
+    ConfigMap,
+    /// Leader-election and heartbeat lease.
+    Lease,
+    /// Scales a Deployment from a published load metric.
+    HorizontalPodAutoscaler,
+}
+
+impl Kind {
+    /// All kinds, in registry order.
+    pub const ALL: [Kind; 11] = [
+        Kind::Pod,
+        Kind::ReplicaSet,
+        Kind::Deployment,
+        Kind::DaemonSet,
+        Kind::Service,
+        Kind::Endpoints,
+        Kind::Node,
+        Kind::Namespace,
+        Kind::ConfigMap,
+        Kind::Lease,
+        Kind::HorizontalPodAutoscaler,
+    ];
+
+    /// Lower-case plural used in registry keys, e.g. `pods`.
+    pub fn plural(self) -> &'static str {
+        match self {
+            Kind::Pod => "pods",
+            Kind::ReplicaSet => "replicasets",
+            Kind::Deployment => "deployments",
+            Kind::DaemonSet => "daemonsets",
+            Kind::Service => "services",
+            Kind::Endpoints => "endpoints",
+            Kind::Node => "nodes",
+            Kind::Namespace => "namespaces",
+            Kind::ConfigMap => "configmaps",
+            Kind::Lease => "leases",
+            Kind::HorizontalPodAutoscaler => "horizontalpodautoscalers",
+        }
+    }
+
+    /// True for cluster-scoped kinds (no namespace in their key).
+    pub fn cluster_scoped(self) -> bool {
+        matches!(self, Kind::Node | Kind::Namespace)
+    }
+
+    /// Parses the CamelCase kind name.
+    pub fn parse(s: &str) -> Option<Kind> {
+        Kind::ALL.iter().copied().find(|k| k.to_string() == s)
+    }
+}
+
+impl std::fmt::Display for Kind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Kind::Pod => "Pod",
+            Kind::ReplicaSet => "ReplicaSet",
+            Kind::Deployment => "Deployment",
+            Kind::DaemonSet => "DaemonSet",
+            Kind::Service => "Service",
+            Kind::Endpoints => "Endpoints",
+            Kind::Node => "Node",
+            Kind::Namespace => "Namespace",
+            Kind::ConfigMap => "ConfigMap",
+            Kind::Lease => "Lease",
+            Kind::HorizontalPodAutoscaler => "HorizontalPodAutoscaler",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Builds the registry (etcd) key for an object.
+///
+/// Namespaced kinds use `/registry/<plural>/<namespace>/<name>`;
+/// cluster-scoped kinds omit the namespace segment.
+pub fn registry_key(kind: Kind, namespace: &str, name: &str) -> String {
+    if kind.cluster_scoped() {
+        format!("/registry/{}/{}", kind.plural(), name)
+    } else {
+        format!("/registry/{}/{}/{}", kind.plural(), namespace, name)
+    }
+}
+
+/// Key prefix covering every instance of `kind` (optionally one namespace).
+pub fn registry_prefix(kind: Kind, namespace: Option<&str>) -> String {
+    match namespace {
+        Some(ns) if !kind.cluster_scoped() => format!("/registry/{}/{}/", kind.plural(), ns),
+        _ => format!("/registry/{}/", kind.plural()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display_and_parse_roundtrip() {
+        for k in Kind::ALL {
+            assert_eq!(Kind::parse(&k.to_string()), Some(k));
+        }
+        assert_eq!(Kind::parse("NotAKind"), None);
+    }
+
+    #[test]
+    fn registry_keys() {
+        assert_eq!(registry_key(Kind::Pod, "default", "web-0"), "/registry/pods/default/web-0");
+        assert_eq!(registry_key(Kind::Node, "ignored", "worker-1"), "/registry/nodes/worker-1");
+    }
+
+    #[test]
+    fn registry_prefixes() {
+        assert_eq!(registry_prefix(Kind::Pod, Some("default")), "/registry/pods/default/");
+        assert_eq!(registry_prefix(Kind::Pod, None), "/registry/pods/");
+        assert_eq!(registry_prefix(Kind::Node, Some("x")), "/registry/nodes/");
+    }
+
+    #[test]
+    fn plural_names_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in Kind::ALL {
+            assert!(seen.insert(k.plural()));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Namespaces, ConfigMaps and Leases.
+
+use crate::meta::ObjectMeta;
+use protowire::proto_message;
+
+proto_message! {
+    /// A named isolation scope; deleting one cascades to its contents
+    /// (an erroneous namespace deletion is one of the real-world Outage
+    /// causes in the paper's FFDA).
+    pub struct Namespace {
+        1 => metadata: msg<ObjectMeta>,
+        /// `Active` or `Terminating`.
+        2 => phase: str,
+    }
+}
+
+proto_message! {
+    /// Plain configuration data. The simulated network manager reads its
+    /// overlay configuration from a ConfigMap, mirroring flannel.
+    pub struct ConfigMap {
+        1 => metadata: msg<ObjectMeta>,
+        2 => data: map,
+    }
+}
+
+proto_message! {
+    /// Spec of a coordination lease.
+    pub struct LeaseSpec {
+        /// Identity of the current holder (e.g. `kcm-0`).
+        1 => holder @ "holderIdentity": str,
+        2 => lease_duration_ms @ "leaseDurationMs": int,
+        /// Simulated time of the last renewal.
+        3 => renew_time @ "renewTime": int,
+    }
+}
+
+proto_message! {
+    /// Leader-election lease used by the Kcm and the Scheduler: only one
+    /// replica is active at a time (§II-D); losing the lease costs a
+    /// re-election delay, the mechanism behind the paper's 20-second
+    /// scheduler-restart Timing failures.
+    pub struct Lease {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<LeaseSpec>,
+    }
+}
+
+impl Lease {
+    /// True when the lease has expired at time `now`.
+    pub fn expired(&self, now: u64) -> bool {
+        let renew = self.spec.renew_time.max(0) as u64;
+        let dur = self.spec.lease_duration_ms.max(0) as u64;
+        renew + dur <= now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protowire::Message;
+
+    #[test]
+    fn roundtrips() {
+        let mut ns = Namespace::default();
+        ns.metadata = ObjectMeta::named("", "default");
+        ns.phase = "Active".into();
+        assert_eq!(Namespace::decode(&ns.encode()).unwrap(), ns);
+
+        let mut cm = ConfigMap::default();
+        cm.metadata = ObjectMeta::named("kube-system", "net-conf");
+        cm.data.insert("overlay".into(), "vxlan".into());
+        assert_eq!(ConfigMap::decode(&cm.encode()).unwrap(), cm);
+
+        let mut l = Lease::default();
+        l.metadata = ObjectMeta::named("kube-system", "kcm-leader");
+        l.spec.holder = "kcm-0".into();
+        l.spec.lease_duration_ms = 15_000;
+        l.spec.renew_time = 1_000;
+        assert_eq!(Lease::decode(&l.encode()).unwrap(), l);
+    }
+
+    #[test]
+    fn lease_expiry() {
+        let mut l = Lease::default();
+        l.spec.lease_duration_ms = 15_000;
+        l.spec.renew_time = 10_000;
+        assert!(!l.expired(20_000));
+        assert!(l.expired(25_000));
+        assert!(l.expired(25_001));
+    }
+
+    #[test]
+    fn corrupted_negative_lease_fields_read_as_expired() {
+        let mut l = Lease::default();
+        l.spec.lease_duration_ms = -5; // corrupted
+        l.spec.renew_time = 10_000;
+        assert!(l.expired(10_000));
+    }
+}

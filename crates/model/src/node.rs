@@ -1,0 +1,135 @@
+//! Nodes: cluster machines, their capacity, taints and heartbeats.
+
+use crate::meta::ObjectMeta;
+use protowire::proto_message;
+
+/// Taint effect that evicts running pods without a matching toleration
+/// (used by the failover workload to simulate a node failure).
+pub const TAINT_NO_EXECUTE: &str = "NoExecute";
+
+/// Taint effect that only blocks new scheduling.
+pub const TAINT_NO_SCHEDULE: &str = "NoSchedule";
+
+/// Taint key applied by the node-lifecycle controller to unreachable nodes.
+pub const TAINT_UNREACHABLE: &str = "node.kubernetes.io/unreachable";
+
+proto_message! {
+    /// Repels pods from a node unless they carry a matching toleration.
+    pub struct Taint {
+        1 => key: str,
+        2 => value: str,
+        3 => effect: str,
+    }
+}
+
+proto_message! {
+    /// Desired state of a node.
+    pub struct NodeSpec {
+        1 => unschedulable: bool,
+        2 => taints: rep<Taint>,
+        /// CIDR from which this node's pod IPs are drawn; the network
+        /// manager programs inter-node routes from it (Reddit-style outage
+        /// material when corrupted).
+        3 => pod_cidr @ "podCIDR": str,
+    }
+}
+
+proto_message! {
+    /// Observed state of a node, reported via kubelet heartbeats.
+    pub struct NodeStatus {
+        1 => cpu_milli @ "allocatableCpuMilli": int,
+        2 => memory_mb @ "allocatableMemoryMb": int,
+        3 => ready: bool,
+        /// Simulated time of the last accepted heartbeat. The
+        /// node-lifecycle controller marks the node NotReady when this goes
+        /// stale — corrupting the reporting path recreates the paper's
+        /// Figure 2 cascade.
+        4 => last_heartbeat @ "lastHeartbeatTime": int,
+        5 => internal_ip @ "internalIP": str,
+    }
+}
+
+proto_message! {
+    /// A control-plane or worker machine in the cluster.
+    pub struct Node {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<NodeSpec>,
+        3 => status: msg<NodeStatus>,
+    }
+}
+
+impl Node {
+    /// Creates a schedulable worker node with the given capacity.
+    pub fn worker(name: &str, cpu_milli: i64, memory_mb: i64) -> Node {
+        let mut n = Node::default();
+        n.metadata = ObjectMeta::named("", name);
+        n.metadata.labels.insert("kubernetes.io/hostname".into(), name.to_owned());
+        n.status.cpu_milli = cpu_milli;
+        n.status.memory_mb = memory_mb;
+        n.status.ready = true;
+        n
+    }
+
+    /// True when a taint with `effect` exists.
+    pub fn has_taint_effect(&self, effect: &str) -> bool {
+        self.spec.taints.iter().any(|t| t.effect == effect)
+    }
+
+    /// Adds a taint if an identical key+effect is not already present.
+    pub fn add_taint(&mut self, key: &str, effect: &str) {
+        if !self.spec.taints.iter().any(|t| t.key == key && t.effect == effect) {
+            self.spec.taints.push(Taint {
+                key: key.to_owned(),
+                value: String::new(),
+                effect: effect.to_owned(),
+            });
+        }
+    }
+
+    /// Removes all taints with the given key.
+    pub fn remove_taint(&mut self, key: &str) {
+        self.spec.taints.retain(|t| t.key != key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protowire::reflect::{Reflect, Value};
+    use protowire::Message;
+
+    #[test]
+    fn worker_constructor() {
+        let n = Node::worker("worker-1", 8000, 4096);
+        assert_eq!(n.metadata.name, "worker-1");
+        assert!(n.status.ready);
+        assert_eq!(n.status.cpu_milli, 8000);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut n = Node::worker("worker-2", 8000, 4096);
+        n.add_taint(TAINT_UNREACHABLE, TAINT_NO_EXECUTE);
+        assert_eq!(Node::decode(&n.encode()).unwrap(), n);
+    }
+
+    #[test]
+    fn taint_management_is_idempotent() {
+        let mut n = Node::worker("w", 1, 1);
+        n.add_taint("k", TAINT_NO_EXECUTE);
+        n.add_taint("k", TAINT_NO_EXECUTE);
+        assert_eq!(n.spec.taints.len(), 1);
+        assert!(n.has_taint_effect(TAINT_NO_EXECUTE));
+        n.remove_taint("k");
+        assert!(!n.has_taint_effect(TAINT_NO_EXECUTE));
+    }
+
+    #[test]
+    fn heartbeat_field_reachable_by_injection() {
+        let mut n = Node::worker("w", 1, 1);
+        n.status.last_heartbeat = 5000;
+        assert_eq!(n.get_field("status.lastHeartbeatTime"), Some(Value::Int(5000)));
+        assert!(n.set_field("status.ready", Value::Bool(false)));
+        assert!(!n.status.ready);
+    }
+}

@@ -1,0 +1,279 @@
+//! The dynamically typed [`Object`]: what the store and apiserver handle.
+
+use crate::autoscale::HorizontalPodAutoscaler;
+use crate::meta::ObjectMeta;
+use crate::misc::{ConfigMap, Lease, Namespace};
+use crate::node::Node;
+use crate::pod::Pod;
+use crate::service::{Endpoints, Service};
+use crate::workloads::{DaemonSet, Deployment, ReplicaSet};
+use crate::{registry_key, Kind};
+use protowire::reflect::{Reflect, Value};
+use protowire::{Message, WireError};
+
+/// A resource instance of any [`Kind`].
+///
+/// The apiserver and etcd operate on `Object`s; controllers down-cast to the
+/// typed structs. Encoding/decoding and reflection dispatch to the typed
+/// implementations, so injections work uniformly across kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Object {
+    /// A [`Pod`].
+    Pod(Pod),
+    /// A [`ReplicaSet`].
+    ReplicaSet(ReplicaSet),
+    /// A [`Deployment`].
+    Deployment(Deployment),
+    /// A [`DaemonSet`].
+    DaemonSet(DaemonSet),
+    /// A [`Service`].
+    Service(Service),
+    /// An [`Endpoints`].
+    Endpoints(Endpoints),
+    /// A [`Node`].
+    Node(Node),
+    /// A [`Namespace`].
+    Namespace(Namespace),
+    /// A [`ConfigMap`].
+    ConfigMap(ConfigMap),
+    /// A [`Lease`].
+    Lease(Lease),
+    /// A [`HorizontalPodAutoscaler`].
+    HorizontalPodAutoscaler(HorizontalPodAutoscaler),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $o:ident => $body:expr) => {
+        match $self {
+            Object::Pod($o) => $body,
+            Object::ReplicaSet($o) => $body,
+            Object::Deployment($o) => $body,
+            Object::DaemonSet($o) => $body,
+            Object::Service($o) => $body,
+            Object::Endpoints($o) => $body,
+            Object::Node($o) => $body,
+            Object::Namespace($o) => $body,
+            Object::ConfigMap($o) => $body,
+            Object::Lease($o) => $body,
+            Object::HorizontalPodAutoscaler($o) => $body,
+        }
+    };
+}
+
+impl Object {
+    /// The kind tag of this instance.
+    pub fn kind(&self) -> Kind {
+        match self {
+            Object::Pod(_) => Kind::Pod,
+            Object::ReplicaSet(_) => Kind::ReplicaSet,
+            Object::Deployment(_) => Kind::Deployment,
+            Object::DaemonSet(_) => Kind::DaemonSet,
+            Object::Service(_) => Kind::Service,
+            Object::Endpoints(_) => Kind::Endpoints,
+            Object::Node(_) => Kind::Node,
+            Object::Namespace(_) => Kind::Namespace,
+            Object::ConfigMap(_) => Kind::ConfigMap,
+            Object::Lease(_) => Kind::Lease,
+            Object::HorizontalPodAutoscaler(_) => Kind::HorizontalPodAutoscaler,
+        }
+    }
+
+    /// Shared metadata (every kind carries [`ObjectMeta`] as field 1).
+    pub fn meta(&self) -> &ObjectMeta {
+        dispatch!(self, o => &o.metadata)
+    }
+
+    /// Mutable shared metadata.
+    pub fn meta_mut(&mut self) -> &mut ObjectMeta {
+        dispatch!(self, o => &mut o.metadata)
+    }
+
+    /// Object name (shorthand for `meta().name`).
+    pub fn name(&self) -> &str {
+        &self.meta().name
+    }
+
+    /// Object namespace.
+    pub fn namespace(&self) -> &str {
+        &self.meta().namespace
+    }
+
+    /// The registry key where this object is stored.
+    pub fn key(&self) -> String {
+        registry_key(self.kind(), self.namespace(), self.name())
+    }
+
+    /// Serializes the instance to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        dispatch!(self, o => Message::encode(o))
+    }
+
+    /// Decodes wire bytes as the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the bytes are undecodable — the condition
+    /// under which the apiserver deletes the stored resource (§II-D).
+    pub fn decode(kind: Kind, bytes: &[u8]) -> Result<Object, WireError> {
+        Ok(match kind {
+            Kind::Pod => Object::Pod(Pod::decode(bytes)?),
+            Kind::ReplicaSet => Object::ReplicaSet(ReplicaSet::decode(bytes)?),
+            Kind::Deployment => Object::Deployment(Deployment::decode(bytes)?),
+            Kind::DaemonSet => Object::DaemonSet(DaemonSet::decode(bytes)?),
+            Kind::Service => Object::Service(Service::decode(bytes)?),
+            Kind::Endpoints => Object::Endpoints(Endpoints::decode(bytes)?),
+            Kind::Node => Object::Node(Node::decode(bytes)?),
+            Kind::Namespace => Object::Namespace(Namespace::decode(bytes)?),
+            Kind::ConfigMap => Object::ConfigMap(ConfigMap::decode(bytes)?),
+            Kind::Lease => Object::Lease(Lease::decode(bytes)?),
+            Kind::HorizontalPodAutoscaler => {
+                Object::HorizontalPodAutoscaler(HorizontalPodAutoscaler::decode(bytes)?)
+            }
+        })
+    }
+
+    /// Borrows the typed pod, if this is one.
+    pub fn as_pod(&self) -> Option<&Pod> {
+        match self {
+            Object::Pod(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Mutable typed pod access.
+    pub fn as_pod_mut(&mut self) -> Option<&mut Pod> {
+        match self {
+            Object::Pod(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl Reflect for Object {
+    fn visit_fields(&self, prefix: &str, visit: &mut dyn FnMut(&str, Value)) {
+        dispatch!(self, o => o.visit_fields(prefix, visit))
+    }
+
+    fn get_field(&self, path: &str) -> Option<Value> {
+        dispatch!(self, o => o.get_field(path))
+    }
+
+    fn set_field(&mut self, path: &str, value: Value) -> bool {
+        dispatch!(self, o => o.set_field(path, value))
+    }
+}
+
+macro_rules! from_impls {
+    ($($ty:ident),+) => {
+        $(
+            impl From<$ty> for Object {
+                fn from(v: $ty) -> Object {
+                    Object::$ty(v)
+                }
+            }
+        )+
+    };
+}
+
+from_impls!(
+    Pod, ReplicaSet, Deployment, DaemonSet, Service, Endpoints, Node, Namespace, ConfigMap, Lease,
+    HorizontalPodAutoscaler
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_each() -> Vec<Object> {
+        let mut pod = Pod::default();
+        pod.metadata = ObjectMeta::named("default", "p");
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named("default", "rs");
+        rs.spec.replicas = 2;
+        let mut dep = Deployment::default();
+        dep.metadata = ObjectMeta::named("default", "d");
+        let mut ds = DaemonSet::default();
+        ds.metadata = ObjectMeta::named("kube-system", "ds");
+        let mut svc = Service::default();
+        svc.metadata = ObjectMeta::named("default", "s");
+        let mut ep = Endpoints::default();
+        ep.metadata = ObjectMeta::named("default", "s");
+        let node = Node::worker("n", 8000, 4096);
+        let mut ns = Namespace::default();
+        ns.metadata = ObjectMeta::named("", "default");
+        let mut cm = ConfigMap::default();
+        cm.metadata = ObjectMeta::named("kube-system", "cm");
+        let mut lease = Lease::default();
+        lease.metadata = ObjectMeta::named("kube-system", "l");
+        let mut hpa = HorizontalPodAutoscaler::default();
+        hpa.metadata = ObjectMeta::named("default", "web-hpa");
+        hpa.spec.scale_target = "web".into();
+        hpa.spec.min_replicas = 1;
+        hpa.spec.max_replicas = 4;
+        vec![
+            pod.into(),
+            rs.into(),
+            dep.into(),
+            ds.into(),
+            svc.into(),
+            ep.into(),
+            node.into(),
+            ns.into(),
+            cm.into(),
+            lease.into(),
+            hpa.into(),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_all_kinds() {
+        for obj in sample_each() {
+            let bytes = obj.encode();
+            let back = Object::decode(obj.kind(), &bytes).unwrap();
+            assert_eq!(back, obj, "kind {}", obj.kind());
+        }
+    }
+
+    #[test]
+    fn keys_match_kind_scoping() {
+        for obj in sample_each() {
+            let key = obj.key();
+            assert!(key.starts_with(&format!("/registry/{}/", obj.kind().plural())), "{key}");
+        }
+    }
+
+    #[test]
+    fn meta_mut_is_shared_across_kinds() {
+        for mut obj in sample_each() {
+            obj.meta_mut().uid = "u-1".into();
+            assert_eq!(obj.meta().uid, "u-1");
+        }
+    }
+
+    #[test]
+    fn reflection_dispatches() {
+        for obj in sample_each() {
+            let fields = obj.field_list();
+            assert!(!fields.is_empty());
+            // metadata.name must be reachable on every kind.
+            assert!(obj.get_field("metadata.name").is_some(), "kind {}", obj.kind());
+        }
+    }
+
+    #[test]
+    fn undecodable_bytes_error() {
+        // A truncated buffer must error, not panic.
+        let obj = sample_each().remove(0);
+        let bytes = obj.encode();
+        let res = Object::decode(Kind::Pod, &bytes[..bytes.len() - 1]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn pod_downcast() {
+        let mut objs = sample_each();
+        assert!(objs[0].as_pod().is_some());
+        assert!(objs[0].as_pod_mut().is_some());
+        assert!(objs[1].as_pod().is_none());
+    }
+}

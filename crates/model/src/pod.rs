@@ -1,0 +1,190 @@
+//! Pods: the unit of scheduling and execution.
+
+use crate::meta::ObjectMeta;
+use protowire::proto_message;
+
+proto_message! {
+    /// A single container within a pod.
+    pub struct Container {
+        1 => name: str,
+        /// Image reference; an empty or unknown image prevents container
+        /// start (ImagePullError — a Less-Resources pattern in the paper).
+        2 => image: str,
+        3 => command: repstr,
+        /// CPU request/limit in millicores (the simulation unifies them).
+        4 => cpu_milli @ "cpuMilli": int,
+        /// Memory request/limit in MiB.
+        5 => memory_mb @ "memoryMb": int,
+        6 => port: int,
+    }
+}
+
+proto_message! {
+    /// Tolerates a taint with the given key and effect.
+    pub struct Toleration {
+        1 => key: str,
+        2 => effect: str,
+    }
+}
+
+proto_message! {
+    /// Desired state of a pod.
+    pub struct PodSpec {
+        /// Binding target; written once by the scheduler. Corrupting it on a
+        /// running pod makes the scheduler detect a cache mismatch and
+        /// restart (the paper's Timing-failure example).
+        1 => node_name @ "nodeName": str,
+        2 => containers: rep<Container>,
+        /// Scheduling priority; higher preempts lower.
+        3 => priority: int,
+        4 => priority_class @ "priorityClassName": str,
+        5 => tolerations: rep<Toleration>,
+        /// `Always` restarts containers on failure (with backoff).
+        6 => restart_policy @ "restartPolicy": str,
+        /// Name of the volume the app reads its seed from at startup.
+        7 => volume: str,
+        /// True when the app resolves its dependencies through cluster DNS.
+        8 => needs_dns @ "needsDns": bool,
+    }
+}
+
+proto_message! {
+    /// Observed state of a pod, reported by the kubelet.
+    pub struct PodStatus {
+        /// `Pending`, `Running`, `Succeeded`, `Failed`, or `Terminating`.
+        1 => phase: str,
+        /// Assigned pod IP; the kubelet overwrites corrupted values with
+        /// the truth on its next sync (a recovery path noted in §V-C1).
+        2 => pod_ip @ "podIP": str,
+        3 => ready: bool,
+        4 => restart_count @ "restartCount": int,
+        /// Simulated time at which the pod became running.
+        5 => start_time @ "startTime": int,
+        6 => reason: str,
+    }
+}
+
+proto_message! {
+    /// A set of containers deployed in an isolated environment.
+    pub struct Pod {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<PodSpec>,
+        3 => status: msg<PodStatus>,
+    }
+}
+
+impl Pod {
+    /// Total CPU request across containers, in millicores.
+    pub fn cpu_request(&self) -> i64 {
+        self.spec.containers.iter().map(|c| c.cpu_milli.max(0)).sum()
+    }
+
+    /// Total memory request across containers, in MiB.
+    pub fn memory_request(&self) -> i64 {
+        self.spec.containers.iter().map(|c| c.memory_mb.max(0)).sum()
+    }
+
+    /// True when scheduled to a node.
+    pub fn is_bound(&self) -> bool {
+        !self.spec.node_name.is_empty()
+    }
+
+    /// True when the pod is running and passing readiness.
+    pub fn is_ready(&self) -> bool {
+        self.status.phase == "Running" && self.status.ready
+    }
+
+    /// True when the pod tolerates a taint with `key`/`effect`.
+    pub fn tolerates(&self, key: &str, effect: &str) -> bool {
+        self.spec
+            .tolerations
+            .iter()
+            .any(|t| (t.key == key || t.key.is_empty()) && (t.effect == effect || t.effect.is_empty()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protowire::reflect::{Reflect, Value};
+    use protowire::Message;
+
+    fn sample() -> Pod {
+        let mut p = Pod::default();
+        p.metadata = ObjectMeta::named("default", "web-1");
+        p.metadata.labels.insert("app".into(), "web".into());
+        p.spec.containers.push(Container {
+            name: "web".into(),
+            image: "registry.local/web:1.0".into(),
+            command: vec!["serve".into()],
+            cpu_milli: 500,
+            memory_mb: 256,
+            port: 8080,
+        });
+        p.spec.restart_policy = "Always".into();
+        p.status.phase = "Running".into();
+        p.status.ready = true;
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        assert_eq!(Pod::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn resource_requests_sum_containers() {
+        let mut p = sample();
+        p.spec.containers.push(Container { cpu_milli: 250, memory_mb: 128, ..Default::default() });
+        assert_eq!(p.cpu_request(), 750);
+        assert_eq!(p.memory_request(), 384);
+    }
+
+    #[test]
+    fn negative_requests_clamped() {
+        let mut p = sample();
+        p.spec.containers[0].cpu_milli = -100; // corrupted value
+        assert_eq!(p.cpu_request(), 0);
+    }
+
+    #[test]
+    fn readiness_requires_running_phase() {
+        let mut p = sample();
+        assert!(p.is_ready());
+        p.status.phase = "Pending".into();
+        assert!(!p.is_ready());
+        p.status.phase = "Running".into();
+        p.status.ready = false;
+        assert!(!p.is_ready());
+    }
+
+    #[test]
+    fn tolerations() {
+        let mut p = sample();
+        assert!(!p.tolerates("node.kubernetes.io/unreachable", "NoExecute"));
+        p.spec.tolerations.push(Toleration {
+            key: "node.kubernetes.io/unreachable".into(),
+            effect: "NoExecute".into(),
+        });
+        assert!(p.tolerates("node.kubernetes.io/unreachable", "NoExecute"));
+        // Empty key tolerates any key with the same effect.
+        p.spec.tolerations.clear();
+        p.spec.tolerations.push(Toleration { key: String::new(), effect: "NoExecute".into() });
+        assert!(p.tolerates("anything", "NoExecute"));
+    }
+
+    #[test]
+    fn injection_paths_resolve() {
+        let p = sample();
+        assert_eq!(p.get_field("spec.nodeName"), Some(Value::Str(String::new())));
+        assert_eq!(
+            p.get_field("spec.containers[0].image"),
+            Some(Value::Str("registry.local/web:1.0".into()))
+        );
+        assert_eq!(p.get_field("status.podIP"), Some(Value::Str(String::new())));
+        let mut p2 = p.clone();
+        assert!(p2.set_field("spec.containers[0].image", Value::Str(String::new())));
+        assert!(p2.spec.containers[0].image.is_empty());
+    }
+}

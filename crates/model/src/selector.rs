@@ -1,0 +1,88 @@
+//! Label selectors: the dynamic dependency mechanism.
+//!
+//! A selector matches an object when every `matchLabels` entry is present
+//! with an equal value in the object's labels. The paper's key observation
+//! (F2) is that this flexibility is a resiliency hazard: a selector that no
+//! longer matches its controller's own pod template makes every spawned pod
+//! invisible to the controller, which then spawns another — the
+//! uncontrolled-replication pattern behind both a real-world outage (\[19\] in
+//! the paper) and 51% of the campaign's critical failures.
+
+use protowire::proto_message;
+use std::collections::BTreeMap;
+
+proto_message! {
+    /// An equality-based label selector.
+    pub struct LabelSelector {
+        1 => match_labels @ "matchLabels": map,
+    }
+}
+
+impl LabelSelector {
+    /// Builds a selector requiring a single `key = value` pair.
+    pub fn eq(key: &str, value: &str) -> LabelSelector {
+        let mut s = LabelSelector::default();
+        s.match_labels.insert(key.to_owned(), value.to_owned());
+        s
+    }
+
+    /// True when every required pair appears in `labels`.
+    ///
+    /// An **empty selector matches nothing** — matching everything would let
+    /// a corrupted (emptied) selector adopt every pod in the namespace,
+    /// which real Kubernetes forbids for workload controllers.
+    pub fn matches(&self, labels: &BTreeMap<String, String>) -> bool {
+        if self.match_labels.is_empty() {
+            return false;
+        }
+        self.match_labels.iter().all(|(k, v)| labels.get(k) == Some(v))
+    }
+
+    /// True when the selector has no requirements.
+    pub fn is_empty(&self) -> bool {
+        self.match_labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protowire::Message;
+
+    fn labels(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn matches_when_all_pairs_present() {
+        let mut s = LabelSelector::eq("app", "web");
+        s.match_labels.insert("tier".into(), "fe".into());
+        assert!(s.matches(&labels(&[("app", "web"), ("tier", "fe"), ("extra", "x")])));
+        assert!(!s.matches(&labels(&[("app", "web")])));
+        assert!(!s.matches(&labels(&[("app", "db"), ("tier", "fe")])));
+    }
+
+    #[test]
+    fn empty_selector_matches_nothing() {
+        let s = LabelSelector::default();
+        assert!(!s.matches(&labels(&[("app", "web")])));
+        assert!(!s.matches(&BTreeMap::new()));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_bit_label_corruption_breaks_match() {
+        // The paper's uncontrolled-replication trigger in miniature.
+        let s = LabelSelector::eq("app", "net-agent");
+        let good = labels(&[("app", "net-agent")]);
+        let corrupted = labels(&[("app", "net-agenu")]); // 't' ^ 1 = 'u'
+        assert!(s.matches(&good));
+        assert!(!s.matches(&corrupted));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = LabelSelector::eq("a", "b");
+        assert_eq!(LabelSelector::decode(&s.encode()).unwrap(), s);
+    }
+}

@@ -1,0 +1,132 @@
+//! Services and Endpoints: the service-networking resources.
+//!
+//! Service selector/port corruption is the paper's main source of
+//! Service-Network (Net) failures and of the client-visible Intermittent
+//! Availability / Service Unreachable categories.
+
+use crate::meta::ObjectMeta;
+use protowire::proto_message;
+
+proto_message! {
+    /// Desired state of a Service.
+    pub struct ServiceSpec {
+        /// Plain label map (not a LabelSelector message), as in Kubernetes:
+        /// pods matching all pairs become endpoints. An empty map selects
+        /// nothing.
+        1 => selector: map,
+        /// Stable virtual IP the clients connect to.
+        2 => cluster_ip @ "clusterIP": str,
+        /// Port exposed on the cluster IP.
+        3 => port: int,
+        /// Container port traffic is forwarded to.
+        4 => target_port @ "targetPort": int,
+        5 => protocol: str,
+    }
+}
+
+proto_message! {
+    /// A single network endpoint that can respond to client requests.
+    pub struct Service {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<ServiceSpec>,
+    }
+}
+
+proto_message! {
+    /// One resolved backend address of a Service.
+    pub struct EndpointAddress {
+        1 => ip: str,
+        2 => pod_name @ "podName": str,
+        3 => node_name @ "nodeName": str,
+        4 => ready: bool,
+    }
+}
+
+proto_message! {
+    /// The backend set of a Service, maintained by the endpoints controller
+    /// and consumed by every node's kube-proxy.
+    pub struct Endpoints {
+        1 => metadata: msg<ObjectMeta>,
+        2 => addresses: rep<EndpointAddress>,
+        3 => port: int,
+    }
+}
+
+impl Service {
+    /// True when `labels` satisfies the service selector (empty selector
+    /// selects nothing).
+    pub fn selects(&self, labels: &std::collections::BTreeMap<String, String>) -> bool {
+        if self.spec.selector.is_empty() {
+            return false;
+        }
+        self.spec.selector.iter().all(|(k, v)| labels.get(k) == Some(v))
+    }
+}
+
+impl Endpoints {
+    /// Addresses currently marked ready.
+    pub fn ready_addresses(&self) -> impl Iterator<Item = &EndpointAddress> {
+        self.addresses.iter().filter(|a| a.ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protowire::reflect::{Reflect, Value};
+    use protowire::Message;
+    use std::collections::BTreeMap;
+
+    fn svc() -> Service {
+        let mut s = Service::default();
+        s.metadata = ObjectMeta::named("default", "web-svc");
+        s.spec.selector.insert("app".into(), "web".into());
+        s.spec.cluster_ip = "10.96.0.10".into();
+        s.spec.port = 80;
+        s.spec.target_port = 8080;
+        s.spec.protocol = "TCP".into();
+        s
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = svc();
+        assert_eq!(Service::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn selection_semantics() {
+        let s = svc();
+        let mut labels = BTreeMap::new();
+        labels.insert("app".to_string(), "web".to_string());
+        assert!(s.selects(&labels));
+        labels.insert("app".to_string(), "wea".to_string()); // one corrupted bit
+        assert!(!s.selects(&labels));
+
+        let mut empty = s;
+        empty.spec.selector.clear();
+        let mut l = BTreeMap::new();
+        l.insert("app".to_string(), "web".to_string());
+        assert!(!empty.selects(&l));
+    }
+
+    #[test]
+    fn endpoints_ready_filter() {
+        let mut e = Endpoints::default();
+        e.addresses.push(EndpointAddress { ip: "10.0.0.1".into(), ready: true, ..Default::default() });
+        e.addresses.push(EndpointAddress { ip: "10.0.0.2".into(), ready: false, ..Default::default() });
+        let ready: Vec<_> = e.ready_addresses().map(|a| a.ip.as_str()).collect();
+        assert_eq!(ready, vec!["10.0.0.1"]);
+    }
+
+    #[test]
+    fn networking_fields_reachable_by_injection() {
+        let mut s = svc();
+        assert_eq!(s.get_field("spec.port"), Some(Value::Int(80)));
+        assert!(s.set_field("spec.port", Value::Int(81))); // bit-0 flip of 80
+        assert!(s.set_field("spec.clusterIP", Value::Str(String::new())));
+        assert!(s.set_field("spec.selector['app']", Value::Str("wfb".into())));
+        assert_eq!(s.spec.port, 81);
+        assert!(s.spec.cluster_ip.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Name and value validation rules (the apiserver's "general validations").
+//!
+//! The paper's propagation study (§V-C4, Table VI) shows the apiserver
+//! performs regex-style and border-case checks — catching malformed names
+//! or out-of-range ports — but cannot catch *valid-but-wrong* values. These
+//! functions implement exactly that class of checks.
+
+/// True for a valid DNS-1123 label: lowercase alphanumerics and `-`,
+/// starting and ending alphanumeric, at most 63 characters.
+pub fn is_dns1123_label(s: &str) -> bool {
+    if s.is_empty() || s.len() > 63 {
+        return false;
+    }
+    let bytes = s.as_bytes();
+    let ok_inner = |b: u8| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-';
+    let ok_edge = |b: u8| b.is_ascii_lowercase() || b.is_ascii_digit();
+    ok_edge(bytes[0]) && ok_edge(bytes[bytes.len() - 1]) && bytes.iter().all(|&b| ok_inner(b))
+}
+
+/// True for a valid DNS-1123 subdomain: dot-separated DNS-1123 labels,
+/// at most 253 characters (the rule for object names).
+pub fn is_dns1123_subdomain(s: &str) -> bool {
+    !s.is_empty() && s.len() <= 253 && s.split('.').all(is_dns1123_label)
+}
+
+/// True for a valid label value: empty, or alphanumerics with `-`, `_`, `.`
+/// in the middle, at most 63 characters.
+pub fn is_label_value(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    if s.len() > 63 {
+        return false;
+    }
+    let bytes = s.as_bytes();
+    let ok_inner =
+        |b: u8| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.';
+    let ok_edge = |b: u8| b.is_ascii_alphanumeric();
+    ok_edge(bytes[0]) && ok_edge(bytes[bytes.len() - 1]) && bytes.iter().all(|&b| ok_inner(b))
+}
+
+/// True for a valid label key (optionally `prefix/name` with a DNS-style
+/// prefix).
+pub fn is_label_key(s: &str) -> bool {
+    match s.split_once('/') {
+        Some((prefix, name)) => {
+            !prefix.is_empty()
+                && prefix.len() <= 253
+                && prefix.split('.').all(is_dns1123_label)
+                && is_label_value_nonempty(name)
+        }
+        None => is_label_value_nonempty(s),
+    }
+}
+
+fn is_label_value_nonempty(s: &str) -> bool {
+    !s.is_empty() && is_label_value(s)
+}
+
+/// True for a TCP/UDP port in `1..=65535`.
+pub fn is_valid_port(p: i64) -> bool {
+    (1..=65535).contains(&p)
+}
+
+/// True for a plausible dotted-quad IPv4 address.
+pub fn is_ipv4(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('.').collect();
+    parts.len() == 4
+        && parts.iter().all(|p| {
+            !p.is_empty()
+                && p.len() <= 3
+                && p.bytes().all(|b| b.is_ascii_digit())
+                && p.parse::<u16>().map(|v| v <= 255).unwrap_or(false)
+                && !(p.len() > 1 && p.starts_with('0'))
+        })
+}
+
+/// True for a plausible CIDR (`a.b.c.d/n`).
+pub fn is_cidr(s: &str) -> bool {
+    match s.split_once('/') {
+        Some((ip, bits)) => is_ipv4(ip) && bits.parse::<u8>().map(|b| b <= 32).unwrap_or(false),
+        None => false,
+    }
+}
+
+/// True for a replica count the apiserver accepts (non-negative).
+pub fn is_valid_replicas(r: i64) -> bool {
+    r >= 0
+}
+
+/// True for a recognized restart policy.
+pub fn is_restart_policy(s: &str) -> bool {
+    matches!(s, "" | "Always" | "OnFailure" | "Never")
+}
+
+/// True for a recognized taint effect.
+pub fn is_taint_effect(s: &str) -> bool {
+    matches!(s, "NoExecute" | "NoSchedule" | "PreferNoSchedule")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dns_labels() {
+        assert!(is_dns1123_label("web-1"));
+        assert!(is_dns1123_label("a"));
+        assert!(!is_dns1123_label(""));
+        assert!(!is_dns1123_label("-web"));
+        assert!(!is_dns1123_label("web-"));
+        assert!(!is_dns1123_label("Web"));
+        assert!(!is_dns1123_label("we_b"));
+        assert!(!is_dns1123_label(&"a".repeat(64)));
+    }
+
+    #[test]
+    fn label_values() {
+        assert!(is_label_value(""));
+        assert!(is_label_value("web"));
+        assert!(is_label_value("Web_1.x"));
+        assert!(!is_label_value("-web"));
+        assert!(!is_label_value("web "));
+    }
+
+    #[test]
+    fn label_keys() {
+        assert!(is_label_key("app"));
+        assert!(is_label_key("kubernetes.io/hostname"));
+        assert!(!is_label_key(""));
+        assert!(!is_label_key("/name"));
+        assert!(!is_label_key("UPPER/name"));
+    }
+
+    #[test]
+    fn ports() {
+        assert!(is_valid_port(80));
+        assert!(is_valid_port(65535));
+        assert!(!is_valid_port(0));
+        assert!(!is_valid_port(-1));
+        assert!(!is_valid_port(65536));
+        // Bit-4 flip of port 80 -> 64: still valid, still wrong. The class
+        // of error validation cannot catch (F4/Table VI).
+        assert!(is_valid_port(80 ^ 16));
+    }
+
+    #[test]
+    fn ipv4_and_cidr() {
+        assert!(is_ipv4("10.96.0.10"));
+        assert!(!is_ipv4("10.96.0"));
+        assert!(!is_ipv4("10.96.0.256"));
+        assert!(!is_ipv4("10.96.0.01"));
+        assert!(!is_ipv4("ten.a.b.c"));
+        assert!(is_cidr("10.244.1.0/24"));
+        assert!(!is_cidr("10.244.1.0"));
+        assert!(!is_cidr("10.244.1.0/33"));
+    }
+
+    #[test]
+    fn enums_and_replicas() {
+        assert!(is_restart_policy("Always"));
+        assert!(!is_restart_policy("Alwayt")); // one corrupted bit
+        assert!(is_taint_effect("NoExecute"));
+        assert!(!is_taint_effect("noexecute"));
+        assert!(is_valid_replicas(0));
+        assert!(!is_valid_replicas(-3));
+    }
+}

@@ -1,0 +1,181 @@
+//! Workload controllers' resources: ReplicaSet, Deployment, DaemonSet.
+//!
+//! These kinds carry the selector/template pairs whose corruption drives the
+//! paper's most severe failure pattern (uncontrolled replication), plus the
+//! `replicas` and `maxUnavailable`/`maxSurge` knobs exercised by the
+//! More-/Less-Resources failure categories.
+
+use crate::meta::ObjectMeta;
+use crate::pod::PodSpec;
+use crate::selector::LabelSelector;
+use protowire::proto_message;
+
+proto_message! {
+    /// The pod template stamped onto every pod a controller creates.
+    pub struct PodTemplateSpec {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<PodSpec>,
+    }
+}
+
+proto_message! {
+    /// Desired state of a ReplicaSet.
+    pub struct RsSpec {
+        1 => replicas: int,
+        2 => selector: msg<LabelSelector>,
+        3 => template: msg<PodTemplateSpec>,
+    }
+}
+
+proto_message! {
+    /// Observed state of a ReplicaSet.
+    pub struct RsStatus {
+        1 => replicas: int,
+        2 => ready_replicas @ "readyReplicas": int,
+        3 => observed_generation @ "observedGeneration": int,
+    }
+}
+
+proto_message! {
+    /// Ensures a desired number of pod replicas is running.
+    pub struct ReplicaSet {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<RsSpec>,
+        3 => status: msg<RsStatus>,
+    }
+}
+
+proto_message! {
+    /// Desired state of a Deployment.
+    pub struct DeploymentSpec {
+        1 => replicas: int,
+        2 => selector: msg<LabelSelector>,
+        3 => template: msg<PodTemplateSpec>,
+        /// Maximum replicas allowed unavailable during a rolling update —
+        /// one of the resiliency strategies the paper lists (§II-D).
+        4 => max_unavailable @ "maxUnavailable": int,
+        /// Maximum replicas allowed above desired during a rolling update.
+        5 => max_surge @ "maxSurge": int,
+        6 => paused: bool,
+    }
+}
+
+proto_message! {
+    /// Observed state of a Deployment.
+    pub struct DeploymentStatus {
+        1 => replicas: int,
+        2 => ready_replicas @ "readyReplicas": int,
+        3 => observed_generation @ "observedGeneration": int,
+        4 => updated_replicas @ "updatedReplicas": int,
+    }
+}
+
+proto_message! {
+    /// Manages rolling updates and the replica count of ReplicaSets.
+    pub struct Deployment {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<DeploymentSpec>,
+        3 => status: msg<DeploymentStatus>,
+    }
+}
+
+proto_message! {
+    /// Desired state of a DaemonSet.
+    pub struct DsSpec {
+        1 => selector: msg<LabelSelector>,
+        2 => template: msg<PodTemplateSpec>,
+    }
+}
+
+proto_message! {
+    /// Observed state of a DaemonSet.
+    pub struct DsStatus {
+        1 => desired @ "desiredNumberScheduled": int,
+        2 => ready @ "numberReady": int,
+        3 => observed_generation @ "observedGeneration": int,
+    }
+}
+
+proto_message! {
+    /// Spawns one pod on every node satisfying the constraints (used here
+    /// for the network manager, as flannel is in the paper's testbed).
+    pub struct DaemonSet {
+        1 => metadata: msg<ObjectMeta>,
+        2 => spec: msg<DsSpec>,
+        3 => status: msg<DsStatus>,
+    }
+}
+
+/// True when the selector matches the pod template's labels — the invariant
+/// whose violation (post-validation, via injection) causes infinite pod
+/// spawning. The apiserver validates it on the user channel; Mutiny's
+/// injections on the store channel bypass that validation.
+pub fn selector_matches_template(selector: &LabelSelector, template: &PodTemplateSpec) -> bool {
+    selector.matches(&template.metadata.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protowire::reflect::{Reflect, Value};
+    use protowire::Message;
+
+    fn rs() -> ReplicaSet {
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named("default", "web-rs");
+        rs.spec.replicas = 2;
+        rs.spec.selector = LabelSelector::eq("app", "web");
+        rs.spec.template.metadata.labels.insert("app".into(), "web".into());
+        rs
+    }
+
+    #[test]
+    fn roundtrips() {
+        let r = rs();
+        assert_eq!(ReplicaSet::decode(&r.encode()).unwrap(), r);
+
+        let mut d = Deployment::default();
+        d.metadata = ObjectMeta::named("default", "web");
+        d.spec.replicas = 3;
+        d.spec.max_unavailable = 1;
+        assert_eq!(Deployment::decode(&d.encode()).unwrap(), d);
+
+        let mut ds = DaemonSet::default();
+        ds.metadata = ObjectMeta::named("kube-system", "net-agent");
+        ds.spec.selector = LabelSelector::eq("app", "net-agent");
+        assert_eq!(DaemonSet::decode(&ds.encode()).unwrap(), ds);
+    }
+
+    #[test]
+    fn selector_template_invariant() {
+        let r = rs();
+        assert!(selector_matches_template(&r.spec.selector, &r.spec.template));
+
+        // One corrupted bit in the template label breaks the invariant.
+        let mut bad = r.clone();
+        bad.spec.template.metadata.labels.insert("app".into(), "wea".into());
+        assert!(!selector_matches_template(&bad.spec.selector, &bad.spec.template));
+
+        // An emptied selector also breaks it (empty matches nothing).
+        let mut empty = r;
+        empty.spec.selector.match_labels.clear();
+        assert!(!selector_matches_template(&empty.spec.selector, &empty.spec.template));
+    }
+
+    #[test]
+    fn replicas_reachable_by_injection_path() {
+        let mut r = rs();
+        // Bit 0 flip: 2 -> 3 (MoR); bit 4 flip: 2 -> 18 (severe MoR).
+        assert!(r.set_field("spec.replicas", Value::Int(18)));
+        assert_eq!(r.spec.replicas, 18);
+        assert_eq!(r.get_field("spec.replicas"), Some(Value::Int(18)));
+        assert_eq!(
+            r.get_field("spec.selector.matchLabels['app']"),
+            Some(Value::Str("web".into()))
+        );
+        assert_eq!(
+            r.get_field("spec.template.metadata.labels['app']"),
+            Some(Value::Str("web".into()))
+        );
+    }
+}

@@ -1,0 +1,461 @@
+//! # protowire — Protobuf-compatible wire codec with field reflection
+//!
+//! Kubernetes serializes API objects with Protobuf before storing them in
+//! etcd. The Mutiny paper exploits two properties of that encoding:
+//!
+//! 1. most encoded integers occupy a single byte whose 8th bit is a
+//!    continuation bit — which is why the campaign flips the 1st and 5th bit
+//!    of integer values (§IV-C);
+//! 2. corrupting raw serialization bytes can *move* a value from one field to
+//!    another or render the object undecodable, in which case the apiserver
+//!    deletes it (§V-C1).
+//!
+//! This crate implements that wire format from scratch — base-128 varints,
+//! `(field_number << 3) | wire_type` tags, length-delimited payloads — plus:
+//!
+//! * [`Message`] — encode/decode for generated message types;
+//! * [`Reflect`](reflect::Reflect) — leaf-field enumeration and path-based
+//!   get/set (`spec.template.metadata.labels['app']`), which the injection
+//!   campaign uses to enumerate recorded fields and apply value mutations;
+//! * [`proto_message!`] — the macro that generates both impls;
+//! * [`corrupt`] — the byte-level corruption helpers used for
+//!   serialization-protocol injections.
+//!
+//! ```
+//! use protowire::{proto_message, Message};
+//! use protowire::reflect::{Reflect, Value};
+//!
+//! proto_message! {
+//!     /// A tiny example message.
+//!     pub struct Sample {
+//!         1 => name: str,
+//!         2 => replicas: int,
+//!         3 => paused: bool,
+//!     }
+//! }
+//!
+//! let mut s = Sample::default();
+//! s.name = "web".into();
+//! s.replicas = 2;
+//! let bytes = s.encode();
+//! let back = Sample::decode(&bytes).unwrap();
+//! assert_eq!(back, s);
+//! assert_eq!(back.get_field("replicas"), Some(Value::Int(2)));
+//! ```
+
+pub mod corrupt;
+pub mod reflect;
+#[macro_use]
+mod macros;
+
+use std::fmt;
+
+/// Protobuf wire types supported by this codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireType {
+    /// Wire type 0: base-128 varint.
+    Varint,
+    /// Wire type 2: length-delimited (strings, bytes, nested messages).
+    Len,
+}
+
+impl WireType {
+    /// Converts the low three tag bits into a wire type.
+    pub fn from_bits(bits: u64) -> Result<WireType, WireError> {
+        match bits {
+            0 => Ok(WireType::Varint),
+            2 => Ok(WireType::Len),
+            other => Err(WireError::UnknownWireType(other as u8)),
+        }
+    }
+
+    /// The low three tag bits for this wire type.
+    pub fn bits(self) -> u64 {
+        match self {
+            WireType::Varint => 0,
+            WireType::Len => 2,
+        }
+    }
+}
+
+/// Decoding failure. Any of these makes an object "undecryptable" in the
+/// paper's terminology; the apiserver reacts by deleting the stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended in the middle of a varint or payload.
+    Truncated,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A tag carried an unsupported wire type.
+    UnknownWireType(u8),
+    /// A tag carried field number zero, which Protobuf forbids.
+    ZeroFieldNumber,
+    /// A string payload was not valid UTF-8.
+    InvalidUtf8,
+    /// A length-delimited payload ran past the end of the buffer.
+    LengthOverrun,
+    /// Messages nested deeper than the decoder permits.
+    TooDeep,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::UnknownWireType(w) => write!(f, "unknown wire type {w}"),
+            WireError::ZeroFieldNumber => write!(f, "field number zero"),
+            WireError::InvalidUtf8 => write!(f, "string payload is not valid utf-8"),
+            WireError::LengthOverrun => write!(f, "length-delimited payload overruns buffer"),
+            WireError::TooDeep => write!(f, "message nesting too deep"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum nesting depth accepted by the decoder; deeper input is rejected
+/// rather than risking stack exhaustion on corrupted bytes.
+pub const MAX_DEPTH: u32 = 32;
+
+/// Appends `v` to `buf` as a base-128 varint (little-endian groups of seven
+/// bits; the 8th bit of each byte is the continuation bit).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends a field tag.
+pub fn put_tag(buf: &mut Vec<u8>, field: u32, wt: WireType) {
+    put_varint(buf, (u64::from(field) << 3) | wt.bits());
+}
+
+/// Appends a length-delimited byte payload with its tag.
+pub fn put_bytes(buf: &mut Vec<u8>, field: u32, payload: &[u8]) {
+    put_tag(buf, field, WireType::Len);
+    put_varint(buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+}
+
+/// Appends a string field with its tag.
+pub fn put_str(buf: &mut Vec<u8>, field: u32, s: &str) {
+    put_bytes(buf, field, s.as_bytes());
+}
+
+/// Appends an integer field (two's-complement varint, like Protobuf int64).
+pub fn put_int(buf: &mut Vec<u8>, field: u32, v: i64) {
+    put_tag(buf, field, WireType::Varint);
+    put_varint(buf, v as u64);
+}
+
+/// Appends a bool field.
+pub fn put_bool(buf: &mut Vec<u8>, field: u32, v: bool) {
+    put_tag(buf, field, WireType::Varint);
+    put_varint(buf, u64::from(v));
+}
+
+/// A cursor over an encoded buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0, depth: 0 }
+    }
+
+    fn with_depth(buf: &'a [u8], depth: u32) -> Self {
+        Reader { buf, pos: 0, depth }
+    }
+
+    /// True when the cursor has consumed the whole buffer.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Reads one varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(WireError::VarintOverflow);
+            }
+            // The 10th byte may only contribute one bit.
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a field tag; returns `(field_number, wire_type)`.
+    pub fn tag(&mut self) -> Result<(u32, WireType), WireError> {
+        let raw = self.varint()?;
+        let field = (raw >> 3) as u32;
+        if field == 0 {
+            return Err(WireError::ZeroFieldNumber);
+        }
+        Ok((field, WireType::from_bits(raw & 0x7)?))
+    }
+
+    /// Reads a length-delimited payload.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.varint()? as usize;
+        let end = self.pos.checked_add(len).ok_or(WireError::LengthOverrun)?;
+        if end > self.buf.len() {
+            return Err(WireError::LengthOverrun);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads a string payload, validating UTF-8.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        std::str::from_utf8(b).map(str::to_owned).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Creates a nested reader over a length-delimited payload.
+    pub fn nested(&mut self) -> Result<Reader<'a>, WireError> {
+        if self.depth + 1 > MAX_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        let depth = self.depth + 1;
+        Ok(Reader::with_depth(self.bytes()?, depth))
+    }
+
+    /// Skips a payload of the given wire type (unknown fields).
+    pub fn skip(&mut self, wt: WireType) -> Result<(), WireError> {
+        match wt {
+            WireType::Varint => {
+                self.varint()?;
+            }
+            WireType::Len => {
+                self.bytes()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A message type that can round-trip through the wire format.
+pub trait Message: Default + Clone + fmt::Debug + PartialEq {
+    /// Appends the encoded form of `self` to `buf`.
+    fn encode_into(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a message from a reader positioned at its first tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the input is truncated, carries an
+    /// unsupported wire type, nests too deeply, or holds invalid UTF-8 —
+    /// i.e. when the stored object is *undecryptable*.
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decodes a message from a byte slice, requiring full consumption.
+    ///
+    /// # Errors
+    ///
+    /// See [`Message::decode_from`].
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let msg = Self::decode_from(&mut r)?;
+        if r.is_done() {
+            Ok(msg)
+        } else {
+            Err(WireError::Truncated)
+        }
+    }
+}
+
+/// Decodes map entries (`map<string,string>` is a repeated nested message
+/// with key = field 1 and value = field 2).
+pub fn decode_map_entry(r: &mut Reader<'_>) -> Result<(String, String), WireError> {
+    let mut sub = r.nested()?;
+    let mut key = String::new();
+    let mut val = String::new();
+    while !sub.is_done() {
+        let (f, wt) = sub.tag()?;
+        match (f, wt) {
+            (1, WireType::Len) => key = sub.string()?,
+            (2, WireType::Len) => val = sub.string()?,
+            _ => sub.skip(wt)?,
+        }
+    }
+    Ok((key, val))
+}
+
+/// Encodes one map entry.
+pub fn put_map_entry(buf: &mut Vec<u8>, field: u32, key: &str, val: &str) {
+    let mut entry = Vec::with_capacity(key.len() + val.len() + 4);
+    put_str(&mut entry, 1, key);
+    put_str(&mut entry, 2, val);
+    put_bytes(buf, field, &entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_done());
+        }
+    }
+
+    #[test]
+    fn small_ints_are_one_byte_with_continuation_bit_clear() {
+        // The property the paper's bit-flip positions rely on (§IV-C).
+        for v in 0u64..128 {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(buf[0] & 0x80, 0);
+        }
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0] & 0x80, 0x80);
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let buf = [0x80u8, 0x80];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.varint(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        let buf = [0xffu8; 11];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn tag_rejects_field_zero_and_bad_wiretype() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 0); // field 0, wiretype 0
+        assert_eq!(Reader::new(&buf).tag(), Err(WireError::ZeroFieldNumber));
+
+        let mut buf = Vec::new();
+        put_varint(&mut buf, (1 << 3) | 5); // fixed32: unsupported
+        assert_eq!(Reader::new(&buf).tag(), Err(WireError::UnknownWireType(5)));
+    }
+
+    #[test]
+    fn bytes_overrun_detected() {
+        let mut buf = Vec::new();
+        put_tag(&mut buf, 1, WireType::Len);
+        put_varint(&mut buf, 100); // claims 100 bytes, provides none
+        let mut r = Reader::new(&buf);
+        r.tag().unwrap();
+        assert_eq!(r.bytes(), Err(WireError::LengthOverrun));
+    }
+
+    #[test]
+    fn string_rejects_invalid_utf8() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, 1, &[0xff, 0xfe]);
+        let mut r = Reader::new(&buf);
+        r.tag().unwrap();
+        assert_eq!(r.string(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn map_entry_roundtrip() {
+        let mut buf = Vec::new();
+        put_map_entry(&mut buf, 4, "app", "web");
+        let mut r = Reader::new(&buf);
+        let (f, wt) = r.tag().unwrap();
+        assert_eq!((f, wt), (4, WireType::Len));
+        let (k, v) = decode_map_entry(&mut r).unwrap();
+        assert_eq!((k.as_str(), v.as_str()), ("app", "web"));
+    }
+
+    #[test]
+    fn negative_int_roundtrip() {
+        let mut buf = Vec::new();
+        put_int(&mut buf, 1, -5);
+        let mut r = Reader::new(&buf);
+        let _ = r.tag().unwrap();
+        assert_eq!(r.varint().unwrap() as i64, -5);
+    }
+
+    #[test]
+    fn skip_both_wire_types() {
+        let mut buf = Vec::new();
+        put_int(&mut buf, 1, 7);
+        put_str(&mut buf, 2, "hello");
+        put_int(&mut buf, 3, 9);
+        let mut r = Reader::new(&buf);
+        let (_, wt) = r.tag().unwrap();
+        r.skip(wt).unwrap();
+        let (_, wt) = r.tag().unwrap();
+        r.skip(wt).unwrap();
+        let (f, _) = r.tag().unwrap();
+        assert_eq!(f, 3);
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // Build MAX_DEPTH+1 nested length-delimited layers.
+        let mut inner = vec![];
+        for _ in 0..=MAX_DEPTH {
+            let mut outer = Vec::new();
+            put_bytes(&mut outer, 1, &inner);
+            inner = outer;
+        }
+        let mut r = Reader::new(&inner);
+        let mut depth_hit = false;
+        // Walk down until the limit trips.
+        fn walk(r: &mut Reader<'_>, hit: &mut bool) {
+            while !r.is_done() {
+                match r.tag() {
+                    Ok((_, WireType::Len)) => match r.nested() {
+                        Ok(mut sub) => walk(&mut sub, hit),
+                        Err(WireError::TooDeep) => {
+                            *hit = true;
+                            return;
+                        }
+                        Err(_) => return,
+                    },
+                    _ => return,
+                }
+            }
+        }
+        walk(&mut r, &mut depth_hit);
+        assert!(depth_hit);
+    }
+}

@@ -1,0 +1,481 @@
+//! The [`proto_message!`] macro: declarative message definitions.
+//!
+//! One declaration generates the struct, its [`Message`](crate::Message)
+//! encode/decode impl, and its [`Reflect`](crate::reflect::Reflect) impl, so
+//! every resource kind in the Kubernetes model automatically supports both
+//! wire round-tripping and campaign-style field enumeration/mutation.
+//!
+//! Field kinds:
+//!
+//! | kind          | Rust type                    | wire form                 |
+//! |---------------|------------------------------|---------------------------|
+//! | `int`         | `i64`                        | varint (skipped if 0)     |
+//! | `str`         | `String`                     | len-delimited (if non-"") |
+//! | `bool`        | `bool`                       | varint (skipped if false) |
+//! | `map`         | `BTreeMap<String, String>`   | repeated `{1:k, 2:v}`     |
+//! | `repstr`      | `Vec<String>`                | repeated len-delimited    |
+//! | `msg<T>`      | `T`                          | len-delimited (always)    |
+//! | `rep<T>`      | `Vec<T>`                     | repeated len-delimited    |
+//!
+//! An optional `@ "jsonName"` sets the reflection path segment (defaults to
+//! the Rust field name), mirroring Kubernetes' camelCase JSON names.
+
+/// Declares a Protobuf-style message with wire codec and reflection.
+///
+/// ```
+/// use protowire::{proto_message, Message};
+/// use protowire::reflect::{Reflect, Value};
+///
+/// proto_message! {
+///     /// Reference to an owning object.
+///     pub struct Owner {
+///         1 => kind: str,
+///         2 => uid: str,
+///     }
+/// }
+///
+/// proto_message! {
+///     /// Example with every field kind.
+///     pub struct Demo {
+///         1 => name: str,
+///         2 => replicas: int,
+///         3 => paused: bool,
+///         4 => labels: map,
+///         5 => args: repstr,
+///         6 => owner @ "ownerRef": msg<Owner>,
+///         7 => extras: rep<Owner>,
+///     }
+/// }
+///
+/// let mut d = Demo::default();
+/// d.labels.insert("app".into(), "web".into());
+/// d.owner.uid = "u-1".into();
+/// let bytes = d.encode();
+/// assert_eq!(Demo::decode(&bytes).unwrap(), d);
+/// assert_eq!(d.get_field("ownerRef.uid"), Some(Value::Str("u-1".into())));
+/// assert!(d.clone().set_field("labels['app']", Value::Str("db".into())));
+/// ```
+#[macro_export]
+macro_rules! proto_message {
+    // ---- public entry -----------------------------------------------------
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                $num:literal => $fname:ident $(@ $json:literal)? : $kind:ident $(< $ty:ident >)?
+            ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Default, PartialEq)]
+        pub struct $name {
+            $(
+                $(#[$fmeta])*
+                pub $fname: $crate::proto_message!(@fieldty $kind $(, $ty)?),
+            )+
+        }
+
+        impl $crate::Message for $name {
+            fn encode_into(&self, buf: &mut Vec<u8>) {
+                $( $crate::proto_message!(@enc self, buf, $num, $fname, $kind $(, $ty)?); )+
+            }
+
+            fn decode_from(r: &mut $crate::Reader<'_>) -> Result<Self, $crate::WireError> {
+                let mut out = <Self as Default>::default();
+                while !r.is_done() {
+                    let (field, wt) = r.tag()?;
+                    match field {
+                        $( $num => { $crate::proto_message!(@dec out, r, wt, $fname, $kind $(, $ty)?); } )+
+                        _ => r.skip(wt)?,
+                    }
+                }
+                Ok(out)
+            }
+        }
+
+        impl $crate::reflect::Reflect for $name {
+            fn visit_fields(
+                &self,
+                prefix: &str,
+                visit: &mut dyn FnMut(&str, $crate::reflect::Value),
+            ) {
+                $(
+                    $crate::proto_message!(
+                        @vis self, prefix, visit, $fname,
+                        $crate::proto_message!(@json $fname $($json)?),
+                        $kind $(, $ty)?
+                    );
+                )+
+            }
+
+            fn get_field(&self, path: &str) -> Option<$crate::reflect::Value> {
+                let (head, acc, rest) = $crate::reflect::split_path(path)?;
+                match head {
+                    $(
+                        h if h == $crate::proto_message!(@json $fname $($json)?) => {
+                            $crate::proto_message!(@get self, acc, rest, $fname, $kind $(, $ty)?)
+                        }
+                    )+
+                    _ => None,
+                }
+            }
+
+            fn set_field(&mut self, path: &str, value: $crate::reflect::Value) -> bool {
+                let Some((head, acc, rest)) = $crate::reflect::split_path(path) else {
+                    return false;
+                };
+                match head {
+                    $(
+                        h if h == $crate::proto_message!(@json $fname $($json)?) => {
+                            $crate::proto_message!(@set self, acc, rest, value, $fname, $kind $(, $ty)?)
+                        }
+                    )+
+                    _ => false,
+                }
+            }
+        }
+    };
+
+    // ---- json path name ----------------------------------------------------
+    (@json $f:ident $json:literal) => { $json };
+    (@json $f:ident) => { stringify!($f) };
+
+    // ---- field Rust types ---------------------------------------------------
+    (@fieldty int) => { i64 };
+    (@fieldty str) => { ::std::string::String };
+    (@fieldty bool) => { bool };
+    (@fieldty map) => { ::std::collections::BTreeMap<::std::string::String, ::std::string::String> };
+    (@fieldty repstr) => { ::std::vec::Vec<::std::string::String> };
+    (@fieldty msg, $ty:ident) => { $ty };
+    (@fieldty rep, $ty:ident) => { ::std::vec::Vec<$ty> };
+
+    // ---- encode --------------------------------------------------------------
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, int) => {
+        if $s.$f != 0 { $crate::put_int($b, $num, $s.$f); }
+    };
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, str) => {
+        if !$s.$f.is_empty() { $crate::put_str($b, $num, &$s.$f); }
+    };
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, bool) => {
+        if $s.$f { $crate::put_bool($b, $num, true); }
+    };
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, map) => {
+        for (k, v) in &$s.$f { $crate::put_map_entry($b, $num, k, v); }
+    };
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, repstr) => {
+        for v in &$s.$f { $crate::put_str($b, $num, v); }
+    };
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, msg, $ty:ident) => {{
+        let mut tmp = ::std::vec::Vec::new();
+        $crate::Message::encode_into(&$s.$f, &mut tmp);
+        $crate::put_bytes($b, $num, &tmp);
+    }};
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, rep, $ty:ident) => {
+        for m in &$s.$f {
+            let mut tmp = ::std::vec::Vec::new();
+            $crate::Message::encode_into(m, &mut tmp);
+            $crate::put_bytes($b, $num, &tmp);
+        }
+    };
+
+    // ---- decode ----------------------------------------------------------------
+    (@dec $o:ident, $r:ident, $wt:ident, $f:ident, int) => {
+        if $wt == $crate::WireType::Varint { $o.$f = $r.varint()? as i64; } else { $r.skip($wt)?; }
+    };
+    (@dec $o:ident, $r:ident, $wt:ident, $f:ident, str) => {
+        if $wt == $crate::WireType::Len { $o.$f = $r.string()?; } else { $r.skip($wt)?; }
+    };
+    (@dec $o:ident, $r:ident, $wt:ident, $f:ident, bool) => {
+        if $wt == $crate::WireType::Varint { $o.$f = $r.varint()? != 0; } else { $r.skip($wt)?; }
+    };
+    (@dec $o:ident, $r:ident, $wt:ident, $f:ident, map) => {
+        if $wt == $crate::WireType::Len {
+            let (k, v) = $crate::decode_map_entry($r)?;
+            $o.$f.insert(k, v);
+        } else { $r.skip($wt)?; }
+    };
+    (@dec $o:ident, $r:ident, $wt:ident, $f:ident, repstr) => {
+        if $wt == $crate::WireType::Len { $o.$f.push($r.string()?); } else { $r.skip($wt)?; }
+    };
+    (@dec $o:ident, $r:ident, $wt:ident, $f:ident, msg, $ty:ident) => {
+        if $wt == $crate::WireType::Len {
+            let mut sub = $r.nested()?;
+            $o.$f = <$ty as $crate::Message>::decode_from(&mut sub)?;
+        } else { $r.skip($wt)?; }
+    };
+    (@dec $o:ident, $r:ident, $wt:ident, $f:ident, rep, $ty:ident) => {
+        if $wt == $crate::WireType::Len {
+            let mut sub = $r.nested()?;
+            $o.$f.push(<$ty as $crate::Message>::decode_from(&mut sub)?);
+        } else { $r.skip($wt)?; }
+    };
+
+    // ---- visit -------------------------------------------------------------------
+    (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, int) => {{
+        let path = format!("{}{}", $p, $jn);
+        $v(&path, $crate::reflect::Value::Int($s.$f));
+    }};
+    (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, str) => {{
+        let path = format!("{}{}", $p, $jn);
+        $v(&path, $crate::reflect::Value::Str($s.$f.clone()));
+    }};
+    (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, bool) => {{
+        let path = format!("{}{}", $p, $jn);
+        $v(&path, $crate::reflect::Value::Bool($s.$f));
+    }};
+    (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, map) => {
+        for (k, val) in &$s.$f {
+            let path = format!("{}{}['{}']", $p, $jn, k);
+            $v(&path, $crate::reflect::Value::Str(val.clone()));
+        }
+    };
+    (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, repstr) => {
+        for (i, val) in $s.$f.iter().enumerate() {
+            let path = format!("{}{}[{}]", $p, $jn, i);
+            $v(&path, $crate::reflect::Value::Str(val.clone()));
+        }
+    };
+    (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, msg, $ty:ident) => {{
+        let prefix = format!("{}{}.", $p, $jn);
+        $crate::reflect::Reflect::visit_fields(&$s.$f, &prefix, $v);
+    }};
+    (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, rep, $ty:ident) => {
+        for (i, m) in $s.$f.iter().enumerate() {
+            let prefix = format!("{}{}[{}].", $p, $jn, i);
+            $crate::reflect::Reflect::visit_fields(m, &prefix, $v);
+        }
+    };
+
+    // ---- get ------------------------------------------------------------------------
+    (@get $s:expr, $acc:expr, $rest:expr, $f:ident, int) => {
+        if $acc.is_none() && $rest.is_empty() {
+            Some($crate::reflect::Value::Int($s.$f))
+        } else { None }
+    };
+    (@get $s:expr, $acc:expr, $rest:expr, $f:ident, str) => {
+        if $acc.is_none() && $rest.is_empty() {
+            Some($crate::reflect::Value::Str($s.$f.clone()))
+        } else { None }
+    };
+    (@get $s:expr, $acc:expr, $rest:expr, $f:ident, bool) => {
+        if $acc.is_none() && $rest.is_empty() {
+            Some($crate::reflect::Value::Bool($s.$f))
+        } else { None }
+    };
+    (@get $s:expr, $acc:expr, $rest:expr, $f:ident, map) => {
+        match (&$acc, $rest.is_empty()) {
+            (Some($crate::reflect::Accessor::Key(k)), true) => {
+                $s.$f.get(k.as_str()).map(|v| $crate::reflect::Value::Str(v.clone()))
+            }
+            _ => None,
+        }
+    };
+    (@get $s:expr, $acc:expr, $rest:expr, $f:ident, repstr) => {
+        match (&$acc, $rest.is_empty()) {
+            (Some($crate::reflect::Accessor::Index(i)), true) => {
+                $s.$f.get(*i).map(|v| $crate::reflect::Value::Str(v.clone()))
+            }
+            _ => None,
+        }
+    };
+    (@get $s:expr, $acc:expr, $rest:expr, $f:ident, msg, $ty:ident) => {
+        if $acc.is_none() {
+            $crate::reflect::Reflect::get_field(&$s.$f, $rest)
+        } else { None }
+    };
+    (@get $s:expr, $acc:expr, $rest:expr, $f:ident, rep, $ty:ident) => {
+        match &$acc {
+            Some($crate::reflect::Accessor::Index(i)) => {
+                $s.$f.get(*i).and_then(|m| $crate::reflect::Reflect::get_field(m, $rest))
+            }
+            _ => None,
+        }
+    };
+
+    // ---- set -------------------------------------------------------------------------
+    (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, int) => {
+        match ($acc, $rest.is_empty(), $val) {
+            (None, true, $crate::reflect::Value::Int(v)) => { $s.$f = v; true }
+            _ => false,
+        }
+    };
+    (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, str) => {
+        match ($acc, $rest.is_empty(), $val) {
+            (None, true, $crate::reflect::Value::Str(v)) => { $s.$f = v; true }
+            _ => false,
+        }
+    };
+    (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, bool) => {
+        match ($acc, $rest.is_empty(), $val) {
+            (None, true, $crate::reflect::Value::Bool(v)) => { $s.$f = v; true }
+            _ => false,
+        }
+    };
+    (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, map) => {
+        match ($acc, $rest.is_empty(), $val) {
+            (Some($crate::reflect::Accessor::Key(k)), true, $crate::reflect::Value::Str(v)) => {
+                $s.$f.insert(k, v);
+                true
+            }
+            _ => false,
+        }
+    };
+    (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, repstr) => {
+        match ($acc, $rest.is_empty(), $val) {
+            (Some($crate::reflect::Accessor::Index(i)), true, $crate::reflect::Value::Str(v)) => {
+                if let Some(slot) = $s.$f.get_mut(i) { *slot = v; true } else { false }
+            }
+            _ => false,
+        }
+    };
+    (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, msg, $ty:ident) => {
+        match $acc {
+            None => $crate::reflect::Reflect::set_field(&mut $s.$f, $rest, $val),
+            _ => false,
+        }
+    };
+    (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, rep, $ty:ident) => {
+        match $acc {
+            Some($crate::reflect::Accessor::Index(i)) => {
+                match $s.$f.get_mut(i) {
+                    Some(m) => $crate::reflect::Reflect::set_field(m, $rest, $val),
+                    None => false,
+                }
+            }
+            _ => false,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::reflect::{Reflect, Value};
+    use crate::Message;
+
+    proto_message! {
+        /// Nested helper.
+        pub struct Inner {
+            1 => tag: str,
+            2 => count: int,
+        }
+    }
+
+    proto_message! {
+        /// Exercises every field kind.
+        pub struct Everything {
+            1 => name: str,
+            2 => replicas: int,
+            3 => paused: bool,
+            4 => labels: map,
+            5 => args: repstr,
+            6 => inner @ "innerMsg": msg<Inner>,
+            7 => items: rep<Inner>,
+        }
+    }
+
+    fn sample() -> Everything {
+        let mut e = Everything::default();
+        e.name = "web".into();
+        e.replicas = 3;
+        e.paused = true;
+        e.labels.insert("app".into(), "web".into());
+        e.labels.insert("tier".into(), "frontend".into());
+        e.args = vec!["serve".into(), "--port=80".into()];
+        e.inner.tag = "t0".into();
+        e.inner.count = 9;
+        e.items.push(Inner { tag: "a".into(), count: 1 });
+        e.items.push(Inner { tag: "b".into(), count: 2 });
+        e
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let e = sample();
+        let bytes = e.encode();
+        assert_eq!(Everything::decode(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn default_scalars_are_skipped_on_wire() {
+        let e = Everything::default();
+        let bytes = e.encode();
+        // Only the always-present nested message remains (tag + len 0).
+        assert_eq!(bytes.len(), 2);
+    }
+
+    #[test]
+    fn visit_enumerates_leaves_with_paths() {
+        let e = sample();
+        let fields = e.field_list();
+        let paths: Vec<&str> = fields.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"name"));
+        assert!(paths.contains(&"replicas"));
+        assert!(paths.contains(&"paused"));
+        assert!(paths.contains(&"labels['app']"));
+        assert!(paths.contains(&"args[1]"));
+        assert!(paths.contains(&"innerMsg.tag"));
+        assert!(paths.contains(&"items[1].count"));
+    }
+
+    #[test]
+    fn get_by_path() {
+        let e = sample();
+        assert_eq!(e.get_field("replicas"), Some(Value::Int(3)));
+        assert_eq!(e.get_field("labels['tier']"), Some(Value::Str("frontend".into())));
+        assert_eq!(e.get_field("args[0]"), Some(Value::Str("serve".into())));
+        assert_eq!(e.get_field("innerMsg.count"), Some(Value::Int(9)));
+        assert_eq!(e.get_field("items[1].tag"), Some(Value::Str("b".into())));
+        assert_eq!(e.get_field("nope"), None);
+        assert_eq!(e.get_field("items[9].tag"), None);
+        assert_eq!(e.get_field("labels['missing']"), None);
+        // Wrong shapes resolve to None, not panics.
+        assert_eq!(e.get_field("replicas[0]"), None);
+        assert_eq!(e.get_field("innerMsg"), None);
+    }
+
+    #[test]
+    fn set_by_path() {
+        let mut e = sample();
+        assert!(e.set_field("replicas", Value::Int(0)));
+        assert_eq!(e.replicas, 0);
+        assert!(e.set_field("labels['app']", Value::Str("db".into())));
+        assert_eq!(e.labels["app"], "db");
+        assert!(e.set_field("items[0].count", Value::Int(42)));
+        assert_eq!(e.items[0].count, 42);
+        assert!(e.set_field("innerMsg.tag", Value::Str("".into())));
+        assert_eq!(e.inner.tag, "");
+        // Type mismatches and bad paths are rejected.
+        assert!(!e.set_field("replicas", Value::Str("x".into())));
+        assert!(!e.set_field("items[7].count", Value::Int(1)));
+        assert!(!e.set_field("", Value::Int(1)));
+    }
+
+    #[test]
+    fn every_visited_path_is_gettable_and_settable() {
+        let e = sample();
+        for (path, value) in e.field_list() {
+            assert_eq!(e.get_field(&path), Some(value.clone()), "path {path}");
+            let mut copy = e.clone();
+            assert!(copy.set_field(&path, value), "path {path}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let mut bytes = sample().encode();
+        // Append an unknown field 99 (varint).
+        crate::put_int(&mut bytes, 99, 1234);
+        let decoded = Everything::decode(&bytes).unwrap();
+        assert_eq!(decoded, sample());
+    }
+
+    #[test]
+    fn wire_type_mismatch_on_known_field_is_skipped() {
+        // Field 2 (replicas) encoded as a string instead of varint.
+        let mut bytes = Vec::new();
+        crate::put_str(&mut bytes, 2, "oops");
+        let decoded = Everything::decode(&bytes).unwrap();
+        assert_eq!(decoded.replicas, 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Leaf-field reflection: enumerate, read and mutate message fields by path.
+//!
+//! The injection campaign (paper §IV-C) records the fields of every resource
+//! instance written to the data store during a nominal workload, then
+//! generates one experiment per (field × mutation × occurrence). That
+//! requires a way to list the leaf fields of a decoded object and to apply a
+//! mutation to one of them without hand-written per-field code. The
+//! [`Reflect`] trait — implemented by [`proto_message!`](crate::proto_message)
+//! — provides exactly that.
+//!
+//! Paths mirror Kubernetes JSON notation:
+//!
+//! * `metadata.name` — nested message field;
+//! * `spec.replicas` — integer leaf;
+//! * `metadata.labels['app']` — map entry;
+//! * `spec.containers[0].image` — repeated-message element field.
+
+use std::fmt;
+
+/// A dynamically typed leaf value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer leaf.
+    Int(i64),
+    /// UTF-8 string leaf (also map entries and repeated strings).
+    Str(String),
+    /// Boolean leaf.
+    Bool(bool),
+}
+
+impl Value {
+    /// The corresponding [`FieldType`].
+    pub fn field_type(&self) -> FieldType {
+        match self {
+            Value::Int(_) => FieldType::Int,
+            Value::Str(_) => FieldType::Str,
+            Value::Bool(_) => FieldType::Bool,
+        }
+    }
+
+    /// Integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// The scalar type of a leaf field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// Integer leaf.
+    Int,
+    /// String leaf.
+    Str,
+    /// Boolean leaf.
+    Bool,
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldType::Int => write!(f, "int"),
+            FieldType::Str => write!(f, "string"),
+            FieldType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Message types whose leaf fields can be enumerated and mutated by path.
+pub trait Reflect {
+    /// Calls `visit(path, value)` for every leaf field, including leaves
+    /// holding default values. `prefix` is prepended to every path.
+    fn visit_fields(&self, prefix: &str, visit: &mut dyn FnMut(&str, Value));
+
+    /// Reads the leaf at `path`, or `None` if the path does not resolve.
+    fn get_field(&self, path: &str) -> Option<Value>;
+
+    /// Writes the leaf at `path`. Returns `false` if the path does not
+    /// resolve or the value type does not match the field type.
+    fn set_field(&mut self, path: &str, value: Value) -> bool;
+
+    /// Convenience: collects `(path, value)` pairs for all leaves.
+    fn field_list(&self) -> Vec<(String, Value)> {
+        let mut out = Vec::new();
+        self.visit_fields("", &mut |p, v| out.push((p.to_owned(), v)));
+        out
+    }
+}
+
+/// One step of a parsed path component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accessor {
+    /// `name[3]` — repeated-field index.
+    Index(usize),
+    /// `name['key']` — map key.
+    Key(String),
+}
+
+impl Accessor {
+    /// The index, if this is an [`Accessor::Index`].
+    pub fn as_index(&self) -> Option<usize> {
+        match self {
+            Accessor::Index(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The key, if this is an [`Accessor::Key`].
+    pub fn as_key(&self) -> Option<&str> {
+        match self {
+            Accessor::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// Splits the head component off a path.
+///
+/// Returns `(name, accessor, rest)` where `rest` excludes the separating
+/// dot. Returns `None` on malformed input.
+///
+/// ```
+/// use protowire::reflect::{split_path, Accessor};
+///
+/// let (name, acc, rest) = split_path("labels['app'].x").unwrap();
+/// assert_eq!(name, "labels");
+/// assert_eq!(acc, Some(Accessor::Key("app".into())));
+/// assert_eq!(rest, "x");
+/// ```
+pub fn split_path(path: &str) -> Option<(&str, Option<Accessor>, &str)> {
+    if path.is_empty() {
+        return None;
+    }
+    let bytes = path.as_bytes();
+    let mut name_end = path.len();
+    for (i, b) in bytes.iter().enumerate() {
+        if *b == b'.' || *b == b'[' {
+            name_end = i;
+            break;
+        }
+    }
+    let name = &path[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    let mut rest_start = name_end;
+    let mut accessor = None;
+    if bytes.get(name_end) == Some(&b'[') {
+        let close = path[name_end..].find(']')? + name_end;
+        let inner = &path[name_end + 1..close];
+        accessor = Some(if let Some(stripped) = inner.strip_prefix('\'') {
+            Accessor::Key(stripped.strip_suffix('\'')?.to_owned())
+        } else {
+            Accessor::Index(inner.parse().ok()?)
+        });
+        rest_start = close + 1;
+    }
+    let rest = match bytes.get(rest_start) {
+        None => "",
+        Some(b'.') => &path[rest_start + 1..],
+        Some(_) => return None,
+    };
+    Some((name, accessor, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_simple() {
+        assert_eq!(split_path("name"), Some(("name", None, "")));
+        assert_eq!(split_path("spec.replicas"), Some(("spec", None, "replicas")));
+    }
+
+    #[test]
+    fn split_index() {
+        let (n, a, r) = split_path("containers[2].image").unwrap();
+        assert_eq!(n, "containers");
+        assert_eq!(a, Some(Accessor::Index(2)));
+        assert_eq!(r, "image");
+    }
+
+    #[test]
+    fn split_key() {
+        let (n, a, r) = split_path("labels['app.kubernetes.io/name']").unwrap();
+        assert_eq!(n, "labels");
+        assert_eq!(a, Some(Accessor::Key("app.kubernetes.io/name".into())));
+        assert_eq!(r, "");
+    }
+
+    #[test]
+    fn split_rejects_malformed() {
+        assert_eq!(split_path(""), None);
+        assert_eq!(split_path(".x"), None);
+        assert_eq!(split_path("a[unclosed"), None);
+        assert_eq!(split_path("a[1]x"), None);
+        assert_eq!(split_path("a[not_a_number]"), None);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::Int(3).field_type(), FieldType::Int);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Str("a".into()).to_string(), "\"a\"");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(FieldType::Str.to_string(), "string");
+    }
+}

@@ -1,0 +1,257 @@
+//! # simkit — deterministic discrete-event simulation kernel
+//!
+//! The Mutiny reproduction runs thousands of fault-injection experiments;
+//! every experiment must be exactly reproducible from its seed. This crate
+//! provides the minimal kernel that makes that possible:
+//!
+//! * [`Sim`] — a virtual clock plus a monotonic event queue (events at equal
+//!   timestamps are delivered in insertion order, so runs are deterministic);
+//! * [`Rng`] — a seeded SplitMix64 generator with forkable streams so each
+//!   component draws from an independent, reproducible sequence;
+//! * [`Trace`] — a bounded in-memory trace buffer standing in for component
+//!   logs (the paper collects control-plane logs at verbosity 6);
+//! * [`stats`] — the small statistics toolbox (mean/std, MAE, z-score,
+//!   percentiles) used by the golden-run classifiers.
+//!
+//! ```
+//! use simkit::Sim;
+//!
+//! let mut sim: Sim<&'static str> = Sim::new();
+//! sim.schedule_after(10, "second");
+//! sim.schedule_after(5, "first");
+//! assert_eq!(sim.next(), Some((5, "first")));
+//! assert_eq!(sim.next(), Some((10, "second")));
+//! assert_eq!(sim.now(), 10);
+//! ```
+
+pub mod rng;
+pub mod stats;
+pub mod trace;
+
+pub use rng::Rng;
+pub use trace::{Trace, TraceLevel};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in milliseconds since the start of the experiment.
+pub type SimTime = u64;
+
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering is (at, seq) only — `seq` is unique per queue, so the event
+// payload never participates in comparisons and `E` needs no bounds.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator: a virtual clock driving a
+/// priority queue of events.
+///
+/// `Sim` is generic over the event payload `E`; the embedding world defines
+/// its own event enum and drives the loop:
+///
+/// ```
+/// use simkit::Sim;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick, Stop }
+///
+/// let mut sim = Sim::new();
+/// sim.schedule(0, Ev::Tick);
+/// sim.schedule(100, Ev::Stop);
+/// let mut ticks = 0;
+/// while let Some((_, ev)) = sim.next() {
+///     match ev {
+///         Ev::Tick if sim.now() < 50 => {
+///             ticks += 1;
+///             sim.schedule_after(10, Ev::Tick);
+///         }
+///         Ev::Tick => ticks += 1,
+///         Ev::Stop => break,
+///     }
+/// }
+/// assert_eq!(ticks, 6);
+/// ```
+#[derive(Debug)]
+pub struct Sim<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+}
+
+impl<E> Default for Sim<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Sim<E> {
+    /// Creates an empty simulator with the clock at time zero.
+    pub fn new() -> Self {
+        Sim { now: 0, seq: 0, heap: BinaryHeap::new() }
+    }
+
+    /// Current simulated time. Advances only when events are consumed.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently scheduled.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Events scheduled in the past are clamped to `now`: the simulation
+    /// never travels backwards. Events with equal timestamps are delivered
+    /// in the order they were scheduled.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` `delay` milliseconds after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue went backwards");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Pops the next event only if it fires at or before `horizon`.
+    ///
+    /// Events beyond the horizon stay queued; the clock advances to
+    /// `horizon` when the queue runs dry or only later events remain.
+    pub fn next_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(Reverse(s)) if s.at <= horizon => self.next(),
+            _ => {
+                self.now = self.now.max(horizon);
+                None
+            }
+        }
+    }
+
+    /// Timestamp of the next scheduled event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Drops every scheduled event (used when tearing a world down early).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_at_equal_timestamps() {
+        let mut sim = Sim::new();
+        for i in 0..100 {
+            sim.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(sim.next(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut sim = Sim::new();
+        sim.schedule(30, "c");
+        sim.schedule(10, "a");
+        sim.schedule(20, "b");
+        assert_eq!(sim.next().unwrap().1, "a");
+        assert_eq!(sim.next().unwrap().1, "b");
+        assert_eq!(sim.next().unwrap().1, "c");
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim = Sim::new();
+        sim.schedule(50, "x");
+        sim.next();
+        sim.schedule(10, "past");
+        let (t, _) = sim.next().unwrap();
+        assert_eq!(t, 50);
+        assert_eq!(sim.now(), 50);
+    }
+
+    #[test]
+    fn horizon_stops_delivery_and_advances_clock() {
+        let mut sim = Sim::new();
+        sim.schedule(100, "late");
+        assert_eq!(sim.next_until(60), None);
+        assert_eq!(sim.now(), 60);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.next_until(200), Some((100, "late")));
+    }
+
+    #[test]
+    fn schedule_after_accumulates() {
+        let mut sim = Sim::new();
+        sim.schedule_after(5, ());
+        sim.next();
+        sim.schedule_after(5, ());
+        let (t, _) = sim.next().unwrap();
+        assert_eq!(t, 10);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut sim = Sim::new();
+        sim.schedule(1, ());
+        sim.schedule(2, ());
+        sim.clear();
+        assert!(sim.is_idle());
+        assert_eq!(sim.next(), None);
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut sim = Sim::new();
+        assert_eq!(sim.peek_time(), None);
+        sim.schedule(9, ());
+        sim.schedule(4, ());
+        assert_eq!(sim.peek_time(), Some(4));
+    }
+}

@@ -1,0 +1,232 @@
+//! Seeded, forkable pseudo-random number generation.
+//!
+//! Experiments must be reproducible from `(campaign seed, experiment id)`
+//! alone, and adding a component to the world must not perturb the random
+//! sequences of unrelated components. [`Rng::fork`] derives an independent
+//! stream per component from a parent seed, so every part of the simulation
+//! owns its own deterministic sequence.
+//!
+//! The generator is SplitMix64 (Steele et al., "Fast splittable pseudorandom
+//! number generators", OOPSLA 2014): tiny, fast, and statistically adequate
+//! for simulation jitter — cryptographic quality is not required here.
+
+/// A deterministic SplitMix64 pseudo-random number generator.
+///
+/// ```
+/// use simkit::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Forked streams are independent of the parent's subsequent draws.
+/// let mut fork = a.fork("scheduler");
+/// let x = fork.next_u64();
+/// let mut fork2 = b.fork("scheduler");
+/// assert_eq!(x, fork2.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rng {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal sequences.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// Forking does not consume randomness from `self`, so adding a fork for
+    /// a new component leaves all existing streams untouched.
+    pub fn fork(&self, label: &str) -> Rng {
+        let mut h = self.state ^ 0x517c_c1b7_2722_0a95;
+        for b in label.as_bytes() {
+            h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+        }
+        Rng { state: mix(h) }
+    }
+
+    /// Derives an independent generator for a numbered sub-stream.
+    pub fn fork_n(&self, n: u64) -> Rng {
+        Rng { state: mix(self.state ^ n.wrapping_mul(GOLDEN_GAMMA) ^ 0xd1b5_4a32_d192_ed03) }
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below bound must be positive");
+        // Multiply-shift bounded generation (Lemire); the bias for our
+        // simulation-sized bounds (≪ 2^32) is negligible.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Rng::range requires lo <= hi");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Normal deviate with the given mean and standard deviation
+    /// (Box–Muller; one of the pair is discarded for simplicity).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = self.f64().max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Picks a uniformly random element of `items`, or `None` if empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.below(items.len() as u64) as usize;
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_stable_and_independent() {
+        let parent = Rng::new(99);
+        let mut f1 = parent.fork("kubelet-0");
+        let mut f2 = parent.fork("kubelet-0");
+        let mut f3 = parent.fork("kubelet-1");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        assert_ne!(f1.next_u64(), f3.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Rng::new(4);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range(2, 4);
+            assert!((2..=4).contains(&v));
+            saw_lo |= v == 2;
+            saw_hi |= v == 4;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Rng::new(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn normal_has_requested_moments() {
+        let mut r = Rng::new(6);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pick_none_on_empty() {
+        let mut r = Rng::new(9);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.pick(&empty), None);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(10);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

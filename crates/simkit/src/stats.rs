@@ -1,0 +1,172 @@
+//! Statistics used by the paper's failure classifiers.
+//!
+//! The Mutiny paper classifies client-level failures by comparing the
+//! response-time series of an injection run against a baseline averaged over
+//! golden runs: the Mean Absolute Error of each golden run against the
+//! baseline forms a distribution, and an experiment is flagged when the
+//! z-score of its MAE against that distribution exceeds a threshold (§V-B).
+//! Orchestrator-level timing failures use the same z-score machinery over
+//! pod-startup statistics.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// z-score of `x` against the distribution of `samples`.
+///
+/// Degenerate distributions (σ = 0) return `0.0` when `x` equals the mean and
+/// a large sentinel (`±1e9`) otherwise, so downstream thresholds still fire
+/// on clear deviations from a perfectly stable baseline.
+pub fn z_score(x: f64, samples: &[f64]) -> f64 {
+    let m = mean(samples);
+    let s = std_dev(samples);
+    if s > f64::EPSILON {
+        (x - m) / s
+    } else if (x - m).abs() <= f64::EPSILON {
+        0.0
+    } else if x > m {
+        1e9
+    } else {
+        -1e9
+    }
+}
+
+/// Mean Absolute Error between two series.
+///
+/// Series of different lengths are compared over the longer length with the
+/// shorter one padded with zeros — the paper pads failed requests with a
+/// response time of zero, so a truncated series reads as failures.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let get = |xs: &[f64], i: usize| xs.get(i).copied().unwrap_or(0.0);
+    (0..n).map(|i| (get(a, i) - get(b, i)).abs()).sum::<f64>() / n as f64
+}
+
+/// Element-wise mean of several equally ordered series (ragged tails are
+/// averaged over the series that reach them).
+pub fn average_series(series: &[Vec<f64>]) -> Vec<f64> {
+    let n = series.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = vec![0.0; n];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for s in series {
+            if let Some(v) = s.get(i) {
+                sum += v;
+                cnt += 1;
+            }
+        }
+        if cnt > 0 {
+            *slot = sum / cnt as f64;
+        }
+    }
+    out
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`); `0.0` when empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Maximum value; `0.0` when empty (startup-time series are non-negative).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn z_score_basic() {
+        let samples = [10.0, 12.0, 8.0, 10.0, 10.0];
+        let z = z_score(14.0, &samples);
+        assert!(z > 2.0, "z = {z}");
+        assert!(z_score(10.0, &samples).abs() < 0.01);
+    }
+
+    #[test]
+    fn z_score_degenerate_sigma() {
+        let flat = [5.0; 10];
+        assert_eq!(z_score(5.0, &flat), 0.0);
+        assert!(z_score(6.0, &flat) > 1e8);
+        assert!(z_score(4.0, &flat) < -1e8);
+    }
+
+    #[test]
+    fn mae_pads_shorter_series_with_zeros() {
+        // A truncated (failed) series must register as a large error.
+        let golden = [1.0, 1.0, 1.0, 1.0];
+        let failed = [1.0, 1.0];
+        assert!((mae(&golden, &failed) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_series_handles_ragged() {
+        let s = vec![vec![1.0, 3.0], vec![3.0], vec![5.0, 5.0, 9.0]];
+        let avg = average_series(&s);
+        assert_eq!(avg.len(), 3);
+        assert!((avg[0] - 3.0).abs() < 1e-12);
+        assert!((avg[1] - 4.0).abs() < 1e-12);
+        assert!((avg[2] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_of_series() {
+        assert_eq!(max(&[1.0, 9.0, 3.0]), 9.0);
+    }
+}

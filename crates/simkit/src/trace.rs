@@ -1,0 +1,208 @@
+//! Bounded in-memory trace buffer standing in for component logs.
+//!
+//! The paper's data collection retrieves control-plane logs at debug
+//! verbosity and analyses them for error reports (Figure 7: most injections
+//! never surface an error to the user). Components in this reproduction
+//! write to a shared [`Trace`]; classifiers query it afterwards.
+
+use crate::SimTime;
+
+/// Severity of a trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Verbose progress information (kubelet pod transitions, reconciles).
+    Debug,
+    /// Notable state changes (leader elections, evictions).
+    Info,
+    /// Degraded but tolerated conditions (retries, backoff).
+    Warn,
+    /// A component reported an operation failure.
+    Error,
+}
+
+impl std::fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+            TraceLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One log line: time, severity, emitting component, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time at which the entry was emitted.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Component tag, e.g. `"kcm/replicaset"` or `"apiserver"`.
+    pub component: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded ring buffer of [`TraceEntry`] values plus per-level counters.
+///
+/// The buffer keeps the most recent `capacity` entries; counters are exact
+/// over the whole run so classifiers can ask "did any ERROR occur?" even
+/// after older lines were evicted.
+///
+/// ```
+/// use simkit::{Trace, TraceLevel};
+///
+/// let mut trace = Trace::new(128);
+/// trace.log(5, TraceLevel::Error, "apiserver", "etcd write rejected");
+/// assert_eq!(trace.count(TraceLevel::Error), 1);
+/// assert!(trace.any_matching(TraceLevel::Error, "etcd"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: std::collections::VecDeque<TraceEntry>,
+    capacity: usize,
+    counts: [u64; 4],
+    /// When false, `Debug` entries are counted but not stored.
+    pub store_debug: bool,
+}
+
+impl Trace {
+    /// Creates a trace buffer retaining at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            entries: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            counts: [0; 4],
+            store_debug: true,
+        }
+    }
+
+    fn idx(level: TraceLevel) -> usize {
+        match level {
+            TraceLevel::Debug => 0,
+            TraceLevel::Info => 1,
+            TraceLevel::Warn => 2,
+            TraceLevel::Error => 3,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest when full.
+    pub fn log(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.counts[Self::idx(level)] += 1;
+        if level == TraceLevel::Debug && !self.store_debug {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            level,
+            component: component.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Exact number of entries ever logged at `level`.
+    pub fn count(&self, level: TraceLevel) -> u64 {
+        self.counts[Self::idx(level)]
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Returns retained entries at exactly `level`.
+    pub fn at_level(&self, level: TraceLevel) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.level == level)
+    }
+
+    /// True if any retained entry at `level` mentions `needle` in its
+    /// component tag or message.
+    pub fn any_matching(&self, level: TraceLevel, needle: &str) -> bool {
+        self.at_level(level)
+            .any(|e| e.component.contains(needle) || e.message.contains(needle))
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the retained tail as text (for examples and debugging).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "[{:>8} ms] {:5} {} — {}", e.at, e.level, e.component, e.message);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_survive_eviction() {
+        let mut t = Trace::new(2);
+        for i in 0..10 {
+            t.log(i, TraceLevel::Warn, "c", "m");
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count(TraceLevel::Warn), 10);
+    }
+
+    #[test]
+    fn matching_searches_component_and_message() {
+        let mut t = Trace::new(8);
+        t.log(1, TraceLevel::Error, "apiserver", "rejected update");
+        assert!(t.any_matching(TraceLevel::Error, "apiserver"));
+        assert!(t.any_matching(TraceLevel::Error, "rejected"));
+        assert!(!t.any_matching(TraceLevel::Error, "kubelet"));
+        assert!(!t.any_matching(TraceLevel::Warn, "apiserver"));
+    }
+
+    #[test]
+    fn debug_can_be_suppressed_but_still_counted() {
+        let mut t = Trace::new(8);
+        t.store_debug = false;
+        t.log(1, TraceLevel::Debug, "kcm", "reconcile");
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.count(TraceLevel::Debug), 1);
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let mut t = Trace::new(8);
+        t.log(42, TraceLevel::Info, "scheduler", "elected leader");
+        let s = t.render();
+        assert!(s.contains("42"));
+        assert!(s.contains("scheduler"));
+        assert!(s.contains("elected leader"));
+    }
+
+    #[test]
+    fn at_level_filters() {
+        let mut t = Trace::new(8);
+        t.log(1, TraceLevel::Info, "a", "x");
+        t.log(2, TraceLevel::Error, "b", "y");
+        assert_eq!(t.at_level(TraceLevel::Error).count(), 1);
+        assert_eq!(t.at_level(TraceLevel::Info).count(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Wrong Autoscale Trigger (Table I(a)): "autoscaling of Pods or Nodes is
+//! based on misleading information". A HorizontalPodAutoscaler tracks the
+//! client's real load (20 rps, 5 rps per replica → 4 replicas) until one
+//! corrupted metric value (999 rps) in the `service-load` ConfigMap
+//! drives it to its maximum — the paper's over-provisioning (MoR) failure
+//! class, here triggered end-to-end through the store channel.
+//!
+//! ```text
+//! cargo run --release --example autoscale_misfire
+//! ```
+
+use k8s_model::HorizontalPodAutoscaler;
+use mutiny_lab::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run(label: &str, corrupt_metric: bool) {
+    let mut cluster = ClusterConfig { seed: 9, ..ClusterConfig::default() };
+    cluster.net.publish_metrics = true;
+    let mutiny = Rc::new(RefCell::new(if corrupt_metric {
+        Mutiny::armed_from(
+            InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::ConfigMap,
+                point: InjectionPoint::Field {
+                    path: "data['default/web-1-svc']".into(),
+                    mutation: FieldMutation::Set(Value::Str("999".into())),
+                },
+                occurrence: 1,
+            },
+            k8s_cluster::WORKLOAD_START_MS,
+        )
+    } else {
+        Mutiny::disarmed()
+    }));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny;
+    let mut world = World::new(cluster, handle);
+    world.prepare(Workload::Deploy);
+
+    let mut hpa = HorizontalPodAutoscaler::default();
+    hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
+    hpa.spec.scale_target = "web-1".into();
+    hpa.spec.min_replicas = 2;
+    hpa.spec.max_replicas = 8;
+    hpa.spec.target_load = 5;
+    world
+        .api
+        .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa))
+        .expect("create hpa");
+
+    world.schedule_workload(Workload::Deploy);
+    println!("\n--- {label} ---");
+    println!("  {:>9} {:>9} {:>9} {:>13}", "t (ms)", "replicas", "observed", "desired");
+    while world.now() < world.horizon() {
+        let next = (world.now() + 5_000).min(world.horizon());
+        world.run_until(next);
+        let replicas = match world.api.get(Kind::Deployment, "default", "web-1") {
+            Some(Object::Deployment(d)) => d.spec.replicas,
+            _ => -1,
+        };
+        if let Some(Object::HorizontalPodAutoscaler(h)) =
+            world.api.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa")
+        {
+            println!(
+                "  {:>9} {:>9} {:>9} {:>13}",
+                world.now(),
+                replicas,
+                h.status.observed_load,
+                h.status.desired_replicas
+            );
+        }
+    }
+    println!("  scale actions: {}", world.kcm.metrics.hpa_scalings);
+    println!("  client failures: {}", world.stats.client_failures());
+}
+
+fn main() {
+    run("healthy autoscaling (20 rps / 5 per replica)", false);
+    run("one corrupted metric value (999 rps)", true);
+}

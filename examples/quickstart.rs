@@ -1,0 +1,40 @@
+//! Quickstart: build the simulated cluster, run one golden experiment and
+//! one injection experiment, and print what Mutiny did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mutiny_lab::prelude::*;
+
+fn main() {
+    // A golden (fault-free) "deploy" experiment: three Deployments are
+    // created while an application client sends 20 req/s to web-1.
+    let golden = run_experiment(&ExperimentConfig::golden(Workload::Deploy, 42));
+    println!("golden run   → orchestrator: {}  client: {}", golden.orchestrator_failure, golden.client_failure);
+
+    // Now the same workload with one fault: the 5th bit of the Deployment
+    // replica count is flipped in the apiserver→etcd transaction
+    // (2 → 18), after validation already passed.
+    let spec = InjectionSpec {
+        channel: Channel::ApiToEtcd,
+        kind: Kind::Deployment,
+        point: InjectionPoint::Field {
+            path: "spec.replicas".into(),
+            mutation: FieldMutation::FlipIntBit(4),
+        },
+        occurrence: 1,
+    };
+    let out = run_experiment(&ExperimentConfig::injected(Workload::Deploy, 42, spec));
+    println!(
+        "injected run → orchestrator: {}  client: {}  (z = {:.1}, user saw an error: {})",
+        out.orchestrator_failure, out.client_failure, out.z_latency, out.user_saw_error
+    );
+    if let Some(rec) = &out.injected {
+        println!(
+            "injection fired at t={} ms on {}: {:?} → {:?}",
+            rec.at, rec.key, rec.before, rec.after
+        );
+    }
+    println!("pods created: {} (golden baseline creates 6)", out.pods_created);
+}

@@ -1,0 +1,50 @@
+//! Inspired by the Reddit Pi-Day outage the paper discusses (§II-B, §VI):
+//! a node-relabeling change broke the selectors of the network
+//! infrastructure, taking down cluster networking for 314 minutes. Here
+//! the stored network-manager DaemonSet's selector is corrupted directly
+//! in the store: the controller releases every running agent pod and
+//! respawns node-critical pods forever; the released agents keep serving
+//! until the storm's preemption kills them, after which routes rot and
+//! the cluster network fails.
+//!
+//! ```text
+//! cargo run --release --example reddit_pi_day
+//! ```
+
+use k8s_cluster::{ClusterConfig, Workload, World};
+use k8s_model::{Channel, Kind, NoopInterceptor, Object};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let cfg = ClusterConfig { seed: 314, ..Default::default() };
+    let mut world = World::new(cfg, Rc::new(RefCell::new(NoopInterceptor)));
+    world.prepare(Workload::Deploy);
+
+    // The "relabeling": the net-agent DaemonSet selector now matches a
+    // label no pod carries. (A direct store write models the corruption
+    // landing post-validation, as Mutiny's ApiToEtcd injections do.)
+    if let Some(Object::DaemonSet(mut ds)) = world.api.get(Kind::DaemonSet, "kube-system", "net-agent") {
+        ds.spec.selector.match_labels.insert("app".into(), "net-agent-renamed".into());
+        world.api.update(Channel::ApiToEtcd, Object::DaemonSet(ds)).unwrap();
+        println!("corrupted net-agent DaemonSet selector in the store");
+    }
+
+    world.schedule_workload(Workload::Deploy);
+    world.run_to_horizon();
+
+    let last = world.stats.last_sample().unwrap();
+    println!("\nat the end of the observation window:");
+    println!("  net agents down: {}/{} nodes", last.netagents_down, last.net_nodes);
+    println!("  pods created by controllers: {}", last.pods_created_cum);
+    println!("  agent pods released by the controller: {}", world.kcm.metrics.orphaned);
+    println!("  etcd stalled: {}", last.etcd_stalled);
+    println!(
+        "  client outcomes: ok={} refused={} timeouts={}",
+        world.net.metrics.ok, world.net.metrics.refused, world.net.metrics.timeouts
+    );
+    let baseline = mutiny_core::campaign::cached_default_baseline(Workload::Deploy);
+    let of = mutiny_core::classify::classify_orchestrator(&world.stats, &baseline);
+    let (cf, z) = mutiny_core::classify::classify_client(&world.stats, &baseline);
+    println!("  classification: orchestrator {of}, client {cf} (z = {z:.1})");
+}

@@ -1,0 +1,46 @@
+//! The paper's flagship failure (§V-C1): a single-bit corruption of the
+//! labels that associate pods with their controller leaves the controller
+//! unable to identify its pods, so it spawns new ones in an infinite
+//! loop. Here the stored ReplicaSet's pod-template label is corrupted in
+//! the apiserver→etcd transaction (post-validation), and every pod the
+//! controller creates is immediately released and replaced.
+//!
+//! ```text
+//! cargo run --release --example uncontrolled_replication
+//! ```
+
+use mutiny_lab::prelude::*;
+
+fn main() {
+    let spec = InjectionSpec {
+        channel: Channel::ApiToEtcd,
+        kind: Kind::ReplicaSet,
+        point: InjectionPoint::Field {
+            path: "spec.template.metadata.labels['app']".into(),
+            // 'w' ^ 1 = 'v': "web-2" → "veb-2", selector no longer matches.
+            mutation: FieldMutation::FlipStringChar(0),
+        },
+        occurrence: 1, // the ReplicaSet's create transaction
+    };
+    let cfg = ExperimentConfig::injected(Workload::Deploy, 7, spec);
+    let (world, record) = mutiny_core::campaign::run_world(&cfg);
+
+    println!("injection: {:?}", record.map(|r| (r.at, r.key, r.before, r.after)));
+    println!("\npods created over time (sampled every 3 s):");
+    for s in world.stats.samples.iter().step_by(5) {
+        println!(
+            "  t={:>6} ms  pods_created={:<5} pods_total={:<5} etcd stalled={} released={}",
+            s.at, s.pods_created_cum, s.pods_total, s.etcd_stalled, world.kcm.metrics.orphaned
+        );
+    }
+    println!("\nkcm metrics: {:?}", world.kcm.metrics);
+    println!(
+        "etcd: {} objects, {} writes rejected (disk {})",
+        world.api.etcd().object_count(),
+        world.api.etcd().writes_rejected(),
+        if world.api.etcd().is_stalled() { "FULL — store stalled" } else { "ok" }
+    );
+    let baseline = mutiny_core::campaign::cached_default_baseline(Workload::Deploy);
+    let of = mutiny_core::classify::classify_orchestrator(&world.stats, &baseline);
+    println!("orchestrator-level classification: {of} (expected Sta: uncontrolled pod spawn)");
+}

@@ -1,0 +1,72 @@
+//! # mutiny-lab
+//!
+//! A full reproduction of *"Mutiny! How does Kubernetes fail, and what can we
+//! do about it?"* (Barletta et al., DSN 2024) as a Rust workspace.
+//!
+//! The paper injects faults/errors (bit-flips, data-type sets, message drops)
+//! into the Protobuf messages that carry the cluster state of Kubernetes into
+//! its data store (etcd), and classifies the resulting orchestrator-level and
+//! client-level failures. This workspace rebuilds the entire experimental
+//! stack as a deterministic discrete-event simulation:
+//!
+//! * [`simkit`] — simulation kernel (virtual clock, event queue, seeded RNG);
+//! * [`protowire`] — Protobuf-compatible wire codec with field reflection;
+//! * [`model`] — the Kubernetes resource model (Pods, ReplicaSets,
+//!   Deployments, DaemonSets, Services, Nodes, …) and the injection
+//!   interceptor trait;
+//! * [`etcd`] — an MVCC data store with watches, leases and quorum
+//!   replication;
+//! * [`apiserver`] — validation/admission, watch cache, audit
+//!   log, server-side apply;
+//! * [`kcm`], [`scheduler`], [`kubelet`],
+//!   [`netsim`] — the remaining control-plane and node components;
+//! * [`cluster`] — the glued-together `World` plus the paper's
+//!   three orchestration workloads and the application client;
+//! * [`mutiny`] — the paper's contribution: the injector, the
+//!   campaign manager, the failure classifiers, the FFDA dataset and the
+//!   findings analyses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mutiny_lab::prelude::*;
+//!
+//! // Build a five-node cluster, run the "deploy" workload with no injection,
+//! // and confirm the golden run converges with the service reachable.
+//! let cfg = ExperimentConfig::golden(Workload::Deploy, 42);
+//! let outcome = run_experiment(&cfg);
+//! assert_eq!(outcome.orchestrator_failure, OrchestratorFailure::No);
+//! assert_eq!(outcome.client_failure, ClientFailure::Nsi);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (uncontrolled replication, the
+//! GKE-webhook-style outage of the paper's Figure 2, the Reddit Pi-Day
+//! network outage) and `crates/bench` for the harnesses that regenerate every
+//! table and figure of the paper's evaluation.
+
+pub use etcd_sim as etcd;
+pub use k8s_apiserver as apiserver;
+pub use k8s_cluster as cluster;
+pub use k8s_kcm as kcm;
+pub use k8s_kubelet as kubelet;
+pub use k8s_model as model;
+pub use k8s_netsim as netsim;
+pub use k8s_scheduler as scheduler;
+pub use mutiny_core as mutiny;
+pub use mutiny_mitigations as mitigations;
+pub use protowire;
+pub use simkit;
+
+/// Convenience re-exports for examples and downstream users.
+pub mod prelude {
+    pub use k8s_cluster::{ClusterConfig, MitigationsConfig, Workload, World};
+    pub use k8s_model::{Channel, Kind, Object};
+    pub use mutiny_core::campaign::{
+        run_experiment, run_experiment_with_baseline, ExperimentConfig, ExperimentOutcome,
+    };
+    pub use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
+    pub use mutiny_core::injector::{
+        FaultKind, FieldMutation, InjectionPoint, InjectionSpec, Mutiny,
+    };
+    pub use protowire::reflect::Value;
+}

@@ -1,0 +1,191 @@
+//! End-to-end failure-scenario regressions: each test injects one fault
+//! through the full stack (wire codec → apiserver → etcd → controllers →
+//! kubelets → network → client) and asserts the §V-B classification the
+//! paper's mechanisms predict.
+
+use mutiny_lab::prelude::*;
+use std::sync::OnceLock;
+
+fn baseline() -> &'static mutiny_core::Baseline {
+    static B: OnceLock<mutiny_core::Baseline> = OnceLock::new();
+    B.get_or_init(|| {
+        mutiny_core::build_baseline(&ClusterConfig::default(), Workload::Deploy, 8, 7)
+    })
+}
+
+fn run(spec: InjectionSpec, seed: u64) -> ExperimentOutcome {
+    let cfg = ExperimentConfig::injected(Workload::Deploy, seed, spec);
+    run_experiment_with_baseline(&cfg, baseline())
+}
+
+fn field(kind: Kind, path: &str, mutation: FieldMutation, occurrence: u32) -> InjectionSpec {
+    InjectionSpec {
+        channel: Channel::ApiToEtcd,
+        kind,
+        point: InjectionPoint::Field { path: path.into(), mutation },
+        occurrence,
+    }
+}
+
+#[test]
+fn golden_runs_classify_clean_for_every_workload() {
+    for (wl, seed) in [(Workload::Deploy, 11), (Workload::ScaleUp, 12), (Workload::Failover, 13)]
+    {
+        let out = run_experiment(&ExperimentConfig::golden(wl, seed));
+        assert_eq!(out.orchestrator_failure, OrchestratorFailure::No, "{wl}");
+        assert_eq!(out.client_failure, ClientFailure::Nsi, "{wl}");
+        assert!(!out.user_saw_error, "{wl}");
+    }
+}
+
+#[test]
+fn corrupted_template_label_causes_uncontrolled_replication() {
+    // The paper's flagship §V-C1 example: one bit in the stored pod
+    // template label makes every spawned pod invisible to its controller.
+    let mut cluster = ClusterConfig::default();
+    // A small disk budget bounds the storm so the test stays fast; the
+    // stall is itself a Sta signal (the paper's end state).
+    cluster.etcd_capacity_bytes = 256 * 1024;
+    let spec = field(
+        Kind::ReplicaSet,
+        "spec.template.metadata.labels['app']",
+        FieldMutation::FlipStringChar(0),
+        1,
+    );
+    let cfg = ExperimentConfig { cluster, workload: Workload::Deploy, injection: Some(spec) };
+    let out = run_experiment_with_baseline(&cfg, baseline());
+    assert_eq!(out.orchestrator_failure, OrchestratorFailure::Sta, "{out:?}");
+    assert!(out.pods_created > 50, "spawn storm expected, got {}", out.pods_created);
+    assert!(!out.user_saw_error, "the user must stay unaware (F4)");
+}
+
+#[test]
+fn replica_count_bit_flip_causes_more_resources() {
+    // Bit 4 of the Deployment replica count: 2 → 18 (§IV-C's high bit).
+    let out = run(field(Kind::Deployment, "spec.replicas", FieldMutation::FlipIntBit(4), 1), 21);
+    assert_eq!(out.orchestrator_failure, OrchestratorFailure::MoR, "{out:?}");
+    assert!(out.pods_created > 10);
+}
+
+#[test]
+fn replicaset_replica_corruption_is_overwritten_by_deployment() {
+    // The §V-C1 recovery path: the owning Deployment resets a corrupted
+    // ReplicaSet replica count on its next sync.
+    let out =
+        run(field(Kind::ReplicaSet, "spec.replicas", FieldMutation::FlipIntBit(4), 1), 22);
+    assert!(
+        matches!(out.orchestrator_failure, OrchestratorFailure::No | OrchestratorFailure::MoR),
+        "expected recovery (No) or a transient MoR, got {out:?}"
+    );
+    assert_ne!(out.orchestrator_failure, OrchestratorFailure::Sta);
+}
+
+#[test]
+fn emptied_image_prevents_pod_start() {
+    // Data-type set on the stored template image: pods never become
+    // ready (ImagePullBackOff) → Less Resources.
+    let out = run(
+        field(
+            Kind::Deployment,
+            "spec.template.spec.containers[0].image",
+            FieldMutation::Set(Value::Str(String::new())),
+            1,
+        ),
+        23,
+    );
+    assert_eq!(out.orchestrator_failure, OrchestratorFailure::LeR, "{out:?}");
+}
+
+#[test]
+fn node_name_corruption_restarts_scheduler() {
+    // The paper's Timing example: a corrupted binding makes the scheduler
+    // detect a cache mismatch and restart; re-election costs ~20 s.
+    let out = run(
+        field(Kind::Pod, "spec.nodeName", FieldMutation::FlipStringChar(0), 2),
+        24,
+    );
+    assert_eq!(out.orchestrator_failure, OrchestratorFailure::Tim, "{out:?}");
+}
+
+#[test]
+fn message_drops_match_paper_outcomes() {
+    // Dropping Endpoints/ReplicaSet updates is absorbed by level-triggered
+    // reconciliation (most drops are "No" in Table IV); a dropped Pod
+    // *create* leaves the controller's expectations unfulfilled and the
+    // service under-provisioned — the paper's LeR drop rows.
+    for (kind, seed, accept) in [
+        (Kind::Pod, 31, &[OrchestratorFailure::LeR][..]),
+        (Kind::Endpoints, 32, &[OrchestratorFailure::No, OrchestratorFailure::Tim][..]),
+        (Kind::ReplicaSet, 33, &[OrchestratorFailure::No, OrchestratorFailure::Tim][..]),
+    ] {
+        let spec = InjectionSpec {
+            channel: Channel::ApiToEtcd,
+            kind,
+            point: InjectionPoint::Drop,
+            occurrence: 1,
+        };
+        let out = run(spec, seed);
+        assert!(
+            accept.contains(&out.orchestrator_failure),
+            "drop of {kind}: expected one of {accept:?}, got {out:?}"
+        );
+        assert!(!out.user_saw_error, "drops are silent by construction");
+    }
+}
+
+#[test]
+fn pod_ip_corruption_is_overwritten_by_kubelet() {
+    // §V-C1 recovery example: the kubelet rewrites the true PodIP.
+    let out = run(
+        field(Kind::Pod, "status.podIP", FieldMutation::Set(Value::Str("10.9.9.9".into())), 3),
+        25,
+    );
+    assert!(
+        matches!(
+            out.orchestrator_failure,
+            OrchestratorFailure::No | OrchestratorFailure::Tim | OrchestratorFailure::Net
+        ),
+        "{out:?}"
+    );
+    assert_ne!(out.client_failure, ClientFailure::Su);
+}
+
+#[test]
+fn service_selector_corruption_breaks_networking() {
+    // The client's own Service loses its endpoints: Net at the
+    // orchestrator level, SU at the client. Injected as a direct store
+    // corruption (the paper's scenario-driven variant) because the
+    // pre-installed Service is not rewritten during the workload.
+    let cfg = ExperimentConfig::golden(Workload::Deploy, 26);
+    let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::disarmed()));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny;
+    let mut world = World::new(cfg.cluster.clone(), handle);
+    world.prepare(Workload::Deploy);
+    if let Some(Object::Service(mut svc)) = world.api.get(Kind::Service, "default", "web-1-svc")
+    {
+        svc.spec.selector.insert("app".into(), "veb-1".into());
+        world.api.update(Channel::ApiToEtcd, Object::Service(svc)).unwrap();
+    } else {
+        panic!("client service missing after setup");
+    }
+    world.schedule_workload(Workload::Deploy);
+    world.run_to_horizon();
+    let of = mutiny_core::classify::classify_orchestrator(&world.stats, baseline());
+    let (cf, _) = mutiny_core::classify::classify_client(&world.stats, baseline());
+    assert_eq!(cf, ClientFailure::Su, "client must lose the service");
+    assert_eq!(of, OrchestratorFailure::Net, "replicas right, networking wrong");
+}
+
+#[test]
+fn outcomes_are_deterministic_for_identical_seeds() {
+    let spec = field(Kind::Deployment, "spec.replicas", FieldMutation::FlipIntBit(0), 1);
+    let a = run(spec.clone(), 99);
+    let b = run(spec, 99);
+    assert_eq!(a.orchestrator_failure, b.orchestrator_failure);
+    assert_eq!(a.client_failure, b.client_failure);
+    assert_eq!(a.pods_created, b.pods_created);
+    assert_eq!(
+        a.injected.as_ref().map(|r| (r.at, r.key.clone())),
+        b.injected.as_ref().map(|r| (r.at, r.key.clone()))
+    );
+}

@@ -1,0 +1,191 @@
+//! End-to-end autoscaler scenarios: the HorizontalPodAutoscaler extension
+//! and the paper's *Wrong Autoscale Trigger* fault class (Table I(a) —
+//! "autoscaling of Pods or Nodes is based on misleading information").
+
+use mutiny_lab::prelude::*;
+use k8s_model::HorizontalPodAutoscaler;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn hpa_world(seed: u64, interceptor: k8s_apiserver::InterceptorHandle) -> World {
+    let mut cfg = ClusterConfig { seed, ..ClusterConfig::default() };
+    cfg.net.publish_metrics = true;
+    let mut world = World::new(cfg, interceptor);
+    world.prepare(Workload::Deploy);
+    let mut hpa = HorizontalPodAutoscaler::default();
+    hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
+    hpa.spec.scale_target = "web-1".into();
+    // minReplicas matches the deployed size, so the idle pre-workload
+    // phase takes no scale action (and spends no cooldown).
+    hpa.spec.min_replicas = 2;
+    hpa.spec.max_replicas = 8;
+    hpa.spec.target_load = 5;
+    world
+        .api
+        .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa))
+        .expect("create hpa");
+    world
+}
+
+fn noop() -> k8s_apiserver::InterceptorHandle {
+    Rc::new(RefCell::new(k8s_model::NoopInterceptor))
+}
+
+/// Steps the world to the horizon, recording the replica extremes of
+/// web-1 while the client load is active.
+fn run_tracking_replicas(world: &mut World) -> (i64, i64) {
+    let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+    let load_end = world.t0() + 30_000;
+    world.schedule_workload(Workload::Deploy);
+    while world.now() < world.horizon() {
+        let next = (world.now() + 500).min(world.horizon());
+        world.run_until(next);
+        if world.now() > world.t0() + 10_000 && world.now() <= load_end {
+            if let Some(Object::Deployment(d)) = world.api.get(Kind::Deployment, "default", "web-1")
+            {
+                lo = lo.min(d.spec.replicas);
+                hi = hi.max(d.spec.replicas);
+            }
+        }
+    }
+    (lo, hi)
+}
+
+#[test]
+fn autoscaler_follows_the_client_load() {
+    // 20 rps at 5 rps per replica → 4 replicas while the client is active,
+    // back towards minReplicas once the load stops.
+    let mut world = hpa_world(61, noop());
+    let (lo, hi) = run_tracking_replicas(&mut world);
+    assert_eq!(hi, 4, "expected scale-up to ceil(20/5)=4");
+    assert!(lo >= 2, "never below minReplicas");
+    assert!(world.kcm.metrics.hpa_scalings >= 1, "no scale action recorded");
+    // After 45 s without load the controller returns to the minimum.
+    if let Some(Object::Deployment(d)) = world.api.get(Kind::Deployment, "default", "web-1") {
+        assert_eq!(d.spec.replicas, 2, "scale-down after load stops");
+    }
+    // The status subresource reflects what the controller observed (F4:
+    // operators must be able to see the divergence source).
+    if let Some(Object::HorizontalPodAutoscaler(h)) =
+        world.api.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa")
+    {
+        assert!(h.status.last_scale_time > 0);
+        assert!(h.status.desired_replicas >= 1);
+    }
+    assert_eq!(world.stats.client_failures(), 0, "autoscaling must not drop requests");
+}
+
+#[test]
+fn inflated_metric_overprovisions_the_service() {
+    // Wrong Autoscale Trigger, MoR flavour: one corrupted metric value
+    // (999 rps) makes the controller scale to maxReplicas. The next
+    // metrics publish overwrites the corruption — the paper's overwrite
+    // recovery — but the cooldown keeps the overprovisioning around.
+    let spec = InjectionSpec {
+        channel: Channel::ApiToEtcd,
+        kind: Kind::ConfigMap,
+        point: InjectionPoint::Field {
+            path: "data['default/web-1-svc']".into(),
+            mutation: FieldMutation::Set(Value::Str("999".into())),
+        },
+        occurrence: 1,
+    };
+    let mutiny = Rc::new(RefCell::new(Mutiny::armed_from(spec, k8s_cluster::WORKLOAD_START_MS)));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny.clone();
+    let mut world = hpa_world(62, handle);
+    let (_, hi) = run_tracking_replicas(&mut world);
+    assert!(mutiny.borrow().fired(), "metric injection never fired");
+    assert_eq!(hi, 8, "corrupted metric must drive the target to maxReplicas");
+}
+
+#[test]
+fn zeroed_target_load_pins_the_service_to_minimum() {
+    // Wrong Autoscale Trigger, LeR flavour: the HPA's own spec is
+    // corrupted in the store (targetLoadPerReplica = 0) by the write that
+    // recorded the first scale-up. Unlike the metric, nothing rewrites
+    // the spec, so once the cooldown expires the controller drags the
+    // service back to minReplicas and pins it there under full load. The
+    // user-channel validation would have rejected the value — the store
+    // channel bypasses it (Table VI).
+    let spec = InjectionSpec {
+        channel: Channel::ApiToEtcd,
+        kind: Kind::HorizontalPodAutoscaler,
+        point: InjectionPoint::Field {
+            path: "spec.targetLoadPerReplica".into(),
+            mutation: FieldMutation::Set(Value::Int(0)),
+        },
+        occurrence: 1,
+    };
+    let mutiny = Rc::new(RefCell::new(Mutiny::armed_from(spec, k8s_cluster::WORKLOAD_START_MS)));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny.clone();
+    let mut world = hpa_world(63, handle);
+    world.schedule_workload(Workload::Deploy);
+    // Replicas over the last ten seconds of the load phase: the brief
+    // pre-corruption scale-up has been clawed back by then.
+    let load_end = world.t0() + 30_000;
+    let mut tail_replicas = Vec::new();
+    while world.now() < world.horizon() {
+        let next = (world.now() + 500).min(world.horizon());
+        world.run_until(next);
+        if world.now() > load_end - 10_000 && world.now() <= load_end {
+            if let Some(Object::Deployment(d)) =
+                world.api.get(Kind::Deployment, "default", "web-1")
+            {
+                tail_replicas.push(d.spec.replicas);
+            }
+        }
+    }
+    assert!(mutiny.borrow().fired(), "spec injection never fired");
+    assert!(tail_replicas.len() >= 4);
+    // The claw-back lands one scale-cooldown plus one resync after the
+    // corrupted scale-up; by the end of the load phase the service must
+    // be under-provisioned (and stay there — nothing rewrites the spec).
+    let end = &tail_replicas[tail_replicas.len() - 3..];
+    assert!(
+        end.iter().all(|&r| r == 2),
+        "service must end the load phase pinned at minReplicas: {tail_replicas:?}"
+    );
+    assert!(
+        tail_replicas.iter().any(|&r| r > 2),
+        "the pre-corruption scale-up should be visible: {tail_replicas:?}"
+    );
+}
+
+#[test]
+fn user_channel_rejects_invalid_hpa_specs() {
+    // The same values the store-channel injections smuggle in are denied
+    // at the API boundary (the §V-C4 validation asymmetry).
+    let mut world = hpa_world(64, noop());
+    let mut bad = HorizontalPodAutoscaler::default();
+    bad.metadata = k8s_model::ObjectMeta::named("default", "bad-hpa");
+    bad.spec.scale_target = "web-1".into();
+    bad.spec.min_replicas = 0; // scale-to-zero
+    bad.spec.max_replicas = 8;
+    bad.spec.target_load = 5;
+    assert!(world
+        .api
+        .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(bad.clone()))
+        .is_err());
+    bad.spec.min_replicas = 4;
+    bad.spec.max_replicas = 2; // inverted bounds
+    assert!(world
+        .api
+        .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(bad.clone()))
+        .is_err());
+    bad.spec.max_replicas = 8;
+    bad.spec.target_load = 0; // division trap
+    assert!(world
+        .api
+        .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(bad))
+        .is_err());
+}
+
+#[test]
+fn autoscale_outcomes_are_deterministic() {
+    let run = |seed| {
+        let mut world = hpa_world(seed, noop());
+        let extremes = run_tracking_replicas(&mut world);
+        (extremes, world.kcm.metrics.hpa_scalings)
+    };
+    assert_eq!(run(65), run(65));
+}

@@ -1,0 +1,253 @@
+//! End-to-end mitigation regressions: each test replays one of the
+//! paper's flagship failure scenarios with a §VI-B defense enabled and
+//! asserts the failure is neutralized (and, separately, that the defense
+//! stays silent on healthy runs — `k8s-cluster` owns that golden check).
+
+use mutiny_lab::prelude::*;
+use std::sync::OnceLock;
+
+fn baseline_for(mitigations: MitigationsConfig) -> mutiny_core::Baseline {
+    let cfg = ClusterConfig { mitigations, ..ClusterConfig::default() };
+    mutiny_core::build_baseline(&cfg, Workload::Deploy, 8, 7)
+}
+
+fn plain_baseline() -> &'static mutiny_core::Baseline {
+    static B: OnceLock<mutiny_core::Baseline> = OnceLock::new();
+    B.get_or_init(|| baseline_for(MitigationsConfig::default()))
+}
+
+/// The paper's flagship injection: one corrupted character in the stored
+/// pod-template label of a ReplicaSet, post-validation.
+fn storm_spec() -> InjectionSpec {
+    InjectionSpec {
+        channel: Channel::ApiToEtcd,
+        kind: Kind::ReplicaSet,
+        point: InjectionPoint::Field {
+            path: "spec.template.metadata.labels['app']".into(),
+            mutation: FieldMutation::FlipStringChar(0),
+        },
+        occurrence: 1,
+    }
+}
+
+fn run_with(mitigations: MitigationsConfig, spec: InjectionSpec, seed: u64) -> ExperimentOutcome {
+    let baseline = baseline_for(mitigations.clone());
+    let cluster = ClusterConfig { seed, mitigations, ..ClusterConfig::default() };
+    let cfg = ExperimentConfig { cluster, workload: Workload::Deploy, injection: Some(spec) };
+    mutiny_core::campaign::run_experiment_with_baseline(&cfg, &baseline)
+}
+
+#[test]
+fn integrity_code_neutralizes_template_label_corruption() {
+    // Redundancy codes on critical fields (§VI-B): the corrupted label is
+    // detected on decode and rolled back to the last good value; no storm.
+    let out = run_with(
+        MitigationsConfig { integrity: true, ..Default::default() },
+        storm_spec(),
+        41,
+    );
+    assert!(
+        matches!(out.orchestrator_failure, OrchestratorFailure::No | OrchestratorFailure::Tim),
+        "integrity should absorb the corruption entirely, got {out:?}"
+    );
+    // A golden deploy run creates ~21 pods (system DaemonSets + coreDNS +
+    // prometheus + the app); anything close to that means no storm.
+    assert!(out.pods_created < 30, "no storm expected, got {} pods", out.pods_created);
+}
+
+#[test]
+fn breaker_bounds_the_replication_storm() {
+    // Without defenses the storm creates hundreds of pods (see
+    // failure_scenarios); the circuit breaker must suspend the runaway
+    // ReplicaSet within one window and keep the pod count bounded.
+    let unmitigated = {
+        let cfg = ExperimentConfig {
+            cluster: ClusterConfig { seed: 42, ..ClusterConfig::default() },
+            workload: Workload::Deploy,
+            injection: Some(storm_spec()),
+        };
+        mutiny_core::campaign::run_experiment_with_baseline(&cfg, plain_baseline())
+    };
+    let mitigated = run_with(
+        MitigationsConfig { breaker: true, ..Default::default() },
+        storm_spec(),
+        42,
+    );
+    assert!(
+        unmitigated.pods_created > 3 * mitigated.pods_created,
+        "breaker should cut the storm by well over 3x: {} vs {}",
+        unmitigated.pods_created,
+        mitigated.pods_created
+    );
+    assert_ne!(
+        mitigated.orchestrator_failure,
+        OrchestratorFailure::Out,
+        "a tripped breaker must prevent the outage: {mitigated:?}"
+    );
+}
+
+#[test]
+fn all_defenses_neutralize_the_storm() {
+    let out = run_with(MitigationsConfig::all(), storm_spec(), 43);
+    assert!(
+        !out.orchestrator_failure.is_system_wide(),
+        "combined defenses must prevent Sta/Out, got {out:?}"
+    );
+    assert!(out.pods_created < 40, "storm persisted: {} pods", out.pods_created);
+}
+
+#[test]
+fn integrity_repairs_service_selector_corruption() {
+    // The Net/SU scenario of failure_scenarios: a corrupted Service
+    // selector empties the endpoints. With redundancy codes installed the
+    // at-decode verification restores the stored selector, so the client
+    // keeps being served.
+    let mitigations = MitigationsConfig { integrity: true, ..Default::default() };
+    let baseline = baseline_for(mitigations.clone());
+    let cluster = ClusterConfig { seed: 44, mitigations, ..ClusterConfig::default() };
+    let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::disarmed()));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny;
+    let mut world = World::new(cluster, handle);
+    world.prepare(Workload::Deploy);
+    // Corrupt the stored bytes *after* sealing (the campaign's in-flight
+    // model): the stale redundancy code no longer matches the selector.
+    if let Some(Object::Service(mut svc)) = world.api.get(Kind::Service, "default", "web-1-svc") {
+        svc.spec.selector.insert("app".into(), "veb-1".into());
+        let key = Object::Service(svc.clone()).key();
+        world.api.etcd_mut().put(&key, Object::Service(svc).encode()).unwrap();
+    } else {
+        panic!("client service missing after setup");
+    }
+    world.schedule_workload(Workload::Deploy);
+    world.run_to_horizon();
+    let (cf, _) = mutiny_core::classify::classify_client(&world.stats, &baseline);
+    assert_ne!(cf, ClientFailure::Su, "integrity must keep the service reachable");
+    assert!(world.api.integrity_metrics.violations >= 1, "violation not even detected");
+}
+
+#[test]
+fn policy_denies_coredns_scale_to_zero() {
+    // §VI-B verbatim: "scaling of coreDNS to 0 should be denied".
+    let cluster = ClusterConfig {
+        seed: 45,
+        mitigations: MitigationsConfig { policies: true, ..Default::default() },
+        ..ClusterConfig::default()
+    };
+    let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::disarmed()));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny;
+    let mut world = World::new(cluster, handle);
+    world.prepare(Workload::Deploy);
+
+    let Some(Object::Deployment(mut dns)) =
+        world.api.get(Kind::Deployment, "kube-system", "coredns")
+    else {
+        panic!("coredns deployment missing");
+    };
+    dns.spec.replicas = 0;
+    let res = world.api.update(Channel::UserToApi, Object::Deployment(dns));
+    assert!(res.is_err(), "scale-to-zero must be denied");
+    assert!(world.api.policy_denials >= 1);
+
+    let res = world.api.delete(Channel::UserToApi, Kind::Deployment, "kube-system", "coredns");
+    assert!(res.is_err(), "deleting coreDNS must be denied");
+}
+
+#[test]
+fn policy_rejects_unbounded_pods_and_oversized_workloads() {
+    let cluster = ClusterConfig {
+        seed: 46,
+        mitigations: MitigationsConfig { policies: true, ..Default::default() },
+        ..ClusterConfig::default()
+    };
+    let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::disarmed()));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny;
+    let mut world = World::new(cluster, handle);
+    world.prepare(Workload::Deploy);
+
+    // A pod without resource requests (the overload class of Table I).
+    let mut pod = k8s_model::Pod::default();
+    pod.metadata = k8s_model::ObjectMeta::named("default", "unbounded");
+    pod.spec.containers.push(k8s_model::Container {
+        name: "c".into(),
+        image: "img:1".into(),
+        ..Default::default()
+    });
+    assert!(world.api.create(Channel::UserToApi, Object::Pod(pod)).is_err());
+
+    // A deployment demanding more replicas than the cluster ceiling.
+    let mut huge = k8s_cluster::app_deployment(9, 2, false);
+    huge.spec.replicas = 500;
+    assert!(world.api.create(Channel::UserToApi, Object::Deployment(huge)).is_err());
+}
+
+#[test]
+fn guard_journals_silent_store_corruption() {
+    // F4: the user gets no error, but the guard's journal records the
+    // divergence — the paper's "log changes to labels that can cause
+    // critical failures".
+    let out = run_with(
+        MitigationsConfig { guard: true, ..Default::default() },
+        storm_spec(),
+        47,
+    );
+    assert!(!out.user_saw_error, "store-channel injection is silent to the user");
+    // The guard lives inside the experiment world, so assert indirectly:
+    // rerun manually for journal access.
+    let cluster = ClusterConfig {
+        seed: 47,
+        mitigations: MitigationsConfig { guard: true, ..Default::default() },
+        ..ClusterConfig::default()
+    };
+    // Occurrence 2: the corruption lands on the ReplicaSet's first
+    // *update*, so the guard has a pre-change snapshot to diff against
+    // (creates have no previous value to journal).
+    let mut spec = storm_spec();
+    spec.occurrence = 2;
+    let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::armed_from(
+        spec,
+        k8s_cluster::WORKLOAD_START_MS,
+    )));
+    let handle: k8s_apiserver::InterceptorHandle = mutiny.clone();
+    let mut world = World::new(cluster, handle);
+    world.prepare(Workload::Deploy);
+    world.schedule_workload(Workload::Deploy);
+    world.run_to_horizon();
+    assert!(mutiny.borrow().fired(), "injection never fired");
+    let guard = world.guard.as_ref().expect("guard enabled");
+    assert!(
+        guard
+            .journal()
+            .iter()
+            .any(|rec| rec.changes.iter().any(|(p, _, _)| p.contains("labels['app']"))),
+        "guard journal must record the corrupted label"
+    );
+}
+
+#[test]
+fn defenses_do_not_change_clean_experiment_outcomes() {
+    // A benign injection (absorbed by overwrite recovery) must classify
+    // identically with and without defenses.
+    let spec = InjectionSpec {
+        channel: Channel::ApiToEtcd,
+        kind: Kind::ReplicaSet,
+        point: InjectionPoint::Field {
+            path: "spec.replicas".into(),
+            mutation: FieldMutation::FlipIntBit(0),
+        },
+        occurrence: 1,
+    };
+    let plain = {
+        let cfg = ExperimentConfig {
+            cluster: ClusterConfig { seed: 48, ..ClusterConfig::default() },
+            workload: Workload::Deploy,
+            injection: Some(spec.clone()),
+        };
+        mutiny_core::campaign::run_experiment_with_baseline(&cfg, plain_baseline())
+    };
+    let defended = run_with(MitigationsConfig { breaker: true, ..Default::default() }, spec, 48);
+    assert_eq!(plain.client_failure, defended.client_failure);
+    assert!(
+        !defended.orchestrator_failure.is_system_wide(),
+        "benign injection escalated: {defended:?}"
+    );
+}

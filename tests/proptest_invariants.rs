@@ -1,0 +1,142 @@
+//! Property-based invariants on the wire codec, the reflection layer, the
+//! store, and the injector — the surfaces a corruption campaign leans on
+//! hardest.
+
+use k8s_model::{Container, Kind, Object, ObjectMeta, Pod, ReplicaSet};
+use proptest::prelude::*;
+use protowire::reflect::{Reflect, Value};
+use protowire::Message;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}[a-z0-9]".prop_map(|s| s)
+}
+
+fn arb_labels() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((arb_name(), arb_name()), 0..4)
+}
+
+prop_compose! {
+    fn arb_pod()(
+        name in arb_name(),
+        ns in arb_name(),
+        labels in arb_labels(),
+        node in proptest::option::of(arb_name()),
+        cpu in 0i64..16_000,
+        mem in 0i64..32_768,
+        port in 0i64..65_536,
+        priority in 0i64..2_000_002_000,
+        phase in prop_oneof![Just(""), Just("Pending"), Just("Running"), Just("Failed")],
+        ready in any::<bool>(),
+        restart_count in 0i64..1000,
+    ) -> Pod {
+        let mut p = Pod::default();
+        p.metadata = ObjectMeta::named(&ns, &name);
+        for (k, v) in labels {
+            p.metadata.labels.insert(k, v);
+        }
+        p.spec.node_name = node.unwrap_or_default();
+        p.spec.priority = priority;
+        p.spec.containers.push(Container {
+            name: "c".into(),
+            image: "registry.local/app:1".into(),
+            command: vec!["serve".into()],
+            cpu_milli: cpu,
+            memory_mb: mem,
+            port,
+            ..Default::default()
+        });
+        p.status.phase = phase.into();
+        p.status.ready = ready;
+        p.status.restart_count = restart_count;
+        p
+    }
+}
+
+proptest! {
+    /// Encoding and decoding a pod is the identity.
+    #[test]
+    fn pod_wire_roundtrip(pod in arb_pod()) {
+        let bytes = pod.encode();
+        let back = Pod::decode(&bytes).unwrap();
+        prop_assert_eq!(back, pod);
+    }
+
+    /// Decoding corrupted bytes never panics — it either produces some
+    /// object or a clean error (the "undecryptable" path).
+    #[test]
+    fn corrupted_bytes_never_panic(pod in arb_pod(), idx in 0usize..512, bit in 0u8..8) {
+        let bytes = pod.encode();
+        let corrupted = protowire::corrupt::flip_bit(&bytes, idx % bytes.len().max(1), bit);
+        let _ = Object::decode(Kind::Pod, &corrupted);
+    }
+
+    /// Every path reported by reflection can be read back and rewritten
+    /// with its own value (the campaign depends on this agreement).
+    #[test]
+    fn reflection_paths_are_consistent(pod in arb_pod()) {
+        let obj = Object::Pod(pod);
+        for (path, value) in obj.field_list() {
+            prop_assert_eq!(obj.get_field(&path), Some(value.clone()), "path {}", path);
+            let mut copy = obj.clone();
+            prop_assert!(copy.set_field(&path, value), "set failed for {}", path);
+        }
+    }
+
+    /// A set-then-get through reflection returns the written value.
+    #[test]
+    fn reflection_set_get_agrees(pod in arb_pod(), replicas in 0i64..100) {
+        let mut rs = ReplicaSet::default();
+        rs.metadata = pod.metadata.clone();
+        rs.spec.replicas = 1;
+        let mut obj = Object::ReplicaSet(rs);
+        prop_assert!(obj.set_field("spec.replicas", Value::Int(replicas)));
+        prop_assert_eq!(obj.get_field("spec.replicas"), Some(Value::Int(replicas)));
+        // And the mutation survives a wire roundtrip.
+        let back = Object::decode(Kind::ReplicaSet, &obj.encode()).unwrap();
+        prop_assert_eq!(back.get_field("spec.replicas"), Some(Value::Int(replicas)));
+    }
+
+    /// Store revisions are strictly monotone and reads observe the last
+    /// committed write.
+    #[test]
+    fn etcd_revision_monotone(writes in proptest::collection::vec(("[a-f]{1,3}", proptest::collection::vec(any::<u8>(), 0..32)), 1..40)) {
+        let mut etcd = etcd_sim::Etcd::new(1, 1 << 20);
+        let mut last_rev = 0;
+        let mut shadow: std::collections::HashMap<String, Vec<u8>> = Default::default();
+        for (k, v) in writes {
+            let key = format!("/registry/pods/default/{k}");
+            let rev = etcd.put(&key, v.clone()).unwrap();
+            prop_assert!(rev > last_rev);
+            last_rev = rev;
+            shadow.insert(key, v);
+        }
+        for (k, v) in &shadow {
+            prop_assert_eq!(etcd.get(k).map(|(b, _)| b), Some(v.clone()));
+        }
+    }
+
+    /// Quorum reads mask any single-replica at-rest corruption.
+    #[test]
+    fn quorum_masks_single_corruption(payload in proptest::collection::vec(any::<u8>(), 1..64), garbage in proptest::collection::vec(any::<u8>(), 1..64), replica in 0usize..3) {
+        prop_assume!(payload != garbage);
+        let mut etcd = etcd_sim::Etcd::new(3, 1 << 20);
+        etcd.put("/k", payload.clone()).unwrap();
+        etcd.corrupt_at_rest(replica, "/k", garbage);
+        prop_assert_eq!(etcd.get("/k").map(|(b, _)| b), Some(payload));
+    }
+
+    /// The work queue never loses an enqueued key.
+    #[test]
+    fn workqueue_is_lossless(keys in proptest::collection::vec("[a-d]{1,2}", 1..30)) {
+        let mut q = k8s_apiserver::workqueue::WorkQueue::new();
+        let unique: std::collections::BTreeSet<String> = keys.iter().cloned().collect();
+        for k in &keys {
+            q.enqueue(k.clone(), 0);
+        }
+        let mut popped = std::collections::BTreeSet::new();
+        while let Some(k) = q.pop_ready(0) {
+            popped.insert(k);
+        }
+        prop_assert_eq!(popped, unique);
+    }
+}

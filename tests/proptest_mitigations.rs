@@ -1,0 +1,177 @@
+//! Property-based invariants on the mitigation layer: the CRC-32
+//! redundancy code, the critical-field catalog, the sealer, and the
+//! autoscaler arithmetic.
+
+use k8s_model::{
+    Container, HorizontalPodAutoscaler, LabelSelector, Object, ObjectMeta, ReplicaSet,
+    INTEGRITY_ANNOTATION,
+};
+use k8s_apiserver::IntegrityChecker;
+use mutiny_mitigations::catalog::{critical_paths, is_critical_path};
+use mutiny_mitigations::checksum::{crc32, CriticalFieldSealer};
+use proptest::prelude::*;
+use protowire::reflect::{Reflect, Value};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}[a-z0-9]".prop_map(|s| s)
+}
+
+prop_compose! {
+    fn arb_rs()(
+        name in arb_name(),
+        ns in arb_name(),
+        label in arb_name(),
+        replicas in 0i64..64,
+        image in "[a-z]{1,8}:[0-9]{1,2}",
+    ) -> ReplicaSet {
+        let mut rs = ReplicaSet::default();
+        rs.metadata = ObjectMeta::named(&ns, &name);
+        rs.metadata.uid = format!("uid-{name}");
+        rs.spec.replicas = replicas;
+        rs.spec.selector = LabelSelector::eq("app", &label);
+        rs.spec.template.metadata.labels.insert("app".into(), label);
+        rs.spec.template.spec.containers.push(Container {
+            name: "c".into(),
+            image,
+            cpu_milli: 100,
+            memory_mb: 64,
+            ..Default::default()
+        });
+        rs
+    }
+}
+
+proptest! {
+    /// CRC-32 detects every single-bit error (guaranteed by the
+    /// polynomial; this pins our implementation to that guarantee).
+    #[test]
+    fn crc32_detects_any_single_bit_flip(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        byte in 0usize..128,
+        bit in 0u8..8,
+    ) {
+        let byte = byte % payload.len();
+        let mut corrupted = payload.clone();
+        corrupted[byte] ^= 1 << bit;
+        prop_assert_ne!(crc32(&payload), crc32(&corrupted));
+    }
+
+    /// CRC-32 is a pure function of the payload.
+    #[test]
+    fn crc32_is_deterministic(payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(crc32(&payload), crc32(&payload));
+    }
+
+    /// Seal followed by verify always succeeds, for any object shape.
+    #[test]
+    fn seal_verify_roundtrip(rs in arb_rs()) {
+        let sealer = CriticalFieldSealer::default();
+        let mut obj = Object::ReplicaSet(rs);
+        sealer.seal(&mut obj);
+        prop_assert!(sealer.verify(&obj));
+    }
+
+    /// Any mutation of any critical field after sealing is detected.
+    #[test]
+    fn sealed_critical_mutation_always_detected(rs in arb_rs(), pick in any::<prop::sample::Index>()) {
+        let sealer = CriticalFieldSealer::default();
+        let mut obj = Object::ReplicaSet(rs);
+        sealer.seal(&mut obj);
+        let criticals = critical_paths(&obj);
+        prop_assume!(!criticals.is_empty());
+        let (path, value) = &criticals[pick.index(criticals.len())];
+        let mutated = match value {
+            Value::Int(v) => Value::Int(v ^ 1),
+            Value::Str(s) => {
+                let mut t = s.clone();
+                t.push('x');
+                Value::Str(t)
+            }
+            Value::Bool(b) => Value::Bool(!b),
+        };
+        prop_assert!(obj.set_field(path, mutated), "set failed for {}", path);
+        prop_assert!(!sealer.verify(&obj), "mutation of {} escaped the code", path);
+    }
+
+    /// Status mutations (non-critical) never trip the code: controllers
+    /// must be able to write status without resealing races.
+    #[test]
+    fn sealed_status_mutation_passes(rs in arb_rs(), ready in 0i64..64) {
+        let sealer = CriticalFieldSealer::default();
+        let mut obj = Object::ReplicaSet(rs);
+        sealer.seal(&mut obj);
+        prop_assert!(obj.set_field("status.readyReplicas", Value::Int(ready)));
+        prop_assert!(sealer.verify(&obj));
+    }
+
+    /// The catalog is stable (sorted, duplicate-free) and is a strict
+    /// subset of the reflected field list.
+    #[test]
+    fn catalog_is_sorted_subset(rs in arb_rs()) {
+        let obj = Object::ReplicaSet(rs);
+        let all: std::collections::BTreeSet<String> =
+            obj.field_list().into_iter().map(|(p, _)| p).collect();
+        let crit = critical_paths(&obj);
+        for w in crit.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "not strictly sorted: {} vs {}", w[0].0, w[1].0);
+        }
+        for (p, _) in &crit {
+            prop_assert!(all.contains(p), "{} not a reflected field", p);
+        }
+        prop_assert!(crit.len() < all.len(), "catalog must be a strict subset");
+    }
+
+    /// Dependency-tracking paths are always in the protected subset, and
+    /// the integrity annotation itself never is (sealing must not change
+    /// its own input).
+    #[test]
+    fn dependency_paths_always_protected(key in arb_name()) {
+        let label_path = format!("metadata.labels['{key}']");
+        prop_assert!(is_critical_path(&label_path));
+        let selector_path = format!("spec.selector.matchLabels['{key}']");
+        prop_assert!(is_critical_path(&selector_path));
+        prop_assert!(is_critical_path("metadata.ownerReferences[0].uid"));
+        let crc_path = format!("metadata.annotations['{INTEGRITY_ANNOTATION}']");
+        prop_assert!(!is_critical_path(&crc_path));
+    }
+
+    /// The autoscaler target is always inside the (sanitized) bounds and
+    /// monotone in the observed load — for *any* spec, including
+    /// corrupted ones.
+    #[test]
+    fn hpa_desired_is_bounded_and_monotone(
+        min in -4i64..20,
+        max in -4i64..40,
+        target in -4i64..50,
+        load_a in -10i64..2_000,
+        load_b in -10i64..2_000,
+    ) {
+        let mut h = HorizontalPodAutoscaler::default();
+        h.spec.min_replicas = min;
+        h.spec.max_replicas = max;
+        h.spec.target_load = target;
+        let lo = min.max(1);
+        let hi = max.max(lo);
+        let a = h.desired_for(load_a);
+        prop_assert!(a >= lo && a <= hi, "{a} outside [{lo}, {hi}]");
+        let b = h.desired_for(load_b);
+        if load_a <= load_b {
+            prop_assert!(a <= b, "not monotone: f({load_a})={a} > f({load_b})={b}");
+        } else {
+            prop_assert!(b <= a, "not monotone: f({load_b})={b} > f({load_a})={a}");
+        }
+    }
+
+    /// Resealing commutes with legitimate mutation: mutate-then-seal
+    /// verifies, in any order of critical/non-critical edits.
+    #[test]
+    fn reseal_after_any_mutation_verifies(rs in arb_rs(), replicas in 0i64..64, label in arb_name()) {
+        let sealer = CriticalFieldSealer::default();
+        let mut obj = Object::ReplicaSet(rs);
+        sealer.seal(&mut obj);
+        obj.set_field("spec.replicas", Value::Int(replicas));
+        obj.set_field("spec.template.metadata.labels['app']", Value::Str(label));
+        sealer.seal(&mut obj);
+        prop_assert!(sealer.verify(&obj));
+    }
+}
