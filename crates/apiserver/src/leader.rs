@@ -66,7 +66,7 @@ impl LeaderElector {
     /// Runs one election round; returns leadership status.
     pub fn step(&mut self, api: &mut ApiServer, now: u64) -> bool {
         let current = api.get(Kind::Lease, &self.lease_namespace, &self.lease_name);
-        match current {
+        match current.as_deref() {
             None => {
                 // No lease: try to create it and take leadership.
                 let mut lease = Lease::default();
@@ -183,7 +183,8 @@ mod tests {
         assert!(a.step(&mut api, 0));
         // Corrupt renewTime to the far future and the holder to a ghost.
         let obj = api.get(Kind::Lease, "kube-system", "kcm-leader").unwrap();
-        if let Object::Lease(mut l) = obj {
+        if let Object::Lease(l) = &*obj {
+            let mut l = l.clone();
             l.spec.holder = "ghost".into();
             l.spec.renew_time = i64::MAX / 2;
             api.update(Channel::ApiToEtcd, Object::Lease(l)).unwrap();

@@ -18,7 +18,11 @@
 //!   status, the scheduler only the binding);
 //! * **watch cache** — reads are served from the decoded cache fed by the
 //!   watch stream, which is why at-rest etcd corruption propagates
-//!   differently from in-flight corruption (§V-C1);
+//!   differently from in-flight corruption (§V-C1). The cache hands out
+//!   shared `Rc<Object>` handles: `list`/`get`/watch delivery are
+//!   refcount bumps, and consumers clone an object only when they
+//!   actually mutate it — the decoded twin of the store's `Arc<[u8]>`
+//!   zero-copy values;
 //! * **undecryptable-resource deletion** — objects whose stored bytes no
 //!   longer decode are deleted to protect list operations (§II-D);
 //! * **audit log** — records per-request outcomes, the data behind the
@@ -76,7 +80,9 @@ impl std::fmt::Display for ApiError {
 
 impl std::error::Error for ApiError {}
 
-/// A decoded change notification served to watching components.
+/// A decoded change notification served to watching components. The
+/// object is shared (`Rc`): delivering an event to N watchers bumps a
+/// refcount N times instead of deep-cloning the decoded object.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResourceEvent {
     /// Monotone index in the apiserver's decoded event log.
@@ -86,7 +92,7 @@ pub struct ResourceEvent {
     /// Registry key of the changed object.
     pub key: String,
     /// New object state; `None` for deletions.
-    pub object: Option<Object>,
+    pub object: Option<Rc<Object>>,
 }
 
 /// Shared handle to the injection interceptor.
@@ -104,13 +110,15 @@ pub struct ApiServer {
     interceptor: InterceptorHandle,
     trace: TraceHandle,
     audit: AuditLog,
-    /// Decoded watch cache: key → (object, resourceVersion).
-    cache: HashMap<String, Object>,
+    /// Decoded watch cache. Objects are shared (`Rc`): list/get/watch
+    /// readers receive refcount bumps, never deep clones.
+    cache: HashMap<String, Rc<Object>>,
     /// Decoded event log served to watchers.
     events: std::collections::VecDeque<ResourceEvent>,
     first_event_index: u64,
-    /// Cursor into etcd's raw watch log.
-    etcd_cursor: u64,
+    /// Store revision up to which the raw watch log has been drained
+    /// (revision-indexed replay, like a real etcd watch).
+    etcd_seen_rev: u64,
     uid_counter: u64,
     now: u64,
     /// Validation toggle (ablation: what happens without the checks).
@@ -145,7 +153,7 @@ impl ApiServer {
     /// Creates an apiserver over `etcd`, wiring in the interceptor and the
     /// shared trace buffer.
     pub fn new(etcd: Etcd, interceptor: InterceptorHandle, trace: TraceHandle) -> ApiServer {
-        let etcd_cursor = etcd.event_head();
+        let etcd_seen_rev = etcd.revision();
         ApiServer {
             etcd,
             interceptor,
@@ -154,7 +162,7 @@ impl ApiServer {
             cache: HashMap::new(),
             events: std::collections::VecDeque::new(),
             first_event_index: 0,
-            etcd_cursor,
+            etcd_seen_rev,
             uid_counter: 0,
             now: 0,
             validation_enabled: true,
@@ -201,16 +209,16 @@ impl ApiServer {
     }
 
     /// Verifies a decoded object against the installed integrity checker
-    /// and applies the configured action on failure. Returns the object to
-    /// serve (`None` when it was discarded or withheld).
-    fn check_integrity(&mut self, key: &str, obj: Object) -> Option<Object> {
-        let Some(checker) = self.integrity.clone() else { return Some(obj) };
+    /// and applies the configured action on failure. Returns the (shared)
+    /// object to serve (`None` when it was discarded or withheld).
+    fn check_integrity(&mut self, key: &str, obj: Object) -> Option<Rc<Object>> {
+        let Some(checker) = self.integrity.clone() else { return Some(Rc::new(obj)) };
         if checker.verify(&obj) {
-            return Some(obj);
+            return Some(Rc::new(obj));
         }
         self.integrity_metrics.violations += 1;
         match checker.action() {
-            IntegrityAction::Observe => Some(obj),
+            IntegrityAction::Observe => Some(Rc::new(obj)),
             IntegrityAction::Discard => {
                 self.integrity_metrics.discarded += 1;
                 self.log(
@@ -403,9 +411,11 @@ impl ApiServer {
         } else if op == Op::Delete {
             let verdict = self.intercept(channel, kind, key, op, None);
             if verdict == WireVerdict::Drop {
-                return Ok(self.cache.get(key).cloned().unwrap_or_else(|| {
-                    Object::Namespace(k8s_model::Namespace::default())
-                }));
+                return Ok(self
+                    .cache
+                    .get(key)
+                    .map(|rc| (**rc).clone())
+                    .unwrap_or_else(|| Object::Namespace(k8s_model::Namespace::default())));
             }
         }
 
@@ -417,15 +427,17 @@ impl ApiServer {
                     return Err(ApiError::NotFound);
                 }
                 if channel != Channel::ApiToEtcd {
-                    if let Some(old) = &existing {
-                        self.review_policies(op, channel, &old.clone(), existing.as_ref())?;
+                    if let Some(old) = existing.clone() {
+                        self.review_policies(op, channel, &old, existing.as_deref())?;
                     }
                 }
                 self.etcd_delete(key)?;
                 self.log(TraceLevel::Info, format!("deleted {key} via {channel}"));
-                Ok(self.cache.get(key).cloned().unwrap_or_else(|| {
-                    Object::Namespace(k8s_model::Namespace::default())
-                }))
+                Ok(self
+                    .cache
+                    .get(key)
+                    .map(|rc| (**rc).clone())
+                    .unwrap_or_else(|| Object::Namespace(k8s_model::Namespace::default())))
             }
             Op::Create | Op::Update => {
                 let mut new_obj = incoming.expect("create/update carries an object");
@@ -471,12 +483,12 @@ impl ApiServer {
                 }
 
                 if channel != Channel::ApiToEtcd {
-                    self.review_policies(op, channel, &new_obj, existing.as_ref())?;
+                    self.review_policies(op, channel, &new_obj, existing.as_deref())?;
                 }
 
                 admission::admit(
                     &mut new_obj,
-                    existing.as_ref(),
+                    existing.as_deref(),
                     channel,
                     op,
                     self.now,
@@ -532,7 +544,9 @@ impl ApiServer {
         self.interceptor.borrow_mut().on_message(&ctx)
     }
 
-    fn etcd_put(&mut self, key: &str, bytes: Vec<u8>) -> Result<(), ApiError> {
+    /// Commits bytes to the store. The value becomes a shared `Arc<[u8]>`
+    /// inside etcd (one allocation for all replicas + the watch log).
+    fn etcd_put(&mut self, key: &str, bytes: impl Into<etcd_sim::Bytes>) -> Result<(), ApiError> {
         match self.etcd.put(key, bytes) {
             Ok(_) => Ok(()),
             Err(EtcdError::DiskFull) => {
@@ -552,8 +566,9 @@ impl ApiServer {
     }
 
     /// The freshest decoded object for a key: the watch cache, falling back
-    /// to a quorum read (cache-miss refresh).
-    fn current_object(&mut self, key: &str) -> Option<Object> {
+    /// to a quorum read (cache-miss refresh). The result is a shared
+    /// handle, not a deep clone.
+    fn current_object(&mut self, key: &str) -> Option<Rc<Object>> {
         self.track_read(key);
         if let Some(o) = self.cache.get(key) {
             return Some(o.clone());
@@ -584,11 +599,11 @@ impl ApiServer {
     /// deleting undecryptable objects as they are discovered.
     pub fn sync_cache(&mut self) {
         loop {
-            let (raw, next) = match self.etcd.events_since(self.etcd_cursor) {
+            let (raw, next) = match self.etcd.events_after_revision(self.etcd_seen_rev) {
                 Ok(pair) => pair,
                 Err(_) => {
                     // Compacted: rebuild the cache from a full range scan.
-                    self.etcd_cursor = self.etcd.event_head();
+                    self.etcd_seen_rev = self.etcd.revision();
                     self.rebuild_cache_from_store();
                     continue;
                 }
@@ -596,7 +611,7 @@ impl ApiServer {
             if raw.is_empty() {
                 return;
             }
-            self.etcd_cursor = next;
+            self.etcd_seen_rev = next;
             let mut undecodable: Vec<String> = Vec::new();
             for ev in raw {
                 let Some(kind) = kind_of_key(&ev.key) else { continue };
@@ -689,8 +704,9 @@ impl ApiServer {
         if cursor < self.first_event_index {
             return (Vec::new(), self.watch_head());
         }
-        let start = (cursor - self.first_event_index) as usize;
-        let out: Vec<ResourceEvent> = self.events.iter().skip(start).cloned().collect();
+        let start = ((cursor - self.first_event_index) as usize).min(self.events.len());
+        // Indexed tail view; cloning an event is an Rc bump per object.
+        let out: Vec<ResourceEvent> = self.events.range(start..).cloned().collect();
         if self.read_tracking.is_some() {
             for ev in &out {
                 let key = ev.key.clone();
@@ -700,8 +716,9 @@ impl ApiServer {
         (out, self.watch_head())
     }
 
-    /// Reads one object through the watch cache.
-    pub fn get(&mut self, kind: Kind, namespace: &str, name: &str) -> Option<Object> {
+    /// Reads one object through the watch cache (a shared handle — no
+    /// deep clone).
+    pub fn get(&mut self, kind: Kind, namespace: &str, name: &str) -> Option<Rc<Object>> {
         self.sync_cache();
         let key = registry_key(kind, namespace, name);
         self.current_object(&key)
@@ -709,11 +726,12 @@ impl ApiServer {
 
     /// Reads one object bypassing the cache (quorum read from etcd) — used
     /// by the at-rest-corruption ablation and by component restarts.
-    pub fn get_fresh(&mut self, kind: Kind, namespace: &str, name: &str) -> Option<Object> {
+    pub fn get_fresh(&mut self, kind: Kind, namespace: &str, name: &str) -> Option<Rc<Object>> {
         let key = registry_key(kind, namespace, name);
         let (bytes, _) = self.etcd.get(&key)?;
         match Object::decode(kind, &bytes) {
             Ok(o) => {
+                let o = Rc::new(o);
                 self.cache.insert(key, o.clone());
                 Some(o)
             }
@@ -725,8 +743,9 @@ impl ApiServer {
     }
 
     /// Lists objects of `kind`, optionally scoped to a namespace, in key
-    /// order (served from the watch cache).
-    pub fn list(&mut self, kind: Kind, namespace: Option<&str>) -> Vec<Object> {
+    /// order (served from the watch cache). Each element is a shared
+    /// handle: listing N objects is N refcount bumps, not N deep clones.
+    pub fn list(&mut self, kind: Kind, namespace: Option<&str>) -> Vec<Rc<Object>> {
         self.sync_cache();
         let prefix = registry_prefix(kind, namespace);
         let mut keys: Vec<String> =
@@ -765,7 +784,7 @@ impl ApiServer {
     /// corruption finally gets picked up (§V-C1).
     pub fn restart(&mut self) {
         self.log(TraceLevel::Warn, "apiserver restarting: rebuilding watch cache".to_owned());
-        self.etcd_cursor = self.etcd.event_head();
+        self.etcd_seen_rev = self.etcd.revision();
         self.rebuild_cache_from_store();
     }
 
@@ -773,6 +792,7 @@ impl ApiServer {
     pub fn cached_objects(&self) -> usize {
         self.cache.len()
     }
+
 }
 
 /// Derives the kind from a registry key.

@@ -40,7 +40,7 @@ pub struct PolicyCtx<'a> {
     /// Read-only view of the apiserver's watch cache (registry key →
     /// object), for policies that need cluster-wide context such as
     /// namespace pod counts.
-    pub view: &'a HashMap<String, Object>,
+    pub view: &'a HashMap<String, std::rc::Rc<Object>>,
 }
 
 /// A validating admission policy: reviews requests after the built-in

@@ -48,5 +48,5 @@ fn main() {
         String::from_utf8_lossy(&quorum),
         String::from_utf8_lossy(&direct)
     );
-    assert_eq!(quorum, b"healthy");
+    assert_eq!(&quorum[..], b"healthy");
 }

@@ -1,0 +1,102 @@
+//! Campaign-throughput bench: the perf trajectory of the experiment hot
+//! path. Emits `BENCH_campaign.json` at the workspace root so successive
+//! PRs can compare experiments/sec, per-experiment latency percentiles,
+//! and the work-stealing-vs-static-chunk executor gap.
+//!
+//! Knobs (see the `mutiny_bench` crate docs): `MUTINY_SCALE` (default
+//! 0.05 here — the acceptance scale), `MUTINY_GOLDEN_RUNS` (default 12
+//! here; baselines are bench setup, not the measured quantity),
+//! `MUTINY_SEED`, `MUTINY_THREADS`.
+
+use k8s_cluster::ClusterConfig;
+use mutiny_core::campaign::{run_campaign_static_chunks, run_campaign_with_threads};
+use mutiny_core::exec;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    // This bench defaults to the acceptance scale instead of the full
+    // campaign, and to cheap baselines (they are setup, not measurement).
+    if std::env::var("MUTINY_SCALE").is_err() {
+        std::env::set_var("MUTINY_SCALE", "0.05");
+    }
+    if std::env::var("MUTINY_GOLDEN_RUNS").is_err() {
+        std::env::set_var("MUTINY_GOLDEN_RUNS", "12");
+    }
+
+    let cluster = ClusterConfig::default();
+    let seed = mutiny_bench::seed();
+    let scale = mutiny_bench::scale();
+    let plan = mutiny_bench::plan();
+    let threads = exec::default_threads(plan.len());
+    eprintln!(
+        "[campaign-throughput] {} experiments (scale {scale}), {threads} worker thread(s)",
+        plan.len()
+    );
+
+    eprintln!(
+        "[campaign-throughput] building baselines ({} golden runs)…",
+        mutiny_bench::golden_runs()
+    );
+    let t = Instant::now();
+    let baselines = mutiny_bench::baselines();
+    let baseline_s = t.elapsed().as_secs_f64();
+
+    // Measured quantity 1: campaign wall-clock on the work-stealing
+    // executor (the production path).
+    let t = Instant::now();
+    let stealing = run_campaign_with_threads(&cluster, &plan, &baselines, seed, threads);
+    let stealing_s = t.elapsed().as_secs_f64();
+
+    // Measured quantity 2: the same plan on the seed's static-chunk
+    // executor, to keep the scheduling gain visible release over release.
+    let t = Instant::now();
+    let chunked = run_campaign_static_chunks(&cluster, &plan, &baselines, seed, threads);
+    let static_s = t.elapsed().as_secs_f64();
+    assert_eq!(stealing.rows, chunked.rows, "executors must agree exactly");
+
+    // Measured quantity 3: per-experiment latency distribution, timed
+    // serially so one experiment's time is not polluted by siblings.
+    let sample_every = (plan.len() / 48).max(1);
+    let sample: Vec<_> = plan.iter().cloned().step_by(sample_every).collect();
+    let mut per_ms: Vec<f64> = Vec::with_capacity(sample.len());
+    for planned in &sample {
+        let t = Instant::now();
+        let one = [planned.clone()];
+        let _ = run_campaign_with_threads(&cluster, &one, &baselines, seed, 1);
+        per_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    per_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+    let experiments_per_sec = plan.len() as f64 / stealing_s.max(1e-9);
+    let speedup = static_s / stealing_s.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
+        plan.len(),
+        mutiny_bench::golden_runs(),
+        baseline_s,
+        stealing_s,
+        static_s,
+        experiments_per_sec,
+        percentile(&per_ms, 0.50),
+        percentile(&per_ms, 0.95),
+        speedup,
+    );
+
+    let out_path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_campaign.json");
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_campaign.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_campaign.json");
+    println!("{json}");
+    eprintln!("[campaign-throughput] wrote {}", out_path.display());
+}

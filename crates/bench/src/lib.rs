@@ -8,10 +8,21 @@
 //! Environment knobs:
 //!
 //! * `MUTINY_SCALE` — fraction of the generated plan to execute
-//!   (default 1.0 = the full campaign, ~4–5k experiments);
+//!   (default 1.0 = the full campaign, ~4–5k experiments; the
+//!   `campaign_throughput` bench defaults to 0.05 and `scripts/verify.sh`
+//!   smokes at 0.02);
 //! * `MUTINY_GOLDEN_RUNS` — golden runs per workload baseline
 //!   (default 100, as in the paper);
-//! * `MUTINY_SEED` — campaign base seed (default 2024).
+//! * `MUTINY_SEED` — campaign base seed (default 2024);
+//! * `MUTINY_THREADS` — worker count for the work-stealing executor
+//!   (default: available parallelism). Results are identical for any
+//!   value — per-experiment seeds derive from the plan index — so this
+//!   only trades wall-clock for cores.
+//!
+//! The `campaign_throughput` bench writes `BENCH_campaign.json` at the
+//! workspace root (experiments/sec, p50/p95 per-experiment time, and the
+//! work-stealing vs static-chunk executor ratio) so every PR leaves a
+//! perf-trajectory data point.
 
 use mutiny_core::campaign::{
     generate_plan, record_fields, run_campaign, CampaignResults, CampaignRow, PlannedExperiment,

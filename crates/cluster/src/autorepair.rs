@@ -217,13 +217,15 @@ mod tests {
         let mut r = NodeRepairer::new(NodeRepairConfig::default());
         r.step(&mut a, 0);
         // The node recovers before the grace period elapses …
-        if let Some(Object::Node(mut n)) = a.get(Kind::Node, "", "w1") {
+        if let Some(Object::Node(n)) = a.get(Kind::Node, "", "w1").as_deref() {
+            let mut n = n.clone();
             n.status.ready = true;
             a.update(Channel::KubeletToApi, Object::Node(n)).unwrap();
         }
         r.step(&mut a, 20_000);
         // … then fails again: the clock must restart from here.
-        if let Some(Object::Node(mut n)) = a.get(Kind::Node, "", "w1") {
+        if let Some(Object::Node(n)) = a.get(Kind::Node, "", "w1").as_deref() {
+            let mut n = n.clone();
             n.status.ready = false;
             a.update(Channel::KubeletToApi, Object::Node(n)).unwrap();
         }

@@ -314,7 +314,8 @@ impl World {
         if self.cp_tainted {
             return;
         }
-        if let Some(Object::Node(mut n)) = self.api.get(Kind::Node, "", "cp-1") {
+        if let Some(Object::Node(n)) = self.api.get(Kind::Node, "", "cp-1").as_deref() {
+            let mut n = n.clone();
             n.add_taint("node-role.kubernetes.io/control-plane", TAINT_NO_SCHEDULE);
             if self.api.update(Channel::UserToApi, Object::Node(n)).is_ok() {
                 self.cp_tainted = true;
@@ -419,7 +420,7 @@ impl World {
             if ev.kind != Kind::Pod || !ev.key.starts_with("/registry/pods/default/web-") {
                 continue;
             }
-            match &ev.object {
+            match ev.object.as_deref() {
                 Some(Object::Pod(pod)) => {
                     let created_at = *self
                         .stats

@@ -144,7 +144,8 @@ pub(crate) fn execute_op(
         }
         UserOp::Scale { index, replicas } => {
             let name = format!("web-{index}");
-            if let Some(Object::Deployment(mut d)) = api.get(Kind::Deployment, "default", &name) {
+            if let Some(Object::Deployment(d)) = api.get(Kind::Deployment, "default", &name).as_deref() {
+                let mut d = d.clone();
                 d.spec.replicas = *replicas;
                 let _ = api.update(Channel::UserToApi, Object::Deployment(d));
             } else {
@@ -155,7 +156,8 @@ pub(crate) fn execute_op(
             }
         }
         UserOp::TaintNode { node } => {
-            if let Some(Object::Node(mut n)) = api.get(Kind::Node, "", node) {
+            if let Some(Object::Node(n)) = api.get(Kind::Node, "", node).as_deref() {
+                let mut n = n.clone();
                 n.add_taint("simulated-failure", k8s_model::node::TAINT_NO_EXECUTE);
                 let _ = api.update(Channel::UserToApi, Object::Node(n));
             }

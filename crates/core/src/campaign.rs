@@ -297,7 +297,7 @@ pub fn generate_plan(
 // ---------------------------------------------------------------------------
 
 /// One finished campaign experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignRow {
     /// Workload of the experiment.
     pub workload: Workload,
@@ -364,72 +364,92 @@ impl CampaignResults {
     }
 }
 
-/// Executes a plan in parallel; `baseline` must match the plan's workload
-/// distribution (one baseline per workload).
+/// Runs plan entry `index`: derives the experiment seed from the plan
+/// index (so results do not depend on which worker runs it) and produces
+/// the finished row.
+fn run_planned(
+    cluster: &ClusterConfig,
+    planned: &PlannedExperiment,
+    baselines: &std::collections::HashMap<Workload, Baseline>,
+    base_seed: u64,
+    index: usize,
+) -> CampaignRow {
+    let seed = base_seed.wrapping_add(index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let cfg = ExperimentConfig {
+        cluster: ClusterConfig { seed, ..cluster.clone() },
+        workload: planned.workload,
+        injection: Some(planned.spec.clone()),
+    };
+    let baseline =
+        baselines.get(&planned.workload).expect("baseline for every planned workload");
+    let outcome = run_experiment_with_baseline(&cfg, baseline);
+    CampaignRow {
+        workload: planned.workload,
+        fault: planned.spec.fault_kind(),
+        path: match &planned.spec.point {
+            InjectionPoint::Field { path, .. } => Some(path.clone()),
+            _ => None,
+        },
+        spec: planned.spec.clone(),
+        of: outcome.orchestrator_failure,
+        cf: outcome.client_failure,
+        z: outcome.z_latency,
+        fired: outcome.injected.is_some(),
+        activated: outcome.activated,
+        user_error: outcome.user_saw_error,
+    }
+}
+
+/// Executes a plan on the work-stealing executor; `baselines` must match
+/// the plan's workload distribution (one baseline per workload).
+///
+/// Per-experiment seeds derive from the plan index, so the result rows are
+/// byte-identical to a serial run for any worker count (see
+/// [`run_campaign_with_threads`] and the determinism tests).
 pub fn run_campaign(
     cluster: &ClusterConfig,
     plan: &[PlannedExperiment],
     baselines: &std::collections::HashMap<Workload, Baseline>,
     base_seed: u64,
 ) -> CampaignResults {
-    let threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(plan.len().max(1));
-    let chunk = plan.len().div_ceil(threads.max(1)).max(1);
-    let mut rows: Vec<Option<CampaignRow>> = (0..plan.len()).map(|_| None).collect();
+    run_campaign_with_threads(
+        cluster,
+        plan,
+        baselines,
+        base_seed,
+        crate::exec::default_threads(plan.len()),
+    )
+}
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = (lo + chunk).min(plan.len());
-            if lo >= hi {
-                break;
-            }
-            let cluster = cluster.clone();
-            let slice = &plan[lo..hi];
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::with_capacity(slice.len());
-                for (i, planned) in slice.iter().enumerate() {
-                    let seed = base_seed
-                        .wrapping_add((lo + i) as u64)
-                        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                    let cfg = ExperimentConfig {
-                        cluster: ClusterConfig { seed, ..cluster.clone() },
-                        workload: planned.workload,
-                        injection: Some(planned.spec.clone()),
-                    };
-                    let baseline = baselines
-                        .get(&planned.workload)
-                        .expect("baseline for every planned workload");
-                    let outcome = run_experiment_with_baseline(&cfg, baseline);
-                    out.push(CampaignRow {
-                        workload: planned.workload,
-                        fault: planned.spec.fault_kind(),
-                        path: match &planned.spec.point {
-                            InjectionPoint::Field { path, .. } => Some(path.clone()),
-                            _ => None,
-                        },
-                        spec: planned.spec.clone(),
-                        of: outcome.orchestrator_failure,
-                        cf: outcome.client_failure,
-                        z: outcome.z_latency,
-                        fired: outcome.injected.is_some(),
-                        activated: outcome.activated,
-                        user_error: outcome.user_saw_error,
-                    });
-                }
-                (lo, out)
-            }));
-        }
-        for h in handles {
-            let (lo, out) = h.join().expect("campaign thread panicked");
-            for (i, row) in out.into_iter().enumerate() {
-                rows[lo + i] = Some(row);
-            }
-        }
+/// [`run_campaign`] with an explicit worker count (the determinism tests
+/// and the throughput bench pin it).
+pub fn run_campaign_with_threads(
+    cluster: &ClusterConfig,
+    plan: &[PlannedExperiment],
+    baselines: &std::collections::HashMap<Workload, Baseline>,
+    base_seed: u64,
+    threads: usize,
+) -> CampaignResults {
+    let rows = crate::exec::run_indexed(plan.len(), threads, |i| {
+        run_planned(cluster, &plan[i], baselines, base_seed, i)
     });
+    CampaignResults { rows }
+}
 
-    CampaignResults { rows: rows.into_iter().map(|r| r.expect("row complete")).collect() }
+/// The seed's static-chunk executor over the same per-index experiment
+/// function. Kept so the throughput bench can quantify the work-stealing
+/// gain; produces identical rows, only slower under load imbalance.
+pub fn run_campaign_static_chunks(
+    cluster: &ClusterConfig,
+    plan: &[PlannedExperiment],
+    baselines: &std::collections::HashMap<Workload, Baseline>,
+    base_seed: u64,
+    threads: usize,
+) -> CampaignResults {
+    let rows = crate::exec::run_chunked(plan.len(), threads, |i| {
+        run_planned(cluster, &plan[i], baselines, base_seed, i)
+    });
+    CampaignResults { rows }
 }
 
 #[cfg(test)]

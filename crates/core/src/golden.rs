@@ -49,16 +49,35 @@ pub fn run_golden(cluster: &ClusterConfig, workload: Workload, seed: u64) -> Run
 
 /// Builds the baseline for a workload from `runs` golden runs.
 ///
-/// Runs execute in parallel across OS threads; results are deterministic
-/// for a given `(cluster, workload, runs, base_seed)`.
+/// Runs execute on the work-stealing executor; results are deterministic
+/// for a given `(cluster, workload, runs, base_seed)` regardless of
+/// worker count.
 pub fn build_baseline(
     cluster: &ClusterConfig,
     workload: Workload,
     runs: usize,
     base_seed: u64,
 ) -> Baseline {
+    build_baseline_with_threads(
+        cluster,
+        workload,
+        runs,
+        base_seed,
+        crate::exec::default_threads(runs),
+    )
+}
+
+/// [`build_baseline`] with an explicit worker count (pinned by the
+/// determinism tests and the throughput bench).
+pub fn build_baseline_with_threads(
+    cluster: &ClusterConfig,
+    workload: Workload,
+    runs: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Baseline {
     let runs = runs.max(3);
-    let stats = parallel_golden(cluster, workload, runs, base_seed);
+    let stats = parallel_golden(cluster, workload, runs, base_seed, threads);
 
     let series: Vec<Vec<f64>> = stats.iter().map(RunStats::response_series).collect();
     let avg_response = average_series(&series);
@@ -129,34 +148,14 @@ fn parallel_golden(
     workload: Workload,
     runs: usize,
     base_seed: u64,
+    threads: usize,
 ) -> Vec<RunStats> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(runs);
-    let mut out: Vec<Option<RunStats>> = (0..runs).map(|_| None).collect();
-    let chunk = runs.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = (lo + chunk).min(runs);
-            if lo >= hi {
-                break;
-            }
-            let cluster = cluster.clone();
-            handles.push(scope.spawn(move || {
-                (lo..hi)
-                    .map(|i| run_golden(&cluster, workload, base_seed + i as u64))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        let mut idx = 0usize;
-        for h in handles {
-            for st in h.join().expect("golden run thread panicked") {
-                out[idx] = Some(st);
-                idx += 1;
-            }
-        }
-    });
-    out.into_iter().map(|o| o.expect("all golden runs complete")).collect()
+    // Golden runs ride the same work-stealing executor as the campaign:
+    // per-run seeds derive from the run index, so the baseline is
+    // identical for any worker count.
+    crate::exec::run_indexed(runs, threads, |i| {
+        run_golden(cluster, workload, base_seed + i as u64)
+    })
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 //!   activation analysis;
 //! * [`classify`] — the two-level failure model (OF: No/Tim/LeR/MoR/Net/
 //!   Sta/Out; CF: NSI/HRT/IA/SU) with golden-run z-score machinery;
+//! * [`exec`] — the deterministic work-stealing executor the campaign,
+//!   the golden runs and the propagation study all run on;
 //! * [`golden`] — golden runs and baselines;
 //! * [`critical`] — critical-field analysis (F2) and the
 //!   semantics-specific data-set values;
@@ -41,6 +43,7 @@ pub mod campaign;
 pub mod classify;
 pub mod coverage;
 pub mod critical;
+pub mod exec;
 pub mod ffda;
 pub mod findings;
 pub mod golden;

@@ -53,93 +53,75 @@ pub fn propagation_plan(fields: &[RecordedField], channel: Channel) -> Vec<Injec
         .collect()
 }
 
-/// Runs the propagation experiments for one channel × workload.
+/// Runs the propagation experiments for one channel × workload on the
+/// work-stealing executor (per-spec seeds derive from the spec index, so
+/// the cell totals are identical for any worker count).
 pub fn run_propagation(
     cluster: &ClusterConfig,
     workload: Workload,
     specs: &[InjectionSpec],
     base_seed: u64,
 ) -> PropagationCell {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = specs.len().div_ceil(threads.max(1)).max(1);
-    let mut cells: Vec<PropagationCell> = Vec::new();
+    let threads = crate::exec::default_threads(specs.len());
+    let cells = crate::exec::run_indexed(specs.len(), threads, |i| {
+        let spec = &specs[i];
+        let mut cell = PropagationCell { injections: 1, ..Default::default() };
+        let seed = base_seed.wrapping_add(i as u64).wrapping_mul(0x9e37);
+        let cfg = ExperimentConfig {
+            cluster: ClusterConfig { seed, ..cluster.clone() },
+            workload,
+            injection: Some(spec.clone()),
+        };
+        let (mut world, record) = run_world(&cfg);
+        let Some(record) = record else { return cell };
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = (lo + chunk).min(specs.len());
-            if lo >= hi {
-                break;
-            }
-            let cluster = cluster.clone();
-            let slice = &specs[lo..hi];
-            handles.push(scope.spawn(move || {
-                let mut cell = PropagationCell { injections: slice.len(), ..Default::default() };
-                for (i, spec) in slice.iter().enumerate() {
-                    let seed = base_seed.wrapping_add((lo + i) as u64).wrapping_mul(0x9e37);
-                    let cfg = ExperimentConfig {
-                        cluster: ClusterConfig { seed, ..cluster.clone() },
-                        workload,
-                        injection: Some(spec.clone()),
-                    };
-                    let (mut world, record) = run_world(&cfg);
-                    let Some(record) = record else { continue };
+        // Err: the apiserver rejected something on this channel at or
+        // after the injection.
+        let errored = world.api.audit().records().iter().any(|r| {
+            r.channel == spec.channel && r.at >= record.at && r.result.is_err()
+        });
+        if errored {
+            cell.errors += 1;
+        }
 
-                    // Err: the apiserver rejected something on this channel
-                    // at or after the injection.
-                    let errored = world.api.audit().records().iter().any(|r| {
-                        r.channel == spec.channel && r.at >= record.at && r.result.is_err()
-                    });
-                    if errored {
-                        cell.errors += 1;
-                    }
-
-                    // Prop: the corrupted value reached the store. Checked
-                    // against the store's write history, because recovery
-                    // paths (e.g. the Deployment controller resetting a
-                    // corrupted replica count) may overwrite it before the
-                    // run ends.
-                    if let (InjectionPoint::Field { path, .. }, Some(after)) =
-                        (&spec.point, &record.after)
-                    {
-                        let kind = k8s_apiserver::kind_of_key(&record.key);
-                        let in_history = world
-                            .api
-                            .etcd()
-                            .events_since(0)
-                            .ok()
-                            .map(|(events, _)| {
-                                events.iter().any(|ev| {
-                                    ev.key == record.key
-                                        && ev.value.as_ref().is_some_and(|bytes| {
-                                            kind.and_then(|k| {
-                                                k8s_model::Object::decode(k, bytes).ok()
-                                            })
-                                            .and_then(|o| o.get_field(path))
-                                            .as_ref()
-                                                == Some(after)
-                                        })
+        // Prop: the corrupted value reached the store. Checked against the
+        // store's write history, because recovery paths (e.g. the
+        // Deployment controller resetting a corrupted replica count) may
+        // overwrite it before the run ends.
+        if let (InjectionPoint::Field { path, .. }, Some(after)) =
+            (&spec.point, &record.after)
+        {
+            let kind = k8s_apiserver::kind_of_key(&record.key);
+            let in_history = world
+                .api
+                .etcd()
+                .events_since(0)
+                .ok()
+                .map(|(events, _)| {
+                    events.iter().any(|ev| {
+                        ev.key == record.key
+                            && ev.value.as_ref().is_some_and(|bytes| {
+                                kind.and_then(|k| {
+                                    k8s_model::Object::decode(k, bytes).ok()
                                 })
+                                .and_then(|o| o.get_field(path))
+                                .as_ref()
+                                    == Some(after)
                             })
-                            .unwrap_or(false);
-                        let stored_now = kind
-                            .and_then(|k| {
-                                let (ns, name) = split_key(&record.key)?;
-                                world.api.get_fresh(k, &ns, &name)
-                            })
-                            .and_then(|obj| obj.get_field(path));
-                        if in_history || stored_now.as_ref() == Some(after) {
-                            cell.propagated += 1;
-                        }
-                    }
-                }
-                cell
-            }));
+                    })
+                })
+                .unwrap_or(false);
+            let stored_now = kind
+                .and_then(|k| {
+                    let (ns, name) = split_key(&record.key)?;
+                    world.api.get_fresh(k, &ns, &name)
+                })
+                .and_then(|obj| obj.get_field(path));
+            if in_history || stored_now.as_ref() == Some(after) {
+                cell.propagated += 1;
+            }
         }
-        for h in handles {
-            cells.push(h.join().expect("propagation thread panicked"));
-        }
+        cell
     });
 
     let mut total = PropagationCell::default();

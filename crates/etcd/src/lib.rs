@@ -17,19 +17,29 @@
 //!   fills the control-plane disk and stalls the store (the terminal state
 //!   of the paper's uncontrolled-replication example).
 //!
+//! Values are stored as [`Bytes`] (`Arc<[u8]>`): committing a write to N
+//! replicas is one allocation plus N reference-count bumps, and `get`,
+//! `range` and watch replay hand out refcounted views instead of copying
+//! payloads — the store is zero-copy on the campaign's hot path.
+//!
 //! ```
 //! use etcd_sim::Etcd;
 //!
 //! let mut etcd = Etcd::new(1, 64 * 1024);
 //! let rev = etcd.put("/registry/pods/default/web-0", b"pod-bytes".to_vec()).unwrap();
 //! let (bytes, mod_rev) = etcd.get("/registry/pods/default/web-0").unwrap();
-//! assert_eq!(bytes, b"pod-bytes");
+//! assert_eq!(&bytes[..], b"pod-bytes");
 //! assert_eq!(mod_rev, rev);
 //! ```
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
+
+/// A stored value: immutable, refcounted, shared between replicas, the
+/// watch log, and readers without copying.
+pub type Bytes = Arc<[u8]>;
 
 /// Errors returned by store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,7 +63,8 @@ impl fmt::Display for EtcdError {
 
 impl std::error::Error for EtcdError {}
 
-/// One change in the watch stream: `value: None` is a delete.
+/// One change in the watch stream: `value: None` is a delete. Cloning an
+/// event bumps the payload's refcount instead of copying it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatchEvent {
     /// Store revision at which the change committed.
@@ -61,12 +72,12 @@ pub struct WatchEvent {
     /// Registry key that changed.
     pub key: String,
     /// New value (`None` for deletions).
-    pub value: Option<Vec<u8>>,
+    pub value: Option<Bytes>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Versioned {
-    bytes: Vec<u8>,
+    bytes: Bytes,
     create_rev: u64,
     mod_rev: u64,
 }
@@ -79,7 +90,7 @@ struct Replica {
 }
 
 impl Replica {
-    fn put(&mut self, key: &str, bytes: Vec<u8>, rev: u64) {
+    fn put(&mut self, key: &str, bytes: Bytes, rev: u64) {
         let len = bytes.len() as u64 + key.len() as u64;
         match self.data.get_mut(key) {
             Some(v) => {
@@ -175,10 +186,14 @@ impl Etcd {
     /// Commits a write to every replica (post-consensus, so all replicas
     /// carry the same — possibly faulty — value). Returns the new revision.
     ///
+    /// The value is shared: one allocation, refcount bumps per replica and
+    /// per watch-log entry.
+    ///
     /// # Errors
     ///
     /// [`EtcdError::DiskFull`] when the disk budget is exhausted.
-    pub fn put(&mut self, key: &str, bytes: Vec<u8>) -> Result<u64, EtcdError> {
+    pub fn put(&mut self, key: &str, bytes: impl Into<Bytes>) -> Result<u64, EtcdError> {
+        let bytes: Bytes = bytes.into();
         let grow = bytes.len() as u64 + key.len() as u64;
         let existing = self.replicas[0]
             .data
@@ -224,16 +239,24 @@ impl Etcd {
 
     /// Quorum read: per-replica values are majority-voted, masking
     /// single-replica at-rest corruption. Returns `(bytes, mod_revision)`.
-    pub fn get(&self, key: &str) -> Option<(Vec<u8>, u64)> {
+    ///
+    /// The returned [`Bytes`] is a refcount bump, not a copy. Uncorrupted
+    /// replicas share one allocation, so the vote is pointer comparisons
+    /// until `corrupt_at_rest` has diverged a replica.
+    pub fn get(&self, key: &str) -> Option<(Bytes, u64)> {
         let values: Vec<&Versioned> =
             self.replicas.iter().filter_map(|r| r.data.get(key)).collect();
         if values.is_empty() || values.len() * 2 <= self.replicas.len() - 1 {
             return None; // no majority holds the key
         }
-        // Majority vote on the byte content.
+        // Majority vote on the byte content (pointer-equality fast path:
+        // replicas that share the committed Arc agree by construction).
         let mut counts: Vec<(usize, &Versioned)> = Vec::new();
         for v in &values {
-            match counts.iter_mut().find(|(_, u)| u.bytes == v.bytes) {
+            match counts
+                .iter_mut()
+                .find(|(_, u)| Arc::ptr_eq(&u.bytes, &v.bytes) || u.bytes == v.bytes)
+            {
                 Some((c, _)) => *c += 1,
                 None => counts.push((1, v)),
             }
@@ -243,8 +266,9 @@ impl Etcd {
         Some((winner.bytes.clone(), winner.mod_rev))
     }
 
-    /// Quorum range read over a key prefix, in key order.
-    pub fn range(&self, prefix: &str) -> Vec<(String, Vec<u8>, u64)> {
+    /// Quorum range read over a key prefix, in key order. Values are
+    /// refcounted views, not copies.
+    pub fn range(&self, prefix: &str) -> Vec<(String, Bytes, u64)> {
         let leader = &self.replicas[0];
         leader
             .data
@@ -256,6 +280,9 @@ impl Etcd {
 
     /// Returns watch events with log index ≥ `cursor` plus the next cursor.
     ///
+    /// Replay is a tail view: the deque is indexed directly (no walk over
+    /// already-consumed events) and payload clones are refcount bumps.
+    ///
     /// # Errors
     ///
     /// [`EtcdError::Compacted`] when `cursor` precedes the retention window.
@@ -263,10 +290,48 @@ impl Etcd {
         if cursor < self.first_event_index {
             return Err(EtcdError::Compacted);
         }
-        let start = (cursor - self.first_event_index) as usize;
-        let out: Vec<WatchEvent> = self.events.iter().skip(start).cloned().collect();
+        let start = ((cursor - self.first_event_index) as usize).min(self.events.len());
+        let out: Vec<WatchEvent> = self.events.range(start..).cloned().collect();
         let next = self.first_event_index + self.events.len() as u64;
         Ok((out, next))
+    }
+
+    /// Returns watch events that committed at a revision > `revision`,
+    /// plus the new resume revision (the store's current revision). Every
+    /// committed write bumps the revision by exactly one and appends one
+    /// event, so the log is contiguous in revision and the tail is
+    /// located by arithmetic, not a scan. This is the apiserver's watch
+    /// drain: its cursor is a store revision, exactly like real etcd.
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::Compacted`] when events after `revision` have already
+    /// been compacted away (the watcher must re-list).
+    pub fn events_after_revision(
+        &self,
+        revision: u64,
+    ) -> Result<(Vec<WatchEvent>, u64), EtcdError> {
+        let first_rev = match self.events.front() {
+            Some(ev) => ev.revision,
+            None => {
+                // Empty log: fine unless history before `revision` is gone.
+                return if revision >= self.revision {
+                    Ok((Vec::new(), self.revision))
+                } else {
+                    Err(EtcdError::Compacted)
+                };
+            }
+        };
+        if revision + 1 < first_rev {
+            return Err(EtcdError::Compacted);
+        }
+        let start = ((revision + 1 - first_rev) as usize).min(self.events.len());
+        debug_assert!(
+            self.events.get(start).map(|ev| ev.revision > revision).unwrap_or(true),
+            "watch log not contiguous in revision"
+        );
+        let out: Vec<WatchEvent> = self.events.range(start..).cloned().collect();
+        Ok((out, self.revision))
     }
 
     /// Log index one past the newest event (initial cursor for watchers).
@@ -278,10 +343,10 @@ impl Etcd {
     /// revisions or emitting watch events — at-rest corruption (§V-C1).
     ///
     /// Returns `false` when the replica or key does not exist.
-    pub fn corrupt_at_rest(&mut self, replica: usize, key: &str, bytes: Vec<u8>) -> bool {
+    pub fn corrupt_at_rest(&mut self, replica: usize, key: &str, bytes: impl Into<Bytes>) -> bool {
         match self.replicas.get_mut(replica).and_then(|r| r.data.get_mut(key)) {
             Some(v) => {
-                v.bytes = bytes;
+                v.bytes = bytes.into();
                 true
             }
             None => false,
@@ -290,7 +355,7 @@ impl Etcd {
 
     /// Reads a single replica without quorum (models a client that talks
     /// to one replica directly, bypassing linearizable reads).
-    pub fn get_unquorum(&self, replica: usize, key: &str) -> Option<(Vec<u8>, u64)> {
+    pub fn get_unquorum(&self, replica: usize, key: &str) -> Option<(Bytes, u64)> {
         self.replicas.get(replica)?.data.get(key).map(|v| (v.bytes.clone(), v.mod_rev))
     }
 }
@@ -305,10 +370,10 @@ mod tests {
         let r1 = e.put("/a", vec![1]).unwrap();
         let r2 = e.put("/b", vec![2]).unwrap();
         assert!(r2 > r1);
-        assert_eq!(e.get("/a").unwrap().0, vec![1]);
+        assert_eq!(e.get("/a").unwrap().0.to_vec(), vec![1]);
         let r3 = e.put("/a", vec![9]).unwrap();
         let (bytes, rev) = e.get("/a").unwrap();
-        assert_eq!(bytes, vec![9]);
+        assert_eq!(bytes.to_vec(), vec![9]);
         assert_eq!(rev, r3);
         assert_eq!(e.revision(), 3);
     }
@@ -342,10 +407,41 @@ mod tests {
         e.delete("/a");
         let (evs, next) = e.events_since(c0).unwrap();
         assert_eq!(evs.len(), 2);
-        assert_eq!(evs[0].value, Some(vec![1]));
+        assert_eq!(evs[0].value.as_deref(), Some(&[1u8][..]));
         assert_eq!(evs[1].value, None);
         let (evs2, _) = e.events_since(next).unwrap();
         assert!(evs2.is_empty());
+    }
+
+    #[test]
+    fn revision_indexed_replay_returns_only_the_tail() {
+        let mut e = Etcd::new(1, 4096);
+        e.put("/a", vec![1]).unwrap(); // rev 1
+        e.put("/b", vec![2]).unwrap(); // rev 2
+        e.delete("/a"); // rev 3
+        let (evs, resume) = e.events_after_revision(1).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].revision, 2);
+        assert_eq!(evs[1].revision, 3);
+        assert_eq!(resume, e.revision());
+        let (all, _) = e.events_after_revision(0).unwrap();
+        assert_eq!(all.len(), 3);
+        let (none, _) = e.events_after_revision(3).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn replay_and_reads_share_the_stored_allocation() {
+        // The zero-copy property: quorum reads and watch replay hand out
+        // the same Arc the committed write produced.
+        let mut e = Etcd::new(3, 4096);
+        e.put("/a", vec![9; 64]).unwrap();
+        let (stored, _) = e.get("/a").unwrap();
+        let (evs, _) = e.events_since(0).unwrap();
+        let replayed = evs[0].value.clone().unwrap();
+        assert!(Arc::ptr_eq(&stored, &replayed), "payload was copied, not shared");
+        let (direct, _) = e.get_unquorum(2, "/a").unwrap();
+        assert!(Arc::ptr_eq(&stored, &direct));
     }
 
     #[test]
@@ -371,9 +467,9 @@ mod tests {
         e.put("/a", vec![7, 7, 7]).unwrap();
         assert!(e.corrupt_at_rest(1, "/a", vec![0, 0, 0]));
         // Quorum read returns the uncorrupted majority value.
-        assert_eq!(e.get("/a").unwrap().0, vec![7, 7, 7]);
+        assert_eq!(e.get("/a").unwrap().0.to_vec(), vec![7, 7, 7]);
         // Direct unquorum read of the corrupted replica sees the bad value.
-        assert_eq!(e.get_unquorum(1, "/a").unwrap().0, vec![0, 0, 0]);
+        assert_eq!(e.get_unquorum(1, "/a").unwrap().0.to_vec(), vec![0, 0, 0]);
     }
 
     #[test]
@@ -382,9 +478,9 @@ mod tests {
         let mut e = Etcd::new(3, 4096);
         e.put("/a", vec![0xBA, 0xD0]).unwrap(); // already-faulty value
         for i in 0..3 {
-            assert_eq!(e.get_unquorum(i, "/a").unwrap().0, vec![0xBA, 0xD0]);
+            assert_eq!(e.get_unquorum(i, "/a").unwrap().0.to_vec(), vec![0xBA, 0xD0]);
         }
-        assert_eq!(e.get("/a").unwrap().0, vec![0xBA, 0xD0]);
+        assert_eq!(e.get("/a").unwrap().0.to_vec(), vec![0xBA, 0xD0]);
     }
 
     #[test]
@@ -404,8 +500,10 @@ mod tests {
             e.put(&format!("/k{}", i % 7), vec![1]).unwrap();
         }
         assert!(matches!(e.events_since(0), Err(EtcdError::Compacted)));
+        assert!(matches!(e.events_after_revision(0), Err(EtcdError::Compacted)));
         let head = e.event_head();
         assert!(e.events_since(head).is_ok());
+        assert!(e.events_after_revision(e.revision()).is_ok());
     }
 
     #[test]

@@ -18,7 +18,10 @@ use std::collections::BTreeMap;
 /// Returns a description of the first API failure; the caller requeues
 /// with backoff.
 pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
-    let Some(Object::DaemonSet(ds)) = ctx.api.get(Kind::DaemonSet, ns, name) else {
+    let Some(ds_obj) = ctx.api.get(Kind::DaemonSet, ns, name) else {
+        return Ok(());
+    };
+    let Object::DaemonSet(ds) = &*ds_obj else {
         return Ok(());
     };
     if ds.metadata.is_terminating() {
@@ -29,11 +32,10 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
         return Ok(()); // tripped circuit breaker (§VI-B)
     }
 
-    let nodes: Vec<Node> = ctx
-        .api
-        .list(Kind::Node, None)
-        .into_iter()
-        .filter_map(|o| match o {
+    let node_objs = ctx.api.list(Kind::Node, None);
+    let nodes: Vec<&Node> = node_objs
+        .iter()
+        .filter_map(|o| match &**o {
             Object::Node(n) if !n.metadata.is_terminating() => Some(n),
             _ => None,
         })
@@ -41,10 +43,10 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
 
     // Classify pods exactly like the ReplicaSet controller: owned pods
     // whose labels stopped matching are released (the infinite-spawn seam).
-    let pods = ctx.api.list(Kind::Pod, Some(ns));
-    let mut by_node: BTreeMap<String, Vec<Pod>> = BTreeMap::new();
-    for obj in pods {
-        let Object::Pod(pod) = obj else { continue };
+    let pod_objs = ctx.api.list(Kind::Pod, Some(ns));
+    let mut by_node: BTreeMap<String, Vec<&Pod>> = BTreeMap::new();
+    for obj in &pod_objs {
+        let Object::Pod(pod) = &**obj else { continue };
         if pod.metadata.is_terminating() {
             continue;
         }
@@ -76,12 +78,12 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
     let mut ready = 0i64;
     for node in &nodes {
         match by_node.get(node.metadata.name.as_str()) {
-            None => create_pod(ctx, &ds, &node.metadata.name)?,
+            None => create_pod(ctx, ds, &node.metadata.name)?,
             Some(pods) => {
                 ready += pods.iter().filter(|p| p.is_ready()).count() as i64;
                 // Duplicates on one node: keep the oldest.
                 if pods.len() > 1 {
-                    let mut extra: Vec<&Pod> = pods.iter().collect();
+                    let mut extra: Vec<&Pod> = pods.iter().copied().collect();
                     extra.sort_by_key(|p| p.metadata.creation_timestamp);
                     for p in &extra[1..] {
                         ctx.api

@@ -30,8 +30,11 @@ pub fn template_hash(d: &Deployment) -> u64 {
 /// Returns a description of the first API failure; the caller requeues
 /// with backoff.
 pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
-    let Some(Object::Deployment(dep)) = ctx.api.get(Kind::Deployment, ns, name) else {
+    let Some(dep_obj) = ctx.api.get(Kind::Deployment, ns, name) else {
         return Ok(()); // deleted; GC reaps owned ReplicaSets
+    };
+    let Object::Deployment(dep) = &*dep_obj else {
+        return Ok(());
     };
     if dep.metadata.is_terminating() || dep.spec.paused {
         return Ok(());
@@ -42,7 +45,7 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
     }
 
     let desired = dep.spec.replicas.max(0);
-    let hash = template_hash(&dep);
+    let hash = template_hash(dep);
     let new_rs_name = format!("{}-{:08x}", dep.metadata.name, hash & 0xffff_ffff);
 
     // Collect owned ReplicaSets.
@@ -50,7 +53,7 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
         .api
         .list(Kind::ReplicaSet, Some(ns))
         .into_iter()
-        .filter_map(|o| match o {
+        .filter_map(|o| match &*o {
             Object::ReplicaSet(rs)
                 if rs
                     .metadata
@@ -58,7 +61,7 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
                     .map(|c| c.kind == "Deployment" && c.uid == dep.metadata.uid)
                     .unwrap_or(false) =>
             {
-                Some(rs)
+                Some(rs.clone())
             }
             _ => None,
         })

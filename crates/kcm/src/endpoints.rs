@@ -17,7 +17,8 @@ use k8s_model::{Channel, EndpointAddress, Endpoints, Kind, Object};
 /// Returns a description of the first API failure; the caller requeues
 /// with backoff.
 pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
-    let svc = match ctx.api.get(Kind::Service, ns, name) {
+    let svc_obj = ctx.api.get(Kind::Service, ns, name);
+    let svc = match svc_obj.as_deref() {
         Some(Object::Service(s)) => s,
         _ => {
             // Service is gone: remove its endpoints.
@@ -33,7 +34,7 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
     // Resolve ready backends.
     let mut addresses: Vec<EndpointAddress> = Vec::new();
     for obj in ctx.api.list(Kind::Pod, Some(ns)) {
-        let Object::Pod(pod) = obj else { continue };
+        let Object::Pod(pod) = &*obj else { continue };
         if pod.metadata.is_terminating() || !svc.selects(&pod.metadata.labels) {
             continue;
         }
@@ -51,7 +52,7 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
 
     let port = if svc.spec.target_port != 0 { svc.spec.target_port } else { svc.spec.port };
 
-    match ctx.api.get(Kind::Endpoints, ns, name) {
+    match ctx.api.get(Kind::Endpoints, ns, name).as_deref() {
         Some(Object::Endpoints(existing)) => {
             if existing.addresses != addresses || existing.port != port {
                 let mut updated = existing.clone();

@@ -35,7 +35,7 @@ pub(crate) fn tick(ctx: &mut Ctx<'_>, ghost_seen: &mut HashMap<String, u64>) {
     let pods = ctx.api.list(Kind::Pod, None);
     let mut still_ghost: HashMap<String, u64> = HashMap::new();
     for obj in &pods {
-        let Object::Pod(pod) = obj else { continue };
+        let Object::Pod(pod) = &**obj else { continue };
         if pod.metadata.is_terminating() {
             continue;
         }
@@ -88,7 +88,7 @@ pub(crate) fn tick(ctx: &mut Ctx<'_>, ghost_seen: &mut HashMap<String, u64>) {
 
     // Sweep 1b: ReplicaSets whose Deployment vanished.
     for obj in ctx.api.list(Kind::ReplicaSet, None) {
-        let Object::ReplicaSet(rs) = &obj else { continue };
+        let Object::ReplicaSet(rs) = &*obj else { continue };
         if let Some(ctrl) = rs.metadata.controller_ref() {
             if ctrl.kind == "Deployment" && !ctrl.uid.is_empty() && !live_uids.contains(&ctrl.uid)
             {

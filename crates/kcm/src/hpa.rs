@@ -31,9 +31,8 @@ pub fn observed_load(
     ns: &str,
     service: &str,
 ) -> Option<i64> {
-    let Some(Object::ConfigMap(cm)) =
-        api.get(Kind::ConfigMap, METRICS_NAMESPACE, METRICS_CONFIGMAP)
-    else {
+    let cm_obj = api.get(Kind::ConfigMap, METRICS_NAMESPACE, METRICS_CONFIGMAP)?;
+    let Object::ConfigMap(cm) = &*cm_obj else {
         return None;
     };
     cm.data.get(&format!("{ns}/{service}")).and_then(|v| v.parse().ok())
@@ -46,9 +45,10 @@ pub fn observed_load(
 /// Returns a description of the first API failure; the caller requeues
 /// with backoff.
 pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
-    let Some(Object::HorizontalPodAutoscaler(hpa)) =
-        ctx.api.get(Kind::HorizontalPodAutoscaler, ns, name)
-    else {
+    let Some(hpa_obj) = ctx.api.get(Kind::HorizontalPodAutoscaler, ns, name) else {
+        return Ok(());
+    };
+    let Object::HorizontalPodAutoscaler(hpa) = &*hpa_obj else {
         return Ok(());
     };
     if hpa.metadata.is_terminating() || k8s_model::is_suspended(&hpa.metadata) {
@@ -56,8 +56,11 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
     }
 
     let target = hpa.spec.scale_target.clone();
-    let Some(Object::Deployment(dep)) = ctx.api.get(Kind::Deployment, ns, &target) else {
+    let Some(dep_obj) = ctx.api.get(Kind::Deployment, ns, &target) else {
         return Err(format!("hpa {ns}/{name}: target deployment {target:?} not found"));
+    };
+    let Object::Deployment(dep) = &*dep_obj else {
+        return Err(format!("hpa {ns}/{name}: target {target:?} is not a deployment"));
     };
 
     // The metric is keyed by the service fronting the target Deployment;
@@ -152,8 +155,9 @@ mod tests {
 
     fn publish_load(api: &mut ApiServer, rps: &str) {
         let key = "default/web-1-svc".to_owned();
-        match api.get(Kind::ConfigMap, METRICS_NAMESPACE, METRICS_CONFIGMAP) {
-            Some(Object::ConfigMap(mut cm)) => {
+        match api.get(Kind::ConfigMap, METRICS_NAMESPACE, METRICS_CONFIGMAP).as_deref() {
+            Some(Object::ConfigMap(cm)) => {
+                let mut cm = cm.clone();
                 cm.data.insert(key, rps.into());
                 api.update(Channel::KcmToApi, Object::ConfigMap(cm)).unwrap();
             }
@@ -186,7 +190,7 @@ mod tests {
     }
 
     fn replicas(api: &mut ApiServer) -> i64 {
-        match api.get(Kind::Deployment, "default", "web-1") {
+        match api.get(Kind::Deployment, "default", "web-1").as_deref() {
             Some(Object::Deployment(d)) => d.spec.replicas,
             _ => -1,
         }
@@ -203,7 +207,7 @@ mod tests {
         assert_eq!(m.hpa_scalings, 1);
         assert_eq!(replicas(&mut a), 4);
         if let Some(Object::HorizontalPodAutoscaler(h)) =
-            a.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa")
+            a.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa").as_deref()
         {
             assert_eq!(h.status.observed_load, 20);
             assert_eq!(h.status.desired_replicas, 4);
@@ -251,7 +255,8 @@ mod tests {
         let mut a = api();
         install_deployment(&mut a, 2);
         install_hpa(&mut a, 1, 8, 5);
-        if let Some(mut h) = a.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa") {
+        if let Some(h) = a.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa") {
+            let mut h = (*h).clone();
             h.meta_mut().annotations.insert(SUSPEND_ANNOTATION.into(), "true".into());
             a.update(Channel::UserToApi, h).unwrap();
         }

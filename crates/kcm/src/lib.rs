@@ -232,7 +232,7 @@ impl Kcm {
         let (events, next) = api.poll_events(self.cursor);
         self.cursor = next;
         for ev in &events {
-            self.route_event(api, &ev.key, ev.kind, ev.object.as_ref(), now);
+            self.route_event(api, &ev.key, ev.kind, ev.object.as_deref(), now);
         }
 
         // Periodic full resync (and resync on leadership gain).

@@ -17,11 +17,10 @@ use std::collections::HashMap;
 
 /// Runs one node-health pass.
 pub(crate) fn tick(ctx: &mut Ctx<'_>, taint_seen: &mut HashMap<String, u64>) {
-    let nodes: Vec<Node> = ctx
-        .api
-        .list(Kind::Node, None)
-        .into_iter()
-        .filter_map(|o| match o {
+    let node_objs = ctx.api.list(Kind::Node, None);
+    let nodes: Vec<&Node> = node_objs
+        .iter()
+        .filter_map(|o| match &**o {
             Object::Node(n) => Some(n),
             _ => None,
         })
@@ -44,7 +43,7 @@ pub(crate) fn tick(ctx: &mut Ctx<'_>, taint_seen: &mut HashMap<String, u64>) {
         );
     }
 
-    for node in &nodes {
+    for node in nodes.iter().copied() {
         let stale = is_stale(node);
         if stale && node.status.ready {
             let mut marked = node.clone();
@@ -72,7 +71,7 @@ pub(crate) fn tick(ctx: &mut Ctx<'_>, taint_seen: &mut HashMap<String, u64>) {
     // Track how long each node has carried a NoExecute taint; evict the
     // non-tolerating pods once the grace period elapses.
     let mut currently_tainted: Vec<&Node> = Vec::new();
-    for node in &nodes {
+    for node in nodes.iter().copied() {
         if node.has_taint_effect(TAINT_NO_EXECUTE) {
             taint_seen.entry(node.metadata.name.clone()).or_insert(ctx.now);
             currently_tainted.push(node);
@@ -91,8 +90,8 @@ pub(crate) fn tick(ctx: &mut Ctx<'_>, taint_seen: &mut HashMap<String, u64>) {
             continue;
         }
         let pods = ctx.api.list(Kind::Pod, None);
-        for obj in pods {
-            let Object::Pod(pod) = obj else { continue };
+        for obj in &pods {
+            let Object::Pod(pod) = &**obj else { continue };
             if pod.spec.node_name != node.metadata.name || pod.metadata.is_terminating() {
                 continue;
             }

@@ -21,8 +21,11 @@ use simkit::TraceLevel;
 /// Returns a description of the first API failure; the caller requeues
 /// with backoff.
 pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), String> {
-    let Some(Object::ReplicaSet(rs)) = ctx.api.get(Kind::ReplicaSet, ns, name) else {
+    let Some(rs_obj) = ctx.api.get(Kind::ReplicaSet, ns, name) else {
         return Ok(()); // deleted; GC reaps the children
+    };
+    let Object::ReplicaSet(rs) = &*rs_obj else {
+        return Ok(());
     };
     if rs.metadata.is_terminating() {
         return Ok(());
@@ -32,10 +35,10 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
         return Ok(()); // tripped circuit breaker (§VI-B)
     }
 
-    let pods = ctx.api.list(Kind::Pod, Some(ns));
+    let pod_objs = ctx.api.list(Kind::Pod, Some(ns));
     let mut owned: Vec<Pod> = Vec::new();
-    for obj in pods {
-        let Object::Pod(pod) = obj else { continue };
+    for obj in &pod_objs {
+        let Object::Pod(pod) = &**obj else { continue };
         if pod.metadata.is_terminating() {
             continue;
         }
@@ -47,17 +50,17 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
         let matches = rs.spec.selector.matches(&pod.metadata.labels);
         if is_mine && !matches {
             // Release: the pod no longer belongs to us.
-            release_pod(ctx, &pod)?;
+            release_pod(ctx, pod)?;
             continue;
         }
         if !is_mine && matches && pod.metadata.controller_ref().is_none() {
-            if let Some(adopted) = adopt_pod(ctx, &pod, &rs)? {
+            if let Some(adopted) = adopt_pod(ctx, pod, rs)? {
                 owned.push(adopted);
             }
             continue;
         }
         if is_mine {
-            owned.push(pod);
+            owned.push(pod.clone());
         }
     }
 
@@ -71,7 +74,7 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
     // unexpired), the controller must not issue more. A silently dropped
     // create therefore leaves the ReplicaSet below target until the TTL —
     // the paper's dominant message-drop outcome (LeR).
-    let rs_key = rs_registry_key(&rs);
+    let rs_key = rs_registry_key(rs);
     let may_act = ctx
         .expectations
         .get(&rs_key)
@@ -86,7 +89,7 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
         let burst = missing.min(ctx.cfg.create_burst);
         let mut issued = 0usize;
         for _ in 0..burst {
-            create_pod(ctx, &rs)?;
+            create_pod(ctx, rs)?;
             issued += 1;
         }
         if issued > 0 {

@@ -211,7 +211,8 @@ impl Kubelet {
         // Heartbeat.
         if self.healthy && now >= self.next_heartbeat {
             self.next_heartbeat = now + self.cfg.heartbeat_interval_ms;
-            if let Some(Object::Node(mut node)) = api.get(Kind::Node, "", &self.node_name) {
+            if let Some(Object::Node(node)) = api.get(Kind::Node, "", &self.node_name).as_deref() {
+                let mut node = node.clone();
                 node.status.last_heartbeat = now as i64;
                 node.status.ready = true;
                 let _ = api.update(Channel::KubeletToApi, Object::Node(node));
@@ -225,11 +226,11 @@ impl Kubelet {
             if ev.kind != Kind::Pod {
                 continue;
             }
-            match ev.object {
+            match ev.object.as_deref() {
                 Some(Object::Pod(pod)) => {
                     if pod.spec.node_name == self.node_name && !pod.metadata.is_terminating() {
                         if !self.pods.contains_key(&ev.key) {
-                            self.admit(api, now, &ev.key, &pod);
+                            self.admit(api, now, &ev.key, pod);
                         }
                     } else if self.pods.contains_key(&ev.key)
                         && pod.spec.node_name != self.node_name
@@ -339,7 +340,7 @@ impl Kubelet {
         if !is_netagent {
             return false;
         }
-        match api.get(Kind::ConfigMap, "kube-system", "net-conf") {
+        match api.get(Kind::ConfigMap, "kube-system", "net-conf").as_deref() {
             Some(Object::ConfigMap(cm)) => {
                 !matches!(cm.data.get("backend").map(String::as_str), Some("vxlan") | Some("host-gw"))
             }
@@ -413,7 +414,8 @@ impl Kubelet {
                     lp.crash_at = crash_at;
                 }
                 self.metrics.started += 1;
-                if let Some(Object::Pod(mut pod)) = api.get(Kind::Pod, &ns, &name) {
+                if let Some(Object::Pod(pod)) = api.get(Kind::Pod, &ns, &name).as_deref() {
+                    let mut pod = pod.clone();
                     pod.status.phase = "Running".into();
                     pod.status.ready = !local.crashes;
                     pod.status.pod_ip = ip;
@@ -444,7 +446,8 @@ impl Kubelet {
                             };
                             lp.restart_count = restarts;
                         }
-                        if let Some(Object::Pod(mut pod)) = api.get(Kind::Pod, &ns, &name) {
+                        if let Some(Object::Pod(pod)) = api.get(Kind::Pod, &ns, &name).as_deref() {
+                            let mut pod = pod.clone();
                             pod.status.ready = false;
                             pod.status.restart_count = restarts;
                             pod.status.reason = "CrashLoopBackOff".into();
@@ -479,7 +482,11 @@ impl Kubelet {
             self.pods.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         for (key, local) in entries {
             let Some((ns, name)) = split_pod_key(&key) else { continue };
-            let Some(Object::Pod(pod)) = api.get(Kind::Pod, &ns, &name) else {
+            let Some(pod_obj) = api.get(Kind::Pod, &ns, &name) else {
+                self.pods.remove(&key);
+                continue;
+            };
+            let Object::Pod(pod) = &*pod_obj else {
                 self.pods.remove(&key);
                 continue;
             };
@@ -588,7 +595,7 @@ mod tests {
         let node = api.get(Kind::Node, "", "w1").unwrap();
         assert_eq!(node.as_pod().is_none(), true);
         kl.step(&mut api, 10_500);
-        if let Object::Node(n) = api.get(Kind::Node, "", "w1").unwrap() {
+        if let Object::Node(n) = &*api.get(Kind::Node, "", "w1").unwrap() {
             assert!(n.status.last_heartbeat >= 10_000);
             assert!(n.status.ready);
             assert_eq!(n.spec.pod_cidr, "10.244.1.0/24");
@@ -653,7 +660,7 @@ mod tests {
             .unwrap();
         run_until(&mut kl, &mut api, 200, 6_000);
         // Corrupt the stored PodIP via the store channel.
-        let mut pod = api.get(Kind::Pod, "default", "p1").unwrap();
+        let mut pod = (*api.get(Kind::Pod, "default", "p1").unwrap()).clone();
         let true_ip = pod.as_pod().unwrap().status.pod_ip.clone();
         if let Object::Pod(p) = &mut pod {
             p.status.pod_ip = "10.99.99.99".into();

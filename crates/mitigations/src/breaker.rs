@@ -99,7 +99,7 @@ impl ReplicationBreaker {
             if ev.kind != Kind::Pod {
                 continue;
             }
-            match &ev.object {
+            match ev.object.as_deref() {
                 Some(Object::Pod(pod)) => {
                     if !self.seen.insert(ev.key.clone()) {
                         continue; // update, not a create
@@ -144,7 +144,8 @@ impl ReplicationBreaker {
         created: i64,
         desired: i64,
     ) {
-        let Some(mut owner) = api.get(kind, ns, name) else { return };
+        let Some(owner) = api.get(kind, ns, name) else { return };
+        let mut owner = (*owner).clone();
         owner
             .meta_mut()
             .annotations
@@ -217,7 +218,7 @@ fn parse_owner_key(key: &str) -> Option<(Kind, String, String)> {
 /// The desired child count of a workload controller (DaemonSets: one per
 /// node).
 fn desired_scale(api: &mut ApiServer, kind: Kind, ns: &str, name: &str) -> i64 {
-    match api.get(kind, ns, name) {
+    match api.get(kind, ns, name).as_deref() {
         Some(Object::ReplicaSet(rs)) => rs.spec.replicas.max(0),
         Some(Object::Deployment(d)) => d.spec.replicas.max(0),
         Some(Object::DaemonSet(_)) => api.count(Kind::Node, None) as i64,

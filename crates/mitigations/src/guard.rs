@@ -99,12 +99,12 @@ pub struct CriticalFieldGuard {
     cfg: GuardConfig,
     cursor: u64,
     /// Last known state per key (the rollback target).
-    snapshots: HashMap<String, Object>,
+    snapshots: HashMap<String, std::rc::Rc<Object>>,
     /// Journal of guarded changes (pre-change snapshot retained until the
     /// window expires).
     journal: Vec<ChangeRecord>,
     /// Pre-change snapshots for journal entries still in the window.
-    pending: Vec<(usize, Object)>,
+    pending: Vec<(usize, std::rc::Rc<Object>)>,
     /// Rollbacks already spent per key.
     rollbacks_done: HashMap<String, u32>,
     /// Pod count at the last step (storm detection).
@@ -276,7 +276,7 @@ impl CriticalFieldGuard {
                 continue;
             }
             *spent += 1;
-            let mut restore = old_obj;
+            let mut restore = (*old_obj).clone();
             // Bypass optimistic concurrency: the rollback wins.
             restore.meta_mut().resource_version = 0;
             if api.update(Channel::UserToApi, restore).is_ok() {
@@ -380,7 +380,8 @@ mod tests {
         let mut g = CriticalFieldGuard::new(GuardConfig::default(), &mut a);
         g.step(&mut a, 1_000); // snapshot + arm
 
-        if let Some(Object::Service(mut svc)) = a.get(Kind::Service, "default", "web-svc") {
+        if let Some(Object::Service(svc)) = a.get(Kind::Service, "default", "web-svc").as_deref() {
+            let mut svc = svc.clone();
             svc.spec.selector.insert("app".into(), "wea".into()); // corrupted
             a.update(Channel::ApiToEtcd, Object::Service(svc)).unwrap();
         }
@@ -399,7 +400,8 @@ mod tests {
         let mut g = CriticalFieldGuard::new(GuardConfig::default(), &mut a);
         g.step(&mut a, 1_000);
         // Touch nothing critical: generation/annotations churn only.
-        if let Some(mut svc) = a.get(Kind::Service, "default", "web-svc") {
+        if let Some(svc) = a.get(Kind::Service, "default", "web-svc") {
+            let mut svc = (*svc).clone();
             svc.meta_mut().annotations.insert("note".into(), "hello".into());
             a.update(Channel::UserToApi, svc).unwrap();
         }
@@ -416,20 +418,22 @@ mod tests {
         g.step(&mut a, 1_000); // arm
 
         // Corrupt the service selector (critical) …
-        if let Some(Object::Service(mut svc)) = a.get(Kind::Service, "default", "web-svc") {
+        if let Some(Object::Service(svc)) = a.get(Kind::Service, "default", "web-svc").as_deref() {
+            let mut svc = svc.clone();
             svc.spec.selector.insert("app".into(), "wea".into());
             a.update(Channel::ApiToEtcd, Object::Service(svc)).unwrap();
         }
         g.step(&mut a, 2_000);
         // … then degrade health inside the window (DNS pod dies).
-        if let Some(Object::Pod(mut dns)) = a.get(Kind::Pod, "kube-system", "coredns-1") {
+        if let Some(Object::Pod(dns)) = a.get(Kind::Pod, "kube-system", "coredns-1").as_deref() {
+            let mut dns = dns.clone();
             dns.status.ready = false;
             a.update(Channel::KubeletToApi, Object::Pod(dns)).unwrap();
         }
         g.step(&mut a, 5_000);
         assert_eq!(g.metrics.rollbacks, 1);
         let svc = a.get(Kind::Service, "default", "web-svc").unwrap();
-        if let Object::Service(svc) = svc {
+        if let Object::Service(svc) = &*svc {
             assert_eq!(svc.spec.selector["app"], "web", "selector not restored");
         }
         assert!(g.journal()[0].rolled_back);
@@ -443,21 +447,23 @@ mod tests {
         let mut g = CriticalFieldGuard::new(GuardConfig::default(), &mut a);
         g.step(&mut a, 1_000);
 
-        if let Some(Object::Service(mut svc)) = a.get(Kind::Service, "default", "web-svc") {
+        if let Some(Object::Service(svc)) = a.get(Kind::Service, "default", "web-svc").as_deref() {
+            let mut svc = svc.clone();
             svc.spec.port = 8080; // a legitimate (if critical) change
             a.update(Channel::UserToApi, Object::Service(svc)).unwrap();
         }
         g.step(&mut a, 2_000);
         g.step(&mut a, 30_000); // window expires, health fine
         // Degrade health *after* the window: no rollback.
-        if let Some(Object::Pod(mut dns)) = a.get(Kind::Pod, "kube-system", "coredns-1") {
+        if let Some(Object::Pod(dns)) = a.get(Kind::Pod, "kube-system", "coredns-1").as_deref() {
+            let mut dns = dns.clone();
             dns.status.ready = false;
             a.update(Channel::KubeletToApi, Object::Pod(dns)).unwrap();
         }
         g.step(&mut a, 31_000);
         assert_eq!(g.metrics.rollbacks, 0);
         let svc = a.get(Kind::Service, "default", "web-svc").unwrap();
-        if let Object::Service(svc) = svc {
+        if let Object::Service(svc) = &*svc {
             assert_eq!(svc.spec.port, 8080, "legitimate change must survive");
         }
     }
@@ -470,12 +476,14 @@ mod tests {
         install_service(&mut a);
         let mut g = CriticalFieldGuard::new(cfg, &mut a);
         g.step(&mut a, 1_000);
-        if let Some(Object::Service(mut svc)) = a.get(Kind::Service, "default", "web-svc") {
+        if let Some(Object::Service(svc)) = a.get(Kind::Service, "default", "web-svc").as_deref() {
+            let mut svc = svc.clone();
             svc.spec.selector.insert("app".into(), "wea".into());
             a.update(Channel::ApiToEtcd, Object::Service(svc)).unwrap();
         }
         g.step(&mut a, 2_000);
-        if let Some(Object::Pod(mut dns)) = a.get(Kind::Pod, "kube-system", "coredns-1") {
+        if let Some(Object::Pod(dns)) = a.get(Kind::Pod, "kube-system", "coredns-1").as_deref() {
+            let mut dns = dns.clone();
             dns.status.ready = false;
             a.update(Channel::KubeletToApi, Object::Pod(dns)).unwrap();
         }

@@ -182,7 +182,7 @@ mod tests {
     fn ctx<'a>(
         op: Op,
         object: &'a Object,
-        view: &'a HashMap<String, Object>,
+        view: &'a HashMap<String, std::rc::Rc<Object>>,
     ) -> PolicyCtx<'a> {
         PolicyCtx { op, channel: Channel::UserToApi, object, existing: None, now: 0, view }
     }
@@ -273,7 +273,7 @@ mod tests {
         let mut view = HashMap::new();
         for i in 0..3 {
             let key = format!("/registry/pods/default/p{i}");
-            view.insert(key, pod_with_resources(100, 64));
+            view.insert(key, std::rc::Rc::new(pod_with_resources(100, 64)));
         }
         let mut p = NamespacePodQuota { max_pods: 3, exempt: vec!["kube-system".into()] };
         assert!(p.review(&ctx(Op::Create, &pod_with_resources(100, 64), &view)).is_err());

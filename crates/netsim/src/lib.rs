@@ -187,23 +187,24 @@ impl NetSim {
         self.roll_window(api.now());
         let nodes: Vec<(String, String)> = api
             .list(Kind::Node, None)
-            .into_iter()
-            .filter_map(|o| match o {
+            .iter()
+            .filter_map(|o| match &**o {
                 Object::Node(n) => Some((n.metadata.name.clone(), n.spec.pod_cidr.clone())),
                 _ => None,
             })
             .collect();
 
-        let pods: Vec<Pod> = api
-            .list(Kind::Pod, None)
-            .into_iter()
-            .filter_map(|o| match o {
+        // Shared handles out of the watch cache — no deep clones.
+        let pod_objs = api.list(Kind::Pod, None);
+        let pods: Vec<&Pod> = pod_objs
+            .iter()
+            .filter_map(|o| match &**o {
                 Object::Pod(p) => Some(p),
                 _ => None,
             })
             .collect();
 
-        let pod_serving = |p: &&Pod| {
+        let pod_serving = |p: &&&Pod| {
             p.status.phase == "Running" && p.status.ready && !p.metadata.is_terminating()
         };
 
@@ -240,7 +241,7 @@ impl NetSim {
         // VIP tables per node with a live kube-proxy.
         let mut table: HashMap<String, ProxyEntry> = HashMap::new();
         for obj in api.list(Kind::Service, None) {
-            let Object::Service(svc) = obj else { continue };
+            let Object::Service(svc) = &*obj else { continue };
             let key = format!("{}/{}", svc.metadata.namespace, svc.metadata.name);
             let mut entry = ProxyEntry {
                 cluster_ip: svc.spec.cluster_ip.clone(),
@@ -248,7 +249,7 @@ impl NetSim {
                 endpoints: Vec::new(),
             };
             if let Some(Object::Endpoints(ep)) =
-                api.get(Kind::Endpoints, &svc.metadata.namespace, &svc.metadata.name)
+                api.get(Kind::Endpoints, &svc.metadata.namespace, &svc.metadata.name).as_deref()
             {
                 for a in ep.ready_addresses() {
                     entry.endpoints.push((a.ip.clone(), a.pod_name.clone(), ep.port));
@@ -294,9 +295,10 @@ impl NetSim {
             data.entry(format!("{}/{}", obj.namespace(), obj.name())).or_insert_with(|| "0".into());
         }
         let existing = api.get(Kind::ConfigMap, "kube-system", "service-load");
-        match existing {
-            Some(Object::ConfigMap(mut cm)) => {
+        match existing.as_deref() {
+            Some(Object::ConfigMap(cm)) => {
                 if cm.data != data {
+                    let mut cm = cm.clone();
                     cm.data = data;
                     let _ = api.update(Channel::KcmToApi, Object::ConfigMap(cm));
                 }
@@ -372,11 +374,12 @@ impl NetSim {
         };
         let (ep_ip, _ep_pod, ep_port) = entry.endpoints[idx].clone();
 
-        // Find the pod actually holding that IP.
-        let target: Option<Pod> = api
-            .list(Kind::Pod, Some(ns))
-            .into_iter()
-            .filter_map(|o| match o {
+        // Find the pod actually holding that IP (shared handles, no
+        // deep clones of the namespace's pods).
+        let pod_objs = api.list(Kind::Pod, Some(ns));
+        let target: Option<&Pod> = pod_objs
+            .iter()
+            .filter_map(|o| match &**o {
                 Object::Pod(p) => Some(p),
                 _ => None,
             })
@@ -519,7 +522,8 @@ mod tests {
         let mut api = api();
         build_world(&mut api);
         // Empty the endpoints (as a corrupted selector would).
-        if let Some(Object::Endpoints(mut ep)) = api.get(Kind::Endpoints, "default", "web-svc") {
+        if let Some(Object::Endpoints(ep)) = api.get(Kind::Endpoints, "default", "web-svc").as_deref() {
+            let mut ep = ep.clone();
             ep.addresses.clear();
             api.update(Channel::ApiToEtcd, Object::Endpoints(ep)).unwrap();
         }
@@ -533,7 +537,8 @@ mod tests {
     fn endpoint_to_dead_ip_times_out() {
         let mut api = api();
         build_world(&mut api);
-        if let Some(Object::Endpoints(mut ep)) = api.get(Kind::Endpoints, "default", "web-svc") {
+        if let Some(Object::Endpoints(ep)) = api.get(Kind::Endpoints, "default", "web-svc").as_deref() {
+            let mut ep = ep.clone();
             ep.addresses[0].ip = "10.244.1.99".into(); // nobody there
             api.update(Channel::ApiToEtcd, Object::Endpoints(ep)).unwrap();
         }

@@ -1,0 +1,639 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real proptest cannot be fetched. This shim implements the API surface
+//! the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, plus strategies for integer ranges,
+//!   regex-like string patterns, tuples, [`collection::vec`],
+//!   [`option::of`], [`Just`], [`any`], and [`prop_oneof!`];
+//! * the [`proptest!`] and [`prop_compose!`] macros;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! * `prop::sample::Index`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! seed so it can be replayed deterministically. Case count defaults to 64
+//! and can be overridden with `PROPTEST_CASES`.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// The deterministic generator threaded through strategies
+/// (splitmix64-based; seeds derive from the test name and case index).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of test values (shrinking-free shim of proptest's trait).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy backed by a plain generation closure (used by
+/// [`prop_compose!`]).
+pub struct FnStrategy<F>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct OneOf<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> OneOf<T> {
+    /// Builds a choice over `arms` (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf(arms)
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+// Integer ranges.
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(i64, u64, i32, u32, u8, usize);
+
+// Tuples of strategies.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-like string patterns
+// ---------------------------------------------------------------------------
+
+// `&str` generates strings from a small regex subset: literal characters,
+// `[...]` classes (ranges and literal members), and `{n}` / `{m,n}` / `?` /
+// `+` / `*` quantifiers. This covers the patterns property tests typically
+// use for names and labels.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        gen_pattern(self, rng)
+    }
+}
+
+fn gen_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a class or a literal character.
+        let class: Vec<(char, char)>;
+        match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                class = parse_class(&chars[i + 1..close]);
+                i = close + 1;
+            }
+            '\\' if i + 1 < chars.len() => {
+                class = vec![(chars[i + 1], chars[i + 1])];
+                i += 2;
+            }
+            c => {
+                class = vec![(c, c)];
+                i += 1;
+            }
+        }
+        // Parse an optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().expect("bad quantifier"),
+                        b.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(pick_from_class(&class, rng));
+        }
+    }
+    out
+}
+
+fn parse_class(body: &[char]) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            ranges.push((body[i], body[i + 2]));
+            i += 3;
+        } else {
+            ranges.push((body[i], body[i]));
+            i += 1;
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+    let mut n = rng.below(total);
+    for (a, b) in ranges {
+        let span = (*b as u64) - (*a as u64) + 1;
+        if n < span {
+            return char::from_u32(*a as u32 + n as u32).expect("valid char in class");
+        }
+        n -= span;
+    }
+    unreachable!("class pick out of bounds")
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy (shim of proptest's trait).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for prop::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> prop::sample::Index {
+        prop::sample::Index(rng.next_u64())
+    }
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Shim of proptest's `prop` facade module.
+pub mod prop {
+    /// Sampling helpers.
+    pub mod sample {
+        /// An index into a runtime-sized collection.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(pub(crate) u64);
+
+        impl Index {
+            /// Resolves against a collection of `len` elements.
+            ///
+            /// # Panics
+            ///
+            /// Panics when `len` is zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / option
+// ---------------------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Some 3 times out of 4, like real proptest's default weight.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// A strategy yielding `None` or `Some(element)`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64)
+}
+
+fn seed_for(name: &str, case: u64) -> u64 {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Drives one property: runs [`case_count`] cases with per-case seeds and
+/// panics (with the seed) on the first failure. Used by [`proptest!`].
+pub fn run_cases<F: Fn(&mut TestRng) -> Result<(), String>>(name: &str, f: F) {
+    for case in 0..case_count() {
+        let seed = seed_for(name, case);
+        let mut rng = TestRng::new(seed);
+        if let Err(msg) = f(&mut rng) {
+            panic!("[{name}] case {case} (seed {seed:#018x}) failed: {msg}");
+        }
+    }
+}
+
+/// Convenience prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose,
+        prop_oneof, proptest, Just, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`run_cases`] cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Declares a named composite strategy:
+/// `fn name()(arg in strategy, ...) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:tt)*)(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy(move |__rng: &mut $crate::TestRng| -> $ret {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$({
+            let __boxed: Box<dyn $crate::Strategy<Value = _>> = Box::new($arm);
+            __boxed
+        }),+])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), __l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..200 {
+            let s = crate::gen_pattern("[a-z][a-z0-9-]{0,14}[a-z0-9]", &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 16, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(!s.ends_with('-'));
+            let t = crate::gen_pattern("[a-z]{1,8}:[0-9]{1,2}", &mut rng);
+            let (name, ver) = t.split_once(':').expect("colon literal preserved");
+            assert!((1..=8).contains(&name.len()));
+            assert!((1..=2).contains(&ver.len()));
+            assert!(ver.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn ranges_are_bounded() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..500 {
+            let v = crate::Strategy::generate(&(-4i64..20), &mut rng);
+            assert!((-4..20).contains(&v));
+            let u = crate::Strategy::generate(&(0u8..8), &mut rng);
+            assert!(u < 8);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a = crate::seed_for("some_test", 5);
+        let b = crate::seed_for("some_test", 5);
+        assert_eq!(a, b);
+        assert_ne!(a, crate::seed_for("some_test", 6));
+        assert_ne!(a, crate::seed_for("other_test", 5));
+    }
+
+    proptest! {
+        /// The shim's own macro pipeline works end to end.
+        #[test]
+        fn shim_smoke(name in "[a-c]{1,3}", n in 0i64..10, flag in any::<bool>(), opt in crate::option::of(0i64..3), v in crate::collection::vec(0u8..4, 0..5)) {
+            prop_assert!(name.len() >= 1 && name.len() <= 3);
+            prop_assert!(n >= 0 && n < 10, "n out of range: {}", n);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(n - 11, n);
+            if let Some(x) = opt {
+                prop_assert!(x < 3);
+            }
+            prop_assert!(v.len() < 5);
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_just(phase in prop_oneof![Just("a"), Just("b")], pick in any::<prop::sample::Index>()) {
+            prop_assert!(phase == "a" || phase == "b");
+            prop_assert!(pick.index(7) < 7);
+        }
+    }
+}

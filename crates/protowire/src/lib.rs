@@ -161,6 +161,50 @@ pub fn put_bool(buf: &mut Vec<u8>, field: u32, v: bool) {
     put_varint(buf, u64::from(v));
 }
 
+// --- reusable encode scratch -----------------------------------------------
+//
+// Nested messages are length-delimited, so the encoder needs a staging
+// buffer per nesting level to learn the payload length before writing the
+// tag. Allocating a fresh `Vec` per nested message made serialization the
+// apiserver's hottest allocation site (every object encode touches it at
+// least twice per request). The pool below keeps one warm buffer per
+// nesting level per thread and hands them out LIFO, so steady-state
+// encoding performs no allocations at all.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static ENCODE_SCRATCH: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Buffers kept warm per thread; deeper nesting still works, the excess
+/// buffers are simply dropped instead of pooled.
+const SCRATCH_POOL_LIMIT: usize = 64;
+
+/// Runs `f` with a cleared scratch buffer borrowed from the thread-local
+/// pool, returning the buffer for reuse afterwards.
+pub fn with_encode_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    let mut buf = ENCODE_SCRATCH.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    let out = f(&mut buf);
+    ENCODE_SCRATCH.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < SCRATCH_POOL_LIMIT {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+/// Appends a nested message field (tag + length + payload) staging the
+/// payload in pooled scratch instead of a fresh allocation.
+pub fn put_msg<M: Message>(buf: &mut Vec<u8>, field: u32, msg: &M) {
+    with_encode_scratch(|tmp| {
+        msg.encode_into(tmp);
+        put_bytes(buf, field, tmp);
+    });
+}
+
 /// A cursor over an encoded buffer.
 #[derive(Debug)]
 pub struct Reader<'a> {
@@ -311,17 +355,41 @@ pub fn decode_map_entry(r: &mut Reader<'_>) -> Result<(String, String), WireErro
     Ok((key, val))
 }
 
-/// Encodes one map entry.
+/// Encodes one map entry (staged in pooled scratch, no allocation on the
+/// steady-state path).
 pub fn put_map_entry(buf: &mut Vec<u8>, field: u32, key: &str, val: &str) {
-    let mut entry = Vec::with_capacity(key.len() + val.len() + 4);
-    put_str(&mut entry, 1, key);
-    put_str(&mut entry, 2, val);
-    put_bytes(buf, field, &entry);
+    with_encode_scratch(|entry| {
+        put_str(entry, 1, key);
+        put_str(entry, 2, val);
+        put_bytes(buf, field, entry);
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scratch_pool_nests_and_returns_cleared_buffers() {
+        with_encode_scratch(|a| {
+            a.push(1);
+            with_encode_scratch(|b| {
+                b.push(2);
+                assert_eq!(b.as_slice(), &[2]);
+            });
+            assert_eq!(a.as_slice(), &[1]);
+        });
+        with_encode_scratch(|a| assert!(a.is_empty(), "pooled buffer not cleared"));
+    }
+
+    #[test]
+    fn pooled_encode_is_stable_across_reuse() {
+        let mut first = Vec::new();
+        put_map_entry(&mut first, 4, "app", "web");
+        let mut second = Vec::new();
+        put_map_entry(&mut second, 4, "app", "web");
+        assert_eq!(first, second);
+    }
 
     #[test]
     fn varint_roundtrip() {

@@ -166,16 +166,12 @@ macro_rules! proto_message {
     (@enc $s:expr, $b:expr, $num:literal, $f:ident, repstr) => {
         for v in &$s.$f { $crate::put_str($b, $num, v); }
     };
-    (@enc $s:expr, $b:expr, $num:literal, $f:ident, msg, $ty:ident) => {{
-        let mut tmp = ::std::vec::Vec::new();
-        $crate::Message::encode_into(&$s.$f, &mut tmp);
-        $crate::put_bytes($b, $num, &tmp);
-    }};
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, msg, $ty:ident) => {
+        $crate::put_msg($b, $num, &$s.$f);
+    };
     (@enc $s:expr, $b:expr, $num:literal, $f:ident, rep, $ty:ident) => {
         for m in &$s.$f {
-            let mut tmp = ::std::vec::Vec::new();
-            $crate::Message::encode_into(m, &mut tmp);
-            $crate::put_bytes($b, $num, &tmp);
+            $crate::put_msg($b, $num, m);
         }
     };
 

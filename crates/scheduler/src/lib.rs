@@ -150,7 +150,7 @@ impl Scheduler {
         self.cursor = next;
         let mut mismatch: Option<(String, String, String)> = None;
         for ev in events {
-            match (ev.kind, &ev.object) {
+            match (ev.kind, ev.object.as_deref()) {
                 (Kind::Pod, Some(Object::Pod(pod))) => {
                     let key = ev.key.clone();
                     if pod.metadata.is_terminating() {
@@ -212,18 +212,20 @@ impl Scheduler {
         if self.pending.is_empty() {
             return;
         }
-        let nodes: Vec<Node> = api
-            .list(Kind::Node, None)
-            .into_iter()
-            .filter_map(|o| match o {
+        // Nodes and pods are shared handles out of the watch cache:
+        // filtering the cluster state is refcount bumps, not deep clones.
+        let node_objs = api.list(Kind::Node, None);
+        let nodes: Vec<&Node> = node_objs
+            .iter()
+            .filter_map(|o| match &**o {
                 Object::Node(n) => Some(n),
                 _ => None,
             })
             .collect();
-        let all_pods: Vec<Pod> = api
-            .list(Kind::Pod, None)
-            .into_iter()
-            .filter_map(|o| match o {
+        let pod_objs = api.list(Kind::Pod, None);
+        let all_pods: Vec<&Pod> = pod_objs
+            .iter()
+            .filter_map(|o| match &**o {
                 Object::Pod(p) => Some(p),
                 _ => None,
             })
@@ -233,12 +235,13 @@ impl Scheduler {
         for _ in 0..self.cfg.bind_budget {
             let Some(key) = self.pending.pop_ready(now) else { break };
             let Some((ns, name)) = split_pod_key(&key) else { continue };
-            let Some(Object::Pod(pod)) = api.get(Kind::Pod, &ns, &name) else { continue };
+            let Some(pod_obj) = api.get(Kind::Pod, &ns, &name) else { continue };
+            let Object::Pod(pod) = &*pod_obj else { continue };
             if pod.metadata.is_terminating() || !pod.spec.node_name.is_empty() {
                 continue;
             }
 
-            match self.pick_node(&pod, &nodes, &usage) {
+            match self.pick_node(pod, &nodes, &usage) {
                 Some(node_name) => {
                     let mut bound = pod.clone();
                     bound.spec.node_name = node_name.clone();
@@ -257,7 +260,7 @@ impl Scheduler {
                 None => {
                     self.metrics.unschedulable_rounds += 1;
                     if pod.spec.priority > 0 {
-                        self.try_preempt(api, &pod, &nodes, &all_pods);
+                        self.try_preempt(api, pod, &nodes, &all_pods);
                     }
                     self.pending.enqueue_after(key, now, self.cfg.unschedulable_retry_ms);
                 }
@@ -268,7 +271,7 @@ impl Scheduler {
     fn relist(&mut self, api: &mut ApiServer, now: u64) {
         self.assumed.clear();
         for obj in api.list(Kind::Pod, None) {
-            let Object::Pod(pod) = obj else { continue };
+            let Object::Pod(pod) = &*obj else { continue };
             if pod.metadata.is_terminating() {
                 continue;
             }
@@ -282,7 +285,7 @@ impl Scheduler {
         }
     }
 
-    fn pick_node(&self, pod: &Pod, nodes: &[Node], usage: &Usage) -> Option<String> {
+    fn pick_node(&self, pod: &Pod, nodes: &[&Node], usage: &Usage) -> Option<String> {
         let mut best: Option<(i64, &str)> = None;
         for node in nodes {
             if !feasible(pod, node, usage) {
@@ -299,7 +302,7 @@ impl Scheduler {
         best.map(|(_, n)| n.to_owned())
     }
 
-    fn try_preempt(&mut self, api: &mut ApiServer, pod: &Pod, nodes: &[Node], all_pods: &[Pod]) {
+    fn try_preempt(&mut self, api: &mut ApiServer, pod: &Pod, nodes: &[&Node], all_pods: &[&Pod]) {
         for node in nodes {
             if node.spec.unschedulable || !node.status.ready {
                 continue;
@@ -307,6 +310,7 @@ impl Scheduler {
             // Victims: strictly lower priority, not terminating.
             let mut victims: Vec<&Pod> = all_pods
                 .iter()
+                .copied()
                 .filter(|p| {
                     p.spec.node_name == node.metadata.name
                         && !p.metadata.is_terminating()
@@ -370,7 +374,7 @@ struct Usage {
 }
 
 impl Usage {
-    fn from_pods(pods: &[Pod]) -> Usage {
+    fn from_pods(pods: &[&Pod]) -> Usage {
         let mut u = Usage::default();
         for p in pods {
             if !p.spec.node_name.is_empty()
@@ -554,7 +558,7 @@ mod tests {
 
         // Corrupt the binding in the store (ApiToEtcd channel bypasses
         // admission ownership rules).
-        let mut pod = api.get(Kind::Pod, "default", "p1").unwrap();
+        let mut pod = (*api.get(Kind::Pod, "default", "p1").unwrap()).clone();
         if let Object::Pod(p) = &mut pod {
             p.spec.node_name = "ghost-node".into();
         }

@@ -54,12 +54,12 @@ fn run(label: &str, corrupt_metric: bool) {
     while world.now() < world.horizon() {
         let next = (world.now() + 5_000).min(world.horizon());
         world.run_until(next);
-        let replicas = match world.api.get(Kind::Deployment, "default", "web-1") {
+        let replicas = match world.api.get(Kind::Deployment, "default", "web-1").as_deref() {
             Some(Object::Deployment(d)) => d.spec.replicas,
             _ => -1,
         };
         if let Some(Object::HorizontalPodAutoscaler(h)) =
-            world.api.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa")
+            world.api.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa").as_deref()
         {
             println!(
                 "  {:>9} {:>9} {:>9} {:>13}",

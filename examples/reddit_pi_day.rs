@@ -24,7 +24,8 @@ fn main() {
     // The "relabeling": the net-agent DaemonSet selector now matches a
     // label no pod carries. (A direct store write models the corruption
     // landing post-validation, as Mutiny's ApiToEtcd injections do.)
-    if let Some(Object::DaemonSet(mut ds)) = world.api.get(Kind::DaemonSet, "kube-system", "net-agent") {
+    if let Some(Object::DaemonSet(ds)) = world.api.get(Kind::DaemonSet, "kube-system", "net-agent").as_deref() {
+        let mut ds = ds.clone();
         ds.spec.selector.match_labels.insert("app".into(), "net-agent-renamed".into());
         world.api.update(Channel::ApiToEtcd, Object::DaemonSet(ds)).unwrap();
         println!("corrupted net-agent DaemonSet selector in the store");

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a cheap smoke campaign.
+#
+# 1. Build + test exactly what the ROADMAP calls tier-1.
+# 2. Run the campaign-throughput bench on a 2% plan so perf regressions
+#    and cross-executor determinism breaks are caught without paying for
+#    a full campaign. The bench asserts work-stealing and static-chunk
+#    executors produce identical rows and writes BENCH_campaign.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== smoke campaign (MUTINY_SCALE=0.02) =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+cargo bench -q -p mutiny-bench --bench campaign_throughput
+
+echo "== verify OK =="

@@ -1,0 +1,60 @@
+//! Work-stealing must not change results: per-experiment seeds derive
+//! from the plan index, so the campaign rows (and the golden baselines)
+//! must be identical to a serial run for any worker count and for either
+//! executor (shared-index stealing or the legacy static chunks).
+
+use k8s_cluster::{ClusterConfig, Workload};
+use k8s_model::Channel;
+use mutiny_core::campaign::{
+    generate_plan, record_fields, run_campaign_static_chunks, run_campaign_with_threads,
+    PlannedExperiment,
+};
+use mutiny_core::golden::build_baseline_with_threads;
+use simkit::Rng;
+use std::collections::HashMap;
+
+/// A small but fault-diverse slice of the real Deploy plan.
+fn small_plan(cluster: &ClusterConfig) -> Vec<PlannedExperiment> {
+    let (fields, kinds) = record_fields(cluster, Workload::Deploy, vec![Channel::ApiToEtcd], 42);
+    let mut rng = Rng::new(7);
+    let full = generate_plan(&fields, &kinds, Workload::Deploy, &mut rng);
+    // Stride widely so the slice spans field mutations, proto-byte flips
+    // and drops while staying cheap enough for CI.
+    let stride = (full.len() / 6).max(1);
+    let plan: Vec<PlannedExperiment> = full.into_iter().step_by(stride).take(6).collect();
+    assert!(plan.len() >= 4, "plan too small to be meaningful");
+    plan
+}
+
+#[test]
+fn campaign_rows_identical_across_thread_counts() {
+    let cluster = ClusterConfig::default();
+    let plan = small_plan(&cluster);
+    let mut baselines = HashMap::new();
+    baselines
+        .insert(Workload::Deploy, build_baseline_with_threads(&cluster, Workload::Deploy, 4, 0xBA5E, 1));
+
+    let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
+    assert_eq!(serial.len(), plan.len());
+
+    for threads in [2usize, 5] {
+        let parallel = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+        assert_eq!(serial.rows, parallel.rows, "work-stealing changed results at {threads} threads");
+    }
+
+    let chunked = run_campaign_static_chunks(&cluster, &plan, &baselines, 2024, 3);
+    assert_eq!(serial.rows, chunked.rows, "executors disagree");
+}
+
+#[test]
+fn baseline_identical_across_thread_counts() {
+    let cluster = ClusterConfig::default();
+    let one = build_baseline_with_threads(&cluster, Workload::Deploy, 5, 77, 1);
+    let many = build_baseline_with_threads(&cluster, Workload::Deploy, 5, 77, 4);
+    assert_eq!(one.avg_response, many.avg_response);
+    assert_eq!(one.golden_maes, many.golden_maes);
+    assert_eq!(one.golden_worst_startup, many.golden_worst_startup);
+    assert_eq!(one.expected_ready, many.expected_ready);
+    assert_eq!(one.expected_endpoints, many.expected_endpoints);
+    assert_eq!(one.expected_pods_created, many.expected_pods_created);
+}

@@ -161,8 +161,9 @@ fn service_selector_corruption_breaks_networking() {
     let handle: k8s_apiserver::InterceptorHandle = mutiny;
     let mut world = World::new(cfg.cluster.clone(), handle);
     world.prepare(Workload::Deploy);
-    if let Some(Object::Service(mut svc)) = world.api.get(Kind::Service, "default", "web-1-svc")
+    if let Some(Object::Service(svc)) = world.api.get(Kind::Service, "default", "web-1-svc").as_deref()
     {
+        let mut svc = svc.clone();
         svc.spec.selector.insert("app".into(), "veb-1".into());
         world.api.update(Channel::ApiToEtcd, Object::Service(svc)).unwrap();
     } else {

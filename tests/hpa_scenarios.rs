@@ -41,7 +41,7 @@ fn run_tracking_replicas(world: &mut World) -> (i64, i64) {
         let next = (world.now() + 500).min(world.horizon());
         world.run_until(next);
         if world.now() > world.t0() + 10_000 && world.now() <= load_end {
-            if let Some(Object::Deployment(d)) = world.api.get(Kind::Deployment, "default", "web-1")
+            if let Some(Object::Deployment(d)) = world.api.get(Kind::Deployment, "default", "web-1").as_deref()
             {
                 lo = lo.min(d.spec.replicas);
                 hi = hi.max(d.spec.replicas);
@@ -61,13 +61,13 @@ fn autoscaler_follows_the_client_load() {
     assert!(lo >= 2, "never below minReplicas");
     assert!(world.kcm.metrics.hpa_scalings >= 1, "no scale action recorded");
     // After 45 s without load the controller returns to the minimum.
-    if let Some(Object::Deployment(d)) = world.api.get(Kind::Deployment, "default", "web-1") {
+    if let Some(Object::Deployment(d)) = world.api.get(Kind::Deployment, "default", "web-1").as_deref() {
         assert_eq!(d.spec.replicas, 2, "scale-down after load stops");
     }
     // The status subresource reflects what the controller observed (F4:
     // operators must be able to see the divergence source).
     if let Some(Object::HorizontalPodAutoscaler(h)) =
-        world.api.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa")
+        world.api.get(Kind::HorizontalPodAutoscaler, "default", "web-1-hpa").as_deref()
     {
         assert!(h.status.last_scale_time > 0);
         assert!(h.status.desired_replicas >= 1);
@@ -129,7 +129,7 @@ fn zeroed_target_load_pins_the_service_to_minimum() {
         world.run_until(next);
         if world.now() > load_end - 10_000 && world.now() <= load_end {
             if let Some(Object::Deployment(d)) =
-                world.api.get(Kind::Deployment, "default", "web-1")
+                world.api.get(Kind::Deployment, "default", "web-1").as_deref()
             {
                 tail_replicas.push(d.spec.replicas);
             }

@@ -111,7 +111,8 @@ fn integrity_repairs_service_selector_corruption() {
     world.prepare(Workload::Deploy);
     // Corrupt the stored bytes *after* sealing (the campaign's in-flight
     // model): the stale redundancy code no longer matches the selector.
-    if let Some(Object::Service(mut svc)) = world.api.get(Kind::Service, "default", "web-1-svc") {
+    if let Some(Object::Service(svc)) = world.api.get(Kind::Service, "default", "web-1-svc").as_deref() {
+        let mut svc = svc.clone();
         svc.spec.selector.insert("app".into(), "veb-1".into());
         let key = Object::Service(svc.clone()).key();
         world.api.etcd_mut().put(&key, Object::Service(svc).encode()).unwrap();
@@ -138,11 +139,11 @@ fn policy_denies_coredns_scale_to_zero() {
     let mut world = World::new(cluster, handle);
     world.prepare(Workload::Deploy);
 
-    let Some(Object::Deployment(mut dns)) =
-        world.api.get(Kind::Deployment, "kube-system", "coredns")
-    else {
+    let Some(dns_obj) = world.api.get(Kind::Deployment, "kube-system", "coredns") else {
         panic!("coredns deployment missing");
     };
+    let Object::Deployment(dns) = &*dns_obj else { panic!("not a deployment") };
+    let mut dns = dns.clone();
     dns.spec.replicas = 0;
     let res = world.api.update(Channel::UserToApi, Object::Deployment(dns));
     assert!(res.is_err(), "scale-to-zero must be denied");

@@ -111,7 +111,7 @@ proptest! {
             shadow.insert(key, v);
         }
         for (k, v) in &shadow {
-            prop_assert_eq!(etcd.get(k).map(|(b, _)| b), Some(v.clone()));
+            prop_assert_eq!(etcd.get(k).map(|(b, _)| b.to_vec()), Some(v.clone()));
         }
     }
 
@@ -122,7 +122,7 @@ proptest! {
         let mut etcd = etcd_sim::Etcd::new(3, 1 << 20);
         etcd.put("/k", payload.clone()).unwrap();
         etcd.corrupt_at_rest(replica, "/k", garbage);
-        prop_assert_eq!(etcd.get("/k").map(|(b, _)| b), Some(payload));
+        prop_assert_eq!(etcd.get("/k").map(|(b, _)| b.to_vec()), Some(payload));
     }
 
     /// The work queue never loses an enqueued key.
