@@ -104,6 +104,11 @@ pub type TraceHandle = Rc<RefCell<Trace>>;
 /// How many decoded events the apiserver retains for watchers.
 const EVENT_LOG_RETENTION: usize = 200_000;
 
+/// Grace period a running pod keeps serving after a user/controller
+/// delete before it is finalized (covers the endpoints→proxy propagation
+/// lag, so voluntary disruptions are hitless).
+pub const POD_TERMINATION_GRACE_MS: u64 = 2_000;
+
 /// The simulated kube-apiserver.
 pub struct ApiServer {
     etcd: Etcd,
@@ -125,6 +130,12 @@ pub struct ApiServer {
     pub validation_enabled: bool,
     /// Count of undecryptable objects deleted.
     pub undecodable_deleted: u64,
+    /// Terminating pods awaiting the end of their grace period, FIFO by
+    /// deadline (deadlines are monotone because `now` is).
+    reap_at: std::collections::VecDeque<(u64, String)>,
+    /// Superseded same-key revisions skipped (not decoded) by batched
+    /// cache drains.
+    pub sync_events_coalesced: u64,
     /// Installed admission policies (§VI-B stricter checks).
     policies: Vec<Box<dyn AdmissionPolicy>>,
     /// Requests denied by an admission policy.
@@ -167,6 +178,8 @@ impl ApiServer {
             now: 0,
             validation_enabled: true,
             undecodable_deleted: 0,
+            reap_at: std::collections::VecDeque::new(),
+            sync_events_coalesced: 0,
             policies: Vec::new(),
             policy_denials: 0,
             integrity: None,
@@ -431,6 +444,55 @@ impl ApiServer {
                         self.review_policies(op, channel, &old, existing.as_deref())?;
                     }
                 }
+                // Graceful termination: a *running* pod deleted by the
+                // user or a controller keeps serving through its grace
+                // period (the endpoints controller drops it immediately,
+                // so rolling updates and drains are hitless). Kubelet
+                // deletes are immediate — there the container is already
+                // gone — and deleting an already-terminating pod forces
+                // it out, like `kubectl delete --force`.
+                if kind == Kind::Pod
+                    && channel != Channel::ApiToEtcd
+                    && channel != Channel::KubeletToApi
+                {
+                    if let Some(Object::Pod(p)) = existing.as_deref() {
+                        if !p.metadata.is_terminating() && p.status.phase == "Running" {
+                            let mut p = p.clone();
+                            p.metadata.deletion_timestamp = self.now.max(1) as i64;
+                            p.metadata.resource_version = self.etcd.revision() as i64 + 1;
+                            let obj = Object::Pod(p);
+                            // The terminating mark is an apiserver→etcd
+                            // transaction like any other: it crosses the
+                            // store wire and is injectable there (the
+                            // campaign's primary injection point).
+                            let bytes = obj.encode();
+                            let verdict =
+                                self.intercept(Channel::ApiToEtcd, kind, key, Op::Update, Some(&bytes));
+                            let store_bytes = match verdict {
+                                WireVerdict::Pass => bytes,
+                                WireVerdict::Replace(b) => b,
+                                WireVerdict::Drop => {
+                                    // The mark silently never lands: the
+                                    // pod keeps running and the deleter
+                                    // must reconcile and retry.
+                                    self.log(
+                                        TraceLevel::Debug,
+                                        format!("delete {key}: terminating mark dropped"),
+                                    );
+                                    return Ok(obj);
+                                }
+                            };
+                            self.etcd_put(key, store_bytes)?;
+                            self.reap_at
+                                .push_back((self.now + POD_TERMINATION_GRACE_MS, key.to_owned()));
+                            self.log(
+                                TraceLevel::Info,
+                                format!("pod {key} terminating via {channel} (graceful)"),
+                            );
+                            return Ok(obj);
+                        }
+                    }
+                }
                 self.etcd_delete(key)?;
                 self.log(TraceLevel::Info, format!("deleted {key} via {channel}"));
                 Ok(self
@@ -595,9 +657,24 @@ impl ApiServer {
 
     // --- the read path -----------------------------------------------------
 
+    /// Finalizes terminating pods whose grace period has elapsed.
+    fn reap_terminated(&mut self) {
+        while let Some((deadline, _)) = self.reap_at.front() {
+            if *deadline > self.now {
+                break;
+            }
+            let (_, key) = self.reap_at.pop_front().expect("front checked");
+            if self.etcd.get(&key).is_some() {
+                self.etcd.delete(&key);
+                self.log(TraceLevel::Info, format!("pod {key} finalized after grace period"));
+            }
+        }
+    }
+
     /// Drains etcd's raw watch log into the decoded cache and event log,
     /// deleting undecryptable objects as they are discovered.
     pub fn sync_cache(&mut self) {
+        self.reap_terminated();
         loop {
             let (raw, next) = match self.etcd.events_after_revision(self.etcd_seen_rev) {
                 Ok(pair) => pair,
@@ -612,8 +689,29 @@ impl ApiServer {
                 return;
             }
             self.etcd_seen_rev = next;
+            // Batch decode: when one drain carries several revisions of
+            // the same key, only the newest is decoded and delivered —
+            // the superseded ones could never be observed through the
+            // level-triggered cache anyway. Most drains carry one event
+            // (every request syncs), so the keep-mask is only built for
+            // the multi-event catch-ups that can actually coalesce.
+            let keep: Option<Vec<bool>> = (raw.len() > 1).then(|| {
+                let mut last: std::collections::HashMap<&str, usize> =
+                    std::collections::HashMap::with_capacity(raw.len());
+                for (i, ev) in raw.iter().enumerate() {
+                    last.insert(ev.key.as_str(), i);
+                }
+                raw.iter()
+                    .enumerate()
+                    .map(|(i, ev)| last.get(ev.key.as_str()) == Some(&i))
+                    .collect()
+            });
             let mut undecodable: Vec<String> = Vec::new();
-            for ev in raw {
+            for (i, ev) in raw.into_iter().enumerate() {
+                if keep.as_ref().is_some_and(|k| !k[i]) {
+                    self.sync_events_coalesced += 1;
+                    continue;
+                }
                 let Some(kind) = kind_of_key(&ev.key) else { continue };
                 match ev.value {
                     None => {
@@ -853,6 +951,46 @@ mod tests {
     fn update_missing_is_not_found() {
         let mut a = api();
         assert_eq!(a.update(Channel::UserToApi, pod("default", "nope")), Err(ApiError::NotFound));
+    }
+
+    #[test]
+    fn drain_coalesces_superseded_revisions() {
+        // Three revisions of one key land in the store between two
+        // drains (a watcher catching up after idling): only the newest
+        // is decoded, the superseded two are skipped.
+        let mut a = api();
+        let Object::Pod(mut p) = pod("default", "p1") else { unreachable!() };
+        for i in 0..3 {
+            p.status.restart_count = i;
+            a.etcd_mut()
+                .put("/registry/pods/default/p1", Object::Pod(p.clone()).encode())
+                .expect("seed store");
+        }
+        let got = a.get(Kind::Pod, "default", "p1").expect("pod visible");
+        assert_eq!(got.as_pod().expect("pod").status.restart_count, 2, "newest revision wins");
+        assert_eq!(a.sync_events_coalesced, 2, "two superseded revisions skipped");
+        // A second drain with nothing new coalesces nothing.
+        let _ = a.list(Kind::Pod, None);
+        assert_eq!(a.sync_events_coalesced, 2);
+    }
+
+    #[test]
+    fn running_pod_delete_is_graceful_then_reaped() {
+        let mut a = api();
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        // Mark it Running, as the kubelet would.
+        let Object::Pod(mut p) = pod("default", "p1") else { unreachable!() };
+        p.status.phase = "Running".into();
+        p.status.ready = true;
+        a.set_now(1_000);
+        a.update(Channel::KubeletToApi, Object::Pod(p)).unwrap();
+        // A controller delete leaves it serving, marked terminating.
+        a.delete(Channel::KcmToApi, Kind::Pod, "default", "p1").unwrap();
+        let still = a.get(Kind::Pod, "default", "p1").expect("graceful: pod still visible");
+        assert!(still.meta().is_terminating());
+        // After the grace period the reaper finalizes it.
+        a.set_now(1_000 + POD_TERMINATION_GRACE_MS);
+        assert!(a.get(Kind::Pod, "default", "p1").is_none(), "pod must be reaped after grace");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! autoscaling on misleading information both over- and under-provisions
 //! services.
 
-use k8s_cluster::{ClusterConfig, MitigationsConfig, Workload, World};
+use k8s_cluster::{ClusterConfig, MitigationsConfig, World};
+use mutiny_scenarios::DEPLOY;
 use k8s_model::{Channel, HorizontalPodAutoscaler, Kind, Object};
 use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec, Mutiny};
 use protowire::reflect::Value;
@@ -36,7 +37,7 @@ fn run_case(metric: Option<&str>, policies: bool, seed: u64) -> (i64, i64, usize
     }));
     let handle: k8s_apiserver::InterceptorHandle = mutiny;
     let mut world = World::new(cfg, handle);
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
     let mut hpa = HorizontalPodAutoscaler::default();
     hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
     hpa.spec.scale_target = "web-1".into();
@@ -47,14 +48,15 @@ fn run_case(metric: Option<&str>, policies: bool, seed: u64) -> (i64, i64, usize
         .api
         .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa))
         .expect("create hpa");
-    world.schedule_workload(Workload::Deploy);
+    world.schedule_ops(DEPLOY.ops());
 
     let (mut lo, mut hi) = (i64::MAX, i64::MIN);
     while world.now() < world.horizon() {
         let next = (world.now() + 500).min(world.horizon());
         world.run_until(next);
         if world.now() > world.t0() {
-            if let Some(Object::Deployment(d)) = world.api.get(Kind::Deployment, "default", "web-1")
+            if let Some(Object::Deployment(d)) =
+                world.api.get(Kind::Deployment, "default", "web-1").as_deref()
             {
                 lo = lo.min(d.spec.replicas);
                 hi = hi.max(d.spec.replicas);
@@ -91,7 +93,7 @@ fn main() {
         cfg.mitigations = MitigationsConfig { policies, ..Default::default() };
         let mut world =
             World::new(cfg, Rc::new(RefCell::new(k8s_model::NoopInterceptor)));
-        world.prepare(Workload::Deploy);
+        world.prepare(DEPLOY.preinstalled_apps());
         let mut hpa = HorizontalPodAutoscaler::default();
         hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
         hpa.spec.scale_target = "web-1".into();

@@ -3,7 +3,8 @@
 //! corruption of a single replica is masked by quorum reads and the
 //! apiserver cache until a restart forces a re-read.
 use etcd_sim::Etcd;
-use k8s_cluster::{ClusterConfig, Workload};
+use k8s_cluster::ClusterConfig;
+use mutiny_scenarios::DEPLOY;
 use k8s_model::{Channel, Kind};
 use mutiny_core::campaign::{run_experiment_with_baseline, ExperimentConfig};
 use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec};
@@ -23,10 +24,10 @@ fn main() {
     println!("== Ablation — replicated control plane vs in-flight injection ==");
     for replicas in [1usize, 3] {
         let cluster = ClusterConfig { etcd_replicas: replicas, ..Default::default() };
-        let baseline = mutiny_core::golden::build_baseline(&cluster, Workload::Deploy, 12, 3);
+        let baseline = mutiny_core::golden::build_baseline(&cluster, DEPLOY, 12, 3);
         let cfg = ExperimentConfig {
             cluster: ClusterConfig { seed: 1234, ..cluster.clone() },
-            workload: Workload::Deploy,
+            scenario: DEPLOY,
             injection: Some(spec.clone()),
         };
         let out = run_experiment_with_baseline(&cfg, &baseline);

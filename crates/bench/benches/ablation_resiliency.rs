@@ -2,7 +2,8 @@
 //! apiserver validation on/off (does the selector↔template check stop
 //! infinite spawn on the user path?), and full disruption mode on/off
 //! (does it stop the Figure 2 eviction cascade?).
-use k8s_cluster::{ClusterConfig, Workload, World};
+use k8s_cluster::{ClusterConfig, World};
+use mutiny_scenarios::DEPLOY;
 use k8s_model::{Channel, Kind, LabelSelector, Object};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -14,7 +15,7 @@ fn main() {
     for validation in [true, false] {
         let cfg = ClusterConfig { seed: 42, ..Default::default() };
         let mut world = World::new(cfg, Rc::new(RefCell::new(k8s_model::NoopInterceptor)));
-        world.prepare(Workload::Deploy);
+        world.prepare(DEPLOY.preinstalled_apps());
         world.api.validation_enabled = validation;
         let mut rs = k8s_model::ReplicaSet::default();
         rs.metadata = k8s_model::ObjectMeta::named("default", "evil-rs");
@@ -31,7 +32,7 @@ fn main() {
             ..Default::default()
         });
         let res = world.api.create(Channel::UserToApi, Object::ReplicaSet(rs));
-        world.schedule_workload(Workload::Deploy);
+        world.schedule_ops(DEPLOY.ops());
         world.run_to_horizon();
         let pods = world.api.count(Kind::Pod, Some("default"));
         println!(
@@ -49,11 +50,11 @@ fn main() {
         cfg.kcm.full_disruption_mode = fdm;
         cfg.kcm.node_grace_ms = 15_000; // tighter grace to fit the window
         let mut world = World::new(cfg, Rc::new(RefCell::new(k8s_model::NoopInterceptor)));
-        world.prepare(Workload::Deploy);
+        world.prepare(DEPLOY.preinstalled_apps());
         for kl in world.kubelets.iter_mut() {
             kl.healthy = false; // the Figure 2 blackout
         }
-        world.schedule_workload(Workload::Deploy);
+        world.schedule_ops(DEPLOY.ops());
         world.run_to_horizon();
         println!(
             "full disruption mode {}: evictions = {} (mode ON must prevent the cascade)",

@@ -35,11 +35,14 @@ fn main() {
     let cluster = ClusterConfig::default();
     let seed = mutiny_bench::seed();
     let scale = mutiny_bench::scale();
+    let scenario_names: Vec<&str> =
+        mutiny_bench::scenarios().iter().map(|s| s.name()).collect();
     let plan = mutiny_bench::plan();
     let threads = exec::default_threads(plan.len());
     eprintln!(
-        "[campaign-throughput] {} experiments (scale {scale}), {threads} worker thread(s)",
-        plan.len()
+        "[campaign-throughput] {} experiments (scale {scale}, scenarios: {}), {threads} worker thread(s)",
+        plan.len(),
+        scenario_names.join(",")
     );
 
     eprintln!(
@@ -79,8 +82,10 @@ fn main() {
     let experiments_per_sec = plan.len() as f64 / stealing_s.max(1e-9);
     let speedup = static_s / stealing_s.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
         plan.len(),
+        scenario_names.len(),
+        scenario_names.join(","),
         mutiny_bench::golden_runs(),
         baseline_s,
         stealing_s,

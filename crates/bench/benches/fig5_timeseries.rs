@@ -27,26 +27,26 @@ fn main() {
         .expect("campaign is nonempty");
 
     let cluster = ClusterConfig::default();
-    let workload = worst.workload;
+    let scenario = worst.scenario;
     let baseline = mutiny_core::golden::build_baseline(
         &cluster,
-        workload,
+        scenario,
         mutiny_bench::golden_runs().min(40),
         mutiny_bench::seed(),
     );
 
     // Left panel: a golden run.
-    let golden_cfg = ExperimentConfig::golden(workload, 777);
+    let golden_cfg = ExperimentConfig::golden(scenario, 777);
     let golden = run_experiment_with_baseline(&golden_cfg, &baseline);
 
     // Right panel: the worst campaign experiment replayed.
-    let injected_cfg = ExperimentConfig::injected(workload, 778, worst.spec.clone());
+    let injected_cfg = ExperimentConfig::injected(scenario, 778, worst.spec.clone());
     let injected = run_experiment_with_baseline(&injected_cfg, &baseline);
 
     println!("== Figure 5 — golden vs injected response-time series ==");
     println!(
         "worst campaign experiment: {} {:?} on {} (campaign z = {:.1})",
-        workload.name(),
+        scenario.name(),
         worst.fault,
         worst.path.as_deref().unwrap_or("<message>"),
         worst.z

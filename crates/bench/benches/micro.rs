@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the substrates: wire codec, store, and a
 //! full golden experiment (the unit of campaign cost).
 use criterion::{criterion_group, criterion_main, Criterion};
-use k8s_cluster::{ClusterConfig, Workload};
+use k8s_cluster::ClusterConfig;
 use protowire::Message;
 use std::hint::black_box;
 
@@ -62,7 +62,7 @@ fn experiment(c: &mut Criterion) {
             seed += 1;
             black_box(mutiny_core::golden::run_golden(
                 &ClusterConfig { seed, ..Default::default() },
-                Workload::Deploy,
+                mutiny_scenarios::DEPLOY,
                 seed,
             ))
         })

@@ -2,7 +2,7 @@
 //! injected on the Kcm→Api, Scheduler→Api and Kubelet→Api channels; we
 //! report how many corrupted values reached etcd (Prop) and how many
 //! experiments logged an apiserver error (Err.).
-use k8s_cluster::{ClusterConfig, Workload};
+use k8s_cluster::ClusterConfig;
 use k8s_model::Channel;
 use mutiny_core::campaign::record_fields;
 use mutiny_core::propagation::{propagation_plan, run_propagation};
@@ -12,15 +12,15 @@ fn main() {
     let channels =
         [Channel::KcmToApi, Channel::SchedulerToApi, Channel::KubeletToApi];
     let mut cells = Vec::new();
-    for wl in Workload::ALL {
-        let (fields, _) = record_fields(&cluster, wl, channels.to_vec(), mutiny_bench::seed());
+    for sc in mutiny_bench::scenarios() {
+        let (fields, _) = record_fields(&cluster, sc, channels.to_vec(), mutiny_bench::seed());
         for ch in channels {
             let mut specs = propagation_plan(&fields, ch);
             // Scale with the campaign knob; the paper runs ~40-470 per cell.
             let keep = ((specs.len() as f64) * mutiny_bench::scale()).ceil() as usize;
             specs.truncate(keep.max(1));
-            let cell = run_propagation(&cluster, wl, &specs, mutiny_bench::seed());
-            cells.push((ch, wl, cell));
+            let cell = run_propagation(&cluster, sc, &specs, mutiny_bench::seed());
+            cells.push((ch, sc, cell));
         }
     }
     println!("{}", mutiny_core::tables::table6(&cells).render());

@@ -8,12 +8,18 @@
 //! Environment knobs:
 //!
 //! * `MUTINY_SCALE` — fraction of the generated plan to execute
-//!   (default 1.0 = the full campaign, ~4–5k experiments; the
-//!   `campaign_throughput` bench defaults to 0.05 and `scripts/verify.sh`
-//!   smokes at 0.02);
-//! * `MUTINY_GOLDEN_RUNS` — golden runs per workload baseline
+//!   (default 1.0 = the full campaign; the `campaign_throughput` bench
+//!   defaults to 0.05 and `scripts/verify.sh` smokes at 0.02);
+//! * `MUTINY_SCENARIOS` — comma-separated scenario names to run
+//!   (default: the whole registry — the paper's three plus
+//!   rolling-update and node-drain);
+//! * `MUTINY_GOLDEN_RUNS` — golden runs per scenario baseline
 //!   (default 100, as in the paper);
 //! * `MUTINY_SEED` — campaign base seed (default 2024);
+//! * `MUTINY_CHECKPOINT_ROWS` — rows per checkpoint chunk (default 250);
+//!   finished chunks are flushed to `<cache>.partial` as they complete,
+//!   so an interrupted campaign resumes at the first unflushed row
+//!   instead of restarting;
 //! * `MUTINY_THREADS` — worker count for the work-stealing executor
 //!   (default: available parallelism). Results are identical for any
 //!   value — per-experiment seeds derive from the plan index — so this
@@ -25,13 +31,16 @@
 //! perf-trajectory data point.
 
 use mutiny_core::campaign::{
-    generate_plan, record_fields, run_campaign, CampaignResults, CampaignRow, PlannedExperiment,
+    generate_plan, record_fields, run_campaign_range, CampaignResults, CampaignRow,
+    PlannedExperiment,
 };
 use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
+use mutiny_core::exec;
 use mutiny_core::golden::{build_baseline, Baseline};
 use mutiny_core::injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec};
-use k8s_cluster::{ClusterConfig, Workload};
+use k8s_cluster::ClusterConfig;
 use k8s_model::{Channel, Kind};
+use mutiny_scenarios::{registry, Scenario};
 use simkit::Rng;
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -52,6 +61,38 @@ pub fn seed() -> u64 {
     std::env::var("MUTINY_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2024)
 }
 
+/// The scenarios this campaign covers: `MUTINY_SCENARIOS` (comma-
+/// separated registry names) or the whole registry.
+///
+/// # Panics
+///
+/// Panics when the filter names a scenario the registry does not know —
+/// silently running a smaller campaign would corrupt the perf trajectory.
+pub fn scenarios() -> Vec<Scenario> {
+    match std::env::var("MUTINY_SCENARIOS") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .map(|n| {
+                registry::find(n).unwrap_or_else(|| {
+                    panic!("MUTINY_SCENARIOS names unknown scenario {n:?}")
+                })
+            })
+            .collect(),
+        Err(_) => registry::all(),
+    }
+}
+
+/// Rows per checkpoint chunk from `MUTINY_CHECKPOINT_ROWS`.
+pub fn checkpoint_rows() -> usize {
+    std::env::var("MUTINY_CHECKPOINT_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(250)
+}
+
 fn cache_path() -> PathBuf {
     // Benches run with the package directory as CWD, so a relative
     // `target/` would point inside `crates/bench`; resolve the workspace
@@ -62,30 +103,44 @@ fn cache_path() -> PathBuf {
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("target")
         });
     let _ = std::fs::create_dir_all(&dir);
-    dir.join(format!("mutiny_campaign_s{:.2}_g{}_seed{}.tsv", scale(), golden_runs(), seed()))
+    // The scenario set is part of the cache identity: a filtered run must
+    // not be mistaken for (or poison) the full campaign's rows.
+    let names: Vec<&str> = scenarios().iter().map(|s| s.name()).collect();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in names.join(",").bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    dir.join(format!(
+        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_{:08x}.tsv",
+        scale(),
+        golden_runs(),
+        seed(),
+        names.len(),
+        h & 0xffff_ffff,
+    ))
 }
 
-/// Builds (or loads from cache) the workload baselines.
-pub fn baselines() -> HashMap<Workload, Baseline> {
+/// Builds the per-scenario baselines.
+pub fn baselines() -> HashMap<Scenario, Baseline> {
     let cluster = ClusterConfig::default();
     let runs = golden_runs();
     let mut out = HashMap::new();
-    for wl in Workload::ALL {
-        out.insert(wl, build_baseline(&cluster, wl, runs, seed()));
+    for sc in scenarios() {
+        out.insert(sc, build_baseline(&cluster, sc, runs, seed()));
     }
     out
 }
 
-/// Generates the full campaign plan (all three workloads, §IV-C rules),
-/// subsampled by [`scale`].
+/// Generates the full campaign plan (every scenario in [`scenarios`],
+/// §IV-C rules), subsampled by [`scale`].
 pub fn plan() -> Vec<PlannedExperiment> {
     let cluster = ClusterConfig::default();
     let mut rng = Rng::new(seed());
     let mut all = Vec::new();
-    for wl in Workload::ALL {
+    for sc in scenarios() {
         let (fields, kinds) =
-            record_fields(&cluster, wl, vec![Channel::ApiToEtcd], seed() ^ 0xF1E1D);
-        all.extend(generate_plan(&fields, &kinds, wl, &mut rng));
+            record_fields(&cluster, sc, vec![Channel::ApiToEtcd], seed() ^ 0xF1E1D);
+        all.extend(generate_plan(&fields, &kinds, sc, &mut rng));
     }
     let s = scale();
     if s >= 0.999 {
@@ -95,8 +150,25 @@ pub fn plan() -> Vec<PlannedExperiment> {
     all.into_iter().enumerate().filter(|(i, _)| i % keep_every == 0).map(|(_, p)| p).collect()
 }
 
+/// True when `rows` is exactly the result prefix of `plan` (same
+/// scenarios, same specs, in order) — the safety check before resuming
+/// from a checkpoint written by an interrupted campaign.
+fn rows_are_plan_prefix(rows: &CampaignResults, plan: &[PlannedExperiment]) -> bool {
+    rows.len() <= plan.len()
+        && rows
+            .rows
+            .iter()
+            .zip(plan)
+            .all(|(row, planned)| row.scenario == planned.scenario && row.spec == planned.spec)
+}
+
 /// The campaign results: loaded from the TSV cache when present, executed
-/// (and cached) otherwise.
+/// otherwise. Execution checkpoints every [`checkpoint_rows`] finished
+/// experiments to `<cache>.partial` — killing the process mid-campaign
+/// loses at most one chunk, and the next call resumes from the
+/// checkpoint (rows are index-deterministic, so a resumed campaign is
+/// byte-identical to an uninterrupted one). The finished checkpoint is
+/// atomically renamed to the final cache.
 pub fn campaign() -> CampaignResults {
     let path = cache_path();
     if let Ok(text) = std::fs::read_to_string(&path) {
@@ -106,17 +178,73 @@ pub fn campaign() -> CampaignResults {
         }
     }
     let cluster = ClusterConfig::default();
-    eprintln!("[mutiny-bench] building baselines ({} golden runs per workload)…", golden_runs());
-    let baselines = baselines();
     let plan = plan();
-    eprintln!("[mutiny-bench] running {} injection experiments (scale {})…", plan.len(), scale());
-    let t = std::time::Instant::now();
-    let results = run_campaign(&cluster, &plan, &baselines, seed());
-    eprintln!("[mutiny-bench] campaign finished in {:?}", t.elapsed());
-    if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = f.write_all(render_rows(&results).as_bytes());
+    let partial_path = path.with_extension("tsv.partial");
+
+    // Resume from a checkpoint when its rows match the plan prefix.
+    let mut done = CampaignResults::default();
+    if let Ok(text) = std::fs::read_to_string(&partial_path) {
+        match parse_rows(&text) {
+            Some(rows) if rows_are_plan_prefix(&rows, &plan) => {
+                eprintln!(
+                    "[mutiny-bench] resuming from checkpoint: {}/{} rows already done",
+                    rows.len(),
+                    plan.len()
+                );
+                done = rows;
+            }
+            _ => {
+                eprintln!("[mutiny-bench] discarding stale checkpoint {}", partial_path.display());
+                let _ = std::fs::remove_file(&partial_path);
+            }
+        }
     }
-    results
+
+    if done.len() < plan.len() {
+        eprintln!(
+            "[mutiny-bench] building baselines ({} golden runs × {} scenarios)…",
+            golden_runs(),
+            scenarios().len()
+        );
+        let baselines = baselines();
+        eprintln!(
+            "[mutiny-bench] running {} injection experiments (scale {})…",
+            plan.len() - done.len(),
+            scale()
+        );
+        let t = std::time::Instant::now();
+        let chunk = checkpoint_rows();
+        let mut out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&partial_path)
+            .expect("open campaign checkpoint");
+        while done.len() < plan.len() {
+            let start = done.len();
+            let end = (start + chunk).min(plan.len());
+            let part = run_campaign_range(
+                &cluster,
+                &plan,
+                &baselines,
+                seed(),
+                start..end,
+                exec::default_threads(end - start),
+            );
+            out.write_all(render_rows(&part).as_bytes()).expect("flush campaign checkpoint");
+            out.flush().expect("flush campaign checkpoint");
+            done.merge(part);
+            eprintln!("[mutiny-bench] checkpoint: {}/{} rows", done.len(), plan.len());
+        }
+        eprintln!("[mutiny-bench] campaign finished in {:?}", t.elapsed());
+    }
+
+    // Promote the finished checkpoint to the final cache.
+    if std::fs::rename(&partial_path, &path).is_err() {
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(render_rows(&done).as_bytes());
+        }
+    }
+    done
 }
 
 // --- TSV (de)serialization -------------------------------------------------
@@ -188,9 +316,12 @@ fn parse_point(s: &str) -> Option<InjectionPoint> {
 fn render_rows(results: &CampaignResults) -> String {
     let mut out = String::new();
     for r in &results.rows {
+        // z uses Rust's shortest round-trip float formatting: resuming
+        // from a checkpoint re-parses flushed rows, and they must equal
+        // the freshly computed ones exactly.
         out.push_str(&format!(
-            "{}\t{:?}\t{}\t{}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-            r.workload.name(),
+            "{}\t{:?}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            r.scenario.name(),
             r.fault,
             r.of.label(),
             r.cf.label(),
@@ -216,7 +347,7 @@ fn parse_rows(text: &str) -> Option<CampaignResults> {
         if f.len() != 11 {
             return None;
         }
-        let workload = Workload::ALL.iter().copied().find(|w| w.name() == f[0])?;
+        let scenario = registry::find(f[0])?;
         let fault = match f[1] {
             "BitFlip" => FaultKind::BitFlip,
             "ValueSet" => FaultKind::ValueSet,
@@ -233,7 +364,7 @@ fn parse_rows(text: &str) -> Option<CampaignResults> {
         let kind = Kind::parse(f[9])?;
         let occurrence: u32 = f[10].parse().ok()?;
         rows.push(CampaignRow {
-            workload,
+            scenario,
             spec: InjectionSpec { channel: Channel::ApiToEtcd, kind, point, occurrence },
             fault,
             of,
@@ -255,7 +386,7 @@ pub fn roundtrip_check(results: &CampaignResults) -> bool {
         .map(|r| {
             r.len() == results.len()
                 && r.rows.iter().zip(&results.rows).all(|(a, b)| {
-                    a.workload == b.workload
+                    a.scenario == b.scenario
                         && a.fault == b.fault
                         && a.of == b.of
                         && a.cf == b.cf
@@ -274,7 +405,7 @@ mod tests {
     fn tsv_roundtrip_preserves_rows() {
         use protowire::reflect::Value;
         let row = |spec: InjectionSpec, fault: FaultKind| CampaignRow {
-            workload: Workload::Deploy,
+            scenario: mutiny_scenarios::DEPLOY,
             path: match &spec.point {
                 InjectionPoint::Field { path, .. } => Some(path.clone()),
                 _ => None,
@@ -357,5 +488,49 @@ mod tests {
     fn scale_defaults_are_sane() {
         assert!(scale() > 0.0 && scale() <= 1.0);
         assert!(golden_runs() >= 4);
+        assert!(checkpoint_rows() >= 1);
+        // The default campaign covers the whole registry: the paper's
+        // three plus rolling-update and node-drain at minimum.
+        assert!(scenarios().len() >= 5);
+    }
+
+    #[test]
+    fn checkpoint_prefix_check_rejects_drift() {
+        let planned = |sc, path: &str| PlannedExperiment {
+            scenario: sc,
+            spec: InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::Pod,
+                point: InjectionPoint::Field {
+                    path: path.into(),
+                    mutation: FieldMutation::FlipBool,
+                },
+                occurrence: 1,
+            },
+        };
+        let row_of = |p: &PlannedExperiment| CampaignRow {
+            scenario: p.scenario,
+            spec: p.spec.clone(),
+            fault: FaultKind::BitFlip,
+            of: OrchestratorFailure::No,
+            cf: ClientFailure::Nsi,
+            z: 0.0,
+            fired: true,
+            activated: false,
+            user_error: false,
+            path: None,
+        };
+        let plan = vec![
+            planned(mutiny_scenarios::DEPLOY, "spec.paused"),
+            planned(mutiny_scenarios::NODE_DRAIN, "spec.paused"),
+        ];
+        let good = CampaignResults { rows: vec![row_of(&plan[0])] };
+        assert!(rows_are_plan_prefix(&good, &plan));
+        let reordered = CampaignResults { rows: vec![row_of(&plan[1])] };
+        assert!(!rows_are_plan_prefix(&reordered, &plan));
+        let too_long = CampaignResults {
+            rows: vec![row_of(&plan[0]), row_of(&plan[1]), row_of(&plan[0])],
+        };
+        assert!(!rows_are_plan_prefix(&too_long, &plan));
     }
 }

@@ -3,21 +3,27 @@
 //! Wires etcd, the apiserver, the controller manager, the scheduler, one
 //! kubelet per node and the network fabric into a deterministic
 //! discrete-event [`World`], then drives the paper's experimental setup
-//! (§V-A): one control-plane node plus four workers (8 CPU / 4 GB each),
-//! flannel-style networking, coreDNS, a monitoring pod, the three
-//! orchestration workloads, and an application client sending
-//! 20 requests/second for 30 seconds against the service application.
+//! (§V-A): one control-plane node plus N template-bootstrapped workers
+//! (the paper uses four at 8 CPU / 4 GB each; see [`Topology`]),
+//! flannel-style networking, coreDNS, a monitoring pod, and an
+//! application client sending 20 requests/second for 30 seconds against
+//! the service application.
+//!
+//! The *scenarios* themselves — which applications are preinstalled,
+//! which timed [`UserOp`]s run, what topology the cluster has — live in
+//! the `mutiny_scenarios` crate's registry; this crate only executes the
+//! plans they produce.
 //!
 //! ```no_run
-//! use k8s_cluster::{ClusterConfig, Workload, World};
+//! use k8s_cluster::{ClusterConfig, UserOp, World};
 //! use k8s_model::NoopInterceptor;
 //! use std::cell::RefCell;
 //! use std::rc::Rc;
 //!
 //! let cfg = ClusterConfig::default();
 //! let mut world = World::new(cfg, Rc::new(RefCell::new(NoopInterceptor)));
-//! world.prepare(Workload::Deploy);
-//! world.schedule_workload(Workload::Deploy);
+//! world.prepare(&[1]); // preinstall web-1
+//! world.schedule_ops(vec![(2_000, UserOp::CreateApp { index: 2, replicas: 2 })]);
 //! world.run_to_horizon();
 //! assert!(world.stats.client_failures() == 0);
 //! ```
@@ -30,7 +36,7 @@ pub mod workload;
 pub use autorepair::{NodeRepairConfig, NodeRepairer, RepairMetrics};
 pub use mutiny_mitigations::MitigationsConfig;
 pub use stats::{ClientSample, MetricsSample, RunStats};
-pub use workload::{app_deployment, app_service, UserOp, Workload};
+pub use workload::{app_deployment, app_service, UserOp};
 
 use k8s_apiserver::{ApiServer, InterceptorHandle, TraceHandle};
 use k8s_kcm::{Kcm, KcmConfig};
@@ -44,6 +50,49 @@ use mutiny_mitigations::{BreakerConfig, CriticalFieldGuard, GuardConfig, Replica
 use simkit::{Rng, Sim, Trace};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Cluster topology requested by a scenario: how many workers join and
+/// what hardware the worker template grants each of them.
+///
+/// Every worker is bootstrapped from the same template (SimKube-style
+/// virtual nodes) — a 20-node cluster costs one struct, not twenty
+/// hand-written fixtures. The control-plane node is always added on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Worker node count.
+    pub workers: usize,
+    /// Per-worker allocatable CPU (millicores).
+    pub worker_cpu_milli: i64,
+    /// Per-worker allocatable memory (MiB).
+    pub worker_memory_mb: i64,
+}
+
+impl Topology {
+    /// The paper's §V-A testbed: four workers at 8 CPU / 4 GB.
+    pub const fn paper() -> Topology {
+        Topology { workers: 4, worker_cpu_milli: 8_000, worker_memory_mb: 4_096 }
+    }
+
+    /// `n` virtual workers bootstrapped from the paper's worker template.
+    pub const fn virtual_workers(n: usize) -> Topology {
+        Topology { workers: n, ..Topology::paper() }
+    }
+
+    /// Applies this topology to a cluster configuration, leaving every
+    /// non-topology knob (seed, mitigations, client settings, …) intact.
+    pub fn apply(self, mut cfg: ClusterConfig) -> ClusterConfig {
+        cfg.workers = self.workers;
+        cfg.worker_cpu_milli = self.worker_cpu_milli;
+        cfg.worker_memory_mb = self.worker_memory_mb;
+        cfg
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Topology {
+        Topology::paper()
+    }
+}
 
 /// Cluster-wide configuration (defaults mirror the paper's setup).
 #[derive(Debug, Clone)]
@@ -292,14 +341,15 @@ impl World {
         }
     }
 
-    /// Bootstraps the cluster and pre-creates the workload's scenario
-    /// objects (§IV-C's "fault/error injection scenario set-up").
-    /// Returns the workload start time `t0`.
-    pub fn prepare(&mut self, workload: Workload) -> u64 {
+    /// Bootstraps the cluster and pre-creates the scenario's application
+    /// objects (§IV-C's "fault/error injection scenario set-up"): each
+    /// entry in `apps` becomes a two-replica `web-<index>` Deployment plus
+    /// its Service. Returns the workload start time `t0`.
+    pub fn prepare(&mut self, apps: &[u32]) -> u64 {
         self.run_until(2_000);
         self.taint_control_plane();
         self.run_until(BOOTSTRAP_MS);
-        for index in workload.preinstalled_apps() {
+        for index in apps {
             let d = workload::app_deployment(*index, 2, self.cfg.app_needs_dns);
             let _ = self.api.create(Channel::UserToApi, Object::Deployment(d));
             let _ =
@@ -323,14 +373,14 @@ impl World {
         }
     }
 
-    /// Schedules the workload's user operations, the application client,
-    /// and metrics sampling. Call after [`World::prepare`]; then either
-    /// [`World::run_to_horizon`] or step manually with
-    /// [`World::run_until`].
-    pub fn schedule_workload(&mut self, workload: Workload) {
+    /// Schedules the scenario's timed user operations (offsets from
+    /// `t0`), the application client, and metrics sampling. Call after
+    /// [`World::prepare`]; then either [`World::run_to_horizon`] or step
+    /// manually with [`World::run_until`].
+    pub fn schedule_ops(&mut self, ops: Vec<(u64, UserOp)>) {
         let t0 = self.t0;
         self.stats.t0 = t0;
-        for (off, op) in workload.ops() {
+        for (off, op) in ops {
             let idx = self.user_ops.len();
             self.user_ops.push(op);
             self.sim.schedule(t0 + off, Ev::UserOp(idx));
@@ -532,10 +582,21 @@ mod tests {
         World::new(cfg, Rc::new(RefCell::new(NoopInterceptor)))
     }
 
+    /// The paper's deploy workload, spelled out as a raw op plan (the
+    /// registry entry lives in `mutiny_scenarios`; golden-run expectations
+    /// for every registered scenario are tested there).
+    fn deploy_ops() -> Vec<(u64, UserOp)> {
+        vec![
+            (2_000, UserOp::CreateApp { index: 2, replicas: 2 }),
+            (2_200, UserOp::CreateApp { index: 3, replicas: 2 }),
+            (2_400, UserOp::CreateApp { index: 4, replicas: 2 }),
+        ]
+    }
+
     #[test]
     fn bootstrap_brings_up_system_pods() {
         let mut w = golden_world(1);
-        w.prepare(Workload::Deploy);
+        w.prepare(&[1]);
         // 5 nodes × 2 DaemonSets + 2 coredns + 1 prometheus.
         let sys_pods = w.api.count(Kind::Pod, Some("kube-system"));
         assert!(sys_pods >= 13, "only {sys_pods} system pods came up");
@@ -544,10 +605,24 @@ mod tests {
     }
 
     #[test]
-    fn golden_deploy_run_serves_every_request() {
+    fn topology_scales_worker_count_from_template() {
+        let cfg = Topology::virtual_workers(20)
+            .apply(ClusterConfig { seed: 9, ..Default::default() });
+        let mut w = World::new(cfg, Rc::new(RefCell::new(NoopInterceptor)));
+        w.prepare(&[1]);
+        // 20 workers + the control plane, all from the one template.
+        assert_eq!(w.api.count(Kind::Node, None), 21);
+        assert_eq!(w.kubelets.len(), 21);
+        // DaemonSets cover every node.
+        let sys_pods = w.api.count(Kind::Pod, Some("kube-system"));
+        assert!(sys_pods >= 2 * 21, "only {sys_pods} system pods on 21 nodes");
+    }
+
+    #[test]
+    fn golden_deploy_plan_serves_every_request() {
         let mut w = golden_world(2);
-        w.prepare(Workload::Deploy);
-        w.schedule_workload(Workload::Deploy);
+        w.prepare(&[1]);
+        w.schedule_ops(deploy_ops());
         w.run_to_horizon();
         assert_eq!(w.stats.client.len(), 600);
         assert_eq!(
@@ -567,42 +642,6 @@ mod tests {
     }
 
     #[test]
-    fn golden_scale_run_reaches_five_replicas() {
-        let mut w = golden_world(3);
-        w.prepare(Workload::ScaleUp);
-        w.schedule_workload(Workload::ScaleUp);
-        w.run_to_horizon();
-        let last = w.stats.last_sample().unwrap();
-        assert_eq!(last.app_ready.get("web-1"), Some(&5));
-        assert_eq!(last.app_ready.get("web-2"), Some(&5));
-        assert_eq!(last.app_ready.get("web-3"), Some(&2));
-        assert_eq!(w.stats.client_failures(), 0);
-    }
-
-    #[test]
-    fn golden_failover_respawns_pods_elsewhere() {
-        let mut w = golden_world(4);
-        w.prepare(Workload::Failover);
-        w.schedule_workload(Workload::Failover);
-        w.run_to_horizon();
-        let last = w.stats.last_sample().unwrap();
-        for name in ["web-1", "web-2", "web-3"] {
-            assert_eq!(last.app_ready.get(name), Some(&2), "{name}: {last:?}");
-        }
-        // No application pod may remain on the tainted node.
-        let mut on_w1 = 0;
-        w.api.for_each(Kind::Pod, Some("default"), |obj| {
-            if let Object::Pod(p) = obj {
-                if p.spec.node_name == "w1" {
-                    on_w1 += 1;
-                }
-            }
-        });
-        assert_eq!(on_w1, 0, "pods still on the tainted node");
-        assert!(w.kcm.metrics.pods_evicted >= 1);
-    }
-
-    #[test]
     fn golden_run_with_all_mitigations_is_clean() {
         // The §VI-B defenses must not disturb a healthy cluster: no policy
         // denials, no integrity repairs, no breaker trips, no rollbacks.
@@ -612,8 +651,8 @@ mod tests {
             ..Default::default()
         };
         let mut w = World::new(cfg, Rc::new(RefCell::new(k8s_model::NoopInterceptor)));
-        w.prepare(Workload::Deploy);
-        w.schedule_workload(Workload::Deploy);
+        w.prepare(&[1]);
+        w.schedule_ops(deploy_ops());
         w.run_to_horizon();
         assert_eq!(w.stats.client_failures(), 0);
         let last = w.stats.last_sample().unwrap();
@@ -630,8 +669,8 @@ mod tests {
     fn deterministic_across_identical_seeds() {
         let run = |seed| {
             let mut w = golden_world(seed);
-            w.prepare(Workload::Deploy);
-            w.schedule_workload(Workload::Deploy);
+            w.prepare(&[1]);
+            w.schedule_ops(deploy_ops());
             w.run_to_horizon();
             w.stats.response_series()
         };

@@ -1,13 +1,11 @@
-//! The orchestration workloads and the service application (kbench role).
+//! User operations and the service application (kbench role).
 //!
-//! Parametrized exactly like the paper's setup (§V-A):
-//!
-//! * **deploy** — creates three new Deployments (two replicas each) with
-//!   their Services;
-//! * **scale-up** — scales two existing Deployments 2 → 3 → 4 → 5, with
-//!   10 s between steps;
-//! * **failover** — applies a NoExecute taint to one worker, forcing its
-//!   pods to respawn elsewhere.
+//! The paper's three orchestration workloads (deploy, scale-up, failover,
+//! §V-A) used to live here as a closed enum; they are now registry entries
+//! in the `mutiny_scenarios` crate, alongside rolling-update and
+//! node-drain. This module keeps the scenario-agnostic building blocks:
+//! the timed [`UserOp`] vocabulary every scenario schedules, and the
+//! service-application object builders.
 //!
 //! The service application is a stateless web server that reads a random
 //! seed from a volume at startup and answers CPU-bound requests; by
@@ -17,68 +15,8 @@
 use crate::bootstrap::app_deployment_base;
 use k8s_model::{Channel, Deployment, Kind, Object, Service};
 
-/// The three orchestration workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Workload {
-    /// Create three new Deployments plus Services.
-    Deploy,
-    /// Scale two Deployments 2 → 3 → 4 → 5 in 10-second steps.
-    ScaleUp,
-    /// Simulate a node failure with a NoExecute taint.
-    Failover,
-}
-
-impl Workload {
-    /// All workloads in paper order.
-    pub const ALL: [Workload; 3] = [Workload::Deploy, Workload::ScaleUp, Workload::Failover];
-
-    /// Short name as used in the paper's tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            Workload::Deploy => "deploy",
-            Workload::ScaleUp => "scale",
-            Workload::Failover => "failover",
-        }
-    }
-
-    /// Application Deployments created during scenario setup (before the
-    /// fault window). The client always targets `web-1`.
-    pub fn preinstalled_apps(self) -> &'static [u32] {
-        match self {
-            Workload::Deploy => &[1],
-            Workload::ScaleUp | Workload::Failover => &[1, 2, 3],
-        }
-    }
-
-    /// User operations of the workload, as offsets from the workload
-    /// start (`t0`).
-    pub fn ops(self) -> Vec<(u64, UserOp)> {
-        match self {
-            Workload::Deploy => vec![
-                (2_000, UserOp::CreateApp { index: 2, replicas: 2 }),
-                (2_200, UserOp::CreateApp { index: 3, replicas: 2 }),
-                (2_400, UserOp::CreateApp { index: 4, replicas: 2 }),
-            ],
-            Workload::ScaleUp => vec![
-                (2_000, UserOp::Scale { index: 1, replicas: 3 }),
-                (2_100, UserOp::Scale { index: 2, replicas: 3 }),
-                (12_000, UserOp::Scale { index: 1, replicas: 4 }),
-                (12_100, UserOp::Scale { index: 2, replicas: 4 }),
-                (22_000, UserOp::Scale { index: 1, replicas: 5 }),
-                (22_100, UserOp::Scale { index: 2, replicas: 5 }),
-            ],
-            Workload::Failover => vec![(2_000, UserOp::TaintNode { node: "w1".into() })],
-        }
-    }
-}
-
-impl std::fmt::Display for Workload {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// One kbench-style user operation.
+/// One kbench-style user operation, scheduled by a scenario at an offset
+/// from the workload start (`t0`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UserOp {
     /// Create Deployment `web-<index>` plus its Service.
@@ -97,6 +35,28 @@ pub enum UserOp {
     },
     /// Apply a NoExecute taint to a node (simulated node failure).
     TaintNode {
+        /// Node name.
+        node: String,
+    },
+    /// Change `web-<index>`'s container image, triggering a rolling
+    /// update under the Deployment's maxSurge/maxUnavailable budget.
+    SetImage {
+        /// Application index.
+        index: u32,
+        /// New container image.
+        image: String,
+    },
+    /// Cordon a node: apply a NoSchedule taint so no new pods land on it
+    /// (planned maintenance, the first half of `kubectl drain`).
+    CordonNode {
+        /// Node name.
+        node: String,
+    },
+    /// Evict one application pod from a node (the sequential second half
+    /// of `kubectl drain`). Picks the name-smallest remaining `web-*` pod
+    /// on the node, so the eviction sequence is deterministic; a no-op
+    /// once the node is empty.
+    EvictPodOn {
         /// Node name.
         node: String,
     },
@@ -162,29 +122,46 @@ pub(crate) fn execute_op(
                 let _ = api.update(Channel::UserToApi, Object::Node(n));
             }
         }
+        UserOp::SetImage { index, image } => {
+            let name = format!("web-{index}");
+            if let Some(Object::Deployment(d)) = api.get(Kind::Deployment, "default", &name).as_deref() {
+                let mut d = d.clone();
+                d.spec.template.spec.containers[0].image = image.clone();
+                let _ = api.update(Channel::UserToApi, Object::Deployment(d));
+            }
+        }
+        UserOp::CordonNode { node } => {
+            if let Some(Object::Node(n)) = api.get(Kind::Node, "", node).as_deref() {
+                let mut n = n.clone();
+                n.add_taint("maintenance", k8s_model::node::TAINT_NO_SCHEDULE);
+                let _ = api.update(Channel::UserToApi, Object::Node(n));
+            }
+        }
+        UserOp::EvictPodOn { node } => {
+            // Smallest name wins so the eviction sequence is deterministic
+            // (the cache iterates in hash order).
+            let mut victim: Option<String> = None;
+            api.for_each(Kind::Pod, Some("default"), |obj| {
+                if let Object::Pod(p) = obj {
+                    if p.spec.node_name == *node
+                        && p.metadata.name.starts_with("web-")
+                        && !p.metadata.is_terminating()
+                        && victim.as_deref().map_or(true, |v| p.metadata.name.as_str() < v)
+                    {
+                        victim = Some(p.metadata.name.clone());
+                    }
+                }
+            });
+            if let Some(name) = victim {
+                let _ = api.delete(Channel::UserToApi, Kind::Pod, "default", &name);
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn workload_parameters_match_paper() {
-        // deploy: three Deployments, two replicas each.
-        let ops = Workload::Deploy.ops();
-        assert_eq!(ops.len(), 3);
-        assert!(ops.iter().all(|(_, op)| matches!(op, UserOp::CreateApp { replicas: 2, .. })));
-
-        // scale-up: two Deployments, 2→3→4→5 with 10 s steps.
-        let ops = Workload::ScaleUp.ops();
-        assert_eq!(ops.len(), 6);
-        let times: Vec<u64> = ops.iter().map(|(t, _)| *t).collect();
-        assert!(times[2] - times[0] == 10_000 && times[4] - times[2] == 10_000);
-
-        // failover: one taint.
-        assert_eq!(Workload::Failover.ops().len(), 1);
-    }
 
     #[test]
     fn app_objects_are_consistent() {
@@ -194,13 +171,5 @@ mod tests {
         assert!(d.spec.selector.matches(&d.spec.template.metadata.labels));
         assert_eq!(s.spec.selector.get("app").map(String::as_str), Some("web-1"));
         assert_eq!(s.spec.target_port, d.spec.template.spec.containers[0].port);
-    }
-
-    #[test]
-    fn names_are_stable() {
-        for wl in Workload::ALL {
-            assert!(!wl.name().is_empty());
-        }
-        assert_eq!(Workload::ScaleUp.to_string(), "scale");
     }
 }

@@ -12,7 +12,8 @@
 use crate::campaign::{run_campaign, CampaignResults, PlannedExperiment};
 use crate::classify::{ClientFailure, OrchestratorFailure};
 use crate::golden::{build_baseline, Baseline};
-use k8s_cluster::{ClusterConfig, MitigationsConfig, Workload};
+use k8s_cluster::{ClusterConfig, MitigationsConfig};
+use mutiny_scenarios::Scenario;
 use std::collections::HashMap;
 
 /// One ablation arm: a label and the defenses it enables.
@@ -116,7 +117,7 @@ pub fn critical_replay_plan(results: &CampaignResults) -> Vec<PlannedExperiment>
         .rows
         .iter()
         .filter(|r| r.of.is_system_wide() || r.cf == ClientFailure::Su)
-        .map(|r| PlannedExperiment { workload: r.workload, spec: r.spec.clone() })
+        .map(|r| PlannedExperiment { scenario: r.scenario, spec: r.spec.clone() })
         .collect()
 }
 
@@ -130,18 +131,18 @@ pub fn run_ablation(
     golden_runs: usize,
     seed: u64,
 ) -> Vec<(AblationArm, CampaignResults)> {
-    let workloads: Vec<Workload> = {
-        let mut w: Vec<Workload> = plan.iter().map(|p| p.workload).collect();
-        w.sort_by_key(|w| w.name());
+    let scenarios: Vec<Scenario> = {
+        let mut w: Vec<Scenario> = plan.iter().map(|p| p.scenario).collect();
+        w.sort();
         w.dedup();
         w
     };
     let mut out = Vec::with_capacity(arms.len());
     for arm in arms {
         let cfg = ClusterConfig { mitigations: arm.mitigations.clone(), ..cluster.clone() };
-        let mut baselines: HashMap<Workload, Baseline> = HashMap::new();
-        for wl in &workloads {
-            baselines.insert(*wl, build_baseline(&cfg, *wl, golden_runs, seed));
+        let mut baselines: HashMap<Scenario, Baseline> = HashMap::new();
+        for sc in &scenarios {
+            baselines.insert(*sc, build_baseline(&cfg, *sc, golden_runs, seed));
         }
         let results = run_campaign(&cfg, plan, &baselines, seed);
         out.push((arm.clone(), results));
@@ -159,7 +160,7 @@ mod tests {
 
     fn row(of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
         CampaignRow {
-            workload: Workload::Deploy,
+            scenario: mutiny_scenarios::DEPLOY,
             spec: InjectionSpec {
                 channel: Channel::ApiToEtcd,
                 kind: Kind::ReplicaSet,

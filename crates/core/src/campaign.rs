@@ -14,8 +14,9 @@ use crate::injector::{
 };
 use crate::recorder::{FieldRecorder, RecordedField};
 use k8s_apiserver::InterceptorHandle;
-use k8s_cluster::{ClusterConfig, Workload, World};
+use k8s_cluster::{ClusterConfig, World};
 use k8s_model::{Channel, Kind};
+use mutiny_scenarios::Scenario;
 use protowire::reflect::{FieldType, Value};
 use simkit::Rng;
 use std::cell::RefCell;
@@ -24,29 +25,30 @@ use std::rc::Rc;
 /// Configuration of one injection experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
-    /// Cluster parameters (including the deterministic seed).
+    /// Cluster parameters (including the deterministic seed). The
+    /// scenario's topology is applied on top when the world is built.
     pub cluster: ClusterConfig,
-    /// Orchestration workload to run.
-    pub workload: Workload,
+    /// Scenario to run (a registry handle).
+    pub scenario: Scenario,
     /// The fault to inject; `None` runs a golden experiment.
     pub injection: Option<InjectionSpec>,
 }
 
 impl ExperimentConfig {
     /// A golden (fault-free) experiment.
-    pub fn golden(workload: Workload, seed: u64) -> ExperimentConfig {
+    pub fn golden(scenario: Scenario, seed: u64) -> ExperimentConfig {
         ExperimentConfig {
             cluster: ClusterConfig { seed, ..ClusterConfig::default() },
-            workload,
+            scenario,
             injection: None,
         }
     }
 
     /// An injection experiment.
-    pub fn injected(workload: Workload, seed: u64, spec: InjectionSpec) -> ExperimentConfig {
+    pub fn injected(scenario: Scenario, seed: u64, spec: InjectionSpec) -> ExperimentConfig {
         ExperimentConfig {
             cluster: ClusterConfig { seed, ..ClusterConfig::default() },
-            workload,
+            scenario,
             injection: Some(spec),
         }
     }
@@ -82,9 +84,8 @@ pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
         None => Mutiny::disarmed(),
     }));
     let handle: InterceptorHandle = mutiny.clone();
-    let mut world = World::new(cfg.cluster.clone(), handle);
-    world.prepare(cfg.workload);
-    world.schedule_workload(cfg.workload);
+    let mut world = cfg.scenario.build_world(&cfg.cluster, handle);
+    cfg.scenario.schedule(&mut world);
 
     // Step the horizon in slices so read-tracking can be armed right
     // after the injection fires (activation analysis, §V-C1).
@@ -144,27 +145,27 @@ pub const DEFAULT_BASELINE_RUNS: usize = 12;
 /// workload on first use. Campaigns should prebuild baselines and call
 /// [`run_experiment_with_baseline`] instead.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutcome {
-    let baseline = cached_default_baseline(cfg.workload);
+    let baseline = cached_default_baseline(cfg.scenario);
     run_experiment_with_baseline(cfg, &baseline)
 }
 
 /// A lazily computed baseline for the default [`ClusterConfig`].
-pub fn cached_default_baseline(workload: Workload) -> std::sync::Arc<Baseline> {
+pub fn cached_default_baseline(scenario: Scenario) -> std::sync::Arc<Baseline> {
     use std::sync::{Arc, Mutex, OnceLock};
     static CACHE: OnceLock<Mutex<std::collections::HashMap<&'static str, Arc<Baseline>>>> =
         OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
     let mut guard = cache.lock().expect("baseline cache poisoned");
-    if let Some(b) = guard.get(workload.name()) {
+    if let Some(b) = guard.get(scenario.name()) {
         return Arc::clone(b);
     }
     let b = Arc::new(build_baseline(
         &ClusterConfig::default(),
-        workload,
+        scenario,
         DEFAULT_BASELINE_RUNS,
         0xBA5E,
     ));
-    guard.insert(workload.name(), Arc::clone(&b));
+    guard.insert(scenario.name(), Arc::clone(&b));
     b
 }
 
@@ -175,8 +176,8 @@ pub fn cached_default_baseline(workload: Workload) -> std::sync::Arc<Baseline> {
 /// One planned experiment.
 #[derive(Debug, Clone)]
 pub struct PlannedExperiment {
-    /// Workload to run.
-    pub workload: Workload,
+    /// Scenario to run.
+    pub scenario: Scenario,
     /// Fault to inject.
     pub spec: InjectionSpec,
 }
@@ -185,7 +186,7 @@ pub struct PlannedExperiment {
 /// `workload` (campaign phase 1).
 pub fn record_fields(
     cluster: &ClusterConfig,
-    workload: Workload,
+    scenario: Scenario,
     channels: Vec<Channel>,
     seed: u64,
 ) -> (Vec<RecordedField>, Vec<(Channel, Kind, u64)>) {
@@ -195,9 +196,8 @@ pub fn record_fields(
     )));
     let handle: InterceptorHandle = recorder.clone();
     let cfg = ClusterConfig { seed, ..cluster.clone() };
-    let mut world = World::new(cfg, handle);
-    world.prepare(workload);
-    world.schedule_workload(workload);
+    let mut world = scenario.build_world(&cfg, handle);
+    scenario.schedule(&mut world);
     world.run_to_horizon();
     let r = recorder.borrow();
     (r.fields(), r.kinds_seen())
@@ -215,7 +215,7 @@ pub const FIELD_OCCURRENCES: u32 = 3;
 pub fn generate_plan(
     fields: &[RecordedField],
     kinds: &[(Channel, Kind, u64)],
-    workload: Workload,
+    scenario: Scenario,
     rng: &mut Rng,
 ) -> Vec<PlannedExperiment> {
     let mut plan = Vec::new();
@@ -246,7 +246,7 @@ pub fn generate_plan(
         for mutation in mutations {
             for occurrence in 1..=FIELD_OCCURRENCES {
                 plan.push(PlannedExperiment {
-                    workload,
+                    scenario,
                     spec: InjectionSpec {
                         channel: f.channel,
                         kind: f.kind,
@@ -264,7 +264,7 @@ pub fn generate_plan(
     for (channel, kind, _count) in kinds {
         for _ in 0..PROTO_INJECTIONS_PER_KIND {
             plan.push(PlannedExperiment {
-                workload,
+                scenario,
                 spec: InjectionSpec {
                     channel: *channel,
                     kind: *kind,
@@ -278,7 +278,7 @@ pub fn generate_plan(
         }
         for occurrence in 1..=DROP_OCCURRENCES {
             plan.push(PlannedExperiment {
-                workload,
+                scenario,
                 spec: InjectionSpec {
                     channel: *channel,
                     kind: *kind,
@@ -299,8 +299,8 @@ pub fn generate_plan(
 /// One finished campaign experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignRow {
-    /// Workload of the experiment.
-    pub workload: Workload,
+    /// Scenario of the experiment.
+    pub scenario: Scenario,
     /// Injected fault.
     pub spec: InjectionSpec,
     /// Fault-model bucket (Table IV/V rows).
@@ -348,9 +348,23 @@ impl CampaignResults {
         fired.iter().filter(|r| r.activated).count() as f64 / fired.len() as f64
     }
 
-    /// Rows of a given workload.
-    pub fn by_workload(&self, wl: Workload) -> impl Iterator<Item = &CampaignRow> {
-        self.rows.iter().filter(move |r| r.workload == wl)
+    /// Rows of a given scenario.
+    pub fn by_scenario(&self, sc: Scenario) -> impl Iterator<Item = &CampaignRow> {
+        self.rows.iter().filter(move |r| r.scenario == sc)
+    }
+
+    /// The distinct scenarios present in the rows, in registry order
+    /// (the tables iterate this so new scenarios extend them
+    /// automatically).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out: Vec<Scenario> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.scenario) {
+                out.push(r.scenario);
+            }
+        }
+        out.sort();
+        out
     }
 
     /// Count matching a predicate.
@@ -370,21 +384,21 @@ impl CampaignResults {
 fn run_planned(
     cluster: &ClusterConfig,
     planned: &PlannedExperiment,
-    baselines: &std::collections::HashMap<Workload, Baseline>,
+    baselines: &std::collections::HashMap<Scenario, Baseline>,
     base_seed: u64,
     index: usize,
 ) -> CampaignRow {
     let seed = base_seed.wrapping_add(index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let cfg = ExperimentConfig {
         cluster: ClusterConfig { seed, ..cluster.clone() },
-        workload: planned.workload,
+        scenario: planned.scenario,
         injection: Some(planned.spec.clone()),
     };
     let baseline =
-        baselines.get(&planned.workload).expect("baseline for every planned workload");
+        baselines.get(&planned.scenario).expect("baseline for every planned scenario");
     let outcome = run_experiment_with_baseline(&cfg, baseline);
     CampaignRow {
-        workload: planned.workload,
+        scenario: planned.scenario,
         fault: planned.spec.fault_kind(),
         path: match &planned.spec.point {
             InjectionPoint::Field { path, .. } => Some(path.clone()),
@@ -401,7 +415,7 @@ fn run_planned(
 }
 
 /// Executes a plan on the work-stealing executor; `baselines` must match
-/// the plan's workload distribution (one baseline per workload).
+/// the plan's scenario distribution (one baseline per scenario).
 ///
 /// Per-experiment seeds derive from the plan index, so the result rows are
 /// byte-identical to a serial run for any worker count (see
@@ -409,7 +423,7 @@ fn run_planned(
 pub fn run_campaign(
     cluster: &ClusterConfig,
     plan: &[PlannedExperiment],
-    baselines: &std::collections::HashMap<Workload, Baseline>,
+    baselines: &std::collections::HashMap<Scenario, Baseline>,
     base_seed: u64,
 ) -> CampaignResults {
     run_campaign_with_threads(
@@ -426,12 +440,30 @@ pub fn run_campaign(
 pub fn run_campaign_with_threads(
     cluster: &ClusterConfig,
     plan: &[PlannedExperiment],
-    baselines: &std::collections::HashMap<Workload, Baseline>,
+    baselines: &std::collections::HashMap<Scenario, Baseline>,
     base_seed: u64,
     threads: usize,
 ) -> CampaignResults {
-    let rows = crate::exec::run_indexed(plan.len(), threads, |i| {
-        run_planned(cluster, &plan[i], baselines, base_seed, i)
+    run_campaign_range(cluster, plan, baselines, base_seed, 0..plan.len(), threads)
+}
+
+/// Runs the plan slice `range` with seeds derived from **global** plan
+/// indices: executing `0..n` in any partition of consecutive ranges
+/// yields exactly the rows of one full run. This is what the TSV
+/// checkpointing in `mutiny_bench` builds on — an interrupted campaign
+/// resumes at the first row it never flushed.
+pub fn run_campaign_range(
+    cluster: &ClusterConfig,
+    plan: &[PlannedExperiment],
+    baselines: &std::collections::HashMap<Scenario, Baseline>,
+    base_seed: u64,
+    range: std::ops::Range<usize>,
+    threads: usize,
+) -> CampaignResults {
+    let start = range.start.min(plan.len());
+    let end = range.end.min(plan.len()).max(start);
+    let rows = crate::exec::run_indexed(end - start, threads, |i| {
+        run_planned(cluster, &plan[start + i], baselines, base_seed, start + i)
     });
     CampaignResults { rows }
 }
@@ -442,7 +474,7 @@ pub fn run_campaign_with_threads(
 pub fn run_campaign_static_chunks(
     cluster: &ClusterConfig,
     plan: &[PlannedExperiment],
-    baselines: &std::collections::HashMap<Workload, Baseline>,
+    baselines: &std::collections::HashMap<Scenario, Baseline>,
     base_seed: u64,
     threads: usize,
 ) -> CampaignResults {
@@ -456,10 +488,12 @@ pub fn run_campaign_static_chunks(
 mod tests {
     use super::*;
 
+    use mutiny_scenarios::DEPLOY;
+
     #[test]
     fn golden_experiment_classifies_clean() {
-        let baseline = build_baseline(&ClusterConfig::default(), Workload::Deploy, 8, 10);
-        let cfg = ExperimentConfig::golden(Workload::Deploy, 999);
+        let baseline = build_baseline(&ClusterConfig::default(), DEPLOY, 8, 10);
+        let cfg = ExperimentConfig::golden(DEPLOY, 999);
         let out = run_experiment_with_baseline(&cfg, &baseline);
         assert_eq!(out.orchestrator_failure, OrchestratorFailure::No);
         assert_eq!(out.client_failure, ClientFailure::Nsi);
@@ -471,7 +505,7 @@ mod tests {
     fn recording_covers_workload_kinds() {
         let (fields, kinds) = record_fields(
             &ClusterConfig::default(),
-            Workload::Deploy,
+            DEPLOY,
             vec![Channel::ApiToEtcd],
             42,
         );
@@ -511,7 +545,7 @@ mod tests {
         ];
         let kinds = vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 5u64)];
         let mut rng = Rng::new(1);
-        let plan = generate_plan(&fields, &kinds, Workload::Deploy, &mut rng);
+        let plan = generate_plan(&fields, &kinds, DEPLOY, &mut rng);
         // Int: 3 mutations × 3 occurrences; Str (len 2): 3 × 3;
         // proto: 8; drops: 10.
         assert_eq!(plan.len(), 9 + 9 + 8 + 10);

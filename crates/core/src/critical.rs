@@ -14,7 +14,7 @@ use crate::campaign::{CampaignResults, PlannedExperiment};
 use crate::classify::ClientFailure;
 use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
 use crate::recorder::RecordedField;
-use k8s_cluster::Workload;
+use mutiny_scenarios::Scenario;
 use protowire::reflect::Value;
 use std::collections::BTreeMap;
 
@@ -183,7 +183,7 @@ pub fn semantic_values(path: &str, sample: &Value) -> Vec<Value> {
 pub fn generate_critical_plan(
     fields: &[RecordedField],
     critical: &[CriticalField],
-    workload: Workload,
+    scenario: Scenario,
 ) -> Vec<PlannedExperiment> {
     let mut plan = Vec::new();
     for cf in critical {
@@ -191,7 +191,7 @@ pub fn generate_critical_plan(
         for value in semantic_values(&cf.path, &rf.sample) {
             for occurrence in 1..=2u32 {
                 plan.push(PlannedExperiment {
-                    workload,
+                    scenario,
                     spec: InjectionSpec {
                         channel: rf.channel,
                         kind: rf.kind,
@@ -242,7 +242,7 @@ mod tests {
 
     fn row(path: &str, of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
         CampaignRow {
-            workload: Workload::Deploy,
+            scenario: mutiny_scenarios::DEPLOY,
             spec: InjectionSpec {
                 channel: Channel::ApiToEtcd,
                 kind: Kind::ReplicaSet,
@@ -321,7 +321,7 @@ mod tests {
             category: FieldCategory::Replication,
             critical_injections: 1,
         }];
-        let plan = generate_critical_plan(&fields, &critical, Workload::Deploy);
+        let plan = generate_critical_plan(&fields, &critical, mutiny_scenarios::DEPLOY);
         // 2 semantic values × 2 occurrences.
         assert_eq!(plan.len(), 4);
     }

@@ -138,13 +138,12 @@ mod tests {
     use crate::campaign::CampaignRow;
     use crate::classify::ClientFailure;
     use crate::injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec};
-    use k8s_cluster::Workload;
     use k8s_model::{Channel, Kind};
     use protowire::reflect::Value;
 
     fn row(of: OrchestratorFailure, user_error: bool, path: &str) -> CampaignRow {
         CampaignRow {
-            workload: Workload::Deploy,
+            scenario: mutiny_scenarios::DEPLOY,
             spec: InjectionSpec {
                 channel: Channel::ApiToEtcd,
                 kind: Kind::Pod,

@@ -6,14 +6,15 @@
 //! z-scores), the golden pod-startup statistics (for Tim), and the
 //! expected steady-state gauge values (for LeR/MoR/Net).
 
-use k8s_cluster::{ClusterConfig, RunStats, Workload, World};
+use k8s_cluster::{ClusterConfig, RunStats};
 use k8s_model::NoopInterceptor;
+use mutiny_scenarios::Scenario;
 use simkit::stats::{average_series, mae};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-/// Golden-run baselines for one workload.
+/// Golden-run baselines for one scenario.
 #[derive(Debug, Clone, Default)]
 pub struct Baseline {
     /// Element-wise average of golden response-time series.
@@ -38,29 +39,28 @@ pub struct Baseline {
 }
 
 /// Runs one golden (fault-free) experiment and returns its statistics.
-pub fn run_golden(cluster: &ClusterConfig, workload: Workload, seed: u64) -> RunStats {
+pub fn run_golden(cluster: &ClusterConfig, scenario: Scenario, seed: u64) -> RunStats {
     let cfg = ClusterConfig { seed, ..cluster.clone() };
-    let mut world = World::new(cfg, Rc::new(RefCell::new(NoopInterceptor)));
-    world.prepare(workload);
-    world.schedule_workload(workload);
+    let mut world = scenario.build_world(&cfg, Rc::new(RefCell::new(NoopInterceptor)));
+    scenario.schedule(&mut world);
     world.run_to_horizon();
     world.stats
 }
 
-/// Builds the baseline for a workload from `runs` golden runs.
+/// Builds the baseline for a scenario from `runs` golden runs.
 ///
 /// Runs execute on the work-stealing executor; results are deterministic
-/// for a given `(cluster, workload, runs, base_seed)` regardless of
+/// for a given `(cluster, scenario, runs, base_seed)` regardless of
 /// worker count.
 pub fn build_baseline(
     cluster: &ClusterConfig,
-    workload: Workload,
+    scenario: Scenario,
     runs: usize,
     base_seed: u64,
 ) -> Baseline {
     build_baseline_with_threads(
         cluster,
-        workload,
+        scenario,
         runs,
         base_seed,
         crate::exec::default_threads(runs),
@@ -71,13 +71,13 @@ pub fn build_baseline(
 /// determinism tests and the throughput bench).
 pub fn build_baseline_with_threads(
     cluster: &ClusterConfig,
-    workload: Workload,
+    scenario: Scenario,
     runs: usize,
     base_seed: u64,
     threads: usize,
 ) -> Baseline {
     let runs = runs.max(3);
-    let stats = parallel_golden(cluster, workload, runs, base_seed, threads);
+    let stats = parallel_golden(cluster, scenario, runs, base_seed, threads);
 
     let series: Vec<Vec<f64>> = stats.iter().map(RunStats::response_series).collect();
     let avg_response = average_series(&series);
@@ -145,7 +145,7 @@ pub fn build_baseline_with_threads(
 
 fn parallel_golden(
     cluster: &ClusterConfig,
-    workload: Workload,
+    scenario: Scenario,
     runs: usize,
     base_seed: u64,
     threads: usize,
@@ -154,7 +154,7 @@ fn parallel_golden(
     // per-run seeds derive from the run index, so the baseline is
     // identical for any worker count.
     crate::exec::run_indexed(runs, threads, |i| {
-        run_golden(cluster, workload, base_seed + i as u64)
+        run_golden(cluster, scenario, base_seed + i as u64)
     })
 }
 
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn baseline_captures_steady_state() {
-        let b = build_baseline(&small_cluster(), Workload::Deploy, 4, 100);
+        let b = build_baseline(&small_cluster(), mutiny_scenarios::DEPLOY, 4, 100);
         assert_eq!(b.avg_response.len(), 600);
         assert_eq!(b.golden_maes.len(), 4);
         assert!(b.expected_dns_ready >= 1);
@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn golden_maes_are_small() {
-        let b = build_baseline(&small_cluster(), Workload::ScaleUp, 4, 7);
+        let b = build_baseline(&small_cluster(), mutiny_scenarios::SCALE_UP, 4, 7);
         let spread = simkit::stats::max(&b.golden_maes);
         assert!(spread < 50.0, "golden runs disagree too much: {spread}");
     }

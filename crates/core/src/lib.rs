@@ -28,12 +28,18 @@
 //! * [`findings`] — the paper's findings F1–F4 computed from our data;
 //! * [`report`] — plain-text table rendering.
 //!
+//! Scenarios (the paper's three workloads plus rolling-update and
+//! node-drain, and any third-party registration) come from the
+//! [`mutiny_scenarios`] registry; everything here keys on the scenario
+//! name, so a newly registered scenario extends the campaign, the
+//! baselines, and Tables III–V without touching this crate.
+//!
 //! ```no_run
 //! use mutiny_core::campaign::{run_experiment, ExperimentConfig};
 //! use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
-//! use k8s_cluster::Workload;
+//! use mutiny_scenarios::DEPLOY;
 //!
-//! let out = run_experiment(&ExperimentConfig::golden(Workload::Deploy, 42));
+//! let out = run_experiment(&ExperimentConfig::golden(DEPLOY, 42));
 //! assert_eq!(out.orchestrator_failure, OrchestratorFailure::No);
 //! assert_eq!(out.client_failure, ClientFailure::Nsi);
 //! ```
@@ -60,3 +66,4 @@ pub use campaign::{
 pub use classify::{ClientFailure, OrchestratorFailure};
 pub use golden::{build_baseline, Baseline};
 pub use injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec, Mutiny};
+pub use mutiny_scenarios::{Scenario, ScenarioDef};

@@ -11,8 +11,9 @@
 use crate::campaign::{run_world, ExperimentConfig};
 use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
 use crate::recorder::RecordedField;
-use k8s_cluster::{ClusterConfig, Workload};
+use k8s_cluster::ClusterConfig;
 use k8s_model::Channel;
+use mutiny_scenarios::Scenario;
 use protowire::reflect::{FieldType, Reflect};
 
 /// Table VI cell values for one channel × workload.
@@ -53,12 +54,12 @@ pub fn propagation_plan(fields: &[RecordedField], channel: Channel) -> Vec<Injec
         .collect()
 }
 
-/// Runs the propagation experiments for one channel × workload on the
+/// Runs the propagation experiments for one channel × scenario on the
 /// work-stealing executor (per-spec seeds derive from the spec index, so
 /// the cell totals are identical for any worker count).
 pub fn run_propagation(
     cluster: &ClusterConfig,
-    workload: Workload,
+    scenario: Scenario,
     specs: &[InjectionSpec],
     base_seed: u64,
 ) -> PropagationCell {
@@ -69,7 +70,7 @@ pub fn run_propagation(
         let seed = base_seed.wrapping_add(i as u64).wrapping_mul(0x9e37);
         let cfg = ExperimentConfig {
             cluster: ClusterConfig { seed, ..cluster.clone() },
-            workload,
+            scenario,
             injection: Some(spec.clone()),
         };
         let (mut world, record) = run_world(&cfg);
@@ -186,7 +187,7 @@ mod tests {
             Value::Int(2),
         )];
         let plan = propagation_plan(&fields, Channel::KcmToApi);
-        let cell = run_propagation(&ClusterConfig::default(), Workload::Deploy, &plan, 42);
+        let cell = run_propagation(&ClusterConfig::default(), mutiny_scenarios::DEPLOY, &plan, 42);
         assert_eq!(cell.injections, 1);
         // A replica-count flip is valid-but-wrong: it must propagate.
         assert_eq!(cell.propagated, 1, "{cell:?}");

@@ -13,8 +13,8 @@ use crate::classify::{ClientFailure, OrchestratorFailure};
 use crate::injector::FaultKind;
 use crate::propagation::PropagationCell;
 use crate::report::{count_pct, pct, Table};
-use k8s_cluster::Workload;
 use k8s_model::Channel;
+use mutiny_scenarios::Scenario;
 
 /// Table II: the client failure categories and their definitions.
 pub fn table2() -> Table {
@@ -27,12 +27,13 @@ pub fn table2() -> Table {
 }
 
 /// Table III: mapping between orchestrator failures and client failures,
-/// one column group per workload.
+/// one column group per scenario present in the results.
 pub fn table3(results: &CampaignResults) -> Table {
+    let scenarios = results.scenarios();
     let mut headers: Vec<String> = vec!["OF".into()];
-    for wl in Workload::ALL {
+    for sc in &scenarios {
         for cf in ClientFailure::ALL {
-            headers.push(format!("{}:{}", wl.name(), cf.label()));
+            headers.push(format!("{}:{}", sc.name(), cf.label()));
         }
     }
     let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -42,14 +43,14 @@ pub fn table3(results: &CampaignResults) -> Table {
     );
     for of in OrchestratorFailure::ALL {
         let mut row: Vec<String> = vec![of.label().into()];
-        for wl in Workload::ALL {
-            let wl_total = results.count(|r| r.workload == wl).max(1);
+        for sc in &scenarios {
+            let sc_total = results.count(|r| r.scenario == *sc).max(1);
             for cf in ClientFailure::ALL {
-                let n = results.count(|r| r.workload == wl && r.of == of && r.cf == cf);
+                let n = results.count(|r| r.scenario == *sc && r.of == of && r.cf == cf);
                 row.push(if n == 0 {
                     "0".into()
                 } else {
-                    format!("{n} ({:.1}%)", 100.0 * n as f64 / wl_total as f64)
+                    format!("{n} ({:.1}%)", 100.0 * n as f64 / sc_total as f64)
                 });
             }
         }
@@ -58,26 +59,26 @@ pub fn table3(results: &CampaignResults) -> Table {
     t
 }
 
-/// Table IV: orchestrator-level failure statistics per workload and
+/// Table IV: orchestrator-level failure statistics per scenario and
 /// injection type.
 pub fn table4(results: &CampaignResults) -> Table {
     let mut t = Table::new(
-        "Table IV — Orchestrator-level failures (OF) per workload × injection type",
+        "Table IV — Orchestrator-level failures (OF) per scenario × injection type",
         &["WL", "Injection", "Perf.", "No", "Tim", "LeR", "MoR", "Net", "Sta", "Out"],
     );
     let mut totals = vec![0usize; 8];
-    for wl in Workload::ALL {
+    for sc in results.scenarios() {
         for fault in [FaultKind::BitFlip, FaultKind::ValueSet, FaultKind::Drop] {
             let rows: Vec<&CampaignRow> = results
                 .rows
                 .iter()
-                .filter(|r| r.workload == wl && r.fault == fault)
+                .filter(|r| r.scenario == sc && r.fault == fault)
                 .collect();
             if rows.is_empty() {
                 continue;
             }
             let mut cells: Vec<String> =
-                vec![wl.name().into(), fault.to_string(), rows.len().to_string()];
+                vec![sc.name().into(), fault.to_string(), rows.len().to_string()];
             totals[0] += rows.len();
             for (i, of) in OrchestratorFailure::ALL.iter().enumerate() {
                 let n = rows.iter().filter(|r| r.of == *of).count();
@@ -97,26 +98,26 @@ pub fn table4(results: &CampaignResults) -> Table {
     t
 }
 
-/// Table V: client-level failure statistics per workload and injection
+/// Table V: client-level failure statistics per scenario and injection
 /// type.
 pub fn table5(results: &CampaignResults) -> Table {
     let mut t = Table::new(
-        "Table V — Client-level failures (CF) per workload × injection type",
+        "Table V — Client-level failures (CF) per scenario × injection type",
         &["WL", "Injection", "Perf.", "NSI", "HRT", "IA", "SU"],
     );
     let mut totals = vec![0usize; 5];
-    for wl in Workload::ALL {
+    for sc in results.scenarios() {
         for fault in [FaultKind::BitFlip, FaultKind::ValueSet, FaultKind::Drop] {
             let rows: Vec<&CampaignRow> = results
                 .rows
                 .iter()
-                .filter(|r| r.workload == wl && r.fault == fault)
+                .filter(|r| r.scenario == sc && r.fault == fault)
                 .collect();
             if rows.is_empty() {
                 continue;
             }
             let mut cells: Vec<String> =
-                vec![wl.name().into(), fault.to_string(), rows.len().to_string()];
+                vec![sc.name().into(), fault.to_string(), rows.len().to_string()];
             totals[0] += rows.len();
             for (i, cf) in ClientFailure::ALL.iter().enumerate() {
                 let n = rows.iter().filter(|r| r.cf == *cf).count();
@@ -136,17 +137,17 @@ pub fn table5(results: &CampaignResults) -> Table {
     t
 }
 
-/// Table VI: the propagation study. `cells[(channel, workload)]`.
+/// Table VI: the propagation study. `cells[(channel, scenario)]`.
 pub fn table6(
-    cells: &[(Channel, Workload, PropagationCell)],
+    cells: &[(Channel, Scenario, PropagationCell)],
 ) -> Table {
     let mut t = Table::new(
         "Table VI — Propagation of injections on component→apiserver channels",
         &["WL", "Channel", "Inj.", "Prop", "Err."],
     );
-    for (channel, wl, cell) in cells {
+    for (channel, sc, cell) in cells {
         t.push_row([
-            wl.name().to_string(),
+            sc.name().to_string(),
             channel.to_string(),
             cell.injections.to_string(),
             cell.propagated.to_string(),
@@ -156,25 +157,25 @@ pub fn table6(
     t
 }
 
-/// Figure 6 data: client z-score statistics per workload × OF category.
+/// Figure 6 data: client z-score statistics per scenario × OF category.
 pub fn fig6(results: &CampaignResults) -> Table {
     let mut t = Table::new(
         "Figure 6 — Client impact (MAE z-scores) per orchestrator failure",
         &["WL", "OF", "n", "z median", "z p95", "z max"],
     );
-    for wl in Workload::ALL {
+    for sc in results.scenarios() {
         for of in OrchestratorFailure::ALL {
             let zs: Vec<f64> = results
                 .rows
                 .iter()
-                .filter(|r| r.workload == wl && r.of == of)
+                .filter(|r| r.scenario == sc && r.of == of)
                 .map(|r| r.z)
                 .collect();
             if zs.is_empty() {
                 continue;
             }
             t.push_row([
-                wl.name().to_string(),
+                sc.name().to_string(),
                 of.label().to_string(),
                 zs.len().to_string(),
                 format!("{:.1}", simkit::stats::percentile(&zs, 50.0)),
@@ -187,21 +188,21 @@ pub fn fig6(results: &CampaignResults) -> Table {
 }
 
 /// Figure 7 data: experiments vs experiments with a user-visible error,
-/// per workload × OF category (finding F4).
+/// per scenario × OF category (finding F4).
 pub fn fig7(results: &CampaignResults) -> Table {
     let mut t = Table::new(
         "Figure 7 — Experiments in which the user received an API error",
         &["WL", "OF", "Total", "Error", "Error share"],
     );
-    for wl in Workload::ALL {
+    for sc in results.scenarios() {
         for of in OrchestratorFailure::ALL {
-            let total = results.count(|r| r.workload == wl && r.of == of);
+            let total = results.count(|r| r.scenario == sc && r.of == of);
             if total == 0 {
                 continue;
             }
-            let err = results.count(|r| r.workload == wl && r.of == of && r.user_error);
+            let err = results.count(|r| r.scenario == sc && r.of == of && r.user_error);
             t.push_row([
-                wl.name().to_string(),
+                sc.name().to_string(),
                 of.label().to_string(),
                 total.to_string(),
                 err.to_string(),
@@ -260,9 +261,11 @@ mod tests {
     use k8s_model::Kind;
     use protowire::reflect::Value;
 
-    fn row(wl: Workload, fault: FaultKind, of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
+    use mutiny_scenarios::{DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
+
+    fn row(sc: Scenario, fault: FaultKind, of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
         CampaignRow {
-            workload: wl,
+            scenario: sc,
             spec: InjectionSpec {
                 channel: Channel::ApiToEtcd,
                 kind: Kind::Pod,
@@ -286,11 +289,13 @@ mod tests {
     fn sample_results() -> CampaignResults {
         CampaignResults {
             rows: vec![
-                row(Workload::Deploy, FaultKind::BitFlip, OrchestratorFailure::No, ClientFailure::Nsi),
-                row(Workload::Deploy, FaultKind::BitFlip, OrchestratorFailure::MoR, ClientFailure::Hrt),
-                row(Workload::Deploy, FaultKind::ValueSet, OrchestratorFailure::Sta, ClientFailure::Nsi),
-                row(Workload::ScaleUp, FaultKind::Drop, OrchestratorFailure::No, ClientFailure::Nsi),
-                row(Workload::Failover, FaultKind::BitFlip, OrchestratorFailure::Out, ClientFailure::Su),
+                row(DEPLOY, FaultKind::BitFlip, OrchestratorFailure::No, ClientFailure::Nsi),
+                row(DEPLOY, FaultKind::BitFlip, OrchestratorFailure::MoR, ClientFailure::Hrt),
+                row(DEPLOY, FaultKind::ValueSet, OrchestratorFailure::Sta, ClientFailure::Nsi),
+                row(SCALE_UP, FaultKind::Drop, OrchestratorFailure::No, ClientFailure::Nsi),
+                row(FAILOVER, FaultKind::BitFlip, OrchestratorFailure::Out, ClientFailure::Su),
+                row(ROLLING_UPDATE, FaultKind::Drop, OrchestratorFailure::LeR, ClientFailure::Hrt),
+                row(NODE_DRAIN, FaultKind::ValueSet, OrchestratorFailure::No, ClientFailure::Nsi),
             ],
         }
     }
@@ -336,7 +341,7 @@ mod tests {
     fn table6_renders_cells() {
         let cells = vec![(
             Channel::KcmToApi,
-            Workload::Deploy,
+            DEPLOY,
             PropagationCell { injections: 10, propagated: 4, errors: 2 },
         )];
         let t = table6(&cells);

@@ -69,13 +69,25 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
     owned.sort_by(|a, b| a.metadata.name.cmp(&b.metadata.name));
 
     let new_rs = owned.iter().find(|rs| rs.metadata.name == new_rs_name).cloned();
-    let old_rses: Vec<ReplicaSet> =
+    let mut old_rses: Vec<ReplicaSet> =
         owned.iter().filter(|rs| rs.metadata.name != new_rs_name).cloned().collect();
+    // Scale the oldest history down first, as kubectl rollout does.
+    old_rses.sort_by(|a, b| {
+        (a.metadata.creation_timestamp, &a.metadata.name)
+            .cmp(&(b.metadata.creation_timestamp, &b.metadata.name))
+    });
 
     let max_surge = dep.spec.max_surge.max(0);
     let max_unavailable = dep.spec.max_unavailable.max(0);
     let old_total: i64 = old_rses.iter().map(|rs| rs.spec.replicas.max(0)).sum();
-    let old_ready: i64 = old_rses.iter().map(|rs| rs.status.ready_replicas.max(0)).sum();
+    // Availability is capped by the *spec*: after a scale-down the
+    // ReplicaSet's status lags for a few syncs, and trusting the stale
+    // ready count here would let consecutive syncs drain every old pod
+    // before a single new one serves (a real availability-floor breach).
+    let old_ready: i64 = old_rses
+        .iter()
+        .map(|rs| rs.status.ready_replicas.clamp(0, rs.spec.replicas.max(0)))
+        .sum();
 
     let new_rs = match new_rs {
         Some(rs) => rs,
@@ -126,7 +138,8 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
         }
 
         let min_available = (desired - max_unavailable).max(0);
-        let total_ready = new_rs.status.ready_replicas.max(0) + old_ready;
+        let new_ready = new_rs.status.ready_replicas.clamp(0, new_rs.spec.replicas.max(0));
+        let total_ready = new_ready + old_ready;
         let mut headroom = total_ready - min_available;
         if headroom > 0 {
             for old in &old_rses {
@@ -135,6 +148,11 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
                 }
                 let cur = old.spec.replicas.max(0);
                 if cur == 0 {
+                    if old.status.replicas > 0 {
+                        // Pods still terminating; deleting the ReplicaSet
+                        // now would orphan them into the GC's lap.
+                        continue;
+                    }
                     // Fully drained: remove the historical ReplicaSet.
                     ctx.api
                         .delete(Channel::KcmToApi, Kind::ReplicaSet, ns, &old.metadata.name)

@@ -1,0 +1,322 @@
+//! The built-in scenarios: the paper's three orchestration workloads
+//! (§V-A) plus the two engine additions.
+//!
+//! * **deploy** — creates three new Deployments (two replicas each) with
+//!   their Services;
+//! * **scale** — scales two existing Deployments 2 → 3 → 4 → 5, with
+//!   10 s between steps;
+//! * **failover** — applies a NoExecute taint to one worker, forcing its
+//!   pods to respawn elsewhere;
+//! * **rolling-update** — a staged image change on two Deployments; the
+//!   Deployment controller replaces pods under the maxSurge /
+//!   maxUnavailable budget while the client keeps hitting the service;
+//! * **node-drain** — planned maintenance: cordon one worker (NoSchedule
+//!   taint), then evict its application pods one at a time, the
+//!   cooperative counterpart to failover's abrupt NoExecute taint.
+
+use crate::{Scenario, ScenarioDef};
+use k8s_cluster::{RunStats, UserOp, World};
+use k8s_model::{Kind, Object};
+
+/// The image the rolling-update scenario rolls out to.
+pub const ROLLOUT_IMAGE: &str = "registry.local/web:2.0";
+/// The worker the failover and node-drain scenarios target.
+const TARGET_NODE: &str = "w1";
+
+/// Asserts that the applications named by `apps` converged to `replicas`
+/// ready replicas and the client saw a clean run.
+fn check_converged(
+    stats: &RunStats,
+    expected: &[(&str, i64)],
+    world: &mut World,
+) -> Result<(), String> {
+    let last = stats.last_sample().ok_or("no metrics samples")?;
+    for (name, replicas) in expected {
+        let got = last.app_ready.get(*name).copied().unwrap_or(0);
+        if got != *replicas {
+            return Err(format!("{name}: {got} ready, expected {replicas}"));
+        }
+    }
+    if stats.client_failures() > 0 {
+        return Err(format!("{} client failures in a golden run", stats.client_failures()));
+    }
+    if world.api.audit().user_errors() > 0 {
+        return Err(format!("{} user-visible API errors", world.api.audit().user_errors()));
+    }
+    Ok(())
+}
+
+/// Counts non-terminating application pods on a node.
+fn web_pods_on(world: &mut World, node: &str) -> usize {
+    let mut n = 0;
+    world.api.for_each(Kind::Pod, Some("default"), |obj| {
+        if let Object::Pod(p) = obj {
+            if p.spec.node_name == node && !p.metadata.is_terminating() {
+                n += 1;
+            }
+        }
+    });
+    n
+}
+
+// --- deploy ----------------------------------------------------------------
+
+struct Deploy;
+
+impl ScenarioDef for Deploy {
+    fn name(&self) -> &'static str {
+        "deploy"
+    }
+
+    fn preinstalled_apps(&self) -> &'static [u32] {
+        &[1]
+    }
+
+    fn ops(&self) -> Vec<(u64, UserOp)> {
+        vec![
+            (2_000, UserOp::CreateApp { index: 2, replicas: 2 }),
+            (2_200, UserOp::CreateApp { index: 3, replicas: 2 }),
+            (2_400, UserOp::CreateApp { index: 4, replicas: 2 }),
+        ]
+    }
+
+    fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
+        check_converged(stats, &[("web-1", 2), ("web-2", 2), ("web-3", 2), ("web-4", 2)], world)
+    }
+}
+
+static DEPLOY_DEF: Deploy = Deploy;
+/// The paper's deploy workload.
+pub static DEPLOY: Scenario = Scenario::new(&DEPLOY_DEF);
+
+// --- scale -----------------------------------------------------------------
+
+struct ScaleUp;
+
+impl ScenarioDef for ScaleUp {
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+
+    fn preinstalled_apps(&self) -> &'static [u32] {
+        &[1, 2, 3]
+    }
+
+    fn ops(&self) -> Vec<(u64, UserOp)> {
+        vec![
+            (2_000, UserOp::Scale { index: 1, replicas: 3 }),
+            (2_100, UserOp::Scale { index: 2, replicas: 3 }),
+            (12_000, UserOp::Scale { index: 1, replicas: 4 }),
+            (12_100, UserOp::Scale { index: 2, replicas: 4 }),
+            (22_000, UserOp::Scale { index: 1, replicas: 5 }),
+            (22_100, UserOp::Scale { index: 2, replicas: 5 }),
+        ]
+    }
+
+    fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
+        check_converged(stats, &[("web-1", 5), ("web-2", 5), ("web-3", 2)], world)
+    }
+}
+
+static SCALE_UP_DEF: ScaleUp = ScaleUp;
+/// The paper's scale-up workload.
+pub static SCALE_UP: Scenario = Scenario::new(&SCALE_UP_DEF);
+
+// --- failover --------------------------------------------------------------
+
+struct Failover;
+
+impl ScenarioDef for Failover {
+    fn name(&self) -> &'static str {
+        "failover"
+    }
+
+    fn preinstalled_apps(&self) -> &'static [u32] {
+        &[1, 2, 3]
+    }
+
+    fn ops(&self) -> Vec<(u64, UserOp)> {
+        vec![(2_000, UserOp::TaintNode { node: TARGET_NODE.into() })]
+    }
+
+    fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
+        check_converged(stats, &[("web-1", 2), ("web-2", 2), ("web-3", 2)], world)?;
+        let stranded = web_pods_on(world, TARGET_NODE);
+        if stranded > 0 {
+            return Err(format!("{stranded} pods still on the tainted node"));
+        }
+        if world.kcm.metrics.pods_evicted == 0 {
+            return Err("no pods were evicted from the tainted node".into());
+        }
+        Ok(())
+    }
+}
+
+static FAILOVER_DEF: Failover = Failover;
+/// The paper's failover workload.
+pub static FAILOVER: Scenario = Scenario::new(&FAILOVER_DEF);
+
+// --- rolling-update --------------------------------------------------------
+
+struct RollingUpdate;
+
+impl ScenarioDef for RollingUpdate {
+    fn name(&self) -> &'static str {
+        "rolling-update"
+    }
+
+    fn preinstalled_apps(&self) -> &'static [u32] {
+        &[1, 2, 3]
+    }
+
+    fn ops(&self) -> Vec<(u64, UserOp)> {
+        // Staged: web-1 first, web-2 ten seconds later — the second stage
+        // begins while the first is (or has just finished) rolling, as a
+        // CD pipeline would.
+        vec![
+            (2_000, UserOp::SetImage { index: 1, image: ROLLOUT_IMAGE.into() }),
+            (12_000, UserOp::SetImage { index: 2, image: ROLLOUT_IMAGE.into() }),
+        ]
+    }
+
+    fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
+        check_converged(stats, &[("web-1", 2), ("web-2", 2), ("web-3", 2)], world)?;
+        // Every surviving pod of the updated apps must run the new image.
+        let mut stale = 0usize;
+        world.api.for_each(Kind::Pod, Some("default"), |obj| {
+            if let Object::Pod(p) = obj {
+                let app = p.metadata.labels.get("app").map(String::as_str);
+                if matches!(app, Some("web-1") | Some("web-2"))
+                    && !p.metadata.is_terminating()
+                    && p.spec.containers.first().map(|c| c.image.as_str()) != Some(ROLLOUT_IMAGE)
+                {
+                    stale += 1;
+                }
+            }
+        });
+        if stale > 0 {
+            return Err(format!("{stale} pods still run the old image after the rollout"));
+        }
+        Ok(())
+    }
+}
+
+static ROLLING_UPDATE_DEF: RollingUpdate = RollingUpdate;
+/// Staged image rollout under maxSurge/maxUnavailable.
+pub static ROLLING_UPDATE: Scenario = Scenario::new(&ROLLING_UPDATE_DEF);
+
+// --- node-drain ------------------------------------------------------------
+
+struct NodeDrain;
+
+impl ScenarioDef for NodeDrain {
+    fn name(&self) -> &'static str {
+        "node-drain"
+    }
+
+    fn preinstalled_apps(&self) -> &'static [u32] {
+        &[1, 2, 3]
+    }
+
+    fn ops(&self) -> Vec<(u64, UserOp)> {
+        // Cordon, then evict one pod every four seconds. Six eviction
+        // slots cover the worst possible packing of the six application
+        // pods; slots on an already-empty node are no-ops.
+        let mut ops = vec![(2_000, UserOp::CordonNode { node: TARGET_NODE.into() })];
+        for slot in 0..6u64 {
+            ops.push((5_000 + 4_000 * slot, UserOp::EvictPodOn { node: TARGET_NODE.into() }));
+        }
+        ops
+    }
+
+    fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
+        check_converged(stats, &[("web-1", 2), ("web-2", 2), ("web-3", 2)], world)?;
+        let stranded = web_pods_on(world, TARGET_NODE);
+        if stranded > 0 {
+            return Err(format!("{stranded} pods still on the drained node"));
+        }
+        Ok(())
+    }
+}
+
+static NODE_DRAIN_DEF: NodeDrain = NodeDrain;
+/// Planned maintenance: cordon plus sequential evictions.
+pub static NODE_DRAIN: Scenario = Scenario::new(&NODE_DRAIN_DEF);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_cluster::ClusterConfig;
+    use k8s_model::NoopInterceptor;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Runs one golden world for a scenario and applies its own
+    /// expectations — the engine's end-to-end self-check for all five
+    /// built-ins.
+    fn golden_check(sc: Scenario, seed: u64) {
+        let base = ClusterConfig { seed, ..Default::default() };
+        let mut world = sc.build_world(&base, Rc::new(RefCell::new(NoopInterceptor)));
+        sc.schedule(&mut world);
+        world.run_to_horizon();
+        let stats = std::mem::take(&mut world.stats);
+        if let Err(why) = sc.check_golden(&stats, &mut world) {
+            panic!("golden {} run violated its expectations: {why}", sc.name());
+        }
+    }
+
+    #[test]
+    fn golden_deploy_meets_expectations() {
+        golden_check(DEPLOY, 2);
+    }
+
+    #[test]
+    fn golden_scale_meets_expectations() {
+        golden_check(SCALE_UP, 3);
+    }
+
+    #[test]
+    fn golden_failover_meets_expectations() {
+        golden_check(FAILOVER, 4);
+    }
+
+    #[test]
+    fn golden_rolling_update_meets_expectations() {
+        golden_check(ROLLING_UPDATE, 5);
+    }
+
+    #[test]
+    fn golden_node_drain_meets_expectations() {
+        golden_check(NODE_DRAIN, 6);
+    }
+
+    #[test]
+    fn builtin_parameters_match_paper() {
+        // deploy: three Deployments, two replicas each.
+        let ops = DEPLOY.ops();
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|(_, op)| matches!(op, UserOp::CreateApp { replicas: 2, .. })));
+
+        // scale-up: two Deployments, 2→3→4→5 with 10 s steps.
+        let ops = SCALE_UP.ops();
+        assert_eq!(ops.len(), 6);
+        let times: Vec<u64> = ops.iter().map(|(t, _)| *t).collect();
+        assert!(times[2] - times[0] == 10_000 && times[4] - times[2] == 10_000);
+
+        // failover: one taint.
+        assert_eq!(FAILOVER.ops().len(), 1);
+
+        // rolling-update: staged image changes, same target image.
+        let ops = ROLLING_UPDATE.ops();
+        assert_eq!(ops.len(), 2);
+        assert!(ops
+            .iter()
+            .all(|(_, op)| matches!(op, UserOp::SetImage { image, .. } if image == ROLLOUT_IMAGE)));
+
+        // node-drain: cordon before the first eviction.
+        let ops = NODE_DRAIN.ops();
+        assert!(matches!(ops[0].1, UserOp::CordonNode { .. }));
+        assert!(ops[1..].iter().all(|(_, op)| matches!(op, UserOp::EvictPodOn { .. })));
+        assert!(ops.len() >= 7, "not enough eviction slots for worst-case packing");
+    }
+}

@@ -1,0 +1,349 @@
+//! # mutiny-scenarios — the pluggable scenario engine
+//!
+//! The paper's fault campaigns run three orchestration workloads (deploy,
+//! scale-up, failover, §V-A) that used to be a closed enum. This crate
+//! turns a workload into a *scenario*: a [`ScenarioDef`] implementation
+//! describing the preinstalled applications, the timed [`UserOp`]
+//! schedule, the cluster [`Topology`] (SimKube-style virtual-node counts
+//! included), and the pass/fail expectations a golden run must meet.
+//!
+//! Scenarios live in a **registry**: the five [`BUILTIN`] entries (the
+//! paper's three plus rolling-update and node-drain) are always present,
+//! and third parties add their own with [`register`] — no change to
+//! `mutiny_core` required. Campaign plans, baselines, result rows, and
+//! table builders all key on the scenario *name*, so a registered
+//! scenario automatically extends Tables III–V, the figures, and the
+//! bench TSV schema.
+//!
+//! Everything stays deterministic: a scenario's op schedule is a pure
+//! function of the scenario, and experiment seeds derive from plan
+//! indices, so campaign rows are byte-identical for any worker count.
+//!
+//! ```
+//! use mutiny_scenarios::{registry, Scenario, DEPLOY, ROLLING_UPDATE};
+//!
+//! assert_eq!(DEPLOY.name(), "deploy");
+//! assert_eq!(registry::find("rolling-update"), Some(ROLLING_UPDATE));
+//! assert!(registry::all().len() >= 5);
+//! ```
+
+mod builtin;
+
+pub use builtin::{DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
+
+use k8s_apiserver::InterceptorHandle;
+use k8s_cluster::{ClusterConfig, RunStats, Topology, UserOp, World};
+
+/// A scenario definition: everything the campaign machinery needs to set
+/// up, drive, and judge one orchestration workload.
+///
+/// Implementations must be deterministic — [`ScenarioDef::ops`] is called
+/// once per experiment and must always return the same schedule.
+pub trait ScenarioDef: Send + Sync {
+    /// Short stable name, used in the paper-style tables, the campaign
+    /// TSV cache, and `MUTINY_SCENARIOS` filters. Must be unique across
+    /// the registry and must not contain whitespace, tabs, or commas.
+    fn name(&self) -> &'static str;
+
+    /// Application Deployments created during scenario setup (before the
+    /// fault window). The client always targets `web-1`.
+    fn preinstalled_apps(&self) -> &'static [u32];
+
+    /// The timed user operations, as offsets from the workload start
+    /// (`t0`).
+    fn ops(&self) -> Vec<(u64, UserOp)>;
+
+    /// Cluster topology this scenario runs on. Defaults to the paper's
+    /// 4-worker testbed; scenarios may request e.g.
+    /// `Topology::virtual_workers(20)` and the bootstrap builds every
+    /// node from the worker template.
+    fn topology(&self) -> Topology {
+        Topology::paper()
+    }
+
+    /// Pass/fail expectations for a **golden** (fault-free) run: called
+    /// with the finished world and its statistics, returns a description
+    /// of the first violated expectation. The default accepts anything;
+    /// built-ins check convergence, client health, and scenario-specific
+    /// postconditions (e.g. node-drain requires the drained node to be
+    /// empty).
+    fn check_golden(&self, _stats: &RunStats, _world: &mut World) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A cheap copyable handle to a registered scenario.
+///
+/// Equality, ordering, and hashing are by [`Scenario::name`], so handles
+/// work as `HashMap` keys (baselines) and sort keys (table rows).
+#[derive(Clone, Copy)]
+pub struct Scenario(&'static dyn ScenarioDef);
+
+impl Scenario {
+    /// Wraps a static definition. Exposed so `register` and tests can
+    /// build handles; campaign code normally gets handles from the
+    /// registry.
+    pub const fn new(def: &'static dyn ScenarioDef) -> Scenario {
+        Scenario(def)
+    }
+
+    /// Short stable name (see [`ScenarioDef::name`]).
+    pub fn name(self) -> &'static str {
+        self.0.name()
+    }
+
+    /// Preinstalled application indexes.
+    pub fn preinstalled_apps(self) -> &'static [u32] {
+        self.0.preinstalled_apps()
+    }
+
+    /// The timed op schedule.
+    pub fn ops(self) -> Vec<(u64, UserOp)> {
+        self.0.ops()
+    }
+
+    /// Requested cluster topology.
+    pub fn topology(self) -> Topology {
+        self.0.topology()
+    }
+
+    /// Golden-run expectations (see [`ScenarioDef::check_golden`]).
+    pub fn check_golden(self, stats: &RunStats, world: &mut World) -> Result<(), String> {
+        self.0.check_golden(stats, world)
+    }
+
+    /// Builds a world for this scenario: applies the scenario topology to
+    /// `base` (every other knob — seed, mitigations, client settings — is
+    /// kept) and runs scenario setup. Schedule the ops with
+    /// [`Scenario::schedule`] next.
+    pub fn build_world(self, base: &ClusterConfig, interceptor: InterceptorHandle) -> World {
+        let cfg = self.topology().apply(base.clone());
+        let mut world = World::new(cfg, interceptor);
+        world.prepare(self.preinstalled_apps());
+        world
+    }
+
+    /// Schedules this scenario's ops (plus the client and metrics
+    /// sampling) on a prepared world.
+    pub fn schedule(self, world: &mut World) {
+        world.schedule_ops(self.ops());
+    }
+}
+
+impl PartialEq for Scenario {
+    fn eq(&self, other: &Scenario) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl Eq for Scenario {}
+
+impl PartialOrd for Scenario {
+    fn partial_cmp(&self, other: &Scenario) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scenario {
+    fn cmp(&self, other: &Scenario) -> std::cmp::Ordering {
+        registry::order_key(*self)
+            .cmp(&registry::order_key(*other))
+            .then_with(|| self.name().cmp(other.name()))
+    }
+}
+
+impl std::hash::Hash for Scenario {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Scenario").field(&self.name()).finish()
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The scenario registry: the built-ins plus anything added at runtime.
+pub mod registry {
+    use super::{builtin, Scenario, ScenarioDef};
+    use std::sync::{OnceLock, RwLock};
+
+    /// The built-in scenarios, in paper-table order (the paper's three
+    /// first, then the two engine additions).
+    pub static BUILTIN: [Scenario; 5] = [
+        builtin::DEPLOY,
+        builtin::SCALE_UP,
+        builtin::FAILOVER,
+        builtin::ROLLING_UPDATE,
+        builtin::NODE_DRAIN,
+    ];
+
+    fn extras() -> &'static RwLock<Vec<Scenario>> {
+        static EXTRAS: OnceLock<RwLock<Vec<Scenario>>> = OnceLock::new();
+        EXTRAS.get_or_init(|| RwLock::new(Vec::new()))
+    }
+
+    /// Every registered scenario, built-ins first, then third-party
+    /// registrations in registration order.
+    pub fn all() -> Vec<Scenario> {
+        let mut out: Vec<Scenario> = BUILTIN.to_vec();
+        out.extend(extras().read().expect("scenario registry poisoned").iter().copied());
+        out
+    }
+
+    /// Looks a scenario up by name.
+    pub fn find(name: &str) -> Option<Scenario> {
+        all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// Registers a third-party scenario and returns its handle. The
+    /// definition is leaked (registries live for the program); names must
+    /// be unique, non-empty, and free of whitespace/commas (they key the
+    /// TSV cache and env filters).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the conflict when the name is invalid or
+    /// already taken.
+    pub fn register(def: Box<dyn ScenarioDef>) -> Result<Scenario, String> {
+        let name = def.name();
+        if name.is_empty() || name.contains(|c: char| c.is_whitespace() || c == ',') {
+            return Err(format!("invalid scenario name {name:?}"));
+        }
+        let mut extras = extras().write().expect("scenario registry poisoned");
+        if BUILTIN.iter().chain(extras.iter()).any(|s| s.name() == name) {
+            return Err(format!("scenario name {name:?} already registered"));
+        }
+        let scenario = Scenario::new(Box::leak(def));
+        extras.push(scenario);
+        Ok(scenario)
+    }
+
+    /// Stable sort key: position in the registry (built-ins keep paper
+    /// order), unknown handles after everything else by name.
+    pub(super) fn order_key(s: Scenario) -> usize {
+        BUILTIN
+            .iter()
+            .position(|b| b.name() == s.name())
+            .or_else(|| {
+                extras()
+                    .read()
+                    .ok()?
+                    .iter()
+                    .position(|e| e.name() == s.name())
+                    .map(|i| BUILTIN.len() + i)
+            })
+            .unwrap_or(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registered_names_are_unique_and_stable() {
+        let all = registry::all();
+        assert!(all.len() >= 5, "registry lost built-ins: {all:?}");
+        let names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        let unique: HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate scenario names: {names:?}");
+        // The paper's table names and the two engine additions are pinned:
+        // the TSV cache, MUTINY_SCENARIOS filters, and the tables key on
+        // these exact strings.
+        for expect in ["deploy", "scale", "failover", "rolling-update", "node-drain"] {
+            assert!(names.contains(&expect), "{expect} missing from {names:?}");
+            assert_eq!(registry::find(expect).map(|s| s.name()), Some(expect));
+        }
+        assert_eq!(registry::find("no-such-scenario"), None);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_bad_names() {
+        struct Dup;
+        impl ScenarioDef for Dup {
+            fn name(&self) -> &'static str {
+                "deploy"
+            }
+            fn preinstalled_apps(&self) -> &'static [u32] {
+                &[1]
+            }
+            fn ops(&self) -> Vec<(u64, UserOp)> {
+                Vec::new()
+            }
+        }
+        assert!(registry::register(Box::new(Dup)).is_err());
+
+        struct Bad;
+        impl ScenarioDef for Bad {
+            fn name(&self) -> &'static str {
+                "has space"
+            }
+            fn preinstalled_apps(&self) -> &'static [u32] {
+                &[1]
+            }
+            fn ops(&self) -> Vec<(u64, UserOp)> {
+                Vec::new()
+            }
+        }
+        assert!(registry::register(Box::new(Bad)).is_err());
+    }
+
+    #[test]
+    fn handles_compare_and_hash_by_name() {
+        use std::collections::HashMap;
+        assert_eq!(DEPLOY, registry::find("deploy").unwrap());
+        assert_ne!(DEPLOY, SCALE_UP);
+        let mut m: HashMap<Scenario, u32> = HashMap::new();
+        m.insert(DEPLOY, 1);
+        m.insert(NODE_DRAIN, 2);
+        assert_eq!(m.get(&registry::find("deploy").unwrap()), Some(&1));
+        // Registry order is paper order.
+        let mut v = vec![NODE_DRAIN, DEPLOY, FAILOVER];
+        v.sort();
+        assert_eq!(v, vec![DEPLOY, FAILOVER, NODE_DRAIN]);
+        assert_eq!(SCALE_UP.to_string(), "scale");
+    }
+
+    #[test]
+    fn third_party_scenario_requests_virtual_topology() {
+        // A custom scenario asks for a 20-worker cluster; the bootstrap
+        // builds every node from the worker template — no per-node
+        // fixtures anywhere.
+        struct WideDrain;
+        impl ScenarioDef for WideDrain {
+            fn name(&self) -> &'static str {
+                "wide-drain-test"
+            }
+            fn preinstalled_apps(&self) -> &'static [u32] {
+                &[1]
+            }
+            fn ops(&self) -> Vec<(u64, UserOp)> {
+                vec![(2_000, UserOp::CordonNode { node: "w7".into() })]
+            }
+            fn topology(&self) -> Topology {
+                Topology::virtual_workers(20)
+            }
+        }
+        let sc = registry::register(Box::new(WideDrain)).expect("register");
+        assert_eq!(registry::find("wide-drain-test"), Some(sc));
+
+        let base = ClusterConfig { seed: 31, ..Default::default() };
+        let mut world = sc.build_world(
+            &base,
+            std::rc::Rc::new(std::cell::RefCell::new(k8s_model::NoopInterceptor)),
+        );
+        assert_eq!(world.api.count(k8s_model::Kind::Node, None), 21);
+        sc.schedule(&mut world);
+        world.run_to_horizon();
+        assert_eq!(world.stats.client_failures(), 0, "wide cluster golden run failed");
+    }
+}

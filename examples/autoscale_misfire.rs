@@ -35,7 +35,7 @@ fn run(label: &str, corrupt_metric: bool) {
     }));
     let handle: k8s_apiserver::InterceptorHandle = mutiny;
     let mut world = World::new(cluster, handle);
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
 
     let mut hpa = HorizontalPodAutoscaler::default();
     hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
@@ -48,7 +48,7 @@ fn run(label: &str, corrupt_metric: bool) {
         .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa))
         .expect("create hpa");
 
-    world.schedule_workload(Workload::Deploy);
+    world.schedule_ops(DEPLOY.ops());
     println!("\n--- {label} ---");
     println!("  {:>9} {:>9} {:>9} {:>13}", "t (ms)", "replicas", "observed", "desired");
     while world.now() < world.horizon() {

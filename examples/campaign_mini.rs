@@ -7,8 +7,9 @@
 //! cargo run --release --example campaign_mini [experiments]
 //! ```
 
-use k8s_cluster::{ClusterConfig, Workload};
+use k8s_cluster::ClusterConfig;
 use k8s_model::Channel;
+use mutiny_scenarios::DEPLOY;
 use mutiny_core::campaign as camp;
 use std::collections::HashMap;
 
@@ -18,21 +19,21 @@ fn main() {
 
     println!("phase 1 — recording fields during a nominal deploy workload…");
     let (fields, kinds) =
-        camp::record_fields(&cluster, Workload::Deploy, vec![Channel::ApiToEtcd], 5);
+        camp::record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 5);
     println!("  recorded {} fields across {} kinds", fields.len(), kinds.len());
 
     println!("phase 2 — generating the injection plan (§IV-C rules)…");
     let mut rng = simkit::Rng::new(9);
-    let plan = camp::generate_plan(&fields, &kinds, Workload::Deploy, &mut rng);
+    let plan = camp::generate_plan(&fields, &kinds, DEPLOY, &mut rng);
     let keep = (plan.len() / budget.max(1)).max(1);
     let sub: Vec<_> =
         plan.iter().enumerate().filter(|(i, _)| i % keep == 0).map(|(_, p)| p.clone()).collect();
     println!("  plan: {} experiments; running {}", plan.len(), sub.len());
 
     println!("phase 3 — golden baseline (12 runs) and campaign execution…");
-    let baseline = mutiny_core::golden::build_baseline(&cluster, Workload::Deploy, 12, 1);
+    let baseline = mutiny_core::golden::build_baseline(&cluster, DEPLOY, 12, 1);
     let mut baselines = HashMap::new();
-    baselines.insert(Workload::Deploy, baseline);
+    baselines.insert(DEPLOY, baseline);
     let t = std::time::Instant::now();
     let results = camp::run_campaign(&cluster, &sub, &baselines, 77);
     println!("  done in {:?}\n", t.elapsed());

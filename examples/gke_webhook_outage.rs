@@ -17,7 +17,8 @@
 //! cargo run --release --example gke_webhook_outage
 //! ```
 
-use k8s_cluster::{ClusterConfig, NodeRepairConfig, Workload, World};
+use k8s_cluster::{ClusterConfig, NodeRepairConfig, World};
+use mutiny_scenarios::DEPLOY;
 use k8s_model::NoopInterceptor;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -36,13 +37,13 @@ fn run(full_disruption_mode: bool, auto_repair: bool) {
         });
     }
     let mut world = World::new(cfg, Rc::new(RefCell::new(NoopInterceptor)));
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
 
     // The blackout: every kubelet stops reporting heartbeats.
     for kubelet in world.kubelets.iter_mut() {
         kubelet.healthy = false;
     }
-    world.schedule_workload(Workload::Deploy);
+    world.schedule_ops(DEPLOY.ops());
     world.run_to_horizon();
 
     let last = world.stats.last_sample().unwrap();

@@ -35,10 +35,10 @@ fn storm_spec(occurrence: u32) -> InjectionSpec {
     }
 }
 
-fn run(label: &str, workload: Workload, occurrence: u32, mitigations: MitigationsConfig) {
+fn run(label: &str, scenario: Scenario, occurrence: u32, mitigations: MitigationsConfig) {
     let cluster = ClusterConfig { seed: 7, mitigations, ..ClusterConfig::default() };
     let cfg =
-        ExperimentConfig { cluster, workload, injection: Some(storm_spec(occurrence)) };
+        ExperimentConfig { cluster, scenario, injection: Some(storm_spec(occurrence)) };
     let (mut world, _) = mutiny_core::campaign::run_world(&cfg);
 
     let last = world.stats.samples.last().expect("metrics sampled").clone();
@@ -107,7 +107,7 @@ fn main() {
         }),
         ("all defenses", MitigationsConfig::all()),
     ] {
-        run(label, Workload::Deploy, 1, m);
+        run(label, DEPLOY, 1, m);
     }
 
     println!("\n=== Corrupted UPDATE (occurrence 2, scale-up): the frozen service ===");
@@ -122,6 +122,6 @@ fn main() {
             ..Default::default()
         }),
     ] {
-        run(label, Workload::ScaleUp, 2, m);
+        run(label, SCALE_UP, 2, m);
     }
 }

@@ -10,7 +10,7 @@ use mutiny_lab::prelude::*;
 fn main() {
     // A golden (fault-free) "deploy" experiment: three Deployments are
     // created while an application client sends 20 req/s to web-1.
-    let golden = run_experiment(&ExperimentConfig::golden(Workload::Deploy, 42));
+    let golden = run_experiment(&ExperimentConfig::golden(DEPLOY, 42));
     println!("golden run   → orchestrator: {}  client: {}", golden.orchestrator_failure, golden.client_failure);
 
     // Now the same workload with one fault: the 5th bit of the Deployment
@@ -25,7 +25,7 @@ fn main() {
         },
         occurrence: 1,
     };
-    let out = run_experiment(&ExperimentConfig::injected(Workload::Deploy, 42, spec));
+    let out = run_experiment(&ExperimentConfig::injected(DEPLOY, 42, spec));
     println!(
         "injected run → orchestrator: {}  client: {}  (z = {:.1}, user saw an error: {})",
         out.orchestrator_failure, out.client_failure, out.z_latency, out.user_saw_error

@@ -11,7 +11,8 @@
 //! cargo run --release --example reddit_pi_day
 //! ```
 
-use k8s_cluster::{ClusterConfig, Workload, World};
+use k8s_cluster::{ClusterConfig, World};
+use mutiny_scenarios::DEPLOY;
 use k8s_model::{Channel, Kind, NoopInterceptor, Object};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -19,7 +20,7 @@ use std::rc::Rc;
 fn main() {
     let cfg = ClusterConfig { seed: 314, ..Default::default() };
     let mut world = World::new(cfg, Rc::new(RefCell::new(NoopInterceptor)));
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
 
     // The "relabeling": the net-agent DaemonSet selector now matches a
     // label no pod carries. (A direct store write models the corruption
@@ -31,7 +32,7 @@ fn main() {
         println!("corrupted net-agent DaemonSet selector in the store");
     }
 
-    world.schedule_workload(Workload::Deploy);
+    world.schedule_ops(DEPLOY.ops());
     world.run_to_horizon();
 
     let last = world.stats.last_sample().unwrap();
@@ -44,7 +45,7 @@ fn main() {
         "  client outcomes: ok={} refused={} timeouts={}",
         world.net.metrics.ok, world.net.metrics.refused, world.net.metrics.timeouts
     );
-    let baseline = mutiny_core::campaign::cached_default_baseline(Workload::Deploy);
+    let baseline = mutiny_core::campaign::cached_default_baseline(DEPLOY);
     let of = mutiny_core::classify::classify_orchestrator(&world.stats, &baseline);
     let (cf, z) = mutiny_core::classify::classify_client(&world.stats, &baseline);
     println!("  classification: orchestrator {of}, client {cf} (z = {z:.1})");

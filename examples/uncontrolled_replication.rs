@@ -22,7 +22,7 @@ fn main() {
         },
         occurrence: 1, // the ReplicaSet's create transaction
     };
-    let cfg = ExperimentConfig::injected(Workload::Deploy, 7, spec);
+    let cfg = ExperimentConfig::injected(DEPLOY, 7, spec);
     let (world, record) = mutiny_core::campaign::run_world(&cfg);
 
     println!("injection: {:?}", record.map(|r| (r.at, r.key, r.before, r.after)));
@@ -40,7 +40,7 @@ fn main() {
         world.api.etcd().writes_rejected(),
         if world.api.etcd().is_stalled() { "FULL — store stalled" } else { "ok" }
     );
-    let baseline = mutiny_core::campaign::cached_default_baseline(Workload::Deploy);
+    let baseline = mutiny_core::campaign::cached_default_baseline(DEPLOY);
     let of = mutiny_core::classify::classify_orchestrator(&world.stats, &baseline);
     println!("orchestrator-level classification: {of} (expected Sta: uncontrolled pod spawn)");
 }

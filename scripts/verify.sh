@@ -2,10 +2,15 @@
 # Tier-1 verification plus a cheap smoke campaign.
 #
 # 1. Build + test exactly what the ROADMAP calls tier-1.
-# 2. Run the campaign-throughput bench on a 2% plan so perf regressions
-#    and cross-executor determinism breaks are caught without paying for
-#    a full campaign. The bench asserts work-stealing and static-chunk
-#    executors produce identical rows and writes BENCH_campaign.json.
+# 2. Run the campaign-throughput bench on a 2% plan over the full
+#    scenario registry (the paper's three plus rolling-update and
+#    node-drain) so perf regressions and cross-executor determinism
+#    breaks are caught without paying for a full campaign. The bench
+#    asserts work-stealing and static-chunk executors produce identical
+#    rows and writes BENCH_campaign.json (scenario count included, so
+#    the perf trajectory shows scenario-coverage growth).
+# 3. Run one new-scenario-only slice (rolling-update) to smoke the
+#    MUTINY_SCENARIOS filter and the scenario-keyed TSV cache paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,9 +20,15 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== smoke campaign (MUTINY_SCALE=0.02) =="
+echo "== smoke campaign, full registry (MUTINY_SCALE=0.02) =="
 MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
 MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
 cargo bench -q -p mutiny-bench --bench campaign_throughput
+
+echo "== smoke campaign, rolling-update slice (MUTINY_SCALE=0.02) =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_SCENARIOS=rolling-update \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
 
 echo "== verify OK =="

@@ -20,8 +20,11 @@
 //!   log, server-side apply;
 //! * [`kcm`], [`scheduler`], [`kubelet`],
 //!   [`netsim`] — the remaining control-plane and node components;
-//! * [`cluster`] — the glued-together `World` plus the paper's
-//!   three orchestration workloads and the application client;
+//! * [`cluster`] — the glued-together `World`, the scenario-agnostic
+//!   user-operation vocabulary, and the application client;
+//! * [`scenarios`] — the pluggable scenario registry: the paper's three
+//!   workloads plus rolling-update and node-drain, with SimKube-style
+//!   virtual-node topology scaling;
 //! * [`mutiny`] — the paper's contribution: the injector, the
 //!   campaign manager, the failure classifiers, the FFDA dataset and the
 //!   findings analyses.
@@ -31,9 +34,9 @@
 //! ```
 //! use mutiny_lab::prelude::*;
 //!
-//! // Build a five-node cluster, run the "deploy" workload with no injection,
+//! // Build a five-node cluster, run the "deploy" scenario with no injection,
 //! // and confirm the golden run converges with the service reachable.
-//! let cfg = ExperimentConfig::golden(Workload::Deploy, 42);
+//! let cfg = ExperimentConfig::golden(DEPLOY, 42);
 //! let outcome = run_experiment(&cfg);
 //! assert_eq!(outcome.orchestrator_failure, OrchestratorFailure::No);
 //! assert_eq!(outcome.client_failure, ClientFailure::Nsi);
@@ -54,13 +57,17 @@ pub use k8s_netsim as netsim;
 pub use k8s_scheduler as scheduler;
 pub use mutiny_core as mutiny;
 pub use mutiny_mitigations as mitigations;
+pub use mutiny_scenarios as scenarios;
 pub use protowire;
 pub use simkit;
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
-    pub use k8s_cluster::{ClusterConfig, MitigationsConfig, Workload, World};
+    pub use k8s_cluster::{ClusterConfig, MitigationsConfig, Topology, UserOp, World};
     pub use k8s_model::{Channel, Kind, Object};
+    pub use mutiny_scenarios::{
+        registry, Scenario, ScenarioDef, DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP,
+    };
     pub use mutiny_core::campaign::{
         run_experiment, run_experiment_with_baseline, ExperimentConfig, ExperimentOutcome,
     };

@@ -1,23 +1,27 @@
 //! Work-stealing must not change results: per-experiment seeds derive
 //! from the plan index, so the campaign rows (and the golden baselines)
 //! must be identical to a serial run for any worker count and for either
-//! executor (shared-index stealing or the legacy static chunks).
+//! executor (shared-index stealing or the legacy static chunks). The
+//! same holds for every scenario in the registry — the rolling-update
+//! and node-drain additions are pinned here explicitly.
 
-use k8s_cluster::{ClusterConfig, Workload};
+use k8s_cluster::ClusterConfig;
 use k8s_model::Channel;
 use mutiny_core::campaign::{
-    generate_plan, record_fields, run_campaign_static_chunks, run_campaign_with_threads,
-    PlannedExperiment,
+    generate_plan, record_fields, run_campaign_range, run_campaign_static_chunks,
+    run_campaign_with_threads, PlannedExperiment,
 };
 use mutiny_core::golden::build_baseline_with_threads;
+use mutiny_core::Scenario;
+use mutiny_scenarios::{DEPLOY, NODE_DRAIN, ROLLING_UPDATE};
 use simkit::Rng;
 use std::collections::HashMap;
 
-/// A small but fault-diverse slice of the real Deploy plan.
-fn small_plan(cluster: &ClusterConfig) -> Vec<PlannedExperiment> {
-    let (fields, kinds) = record_fields(cluster, Workload::Deploy, vec![Channel::ApiToEtcd], 42);
+/// A small but fault-diverse slice of a scenario's real plan.
+fn small_plan(cluster: &ClusterConfig, scenario: Scenario) -> Vec<PlannedExperiment> {
+    let (fields, kinds) = record_fields(cluster, scenario, vec![Channel::ApiToEtcd], 42);
     let mut rng = Rng::new(7);
-    let full = generate_plan(&fields, &kinds, Workload::Deploy, &mut rng);
+    let full = generate_plan(&fields, &kinds, scenario, &mut rng);
     // Stride widely so the slice spans field mutations, proto-byte flips
     // and drops while staying cheap enough for CI.
     let stride = (full.len() / 6).max(1);
@@ -29,10 +33,9 @@ fn small_plan(cluster: &ClusterConfig) -> Vec<PlannedExperiment> {
 #[test]
 fn campaign_rows_identical_across_thread_counts() {
     let cluster = ClusterConfig::default();
-    let plan = small_plan(&cluster);
+    let plan = small_plan(&cluster, DEPLOY);
     let mut baselines = HashMap::new();
-    baselines
-        .insert(Workload::Deploy, build_baseline_with_threads(&cluster, Workload::Deploy, 4, 0xBA5E, 1));
+    baselines.insert(DEPLOY, build_baseline_with_threads(&cluster, DEPLOY, 4, 0xBA5E, 1));
 
     let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
     assert_eq!(serial.len(), plan.len());
@@ -47,10 +50,56 @@ fn campaign_rows_identical_across_thread_counts() {
 }
 
 #[test]
+fn new_scenarios_deterministic_across_thread_counts() {
+    // The engine's two additions run the same determinism gauntlet as the
+    // paper scenarios: byte-identical rows at 1, 2 and 5 workers.
+    let cluster = ClusterConfig::default();
+    for scenario in [ROLLING_UPDATE, NODE_DRAIN] {
+        let plan = small_plan(&cluster, scenario);
+        let mut baselines = HashMap::new();
+        baselines
+            .insert(scenario, build_baseline_with_threads(&cluster, scenario, 4, 0xBA5E, 1));
+
+        let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
+        assert_eq!(serial.len(), plan.len());
+        // Rows carry the scenario they ran under (the tables key on it).
+        assert!(serial.rows.iter().all(|r| r.scenario == scenario), "{scenario}");
+
+        for threads in [2usize, 5] {
+            let parallel =
+                run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+            assert_eq!(
+                serial.rows, parallel.rows,
+                "{scenario}: rows changed at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn range_partitions_reassemble_the_full_campaign() {
+    // The checkpointing contract: running [0..k) and [k..n) separately
+    // must concatenate to exactly the uninterrupted run's rows.
+    let cluster = ClusterConfig::default();
+    let plan = small_plan(&cluster, ROLLING_UPDATE);
+    let mut baselines = HashMap::new();
+    baselines.insert(
+        ROLLING_UPDATE,
+        build_baseline_with_threads(&cluster, ROLLING_UPDATE, 4, 0xBA5E, 1),
+    );
+
+    let full = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 2);
+    let split = plan.len() / 2;
+    let mut stitched = run_campaign_range(&cluster, &plan, &baselines, 2024, 0..split, 2);
+    stitched.merge(run_campaign_range(&cluster, &plan, &baselines, 2024, split..plan.len(), 2));
+    assert_eq!(full.rows, stitched.rows, "resumed campaign diverged from uninterrupted run");
+}
+
+#[test]
 fn baseline_identical_across_thread_counts() {
     let cluster = ClusterConfig::default();
-    let one = build_baseline_with_threads(&cluster, Workload::Deploy, 5, 77, 1);
-    let many = build_baseline_with_threads(&cluster, Workload::Deploy, 5, 77, 4);
+    let one = build_baseline_with_threads(&cluster, DEPLOY, 5, 77, 1);
+    let many = build_baseline_with_threads(&cluster, DEPLOY, 5, 77, 4);
     assert_eq!(one.avg_response, many.avg_response);
     assert_eq!(one.golden_maes, many.golden_maes);
     assert_eq!(one.golden_worst_startup, many.golden_worst_startup);

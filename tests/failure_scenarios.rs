@@ -9,12 +9,12 @@ use std::sync::OnceLock;
 fn baseline() -> &'static mutiny_core::Baseline {
     static B: OnceLock<mutiny_core::Baseline> = OnceLock::new();
     B.get_or_init(|| {
-        mutiny_core::build_baseline(&ClusterConfig::default(), Workload::Deploy, 8, 7)
+        mutiny_core::build_baseline(&ClusterConfig::default(), DEPLOY, 8, 7)
     })
 }
 
 fn run(spec: InjectionSpec, seed: u64) -> ExperimentOutcome {
-    let cfg = ExperimentConfig::injected(Workload::Deploy, seed, spec);
+    let cfg = ExperimentConfig::injected(DEPLOY, seed, spec);
     run_experiment_with_baseline(&cfg, baseline())
 }
 
@@ -28,13 +28,14 @@ fn field(kind: Kind, path: &str, mutation: FieldMutation, occurrence: u32) -> In
 }
 
 #[test]
-fn golden_runs_classify_clean_for_every_workload() {
-    for (wl, seed) in [(Workload::Deploy, 11), (Workload::ScaleUp, 12), (Workload::Failover, 13)]
-    {
-        let out = run_experiment(&ExperimentConfig::golden(wl, seed));
-        assert_eq!(out.orchestrator_failure, OrchestratorFailure::No, "{wl}");
-        assert_eq!(out.client_failure, ClientFailure::Nsi, "{wl}");
-        assert!(!out.user_saw_error, "{wl}");
+fn golden_runs_classify_clean_for_every_scenario() {
+    // The whole registry, not just the paper's three: rolling-update and
+    // node-drain golden runs must classify clean too.
+    for (i, sc) in registry::all().into_iter().enumerate() {
+        let out = run_experiment(&ExperimentConfig::golden(sc, 11 + i as u64));
+        assert_eq!(out.orchestrator_failure, OrchestratorFailure::No, "{sc}");
+        assert_eq!(out.client_failure, ClientFailure::Nsi, "{sc}");
+        assert!(!out.user_saw_error, "{sc}");
     }
 }
 
@@ -52,7 +53,7 @@ fn corrupted_template_label_causes_uncontrolled_replication() {
         FieldMutation::FlipStringChar(0),
         1,
     );
-    let cfg = ExperimentConfig { cluster, workload: Workload::Deploy, injection: Some(spec) };
+    let cfg = ExperimentConfig { cluster, scenario: DEPLOY, injection: Some(spec) };
     let out = run_experiment_with_baseline(&cfg, baseline());
     assert_eq!(out.orchestrator_failure, OrchestratorFailure::Sta, "{out:?}");
     assert!(out.pods_created > 50, "spawn storm expected, got {}", out.pods_created);
@@ -156,11 +157,11 @@ fn service_selector_corruption_breaks_networking() {
     // orchestrator level, SU at the client. Injected as a direct store
     // corruption (the paper's scenario-driven variant) because the
     // pre-installed Service is not rewritten during the workload.
-    let cfg = ExperimentConfig::golden(Workload::Deploy, 26);
+    let cfg = ExperimentConfig::golden(DEPLOY, 26);
     let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::disarmed()));
     let handle: k8s_apiserver::InterceptorHandle = mutiny;
     let mut world = World::new(cfg.cluster.clone(), handle);
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
     if let Some(Object::Service(svc)) = world.api.get(Kind::Service, "default", "web-1-svc").as_deref()
     {
         let mut svc = svc.clone();
@@ -169,7 +170,7 @@ fn service_selector_corruption_breaks_networking() {
     } else {
         panic!("client service missing after setup");
     }
-    world.schedule_workload(Workload::Deploy);
+    world.schedule_ops(DEPLOY.ops());
     world.run_to_horizon();
     let of = mutiny_core::classify::classify_orchestrator(&world.stats, baseline());
     let (cf, _) = mutiny_core::classify::classify_client(&world.stats, baseline());

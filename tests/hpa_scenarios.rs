@@ -11,7 +11,7 @@ fn hpa_world(seed: u64, interceptor: k8s_apiserver::InterceptorHandle) -> World 
     let mut cfg = ClusterConfig { seed, ..ClusterConfig::default() };
     cfg.net.publish_metrics = true;
     let mut world = World::new(cfg, interceptor);
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
     let mut hpa = HorizontalPodAutoscaler::default();
     hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
     hpa.spec.scale_target = "web-1".into();
@@ -36,7 +36,7 @@ fn noop() -> k8s_apiserver::InterceptorHandle {
 fn run_tracking_replicas(world: &mut World) -> (i64, i64) {
     let (mut lo, mut hi) = (i64::MAX, i64::MIN);
     let load_end = world.t0() + 30_000;
-    world.schedule_workload(Workload::Deploy);
+    world.schedule_ops(DEPLOY.ops());
     while world.now() < world.horizon() {
         let next = (world.now() + 500).min(world.horizon());
         world.run_until(next);
@@ -119,7 +119,7 @@ fn zeroed_target_load_pins_the_service_to_minimum() {
     let mutiny = Rc::new(RefCell::new(Mutiny::armed_from(spec, k8s_cluster::WORKLOAD_START_MS)));
     let handle: k8s_apiserver::InterceptorHandle = mutiny.clone();
     let mut world = hpa_world(63, handle);
-    world.schedule_workload(Workload::Deploy);
+    world.schedule_ops(DEPLOY.ops());
     // Replicas over the last ten seconds of the load phase: the brief
     // pre-corruption scale-up has been clawed back by then.
     let load_end = world.t0() + 30_000;

@@ -8,7 +8,7 @@ use std::sync::OnceLock;
 
 fn baseline_for(mitigations: MitigationsConfig) -> mutiny_core::Baseline {
     let cfg = ClusterConfig { mitigations, ..ClusterConfig::default() };
-    mutiny_core::build_baseline(&cfg, Workload::Deploy, 8, 7)
+    mutiny_core::build_baseline(&cfg, DEPLOY, 8, 7)
 }
 
 fn plain_baseline() -> &'static mutiny_core::Baseline {
@@ -33,7 +33,7 @@ fn storm_spec() -> InjectionSpec {
 fn run_with(mitigations: MitigationsConfig, spec: InjectionSpec, seed: u64) -> ExperimentOutcome {
     let baseline = baseline_for(mitigations.clone());
     let cluster = ClusterConfig { seed, mitigations, ..ClusterConfig::default() };
-    let cfg = ExperimentConfig { cluster, workload: Workload::Deploy, injection: Some(spec) };
+    let cfg = ExperimentConfig { cluster, scenario: DEPLOY, injection: Some(spec) };
     mutiny_core::campaign::run_experiment_with_baseline(&cfg, &baseline)
 }
 
@@ -63,7 +63,7 @@ fn breaker_bounds_the_replication_storm() {
     let unmitigated = {
         let cfg = ExperimentConfig {
             cluster: ClusterConfig { seed: 42, ..ClusterConfig::default() },
-            workload: Workload::Deploy,
+            scenario: DEPLOY,
             injection: Some(storm_spec()),
         };
         mutiny_core::campaign::run_experiment_with_baseline(&cfg, plain_baseline())
@@ -108,7 +108,7 @@ fn integrity_repairs_service_selector_corruption() {
     let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::disarmed()));
     let handle: k8s_apiserver::InterceptorHandle = mutiny;
     let mut world = World::new(cluster, handle);
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
     // Corrupt the stored bytes *after* sealing (the campaign's in-flight
     // model): the stale redundancy code no longer matches the selector.
     if let Some(Object::Service(svc)) = world.api.get(Kind::Service, "default", "web-1-svc").as_deref() {
@@ -119,7 +119,7 @@ fn integrity_repairs_service_selector_corruption() {
     } else {
         panic!("client service missing after setup");
     }
-    world.schedule_workload(Workload::Deploy);
+    world.schedule_ops(DEPLOY.ops());
     world.run_to_horizon();
     let (cf, _) = mutiny_core::classify::classify_client(&world.stats, &baseline);
     assert_ne!(cf, ClientFailure::Su, "integrity must keep the service reachable");
@@ -137,7 +137,7 @@ fn policy_denies_coredns_scale_to_zero() {
     let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::disarmed()));
     let handle: k8s_apiserver::InterceptorHandle = mutiny;
     let mut world = World::new(cluster, handle);
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
 
     let Some(dns_obj) = world.api.get(Kind::Deployment, "kube-system", "coredns") else {
         panic!("coredns deployment missing");
@@ -163,7 +163,7 @@ fn policy_rejects_unbounded_pods_and_oversized_workloads() {
     let mutiny = std::rc::Rc::new(std::cell::RefCell::new(Mutiny::disarmed()));
     let handle: k8s_apiserver::InterceptorHandle = mutiny;
     let mut world = World::new(cluster, handle);
-    world.prepare(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
 
     // A pod without resource requests (the overload class of Table I).
     let mut pod = k8s_model::Pod::default();
@@ -210,8 +210,8 @@ fn guard_journals_silent_store_corruption() {
     )));
     let handle: k8s_apiserver::InterceptorHandle = mutiny.clone();
     let mut world = World::new(cluster, handle);
-    world.prepare(Workload::Deploy);
-    world.schedule_workload(Workload::Deploy);
+    world.prepare(DEPLOY.preinstalled_apps());
+    world.schedule_ops(DEPLOY.ops());
     world.run_to_horizon();
     assert!(mutiny.borrow().fired(), "injection never fired");
     let guard = world.guard.as_ref().expect("guard enabled");
@@ -240,7 +240,7 @@ fn defenses_do_not_change_clean_experiment_outcomes() {
     let plain = {
         let cfg = ExperimentConfig {
             cluster: ClusterConfig { seed: 48, ..ClusterConfig::default() },
-            workload: Workload::Deploy,
+            scenario: DEPLOY,
             injection: Some(spec.clone()),
         };
         mutiny_core::campaign::run_experiment_with_baseline(&cfg, plain_baseline())
