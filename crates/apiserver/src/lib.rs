@@ -104,10 +104,49 @@ pub type TraceHandle = Rc<RefCell<Trace>>;
 /// How many decoded events the apiserver retains for watchers.
 const EVENT_LOG_RETENTION: usize = 200_000;
 
-/// Grace period a running pod keeps serving after a user/controller
-/// delete before it is finalized (covers the endpoints→proxy propagation
-/// lag, so voluntary disruptions are hitless).
+/// Default grace period a running pod keeps serving after a
+/// user/controller delete before it is finalized (covers the
+/// endpoints→proxy propagation lag, so voluntary disruptions are
+/// hitless). Pods override it with `spec.terminationGracePeriodSeconds`.
 pub const POD_TERMINATION_GRACE_MS: u64 = 2_000;
+
+/// A message held by a [`WireVerdict::Delay`] or echoed by a
+/// [`WireVerdict::Duplicate`], awaiting its simulated delivery time.
+#[derive(Debug)]
+enum Deferred {
+    /// An apiserver→etcd transaction: lands as a raw store write (it
+    /// already passed validation/admission when it crossed the wire).
+    Put {
+        /// Registry key.
+        key: String,
+        /// Encoded object bytes.
+        bytes: Vec<u8>,
+    },
+    /// A component→apiserver request: replays through the full request
+    /// pipeline on delivery (without re-crossing the incoming wire).
+    Request {
+        /// Channel the original message travelled on.
+        channel: Channel,
+        /// Operation.
+        op: Op,
+        /// Resource kind.
+        kind: Kind,
+        /// URL namespace.
+        ns: String,
+        /// URL name.
+        name: String,
+        /// Encoded payload (`None` for deletes).
+        bytes: Option<Vec<u8>>,
+    },
+}
+
+/// One queued deferred delivery, ordered by (due, seq).
+#[derive(Debug)]
+struct DeferredEntry {
+    due: u64,
+    seq: u64,
+    what: Deferred,
+}
 
 /// The simulated kube-apiserver.
 pub struct ApiServer {
@@ -130,9 +169,19 @@ pub struct ApiServer {
     pub validation_enabled: bool,
     /// Count of undecryptable objects deleted.
     pub undecodable_deleted: u64,
-    /// Terminating pods awaiting the end of their grace period, FIFO by
-    /// deadline (deadlines are monotone because `now` is).
-    reap_at: std::collections::VecDeque<(u64, String)>,
+    /// Terminating pods awaiting the end of their grace period, kept
+    /// sorted by (deadline, insertion order) — deadlines are *not*
+    /// monotone, each pod brings its own `terminationGracePeriodSeconds`,
+    /// so the due check peeks the front instead of scanning.
+    reap_at: std::collections::VecDeque<(u64, u64, String)>,
+    reap_seq: u64,
+    /// Delayed/duplicated wire messages awaiting their simulated delivery
+    /// time, kept sorted by (due, seq).
+    delayed: Vec<DeferredEntry>,
+    delayed_seq: u64,
+    /// Reentrancy guard: a deferred request replaying through the
+    /// pipeline must not re-trigger the flush it came from.
+    flushing: bool,
     /// Superseded same-key revisions skipped (not decoded) by batched
     /// cache drains.
     pub sync_events_coalesced: u64,
@@ -179,6 +228,10 @@ impl ApiServer {
             validation_enabled: true,
             undecodable_deleted: 0,
             reap_at: std::collections::VecDeque::new(),
+            reap_seq: 0,
+            delayed: Vec::new(),
+            delayed_seq: 0,
+            flushing: false,
             sync_events_coalesced: 0,
             policies: Vec::new(),
             policy_denials: 0,
@@ -331,7 +384,7 @@ impl ApiServer {
     /// Any [`ApiError`]; every outcome is recorded in the audit log.
     pub fn create(&mut self, channel: Channel, obj: Object) -> Result<Object, ApiError> {
         let (url_ns, url_name) = (obj.namespace().to_owned(), obj.name().to_owned());
-        self.request(channel, Op::Create, obj.kind(), &url_ns, &url_name, Some(obj))
+        self.request(channel, Op::Create, obj.kind(), &url_ns, &url_name, Some(obj), false)
     }
 
     /// Updates an object (same pipeline as [`ApiServer::create`]).
@@ -341,7 +394,7 @@ impl ApiServer {
     /// Any [`ApiError`]; every outcome is recorded in the audit log.
     pub fn update(&mut self, channel: Channel, obj: Object) -> Result<Object, ApiError> {
         let (url_ns, url_name) = (obj.namespace().to_owned(), obj.name().to_owned());
-        self.request(channel, Op::Update, obj.kind(), &url_ns, &url_name, Some(obj))
+        self.request(channel, Op::Update, obj.kind(), &url_ns, &url_name, Some(obj), false)
     }
 
     /// Deletes an object.
@@ -356,9 +409,10 @@ impl ApiServer {
         namespace: &str,
         name: &str,
     ) -> Result<(), ApiError> {
-        self.request(channel, Op::Delete, kind, namespace, name, None).map(|_| ())
+        self.request(channel, Op::Delete, kind, namespace, name, None, false).map(|_| ())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn request(
         &mut self,
         channel: Channel,
@@ -367,10 +421,11 @@ impl ApiServer {
         url_ns: &str,
         url_name: &str,
         obj: Option<Object>,
+        deferred: bool,
     ) -> Result<Object, ApiError> {
         self.sync_cache();
         let key = registry_key(kind, url_ns, url_name);
-        let result = self.request_inner(channel, op, kind, &key, url_ns, url_name, obj);
+        let result = self.request_inner(channel, op, kind, &key, url_ns, url_name, obj, deferred);
         self.audit.record(AuditRecord {
             at: self.now,
             channel,
@@ -399,12 +454,18 @@ impl ApiServer {
         url_ns: &str,
         url_name: &str,
         obj: Option<Object>,
+        deferred: bool,
     ) -> Result<Object, ApiError> {
-        // 1. The request crosses the component→apiserver wire.
+        // 1. The request crosses the component→apiserver wire (a replay
+        //    of a delayed/duplicated message already crossed it once).
         let mut incoming: Option<Object> = None;
         if let Some(o) = obj {
             let bytes = o.encode();
-            let verdict = self.intercept(channel, kind, key, op, Some(&bytes));
+            let verdict = if deferred {
+                WireVerdict::Pass
+            } else {
+                self.intercept(channel, kind, key, op, Some(&bytes))
+            };
             let effective = match verdict {
                 WireVerdict::Pass => bytes,
                 WireVerdict::Replace(b) => b,
@@ -417,18 +478,86 @@ impl ApiServer {
                     );
                     return Ok(o);
                 }
+                WireVerdict::Delay(d) => {
+                    // The sender sees success now; the request arrives
+                    // `d` ms later through the deferred-delivery queue.
+                    self.defer(
+                        d,
+                        Deferred::Request {
+                            channel,
+                            op,
+                            kind,
+                            ns: url_ns.to_owned(),
+                            name: url_name.to_owned(),
+                            bytes: Some(bytes),
+                        },
+                    );
+                    self.log(
+                        TraceLevel::Debug,
+                        format!("{op} {key}: request held {d} ms in flight on {channel}"),
+                    );
+                    return Ok(o);
+                }
+                WireVerdict::Duplicate(d) => {
+                    // Deliver now and echo an identical copy later.
+                    self.defer(
+                        d,
+                        Deferred::Request {
+                            channel,
+                            op,
+                            kind,
+                            ns: url_ns.to_owned(),
+                            name: url_name.to_owned(),
+                            bytes: Some(bytes.clone()),
+                        },
+                    );
+                    self.log(
+                        TraceLevel::Debug,
+                        format!("{op} {key}: request duplicated on {channel} (+{d} ms)"),
+                    );
+                    bytes
+                }
             };
             // Authentication/decoding: garbage payloads are rejected here.
             incoming =
                 Some(Object::decode(kind, &effective).map_err(|_| ApiError::Undecodable)?);
-        } else if op == Op::Delete {
+        } else if op == Op::Delete && !deferred {
             let verdict = self.intercept(channel, kind, key, op, None);
-            if verdict == WireVerdict::Drop {
-                return Ok(self
-                    .cache
-                    .get(key)
-                    .map(|rc| (**rc).clone())
-                    .unwrap_or_else(|| Object::Namespace(k8s_model::Namespace::default())));
+            let current = self
+                .cache
+                .get(key)
+                .map(|rc| (**rc).clone())
+                .unwrap_or_else(|| Object::Namespace(k8s_model::Namespace::default()));
+            match verdict {
+                WireVerdict::Drop => return Ok(current),
+                WireVerdict::Delay(d) => {
+                    self.defer(
+                        d,
+                        Deferred::Request {
+                            channel,
+                            op,
+                            kind,
+                            ns: url_ns.to_owned(),
+                            name: url_name.to_owned(),
+                            bytes: None,
+                        },
+                    );
+                    return Ok(current);
+                }
+                WireVerdict::Duplicate(d) => {
+                    self.defer(
+                        d,
+                        Deferred::Request {
+                            channel,
+                            op,
+                            kind,
+                            ns: url_ns.to_owned(),
+                            name: url_name.to_owned(),
+                            bytes: None,
+                        },
+                    );
+                }
+                _ => {}
             }
         }
 
@@ -457,6 +586,9 @@ impl ApiServer {
                 {
                     if let Some(Object::Pod(p)) = existing.as_deref() {
                         if !p.metadata.is_terminating() && p.status.phase == "Running" {
+                            // Per-pod grace: spec.terminationGracePeriodSeconds
+                            // when set, the cluster default otherwise.
+                            let grace_ms = p.termination_grace_ms(POD_TERMINATION_GRACE_MS);
                             let mut p = p.clone();
                             p.metadata.deletion_timestamp = self.now.max(1) as i64;
                             p.metadata.resource_version = self.etcd.revision() as i64 + 1;
@@ -481,13 +613,31 @@ impl ApiServer {
                                     );
                                     return Ok(obj);
                                 }
+                                WireVerdict::Delay(d) => {
+                                    // The mark lands late; the grace clock
+                                    // starts when it actually lands.
+                                    self.defer(
+                                        d,
+                                        Deferred::Put { key: key.to_owned(), bytes },
+                                    );
+                                    self.schedule_reap(self.now + d + grace_ms, key);
+                                    return Ok(obj);
+                                }
+                                WireVerdict::Duplicate(d) => {
+                                    self.defer(
+                                        d,
+                                        Deferred::Put { key: key.to_owned(), bytes: bytes.clone() },
+                                    );
+                                    bytes
+                                }
                             };
                             self.etcd_put(key, store_bytes)?;
-                            self.reap_at
-                                .push_back((self.now + POD_TERMINATION_GRACE_MS, key.to_owned()));
+                            self.schedule_reap(self.now + grace_ms, key);
                             self.log(
                                 TraceLevel::Info,
-                                format!("pod {key} terminating via {channel} (graceful)"),
+                                format!(
+                                    "pod {key} terminating via {channel} (graceful, {grace_ms} ms)"
+                                ),
                             );
                             return Ok(obj);
                         }
@@ -587,6 +737,28 @@ impl ApiServer {
                         );
                         return Ok(new_obj);
                     }
+                    WireVerdict::Delay(d) => {
+                        // The transaction lands `d` ms late as a raw store
+                        // write (it already passed validation/admission);
+                        // the caller sees success now.
+                        self.defer(d, Deferred::Put { key: key.to_owned(), bytes });
+                        self.log(
+                            TraceLevel::Debug,
+                            format!("{op} {key}: etcd transaction held {d} ms"),
+                        );
+                        return Ok(new_obj);
+                    }
+                    WireVerdict::Duplicate(d) => {
+                        // Land now and echo an identical write later —
+                        // the echo resurrects this revision over anything
+                        // written in between.
+                        self.defer(d, Deferred::Put { key: key.to_owned(), bytes: bytes.clone() });
+                        self.log(
+                            TraceLevel::Debug,
+                            format!("{op} {key}: etcd transaction duplicated (+{d} ms)"),
+                        );
+                        bytes
+                    }
                 };
                 self.etcd_put(key, store_bytes)?;
                 Ok(new_obj)
@@ -657,23 +829,100 @@ impl ApiServer {
 
     // --- the read path -----------------------------------------------------
 
-    /// Finalizes terminating pods whose grace period has elapsed.
+    /// Queues a pod for finalization at `deadline`, keeping the reap
+    /// queue sorted by (deadline, insertion order) so the due check stays
+    /// a front peek despite per-pod grace windows.
+    fn schedule_reap(&mut self, deadline: u64, key: &str) {
+        let seq = self.reap_seq;
+        self.reap_seq += 1;
+        let pos = self
+            .reap_at
+            .iter()
+            .position(|(d, s, _)| (*d, *s) > (deadline, seq))
+            .unwrap_or(self.reap_at.len());
+        self.reap_at.insert(pos, (deadline, seq, key.to_owned()));
+    }
+
+    /// Finalizes terminating pods whose grace period has elapsed. Only
+    /// pods whose stored state actually carries the terminating mark are
+    /// finalized — a delayed or dropped mark must not turn the reaper
+    /// into a force-delete.
     fn reap_terminated(&mut self) {
-        while let Some((deadline, _)) = self.reap_at.front() {
+        while let Some((deadline, _, _)) = self.reap_at.front() {
             if *deadline > self.now {
                 break;
             }
-            let (_, key) = self.reap_at.pop_front().expect("front checked");
-            if self.etcd.get(&key).is_some() {
+            let (_, _, key) = self.reap_at.pop_front().expect("front checked");
+            let terminating = self
+                .etcd
+                .get(&key)
+                .and_then(|(bytes, _)| Object::decode(Kind::Pod, &bytes).ok())
+                .map(|obj| obj.meta().is_terminating())
+                .unwrap_or(false);
+            if terminating {
                 self.etcd.delete(&key);
                 self.log(TraceLevel::Info, format!("pod {key} finalized after grace period"));
             }
         }
     }
 
+    /// Queues a deferred delivery `d` ms from now, keeping the queue
+    /// sorted by (due, insertion order) so flushes are deterministic.
+    fn defer(&mut self, d: u64, what: Deferred) {
+        let entry = DeferredEntry { due: self.now + d, seq: self.delayed_seq, what };
+        self.delayed_seq += 1;
+        let pos = self
+            .delayed
+            .iter()
+            .position(|e| (e.due, e.seq) > (entry.due, entry.seq))
+            .unwrap_or(self.delayed.len());
+        self.delayed.insert(pos, entry);
+    }
+
+    /// Delivers every deferred message whose simulated time has come.
+    /// Store writes land raw (they already passed validation); requests
+    /// replay through the full pipeline without re-crossing the wire.
+    fn flush_deferred(&mut self) {
+        if self.delayed.is_empty() || self.delayed[0].due > self.now {
+            return;
+        }
+        self.flushing = true;
+        while !self.delayed.is_empty() && self.delayed[0].due <= self.now {
+            let entry = self.delayed.remove(0);
+            match entry.what {
+                Deferred::Put { key, bytes } => {
+                    self.log(
+                        TraceLevel::Debug,
+                        format!("delayed etcd transaction for {key} delivered"),
+                    );
+                    let _ = self.etcd_put(&key, bytes);
+                }
+                Deferred::Request { channel, op, kind, ns, name, bytes } => {
+                    let obj = bytes.and_then(|b| Object::decode(kind, &b).ok());
+                    if obj.is_none() && op != Op::Delete {
+                        continue; // undecodable replay: nothing arrives
+                    }
+                    self.log(
+                        TraceLevel::Debug,
+                        format!("delayed {op} request for {ns}/{name} delivered on {channel}"),
+                    );
+                    let _ = self.request(channel, op, kind, &ns, &name, obj, true);
+                }
+            }
+        }
+        self.flushing = false;
+    }
+
     /// Drains etcd's raw watch log into the decoded cache and event log,
     /// deleting undecryptable objects as they are discovered.
     pub fn sync_cache(&mut self) {
+        // Deferred deliveries land before the reaper runs: a delayed
+        // terminating mark whose flush time and reap deadline are due at
+        // the same sync must be in the store when the reaper checks it,
+        // or the reap entry would be consumed with the pod untouched.
+        if !self.flushing {
+            self.flush_deferred();
+        }
         self.reap_terminated();
         loop {
             let (raw, next) = match self.etcd.events_after_revision(self.etcd_seen_rev) {
@@ -1097,6 +1346,155 @@ mod tests {
         } else {
             panic!("not a pod");
         }
+    }
+
+    /// Interceptor returning one canned verdict for the first message on
+    /// a channel, passing everything else.
+    struct OneShot {
+        channel: Channel,
+        verdict: Option<WireVerdict>,
+    }
+
+    impl Interceptor for OneShot {
+        fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict {
+            if ctx.channel == self.channel {
+                self.verdict.take().unwrap_or(WireVerdict::Pass)
+            } else {
+                WireVerdict::Pass
+            }
+        }
+    }
+
+    fn api_with(channel: Channel, verdict: WireVerdict) -> ApiServer {
+        let etcd = Etcd::new(1, 10 * 1024 * 1024);
+        let interceptor: InterceptorHandle =
+            Rc::new(RefCell::new(OneShot { channel, verdict: Some(verdict) }));
+        let trace: TraceHandle = Rc::new(RefCell::new(Trace::new(1024)));
+        ApiServer::new(etcd, interceptor, trace)
+    }
+
+    #[test]
+    fn delayed_store_transaction_lands_late() {
+        let mut a = api_with(Channel::ApiToEtcd, WireVerdict::Delay(1_000));
+        let created = a.create(Channel::UserToApi, pod("default", "p1"));
+        assert!(created.is_ok(), "the sender sees success immediately");
+        // Nothing reached the store yet.
+        assert!(a.get(Kind::Pod, "default", "p1").is_none());
+        // After the hold the write lands through the deferred queue.
+        a.set_now(1_000);
+        assert!(a.get(Kind::Pod, "default", "p1").is_some());
+    }
+
+    #[test]
+    fn delayed_incoming_request_arrives_late() {
+        let mut a = api_with(Channel::UserToApi, WireVerdict::Delay(2_000));
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        assert!(a.get(Kind::Pod, "default", "p1").is_none(), "request still in flight");
+        a.set_now(1_999);
+        assert!(a.get(Kind::Pod, "default", "p1").is_none());
+        a.set_now(2_000);
+        let got = a.get(Kind::Pod, "default", "p1").expect("request delivered late");
+        // The replay went through the full pipeline: admission ran.
+        assert!(!got.meta().uid.is_empty());
+        // The late arrival is audited as a real request.
+        assert!(a.audit().records().iter().any(|r| r.at == 2_000));
+    }
+
+    #[test]
+    fn duplicated_store_transaction_resurrects_old_state() {
+        let mut a = api_with(Channel::ApiToEtcd, WireVerdict::Pass);
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        // Arm a duplicate on the next store transaction.
+        a.interceptor = Rc::new(RefCell::new(OneShot {
+            channel: Channel::ApiToEtcd,
+            verdict: Some(WireVerdict::Duplicate(500)),
+        }));
+        let Object::Pod(mut p) = created else { unreachable!() };
+        p.metadata.resource_version = 0; // always write the latest
+        p.status.restart_count = 1;
+        a.set_now(100);
+        a.update(Channel::KubeletToApi, Object::Pod(p.clone())).unwrap();
+        // A newer revision supersedes it…
+        p.status.restart_count = 2;
+        a.set_now(200);
+        a.update(Channel::KubeletToApi, Object::Pod(p)).unwrap();
+        assert_eq!(
+            a.get(Kind::Pod, "default", "p1").unwrap().as_pod().unwrap().status.restart_count,
+            2
+        );
+        // …until the echo lands and resurrects the duplicated write.
+        a.set_now(600);
+        assert_eq!(
+            a.get(Kind::Pod, "default", "p1").unwrap().as_pod().unwrap().status.restart_count,
+            1,
+            "the duplicated transaction must overwrite newer state"
+        );
+    }
+
+    #[test]
+    fn per_pod_grace_period_overrides_the_default() {
+        let mut a = api();
+        let Object::Pod(mut p) = pod("default", "p1") else { unreachable!() };
+        p.spec.termination_grace_period_seconds = 5;
+        a.create(Channel::UserToApi, Object::Pod(p.clone())).unwrap();
+        p.status.phase = "Running".into();
+        p.status.ready = true;
+        a.set_now(1_000);
+        a.update(Channel::KubeletToApi, Object::Pod(p)).unwrap();
+        a.delete(Channel::KcmToApi, Kind::Pod, "default", "p1").unwrap();
+        // Past the 2 s default, inside the pod's own 5 s window: serving.
+        a.set_now(1_000 + POD_TERMINATION_GRACE_MS + 500);
+        let still = a.get(Kind::Pod, "default", "p1").expect("pod keeps its own grace");
+        assert!(still.meta().is_terminating());
+        // After the pod's window: reaped.
+        a.set_now(1_000 + 5_000);
+        assert!(a.get(Kind::Pod, "default", "p1").is_none());
+    }
+
+    #[test]
+    fn delayed_terminating_mark_still_reaps_on_a_late_sync() {
+        // Flush-then-reap ordering: when the delayed mark's delivery time
+        // and the reap deadline are both overdue at the same sync, the
+        // mark must land first so the reaper still finalizes the pod.
+        let mut a = api();
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        let Object::Pod(mut p) = created else { unreachable!() };
+        p.metadata.resource_version = 0;
+        p.status.phase = "Running".into();
+        a.set_now(1_000);
+        a.update(Channel::KubeletToApi, Object::Pod(p)).unwrap();
+        a.interceptor = Rc::new(RefCell::new(OneShot {
+            channel: Channel::ApiToEtcd,
+            verdict: Some(WireVerdict::Delay(500)),
+        }));
+        a.delete(Channel::KcmToApi, Kind::Pod, "default", "p1").unwrap();
+        // No syncs happen until well past mark delivery (1 500) and the
+        // reap deadline (1 500 + grace): one late sync must do both.
+        a.set_now(1_000 + 500 + POD_TERMINATION_GRACE_MS + 2_500);
+        assert!(
+            a.get(Kind::Pod, "default", "p1").is_none(),
+            "pod must be finalized once the late mark lands and grace passes"
+        );
+    }
+
+    #[test]
+    fn reaper_skips_pods_whose_terminating_mark_never_landed() {
+        // A dropped terminating mark must not become a force-delete at
+        // the (never-started) grace deadline.
+        let mut a = api_with(Channel::ApiToEtcd, WireVerdict::Pass);
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        let Object::Pod(mut p) = pod("default", "p1") else { unreachable!() };
+        p.status.phase = "Running".into();
+        a.set_now(1_000);
+        a.update(Channel::KubeletToApi, Object::Pod(p)).unwrap();
+        a.interceptor = Rc::new(RefCell::new(OneShot {
+            channel: Channel::ApiToEtcd,
+            verdict: Some(WireVerdict::Drop),
+        }));
+        a.delete(Channel::KcmToApi, Kind::Pod, "default", "p1").unwrap();
+        a.set_now(1_000 + POD_TERMINATION_GRACE_MS + 1);
+        let survivor = a.get(Kind::Pod, "default", "p1").expect("pod must survive");
+        assert!(!survivor.meta().is_terminating());
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn main() {
         let cfg = ExperimentConfig {
             cluster: ClusterConfig { seed: 1234, ..cluster.clone() },
             scenario: DEPLOY,
-            injection: Some(spec.clone()),
+            injection: Some(mutiny_core::ArmedFault::implied(spec.clone())),
         };
         let out = run_experiment_with_baseline(&cfg, &baseline);
         println!(

@@ -37,12 +37,14 @@ fn main() {
     let scale = mutiny_bench::scale();
     let scenario_names: Vec<&str> =
         mutiny_bench::scenarios().iter().map(|s| s.name()).collect();
+    let fault_names: Vec<&str> = mutiny_bench::faults().iter().map(|f| f.name()).collect();
     let plan = mutiny_bench::plan();
     let threads = exec::default_threads(plan.len());
     eprintln!(
-        "[campaign-throughput] {} experiments (scale {scale}, scenarios: {}), {threads} worker thread(s)",
+        "[campaign-throughput] {} experiments (scale {scale}, scenarios: {}, faults: {}), {threads} worker thread(s)",
         plan.len(),
-        scenario_names.join(",")
+        scenario_names.join(","),
+        fault_names.join(",")
     );
 
     eprintln!(
@@ -82,10 +84,12 @@ fn main() {
     let experiments_per_sec = plan.len() as f64 / stealing_s.max(1e-9);
     let speedup = static_s / stealing_s.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
         plan.len(),
         scenario_names.len(),
         scenario_names.join(","),
+        fault_names.len(),
+        fault_names.join(","),
         mutiny_bench::golden_runs(),
         baseline_s,
         stealing_s,

@@ -3,24 +3,25 @@
 //! report how many corrupted values reached etcd (Prop) and how many
 //! experiments logged an apiserver error (Err.).
 use k8s_cluster::ClusterConfig;
-use k8s_model::Channel;
 use mutiny_core::campaign::record_fields;
-use mutiny_core::propagation::{propagation_plan, run_propagation};
+use mutiny_core::propagation::{channels_for, propagation_plan, run_propagation};
 
 fn main() {
     let cluster = ClusterConfig::default();
-    let channels =
-        [Channel::KcmToApi, Channel::SchedulerToApi, Channel::KubeletToApi];
     let mut cells = Vec::new();
     for sc in mutiny_bench::scenarios() {
-        let (fields, _) = record_fields(&cluster, sc, channels.to_vec(), mutiny_bench::seed());
+        // Scenario-aware channel sets: node-drain (like failover) gets a
+        // dedicated Kubelet→Api cell for its eviction-window traffic,
+        // controller-only scenarios skip the kubelet channel.
+        let channels = channels_for(sc);
+        let (fields, _) = record_fields(&cluster, sc, channels.clone(), mutiny_bench::seed());
         for ch in channels {
             let mut specs = propagation_plan(&fields, ch);
             // Scale with the campaign knob; the paper runs ~40-470 per cell.
             let keep = ((specs.len() as f64) * mutiny_bench::scale()).ceil() as usize;
             specs.truncate(keep.max(1));
             let cell = run_propagation(&cluster, sc, &specs, mutiny_bench::seed());
-            cells.push((ch, sc, cell));
+            cells.push((mutiny_faults::BIT_FLIP, ch, sc, cell));
         }
     }
     println!("{}", mutiny_core::tables::table6(&cells).render());

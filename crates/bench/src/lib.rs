@@ -12,7 +12,10 @@
 //!   defaults to 0.05 and `scripts/verify.sh` smokes at 0.02);
 //! * `MUTINY_SCENARIOS` — comma-separated scenario names to run
 //!   (default: the whole registry — the paper's three plus
-//!   rolling-update and node-drain);
+//!   rolling-update, node-drain and hpa-autoscale);
+//! * `MUTINY_FAULTS` — comma-separated fault-family names to inject
+//!   (default: the whole fault registry — the paper's wire triplet plus
+//!   delay, duplicate, partition and crash-restart);
 //! * `MUTINY_GOLDEN_RUNS` — golden runs per scenario baseline
 //!   (default 100, as in the paper);
 //! * `MUTINY_SEED` — campaign base seed (default 2024);
@@ -31,15 +34,16 @@
 //! perf-trajectory data point.
 
 use mutiny_core::campaign::{
-    generate_plan, record_fields, run_campaign_range, CampaignResults, CampaignRow,
+    plan_campaign, record_fields, run_campaign_range, CampaignResults, CampaignRow,
     PlannedExperiment,
 };
 use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
 use mutiny_core::exec;
 use mutiny_core::golden::{build_baseline, Baseline};
-use mutiny_core::injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec};
+use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec};
 use k8s_cluster::ClusterConfig;
 use k8s_model::{Channel, Kind};
+use mutiny_faults::{registry as fault_registry, Fault};
 use mutiny_scenarios::{registry, Scenario};
 use simkit::Rng;
 use std::collections::HashMap;
@@ -84,6 +88,28 @@ pub fn scenarios() -> Vec<Scenario> {
     }
 }
 
+/// The fault families this campaign injects: `MUTINY_FAULTS` (comma-
+/// separated registry names) or the whole fault registry.
+///
+/// # Panics
+///
+/// Panics when the filter names a family the registry does not know —
+/// silently running a smaller campaign would corrupt the perf trajectory.
+pub fn faults() -> Vec<Fault> {
+    match std::env::var("MUTINY_FAULTS") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .map(|n| {
+                fault_registry::find(n)
+                    .unwrap_or_else(|| panic!("MUTINY_FAULTS names unknown fault family {n:?}"))
+            })
+            .collect(),
+        Err(_) => fault_registry::all(),
+    }
+}
+
 /// Rows per checkpoint chunk from `MUTINY_CHECKPOINT_ROWS`.
 pub fn checkpoint_rows() -> usize {
     std::env::var("MUTINY_CHECKPOINT_ROWS")
@@ -103,19 +129,23 @@ fn cache_path() -> PathBuf {
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("target")
         });
     let _ = std::fs::create_dir_all(&dir);
-    // The scenario set is part of the cache identity: a filtered run must
-    // not be mistaken for (or poison) the full campaign's rows.
-    let names: Vec<&str> = scenarios().iter().map(|s| s.name()).collect();
+    // The scenario and fault-family sets are part of the cache identity:
+    // a filtered run must not be mistaken for (or poison) the full
+    // campaign's rows.
+    let scenario_names: Vec<&str> = scenarios().iter().map(|s| s.name()).collect();
+    let fault_names: Vec<&str> = faults().iter().map(|f| f.name()).collect();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in names.join(",").bytes() {
+    for b in scenario_names.join(",").bytes().chain("|".bytes()).chain(fault_names.join(",").bytes())
+    {
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
     }
     dir.join(format!(
-        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_{:08x}.tsv",
+        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_f{}_{:08x}.tsv",
         scale(),
         golden_runs(),
         seed(),
-        names.len(),
+        scenario_names.len(),
+        fault_names.len(),
         h & 0xffff_ffff,
     ))
 }
@@ -131,16 +161,18 @@ pub fn baselines() -> HashMap<Scenario, Baseline> {
     out
 }
 
-/// Generates the full campaign plan (every scenario in [`scenarios`],
-/// §IV-C rules), subsampled by [`scale`].
+/// Generates the full campaign plan — the cross-product of every
+/// scenario in [`scenarios`] with every fault family in [`faults`] —
+/// subsampled by [`scale`].
 pub fn plan() -> Vec<PlannedExperiment> {
     let cluster = ClusterConfig::default();
+    let families = faults();
     let mut rng = Rng::new(seed());
     let mut all = Vec::new();
     for sc in scenarios() {
         let (fields, kinds) =
             record_fields(&cluster, sc, vec![Channel::ApiToEtcd], seed() ^ 0xF1E1D);
-        all.extend(generate_plan(&fields, &kinds, sc, &mut rng));
+        all.extend(plan_campaign(&fields, &kinds, sc, &families, &mut rng));
     }
     let s = scale();
     if s >= 0.999 {
@@ -155,11 +187,11 @@ pub fn plan() -> Vec<PlannedExperiment> {
 /// from a checkpoint written by an interrupted campaign.
 fn rows_are_plan_prefix(rows: &CampaignResults, plan: &[PlannedExperiment]) -> bool {
     rows.len() <= plan.len()
-        && rows
-            .rows
-            .iter()
-            .zip(plan)
-            .all(|(row, planned)| row.scenario == planned.scenario && row.spec == planned.spec)
+        && rows.rows.iter().zip(plan).all(|(row, planned)| {
+            row.scenario == planned.scenario
+                && row.fault == planned.fault
+                && row.spec == planned.spec
+        })
 }
 
 /// The campaign results: loaded from the TSV cache when present, executed
@@ -265,6 +297,12 @@ fn render_point(point: &InjectionPoint) -> String {
     use protowire::reflect::Value;
     match point {
         InjectionPoint::Drop => "drop".to_owned(),
+        InjectionPoint::Delay { hold_ms } => format!("delay:{hold_ms}"),
+        InjectionPoint::Duplicate { echo_ms } => format!("dup:{echo_ms}"),
+        InjectionPoint::Partition { from_off, dur_ms } => {
+            format!("partition:{from_off}:{dur_ms}")
+        }
+        InjectionPoint::Crash { from_off, dur_ms } => format!("crash:{from_off}:{dur_ms}"),
         InjectionPoint::ProtoByte { byte_frac, bit } => format!("proto:{byte_frac}:{bit}"),
         InjectionPoint::Field { path, mutation } => {
             let m = match mutation {
@@ -284,6 +322,26 @@ fn parse_point(s: &str) -> Option<InjectionPoint> {
     use protowire::reflect::Value;
     if s == "drop" {
         return Some(InjectionPoint::Drop);
+    }
+    if let Some(ms) = s.strip_prefix("delay:") {
+        return Some(InjectionPoint::Delay { hold_ms: ms.parse().ok()? });
+    }
+    if let Some(ms) = s.strip_prefix("dup:") {
+        return Some(InjectionPoint::Duplicate { echo_ms: ms.parse().ok()? });
+    }
+    if let Some(rest) = s.strip_prefix("partition:") {
+        let (from, dur) = rest.split_once(':')?;
+        return Some(InjectionPoint::Partition {
+            from_off: from.parse().ok()?,
+            dur_ms: dur.parse().ok()?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("crash:") {
+        let (from, dur) = rest.split_once(':')?;
+        return Some(InjectionPoint::Crash {
+            from_off: from.parse().ok()?,
+            dur_ms: dur.parse().ok()?,
+        });
     }
     if let Some(rest) = s.strip_prefix("proto:") {
         let (frac, bit) = rest.split_once(':')?;
@@ -313,16 +371,21 @@ fn parse_point(s: &str) -> Option<InjectionPoint> {
     Some(InjectionPoint::Field { path, mutation })
 }
 
-fn render_rows(results: &CampaignResults) -> String {
+/// Renders campaign rows in the TSV cache schema (one line per row).
+/// Public so the acceptance tests can assert byte-identity of the TSV
+/// across worker counts, not just row equality.
+pub fn render_rows(results: &CampaignResults) -> String {
     let mut out = String::new();
     for r in &results.rows {
         // z uses Rust's shortest round-trip float formatting: resuming
         // from a checkpoint re-parses flushed rows, and they must equal
-        // the freshly computed ones exactly.
+        // the freshly computed ones exactly. The fault-family name and
+        // the channel ride along so non-wire families (whose specs may
+        // target any channel) round-trip exactly.
         out.push_str(&format!(
-            "{}\t{:?}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
             r.scenario.name(),
-            r.fault,
+            r.fault.name(),
             r.of.label(),
             r.cf.label(),
             r.z,
@@ -330,6 +393,7 @@ fn render_rows(results: &CampaignResults) -> String {
             r.activated,
             r.user_error,
             render_point(&r.spec.point),
+            r.spec.channel,
             r.spec.kind,
             r.spec.occurrence,
         ));
@@ -344,16 +408,11 @@ fn parse_rows(text: &str) -> Option<CampaignResults> {
             continue;
         }
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 11 {
+        if f.len() != 12 {
             return None;
         }
         let scenario = registry::find(f[0])?;
-        let fault = match f[1] {
-            "BitFlip" => FaultKind::BitFlip,
-            "ValueSet" => FaultKind::ValueSet,
-            "Drop" => FaultKind::Drop,
-            _ => return None,
-        };
+        let fault = fault_registry::find(f[1])?;
         let of = OrchestratorFailure::ALL.iter().copied().find(|o| o.label() == f[2])?;
         let cf = ClientFailure::ALL.iter().copied().find(|c| c.label() == f[3])?;
         let point = parse_point(f[8])?;
@@ -361,11 +420,12 @@ fn parse_rows(text: &str) -> Option<CampaignResults> {
             InjectionPoint::Field { path, .. } => Some(path.clone()),
             _ => None,
         };
-        let kind = Kind::parse(f[9])?;
-        let occurrence: u32 = f[10].parse().ok()?;
+        let channel = Channel::parse(f[9])?;
+        let kind = Kind::parse(f[10])?;
+        let occurrence: u32 = f[11].parse().ok()?;
         rows.push(CampaignRow {
             scenario,
-            spec: InjectionSpec { channel: Channel::ApiToEtcd, kind, point, occurrence },
+            spec: InjectionSpec { channel, kind, point, occurrence },
             fault,
             of,
             cf,
@@ -404,7 +464,7 @@ mod tests {
     #[test]
     fn tsv_roundtrip_preserves_rows() {
         use protowire::reflect::Value;
-        let row = |spec: InjectionSpec, fault: FaultKind| CampaignRow {
+        let row = |spec: InjectionSpec, fault: Fault| CampaignRow {
             scenario: mutiny_scenarios::DEPLOY,
             path: match &spec.point {
                 InjectionPoint::Field { path, .. } => Some(path.clone()),
@@ -425,36 +485,57 @@ mod tests {
             point,
             occurrence: 3,
         };
+        let kcm_spec = |point| InjectionSpec {
+            channel: Channel::KcmToApi,
+            kind: Kind::Lease,
+            point,
+            occurrence: 1,
+        };
         let rows = vec![
-            row(spec(InjectionPoint::Drop), FaultKind::Drop),
-            row(spec(InjectionPoint::ProtoByte { byte_frac: 0.375, bit: 6 }), FaultKind::BitFlip),
+            row(spec(InjectionPoint::Drop), mutiny_faults::DROP),
+            row(
+                spec(InjectionPoint::ProtoByte { byte_frac: 0.375, bit: 6 }),
+                mutiny_faults::BIT_FLIP,
+            ),
             row(
                 spec(InjectionPoint::Field {
                     path: "spec.template.metadata.labels['app']".into(),
                     mutation: FieldMutation::FlipStringChar(1),
                 }),
-                FaultKind::BitFlip,
+                mutiny_faults::BIT_FLIP,
             ),
             row(
                 spec(InjectionPoint::Field {
                     path: "spec.replicas".into(),
                     mutation: FieldMutation::FlipIntBit(4),
                 }),
-                FaultKind::BitFlip,
+                mutiny_faults::BIT_FLIP,
             ),
             row(
                 spec(InjectionPoint::Field {
                     path: "spec.nodeName".into(),
                     mutation: FieldMutation::Set(Value::Str("ghost node\twith%escapes".into())),
                 }),
-                FaultKind::ValueSet,
+                mutiny_faults::VALUE_SET,
             ),
             row(
                 spec(InjectionPoint::Field {
                     path: "spec.paused".into(),
                     mutation: FieldMutation::FlipBool,
                 }),
-                FaultKind::BitFlip,
+                mutiny_faults::BIT_FLIP,
+            ),
+            // The new families round-trip too, including non-store
+            // channels (the channel column exists for exactly this).
+            row(spec(InjectionPoint::Delay { hold_ms: 3_000 }), mutiny_faults::DELAY),
+            row(spec(InjectionPoint::Duplicate { echo_ms: 1_500 }), mutiny_faults::DUPLICATE),
+            row(
+                spec(InjectionPoint::Partition { from_off: 2_000, dur_ms: 4_000 }),
+                mutiny_faults::PARTITION,
+            ),
+            row(
+                kcm_spec(InjectionPoint::Crash { from_off: 2_000, dur_ms: 6_000 }),
+                mutiny_faults::CRASH_RESTART,
             ),
         ];
         let results = CampaignResults { rows };
@@ -466,6 +547,10 @@ mod tests {
         use protowire::reflect::Value;
         for point in [
             InjectionPoint::Drop,
+            InjectionPoint::Delay { hold_ms: 12_345 },
+            InjectionPoint::Duplicate { echo_ms: 1 },
+            InjectionPoint::Partition { from_off: 0, dur_ms: 4_000 },
+            InjectionPoint::Crash { from_off: 2_000, dur_ms: 6_000 },
             InjectionPoint::ProtoByte { byte_frac: 0.123456789, bit: 7 },
             InjectionPoint::Field {
                 path: "metadata.labels['k8s-app']".into(),
@@ -489,15 +574,17 @@ mod tests {
         assert!(scale() > 0.0 && scale() <= 1.0);
         assert!(golden_runs() >= 4);
         assert!(checkpoint_rows() >= 1);
-        // The default campaign covers the whole registry: the paper's
-        // three plus rolling-update and node-drain at minimum.
-        assert!(scenarios().len() >= 5);
+        // The default campaign covers both registries: six scenarios and
+        // seven fault families at minimum.
+        assert!(scenarios().len() >= 6);
+        assert!(faults().len() >= 7);
     }
 
     #[test]
     fn checkpoint_prefix_check_rejects_drift() {
         let planned = |sc, path: &str| PlannedExperiment {
             scenario: sc,
+            fault: mutiny_faults::BIT_FLIP,
             spec: InjectionSpec {
                 channel: Channel::ApiToEtcd,
                 kind: Kind::Pod,
@@ -511,7 +598,7 @@ mod tests {
         let row_of = |p: &PlannedExperiment| CampaignRow {
             scenario: p.scenario,
             spec: p.spec.clone(),
-            fault: FaultKind::BitFlip,
+            fault: p.fault,
             of: OrchestratorFailure::No,
             cf: ClientFailure::Nsi,
             z: 0.0,

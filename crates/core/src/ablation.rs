@@ -117,7 +117,7 @@ pub fn critical_replay_plan(results: &CampaignResults) -> Vec<PlannedExperiment>
         .rows
         .iter()
         .filter(|r| r.of.is_system_wide() || r.cf == ClientFailure::Su)
-        .map(|r| PlannedExperiment { scenario: r.scenario, spec: r.spec.clone() })
+        .map(|r| PlannedExperiment { scenario: r.scenario, fault: r.fault, spec: r.spec.clone() })
         .collect()
 }
 
@@ -154,7 +154,7 @@ pub fn run_ablation(
 mod tests {
     use super::*;
     use crate::campaign::CampaignRow;
-    use crate::injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec};
+    use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
     use k8s_model::{Channel, Kind};
     use protowire::reflect::Value;
 
@@ -170,7 +170,7 @@ mod tests {
                 },
                 occurrence: 1,
             },
-            fault: FaultKind::ValueSet,
+            fault: mutiny_faults::VALUE_SET,
             of,
             cf,
             z: 0.0,

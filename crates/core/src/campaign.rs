@@ -2,25 +2,33 @@
 //!
 //! Implements the workflow of §IV-C / Figure 4: record the fields flowing
 //! to the store during a nominal workload, generate the injection plan
-//! (per-field bit-flips and data-type sets at occurrences 1–3, per-kind
-//! serialization-byte corruptions, per-kind message drops at occurrences
-//! 1–10), then drive one fresh cluster per experiment, injecting exactly
-//! one fault and classifying the outcome.
+//! (the cross-product of the scenario set and the fault-family registry —
+//! each [`Fault`] plans its own specs from the recorded traffic), then
+//! drive one fresh cluster per experiment, injecting exactly one fault
+//! and classifying the outcome.
+//!
+//! The paper's §IV-C plan (per-field bit-flips and data-type sets at
+//! occurrences 1–3, per-kind serialization-byte corruptions, per-kind
+//! message drops at occurrences 1–10) is exactly what the three wire
+//! built-ins of `mutiny_faults` produce; [`generate_plan`] keeps that
+//! paper-faithful subset, [`plan_campaign`] takes an explicit family set.
 
 use crate::classify::{classify_client, classify_orchestrator, ClientFailure, OrchestratorFailure};
 use crate::golden::{build_baseline, Baseline};
-use crate::injector::{
-    FaultKind, FieldMutation, InjectionPoint, InjectionRecord, InjectionSpec, Mutiny,
-};
+use crate::injector::{InjectionRecord, InjectionSpec, Mutiny};
 use crate::recorder::{FieldRecorder, RecordedField};
 use k8s_apiserver::InterceptorHandle;
 use k8s_cluster::{ClusterConfig, World};
 use k8s_model::{Channel, Kind};
+use mutiny_faults::{ArmedFault, Fault, FaultActuator, SharedActuator, WorldAction, WIRE_BUILTIN};
 use mutiny_scenarios::Scenario;
-use protowire::reflect::{FieldType, Value};
 use simkit::Rng;
 use std::cell::RefCell;
 use std::rc::Rc;
+
+pub use mutiny_faults::builtin::{
+    DROP_OCCURRENCES, FIELD_OCCURRENCES, PROTO_INJECTIONS_PER_KIND,
+};
 
 /// Configuration of one injection experiment.
 #[derive(Debug, Clone)]
@@ -31,7 +39,7 @@ pub struct ExperimentConfig {
     /// Scenario to run (a registry handle).
     pub scenario: Scenario,
     /// The fault to inject; `None` runs a golden experiment.
-    pub injection: Option<InjectionSpec>,
+    pub injection: Option<ArmedFault>,
 }
 
 impl ExperimentConfig {
@@ -44,12 +52,18 @@ impl ExperimentConfig {
         }
     }
 
-    /// An injection experiment.
+    /// An injection experiment; the fault family is implied by the spec's
+    /// point shape (the compatibility path for hand-built specs).
     pub fn injected(scenario: Scenario, seed: u64, spec: InjectionSpec) -> ExperimentConfig {
+        ExperimentConfig::injected_fault(scenario, seed, ArmedFault::implied(spec))
+    }
+
+    /// An injection experiment with an explicit (family, spec) pair.
+    pub fn injected_fault(scenario: Scenario, seed: u64, fault: ArmedFault) -> ExperimentConfig {
         ExperimentConfig {
             cluster: ClusterConfig { seed, ..ClusterConfig::default() },
             scenario,
-            injection: Some(spec),
+            injection: Some(fault),
         }
     }
 }
@@ -79,27 +93,37 @@ pub struct ExperimentOutcome {
 /// the injection record. Shared by the campaign and the propagation study
 /// (§V-C4), which needs post-run access to the store.
 pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
-    let mutiny = Rc::new(RefCell::new(match &cfg.injection {
-        Some(spec) => Mutiny::armed_from(spec.clone(), k8s_cluster::WORKLOAD_START_MS),
-        None => Mutiny::disarmed(),
-    }));
-    let handle: InterceptorHandle = mutiny.clone();
+    let actuator: Rc<RefCell<Box<dyn FaultActuator>>> =
+        Rc::new(RefCell::new(match &cfg.injection {
+            Some(armed) => armed.arm(k8s_cluster::WORKLOAD_START_MS),
+            None => Box::new(Mutiny::disarmed()),
+        }));
+    let handle: InterceptorHandle =
+        Rc::new(RefCell::new(SharedActuator(Rc::clone(&actuator))));
     let mut world = cfg.scenario.build_world(&cfg.cluster, handle);
     cfg.scenario.schedule(&mut world);
 
     // Step the horizon in slices so read-tracking can be armed right
-    // after the injection fires (activation analysis, §V-C1).
+    // after the injection fires (activation analysis, §V-C1), and so
+    // infrastructure faults can apply their out-of-band world actions
+    // (e.g. the apiserver re-list after a crash window heals).
     let mut tracking_armed = false;
     let horizon = world.horizon();
     while world.now() < horizon {
         let next = (world.now() + 250).min(horizon);
         world.run_until(next);
-        if !tracking_armed && mutiny.borrow().fired() {
+        let actions = actuator.borrow_mut().poll_actions(world.now());
+        for action in actions {
+            match action {
+                WorldAction::RestartApiserver => world.api.restart(),
+            }
+        }
+        if !tracking_armed && actuator.borrow().record().is_some() {
             world.api.start_read_tracking();
             tracking_armed = true;
         }
     }
-    let record = mutiny.borrow().record().cloned();
+    let record = actuator.borrow().record().cloned();
     (world, record)
 }
 
@@ -178,7 +202,9 @@ pub fn cached_default_baseline(scenario: Scenario) -> std::sync::Arc<Baseline> {
 pub struct PlannedExperiment {
     /// Scenario to run.
     pub scenario: Scenario,
-    /// Fault to inject.
+    /// Fault family that planned (and will actuate) the spec.
+    pub fault: Fault,
+    /// The concrete injection spec.
     pub spec: InjectionSpec,
 }
 
@@ -203,93 +229,40 @@ pub fn record_fields(
     (r.fields(), r.kinds_seen())
 }
 
-/// Serialization-byte injections generated per recorded kind.
-pub const PROTO_INJECTIONS_PER_KIND: usize = 8;
-/// Message-drop occurrences per recorded kind (paper: 1–10).
-pub const DROP_OCCURRENCES: u32 = 10;
-/// Field-injection occurrence indexes (paper: 1–3).
-pub const FIELD_OCCURRENCES: u32 = 3;
+/// Generates the injection plan for one scenario as the cross-product of
+/// the given fault families (campaign phase 2). Each family plans from a
+/// per-(scenario, family) labelled RNG fork, so:
+///
+/// * filtering the family set (`MUTINY_FAULTS`) never changes the specs
+///   of the families that remain, and
+/// * the plan is byte-identical for any worker count (planning is
+///   single-threaded and seeded).
+pub fn plan_campaign(
+    fields: &[RecordedField],
+    kinds: &[(Channel, Kind, u64)],
+    scenario: Scenario,
+    faults: &[Fault],
+    rng: &mut Rng,
+) -> Vec<PlannedExperiment> {
+    let mut plan = Vec::new();
+    for fault in faults {
+        let mut frng = rng.fork(&format!("{}/{}", scenario.name(), fault.name()));
+        for spec in fault.plan(fields, kinds, &mut frng) {
+            plan.push(PlannedExperiment { scenario, fault: *fault, spec });
+        }
+    }
+    plan
+}
 
-/// Generates the injection plan from recorded fields (campaign phase 2,
-/// §IV-C rules).
+/// Generates the paper-faithful §IV-C plan: the three wire built-ins
+/// (bit-flip, value-set, drop) over the recorded fields and kinds.
 pub fn generate_plan(
     fields: &[RecordedField],
     kinds: &[(Channel, Kind, u64)],
     scenario: Scenario,
     rng: &mut Rng,
 ) -> Vec<PlannedExperiment> {
-    let mut plan = Vec::new();
-
-    for f in fields {
-        let mutations: Vec<FieldMutation> = match f.field_type {
-            FieldType::Int => vec![
-                FieldMutation::FlipIntBit(0),
-                FieldMutation::FlipIntBit(4),
-                FieldMutation::Set(Value::Int(0)),
-            ],
-            FieldType::Str => {
-                let len = f.sample.as_str().map(str::len).unwrap_or(0);
-                let mut m = Vec::new();
-                if len >= 1 {
-                    m.push(FieldMutation::FlipStringChar(0));
-                }
-                if len >= 2 {
-                    m.push(FieldMutation::FlipStringChar(1));
-                }
-                if len >= 1 {
-                    m.push(FieldMutation::Set(Value::Str(String::new())));
-                }
-                m
-            }
-            FieldType::Bool => vec![FieldMutation::FlipBool],
-        };
-        for mutation in mutations {
-            for occurrence in 1..=FIELD_OCCURRENCES {
-                plan.push(PlannedExperiment {
-                    scenario,
-                    spec: InjectionSpec {
-                        channel: f.channel,
-                        kind: f.kind,
-                        point: InjectionPoint::Field {
-                            path: f.path.clone(),
-                            mutation: mutation.clone(),
-                        },
-                        occurrence,
-                    },
-                });
-            }
-        }
-    }
-
-    for (channel, kind, _count) in kinds {
-        for _ in 0..PROTO_INJECTIONS_PER_KIND {
-            plan.push(PlannedExperiment {
-                scenario,
-                spec: InjectionSpec {
-                    channel: *channel,
-                    kind: *kind,
-                    point: InjectionPoint::ProtoByte {
-                        byte_frac: rng.f64(),
-                        bit: rng.below(8) as u8,
-                    },
-                    occurrence: 1 + rng.below(u64::from(FIELD_OCCURRENCES)) as u32,
-                },
-            });
-        }
-        for occurrence in 1..=DROP_OCCURRENCES {
-            plan.push(PlannedExperiment {
-                scenario,
-                spec: InjectionSpec {
-                    channel: *channel,
-                    kind: *kind,
-                    point: InjectionPoint::Drop,
-                    occurrence,
-                },
-            });
-        }
-    }
-
-    plan
+    plan_campaign(fields, kinds, scenario, &WIRE_BUILTIN, rng)
 }
 
 // ---------------------------------------------------------------------------
@@ -303,8 +276,8 @@ pub struct CampaignRow {
     pub scenario: Scenario,
     /// Injected fault.
     pub spec: InjectionSpec,
-    /// Fault-model bucket (Table IV/V rows).
-    pub fault: FaultKind,
+    /// Fault family (Table IV/V rows key on it, like scenarios).
+    pub fault: Fault,
     /// Orchestrator-level failure.
     pub of: OrchestratorFailure,
     /// Client-level failure.
@@ -353,6 +326,20 @@ impl CampaignResults {
         self.rows.iter().filter(move |r| r.scenario == sc)
     }
 
+    /// The distinct fault families present in the rows, in registry
+    /// order (the tables iterate this so new families extend them
+    /// automatically).
+    pub fn faults(&self) -> Vec<Fault> {
+        let mut out: Vec<Fault> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.fault) {
+                out.push(r.fault);
+            }
+        }
+        out.sort();
+        out
+    }
+
     /// The distinct scenarios present in the rows, in registry order
     /// (the tables iterate this so new scenarios extend them
     /// automatically).
@@ -392,16 +379,16 @@ fn run_planned(
     let cfg = ExperimentConfig {
         cluster: ClusterConfig { seed, ..cluster.clone() },
         scenario: planned.scenario,
-        injection: Some(planned.spec.clone()),
+        injection: Some(ArmedFault::new(planned.fault, planned.spec.clone())),
     };
     let baseline =
         baselines.get(&planned.scenario).expect("baseline for every planned scenario");
     let outcome = run_experiment_with_baseline(&cfg, baseline);
     CampaignRow {
         scenario: planned.scenario,
-        fault: planned.spec.fault_kind(),
+        fault: planned.fault,
         path: match &planned.spec.point {
-            InjectionPoint::Field { path, .. } => Some(path.clone()),
+            crate::injector::InjectionPoint::Field { path, .. } => Some(path.clone()),
             _ => None,
         },
         spec: planned.spec.clone(),
@@ -523,6 +510,8 @@ mod tests {
 
     #[test]
     fn plan_follows_campaign_rules() {
+        use crate::injector::FaultKind;
+        use protowire::reflect::{FieldType, Value};
         let fields = vec![
             RecordedField {
                 channel: Channel::ApiToEtcd,
@@ -547,12 +536,54 @@ mod tests {
         let mut rng = Rng::new(1);
         let plan = generate_plan(&fields, &kinds, DEPLOY, &mut rng);
         // Int: 3 mutations × 3 occurrences; Str (len 2): 3 × 3;
-        // proto: 8; drops: 10.
+        // proto: 8; drops: 10 — the same §IV-C counts as before the
+        // fault engine, now grouped by family.
         assert_eq!(plan.len(), 9 + 9 + 8 + 10);
         let drops = plan.iter().filter(|p| p.spec.fault_kind() == FaultKind::Drop).count();
         assert_eq!(drops, 10);
         let bitflips = plan.iter().filter(|p| p.spec.fault_kind() == FaultKind::BitFlip).count();
         // 2 int flips ×3 + 2 char flips ×3 + 8 proto = 20.
         assert_eq!(bitflips, 20);
+        // Every planned experiment carries the family that planned it.
+        assert!(plan.iter().all(|p| p.fault == Fault::implied_by(&p.spec)));
+    }
+
+    #[test]
+    fn cross_product_plans_every_family() {
+        use protowire::reflect::Value;
+        let fields = vec![RecordedField {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            path: "spec.replicas".into(),
+            field_type: protowire::reflect::FieldType::Int,
+            sample: Value::Int(2),
+            message_count: 5,
+            max_occurrence: 3,
+        }];
+        let kinds = vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 5u64)];
+        let faults = mutiny_faults::registry::all();
+        let mut rng = Rng::new(1);
+        let plan = plan_campaign(&fields, &kinds, DEPLOY, &faults, &mut rng);
+        let planned_families: Vec<&str> =
+            plan.iter().map(|p| p.fault.name()).collect();
+        for f in ["bit-flip", "value-set", "drop", "delay", "duplicate", "partition", "crash-restart"]
+        {
+            assert!(planned_families.contains(&f), "{f} missing from the cross-product");
+        }
+        // Filtering the family set leaves the surviving specs untouched
+        // (per-family labelled RNG forks).
+        let mut rng2 = Rng::new(1);
+        let only_bitflip =
+            plan_campaign(&fields, &kinds, DEPLOY, &[mutiny_faults::BIT_FLIP], &mut rng2);
+        let from_full: Vec<&InjectionSpec> = plan
+            .iter()
+            .filter(|p| p.fault == mutiny_faults::BIT_FLIP)
+            .map(|p| &p.spec)
+            .collect();
+        assert_eq!(
+            from_full,
+            only_bitflip.iter().map(|p| &p.spec).collect::<Vec<_>>(),
+            "family filtering changed the planned specs"
+        );
     }
 }

@@ -192,6 +192,7 @@ pub fn generate_critical_plan(
             for occurrence in 1..=2u32 {
                 plan.push(PlannedExperiment {
                     scenario,
+                    fault: mutiny_faults::VALUE_SET,
                     spec: InjectionSpec {
                         channel: rf.channel,
                         kind: rf.kind,
@@ -213,7 +214,6 @@ mod tests {
     use super::*;
     use crate::campaign::CampaignRow;
     use crate::classify::OrchestratorFailure;
-    use crate::injector::FaultKind;
     use k8s_model::{Channel, Kind};
 
     #[test]
@@ -252,7 +252,7 @@ mod tests {
                 },
                 occurrence: 1,
             },
-            fault: FaultKind::ValueSet,
+            fault: mutiny_faults::VALUE_SET,
             of,
             cf,
             z: 0.0,

@@ -137,7 +137,7 @@ mod tests {
     use super::*;
     use crate::campaign::CampaignRow;
     use crate::classify::ClientFailure;
-    use crate::injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec};
+    use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
     use k8s_model::{Channel, Kind};
     use protowire::reflect::Value;
 
@@ -153,7 +153,7 @@ mod tests {
                 },
                 occurrence: 1,
             },
-            fault: FaultKind::ValueSet,
+            fault: mutiny_faults::VALUE_SET,
             of,
             cf: ClientFailure::Nsi,
             z: 0.0,

@@ -53,11 +53,14 @@ pub mod exec;
 pub mod ffda;
 pub mod findings;
 pub mod golden;
-pub mod injector;
 pub mod propagation;
-pub mod recorder;
 pub mod report;
 pub mod tables;
+
+// The injector and the field recorder are re-homed in `mutiny_faults`
+// (the pluggable fault engine); the old `mutiny_core::injector` /
+// `mutiny_core::recorder` paths keep working through these re-exports.
+pub use mutiny_faults::{injector, recorder};
 
 pub use campaign::{
     run_experiment, run_experiment_with_baseline, CampaignResults, CampaignRow, ExperimentConfig,
@@ -66,4 +69,5 @@ pub use campaign::{
 pub use classify::{ClientFailure, OrchestratorFailure};
 pub use golden::{build_baseline, Baseline};
 pub use injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec, Mutiny};
+pub use mutiny_faults::{ArmedFault, Fault, FaultActuator, FaultDef, WorldAction};
 pub use mutiny_scenarios::{Scenario, ScenarioDef};

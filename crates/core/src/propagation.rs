@@ -13,8 +13,21 @@ use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
 use crate::recorder::RecordedField;
 use k8s_cluster::ClusterConfig;
 use k8s_model::Channel;
+use mutiny_faults::ArmedFault;
 use mutiny_scenarios::Scenario;
 use protowire::reflect::{FieldType, Reflect};
+
+/// The component→apiserver channels the propagation study injects on for
+/// one scenario — the scenario's own declaration
+/// ([`ScenarioDef::propagation_channels`](mutiny_scenarios::ScenarioDef::propagation_channels)),
+/// so registered third-party scenarios pick their channel set without
+/// touching `mutiny_core`. The paper's three workloads use the full
+/// set; rolling-update and hpa-autoscale narrow to controller traffic,
+/// while node-drain (like failover) opens the Kubelet→Api channel
+/// through the eviction-window status churn and earns a dedicated cell.
+pub fn channels_for(scenario: Scenario) -> Vec<Channel> {
+    scenario.propagation_channels()
+}
 
 /// Table VI cell values for one channel × workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,7 +84,7 @@ pub fn run_propagation(
         let cfg = ExperimentConfig {
             cluster: ClusterConfig { seed, ..cluster.clone() },
             scenario,
-            injection: Some(spec.clone()),
+            injection: Some(ArmedFault::implied(spec.clone())),
         };
         let (mut world, record) = run_world(&cfg);
         let Some(record) = record else { return cell };
@@ -173,6 +186,45 @@ mod tests {
         let plan = propagation_plan(&fields, Channel::KcmToApi);
         assert_eq!(plan.len(), 2);
         assert!(plan.iter().all(|s| s.channel == Channel::KcmToApi));
+    }
+
+    #[test]
+    fn channel_sets_are_scenario_aware() {
+        use mutiny_scenarios::{DEPLOY, NODE_DRAIN, ROLLING_UPDATE};
+        // Node-drain opens the Kubelet→Api channel during evictions and
+        // gets the dedicated cell; rolling-update does not.
+        assert!(channels_for(NODE_DRAIN).contains(&Channel::KubeletToApi));
+        assert!(!channels_for(ROLLING_UPDATE).contains(&Channel::KubeletToApi));
+        // The paper's workloads keep the full set.
+        assert_eq!(channels_for(DEPLOY).len(), 3);
+        // Every set carries the controller channels.
+        for sc in mutiny_scenarios::registry::all() {
+            let chs = channels_for(sc);
+            assert!(chs.contains(&Channel::KcmToApi), "{sc}");
+            assert!(chs.contains(&Channel::SchedulerToApi), "{sc}");
+        }
+    }
+
+    #[test]
+    fn node_drain_records_kubelet_traffic_for_its_cell() {
+        // The satellite claim behind the dedicated Table VI cell: a
+        // node-drain run produces injectable Kubelet→Api fields (the
+        // eviction-window status churn), so the cell is non-degenerate.
+        let (fields, _) = crate::campaign::record_fields(
+            &ClusterConfig::default(),
+            mutiny_scenarios::NODE_DRAIN,
+            channels_for(mutiny_scenarios::NODE_DRAIN),
+            42,
+        );
+        let plan = propagation_plan(&fields, Channel::KubeletToApi);
+        assert!(
+            !plan.is_empty(),
+            "node-drain must record injectable kubelet->api fields"
+        );
+        assert!(
+            plan.iter().any(|s| s.kind == Kind::Pod),
+            "expected pod status traffic on the kubelet channel: {plan:?}"
+        );
     }
 
     #[test]

@@ -10,10 +10,10 @@
 
 use crate::campaign::{CampaignResults, CampaignRow};
 use crate::classify::{ClientFailure, OrchestratorFailure};
-use crate::injector::FaultKind;
 use crate::propagation::PropagationCell;
 use crate::report::{count_pct, pct, Table};
 use k8s_model::Channel;
+use mutiny_faults::Fault;
 use mutiny_scenarios::Scenario;
 
 /// Table II: the client failure categories and their definitions.
@@ -68,7 +68,10 @@ pub fn table4(results: &CampaignResults) -> Table {
     );
     let mut totals = vec![0usize; 8];
     for sc in results.scenarios() {
-        for fault in [FaultKind::BitFlip, FaultKind::ValueSet, FaultKind::Drop] {
+        // One row per fault family present in the results, in registry
+        // order — a registered third-party family extends the table
+        // automatically, exactly like scenarios do.
+        for fault in results.faults() {
             let rows: Vec<&CampaignRow> = results
                 .rows
                 .iter()
@@ -78,7 +81,7 @@ pub fn table4(results: &CampaignResults) -> Table {
                 continue;
             }
             let mut cells: Vec<String> =
-                vec![sc.name().into(), fault.to_string(), rows.len().to_string()];
+                vec![sc.name().into(), fault.label().into(), rows.len().to_string()];
             totals[0] += rows.len();
             for (i, of) in OrchestratorFailure::ALL.iter().enumerate() {
                 let n = rows.iter().filter(|r| r.of == *of).count();
@@ -107,7 +110,7 @@ pub fn table5(results: &CampaignResults) -> Table {
     );
     let mut totals = vec![0usize; 5];
     for sc in results.scenarios() {
-        for fault in [FaultKind::BitFlip, FaultKind::ValueSet, FaultKind::Drop] {
+        for fault in results.faults() {
             let rows: Vec<&CampaignRow> = results
                 .rows
                 .iter()
@@ -117,7 +120,7 @@ pub fn table5(results: &CampaignResults) -> Table {
                 continue;
             }
             let mut cells: Vec<String> =
-                vec![sc.name().into(), fault.to_string(), rows.len().to_string()];
+                vec![sc.name().into(), fault.label().into(), rows.len().to_string()];
             totals[0] += rows.len();
             for (i, cf) in ClientFailure::ALL.iter().enumerate() {
                 let n = rows.iter().filter(|r| r.cf == *cf).count();
@@ -137,17 +140,20 @@ pub fn table5(results: &CampaignResults) -> Table {
     t
 }
 
-/// Table VI: the propagation study. `cells[(channel, scenario)]`.
+/// Table VI: the propagation study. One row per (fault family, channel,
+/// scenario) cell — the family key rides along so non-bit-flip
+/// propagation studies extend the table instead of replacing it.
 pub fn table6(
-    cells: &[(Channel, Scenario, PropagationCell)],
+    cells: &[(Fault, Channel, Scenario, PropagationCell)],
 ) -> Table {
     let mut t = Table::new(
         "Table VI — Propagation of injections on component→apiserver channels",
-        &["WL", "Channel", "Inj.", "Prop", "Err."],
+        &["WL", "Fault", "Channel", "Inj.", "Prop", "Err."],
     );
-    for (channel, sc, cell) in cells {
+    for (fault, channel, sc, cell) in cells {
         t.push_row([
             sc.name().to_string(),
+            fault.label().to_string(),
             channel.to_string(),
             cell.injections.to_string(),
             cell.propagated.to_string(),
@@ -259,11 +265,12 @@ mod tests {
     use super::*;
     use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
     use k8s_model::Kind;
+    use mutiny_faults::{BIT_FLIP, DROP, PARTITION, VALUE_SET};
     use protowire::reflect::Value;
 
     use mutiny_scenarios::{DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
 
-    fn row(sc: Scenario, fault: FaultKind, of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
+    fn row(sc: Scenario, fault: Fault, of: OrchestratorFailure, cf: ClientFailure) -> CampaignRow {
         CampaignRow {
             scenario: sc,
             spec: InjectionSpec {
@@ -289,13 +296,14 @@ mod tests {
     fn sample_results() -> CampaignResults {
         CampaignResults {
             rows: vec![
-                row(DEPLOY, FaultKind::BitFlip, OrchestratorFailure::No, ClientFailure::Nsi),
-                row(DEPLOY, FaultKind::BitFlip, OrchestratorFailure::MoR, ClientFailure::Hrt),
-                row(DEPLOY, FaultKind::ValueSet, OrchestratorFailure::Sta, ClientFailure::Nsi),
-                row(SCALE_UP, FaultKind::Drop, OrchestratorFailure::No, ClientFailure::Nsi),
-                row(FAILOVER, FaultKind::BitFlip, OrchestratorFailure::Out, ClientFailure::Su),
-                row(ROLLING_UPDATE, FaultKind::Drop, OrchestratorFailure::LeR, ClientFailure::Hrt),
-                row(NODE_DRAIN, FaultKind::ValueSet, OrchestratorFailure::No, ClientFailure::Nsi),
+                row(DEPLOY, BIT_FLIP, OrchestratorFailure::No, ClientFailure::Nsi),
+                row(DEPLOY, BIT_FLIP, OrchestratorFailure::MoR, ClientFailure::Hrt),
+                row(DEPLOY, VALUE_SET, OrchestratorFailure::Sta, ClientFailure::Nsi),
+                row(SCALE_UP, DROP, OrchestratorFailure::No, ClientFailure::Nsi),
+                row(FAILOVER, BIT_FLIP, OrchestratorFailure::Out, ClientFailure::Su),
+                row(ROLLING_UPDATE, DROP, OrchestratorFailure::LeR, ClientFailure::Hrt),
+                row(NODE_DRAIN, VALUE_SET, OrchestratorFailure::No, ClientFailure::Nsi),
+                row(DEPLOY, PARTITION, OrchestratorFailure::Tim, ClientFailure::Hrt),
             ],
         }
     }
@@ -340,11 +348,13 @@ mod tests {
     #[test]
     fn table6_renders_cells() {
         let cells = vec![(
+            BIT_FLIP,
             Channel::KcmToApi,
             DEPLOY,
             PropagationCell { injections: 10, propagated: 4, errors: 2 },
         )];
         let t = table6(&cells);
         assert!(t.render().contains("kcm->apiserver"));
+        assert!(t.render().contains("Bit-flip"));
     }
 }

@@ -1,0 +1,521 @@
+//! The built-in fault families: the paper's §IV wire triplet plus the
+//! temporal and infrastructure additions.
+//!
+//! * **bit-flip** — per-field bit-flips (int bits 0 and 4, string-char
+//!   LSB, bool inversion) at occurrences 1–3, plus per-kind
+//!   serialization-byte corruptions;
+//! * **value-set** — per-field data-type sets (`0`, empty string) at
+//!   occurrences 1–3;
+//! * **drop** — per-kind message drops at occurrences 1–10;
+//! * **delay** — hold one message for a few simulated seconds, then
+//!   deliver it (stale state lands late — the cloud-edge latency fault);
+//! * **duplicate** — deliver one message normally and echo an identical
+//!   copy later (a duplicated retransmission resurrecting old state);
+//! * **partition** — drop *every* message on a channel during a time
+//!   window, then heal;
+//! * **crash-restart** — a component blackout: the apiserver, the Kcm or
+//!   the scheduler loses its egress channel for a window (lease renewals
+//!   included, so leadership lapses) and recovers with a watch re-list.
+
+use crate::injector::{
+    FieldMutation, InjectionPoint, InjectionSpec, FaultKind,
+};
+use crate::recorder::RecordedField;
+use crate::{Fault, FaultDef};
+use k8s_model::{Channel, Kind};
+use protowire::reflect::{FieldType, Value};
+use simkit::Rng;
+
+/// Serialization-byte injections generated per recorded kind.
+pub const PROTO_INJECTIONS_PER_KIND: usize = 8;
+/// Message-drop occurrences per recorded kind (paper: 1–10).
+pub const DROP_OCCURRENCES: u32 = 10;
+/// Field-injection occurrence indexes (paper: 1–3).
+pub const FIELD_OCCURRENCES: u32 = 3;
+/// Occurrence indexes the temporal families target.
+pub const TEMPORAL_OCCURRENCES: u32 = 2;
+/// How long the delay family holds a message.
+pub const DELAY_HOLD_MS: u64 = 3_000;
+/// How much later the duplicate family echoes its copy.
+pub const DUPLICATE_ECHO_MS: u64 = 1_500;
+/// Partition windows planned per channel: (start offset, duration).
+pub const PARTITION_WINDOWS: [(u64, u64); 2] = [(2_000, 4_000), (10_000, 4_000)];
+/// Blackout window of the crash-restart family: (start offset, duration).
+pub const CRASH_WINDOW: (u64, u64) = (2_000, 6_000);
+
+/// The paper's original wire triplet, in campaign order — the set
+/// `generate_plan` reproduces for §IV-C-faithful campaigns.
+pub static WIRE_BUILTIN: [Fault; 3] = [BIT_FLIP, VALUE_SET, DROP];
+
+// --- bit-flip --------------------------------------------------------------
+
+struct BitFlip;
+
+impl FaultDef for BitFlip {
+    fn name(&self) -> &'static str {
+        "bit-flip"
+    }
+
+    fn label(&self) -> &'static str {
+        "Bit-flip"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::BitFlip
+    }
+
+    fn expectation(&self) -> &'static str {
+        "mostly No/MoR/LeR; Sta/Out on critical dependency fields (F2)"
+    }
+
+    fn plan(
+        &self,
+        fields: &[RecordedField],
+        kinds: &[(Channel, Kind, u64)],
+        rng: &mut Rng,
+    ) -> Vec<InjectionSpec> {
+        let mut plan = Vec::new();
+        for f in fields {
+            let mutations: Vec<FieldMutation> = match f.field_type {
+                FieldType::Int => {
+                    vec![FieldMutation::FlipIntBit(0), FieldMutation::FlipIntBit(4)]
+                }
+                FieldType::Str => {
+                    let len = f.sample.as_str().map(str::len).unwrap_or(0);
+                    let mut m = Vec::new();
+                    if len >= 1 {
+                        m.push(FieldMutation::FlipStringChar(0));
+                    }
+                    if len >= 2 {
+                        m.push(FieldMutation::FlipStringChar(1));
+                    }
+                    m
+                }
+                FieldType::Bool => vec![FieldMutation::FlipBool],
+            };
+            for mutation in mutations {
+                for occurrence in 1..=FIELD_OCCURRENCES {
+                    plan.push(InjectionSpec {
+                        channel: f.channel,
+                        kind: f.kind,
+                        point: InjectionPoint::Field {
+                            path: f.path.clone(),
+                            mutation: mutation.clone(),
+                        },
+                        occurrence,
+                    });
+                }
+            }
+        }
+        for (channel, kind, _count) in kinds {
+            for _ in 0..PROTO_INJECTIONS_PER_KIND {
+                plan.push(InjectionSpec {
+                    channel: *channel,
+                    kind: *kind,
+                    point: InjectionPoint::ProtoByte {
+                        byte_frac: rng.f64(),
+                        bit: rng.below(8) as u8,
+                    },
+                    occurrence: 1 + rng.below(u64::from(FIELD_OCCURRENCES)) as u32,
+                });
+            }
+        }
+        plan
+    }
+}
+
+static BIT_FLIP_DEF: BitFlip = BitFlip;
+/// The paper's bit-flip fault model.
+pub static BIT_FLIP: Fault = Fault::new(&BIT_FLIP_DEF);
+
+// --- value-set -------------------------------------------------------------
+
+struct ValueSet;
+
+impl FaultDef for ValueSet {
+    fn name(&self) -> &'static str {
+        "value-set"
+    }
+
+    fn label(&self) -> &'static str {
+        "Value set"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::ValueSet
+    }
+
+    fn expectation(&self) -> &'static str {
+        "valid-but-wrong values propagate; zeroed replicas/selectors go Sta/SU"
+    }
+
+    fn plan(
+        &self,
+        fields: &[RecordedField],
+        _kinds: &[(Channel, Kind, u64)],
+        _rng: &mut Rng,
+    ) -> Vec<InjectionSpec> {
+        let mut plan = Vec::new();
+        for f in fields {
+            let mutations: Vec<FieldMutation> = match f.field_type {
+                FieldType::Int => vec![FieldMutation::Set(Value::Int(0))],
+                FieldType::Str => {
+                    let len = f.sample.as_str().map(str::len).unwrap_or(0);
+                    if len >= 1 {
+                        vec![FieldMutation::Set(Value::Str(String::new()))]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                FieldType::Bool => Vec::new(),
+            };
+            for mutation in mutations {
+                for occurrence in 1..=FIELD_OCCURRENCES {
+                    plan.push(InjectionSpec {
+                        channel: f.channel,
+                        kind: f.kind,
+                        point: InjectionPoint::Field {
+                            path: f.path.clone(),
+                            mutation: mutation.clone(),
+                        },
+                        occurrence,
+                    });
+                }
+            }
+        }
+        plan
+    }
+}
+
+static VALUE_SET_DEF: ValueSet = ValueSet;
+/// The paper's data-type-set fault model.
+pub static VALUE_SET: Fault = Fault::new(&VALUE_SET_DEF);
+
+// --- drop ------------------------------------------------------------------
+
+struct Drop;
+
+impl FaultDef for Drop {
+    fn name(&self) -> &'static str {
+        "drop"
+    }
+
+    fn label(&self) -> &'static str {
+        "Drop"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::Drop
+    }
+
+    fn expectation(&self) -> &'static str {
+        "level-triggered reconciliation absorbs most; early drops cause Tim"
+    }
+
+    fn plan(
+        &self,
+        _fields: &[RecordedField],
+        kinds: &[(Channel, Kind, u64)],
+        _rng: &mut Rng,
+    ) -> Vec<InjectionSpec> {
+        let mut plan = Vec::new();
+        for (channel, kind, _count) in kinds {
+            for occurrence in 1..=DROP_OCCURRENCES {
+                plan.push(InjectionSpec {
+                    channel: *channel,
+                    kind: *kind,
+                    point: InjectionPoint::Drop,
+                    occurrence,
+                });
+            }
+        }
+        plan
+    }
+}
+
+static DROP_DEF: Drop = Drop;
+/// The paper's message-drop fault model.
+pub static DROP: Fault = Fault::new(&DROP_DEF);
+
+// --- delay -----------------------------------------------------------------
+
+struct Delay;
+
+impl FaultDef for Delay {
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+
+    fn label(&self) -> &'static str {
+        "Delay"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::Delay
+    }
+
+    fn expectation(&self) -> &'static str {
+        "stale state lands late: Tim on startup-path kinds, else No"
+    }
+
+    fn plan(
+        &self,
+        _fields: &[RecordedField],
+        kinds: &[(Channel, Kind, u64)],
+        _rng: &mut Rng,
+    ) -> Vec<InjectionSpec> {
+        let mut plan = Vec::new();
+        for (channel, kind, _count) in kinds {
+            for occurrence in 1..=TEMPORAL_OCCURRENCES {
+                plan.push(InjectionSpec {
+                    channel: *channel,
+                    kind: *kind,
+                    point: InjectionPoint::Delay { hold_ms: DELAY_HOLD_MS },
+                    occurrence,
+                });
+            }
+        }
+        plan
+    }
+}
+
+static DELAY_DEF: Delay = Delay;
+/// Delayed delivery: one message is held for [`DELAY_HOLD_MS`].
+pub static DELAY: Fault = Fault::new(&DELAY_DEF);
+
+// --- duplicate -------------------------------------------------------------
+
+struct Duplicate;
+
+impl FaultDef for Duplicate {
+    fn name(&self) -> &'static str {
+        "duplicate"
+    }
+
+    fn label(&self) -> &'static str {
+        "Duplicate"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::Duplicate
+    }
+
+    fn expectation(&self) -> &'static str {
+        "an echoed write resurrects superseded state until the next sync"
+    }
+
+    fn plan(
+        &self,
+        _fields: &[RecordedField],
+        kinds: &[(Channel, Kind, u64)],
+        _rng: &mut Rng,
+    ) -> Vec<InjectionSpec> {
+        let mut plan = Vec::new();
+        for (channel, kind, _count) in kinds {
+            for occurrence in 1..=TEMPORAL_OCCURRENCES {
+                plan.push(InjectionSpec {
+                    channel: *channel,
+                    kind: *kind,
+                    point: InjectionPoint::Duplicate { echo_ms: DUPLICATE_ECHO_MS },
+                    occurrence,
+                });
+            }
+        }
+        plan
+    }
+}
+
+static DUPLICATE_DEF: Duplicate = Duplicate;
+/// Duplicated delivery: one message is echoed [`DUPLICATE_ECHO_MS`] later.
+pub static DUPLICATE: Fault = Fault::new(&DUPLICATE_DEF);
+
+// --- partition -------------------------------------------------------------
+
+struct Partition;
+
+impl FaultDef for Partition {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn label(&self) -> &'static str {
+        "Partition"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::Partition
+    }
+
+    fn expectation(&self) -> &'static str {
+        "writes silently vanish for the window; reconcilers repair after heal"
+    }
+
+    fn plan(
+        &self,
+        _fields: &[RecordedField],
+        kinds: &[(Channel, Kind, u64)],
+        _rng: &mut Rng,
+    ) -> Vec<InjectionSpec> {
+        // One spec per (channel, window); the kind is informational — a
+        // partition is channel-wide — and taken from the first recorded
+        // kind so reports show what traffic the window hit.
+        let mut channels: Vec<(Channel, Kind)> = Vec::new();
+        for (channel, kind, _count) in kinds {
+            if !channels.iter().any(|(c, _)| c == channel) {
+                channels.push((*channel, *kind));
+            }
+        }
+        let mut plan = Vec::new();
+        for (channel, kind) in channels {
+            for (from_off, dur_ms) in PARTITION_WINDOWS {
+                plan.push(InjectionSpec {
+                    channel,
+                    kind,
+                    point: InjectionPoint::Partition { from_off, dur_ms },
+                    occurrence: 1,
+                });
+            }
+        }
+        plan
+    }
+}
+
+static PARTITION_DEF: Partition = Partition;
+/// Channel partition: windowed drop-all, then heal.
+pub static PARTITION: Fault = Fault::new(&PARTITION_DEF);
+
+// --- crash-restart ---------------------------------------------------------
+
+struct CrashRestart;
+
+impl FaultDef for CrashRestart {
+    fn name(&self) -> &'static str {
+        "crash-restart"
+    }
+
+    fn label(&self) -> &'static str {
+        "Crash-restart"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::Crash
+    }
+
+    fn expectation(&self) -> &'static str {
+        "blackout + re-list: leadership lapses, state freezes, then converges"
+    }
+
+    fn plan(
+        &self,
+        _fields: &[RecordedField],
+        _kinds: &[(Channel, Kind, u64)],
+        _rng: &mut Rng,
+    ) -> Vec<InjectionSpec> {
+        // Component blackouts are planned regardless of recorded traffic:
+        // the apiserver (its store egress), the Kcm and the scheduler.
+        // The kind names the traffic class the blackout most visibly
+        // silences (lease renewals for the controllers).
+        let (from_off, dur_ms) = CRASH_WINDOW;
+        [
+            (Channel::ApiToEtcd, Kind::Pod),
+            (Channel::KcmToApi, Kind::Lease),
+            (Channel::SchedulerToApi, Kind::Lease),
+        ]
+        .into_iter()
+        .map(|(channel, kind)| InjectionSpec {
+            channel,
+            kind,
+            point: InjectionPoint::Crash { from_off, dur_ms },
+            occurrence: 1,
+        })
+        .collect()
+    }
+}
+
+static CRASH_RESTART_DEF: CrashRestart = CrashRestart;
+/// Component crash-restart: blackout window plus re-list on recovery.
+pub static CRASH_RESTART: Fault = Fault::new(&CRASH_RESTART_DEF);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(kind: Kind, path: &str, sample: Value) -> RecordedField {
+        RecordedField {
+            channel: Channel::ApiToEtcd,
+            kind,
+            path: path.into(),
+            field_type: sample.field_type(),
+            sample,
+            message_count: 5,
+            max_occurrence: 3,
+        }
+    }
+
+    fn fixture() -> (Vec<RecordedField>, Vec<(Channel, Kind, u64)>) {
+        (
+            vec![
+                field(Kind::ReplicaSet, "spec.replicas", Value::Int(2)),
+                field(Kind::Pod, "spec.nodeName", Value::Str("w1".into())),
+            ],
+            vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 5u64)],
+        )
+    }
+
+    #[test]
+    fn wire_triplet_reproduces_paper_plan_counts() {
+        let (fields, kinds) = fixture();
+        let mut rng = Rng::new(1);
+        // Int: 2 flips × 3 occ; Str (len 2): 2 flips × 3; proto: 8.
+        assert_eq!(BIT_FLIP.plan(&fields, &kinds, &mut rng).len(), 6 + 6 + 8);
+        // Int set + Str set, × 3 occurrences each.
+        assert_eq!(VALUE_SET.plan(&fields, &kinds, &mut rng).len(), 6);
+        // Drops 1–10 for the one recorded kind.
+        let drops = DROP.plan(&fields, &kinds, &mut rng);
+        assert_eq!(drops.len(), 10);
+        assert!(drops.iter().all(|s| s.point == InjectionPoint::Drop));
+    }
+
+    #[test]
+    fn temporal_families_target_each_recorded_kind() {
+        let (fields, kinds) = fixture();
+        let mut rng = Rng::new(1);
+        let delays = DELAY.plan(&fields, &kinds, &mut rng);
+        assert_eq!(delays.len(), TEMPORAL_OCCURRENCES as usize);
+        assert!(delays
+            .iter()
+            .all(|s| matches!(s.point, InjectionPoint::Delay { hold_ms: DELAY_HOLD_MS })));
+        let dups = DUPLICATE.plan(&fields, &kinds, &mut rng);
+        assert_eq!(dups.len(), TEMPORAL_OCCURRENCES as usize);
+    }
+
+    #[test]
+    fn infrastructure_families_plan_windows() {
+        let (fields, kinds) = fixture();
+        let mut rng = Rng::new(1);
+        let partitions = PARTITION.plan(&fields, &kinds, &mut rng);
+        assert_eq!(partitions.len(), PARTITION_WINDOWS.len());
+        assert!(partitions.iter().all(|s| s.channel == Channel::ApiToEtcd));
+        let crashes = CRASH_RESTART.plan(&fields, &kinds, &mut rng);
+        assert_eq!(crashes.len(), 3, "apiserver, kcm, scheduler");
+        let channels: Vec<Channel> = crashes.iter().map(|s| s.channel).collect();
+        assert!(channels.contains(&Channel::ApiToEtcd));
+        assert!(channels.contains(&Channel::KcmToApi));
+        assert!(channels.contains(&Channel::SchedulerToApi));
+    }
+
+    #[test]
+    fn proto_byte_planning_is_deterministic_per_seed() {
+        let (fields, kinds) = fixture();
+        let a = BIT_FLIP.plan(&fields, &kinds, &mut Rng::new(9));
+        let b = BIT_FLIP.plan(&fields, &kinds, &mut Rng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_builtin_documents_an_expectation() {
+        for f in crate::registry::BUILTIN {
+            assert!(!f.expectation().is_empty(), "{f} has no classification hint");
+        }
+    }
+}

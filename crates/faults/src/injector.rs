@@ -1,6 +1,6 @@
-//! Mutiny: the fault/error injector.
+//! Mutiny: the fault/error injector (re-homed from `mutiny_core`).
 //!
-//! Each injection is characterized by the triplet of §IV-A:
+//! Each wire injection is characterized by the triplet of §IV-A:
 //!
 //! * **where** — a communication [`Channel`], a resource [`Kind`], and
 //!   either a field path, a serialization-protocol byte, or the whole
@@ -9,15 +9,24 @@
 //! * **when** — the occurrence index of messages *related to the same
 //!   resource instance* in which the target appears.
 //!
-//! Mutiny implements [`Interceptor`], sits on the wire paths of the
-//! simulated apiserver, and fires exactly once per experiment.
+//! The fault engine widens the "what" axis beyond the paper's triplet
+//! with **temporal** faults (delay, duplicate) and **infrastructure**
+//! faults (channel partition, component crash-restart); those are window-
+//! or occurrence-anchored rather than field-anchored, but they reuse the
+//! same spec shape so campaign plans, TSV rows and tables stay uniform.
+//!
+//! Mutiny implements [`Interceptor`] (and [`FaultActuator`]), sits on the
+//! wire paths of the simulated apiserver, and — for the one-shot families
+//! — fires exactly once per experiment. Window families (partition,
+//! crash-restart) drop every matching message while their window is open.
 
+use crate::{FaultActuator, WorldAction};
 use k8s_model::{Channel, Interceptor, Kind, MsgCtx, Object, Op, WireVerdict};
 use protowire::corrupt;
 use protowire::reflect::{Reflect, Value};
 use std::collections::HashMap;
 
-/// What part of the message the injection targets.
+/// What part of the message (or channel timeline) the injection targets.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InjectionPoint {
     /// A named leaf field (reflection path, e.g. `spec.replicas`).
@@ -37,6 +46,41 @@ pub enum InjectionPoint {
     },
     /// Drop the whole message (the sender still sees success).
     Drop,
+    /// Hold the matching message for `hold_ms` simulated milliseconds,
+    /// then deliver it unchanged (temporal fault: stale state lands late).
+    Delay {
+        /// How long the message is held before delivery.
+        hold_ms: u64,
+    },
+    /// Deliver the matching message normally **and** redeliver an
+    /// identical copy `echo_ms` later (a duplicated retransmission that
+    /// can resurrect superseded state).
+    Duplicate {
+        /// Delay of the echoed copy.
+        echo_ms: u64,
+    },
+    /// Drop **every** message on the spec's channel during a time window
+    /// starting `from_off` ms after arming and lasting `dur_ms`, then
+    /// heal (infrastructure fault: a channel partition). The spec's kind
+    /// is informational — the partition is channel-wide.
+    Partition {
+        /// Window start, relative to the arming time.
+        from_off: u64,
+        /// Window length.
+        dur_ms: u64,
+    },
+    /// A component blackout: like [`InjectionPoint::Partition`], every
+    /// message on the component's egress channel is dropped during the
+    /// window (lease renewals included, so the component loses
+    /// leadership), and on heal the affected component restarts with a
+    /// watch re-list (for the apiserver, the watch cache is rebuilt from
+    /// the store).
+    Crash {
+        /// Window start, relative to the arming time.
+        from_off: u64,
+        /// Window length.
+        dur_ms: u64,
+    },
 }
 
 /// The value mutation applied to a field (§IV-C rules).
@@ -56,7 +100,7 @@ pub enum FieldMutation {
 }
 
 impl FieldMutation {
-    /// The paper's fault-model bucket this mutation reports under.
+    /// The fault-model bucket this mutation reports under.
     pub fn fault_kind(&self) -> FaultKind {
         match self {
             FieldMutation::FlipIntBit(_)
@@ -67,7 +111,8 @@ impl FieldMutation {
     }
 }
 
-/// The three fault/error models of the campaign (Table IV rows).
+/// The coarse fault-model buckets: the paper's three (Table IV rows)
+/// plus the temporal and infrastructure additions of the fault engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultKind {
     /// Bit-flips (including serialization-byte flips and bool inversion).
@@ -76,6 +121,14 @@ pub enum FaultKind {
     ValueSet,
     /// Message drops.
     Drop,
+    /// Delayed delivery.
+    Delay,
+    /// Duplicated delivery.
+    Duplicate,
+    /// Channel partition (windowed drop-all, then heal).
+    Partition,
+    /// Component blackout with restart + re-list on recovery.
+    Crash,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -84,6 +137,10 @@ impl std::fmt::Display for FaultKind {
             FaultKind::BitFlip => "Bit-flip",
             FaultKind::ValueSet => "Value set",
             FaultKind::Drop => "Drop",
+            FaultKind::Delay => "Delay",
+            FaultKind::Duplicate => "Duplicate",
+            FaultKind::Partition => "Partition",
+            FaultKind::Crash => "Crash-restart",
         };
         f.write_str(s)
     }
@@ -94,11 +151,13 @@ impl std::fmt::Display for FaultKind {
 pub struct InjectionSpec {
     /// Channel to tamper with.
     pub channel: Channel,
-    /// Resource kind to target.
+    /// Resource kind to target (informational for window faults, which
+    /// are channel-wide).
     pub kind: Kind,
-    /// Where in the message.
+    /// Where in the message (or channel timeline).
     pub point: InjectionPoint,
-    /// 1-based occurrence index (per resource instance).
+    /// 1-based occurrence index (per resource instance); window faults
+    /// use 1 by convention.
     pub occurrence: u32,
 }
 
@@ -109,6 +168,10 @@ impl InjectionSpec {
             InjectionPoint::Field { mutation, .. } => mutation.fault_kind(),
             InjectionPoint::ProtoByte { .. } => FaultKind::BitFlip,
             InjectionPoint::Drop => FaultKind::Drop,
+            InjectionPoint::Delay { .. } => FaultKind::Delay,
+            InjectionPoint::Duplicate { .. } => FaultKind::Duplicate,
+            InjectionPoint::Partition { .. } => FaultKind::Partition,
+            InjectionPoint::Crash { .. } => FaultKind::Crash,
         }
     }
 
@@ -120,6 +183,24 @@ impl InjectionSpec {
                 format!("{}:proto-byte@{byte_frac:.2} bit {bit}", self.kind)
             }
             InjectionPoint::Drop => format!("{}:drop", self.kind),
+            InjectionPoint::Delay { hold_ms } => format!("{}:delay {hold_ms}ms", self.kind),
+            InjectionPoint::Duplicate { echo_ms } => {
+                format!("{}:duplicate after {echo_ms}ms", self.kind)
+            }
+            InjectionPoint::Partition { from_off, dur_ms } => {
+                format!("{}:partition @+{from_off}ms for {dur_ms}ms", self.channel)
+            }
+            InjectionPoint::Crash { from_off, dur_ms } => {
+                format!("{}:crash @+{from_off}ms for {dur_ms}ms", self.channel)
+            }
+        }
+    }
+
+    fn window(&self) -> Option<(u64, u64)> {
+        match &self.point {
+            InjectionPoint::Partition { from_off, dur_ms }
+            | InjectionPoint::Crash { from_off, dur_ms } => Some((*from_off, *dur_ms)),
+            _ => None,
         }
     }
 }
@@ -127,9 +208,10 @@ impl InjectionSpec {
 /// What Mutiny actually did, recorded when the trigger fires.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InjectionRecord {
-    /// Simulated time of the injection.
+    /// Simulated time of the injection (window start for window faults).
     pub at: u64,
-    /// Registry key of the tampered instance.
+    /// Registry key of the tampered instance (`<channel>` for window
+    /// faults opened before any message flowed).
     pub key: String,
     /// Operation of the tampered message.
     pub op: Op,
@@ -139,11 +221,11 @@ pub struct InjectionRecord {
     pub after: Option<Value>,
 }
 
-/// The Mutiny injector: arms one [`InjectionSpec`] and fires it once.
+/// The Mutiny injector: arms one [`InjectionSpec`] and actuates it.
 ///
 /// ```
 /// use k8s_model::{Channel, Kind};
-/// use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec, Mutiny};
+/// use mutiny_faults::injector::{FieldMutation, InjectionPoint, InjectionSpec, Mutiny};
 ///
 /// let spec = InjectionSpec {
 ///     channel: Channel::ApiToEtcd,
@@ -166,6 +248,8 @@ pub struct Mutiny {
     /// programs the trigger only after scenario setup, right before the
     /// orchestration workload executes (§IV-C's experiment phases).
     armed_from: u64,
+    /// The crash-restart heal action was already emitted.
+    restarted: bool,
 }
 
 impl Default for Mutiny {
@@ -177,7 +261,13 @@ impl Default for Mutiny {
 impl Mutiny {
     /// An injector with no armed fault (golden runs).
     pub fn disarmed() -> Mutiny {
-        Mutiny { spec: None, counters: HashMap::new(), record: None, armed_from: 0 }
+        Mutiny {
+            spec: None,
+            counters: HashMap::new(),
+            record: None,
+            armed_from: 0,
+            restarted: false,
+        }
     }
 
     /// An injector armed with one spec, counting occurrences immediately.
@@ -185,10 +275,17 @@ impl Mutiny {
         Mutiny::armed_from(spec, 0)
     }
 
-    /// An injector armed with one spec, counting occurrences only at or
-    /// after time `from` (the workload window).
+    /// An injector armed with one spec, counting occurrences (and
+    /// anchoring fault windows) only at or after time `from` (the
+    /// workload window).
     pub fn armed_from(spec: InjectionSpec, from: u64) -> Mutiny {
-        Mutiny { spec: Some(spec), counters: HashMap::new(), record: None, armed_from: from }
+        Mutiny {
+            spec: Some(spec),
+            counters: HashMap::new(),
+            record: None,
+            armed_from: from,
+            restarted: false,
+        }
     }
 
     /// The injection record, once the trigger has fired.
@@ -200,13 +297,51 @@ impl Mutiny {
     pub fn fired(&self) -> bool {
         self.record.is_some()
     }
+
+    fn mark_window_open(&mut self, start: u64, channel: Channel) {
+        if self.record.is_none() {
+            self.record = Some(InjectionRecord {
+                at: start,
+                key: format!("<{channel}>"),
+                op: Op::Update,
+                before: None,
+                after: None,
+            });
+        }
+    }
 }
 
 impl Interceptor for Mutiny {
     fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict {
         let Some(spec) = &self.spec else { return WireVerdict::Pass };
-        if self.record.is_some() || ctx.now < self.armed_from {
-            return WireVerdict::Pass; // one fault, workload window only
+        if ctx.now < self.armed_from {
+            return WireVerdict::Pass; // workload window only
+        }
+
+        // Window faults are channel-wide and fire for every message while
+        // the window is open — unlike the one-shot families below.
+        if let Some((from_off, dur_ms)) = spec.window() {
+            if ctx.channel != spec.channel {
+                return WireVerdict::Pass;
+            }
+            let start = self.armed_from + from_off;
+            if ctx.now >= start && ctx.now < start + dur_ms {
+                if self.record.is_none() {
+                    self.record = Some(InjectionRecord {
+                        at: ctx.now,
+                        key: ctx.key.to_owned(),
+                        op: ctx.op,
+                        before: None,
+                        after: None,
+                    });
+                }
+                return WireVerdict::Drop;
+            }
+            return WireVerdict::Pass;
+        }
+
+        if self.record.is_some() {
+            return WireVerdict::Pass; // one fault per experiment
         }
         if ctx.channel != spec.channel || ctx.kind != spec.kind {
             return WireVerdict::Pass;
@@ -224,6 +359,32 @@ impl Interceptor for Mutiny {
                         after: None,
                     });
                     return WireVerdict::Drop;
+                }
+            }
+            InjectionPoint::Delay { hold_ms } => {
+                let count = bump(&mut self.counters, ctx.key);
+                if count == spec.occurrence {
+                    self.record = Some(InjectionRecord {
+                        at: ctx.now,
+                        key: ctx.key.to_owned(),
+                        op: ctx.op,
+                        before: None,
+                        after: None,
+                    });
+                    return WireVerdict::Delay(*hold_ms);
+                }
+            }
+            InjectionPoint::Duplicate { echo_ms } => {
+                let count = bump(&mut self.counters, ctx.key);
+                if count == spec.occurrence {
+                    self.record = Some(InjectionRecord {
+                        at: ctx.now,
+                        key: ctx.key.to_owned(),
+                        op: ctx.op,
+                        before: None,
+                        after: None,
+                    });
+                    return WireVerdict::Duplicate(*echo_ms);
                 }
             }
             InjectionPoint::ProtoByte { byte_frac, bit } => {
@@ -269,8 +430,41 @@ impl Interceptor for Mutiny {
                     }
                 }
             }
+            InjectionPoint::Partition { .. } | InjectionPoint::Crash { .. } => {
+                unreachable!("window faults handled above")
+            }
         }
         WireVerdict::Pass
+    }
+}
+
+impl FaultActuator for Mutiny {
+    fn record(&self) -> Option<&InjectionRecord> {
+        self.record.as_ref()
+    }
+
+    fn poll_actions(&mut self, now: u64) -> Vec<WorldAction> {
+        let Some(spec) = self.spec.clone() else { return Vec::new() };
+        let Some((from_off, dur_ms)) = spec.window() else { return Vec::new() };
+        let start = self.armed_from + from_off;
+        // A window fault is injected even when no message happens to flow
+        // through it: mark it fired once the window opens.
+        if now >= start {
+            self.mark_window_open(start, spec.channel);
+        }
+        if matches!(spec.point, InjectionPoint::Crash { .. })
+            && now >= start + dur_ms
+            && !self.restarted
+        {
+            self.restarted = true;
+            // The apiserver restarts with a store re-list; kcm and the
+            // scheduler recover through lease loss + full resync, which
+            // the blackout itself already forces.
+            if spec.channel == Channel::ApiToEtcd {
+                return vec![WorldAction::RestartApiserver];
+            }
+        }
+        Vec::new()
     }
 }
 
@@ -440,5 +634,107 @@ mod tests {
             assert_eq!(m.on_message(&ctx(&bytes, "/k", i)), WireVerdict::Pass);
         }
         assert!(!m.fired());
+    }
+
+    #[test]
+    fn delay_holds_the_requested_occurrence() {
+        let mut m = Mutiny::armed(InjectionSpec {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            point: InjectionPoint::Delay { hold_ms: 3_000 },
+            occurrence: 2,
+        });
+        let bytes = rs_bytes(2);
+        assert_eq!(m.on_message(&ctx(&bytes, "/k", 1)), WireVerdict::Pass);
+        assert_eq!(m.on_message(&ctx(&bytes, "/k", 2)), WireVerdict::Delay(3_000));
+        assert!(m.fired());
+        // One-shot: the next occurrence passes.
+        assert_eq!(m.on_message(&ctx(&bytes, "/k", 3)), WireVerdict::Pass);
+    }
+
+    #[test]
+    fn duplicate_echoes_the_requested_occurrence() {
+        let mut m = Mutiny::armed(InjectionSpec {
+            channel: Channel::ApiToEtcd,
+            kind: Kind::ReplicaSet,
+            point: InjectionPoint::Duplicate { echo_ms: 1_000 },
+            occurrence: 1,
+        });
+        let bytes = rs_bytes(2);
+        assert_eq!(m.on_message(&ctx(&bytes, "/k", 1)), WireVerdict::Duplicate(1_000));
+        assert_eq!(m.record().unwrap().key, "/k");
+    }
+
+    #[test]
+    fn partition_drops_everything_inside_the_window_only() {
+        let mut m = Mutiny::armed_from(
+            InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::Pod, // informational: the window is channel-wide
+                point: InjectionPoint::Partition { from_off: 100, dur_ms: 200 },
+                occurrence: 1,
+            },
+            1_000,
+        );
+        let bytes = rs_bytes(2);
+        // Before the window: pass.
+        assert_eq!(m.on_message(&ctx(&bytes, "/a", 1_050)), WireVerdict::Pass);
+        // Inside: every message drops, regardless of kind.
+        assert_eq!(m.on_message(&ctx(&bytes, "/a", 1_100)), WireVerdict::Drop);
+        assert_eq!(m.on_message(&ctx(&bytes, "/b", 1_250)), WireVerdict::Drop);
+        // After the heal: pass again.
+        assert_eq!(m.on_message(&ctx(&bytes, "/a", 1_300)), WireVerdict::Pass);
+        assert_eq!(m.record().unwrap().at, 1_100);
+        // Wrong channel is never touched.
+        let mut c = ctx(&bytes, "/a", 1_150);
+        c.channel = Channel::KcmToApi;
+        let mut m2 = Mutiny::armed_from(
+            InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::Pod,
+                point: InjectionPoint::Partition { from_off: 100, dur_ms: 200 },
+                occurrence: 1,
+            },
+            1_000,
+        );
+        assert_eq!(m2.on_message(&c), WireVerdict::Pass);
+    }
+
+    #[test]
+    fn crash_emits_restart_action_after_heal() {
+        let mut m = Mutiny::armed_from(
+            InjectionSpec {
+                channel: Channel::ApiToEtcd,
+                kind: Kind::Pod,
+                point: InjectionPoint::Crash { from_off: 100, dur_ms: 200 },
+                occurrence: 1,
+            },
+            1_000,
+        );
+        assert!(m.poll_actions(1_000).is_empty());
+        assert!(!m.fired());
+        // Window open: fired even without traffic, no action yet.
+        assert!(m.poll_actions(1_150).is_empty());
+        assert!(m.fired());
+        // Heal: exactly one restart action.
+        assert_eq!(m.poll_actions(1_350), vec![WorldAction::RestartApiserver]);
+        assert!(m.poll_actions(1_400).is_empty());
+    }
+
+    #[test]
+    fn kcm_crash_restarts_via_lease_loss_not_world_action() {
+        let mut m = Mutiny::armed_from(
+            InjectionSpec {
+                channel: Channel::KcmToApi,
+                kind: Kind::Lease,
+                point: InjectionPoint::Crash { from_off: 0, dur_ms: 100 },
+                occurrence: 1,
+            },
+            0,
+        );
+        // Component blackouts on the api-ingress channels recover through
+        // lease expiry + resync; no world action is needed.
+        assert!(m.poll_actions(500).is_empty());
+        assert!(m.fired());
     }
 }

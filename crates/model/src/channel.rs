@@ -36,6 +36,12 @@ impl Channel {
         Channel::KubeletToApi,
         Channel::UserToApi,
     ];
+
+    /// Parses the [`Display`](std::fmt::Display) form back into a channel
+    /// (the campaign TSV cache round-trips specs through it).
+    pub fn parse(s: &str) -> Option<Channel> {
+        Channel::ALL.into_iter().find(|c| c.to_string() == s)
+    }
 }
 
 impl std::fmt::Display for Channel {
@@ -99,6 +105,14 @@ pub enum WireVerdict {
     Replace(Vec<u8>),
     /// Silently drop the message (the sender sees success).
     Drop,
+    /// Hold the message for the given number of simulated milliseconds,
+    /// then deliver it unchanged (the sender sees success immediately —
+    /// a retransmission/queueing delay, not a synchronous stall).
+    Delay(u64),
+    /// Deliver the message now **and** redeliver an identical copy after
+    /// the given number of simulated milliseconds (a duplicated
+    /// retransmission).
+    Duplicate(u64),
 }
 
 /// A hook observing (and possibly tampering with) every serialized message.

@@ -45,6 +45,10 @@ proto_message! {
         7 => volume: str,
         /// True when the app resolves its dependencies through cluster DNS.
         8 => needs_dns @ "needsDns": bool,
+        /// Grace window (seconds) a running pod keeps serving after a
+        /// voluntary delete before it is finalized; 0 means the cluster
+        /// default (2 s).
+        9 => termination_grace_period_seconds @ "terminationGracePeriodSeconds": int,
     }
 }
 
@@ -92,6 +96,18 @@ impl Pod {
     /// True when the pod is running and passing readiness.
     pub fn is_ready(&self) -> bool {
         self.status.phase == "Running" && self.status.ready
+    }
+
+    /// The effective termination grace window in milliseconds: the pod's
+    /// own `terminationGracePeriodSeconds` when set, `default_ms`
+    /// otherwise. Corrupted (negative) values degrade to the default.
+    pub fn termination_grace_ms(&self, default_ms: u64) -> u64 {
+        let secs = self.spec.termination_grace_period_seconds;
+        if secs > 0 {
+            (secs as u64).saturating_mul(1_000)
+        } else {
+            default_ms
+        }
     }
 
     /// True when the pod tolerates a taint with `key`/`effect`.

@@ -12,11 +12,15 @@
 //!   maxUnavailable budget while the client keeps hitting the service;
 //! * **node-drain** — planned maintenance: cordon one worker (NoSchedule
 //!   taint), then evict its application pods one at a time, the
-//!   cooperative counterpart to failover's abrupt NoExecute taint.
+//!   cooperative counterpart to failover's abrupt NoExecute taint;
+//! * **hpa-autoscale** — scale-under-load: a HorizontalPodAutoscaler
+//!   follows the client load via the published service-load metric,
+//!   scaling `web-1` up while the client hammers it and back down to the
+//!   minimum afterwards (the FFDA's *Wrong Autoscale Trigger* surface).
 
 use crate::{Scenario, ScenarioDef};
-use k8s_cluster::{RunStats, UserOp, World};
-use k8s_model::{Kind, Object};
+use k8s_cluster::{ClusterConfig, RunStats, UserOp, World};
+use k8s_model::{Channel, HorizontalPodAutoscaler, Kind, Object};
 
 /// The image the rolling-update scenario rolls out to.
 pub const ROLLOUT_IMAGE: &str = "registry.local/web:2.0";
@@ -165,6 +169,12 @@ impl ScenarioDef for RollingUpdate {
         "rolling-update"
     }
 
+    fn propagation_channels(&self) -> Vec<Channel> {
+        // Controller-driven: the rollout flows through Kcm and the
+        // scheduler; kubelet traffic is steady-state only.
+        vec![Channel::KcmToApi, Channel::SchedulerToApi]
+    }
+
     fn preinstalled_apps(&self) -> &'static [u32] {
         &[1, 2, 3]
     }
@@ -243,6 +253,92 @@ static NODE_DRAIN_DEF: NodeDrain = NodeDrain;
 /// Planned maintenance: cordon plus sequential evictions.
 pub static NODE_DRAIN: Scenario = Scenario::new(&NODE_DRAIN_DEF);
 
+// --- hpa-autoscale ---------------------------------------------------------
+
+/// Client requests per second one replica is expected to absorb (the
+/// HPA's `targetLoadPerReplica`): 20 rps of client load / 5 → four
+/// replicas at peak.
+const HPA_TARGET_LOAD: i64 = 5;
+/// The autoscaler's replica bounds.
+const HPA_MIN_REPLICAS: i64 = 2;
+const HPA_MAX_REPLICAS: i64 = 8;
+
+struct HpaAutoscale;
+
+impl ScenarioDef for HpaAutoscale {
+    fn name(&self) -> &'static str {
+        "hpa-autoscale"
+    }
+
+    fn propagation_channels(&self) -> Vec<Channel> {
+        // Controller-driven, like rolling-update: the autoscale loop is
+        // Kcm (metric read + scale write) plus scheduler placements.
+        vec![Channel::KcmToApi, Channel::SchedulerToApi]
+    }
+
+    fn preinstalled_apps(&self) -> &'static [u32] {
+        &[1, 2]
+    }
+
+    fn ops(&self) -> Vec<(u64, UserOp)> {
+        // The workload *is* the client load: the autoscaler reacts to the
+        // 20 rps the kbench client sends from t0, no user ops needed.
+        Vec::new()
+    }
+
+    fn configure(&self, cfg: &mut ClusterConfig) {
+        // The autoscaler's metric source: per-service request rates
+        // published into the `service-load` ConfigMap by the fabric.
+        cfg.net.publish_metrics = true;
+    }
+
+    fn setup(&self, world: &mut World) {
+        let mut hpa = HorizontalPodAutoscaler::default();
+        hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
+        hpa.spec.scale_target = "web-1".into();
+        // minReplicas matches the deployed size, so the idle pre-workload
+        // phase takes no scale action (and spends no cooldown).
+        hpa.spec.min_replicas = HPA_MIN_REPLICAS;
+        hpa.spec.max_replicas = HPA_MAX_REPLICAS;
+        hpa.spec.target_load = HPA_TARGET_LOAD;
+        world
+            .api
+            .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa))
+            .expect("create scenario hpa");
+    }
+
+    fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
+        // After the load stops and the observation window passes, the
+        // service is back at minReplicas; web-2 never moved.
+        check_converged(
+            stats,
+            &[("web-1", HPA_MIN_REPLICAS), ("web-2", 2)],
+            world,
+        )?;
+        if world.kcm.metrics.hpa_scalings < 2 {
+            return Err(format!(
+                "expected a scale-up and a scale-down, saw {} scale actions",
+                world.kcm.metrics.hpa_scalings
+            ));
+        }
+        let peak = stats
+            .samples
+            .iter()
+            .filter_map(|s| s.app_ready.get("web-1"))
+            .max()
+            .copied()
+            .unwrap_or(0);
+        if peak <= HPA_MIN_REPLICAS {
+            return Err(format!("autoscaler never scaled above the minimum (peak {peak})"));
+        }
+        Ok(())
+    }
+}
+
+static HPA_AUTOSCALE_DEF: HpaAutoscale = HpaAutoscale;
+/// HPA-driven scale-under-load via the published service-load metric.
+pub static HPA_AUTOSCALE: Scenario = Scenario::new(&HPA_AUTOSCALE_DEF);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +384,11 @@ mod tests {
     #[test]
     fn golden_node_drain_meets_expectations() {
         golden_check(NODE_DRAIN, 6);
+    }
+
+    #[test]
+    fn golden_hpa_autoscale_meets_expectations() {
+        golden_check(HPA_AUTOSCALE, 7);
     }
 
     #[test]

@@ -7,13 +7,13 @@
 //! schedule, the cluster [`Topology`] (SimKube-style virtual-node counts
 //! included), and the pass/fail expectations a golden run must meet.
 //!
-//! Scenarios live in a **registry**: the five [`BUILTIN`] entries (the
-//! paper's three plus rolling-update and node-drain) are always present,
-//! and third parties add their own with [`register`] — no change to
-//! `mutiny_core` required. Campaign plans, baselines, result rows, and
-//! table builders all key on the scenario *name*, so a registered
-//! scenario automatically extends Tables III–V, the figures, and the
-//! bench TSV schema.
+//! Scenarios live in a **registry**: the six [`BUILTIN`] entries (the
+//! paper's three plus rolling-update, node-drain, and hpa-autoscale) are
+//! always present, and third parties add their own with [`register`] —
+//! no change to `mutiny_core` required. Campaign plans, baselines,
+//! result rows, and table builders all key on the scenario *name*, so a
+//! registered scenario automatically extends Tables III–V, the figures,
+//! and the bench TSV schema.
 //!
 //! Everything stays deterministic: a scenario's op schedule is a pure
 //! function of the scenario, and experiment seeds derive from plan
@@ -24,15 +24,16 @@
 //!
 //! assert_eq!(DEPLOY.name(), "deploy");
 //! assert_eq!(registry::find("rolling-update"), Some(ROLLING_UPDATE));
-//! assert!(registry::all().len() >= 5);
+//! assert!(registry::all().len() >= 6);
 //! ```
 
 mod builtin;
 
-pub use builtin::{DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
+pub use builtin::{DEPLOY, FAILOVER, HPA_AUTOSCALE, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
 
 use k8s_apiserver::InterceptorHandle;
 use k8s_cluster::{ClusterConfig, RunStats, Topology, UserOp, World};
+use k8s_model::Channel;
 
 /// A scenario definition: everything the campaign machinery needs to set
 /// up, drive, and judge one orchestration workload.
@@ -59,6 +60,29 @@ pub trait ScenarioDef: Send + Sync {
     /// node from the worker template.
     fn topology(&self) -> Topology {
         Topology::paper()
+    }
+
+    /// Adjusts non-topology cluster knobs before the world is built
+    /// (e.g. the hpa-autoscale scenario turns on service-load metric
+    /// publication). Seed and mitigations are experiment-owned — leave
+    /// them alone. The default changes nothing.
+    fn configure(&self, _cfg: &mut ClusterConfig) {}
+
+    /// Installs scenario-specific objects after [`World::prepare`] and
+    /// before the op schedule runs (e.g. a HorizontalPodAutoscaler).
+    /// Runs during scenario setup, so it predates the fault window. The
+    /// default installs nothing.
+    fn setup(&self, _world: &mut World) {}
+
+    /// The component→apiserver channels the propagation study (Table VI)
+    /// injects on for this scenario. Defaults to the paper's full set;
+    /// controller-only scenarios (rolling-update, hpa-autoscale) narrow
+    /// it to the controller channels, because their kubelet traffic is
+    /// steady-state only and the cell would measure bootstrap noise.
+    /// Node-lifecycle scenarios keep `KubeletToApi` — node-drain's
+    /// eviction window opens that channel and earns a dedicated cell.
+    fn propagation_channels(&self) -> Vec<Channel> {
+        vec![Channel::KcmToApi, Channel::SchedulerToApi, Channel::KubeletToApi]
     }
 
     /// Pass/fail expectations for a **golden** (fault-free) run: called
@@ -107,19 +131,28 @@ impl Scenario {
         self.0.topology()
     }
 
+    /// Propagation-study channel set (see
+    /// [`ScenarioDef::propagation_channels`]).
+    pub fn propagation_channels(self) -> Vec<Channel> {
+        self.0.propagation_channels()
+    }
+
     /// Golden-run expectations (see [`ScenarioDef::check_golden`]).
     pub fn check_golden(self, stats: &RunStats, world: &mut World) -> Result<(), String> {
         self.0.check_golden(stats, world)
     }
 
-    /// Builds a world for this scenario: applies the scenario topology to
-    /// `base` (every other knob — seed, mitigations, client settings — is
-    /// kept) and runs scenario setup. Schedule the ops with
+    /// Builds a world for this scenario: applies the scenario topology
+    /// and [`ScenarioDef::configure`] to `base` (every other knob — seed,
+    /// mitigations, client settings — is kept) and runs scenario setup,
+    /// including [`ScenarioDef::setup`]. Schedule the ops with
     /// [`Scenario::schedule`] next.
     pub fn build_world(self, base: &ClusterConfig, interceptor: InterceptorHandle) -> World {
-        let cfg = self.topology().apply(base.clone());
+        let mut cfg = self.topology().apply(base.clone());
+        self.0.configure(&mut cfg);
         let mut world = World::new(cfg, interceptor);
         world.prepare(self.preinstalled_apps());
+        self.0.setup(&mut world);
         world
     }
 
@@ -176,13 +209,14 @@ pub mod registry {
     use std::sync::{OnceLock, RwLock};
 
     /// The built-in scenarios, in paper-table order (the paper's three
-    /// first, then the two engine additions).
-    pub static BUILTIN: [Scenario; 5] = [
+    /// first, then the engine additions).
+    pub static BUILTIN: [Scenario; 6] = [
         builtin::DEPLOY,
         builtin::SCALE_UP,
         builtin::FAILOVER,
         builtin::ROLLING_UPDATE,
         builtin::NODE_DRAIN,
+        builtin::HPA_AUTOSCALE,
     ];
 
     fn extras() -> &'static RwLock<Vec<Scenario>> {
@@ -259,7 +293,9 @@ mod tests {
         // The paper's table names and the two engine additions are pinned:
         // the TSV cache, MUTINY_SCENARIOS filters, and the tables key on
         // these exact strings.
-        for expect in ["deploy", "scale", "failover", "rolling-update", "node-drain"] {
+        for expect in
+            ["deploy", "scale", "failover", "rolling-update", "node-drain", "hpa-autoscale"]
+        {
             assert!(names.contains(&expect), "{expect} missing from {names:?}");
             assert_eq!(registry::find(expect).map(|s| s.name()), Some(expect));
         }

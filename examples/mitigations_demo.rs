@@ -38,7 +38,7 @@ fn storm_spec(occurrence: u32) -> InjectionSpec {
 fn run(label: &str, scenario: Scenario, occurrence: u32, mitigations: MitigationsConfig) {
     let cluster = ClusterConfig { seed: 7, mitigations, ..ClusterConfig::default() };
     let cfg =
-        ExperimentConfig { cluster, scenario, injection: Some(storm_spec(occurrence)) };
+        ExperimentConfig { cluster, scenario, injection: Some(mutiny_core::ArmedFault::implied(storm_spec(occurrence))) };
     let (mut world, _) = mutiny_core::campaign::run_world(&cfg);
 
     let last = world.stats.samples.last().expect("metrics sampled").clone();

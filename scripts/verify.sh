@@ -3,14 +3,18 @@
 #
 # 1. Build + test exactly what the ROADMAP calls tier-1.
 # 2. Run the campaign-throughput bench on a 2% plan over the full
-#    scenario registry (the paper's three plus rolling-update and
-#    node-drain) so perf regressions and cross-executor determinism
-#    breaks are caught without paying for a full campaign. The bench
-#    asserts work-stealing and static-chunk executors produce identical
-#    rows and writes BENCH_campaign.json (scenario count included, so
-#    the perf trajectory shows scenario-coverage growth).
+#    scenario registry × the full fault registry (the paper's wire
+#    triplet plus delay, duplicate, partition, crash-restart) so perf
+#    regressions and cross-executor determinism breaks are caught
+#    without paying for a full campaign. The bench asserts
+#    work-stealing and static-chunk executors produce identical rows
+#    and writes BENCH_campaign.json (scenario and fault counts
+#    included, so the perf trajectory shows coverage growth).
 # 3. Run one new-scenario-only slice (rolling-update) to smoke the
 #    MUTINY_SCENARIOS filter and the scenario-keyed TSV cache paths.
+# 4. Run one partition-fault-only slice to smoke the MUTINY_FAULTS
+#    filter, the fault-keyed cache identity, and the window-fault
+#    actuation path end to end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +24,7 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== smoke campaign, full registry (MUTINY_SCALE=0.02) =="
+echo "== smoke campaign, full registries (MUTINY_SCALE=0.02) =="
 MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
 MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
 cargo bench -q -p mutiny-bench --bench campaign_throughput
@@ -29,6 +33,12 @@ echo "== smoke campaign, rolling-update slice (MUTINY_SCALE=0.02) =="
 MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
 MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
 MUTINY_SCENARIOS=rolling-update \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
+
+echo "== smoke campaign, partition-fault slice (MUTINY_SCALE=0.02) =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_FAULTS=partition \
 cargo bench -q -p mutiny-bench --bench table4_of_stats
 
 echo "== verify OK =="

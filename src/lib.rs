@@ -23,8 +23,11 @@
 //! * [`cluster`] — the glued-together `World`, the scenario-agnostic
 //!   user-operation vocabulary, and the application client;
 //! * [`scenarios`] — the pluggable scenario registry: the paper's three
-//!   workloads plus rolling-update and node-drain, with SimKube-style
-//!   virtual-node topology scaling;
+//!   workloads plus rolling-update, node-drain and hpa-autoscale, with
+//!   SimKube-style virtual-node topology scaling;
+//! * [`faults`] — the pluggable fault engine: the paper's wire triplet
+//!   (bit-flip / value-set / drop) plus temporal (delay, duplicate) and
+//!   infrastructure (partition, crash-restart) fault families;
 //! * [`mutiny`] — the paper's contribution: the injector, the
 //!   campaign manager, the failure classifiers, the FFDA dataset and the
 //!   findings analyses.
@@ -56,6 +59,7 @@ pub use k8s_model as model;
 pub use k8s_netsim as netsim;
 pub use k8s_scheduler as scheduler;
 pub use mutiny_core as mutiny;
+pub use mutiny_faults as faults;
 pub use mutiny_mitigations as mitigations;
 pub use mutiny_scenarios as scenarios;
 pub use protowire;
@@ -66,10 +70,16 @@ pub mod prelude {
     pub use k8s_cluster::{ClusterConfig, MitigationsConfig, Topology, UserOp, World};
     pub use k8s_model::{Channel, Kind, Object};
     pub use mutiny_scenarios::{
-        registry, Scenario, ScenarioDef, DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP,
+        registry, Scenario, ScenarioDef, DEPLOY, FAILOVER, HPA_AUTOSCALE, NODE_DRAIN,
+        ROLLING_UPDATE, SCALE_UP,
+    };
+    pub use mutiny_faults::{
+        registry as fault_registry, ArmedFault, Fault, FaultDef, BIT_FLIP, CRASH_RESTART, DELAY,
+        DROP, DUPLICATE, PARTITION, VALUE_SET,
     };
     pub use mutiny_core::campaign::{
-        run_experiment, run_experiment_with_baseline, ExperimentConfig, ExperimentOutcome,
+        plan_campaign, run_experiment, run_experiment_with_baseline, ExperimentConfig,
+        ExperimentOutcome,
     };
     pub use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
     pub use mutiny_core::injector::{

@@ -8,12 +8,13 @@
 use k8s_cluster::ClusterConfig;
 use k8s_model::Channel;
 use mutiny_core::campaign::{
-    generate_plan, record_fields, run_campaign_range, run_campaign_static_chunks,
+    generate_plan, plan_campaign, record_fields, run_campaign_range, run_campaign_static_chunks,
     run_campaign_with_threads, PlannedExperiment,
 };
 use mutiny_core::golden::build_baseline_with_threads;
 use mutiny_core::Scenario;
-use mutiny_scenarios::{DEPLOY, NODE_DRAIN, ROLLING_UPDATE};
+use mutiny_faults::{CRASH_RESTART, DELAY, DUPLICATE, PARTITION};
+use mutiny_scenarios::{DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
 use simkit::Rng;
 use std::collections::HashMap;
 
@@ -93,6 +94,78 @@ fn range_partitions_reassemble_the_full_campaign() {
     let mut stitched = run_campaign_range(&cluster, &plan, &baselines, 2024, 0..split, 2);
     stitched.merge(run_campaign_range(&cluster, &plan, &baselines, 2024, split..plan.len(), 2));
     assert_eq!(full.rows, stitched.rows, "resumed campaign diverged from uninterrupted run");
+}
+
+#[test]
+fn new_fault_families_deterministic_across_thread_counts() {
+    // The temporal and infrastructure families run the same determinism
+    // gauntlet as the wire triplet: byte-identical rows at 1, 2 and 5
+    // workers. Crash-restart is the hardest case — its heal action
+    // restarts the apiserver mid-run — so it is pinned here explicitly.
+    let cluster = ClusterConfig::default();
+    let (fields, kinds) = record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
+    let families = [DELAY, DUPLICATE, PARTITION, CRASH_RESTART];
+    let mut rng = Rng::new(7);
+    let full = plan_campaign(&fields, &kinds, DEPLOY, &families, &mut rng);
+    // Two specs per family keeps the gauntlet cheap but window-diverse.
+    let mut plan: Vec<PlannedExperiment> = Vec::new();
+    for family in families {
+        plan.extend(full.iter().filter(|p| p.fault == family).take(2).cloned());
+    }
+    assert!(plan.len() >= 7, "not every family planned specs: {}", plan.len());
+
+    let mut baselines = HashMap::new();
+    baselines.insert(DEPLOY, build_baseline_with_threads(&cluster, DEPLOY, 4, 0xBA5E, 1));
+    let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
+    assert_eq!(serial.len(), plan.len());
+    // Window faults always fire (the window opens with or without
+    // traffic); temporal faults fire when their occurrence flows.
+    assert!(
+        serial.rows.iter().filter(|r| r.fault == PARTITION || r.fault == CRASH_RESTART).all(|r| r.fired),
+        "window faults must fire"
+    );
+    for threads in [2usize, 5] {
+        let parallel = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+        assert_eq!(serial.rows, parallel.rows, "new families changed results at {threads} threads");
+    }
+}
+
+#[test]
+fn cross_product_tsv_byte_identical_across_thread_counts() {
+    // The acceptance gate: a campaign over {5 scenarios} × {≥7 fault
+    // families} produces byte-identical TSV rows at 1, 2 and 5 workers.
+    // One spec per (scenario, family) keeps it tractable for CI.
+    let cluster = ClusterConfig::default();
+    let scenarios = [DEPLOY, SCALE_UP, FAILOVER, ROLLING_UPDATE, NODE_DRAIN];
+    let families = mutiny_faults::registry::all();
+    assert!(families.len() >= 7);
+
+    let mut rng = Rng::new(11);
+    let mut plan: Vec<PlannedExperiment> = Vec::new();
+    let mut baselines = HashMap::new();
+    for sc in scenarios {
+        let (fields, kinds) = record_fields(&cluster, sc, vec![Channel::ApiToEtcd], 42);
+        let full = plan_campaign(&fields, &kinds, sc, &families, &mut rng);
+        for family in &families {
+            if let Some(p) = full.iter().find(|p| p.fault == *family) {
+                plan.push(p.clone());
+            }
+        }
+        baselines.insert(sc, build_baseline_with_threads(&cluster, sc, 4, 0xBA5E, 1));
+    }
+    assert!(plan.len() >= 5 * 7, "cross-product too small: {}", plan.len());
+
+    let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
+    let serial_tsv = mutiny_bench::render_rows(&serial);
+    assert_eq!(serial_tsv.lines().count(), plan.len());
+    for threads in [2usize, 5] {
+        let parallel = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+        assert_eq!(
+            serial_tsv,
+            mutiny_bench::render_rows(&parallel),
+            "TSV rows diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]

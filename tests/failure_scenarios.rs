@@ -53,7 +53,7 @@ fn corrupted_template_label_causes_uncontrolled_replication() {
         FieldMutation::FlipStringChar(0),
         1,
     );
-    let cfg = ExperimentConfig { cluster, scenario: DEPLOY, injection: Some(spec) };
+    let cfg = ExperimentConfig { cluster, scenario: DEPLOY, injection: Some(mutiny_core::ArmedFault::implied(spec)) };
     let out = run_experiment_with_baseline(&cfg, baseline());
     assert_eq!(out.orchestrator_failure, OrchestratorFailure::Sta, "{out:?}");
     assert!(out.pods_created > 50, "spawn storm expected, got {}", out.pods_created);

@@ -33,7 +33,7 @@ fn storm_spec() -> InjectionSpec {
 fn run_with(mitigations: MitigationsConfig, spec: InjectionSpec, seed: u64) -> ExperimentOutcome {
     let baseline = baseline_for(mitigations.clone());
     let cluster = ClusterConfig { seed, mitigations, ..ClusterConfig::default() };
-    let cfg = ExperimentConfig { cluster, scenario: DEPLOY, injection: Some(spec) };
+    let cfg = ExperimentConfig { cluster, scenario: DEPLOY, injection: Some(mutiny_core::ArmedFault::implied(spec)) };
     mutiny_core::campaign::run_experiment_with_baseline(&cfg, &baseline)
 }
 
@@ -64,7 +64,7 @@ fn breaker_bounds_the_replication_storm() {
         let cfg = ExperimentConfig {
             cluster: ClusterConfig { seed: 42, ..ClusterConfig::default() },
             scenario: DEPLOY,
-            injection: Some(storm_spec()),
+            injection: Some(mutiny_core::ArmedFault::implied(storm_spec())),
         };
         mutiny_core::campaign::run_experiment_with_baseline(&cfg, plain_baseline())
     };
@@ -241,7 +241,7 @@ fn defenses_do_not_change_clean_experiment_outcomes() {
         let cfg = ExperimentConfig {
             cluster: ClusterConfig { seed: 48, ..ClusterConfig::default() },
             scenario: DEPLOY,
-            injection: Some(spec.clone()),
+            injection: Some(mutiny_core::ArmedFault::implied(spec.clone())),
         };
         mutiny_core::campaign::run_experiment_with_baseline(&cfg, plain_baseline())
     };
