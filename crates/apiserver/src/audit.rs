@@ -6,7 +6,7 @@
 //! (Figure 7). The audit log records every API request's outcome per
 //! channel, so classifiers can ask exactly that question.
 
-use k8s_model::{Channel, Kind, Op};
+use k8s_model::{Channel, ChannelId, Kind, Op};
 
 /// Outcome of an API request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,8 +30,9 @@ impl RequestResult {
 pub struct AuditRecord {
     /// Simulated time of the request.
     pub at: u64,
-    /// Channel the request arrived on.
-    pub channel: Channel,
+    /// The concrete wire the request arrived on (node-scoped for kubelet
+    /// traffic, so per-node error analyses stay possible).
+    pub channel: ChannelId,
     /// Operation.
     pub op: Op,
     /// Resource kind.
@@ -59,14 +60,18 @@ impl AuditLog {
         &self.records
     }
 
-    /// Number of requests on a channel.
-    pub fn count_by_channel(&self, channel: Channel) -> usize {
-        self.records.iter().filter(|r| r.channel == channel).count()
+    /// Number of requests on a channel (a class-wide id — or a bare
+    /// class — counts every node's wire; a node-scoped id counts one).
+    pub fn count_by_channel(&self, channel: impl Into<ChannelId>) -> usize {
+        let channel = channel.into();
+        self.records.iter().filter(|r| channel.matches(r.channel)).count()
     }
 
-    /// Number of error outcomes on a channel.
-    pub fn errors_by_channel(&self, channel: Channel) -> usize {
-        self.records.iter().filter(|r| r.channel == channel && r.result.is_err()).count()
+    /// Number of error outcomes on a channel (same matching rules as
+    /// [`AuditLog::count_by_channel`]).
+    pub fn errors_by_channel(&self, channel: impl Into<ChannelId>) -> usize {
+        let channel = channel.into();
+        self.records.iter().filter(|r| channel.matches(r.channel) && r.result.is_err()).count()
     }
 
     /// Number of errors returned to the cluster user — the Figure 7 metric.
@@ -84,10 +89,10 @@ impl AuditLog {
 mod tests {
     use super::*;
 
-    fn rec(channel: Channel, err: bool) -> AuditRecord {
+    fn rec(channel: impl Into<ChannelId>, err: bool) -> AuditRecord {
         AuditRecord {
             at: 0,
-            channel,
+            channel: channel.into(),
             op: Op::Create,
             kind: Kind::Pod,
             key: "/registry/pods/default/p".into(),

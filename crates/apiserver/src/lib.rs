@@ -42,7 +42,10 @@ pub use policy::{
 };
 
 use etcd_sim::{Etcd, EtcdError};
-use k8s_model::{registry_key, registry_prefix, Channel, Interceptor, Kind, MsgCtx, Object, Op, WireVerdict};
+use k8s_model::{
+    registry_key, registry_prefix, Channel, ChannelId, Interceptor, Kind, MsgCtx, Object, Op,
+    WireVerdict,
+};
 use simkit::{Trace, TraceLevel};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -125,8 +128,8 @@ enum Deferred {
     /// A component→apiserver request: replays through the full request
     /// pipeline on delivery (without re-crossing the incoming wire).
     Request {
-        /// Channel the original message travelled on.
-        channel: Channel,
+        /// The concrete wire the original message travelled on.
+        channel: ChannelId,
         /// Operation.
         op: Op,
         /// Resource kind.
@@ -257,14 +260,21 @@ impl ApiServer {
     fn review_policies(
         &mut self,
         op: Op,
-        channel: Channel,
+        channel: ChannelId,
         object: &Object,
         existing: Option<&Object>,
     ) -> Result<(), ApiError> {
         if self.policies.is_empty() {
             return Ok(());
         }
-        let ctx = PolicyCtx { op, channel, object, existing, now: self.now, view: &self.cache };
+        let ctx = PolicyCtx {
+            op,
+            channel: channel.class(),
+            object,
+            existing,
+            now: self.now,
+            view: &self.cache,
+        };
         for p in &mut self.policies {
             if let Err(reason) = p.review(&ctx) {
                 self.policy_denials += 1;
@@ -375,16 +385,21 @@ impl ApiServer {
 
     // --- the write path ----------------------------------------------------
 
-    /// Creates an object. The request travels `channel`, so Mutiny may
-    /// tamper with or drop it before validation; the resulting etcd
-    /// transaction may be tampered with again.
+    /// Creates an object. The request travels `channel` — a
+    /// [`ChannelId`] or a bare [`Channel`] class — so Mutiny may tamper
+    /// with or drop it before validation; the resulting etcd transaction
+    /// may be tampered with again.
     ///
     /// # Errors
     ///
     /// Any [`ApiError`]; every outcome is recorded in the audit log.
-    pub fn create(&mut self, channel: Channel, obj: Object) -> Result<Object, ApiError> {
+    pub fn create(
+        &mut self,
+        channel: impl Into<ChannelId>,
+        obj: Object,
+    ) -> Result<Object, ApiError> {
         let (url_ns, url_name) = (obj.namespace().to_owned(), obj.name().to_owned());
-        self.request(channel, Op::Create, obj.kind(), &url_ns, &url_name, Some(obj), false)
+        self.request(channel.into(), Op::Create, obj.kind(), &url_ns, &url_name, Some(obj), false)
     }
 
     /// Updates an object (same pipeline as [`ApiServer::create`]).
@@ -392,9 +407,13 @@ impl ApiServer {
     /// # Errors
     ///
     /// Any [`ApiError`]; every outcome is recorded in the audit log.
-    pub fn update(&mut self, channel: Channel, obj: Object) -> Result<Object, ApiError> {
+    pub fn update(
+        &mut self,
+        channel: impl Into<ChannelId>,
+        obj: Object,
+    ) -> Result<Object, ApiError> {
         let (url_ns, url_name) = (obj.namespace().to_owned(), obj.name().to_owned());
-        self.request(channel, Op::Update, obj.kind(), &url_ns, &url_name, Some(obj), false)
+        self.request(channel.into(), Op::Update, obj.kind(), &url_ns, &url_name, Some(obj), false)
     }
 
     /// Deletes an object.
@@ -404,18 +423,18 @@ impl ApiServer {
     /// Any [`ApiError`]; every outcome is recorded in the audit log.
     pub fn delete(
         &mut self,
-        channel: Channel,
+        channel: impl Into<ChannelId>,
         kind: Kind,
         namespace: &str,
         name: &str,
     ) -> Result<(), ApiError> {
-        self.request(channel, Op::Delete, kind, namespace, name, None, false).map(|_| ())
+        self.request(channel.into(), Op::Delete, kind, namespace, name, None, false).map(|_| ())
     }
 
     #[allow(clippy::too_many_arguments)]
     fn request(
         &mut self,
-        channel: Channel,
+        channel: ChannelId,
         op: Op,
         kind: Kind,
         url_ns: &str,
@@ -447,7 +466,7 @@ impl ApiServer {
     #[allow(clippy::too_many_arguments)]
     fn request_inner(
         &mut self,
-        channel: Channel,
+        channel: ChannelId,
         op: Op,
         kind: Kind,
         key: &str,
@@ -598,8 +617,13 @@ impl ApiServer {
                             // store wire and is injectable there (the
                             // campaign's primary injection point).
                             let bytes = obj.encode();
-                            let verdict =
-                                self.intercept(Channel::ApiToEtcd, kind, key, Op::Update, Some(&bytes));
+                            let verdict = self.intercept(
+                                Channel::ApiToEtcd.into(),
+                                kind,
+                                key,
+                                Op::Update,
+                                Some(&bytes),
+                            );
                             let store_bytes = match verdict {
                                 WireVerdict::Pass => bytes,
                                 WireVerdict::Replace(b) => b,
@@ -701,7 +725,7 @@ impl ApiServer {
                 admission::admit(
                     &mut new_obj,
                     existing.as_deref(),
-                    channel,
+                    channel.class(),
                     op,
                     self.now,
                     &mut self.uid_counter,
@@ -723,7 +747,7 @@ impl ApiServer {
                 //    the campaign's primary injection point.
                 let bytes = new_obj.encode();
                 let verdict =
-                    self.intercept(Channel::ApiToEtcd, kind, key, op, Some(&bytes));
+                    self.intercept(Channel::ApiToEtcd.into(), kind, key, op, Some(&bytes));
                 let store_bytes = match verdict {
                     WireVerdict::Pass => bytes,
                     WireVerdict::Replace(b) => b,
@@ -768,7 +792,7 @@ impl ApiServer {
 
     fn intercept(
         &mut self,
-        channel: Channel,
+        channel: ChannelId,
         kind: Kind,
         key: &str,
         op: Op,

@@ -23,7 +23,7 @@ fn run_case(metric: Option<&str>, policies: bool, seed: u64) -> (i64, i64, usize
     let mutiny = Rc::new(RefCell::new(match metric {
         Some(v) => Mutiny::armed_from(
             InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::ConfigMap,
                 point: InjectionPoint::Field {
                     path: "data['default/web-1-svc']".into(),

@@ -13,7 +13,7 @@ use protowire::reflect::Value;
 fn main() {
     // Part 1: rerun a critical-field injection on 1- and 3-replica CPs.
     let spec = InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind: Kind::ReplicaSet,
         point: InjectionPoint::Field {
             path: "spec.template.metadata.labels['app']".into(),

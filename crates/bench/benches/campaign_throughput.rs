@@ -39,6 +39,13 @@ fn main() {
         mutiny_bench::scenarios().iter().map(|s| s.name()).collect();
     let fault_names: Vec<&str> = mutiny_bench::faults().iter().map(|f| f.name()).collect();
     let plan = mutiny_bench::plan();
+    // Distinct per-node wires targeted by node-level families — the
+    // coverage trajectory of the per-node channel axis.
+    let node_channels = plan
+        .iter()
+        .filter_map(|p| p.spec.channel.node())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
     let threads = exec::default_threads(plan.len());
     eprintln!(
         "[campaign-throughput] {} experiments (scale {scale}, scenarios: {}, faults: {}), {threads} worker thread(s)",
@@ -84,7 +91,7 @@ fn main() {
     let experiments_per_sec = plan.len() as f64 / stealing_s.max(1e-9);
     let speedup = static_s / stealing_s.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
         plan.len(),
         scenario_names.len(),
         scenario_names.join(","),

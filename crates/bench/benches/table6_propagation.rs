@@ -4,7 +4,7 @@
 //! experiments logged an apiserver error (Err.).
 use k8s_cluster::ClusterConfig;
 use mutiny_core::campaign::record_fields;
-use mutiny_core::propagation::{channels_for, propagation_plan, run_propagation};
+use mutiny_core::propagation::{channels_for, expand_per_node, propagation_plan, run_propagation};
 
 fn main() {
     let cluster = ClusterConfig::default();
@@ -14,14 +14,17 @@ fn main() {
         // dedicated Kubelet→Api cell for its eviction-window traffic,
         // controller-only scenarios skip the kubelet channel.
         let channels = channels_for(sc);
-        let (fields, _) = record_fields(&cluster, sc, channels.clone(), mutiny_bench::seed());
-        for ch in channels {
-            let mut specs = propagation_plan(&fields, ch);
+        let traffic = record_fields(&cluster, sc, channels.clone(), mutiny_bench::seed());
+        // Classes whose recorded traffic carries node identity fan out
+        // into one Table VI cell per node wire (kubelet->apiserver@w1,
+        // @w2, …); controller channels stay one class-wide cell.
+        for wire in expand_per_node(&traffic.fields, &channels) {
+            let mut specs = propagation_plan(&traffic.fields, wire);
             // Scale with the campaign knob; the paper runs ~40-470 per cell.
             let keep = ((specs.len() as f64) * mutiny_bench::scale()).ceil() as usize;
             specs.truncate(keep.max(1));
             let cell = run_propagation(&cluster, sc, &specs, mutiny_bench::seed());
-            cells.push((mutiny_faults::BIT_FLIP, ch, sc, cell));
+            cells.push((mutiny_faults::BIT_FLIP, wire, sc, cell));
         }
     }
     println!("{}", mutiny_core::tables::table6(&cells).render());

@@ -42,7 +42,7 @@ use mutiny_core::exec;
 use mutiny_core::golden::{build_baseline, Baseline};
 use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec};
 use k8s_cluster::ClusterConfig;
-use k8s_model::{Channel, Kind};
+use k8s_model::{Channel, ChannelId, Kind};
 use mutiny_faults::{registry as fault_registry, Fault};
 use mutiny_scenarios::{registry, Scenario};
 use simkit::Rng;
@@ -170,9 +170,8 @@ pub fn plan() -> Vec<PlannedExperiment> {
     let mut rng = Rng::new(seed());
     let mut all = Vec::new();
     for sc in scenarios() {
-        let (fields, kinds) =
-            record_fields(&cluster, sc, vec![Channel::ApiToEtcd], seed() ^ 0xF1E1D);
-        all.extend(plan_campaign(&fields, &kinds, sc, &families, &mut rng));
+        let traffic = record_fields(&cluster, sc, vec![Channel::ApiToEtcd], seed() ^ 0xF1E1D);
+        all.extend(plan_campaign(&traffic, sc, &families, &mut rng));
     }
     let s = scale();
     if s >= 0.999 {
@@ -420,7 +419,7 @@ fn parse_rows(text: &str) -> Option<CampaignResults> {
             InjectionPoint::Field { path, .. } => Some(path.clone()),
             _ => None,
         };
-        let channel = Channel::parse(f[9])?;
+        let channel = ChannelId::parse(f[9])?;
         let kind = Kind::parse(f[10])?;
         let occurrence: u32 = f[11].parse().ok()?;
         rows.push(CampaignRow {
@@ -480,13 +479,13 @@ mod tests {
             user_error: true,
         };
         let spec = |point| InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::Pod,
             point,
             occurrence: 3,
         };
         let kcm_spec = |point| InjectionSpec {
-            channel: Channel::KcmToApi,
+            channel: Channel::KcmToApi.into(),
             kind: Kind::Lease,
             point,
             occurrence: 1,
@@ -543,6 +542,58 @@ mod tests {
     }
 
     #[test]
+    fn node_scoped_rows_roundtrip_and_old_caches_still_parse() {
+        // Node-level family rows carry `class@node` in the channel
+        // column and must survive the cache round-trip exactly.
+        let node_row = |fault: Fault, node: &str, point| CampaignRow {
+            scenario: mutiny_scenarios::DEPLOY,
+            spec: InjectionSpec {
+                channel: ChannelId::node_scoped(Channel::KubeletToApi, node),
+                kind: Kind::Node,
+                point,
+                occurrence: 1,
+            },
+            fault,
+            of: OrchestratorFailure::Tim,
+            cf: ClientFailure::Nsi,
+            z: 1.5,
+            fired: true,
+            activated: false,
+            user_error: false,
+            path: None,
+        };
+        let results = CampaignResults {
+            rows: vec![
+                node_row(
+                    mutiny_faults::KUBELET_CRASH_RESTART,
+                    "w3",
+                    InjectionPoint::Crash { from_off: 2_500, dur_ms: 60_000 },
+                ),
+                node_row(
+                    mutiny_faults::NODE_PARTITION,
+                    "w1",
+                    InjectionPoint::Partition { from_off: 2_000, dur_ms: 8_000 },
+                ),
+            ],
+        };
+        let text = render_rows(&results);
+        assert!(text.contains("\tkubelet->apiserver@w3\t"), "node column missing: {text}");
+        assert!(roundtrip_check(&results));
+
+        // A cache written before per-node channel identity existed keeps
+        // the bare class in the channel column; it must still parse, to
+        // a class-wide wire.
+        let old_cache = "deploy\tdrop\tNo\tNSI\t0\ttrue\tfalse\tfalse\tdrop\tapiserver->etcd\tPod\t1\n";
+        let parsed = parse_rows(old_cache).expect("pre-node cache line must parse");
+        assert_eq!(parsed.len(), 1);
+        let spec = &parsed.rows[0].spec;
+        assert_eq!(spec.channel, ChannelId::class_wide(Channel::ApiToEtcd));
+        assert_eq!(spec.channel.node(), None);
+        // And re-rendering it emits the identical historical key.
+        assert_eq!(render_rows(&parsed), old_cache);
+    }
+
+    #[test]
     fn point_serialization_is_exact() {
         use protowire::reflect::Value;
         for point in [
@@ -586,7 +637,7 @@ mod tests {
             scenario: sc,
             fault: mutiny_faults::BIT_FLIP,
             spec: InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod,
                 point: InjectionPoint::Field {
                     path: path.into(),

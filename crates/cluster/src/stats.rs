@@ -97,7 +97,10 @@ impl RunStats {
             .iter()
             .filter(|(_, t)| **t >= from)
             .filter_map(|(k, created)| {
-                self.pod_running.get(k).map(|run| (*run - *created) as f64)
+                // A fault can corrupt a stored timestamp (bit-flipped
+                // start_time, a Running update lost on a dark wire) —
+                // skip samples that would go backwards in time.
+                self.pod_running.get(k).and_then(|run| run.checked_sub(*created)).map(|d| d as f64)
             })
             .collect()
     }

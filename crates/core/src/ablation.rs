@@ -162,7 +162,7 @@ mod tests {
         CampaignRow {
             scenario: mutiny_scenarios::DEPLOY,
             spec: InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::ReplicaSet,
                 point: InjectionPoint::Field {
                     path: "spec.replicas".into(),

@@ -16,10 +16,10 @@
 use crate::classify::{classify_client, classify_orchestrator, ClientFailure, OrchestratorFailure};
 use crate::golden::{build_baseline, Baseline};
 use crate::injector::{InjectionRecord, InjectionSpec, Mutiny};
-use crate::recorder::{FieldRecorder, RecordedField};
+use crate::recorder::{FieldRecorder, RecordedTraffic};
 use k8s_apiserver::InterceptorHandle;
 use k8s_cluster::{ClusterConfig, World};
-use k8s_model::{Channel, Kind};
+use k8s_model::Channel;
 use mutiny_faults::{ArmedFault, Fault, FaultActuator, SharedActuator, WorldAction, WIRE_BUILTIN};
 use mutiny_scenarios::Scenario;
 use simkit::Rng;
@@ -112,10 +112,27 @@ pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
     while world.now() < horizon {
         let next = (world.now() + 250).min(horizon);
         world.run_until(next);
-        let actions = actuator.borrow_mut().poll_actions(world.now());
+        let now = world.now();
+        let actions = actuator.borrow_mut().poll_actions(now);
         for action in actions {
             match action {
                 WorldAction::RestartApiserver => world.api.restart(),
+                WorldAction::SilenceKubelet(node) => {
+                    if let Some(kl) =
+                        world.kubelets.iter_mut().find(|k| k.node_name == node)
+                    {
+                        kl.healthy = false;
+                    }
+                }
+                WorldAction::RestartKubelet(node) => {
+                    if let Some(idx) =
+                        world.kubelets.iter().position(|k| k.node_name == node)
+                    {
+                        world.api.set_now(now);
+                        let (kubelets, api) = (&mut world.kubelets, &mut world.api);
+                        kubelets[idx].restart(api, now);
+                    }
+                }
             }
         }
         if !tracking_armed && actuator.borrow().record().is_some() {
@@ -208,14 +225,17 @@ pub struct PlannedExperiment {
     pub spec: InjectionSpec,
 }
 
-/// Records the fields flowing on `channels` during a golden run of
-/// `workload` (campaign phase 1).
+/// Records the traffic flowing during a golden run of the scenario
+/// (campaign phase 1): the field catalogue and class-aggregated kind
+/// counts for the `channels` classes, plus the per-node wire catalogue
+/// (always recorded — node-level families pick victims from it even
+/// when the field catalogue targets the store wire).
 pub fn record_fields(
     cluster: &ClusterConfig,
     scenario: Scenario,
     channels: Vec<Channel>,
     seed: u64,
-) -> (Vec<RecordedField>, Vec<(Channel, Kind, u64)>) {
+) -> RecordedTraffic {
     let recorder = Rc::new(RefCell::new(FieldRecorder::new(
         channels,
         k8s_cluster::WORKLOAD_START_MS,
@@ -225,21 +245,22 @@ pub fn record_fields(
     let mut world = scenario.build_world(&cfg, handle);
     scenario.schedule(&mut world);
     world.run_to_horizon();
-    let r = recorder.borrow();
-    (r.fields(), r.kinds_seen())
+    let traffic = recorder.borrow().traffic();
+    traffic
 }
 
 /// Generates the injection plan for one scenario as the cross-product of
 /// the given fault families (campaign phase 2). Each family plans from a
-/// per-(scenario, family) labelled RNG fork, so:
+/// per-(scenario, family) labelled RNG fork (node-level families fork
+/// again per victim node), so:
 ///
 /// * filtering the family set (`MUTINY_FAULTS`) never changes the specs
-///   of the families that remain, and
+///   of the families that remain,
+/// * victim-set changes never shift another node's specs, and
 /// * the plan is byte-identical for any worker count (planning is
 ///   single-threaded and seeded).
 pub fn plan_campaign(
-    fields: &[RecordedField],
-    kinds: &[(Channel, Kind, u64)],
+    traffic: &RecordedTraffic,
     scenario: Scenario,
     faults: &[Fault],
     rng: &mut Rng,
@@ -247,7 +268,7 @@ pub fn plan_campaign(
     let mut plan = Vec::new();
     for fault in faults {
         let mut frng = rng.fork(&format!("{}/{}", scenario.name(), fault.name()));
-        for spec in fault.plan(fields, kinds, &mut frng) {
+        for spec in fault.plan(traffic, &mut frng) {
             plan.push(PlannedExperiment { scenario, fault: *fault, spec });
         }
     }
@@ -255,14 +276,13 @@ pub fn plan_campaign(
 }
 
 /// Generates the paper-faithful §IV-C plan: the three wire built-ins
-/// (bit-flip, value-set, drop) over the recorded fields and kinds.
+/// (bit-flip, value-set, drop) over the recorded traffic.
 pub fn generate_plan(
-    fields: &[RecordedField],
-    kinds: &[(Channel, Kind, u64)],
+    traffic: &RecordedTraffic,
     scenario: Scenario,
     rng: &mut Rng,
 ) -> Vec<PlannedExperiment> {
-    plan_campaign(fields, kinds, scenario, &WIRE_BUILTIN, rng)
+    plan_campaign(traffic, scenario, &WIRE_BUILTIN, rng)
 }
 
 // ---------------------------------------------------------------------------
@@ -474,6 +494,8 @@ pub fn run_campaign_static_chunks(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recorder::RecordedField;
+    use k8s_model::Kind;
 
     use mutiny_scenarios::DEPLOY;
 
@@ -490,22 +512,28 @@ mod tests {
 
     #[test]
     fn recording_covers_workload_kinds() {
-        let (fields, kinds) = record_fields(
+        let traffic = record_fields(
             &ClusterConfig::default(),
             DEPLOY,
             vec![Channel::ApiToEtcd],
             42,
         );
-        assert!(!fields.is_empty());
-        let kinds_seen: Vec<Kind> = kinds.iter().map(|(_, k, _)| *k).collect();
+        assert!(!traffic.fields.is_empty());
+        let kinds_seen: Vec<Kind> = traffic.kinds.iter().map(|(_, k, _)| *k).collect();
         for expect in [Kind::Pod, Kind::ReplicaSet, Kind::Deployment, Kind::Service, Kind::Node, Kind::Endpoints, Kind::Lease] {
             assert!(kinds_seen.contains(&expect), "kind {expect} not recorded: {kinds_seen:?}");
         }
         // The dependency-tracking fields the paper's F2 centres on.
+        let fields = &traffic.fields;
         assert!(fields.iter().any(|f| f.path.contains("matchLabels")), "selector fields missing");
         assert!(fields.iter().any(|f| f.path.contains("labels[")), "label fields missing");
         assert!(fields.iter().any(|f| f.path.contains("ownerReferences")), "ownerRefs missing");
         assert!(fields.iter().any(|f| f.path == "spec.replicas"), "replicas missing");
+        // The per-node wire catalogue always rides along: every node's
+        // kubelet heartbeats during the workload window.
+        let nodes = traffic.nodes();
+        assert!(nodes.len() >= 5, "expected one wire per node, got {nodes:?}");
+        assert!(nodes.contains(&"w1"), "{nodes:?}");
     }
 
     #[test]
@@ -514,7 +542,7 @@ mod tests {
         use protowire::reflect::{FieldType, Value};
         let fields = vec![
             RecordedField {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::ReplicaSet,
                 path: "spec.replicas".into(),
                 field_type: FieldType::Int,
@@ -523,7 +551,7 @@ mod tests {
                 max_occurrence: 3,
             },
             RecordedField {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod,
                 path: "spec.nodeName".into(),
                 field_type: FieldType::Str,
@@ -532,9 +560,13 @@ mod tests {
                 max_occurrence: 2,
             },
         ];
-        let kinds = vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 5u64)];
+        let traffic = RecordedTraffic {
+            fields,
+            kinds: vec![(Channel::ApiToEtcd.into(), Kind::ReplicaSet, 5u64)],
+            node_kinds: Vec::new(),
+        };
         let mut rng = Rng::new(1);
-        let plan = generate_plan(&fields, &kinds, DEPLOY, &mut rng);
+        let plan = generate_plan(&traffic, DEPLOY, &mut rng);
         // Int: 3 mutations × 3 occurrences; Str (len 2): 3 × 3;
         // proto: 8; drops: 10 — the same §IV-C counts as before the
         // fault engine, now grouped by family.
@@ -552,7 +584,7 @@ mod tests {
     fn cross_product_plans_every_family() {
         use protowire::reflect::Value;
         let fields = vec![RecordedField {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             path: "spec.replicas".into(),
             field_type: protowire::reflect::FieldType::Int,
@@ -560,21 +592,45 @@ mod tests {
             message_count: 5,
             max_occurrence: 3,
         }];
-        let kinds = vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 5u64)];
+        let traffic = RecordedTraffic {
+            fields,
+            kinds: vec![(Channel::ApiToEtcd.into(), Kind::ReplicaSet, 5u64)],
+            node_kinds: vec![
+                (
+                    k8s_model::ChannelId::node_scoped(Channel::KubeletToApi, "w1"),
+                    Kind::Node,
+                    4,
+                ),
+                (
+                    k8s_model::ChannelId::node_scoped(Channel::KubeletToApi, "w2"),
+                    Kind::Node,
+                    4,
+                ),
+            ],
+        };
         let faults = mutiny_faults::registry::all();
         let mut rng = Rng::new(1);
-        let plan = plan_campaign(&fields, &kinds, DEPLOY, &faults, &mut rng);
+        let plan = plan_campaign(&traffic, DEPLOY, &faults, &mut rng);
         let planned_families: Vec<&str> =
             plan.iter().map(|p| p.fault.name()).collect();
-        for f in ["bit-flip", "value-set", "drop", "delay", "duplicate", "partition", "crash-restart"]
-        {
+        for f in [
+            "bit-flip",
+            "value-set",
+            "drop",
+            "delay",
+            "duplicate",
+            "partition",
+            "crash-restart",
+            "kubelet-crash-restart",
+            "node-partition",
+        ] {
             assert!(planned_families.contains(&f), "{f} missing from the cross-product");
         }
         // Filtering the family set leaves the surviving specs untouched
         // (per-family labelled RNG forks).
         let mut rng2 = Rng::new(1);
         let only_bitflip =
-            plan_campaign(&fields, &kinds, DEPLOY, &[mutiny_faults::BIT_FLIP], &mut rng2);
+            plan_campaign(&traffic, DEPLOY, &[mutiny_faults::BIT_FLIP], &mut rng2);
         let from_full: Vec<&InjectionSpec> = plan
             .iter()
             .filter(|p| p.fault == mutiny_faults::BIT_FLIP)

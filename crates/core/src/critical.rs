@@ -244,7 +244,7 @@ mod tests {
         CampaignRow {
             scenario: mutiny_scenarios::DEPLOY,
             spec: InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::ReplicaSet,
                 point: InjectionPoint::Field {
                     path: path.into(),
@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn critical_plan_generation() {
         let fields = vec![RecordedField {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             path: "spec.replicas".into(),
             field_type: protowire::reflect::FieldType::Int,

@@ -145,7 +145,7 @@ mod tests {
         CampaignRow {
             scenario: mutiny_scenarios::DEPLOY,
             spec: InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod,
                 point: InjectionPoint::Field {
                     path: path.into(),

@@ -12,13 +12,13 @@ use crate::campaign::{run_world, ExperimentConfig};
 use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
 use crate::recorder::RecordedField;
 use k8s_cluster::ClusterConfig;
-use k8s_model::Channel;
+use k8s_model::{Channel, ChannelId};
 use mutiny_faults::ArmedFault;
 use mutiny_scenarios::Scenario;
 use protowire::reflect::{FieldType, Reflect};
 
-/// The component→apiserver channels the propagation study injects on for
-/// one scenario — the scenario's own declaration
+/// The component→apiserver channel classes the propagation study injects
+/// on for one scenario — the scenario's own declaration
 /// ([`ScenarioDef::propagation_channels`](mutiny_scenarios::ScenarioDef::propagation_channels)),
 /// so registered third-party scenarios pick their channel set without
 /// touching `mutiny_core`. The paper's three workloads use the full
@@ -27,6 +27,31 @@ use protowire::reflect::{FieldType, Reflect};
 /// through the eviction-window status churn and earns a dedicated cell.
 pub fn channels_for(scenario: Scenario) -> Vec<Channel> {
     scenario.propagation_channels()
+}
+
+/// Expands a scenario's channel-class set into the concrete wires the
+/// recorded traffic actually flowed on: classes whose recorded fields
+/// carry node identity (the kubelet wires) fan out into one
+/// [`ChannelId`] per node, in stable order, so Table VI grows a per-node
+/// Kubelet→Api cell for node-lifecycle scenarios; everything else stays
+/// one class-wide cell.
+pub fn expand_per_node(fields: &[RecordedField], channels: &[Channel]) -> Vec<ChannelId> {
+    let mut out: Vec<ChannelId> = Vec::new();
+    for class in channels {
+        let mut node_wires: Vec<ChannelId> = fields
+            .iter()
+            .filter(|f| f.channel.class() == *class && f.channel.node().is_some())
+            .map(|f| f.channel)
+            .collect();
+        node_wires.sort();
+        node_wires.dedup();
+        if node_wires.is_empty() {
+            out.push(ChannelId::class_wide(*class));
+        } else {
+            out.extend(node_wires);
+        }
+    }
+    out
 }
 
 /// Table VI cell values for one channel × workload.
@@ -40,12 +65,19 @@ pub struct PropagationCell {
     pub errors: usize,
 }
 
-/// Generates the propagation plan for one channel: one bit-flip per
-/// recorded field (occurrence 1), as in the paper.
-pub fn propagation_plan(fields: &[RecordedField], channel: Channel) -> Vec<InjectionSpec> {
+/// Generates the propagation plan for one wire: one bit-flip per
+/// recorded field (occurrence 1), as in the paper. A class-wide id plans
+/// over every node's fields; a node-scoped id pins one node's wire. The
+/// spec always carries the recorded field's own (possibly node-scoped)
+/// wire, so the injection targets exactly the traffic that was observed.
+pub fn propagation_plan(
+    fields: &[RecordedField],
+    channel: impl Into<ChannelId>,
+) -> Vec<InjectionSpec> {
+    let channel = channel.into();
     fields
         .iter()
-        .filter(|f| f.channel == channel)
+        .filter(|f| channel.matches(f.channel))
         .filter_map(|f| {
             let mutation = match f.field_type {
                 FieldType::Int => FieldMutation::FlipIntBit(0),
@@ -58,7 +90,7 @@ pub fn propagation_plan(fields: &[RecordedField], channel: Channel) -> Vec<Injec
                 FieldType::Bool => FieldMutation::FlipBool,
             };
             Some(InjectionSpec {
-                channel,
+                channel: f.channel,
                 kind: f.kind,
                 point: InjectionPoint::Field { path: f.path.clone(), mutation },
                 occurrence: 1,
@@ -92,7 +124,7 @@ pub fn run_propagation(
         // Err: the apiserver rejected something on this channel at or
         // after the injection.
         let errored = world.api.audit().records().iter().any(|r| {
-            r.channel == spec.channel && r.at >= record.at && r.result.is_err()
+            spec.channel.matches(r.channel) && r.at >= record.at && r.result.is_err()
         });
         if errored {
             cell.errors += 1;
@@ -163,9 +195,9 @@ mod tests {
     use k8s_model::Kind;
     use protowire::reflect::Value;
 
-    fn field(channel: Channel, kind: Kind, path: &str, sample: Value) -> RecordedField {
+    fn field(channel: impl Into<ChannelId>, kind: Kind, path: &str, sample: Value) -> RecordedField {
         RecordedField {
-            channel,
+            channel: channel.into(),
             kind,
             path: path.into(),
             field_type: sample.field_type(),
@@ -207,16 +239,17 @@ mod tests {
 
     #[test]
     fn node_drain_records_kubelet_traffic_for_its_cell() {
-        // The satellite claim behind the dedicated Table VI cell: a
+        // The satellite claim behind the dedicated Table VI cells: a
         // node-drain run produces injectable Kubelet→Api fields (the
-        // eviction-window status churn), so the cell is non-degenerate.
-        let (fields, _) = crate::campaign::record_fields(
+        // eviction-window status churn), so the cells are non-degenerate
+        // — and, with per-node channel identity, they split per node.
+        let traffic = crate::campaign::record_fields(
             &ClusterConfig::default(),
             mutiny_scenarios::NODE_DRAIN,
             channels_for(mutiny_scenarios::NODE_DRAIN),
             42,
         );
-        let plan = propagation_plan(&fields, Channel::KubeletToApi);
+        let plan = propagation_plan(&traffic.fields, Channel::KubeletToApi);
         assert!(
             !plan.is_empty(),
             "node-drain must record injectable kubelet->api fields"
@@ -225,6 +258,23 @@ mod tests {
             plan.iter().any(|s| s.kind == Kind::Pod),
             "expected pod status traffic on the kubelet channel: {plan:?}"
         );
+        // Kubelet fields carry node identity, so the class expands into
+        // per-node Table VI cells; the controller channels stay single.
+        let wires = expand_per_node(&traffic.fields, &channels_for(mutiny_scenarios::NODE_DRAIN));
+        let kubelet_wires: Vec<ChannelId> = wires
+            .iter()
+            .copied()
+            .filter(|w| w.class() == Channel::KubeletToApi)
+            .collect();
+        assert!(
+            kubelet_wires.len() >= 2 && kubelet_wires.iter().all(|w| w.node().is_some()),
+            "expected per-node kubelet cells, got {kubelet_wires:?}"
+        );
+        assert!(wires.contains(&ChannelId::class_wide(Channel::KcmToApi)));
+        // A node-scoped plan only targets its own wire.
+        let one = propagation_plan(&traffic.fields, kubelet_wires[0]);
+        assert!(!one.is_empty());
+        assert!(one.iter().all(|s| s.channel == kubelet_wires[0]));
     }
 
     #[test]

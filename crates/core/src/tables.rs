@@ -12,7 +12,7 @@ use crate::campaign::{CampaignResults, CampaignRow};
 use crate::classify::{ClientFailure, OrchestratorFailure};
 use crate::propagation::PropagationCell;
 use crate::report::{count_pct, pct, Table};
-use k8s_model::Channel;
+use k8s_model::ChannelId;
 use mutiny_faults::Fault;
 use mutiny_scenarios::Scenario;
 
@@ -140,11 +140,13 @@ pub fn table5(results: &CampaignResults) -> Table {
     t
 }
 
-/// Table VI: the propagation study. One row per (fault family, channel,
+/// Table VI: the propagation study. One row per (fault family, wire,
 /// scenario) cell — the family key rides along so non-bit-flip
-/// propagation studies extend the table instead of replacing it.
+/// propagation studies extend the table instead of replacing it, and
+/// the wire key is a [`ChannelId`], so node-lifecycle scenarios grow a
+/// per-node Kubelet→Api row per node.
 pub fn table6(
-    cells: &[(Fault, Channel, Scenario, PropagationCell)],
+    cells: &[(Fault, ChannelId, Scenario, PropagationCell)],
 ) -> Table {
     let mut t = Table::new(
         "Table VI — Propagation of injections on component→apiserver channels",
@@ -264,7 +266,7 @@ pub fn summary_counts(results: &CampaignResults) -> String {
 mod tests {
     use super::*;
     use crate::injector::{FieldMutation, InjectionPoint, InjectionSpec};
-    use k8s_model::Kind;
+    use k8s_model::{Channel, Kind};
     use mutiny_faults::{BIT_FLIP, DROP, PARTITION, VALUE_SET};
     use protowire::reflect::Value;
 
@@ -274,7 +276,7 @@ mod tests {
         CampaignRow {
             scenario: sc,
             spec: InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod,
                 point: InjectionPoint::Field {
                     path: "spec.nodeName".into(),
@@ -347,14 +349,23 @@ mod tests {
 
     #[test]
     fn table6_renders_cells() {
-        let cells = vec![(
-            BIT_FLIP,
-            Channel::KcmToApi,
-            DEPLOY,
-            PropagationCell { injections: 10, propagated: 4, errors: 2 },
-        )];
+        let cells = vec![
+            (
+                BIT_FLIP,
+                Channel::KcmToApi.into(),
+                DEPLOY,
+                PropagationCell { injections: 10, propagated: 4, errors: 2 },
+            ),
+            (
+                BIT_FLIP,
+                ChannelId::node_scoped(Channel::KubeletToApi, "w2"),
+                NODE_DRAIN,
+                PropagationCell { injections: 6, propagated: 1, errors: 0 },
+            ),
+        ];
         let t = table6(&cells);
         assert!(t.render().contains("kcm->apiserver"));
+        assert!(t.render().contains("kubelet->apiserver@w2"));
         assert!(t.render().contains("Bit-flip"));
     }
 }

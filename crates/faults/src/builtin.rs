@@ -20,7 +20,7 @@
 use crate::injector::{
     FieldMutation, InjectionPoint, InjectionSpec, FaultKind,
 };
-use crate::recorder::RecordedField;
+use crate::recorder::RecordedTraffic;
 use crate::{Fault, FaultDef};
 use k8s_model::{Channel, Kind};
 use protowire::reflect::{FieldType, Value};
@@ -68,14 +68,9 @@ impl FaultDef for BitFlip {
         "mostly No/MoR/LeR; Sta/Out on critical dependency fields (F2)"
     }
 
-    fn plan(
-        &self,
-        fields: &[RecordedField],
-        kinds: &[(Channel, Kind, u64)],
-        rng: &mut Rng,
-    ) -> Vec<InjectionSpec> {
+    fn plan(&self, traffic: &RecordedTraffic, rng: &mut Rng) -> Vec<InjectionSpec> {
         let mut plan = Vec::new();
-        for f in fields {
+        for f in &traffic.fields {
             let mutations: Vec<FieldMutation> = match f.field_type {
                 FieldType::Int => {
                     vec![FieldMutation::FlipIntBit(0), FieldMutation::FlipIntBit(4)]
@@ -107,7 +102,7 @@ impl FaultDef for BitFlip {
                 }
             }
         }
-        for (channel, kind, _count) in kinds {
+        for (channel, kind, _count) in &traffic.kinds {
             for _ in 0..PROTO_INJECTIONS_PER_KIND {
                 plan.push(InjectionSpec {
                     channel: *channel,
@@ -149,14 +144,9 @@ impl FaultDef for ValueSet {
         "valid-but-wrong values propagate; zeroed replicas/selectors go Sta/SU"
     }
 
-    fn plan(
-        &self,
-        fields: &[RecordedField],
-        _kinds: &[(Channel, Kind, u64)],
-        _rng: &mut Rng,
-    ) -> Vec<InjectionSpec> {
+    fn plan(&self, traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
         let mut plan = Vec::new();
-        for f in fields {
+        for f in &traffic.fields {
             let mutations: Vec<FieldMutation> = match f.field_type {
                 FieldType::Int => vec![FieldMutation::Set(Value::Int(0))],
                 FieldType::Str => {
@@ -212,14 +202,9 @@ impl FaultDef for Drop {
         "level-triggered reconciliation absorbs most; early drops cause Tim"
     }
 
-    fn plan(
-        &self,
-        _fields: &[RecordedField],
-        kinds: &[(Channel, Kind, u64)],
-        _rng: &mut Rng,
-    ) -> Vec<InjectionSpec> {
+    fn plan(&self, traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
         let mut plan = Vec::new();
-        for (channel, kind, _count) in kinds {
+        for (channel, kind, _count) in &traffic.kinds {
             for occurrence in 1..=DROP_OCCURRENCES {
                 plan.push(InjectionSpec {
                     channel: *channel,
@@ -258,14 +243,9 @@ impl FaultDef for Delay {
         "stale state lands late: Tim on startup-path kinds, else No"
     }
 
-    fn plan(
-        &self,
-        _fields: &[RecordedField],
-        kinds: &[(Channel, Kind, u64)],
-        _rng: &mut Rng,
-    ) -> Vec<InjectionSpec> {
+    fn plan(&self, traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
         let mut plan = Vec::new();
-        for (channel, kind, _count) in kinds {
+        for (channel, kind, _count) in &traffic.kinds {
             for occurrence in 1..=TEMPORAL_OCCURRENCES {
                 plan.push(InjectionSpec {
                     channel: *channel,
@@ -304,14 +284,9 @@ impl FaultDef for Duplicate {
         "an echoed write resurrects superseded state until the next sync"
     }
 
-    fn plan(
-        &self,
-        _fields: &[RecordedField],
-        kinds: &[(Channel, Kind, u64)],
-        _rng: &mut Rng,
-    ) -> Vec<InjectionSpec> {
+    fn plan(&self, traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
         let mut plan = Vec::new();
-        for (channel, kind, _count) in kinds {
+        for (channel, kind, _count) in &traffic.kinds {
             for occurrence in 1..=TEMPORAL_OCCURRENCES {
                 plan.push(InjectionSpec {
                     channel: *channel,
@@ -350,17 +325,12 @@ impl FaultDef for Partition {
         "writes silently vanish for the window; reconcilers repair after heal"
     }
 
-    fn plan(
-        &self,
-        _fields: &[RecordedField],
-        kinds: &[(Channel, Kind, u64)],
-        _rng: &mut Rng,
-    ) -> Vec<InjectionSpec> {
+    fn plan(&self, traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
         // One spec per (channel, window); the kind is informational — a
         // partition is channel-wide — and taken from the first recorded
         // kind so reports show what traffic the window hit.
-        let mut channels: Vec<(Channel, Kind)> = Vec::new();
-        for (channel, kind, _count) in kinds {
+        let mut channels: Vec<(k8s_model::ChannelId, Kind)> = Vec::new();
+        for (channel, kind, _count) in &traffic.kinds {
             if !channels.iter().any(|(c, _)| c == channel) {
                 channels.push((*channel, *kind));
             }
@@ -405,12 +375,7 @@ impl FaultDef for CrashRestart {
         "blackout + re-list: leadership lapses, state freezes, then converges"
     }
 
-    fn plan(
-        &self,
-        _fields: &[RecordedField],
-        _kinds: &[(Channel, Kind, u64)],
-        _rng: &mut Rng,
-    ) -> Vec<InjectionSpec> {
+    fn plan(&self, _traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
         // Component blackouts are planned regardless of recorded traffic:
         // the apiserver (its store egress), the Kcm and the scheduler.
         // The kind names the traffic class the blackout most visibly
@@ -423,7 +388,7 @@ impl FaultDef for CrashRestart {
         ]
         .into_iter()
         .map(|(channel, kind)| InjectionSpec {
-            channel,
+            channel: channel.into(),
             kind,
             point: InjectionPoint::Crash { from_off, dur_ms },
             occurrence: 1,
@@ -439,10 +404,11 @@ pub static CRASH_RESTART: Fault = Fault::new(&CRASH_RESTART_DEF);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recorder::RecordedField;
 
     fn field(kind: Kind, path: &str, sample: Value) -> RecordedField {
         RecordedField {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind,
             path: path.into(),
             field_type: sample.field_type(),
@@ -452,63 +418,64 @@ mod tests {
         }
     }
 
-    fn fixture() -> (Vec<RecordedField>, Vec<(Channel, Kind, u64)>) {
-        (
-            vec![
+    fn fixture() -> RecordedTraffic {
+        RecordedTraffic {
+            fields: vec![
                 field(Kind::ReplicaSet, "spec.replicas", Value::Int(2)),
                 field(Kind::Pod, "spec.nodeName", Value::Str("w1".into())),
             ],
-            vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 5u64)],
-        )
+            kinds: vec![(Channel::ApiToEtcd.into(), Kind::ReplicaSet, 5u64)],
+            node_kinds: Vec::new(),
+        }
     }
 
     #[test]
     fn wire_triplet_reproduces_paper_plan_counts() {
-        let (fields, kinds) = fixture();
+        let traffic = fixture();
         let mut rng = Rng::new(1);
         // Int: 2 flips × 3 occ; Str (len 2): 2 flips × 3; proto: 8.
-        assert_eq!(BIT_FLIP.plan(&fields, &kinds, &mut rng).len(), 6 + 6 + 8);
+        assert_eq!(BIT_FLIP.plan(&traffic, &mut rng).len(), 6 + 6 + 8);
         // Int set + Str set, × 3 occurrences each.
-        assert_eq!(VALUE_SET.plan(&fields, &kinds, &mut rng).len(), 6);
+        assert_eq!(VALUE_SET.plan(&traffic, &mut rng).len(), 6);
         // Drops 1–10 for the one recorded kind.
-        let drops = DROP.plan(&fields, &kinds, &mut rng);
+        let drops = DROP.plan(&traffic, &mut rng);
         assert_eq!(drops.len(), 10);
         assert!(drops.iter().all(|s| s.point == InjectionPoint::Drop));
     }
 
     #[test]
     fn temporal_families_target_each_recorded_kind() {
-        let (fields, kinds) = fixture();
+        let traffic = fixture();
         let mut rng = Rng::new(1);
-        let delays = DELAY.plan(&fields, &kinds, &mut rng);
+        let delays = DELAY.plan(&traffic, &mut rng);
         assert_eq!(delays.len(), TEMPORAL_OCCURRENCES as usize);
         assert!(delays
             .iter()
             .all(|s| matches!(s.point, InjectionPoint::Delay { hold_ms: DELAY_HOLD_MS })));
-        let dups = DUPLICATE.plan(&fields, &kinds, &mut rng);
+        let dups = DUPLICATE.plan(&traffic, &mut rng);
         assert_eq!(dups.len(), TEMPORAL_OCCURRENCES as usize);
     }
 
     #[test]
     fn infrastructure_families_plan_windows() {
-        let (fields, kinds) = fixture();
+        let traffic = fixture();
         let mut rng = Rng::new(1);
-        let partitions = PARTITION.plan(&fields, &kinds, &mut rng);
+        let partitions = PARTITION.plan(&traffic, &mut rng);
         assert_eq!(partitions.len(), PARTITION_WINDOWS.len());
         assert!(partitions.iter().all(|s| s.channel == Channel::ApiToEtcd));
-        let crashes = CRASH_RESTART.plan(&fields, &kinds, &mut rng);
+        let crashes = CRASH_RESTART.plan(&traffic, &mut rng);
         assert_eq!(crashes.len(), 3, "apiserver, kcm, scheduler");
-        let channels: Vec<Channel> = crashes.iter().map(|s| s.channel).collect();
-        assert!(channels.contains(&Channel::ApiToEtcd));
-        assert!(channels.contains(&Channel::KcmToApi));
-        assert!(channels.contains(&Channel::SchedulerToApi));
+        let channels: Vec<k8s_model::ChannelId> = crashes.iter().map(|s| s.channel).collect();
+        assert!(channels.contains(&Channel::ApiToEtcd.into()));
+        assert!(channels.contains(&Channel::KcmToApi.into()));
+        assert!(channels.contains(&Channel::SchedulerToApi.into()));
     }
 
     #[test]
     fn proto_byte_planning_is_deterministic_per_seed() {
-        let (fields, kinds) = fixture();
-        let a = BIT_FLIP.plan(&fields, &kinds, &mut Rng::new(9));
-        let b = BIT_FLIP.plan(&fields, &kinds, &mut Rng::new(9));
+        let traffic = fixture();
+        let a = BIT_FLIP.plan(&traffic, &mut Rng::new(9));
+        let b = BIT_FLIP.plan(&traffic, &mut Rng::new(9));
         assert_eq!(a, b);
     }
 

@@ -21,7 +21,9 @@
 //! crash-restart) drop every matching message while their window is open.
 
 use crate::{FaultActuator, WorldAction};
-use k8s_model::{Channel, Interceptor, Kind, MsgCtx, Object, Op, WireVerdict};
+use k8s_model::{
+    ChannelClass, ChannelId, Interceptor, Kind, MsgCtx, Object, Op, WireVerdict,
+};
 use protowire::corrupt;
 use protowire::reflect::{Reflect, Value};
 use std::collections::HashMap;
@@ -149,8 +151,10 @@ impl std::fmt::Display for FaultKind {
 /// A complete injection specification (one experiment injects one fault).
 #[derive(Debug, Clone, PartialEq)]
 pub struct InjectionSpec {
-    /// Channel to tamper with.
-    pub channel: Channel,
+    /// The wire to tamper with: a class-wide id targets every matching
+    /// wire, a node-scoped id (e.g. `kubelet->apiserver@w1`) pins one
+    /// node's kubelet.
+    pub channel: ChannelId,
     /// Resource kind to target (informational for window faults, which
     /// are channel-wide).
     pub kind: Kind,
@@ -228,7 +232,7 @@ pub struct InjectionRecord {
 /// use mutiny_faults::injector::{FieldMutation, InjectionPoint, InjectionSpec, Mutiny};
 ///
 /// let spec = InjectionSpec {
-///     channel: Channel::ApiToEtcd,
+///     channel: Channel::ApiToEtcd.into(),
 ///     kind: Kind::ReplicaSet,
 ///     point: InjectionPoint::Field {
 ///         path: "spec.replicas".into(),
@@ -250,6 +254,8 @@ pub struct Mutiny {
     armed_from: u64,
     /// The crash-restart heal action was already emitted.
     restarted: bool,
+    /// The node-blackout silence action was already emitted.
+    silenced: bool,
 }
 
 impl Default for Mutiny {
@@ -267,6 +273,7 @@ impl Mutiny {
             record: None,
             armed_from: 0,
             restarted: false,
+            silenced: false,
         }
     }
 
@@ -285,6 +292,7 @@ impl Mutiny {
             record: None,
             armed_from: from,
             restarted: false,
+            silenced: false,
         }
     }
 
@@ -298,7 +306,7 @@ impl Mutiny {
         self.record.is_some()
     }
 
-    fn mark_window_open(&mut self, start: u64, channel: Channel) {
+    fn mark_window_open(&mut self, start: u64, channel: ChannelId) {
         if self.record.is_none() {
             self.record = Some(InjectionRecord {
                 at: start,
@@ -321,7 +329,7 @@ impl Interceptor for Mutiny {
         // Window faults are channel-wide and fire for every message while
         // the window is open — unlike the one-shot families below.
         if let Some((from_off, dur_ms)) = spec.window() {
-            if ctx.channel != spec.channel {
+            if !spec.channel.matches(ctx.channel) {
                 return WireVerdict::Pass;
             }
             let start = self.armed_from + from_off;
@@ -343,7 +351,7 @@ impl Interceptor for Mutiny {
         if self.record.is_some() {
             return WireVerdict::Pass; // one fault per experiment
         }
-        if ctx.channel != spec.channel || ctx.kind != spec.kind {
+        if !spec.channel.matches(ctx.channel) || ctx.kind != spec.kind {
             return WireVerdict::Pass;
         }
 
@@ -452,19 +460,34 @@ impl FaultActuator for Mutiny {
         if now >= start {
             self.mark_window_open(start, spec.channel);
         }
-        if matches!(spec.point, InjectionPoint::Crash { .. })
-            && now >= start + dur_ms
-            && !self.restarted
-        {
-            self.restarted = true;
-            // The apiserver restarts with a store re-list; kcm and the
-            // scheduler recover through lease loss + full resync, which
-            // the blackout itself already forces.
-            if spec.channel == Channel::ApiToEtcd {
-                return vec![WorldAction::RestartApiserver];
+        let is_crash = matches!(spec.point, InjectionPoint::Crash { .. });
+        let mut actions = Vec::new();
+        // A node blackout silences the whole kubelet process while the
+        // window is open (the wire drop above already swallows anything
+        // it still tries to send).
+        if is_crash && now >= start && !self.silenced {
+            if let (ChannelClass::KubeletToApi, Some(node)) =
+                (spec.channel.class(), spec.channel.node())
+            {
+                self.silenced = true;
+                actions.push(WorldAction::SilenceKubelet(node));
             }
         }
-        Vec::new()
+        if is_crash && now >= start + dur_ms && !self.restarted {
+            self.restarted = true;
+            // The apiserver restarts with a store re-list; a blacked-out
+            // kubelet restarts with a node-local re-list; kcm and the
+            // scheduler recover through lease loss + full resync, which
+            // the blackout itself already forces.
+            match (spec.channel.class(), spec.channel.node()) {
+                (ChannelClass::ApiToEtcd, _) => actions.push(WorldAction::RestartApiserver),
+                (ChannelClass::KubeletToApi, Some(node)) => {
+                    actions.push(WorldAction::RestartKubelet(node));
+                }
+                _ => {}
+            }
+        }
+        actions
     }
 }
 
@@ -495,7 +518,7 @@ pub fn mutate(before: &Value, mutation: &FieldMutation) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use k8s_model::{ObjectMeta, ReplicaSet};
+    use k8s_model::{Channel, ObjectMeta, ReplicaSet};
 
     fn rs_bytes(replicas: i64) -> Vec<u8> {
         let mut rs = ReplicaSet::default();
@@ -506,7 +529,7 @@ mod tests {
 
     fn ctx<'a>(bytes: &'a [u8], key: &'a str, now: u64) -> MsgCtx<'a> {
         MsgCtx {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             key,
             op: Op::Update,
@@ -517,7 +540,7 @@ mod tests {
 
     fn field_spec(occurrence: u32, mutation: FieldMutation) -> InjectionSpec {
         InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             point: InjectionPoint::Field { path: "spec.replicas".into(), mutation },
             occurrence,
@@ -563,7 +586,7 @@ mod tests {
         let mut m = Mutiny::armed(field_spec(1, FieldMutation::FlipIntBit(0)));
         let bytes = rs_bytes(2);
         let mut c = ctx(&bytes, "/k", 0);
-        c.channel = Channel::KcmToApi;
+        c.channel = Channel::KcmToApi.into();
         assert_eq!(m.on_message(&c), WireVerdict::Pass);
         let mut c = ctx(&bytes, "/k", 0);
         c.kind = Kind::Pod;
@@ -574,7 +597,7 @@ mod tests {
     #[test]
     fn drop_returns_drop_verdict() {
         let mut m = Mutiny::armed(InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             point: InjectionPoint::Drop,
             occurrence: 1,
@@ -587,7 +610,7 @@ mod tests {
     #[test]
     fn proto_byte_flip_changes_bytes() {
         let mut m = Mutiny::armed(InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             point: InjectionPoint::ProtoByte { byte_frac: 0.5, bit: 3 },
             occurrence: 1,
@@ -621,7 +644,7 @@ mod tests {
     #[test]
     fn field_absent_does_not_count_occurrence() {
         let mut m = Mutiny::armed(InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             point: InjectionPoint::Field {
                 path: "spec.template.metadata.labels['missing']".into(),
@@ -639,7 +662,7 @@ mod tests {
     #[test]
     fn delay_holds_the_requested_occurrence() {
         let mut m = Mutiny::armed(InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             point: InjectionPoint::Delay { hold_ms: 3_000 },
             occurrence: 2,
@@ -655,7 +678,7 @@ mod tests {
     #[test]
     fn duplicate_echoes_the_requested_occurrence() {
         let mut m = Mutiny::armed(InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             point: InjectionPoint::Duplicate { echo_ms: 1_000 },
             occurrence: 1,
@@ -669,7 +692,7 @@ mod tests {
     fn partition_drops_everything_inside_the_window_only() {
         let mut m = Mutiny::armed_from(
             InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod, // informational: the window is channel-wide
                 point: InjectionPoint::Partition { from_off: 100, dur_ms: 200 },
                 occurrence: 1,
@@ -687,10 +710,10 @@ mod tests {
         assert_eq!(m.record().unwrap().at, 1_100);
         // Wrong channel is never touched.
         let mut c = ctx(&bytes, "/a", 1_150);
-        c.channel = Channel::KcmToApi;
+        c.channel = Channel::KcmToApi.into();
         let mut m2 = Mutiny::armed_from(
             InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod,
                 point: InjectionPoint::Partition { from_off: 100, dur_ms: 200 },
                 occurrence: 1,
@@ -704,7 +727,7 @@ mod tests {
     fn crash_emits_restart_action_after_heal() {
         let mut m = Mutiny::armed_from(
             InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod,
                 point: InjectionPoint::Crash { from_off: 100, dur_ms: 200 },
                 occurrence: 1,
@@ -725,7 +748,7 @@ mod tests {
     fn kcm_crash_restarts_via_lease_loss_not_world_action() {
         let mut m = Mutiny::armed_from(
             InjectionSpec {
-                channel: Channel::KcmToApi,
+                channel: Channel::KcmToApi.into(),
                 kind: Kind::Lease,
                 point: InjectionPoint::Crash { from_off: 0, dur_ms: 100 },
                 occurrence: 1,

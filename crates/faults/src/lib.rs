@@ -6,7 +6,7 @@
 //! workload dimension: a [`FaultDef`] describes one **fault family** —
 //! its name, how it plans [`InjectionSpec`]s from recorded wire traffic,
 //! and how it arms an [`Interceptor`]-compatible [`FaultActuator`] — and
-//! lives in a **registry** next to the seven [`registry::BUILTIN`]
+//! lives in a **registry** next to the nine [`registry::BUILTIN`]
 //! entries:
 //!
 //! * the paper's wire triplet, re-homed: **bit-flip**, **value-set**,
@@ -18,7 +18,15 @@
 //!   (apiserver/kcm/scheduler blackout with a watch re-list on
 //!   recovery), the fault classes of the cloud-edge study
 //!   (arXiv:2507.16109) and the multi-master BFT analysis
-//!   (arXiv:1904.06206).
+//!   (arXiv:1904.06206);
+//! * node-level faults, routed on per-node channel identity
+//!   (`kubelet->apiserver@w1`): **kubelet-crash-restart** (a single-node
+//!   kubelet blackout — heartbeats lapse, the node-lifecycle controller
+//!   evicts, the scheduler re-places, and the kubelet re-lists on
+//!   restart) and **node-partition** (a windowed drop-all on one node's
+//!   wire, healed by the kubelet's status replay), the per-node fault
+//!   granularity of the cloud-edge study (arXiv:2507.16109) and the
+//!   availability-manager analysis (arXiv:1901.04946).
 //!
 //! Campaign plans, result rows, the bench TSV schema and Tables III–V
 //! all key on the fault-family *name*, so [`registry::register`] adds a
@@ -38,6 +46,7 @@
 
 pub mod builtin;
 pub mod injector;
+pub mod node;
 pub mod recorder;
 
 pub use builtin::{
@@ -46,9 +55,10 @@ pub use builtin::{
 pub use injector::{
     FaultKind, FieldMutation, InjectionPoint, InjectionRecord, InjectionSpec, Mutiny,
 };
-pub use recorder::{FieldRecorder, RecordedField};
+pub use node::{KUBELET_CRASH_RESTART, NODE_PARTITION};
+pub use recorder::{FieldRecorder, RecordedField, RecordedTraffic};
 
-use k8s_model::{Channel, Interceptor, Kind, MsgCtx, WireVerdict};
+use k8s_model::{Interceptor, MsgCtx, NodeName, WireVerdict};
 use simkit::Rng;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -81,14 +91,11 @@ pub trait FaultDef: Send + Sync {
     }
 
     /// Plans this family's injection specs for one scenario, from the
-    /// fields and (channel, kind, message-count) summary recorded during
-    /// a nominal run of that scenario.
-    fn plan(
-        &self,
-        fields: &[RecordedField],
-        kinds: &[(Channel, Kind, u64)],
-        rng: &mut Rng,
-    ) -> Vec<InjectionSpec>;
+    /// [`RecordedTraffic`] of a nominal run of that scenario: the field
+    /// catalogue, the class-aggregated (channel, kind, message-count)
+    /// summary, and the per-node wire catalogue node-level families pick
+    /// their victims from.
+    fn plan(&self, traffic: &RecordedTraffic, rng: &mut Rng) -> Vec<InjectionSpec>;
 
     /// Arms the actuator for one planned spec; `from` is the workload
     /// start time (occurrence counting and fault windows anchor there).
@@ -108,6 +115,13 @@ pub enum WorldAction {
     /// Restart the apiserver: the watch cache is dropped and rebuilt from
     /// the store with quorum reads (the re-list on crash recovery).
     RestartApiserver,
+    /// A node blackout opened: the named node's kubelet goes dark
+    /// (heartbeats and status resyncs stop; its wire is dropped by the
+    /// interceptor for as long as the window is open).
+    SilenceKubelet(NodeName),
+    /// A node blackout healed: the named node's kubelet restarts with a
+    /// node-local re-list and resumes heartbeating (containers survived).
+    RestartKubelet(NodeName),
 }
 
 /// A live, armed fault: the wire interceptor plus the out-of-band hooks
@@ -199,13 +213,8 @@ impl Fault {
     }
 
     /// Plans this family's specs for one scenario's recorded traffic.
-    pub fn plan(
-        self,
-        fields: &[RecordedField],
-        kinds: &[(Channel, Kind, u64)],
-        rng: &mut Rng,
-    ) -> Vec<InjectionSpec> {
-        self.0.plan(fields, kinds, rng)
+    pub fn plan(self, traffic: &RecordedTraffic, rng: &mut Rng) -> Vec<InjectionSpec> {
+        self.0.plan(traffic, rng)
     }
 
     /// Arms the actuator for one spec (see [`FaultDef::arm`]).
@@ -217,13 +226,16 @@ impl Fault {
     /// compatibility mapping for specs built by hand (ablations, tests)
     /// rather than by a family's own planner.
     pub fn implied_by(spec: &InjectionSpec) -> Fault {
+        let node_scoped = spec.channel.node().is_some();
         match spec.fault_kind() {
             FaultKind::BitFlip => BIT_FLIP,
             FaultKind::ValueSet => VALUE_SET,
             FaultKind::Drop => DROP,
             FaultKind::Delay => DELAY,
             FaultKind::Duplicate => DUPLICATE,
+            FaultKind::Partition if node_scoped => NODE_PARTITION,
             FaultKind::Partition => PARTITION,
+            FaultKind::Crash if node_scoped => KUBELET_CRASH_RESTART,
             FaultKind::Crash => CRASH_RESTART,
         }
     }
@@ -271,12 +283,13 @@ impl std::fmt::Display for Fault {
 
 /// The fault registry: the built-ins plus anything added at runtime.
 pub mod registry {
-    use super::{builtin, Fault, FaultDef};
+    use super::{builtin, node, Fault, FaultDef};
     use std::sync::{OnceLock, RwLock};
 
     /// The built-in fault families, in table order: the paper's wire
-    /// triplet first, then the temporal and infrastructure additions.
-    pub static BUILTIN: [Fault; 7] = [
+    /// triplet first, then the temporal and infrastructure additions,
+    /// then the node-level families.
+    pub static BUILTIN: [Fault; 9] = [
         builtin::BIT_FLIP,
         builtin::VALUE_SET,
         builtin::DROP,
@@ -284,6 +297,8 @@ pub mod registry {
         builtin::DUPLICATE,
         builtin::PARTITION,
         builtin::CRASH_RESTART,
+        node::KUBELET_CRASH_RESTART,
+        node::NODE_PARTITION,
     ];
 
     fn extras() -> &'static RwLock<Vec<Fault>> {
@@ -348,6 +363,7 @@ pub mod registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use k8s_model::{Channel, Kind};
     use std::collections::HashSet;
 
     #[test]
@@ -367,6 +383,8 @@ mod tests {
             "duplicate",
             "partition",
             "crash-restart",
+            "kubelet-crash-restart",
+            "node-partition",
         ] {
             assert!(names.contains(&expect), "{expect} missing from {names:?}");
             assert_eq!(registry::find(expect).map(|f| f.name()), Some(expect));
@@ -384,12 +402,7 @@ mod tests {
             fn fault_kind(&self) -> FaultKind {
                 FaultKind::Drop
             }
-            fn plan(
-                &self,
-                _fields: &[RecordedField],
-                _kinds: &[(Channel, Kind, u64)],
-                _rng: &mut Rng,
-            ) -> Vec<InjectionSpec> {
+            fn plan(&self, _traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
                 Vec::new()
             }
         }
@@ -403,12 +416,7 @@ mod tests {
             fn fault_kind(&self) -> FaultKind {
                 FaultKind::Drop
             }
-            fn plan(
-                &self,
-                _fields: &[RecordedField],
-                _kinds: &[(Channel, Kind, u64)],
-                _rng: &mut Rng,
-            ) -> Vec<InjectionSpec> {
+            fn plan(&self, _traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
                 Vec::new()
             }
         }
@@ -434,12 +442,28 @@ mod tests {
 
     #[test]
     fn implied_family_matches_point_shape() {
+        use k8s_model::ChannelId;
         let spec = |point| InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::Pod,
             point,
             occurrence: 1,
         };
+        // Node-scoped window specs imply the node-level families.
+        let node_spec = |point| InjectionSpec {
+            channel: ChannelId::node_scoped(Channel::KubeletToApi, "w1"),
+            kind: Kind::Node,
+            point,
+            occurrence: 1,
+        };
+        assert_eq!(
+            Fault::implied_by(&node_spec(InjectionPoint::Crash { from_off: 0, dur_ms: 1 })),
+            KUBELET_CRASH_RESTART
+        );
+        assert_eq!(
+            Fault::implied_by(&node_spec(InjectionPoint::Partition { from_off: 0, dur_ms: 1 })),
+            NODE_PARTITION
+        );
         assert_eq!(Fault::implied_by(&spec(InjectionPoint::Drop)), DROP);
         assert_eq!(
             Fault::implied_by(&spec(InjectionPoint::Delay { hold_ms: 10 })),
@@ -471,13 +495,9 @@ mod tests {
             fn fault_kind(&self) -> FaultKind {
                 FaultKind::Delay
             }
-            fn plan(
-                &self,
-                _fields: &[RecordedField],
-                kinds: &[(Channel, Kind, u64)],
-                _rng: &mut Rng,
-            ) -> Vec<InjectionSpec> {
-                kinds
+            fn plan(&self, traffic: &RecordedTraffic, _rng: &mut Rng) -> Vec<InjectionSpec> {
+                traffic
+                    .kinds
                     .iter()
                     .map(|(channel, kind, _)| InjectionSpec {
                         channel: *channel,
@@ -490,9 +510,12 @@ mod tests {
         }
         let fault = registry::register(Box::new(SlowWire)).expect("register");
         assert_eq!(registry::find("slow-wire-test"), Some(fault));
-        let kinds = vec![(Channel::ApiToEtcd, Kind::Pod, 5u64)];
+        let traffic = RecordedTraffic {
+            kinds: vec![(Channel::ApiToEtcd.into(), Kind::Pod, 5u64)],
+            ..RecordedTraffic::default()
+        };
         let mut rng = Rng::new(1);
-        let specs = fault.plan(&[], &kinds, &mut rng);
+        let specs = fault.plan(&traffic, &mut rng);
         assert_eq!(specs.len(), 1);
         let mut actuator = fault.arm(&specs[0], 0);
         assert!(actuator.record().is_none());

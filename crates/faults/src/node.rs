@@ -1,0 +1,261 @@
+//! Node-level fault families, routed on per-node channel identity.
+//!
+//! The paper's fault matrix stops at five cluster-wide channels, but real
+//! Kubernetes failures are overwhelmingly node-scoped: a single kubelet
+//! goes dark, one node's link flaps. Both families here target one node's
+//! `kubelet->apiserver@<node>` wire and pick their victims
+//! deterministically from the recorded per-node traffic, with a
+//! per-(scenario, family, node) RNG fork jittering each node's window —
+//! so `MUTINY_FAULTS` filtering never perturbs surviving specs, and
+//! adding or removing a node never shifts another node's plan.
+//!
+//! * **kubelet-crash-restart** — a single-node kubelet blackout: the
+//!   wire drops everything for the window and the kubelet process is
+//!   silenced ([`WorldAction::SilenceKubelet`](crate::WorldAction)), so
+//!   heartbeats lapse, the node-lifecycle controller marks the node
+//!   NotReady and evicts its pods, and the scheduler re-places them on
+//!   surviving nodes — the availability-manager recovery path
+//!   (arXiv:1901.04946). On heal the kubelet restarts with a node-local
+//!   re-list ([`WorldAction::RestartKubelet`](crate::WorldAction));
+//!   containers survive, and the next status resync repairs divergence.
+//! * **node-partition** — a windowed drop-all on one node's wire, then
+//!   heal: short enough that the node keeps its Ready status (the
+//!   heartbeat grace absorbs it), so the interesting question is what
+//!   status updates silently vanished and how the kubelet's periodic
+//!   status replay repairs the stored state after the heal (the
+//!   cloud-edge link-flap fault of arXiv:2507.16109).
+
+use crate::injector::{FaultKind, InjectionPoint, InjectionSpec};
+use crate::recorder::RecordedTraffic;
+use crate::{Fault, FaultDef};
+use k8s_model::{ChannelClass, ChannelId, Kind};
+use simkit::Rng;
+
+/// Blackout window of the kubelet-crash-restart family: (start offset,
+/// duration). The duration must cover the whole eviction→re-place cycle
+/// while the node is dark: the node-lifecycle controller's heartbeat
+/// grace (40 s by default) plus its eviction grace (5 s), then pod
+/// termination grace and the owning ReplicaSet's resync creating the
+/// replacements (a few seconds more) — so the re-placed pods land on
+/// surviving nodes, not on the freshly healed victim.
+pub const KUBELET_CRASH_WINDOW: (u64, u64) = (2_000, 60_000);
+/// Per-node jitter added to the blackout start (drawn from the node's
+/// own RNG fork).
+pub const KUBELET_CRASH_JITTER_MS: u64 = 1_000;
+/// Partition windows planned per node wire: (start offset, duration).
+/// Both stay far below the heartbeat grace, so the node never goes
+/// NotReady — the fault is pure wire loss plus status replay.
+pub const NODE_PARTITION_WINDOWS: [(u64, u64); 2] = [(2_000, 8_000), (14_000, 8_000)];
+/// Per-node jitter added to each partition window start.
+pub const NODE_PARTITION_JITTER_MS: u64 = 1_000;
+
+/// The kubelet wires with recorded traffic, in stable order — the
+/// victim catalogue both families plan over.
+fn victim_wires(traffic: &RecordedTraffic) -> Vec<(ChannelId, Kind)> {
+    traffic.node_wires(ChannelClass::KubeletToApi)
+}
+
+// --- kubelet-crash-restart -------------------------------------------------
+
+struct KubeletCrashRestart;
+
+impl FaultDef for KubeletCrashRestart {
+    fn name(&self) -> &'static str {
+        "kubelet-crash-restart"
+    }
+
+    fn label(&self) -> &'static str {
+        "Kubelet crash"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::Crash
+    }
+
+    fn expectation(&self) -> &'static str {
+        "node NotReady, pods evicted and re-placed; kubelet re-lists on heal"
+    }
+
+    fn plan(&self, traffic: &RecordedTraffic, rng: &mut Rng) -> Vec<InjectionSpec> {
+        let (base_off, dur_ms) = KUBELET_CRASH_WINDOW;
+        victim_wires(traffic)
+            .into_iter()
+            .map(|(channel, kind)| {
+                // Per-node fork: dropping one node from the victim set
+                // never shifts another node's window.
+                let mut nrng = rng.fork(channel.node().unwrap_or(""));
+                InjectionSpec {
+                    channel,
+                    kind,
+                    point: InjectionPoint::Crash {
+                        from_off: base_off + nrng.below(KUBELET_CRASH_JITTER_MS),
+                        dur_ms,
+                    },
+                    occurrence: 1,
+                }
+            })
+            .collect()
+    }
+}
+
+static KUBELET_CRASH_RESTART_DEF: KubeletCrashRestart = KubeletCrashRestart;
+/// Single-node kubelet blackout with eviction, re-placement, and a
+/// node-local re-list on restart.
+pub static KUBELET_CRASH_RESTART: Fault = Fault::new(&KUBELET_CRASH_RESTART_DEF);
+
+// --- node-partition --------------------------------------------------------
+
+struct NodePartition;
+
+impl FaultDef for NodePartition {
+    fn name(&self) -> &'static str {
+        "node-partition"
+    }
+
+    fn label(&self) -> &'static str {
+        "Node partition"
+    }
+
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::Partition
+    }
+
+    fn expectation(&self) -> &'static str {
+        "one node's status vanishes for the window; status replay heals it"
+    }
+
+    fn plan(&self, traffic: &RecordedTraffic, rng: &mut Rng) -> Vec<InjectionSpec> {
+        let mut plan = Vec::new();
+        for (channel, kind) in victim_wires(traffic) {
+            let mut nrng = rng.fork(channel.node().unwrap_or(""));
+            for (base_off, dur_ms) in NODE_PARTITION_WINDOWS {
+                plan.push(InjectionSpec {
+                    channel,
+                    kind,
+                    point: InjectionPoint::Partition {
+                        from_off: base_off + nrng.below(NODE_PARTITION_JITTER_MS),
+                        dur_ms,
+                    },
+                    occurrence: 1,
+                });
+            }
+        }
+        plan
+    }
+}
+
+static NODE_PARTITION_DEF: NodePartition = NodePartition;
+/// Windowed drop-all on a single node's kubelet wire, healed by the
+/// kubelet's periodic status replay.
+pub static NODE_PARTITION: Fault = Fault::new(&NODE_PARTITION_DEF);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorldAction;
+    use k8s_model::{Channel, MsgCtx, Op, WireVerdict};
+
+    fn traffic() -> RecordedTraffic {
+        let wire = |node: &str, kind, n| {
+            (ChannelId::node_scoped(Channel::KubeletToApi, node), kind, n)
+        };
+        RecordedTraffic {
+            fields: Vec::new(),
+            kinds: vec![(Channel::ApiToEtcd.into(), Kind::Pod, 40u64)],
+            node_kinds: vec![
+                wire("w1", Kind::Node, 6),
+                wire("w1", Kind::Pod, 9),
+                wire("w2", Kind::Node, 6),
+            ],
+        }
+    }
+
+    #[test]
+    fn crash_plans_one_blackout_per_node() {
+        let mut rng = Rng::new(3);
+        let plan = KUBELET_CRASH_RESTART.plan(&traffic(), &mut rng);
+        assert_eq!(plan.len(), 2, "one spec per node wire: {plan:?}");
+        let nodes: Vec<_> = plan.iter().filter_map(|s| s.channel.node()).collect();
+        assert_eq!(nodes, vec!["w1", "w2"]);
+        for spec in &plan {
+            let InjectionPoint::Crash { from_off, dur_ms } = spec.point else {
+                panic!("expected crash point: {spec:?}");
+            };
+            let (base, dur) = KUBELET_CRASH_WINDOW;
+            assert!(from_off >= base && from_off < base + KUBELET_CRASH_JITTER_MS);
+            assert_eq!(dur_ms, dur);
+        }
+    }
+
+    #[test]
+    fn partition_plans_windows_per_node() {
+        let mut rng = Rng::new(3);
+        let plan = NODE_PARTITION.plan(&traffic(), &mut rng);
+        assert_eq!(plan.len(), 2 * NODE_PARTITION_WINDOWS.len());
+        assert!(plan.iter().all(|s| s.channel.node().is_some()));
+        assert!(plan
+            .iter()
+            .all(|s| matches!(s.point, InjectionPoint::Partition { .. })));
+    }
+
+    #[test]
+    fn per_node_forks_are_independent_of_the_victim_set() {
+        // Removing w1 from the catalogue must not change w2's window —
+        // the per-(family, node) fork contract behind filter stability.
+        let mut full_rng = Rng::new(3);
+        let full = KUBELET_CRASH_RESTART.plan(&traffic(), &mut full_rng);
+        let mut reduced = traffic();
+        reduced.node_kinds.retain(|(c, _, _)| c.node() == Some("w2"));
+        let mut reduced_rng = Rng::new(3);
+        let only_w2 = KUBELET_CRASH_RESTART.plan(&reduced, &mut reduced_rng);
+        assert_eq!(
+            full.iter().filter(|s| s.channel.node() == Some("w2")).collect::<Vec<_>>(),
+            only_w2.iter().collect::<Vec<_>>(),
+            "victim-set changes shifted another node's spec"
+        );
+    }
+
+    #[test]
+    fn planning_is_deterministic_per_seed() {
+        let a = NODE_PARTITION.plan(&traffic(), &mut Rng::new(9));
+        let b = NODE_PARTITION.plan(&traffic(), &mut Rng::new(9));
+        assert_eq!(a, b);
+        let c = NODE_PARTITION.plan(&traffic(), &mut Rng::new(10));
+        assert_ne!(a, c, "jitter must depend on the fork seed");
+    }
+
+    #[test]
+    fn armed_blackout_targets_only_its_node() {
+        let mut rng = Rng::new(3);
+        let plan = KUBELET_CRASH_RESTART.plan(&traffic(), &mut rng);
+        let spec = plan.iter().find(|s| s.channel.node() == Some("w1")).unwrap().clone();
+        let InjectionPoint::Crash { from_off, dur_ms } = spec.point else { unreachable!() };
+        let mut actuator = KUBELET_CRASH_RESTART.arm(&spec, 1_000);
+        let start = 1_000 + from_off;
+
+        let ctx = |node: &str, now| MsgCtx {
+            channel: ChannelId::node_scoped(Channel::KubeletToApi, node),
+            kind: Kind::Node,
+            key: "/registry/nodes/x",
+            op: Op::Update,
+            bytes: None,
+            now,
+        };
+        // Inside the window: w1's wire is dead, w2's is untouched.
+        assert_eq!(actuator.on_message(&ctx("w1", start + 10)), WireVerdict::Drop);
+        assert_eq!(actuator.on_message(&ctx("w2", start + 10)), WireVerdict::Pass);
+        // The blackout lifecycle: silence at open, restart at heal.
+        assert_eq!(
+            actuator.poll_actions(start + 10),
+            vec![WorldAction::SilenceKubelet("w1")]
+        );
+        assert!(actuator.record().is_some(), "window faults fire when the window opens");
+        assert_eq!(
+            actuator.poll_actions(start + dur_ms),
+            vec![WorldAction::RestartKubelet("w1")]
+        );
+        assert!(actuator.poll_actions(start + dur_ms + 500).is_empty());
+        // Healed: the wire passes again.
+        assert_eq!(actuator.on_message(&ctx("w1", start + dur_ms + 10)), WireVerdict::Pass);
+    }
+}

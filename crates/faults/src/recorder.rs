@@ -5,16 +5,27 @@
 //! [`FieldRecorder`] is an [`Interceptor`] that observes (never tampers
 //! with) messages and catalogues every leaf field per (channel, kind),
 //! along with a sample value and per-instance occurrence statistics.
+//!
+//! Recording is two-layered, mirroring the channel taxonomy:
+//!
+//! * the **class filter** (`channels`) selects which traffic is decoded
+//!   into [`RecordedField`]s and class-aggregated kind counts — exactly
+//!   the paper's phase-1 catalogue, unchanged by node identity;
+//! * **node-scoped traffic** (kubelet wires carrying a `@node` identity)
+//!   is *always* catalogued into per-node kind counts, regardless of the
+//!   class filter — node-level fault families need victim nodes even
+//!   when the campaign's field catalogue targets the store wire.
 
-use k8s_model::{Channel, Interceptor, Kind, MsgCtx, Object, WireVerdict};
+use k8s_model::{Channel, ChannelClass, ChannelId, Interceptor, Kind, MsgCtx, Object, WireVerdict};
 use protowire::reflect::{FieldType, Reflect, Value};
 use std::collections::{BTreeMap, HashMap};
 
 /// One recorded field: where it was seen and what it looked like.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecordedField {
-    /// Channel the containing messages travelled on.
-    pub channel: Channel,
+    /// The wire the containing messages travelled on (node-scoped for
+    /// kubelet traffic, class-wide otherwise).
+    pub channel: ChannelId,
     /// Resource kind.
     pub kind: Kind,
     /// Reflection path.
@@ -29,18 +40,69 @@ pub struct RecordedField {
     pub max_occurrence: u32,
 }
 
-/// Records the message fields flowing on selected channels.
+/// Everything phase 1 recorded for one scenario — the input every
+/// [`FaultDef`](crate::FaultDef) plans from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordedTraffic {
+    /// Recorded fields, in stable (channel, kind, path) order.
+    pub fields: Vec<RecordedField>,
+    /// Kinds observed per channel **class** (message counts aggregated
+    /// across nodes) — the historical planning input, so the wire
+    /// triplet and the temporal/infrastructure families plan the same
+    /// specs they always did.
+    pub kinds: Vec<(ChannelId, Kind, u64)>,
+    /// Kinds observed per **node-scoped** wire (kubelet traffic), in
+    /// stable (channel, kind) order — the victim catalogue of the
+    /// node-level families. Unlike [`RecordedTraffic::kinds`], these
+    /// counts include byte-less (delete) and undecodable messages:
+    /// victim discovery only needs evidence that the wire carried
+    /// traffic, not a decoded field catalogue, so the two counts are
+    /// not comparable for identical traffic.
+    pub node_kinds: Vec<(ChannelId, Kind, u64)>,
+}
+
+impl RecordedTraffic {
+    /// The node names with recorded traffic, in stable order.
+    pub fn nodes(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for (ch, _, _) in &self.node_kinds {
+            if let Some(node) = ch.node() {
+                if !out.contains(&node) {
+                    out.push(node);
+                }
+            }
+        }
+        out
+    }
+
+    /// The distinct node-scoped wires of one class, in stable order,
+    /// each paired with the first kind observed on it — the victim
+    /// catalogue the node-level families plan over.
+    pub fn node_wires(&self, class: ChannelClass) -> Vec<(ChannelId, Kind)> {
+        let mut out: Vec<(ChannelId, Kind)> = Vec::new();
+        for (channel, kind, _count) in &self.node_kinds {
+            if channel.class() == class && !out.iter().any(|(c, _)| c == channel) {
+                out.push((*channel, *kind));
+            }
+        }
+        out
+    }
+}
+
+/// Records the message fields flowing on selected channel classes.
 #[derive(Debug)]
 pub struct FieldRecorder {
-    /// Channels to observe.
-    channels: Vec<Channel>,
+    /// Channel classes to catalogue fields on.
+    channels: Vec<ChannelClass>,
     /// Recording is active only at or after this time (the workload
     /// window; setup traffic is not part of the nominal workload).
     from: u64,
-    fields: BTreeMap<(Channel, Kind, String), RecordedField>,
-    instance_counts: HashMap<(Channel, Kind, String), u32>,
-    /// Message drops per (channel, kind) are derived from these.
-    message_counts: BTreeMap<(Channel, Kind), u64>,
+    fields: BTreeMap<(ChannelId, Kind, String), RecordedField>,
+    instance_counts: HashMap<(ChannelId, Kind, String), u32>,
+    /// Message drops per (channel class, kind) are derived from these.
+    message_counts: BTreeMap<(ChannelClass, Kind), u64>,
+    /// Per-node message counts (node-scoped wires only).
+    node_counts: BTreeMap<(ChannelId, Kind), u64>,
 }
 
 impl FieldRecorder {
@@ -52,6 +114,7 @@ impl FieldRecorder {
             fields: BTreeMap::new(),
             instance_counts: HashMap::new(),
             message_counts: BTreeMap::new(),
+            node_counts: BTreeMap::new(),
         }
     }
 
@@ -60,21 +123,46 @@ impl FieldRecorder {
         self.fields.values().cloned().collect()
     }
 
-    /// Kinds observed per channel, with message counts.
-    pub fn kinds_seen(&self) -> Vec<(Channel, Kind, u64)> {
-        self.message_counts.iter().map(|((c, k), n)| (*c, *k, *n)).collect()
+    /// Kinds observed per channel class, with message counts.
+    pub fn kinds_seen(&self) -> Vec<(ChannelId, Kind, u64)> {
+        self.message_counts
+            .iter()
+            .map(|((c, k), n)| (ChannelId::class_wide(*c), *k, *n))
+            .collect()
+    }
+
+    /// Kinds observed per node-scoped wire, with message counts.
+    pub fn node_kinds_seen(&self) -> Vec<(ChannelId, Kind, u64)> {
+        self.node_counts.iter().map(|((c, k), n)| (*c, *k, *n)).collect()
+    }
+
+    /// Everything recorded, bundled for the planners.
+    pub fn traffic(&self) -> RecordedTraffic {
+        RecordedTraffic {
+            fields: self.fields(),
+            kinds: self.kinds_seen(),
+            node_kinds: self.node_kinds_seen(),
+        }
     }
 }
 
 impl Interceptor for FieldRecorder {
     fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict {
-        if ctx.now < self.from || !self.channels.contains(&ctx.channel) {
+        if ctx.now < self.from {
+            return WireVerdict::Pass;
+        }
+        // Node-scoped wires are always catalogued (victim discovery for
+        // node-level families), independent of the class filter below.
+        if ctx.channel.node().is_some() {
+            *self.node_counts.entry((ctx.channel, ctx.kind)).or_insert(0) += 1;
+        }
+        if !self.channels.contains(&ctx.channel.class()) {
             return WireVerdict::Pass;
         }
         let Some(bytes) = ctx.bytes else { return WireVerdict::Pass };
         let Ok(obj) = Object::decode(ctx.kind, bytes) else { return WireVerdict::Pass };
 
-        *self.message_counts.entry((ctx.channel, ctx.kind)).or_insert(0) += 1;
+        *self.message_counts.entry((ctx.channel.class(), ctx.kind)).or_insert(0) += 1;
         let inst = self
             .instance_counts
             .entry((ctx.channel, ctx.kind, ctx.key.to_owned()))
@@ -115,7 +203,7 @@ impl Interceptor for FieldRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use k8s_model::{ObjectMeta, Op, ReplicaSet};
+    use k8s_model::{Node, ObjectMeta, Op, ReplicaSet};
 
     #[test]
     fn records_fields_with_occurrences() {
@@ -127,7 +215,7 @@ mod tests {
 
         for (now, key) in [(50u64, "/a"), (150, "/a"), (200, "/a"), (250, "/b")] {
             let ctx = MsgCtx {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::ReplicaSet,
                 key,
                 op: Op::Update,
@@ -146,7 +234,11 @@ mod tests {
         assert_eq!(replicas.message_count, 3);
         assert_eq!(replicas.max_occurrence, 2); // /a seen twice in-window
         assert_eq!(replicas.sample, Value::Int(2));
-        assert_eq!(rec.kinds_seen(), vec![(Channel::ApiToEtcd, Kind::ReplicaSet, 3)]);
+        assert_eq!(
+            rec.kinds_seen(),
+            vec![(Channel::ApiToEtcd.into(), Kind::ReplicaSet, 3)]
+        );
+        assert!(rec.node_kinds_seen().is_empty());
     }
 
     #[test]
@@ -155,7 +247,7 @@ mod tests {
         let rs = ReplicaSet::default();
         let bytes = Object::ReplicaSet(rs).encode();
         let ctx = MsgCtx {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
             key: "/a",
             op: Op::Create,
@@ -164,5 +256,36 @@ mod tests {
         };
         rec.on_message(&ctx);
         assert!(rec.fields().is_empty());
+    }
+
+    #[test]
+    fn node_scoped_traffic_is_always_catalogued() {
+        // The class filter targets the store wire, but per-node kubelet
+        // traffic still lands in the victim catalogue.
+        let mut rec = FieldRecorder::new(vec![Channel::ApiToEtcd], 0);
+        let bytes = Object::Node(Node::worker("w2", 8_000, 4_096)).encode();
+        for node in ["w2", "w1", "w2"] {
+            let ctx = MsgCtx {
+                channel: ChannelId::node_scoped(Channel::KubeletToApi, node),
+                kind: Kind::Node,
+                key: "/registry/nodes/x",
+                op: Op::Update,
+                bytes: Some(&bytes),
+                now: 10,
+            };
+            rec.on_message(&ctx);
+        }
+        let traffic = rec.traffic();
+        // No fields (class filter excludes kubelet), but node kinds exist.
+        assert!(traffic.fields.is_empty());
+        assert!(traffic.kinds.is_empty());
+        assert_eq!(
+            traffic.node_kinds,
+            vec![
+                (ChannelId::node_scoped(Channel::KubeletToApi, "w1"), Kind::Node, 1),
+                (ChannelId::node_scoped(Channel::KubeletToApi, "w2"), Kind::Node, 2),
+            ]
+        );
+        assert_eq!(traffic.nodes(), vec!["w1", "w2"]);
     }
 }

@@ -22,7 +22,7 @@
 //!   uncontrolled DaemonSet replication kills application pods).
 
 use k8s_apiserver::{ApiServer, TraceHandle};
-use k8s_model::{Channel, Kind, Node, Object, Pod, SYSTEM_NODE_CRITICAL};
+use k8s_model::{Channel, ChannelId, Kind, Node, Object, Pod, SYSTEM_NODE_CRITICAL};
 use simkit::{Rng, TraceLevel};
 use std::collections::BTreeMap;
 
@@ -91,6 +91,10 @@ struct LocalPod {
     /// (corrupted command) — evaluated at admission.
     crashes: bool,
     crash_at: Option<u64>,
+    /// When the container last entered Running — replayed by the status
+    /// resync in case the original Running update was lost on the wire
+    /// (e.g. a node blackout window).
+    started_at: Option<u64>,
     cpu: i64,
     mem: i64,
     priority: i64,
@@ -115,6 +119,10 @@ pub struct KubeletMetrics {
 pub struct Kubelet {
     /// Node this kubelet manages.
     pub node_name: String,
+    /// This kubelet's own wire identity
+    /// (`kubelet->apiserver@<node>`) — every request it sends carries
+    /// it, so node-level faults can target exactly one node.
+    pub channel: ChannelId,
     node_index: u32,
     cpu_capacity: i64,
     mem_capacity: i64,
@@ -158,6 +166,7 @@ impl Kubelet {
     ) -> Kubelet {
         Kubelet {
             node_name: node_name.to_owned(),
+            channel: ChannelId::node_scoped(Channel::KubeletToApi, node_name),
             node_index,
             cpu_capacity: cpu_milli,
             mem_capacity: memory_mb,
@@ -202,7 +211,7 @@ impl Kubelet {
             node.spec.pod_cidr = self.pod_cidr();
             node.status.internal_ip = self.internal_ip();
             node.status.last_heartbeat = now as i64;
-            if api.create(Channel::KubeletToApi, Object::Node(node)).is_ok() {
+            if api.create(self.channel, Object::Node(node)).is_ok() {
                 self.registered = true;
                 self.log(now, TraceLevel::Info, "node registered".to_owned());
             }
@@ -215,7 +224,7 @@ impl Kubelet {
                 let mut node = node.clone();
                 node.status.last_heartbeat = now as i64;
                 node.status.ready = true;
-                let _ = api.update(Channel::KubeletToApi, Object::Node(node));
+                let _ = api.update(self.channel, Object::Node(node));
             }
         }
 
@@ -277,7 +286,7 @@ impl Kubelet {
             rejected.status.phase = "Failed".into();
             rejected.status.reason = "OutOfcpu".into();
             rejected.status.ready = false;
-            let _ = api.update(Channel::KubeletToApi, Object::Pod(rejected));
+            let _ = api.update(self.channel, Object::Pod(rejected));
             self.pods.insert(
                 key.to_owned(),
                 LocalPod {
@@ -286,6 +295,7 @@ impl Kubelet {
                     restart_count: 0,
                     crashes: false,
                     crash_at: None,
+                    started_at: None,
                     cpu: 0,
                     mem: 0,
                     priority: pod.spec.priority,
@@ -312,6 +322,7 @@ impl Kubelet {
             restart_count: pod.status.restart_count,
             crashes: command_crashes,
             crash_at: None,
+            started_at: None,
             cpu,
             mem,
             priority: pod.spec.priority,
@@ -371,7 +382,7 @@ impl Kubelet {
             }
             self.log(now, TraceLevel::Warn, format!("evicting {key} for critical pod"));
             if let Some((ns, name)) = split_pod_key(&key) {
-                let _ = api.delete(Channel::KubeletToApi, Kind::Pod, &ns, &name);
+                let _ = api.delete(self.channel, Kind::Pod, &ns, &name);
             }
             self.pods.remove(&key);
             self.metrics.critical_evictions += 1;
@@ -412,6 +423,7 @@ impl Kubelet {
                     lp.state = PodState::Running;
                     lp.ip = ip.clone();
                     lp.crash_at = crash_at;
+                    lp.started_at = Some(now);
                 }
                 self.metrics.started += 1;
                 if let Some(Object::Pod(pod)) = api.get(Kind::Pod, &ns, &name).as_deref() {
@@ -422,7 +434,7 @@ impl Kubelet {
                     pod.status.start_time = now as i64;
                     pod.status.restart_count = local.restart_count;
                     pod.status.reason.clear();
-                    let _ = api.update(Channel::KubeletToApi, Object::Pod(pod));
+                    let _ = api.update(self.channel, Object::Pod(pod));
                 }
             }
             PodState::Running => {
@@ -451,7 +463,7 @@ impl Kubelet {
                             pod.status.ready = false;
                             pod.status.restart_count = restarts;
                             pod.status.reason = "CrashLoopBackOff".into();
-                            let _ = api.update(Channel::KubeletToApi, Object::Pod(pod));
+                            let _ = api.update(self.channel, Object::Pod(pod));
                         }
                     }
                 }
@@ -472,7 +484,7 @@ impl Kubelet {
         p.status.phase = "Pending".into();
         p.status.ready = false;
         p.status.reason = reason.into();
-        let _ = api.update(Channel::KubeletToApi, Object::Pod(p));
+        let _ = api.update(self.channel, Object::Pod(p));
     }
 
     /// Re-asserts the true status of every local pod, correcting any
@@ -496,16 +508,23 @@ impl Kubelet {
             }
             if let PodState::Running = local.state {
                 let truth_ready = local.crash_at.is_none();
+                let truth_started = local.started_at.map(|t| t as i64);
+                let start_time_diverged =
+                    truth_started.is_some_and(|t| pod.status.start_time != t);
                 if pod.status.pod_ip != local.ip
                     || pod.status.phase != "Running"
                     || pod.status.ready != truth_ready
+                    || start_time_diverged
                 {
                     let mut fixed = pod.clone();
                     fixed.status.phase = "Running".into();
                     fixed.status.ready = truth_ready;
                     fixed.status.pod_ip = local.ip.clone();
                     fixed.status.restart_count = local.restart_count;
-                    if api.update(Channel::KubeletToApi, Object::Pod(fixed)).is_ok() {
+                    if let Some(t) = truth_started {
+                        fixed.status.start_time = t;
+                    }
+                    if api.update(self.channel, Object::Pod(fixed)).is_ok() {
                         self.metrics.status_corrections += 1;
                         self.log(
                             now,
@@ -516,6 +535,42 @@ impl Kubelet {
                 }
             }
         }
+    }
+
+    /// Restarts the kubelet after a blackout: a fresh watch cursor plus a
+    /// full re-list of the pods bound to this node, the node-level
+    /// counterpart of the apiserver's crash-recovery cache rebuild.
+    /// Containers are not restarted — they survive a kubelet restart, as
+    /// on a real node — but local pods deleted from the store while the
+    /// kubelet was dark are dropped, pods bound in the meantime are
+    /// admitted, and the next heartbeat/status resync fires immediately
+    /// (the status replay that repairs divergence accumulated during the
+    /// blackout).
+    pub fn restart(&mut self, api: &mut ApiServer, now: u64) {
+        self.cursor = api.watch_head();
+        let mut bound: BTreeMap<String, Pod> = BTreeMap::new();
+        for obj in api.list(Kind::Pod, None) {
+            if let Object::Pod(pod) = &*obj {
+                if pod.spec.node_name == self.node_name && !pod.metadata.is_terminating() {
+                    let key = k8s_model::registry_key(
+                        Kind::Pod,
+                        &pod.metadata.namespace,
+                        &pod.metadata.name,
+                    );
+                    bound.insert(key, pod.clone());
+                }
+            }
+        }
+        self.pods.retain(|key, _| bound.contains_key(key));
+        for (key, pod) in &bound {
+            if !self.pods.contains_key(key) {
+                self.admit(api, now, key, pod);
+            }
+        }
+        self.healthy = true;
+        self.next_heartbeat = now;
+        self.next_sync = now;
+        self.log(now, TraceLevel::Warn, "kubelet restarted: re-listed bound pods".to_owned());
     }
 
     /// The true IP of a local pod, if it is running (used by the traffic

@@ -6,15 +6,27 @@
 //! messages from other components to the Apiserver (subject to
 //! authentication/validation/admission, so corruption may be rejected).
 //!
+//! The channel taxonomy has two layers:
+//!
+//! * [`ChannelClass`] — the paper's stable five-way split. Table rows, the
+//!   campaign TSV cache, and `MUTINY_*` filters key on its `Display`
+//!   strings, which never change.
+//! * [`ChannelId`] — a concrete wire: a class plus an optional node
+//!   identity. Every kubelet registers its own id
+//!   (`kubelet->apiserver@w1`), so interception, deferred delivery, and
+//!   partitions can target a single node while cluster-wide components
+//!   (kcm, scheduler, the user) keep class-wide ids. The apiserver, the
+//!   fault interceptor, and the audit log route on [`ChannelId`].
+//!
 //! Every serialized write in the simulation flows through an
 //! [`Interceptor`]; Mutiny implements it, and a [`NoopInterceptor`] serves
 //! golden runs.
 
 use crate::Kind;
 
-/// The channel a message travels on.
+/// The stable five-way channel taxonomy of the paper (§IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Channel {
+pub enum ChannelClass {
     /// Apiserver → Etcd transactions (the campaign's primary target).
     ApiToEtcd,
     /// kube-controller-manager → Apiserver requests.
@@ -27,33 +39,158 @@ pub enum Channel {
     UserToApi,
 }
 
-impl Channel {
-    /// All channels in a stable order.
-    pub const ALL: [Channel; 5] = [
-        Channel::ApiToEtcd,
-        Channel::KcmToApi,
-        Channel::SchedulerToApi,
-        Channel::KubeletToApi,
-        Channel::UserToApi,
+/// Back-compat name: most call sites only care about the class.
+pub type Channel = ChannelClass;
+
+impl ChannelClass {
+    /// All channel classes in a stable order.
+    pub const ALL: [ChannelClass; 5] = [
+        ChannelClass::ApiToEtcd,
+        ChannelClass::KcmToApi,
+        ChannelClass::SchedulerToApi,
+        ChannelClass::KubeletToApi,
+        ChannelClass::UserToApi,
     ];
 
-    /// Parses the [`Display`](std::fmt::Display) form back into a channel
+    /// Parses the [`Display`](std::fmt::Display) form back into a class
     /// (the campaign TSV cache round-trips specs through it).
-    pub fn parse(s: &str) -> Option<Channel> {
-        Channel::ALL.into_iter().find(|c| c.to_string() == s)
+    pub fn parse(s: &str) -> Option<ChannelClass> {
+        ChannelClass::ALL.into_iter().find(|c| c.to_string() == s)
+    }
+
+    /// True when wires of this class carry a per-node identity (today:
+    /// one kubelet per node).
+    pub fn per_node(self) -> bool {
+        self == ChannelClass::KubeletToApi
     }
 }
 
-impl std::fmt::Display for Channel {
+impl std::fmt::Display for ChannelClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
-            Channel::ApiToEtcd => "apiserver->etcd",
-            Channel::KcmToApi => "kcm->apiserver",
-            Channel::SchedulerToApi => "scheduler->apiserver",
-            Channel::KubeletToApi => "kubelet->apiserver",
-            Channel::UserToApi => "user->apiserver",
+            ChannelClass::ApiToEtcd => "apiserver->etcd",
+            ChannelClass::KcmToApi => "kcm->apiserver",
+            ChannelClass::SchedulerToApi => "scheduler->apiserver",
+            ChannelClass::KubeletToApi => "kubelet->apiserver",
+            ChannelClass::UserToApi => "user->apiserver",
         };
         f.write_str(s)
+    }
+}
+
+/// An interned node name (node identities live for the program, like
+/// registry handles, so channel ids stay `Copy`).
+pub type NodeName = &'static str;
+
+/// Interns a node name, returning a `'static` handle. The pool is global
+/// and append-only; the node set of any simulation is small and bounded,
+/// so the leak is deliberate (registry-style lifetime).
+pub fn intern_node(name: &str) -> NodeName {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("node name pool poisoned");
+    match pool.get(name) {
+        Some(interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            pool.insert(leaked);
+            leaked
+        }
+    }
+}
+
+/// A concrete wire: a [`ChannelClass`] plus an optional node identity.
+///
+/// `Display` renders class-wide ids exactly like the bare class (so every
+/// pre-existing TSV cache key is unchanged) and node-scoped ids as
+/// `<class>@<node>`; [`ChannelId::parse`] accepts both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId {
+    /// The stable class this wire belongs to.
+    pub class: ChannelClass,
+    /// The node this wire is pinned to, when the class is per-node.
+    pub node: Option<NodeName>,
+}
+
+impl ChannelId {
+    /// A class-wide id (no node identity).
+    pub const fn class_wide(class: ChannelClass) -> ChannelId {
+        ChannelId { class, node: None }
+    }
+
+    /// A node-scoped id (the node name is interned).
+    pub fn node_scoped(class: ChannelClass, node: &str) -> ChannelId {
+        ChannelId { class, node: Some(intern_node(node)) }
+    }
+
+    /// The stable class of this wire.
+    pub fn class(self) -> ChannelClass {
+        self.class
+    }
+
+    /// The node identity, when this wire is node-scoped.
+    pub fn node(self) -> Option<NodeName> {
+        self.node
+    }
+
+    /// True when `observed` travels on a wire this id targets: the class
+    /// must agree, and a node-scoped id additionally pins the node (a
+    /// class-wide id matches every node's wire). This is the routing
+    /// predicate of the fault interceptor — distinct from `==`, which is
+    /// exact identity.
+    pub fn matches(self, observed: ChannelId) -> bool {
+        self.class == observed.class && (self.node.is_none() || self.node == observed.node)
+    }
+
+    /// Parses the `Display` form: `kubelet->apiserver` (class-wide, the
+    /// historical cache format) or `kubelet->apiserver@w1` (node-scoped).
+    /// A `@node` suffix is only valid on a [per-node
+    /// class](ChannelClass::per_node) — a corrupted cache row like
+    /// `apiserver->etcd@w1` is a parse failure, not a wire that can
+    /// never match traffic (and no garbage suffix reaches the
+    /// program-lifetime intern pool).
+    pub fn parse(s: &str) -> Option<ChannelId> {
+        match s.split_once('@') {
+            Some((class, node)) if !node.is_empty() => {
+                let class = ChannelClass::parse(class)?;
+                class.per_node().then(|| ChannelId::node_scoped(class, node))
+            }
+            Some(_) => None,
+            None => Some(ChannelId::class_wide(ChannelClass::parse(s)?)),
+        }
+    }
+}
+
+impl From<ChannelClass> for ChannelId {
+    fn from(class: ChannelClass) -> ChannelId {
+        ChannelId::class_wide(class)
+    }
+}
+
+/// Class-only comparison: `id == ChannelClass::UserToApi` asks "is this a
+/// user-channel wire?" regardless of node identity.
+impl PartialEq<ChannelClass> for ChannelId {
+    fn eq(&self, other: &ChannelClass) -> bool {
+        self.class == *other
+    }
+}
+
+impl PartialEq<ChannelId> for ChannelClass {
+    fn eq(&self, other: &ChannelId) -> bool {
+        *self == other.class
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.node {
+            Some(node) => write!(f, "{}@{}", self.class, node),
+            None => self.class.fmt(f),
+        }
     }
 }
 
@@ -82,8 +219,9 @@ impl std::fmt::Display for Op {
 /// Context handed to the interceptor for every serialized message.
 #[derive(Debug)]
 pub struct MsgCtx<'a> {
-    /// Channel the message travels on.
-    pub channel: Channel,
+    /// The concrete wire the message travels on (class plus optional
+    /// node identity).
+    pub channel: ChannelId,
     /// Resource kind the message concerns.
     pub kind: Kind,
     /// Registry key of the resource instance.
@@ -142,7 +280,7 @@ mod tests {
     fn noop_always_passes() {
         let mut n = NoopInterceptor;
         let ctx = MsgCtx {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind: Kind::Pod,
             key: "/registry/pods/default/p",
             op: Op::Create,
@@ -158,6 +296,67 @@ mod tests {
         for c in Channel::ALL {
             assert!(seen.insert(c.to_string()));
         }
+    }
+
+    #[test]
+    fn class_display_and_parse_are_stable() {
+        // The TSV cache and the tables key on these exact strings.
+        for (class, expect) in [
+            (ChannelClass::ApiToEtcd, "apiserver->etcd"),
+            (ChannelClass::KcmToApi, "kcm->apiserver"),
+            (ChannelClass::SchedulerToApi, "scheduler->apiserver"),
+            (ChannelClass::KubeletToApi, "kubelet->apiserver"),
+            (ChannelClass::UserToApi, "user->apiserver"),
+        ] {
+            assert_eq!(class.to_string(), expect);
+            assert_eq!(ChannelClass::parse(expect), Some(class));
+        }
+    }
+
+    #[test]
+    fn channel_id_display_parse_roundtrip() {
+        let wide = ChannelId::class_wide(ChannelClass::KubeletToApi);
+        assert_eq!(wide.to_string(), "kubelet->apiserver");
+        assert_eq!(ChannelId::parse("kubelet->apiserver"), Some(wide));
+
+        let scoped = ChannelId::node_scoped(ChannelClass::KubeletToApi, "w3");
+        assert_eq!(scoped.to_string(), "kubelet->apiserver@w3");
+        assert_eq!(ChannelId::parse("kubelet->apiserver@w3"), Some(scoped));
+
+        assert_eq!(ChannelId::parse("kubelet->apiserver@"), None);
+        assert_eq!(ChannelId::parse("no-such-channel"), None);
+        assert_eq!(ChannelId::parse("no-such-channel@w1"), None);
+        // A node suffix on a class that is never per-node is corruption.
+        assert_eq!(ChannelId::parse("apiserver->etcd@w1"), None);
+        assert_eq!(ChannelId::parse("kcm->apiserver@w1"), None);
+    }
+
+    #[test]
+    fn matching_is_class_wide_unless_node_scoped() {
+        let wide: ChannelId = ChannelClass::KubeletToApi.into();
+        let w1 = ChannelId::node_scoped(ChannelClass::KubeletToApi, "w1");
+        let w2 = ChannelId::node_scoped(ChannelClass::KubeletToApi, "w2");
+        // A class-wide target matches every node's wire.
+        assert!(wide.matches(w1));
+        assert!(wide.matches(w2));
+        assert!(wide.matches(wide));
+        // A node-scoped target pins its node.
+        assert!(w1.matches(w1));
+        assert!(!w1.matches(w2));
+        assert!(!w1.matches(wide));
+        // Classes never cross-match.
+        assert!(!wide.matches(ChannelClass::KcmToApi.into()));
+        // Class-only equality ignores the node, exact equality does not.
+        assert_eq!(w1, ChannelClass::KubeletToApi);
+        assert_ne!(w1, w2);
+        assert_ne!(w1, wide);
+    }
+
+    #[test]
+    fn interned_nodes_are_pointer_stable() {
+        let a = intern_node("w1");
+        let b = intern_node(&format!("w{}", 1));
+        assert!(std::ptr::eq(a, b), "same name must intern to the same handle");
     }
 
     #[test]

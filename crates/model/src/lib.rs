@@ -41,7 +41,10 @@ pub mod validate;
 pub mod workloads;
 
 pub use autoscale::{HorizontalPodAutoscaler, HpaSpec, HpaStatus};
-pub use channel::{Channel, Interceptor, MsgCtx, NoopInterceptor, Op, WireVerdict};
+pub use channel::{
+    intern_node, Channel, ChannelClass, ChannelId, Interceptor, MsgCtx, NodeName,
+    NoopInterceptor, Op, WireVerdict,
+};
 pub use meta::{ObjectMeta, OwnerReference};
 pub use misc::{ConfigMap, Lease, LeaseSpec, Namespace};
 pub use node::{Node, NodeSpec, NodeStatus, Taint};

@@ -20,7 +20,7 @@ fn run(label: &str, corrupt_metric: bool) {
     let mutiny = Rc::new(RefCell::new(if corrupt_metric {
         Mutiny::armed_from(
             InjectionSpec {
-                channel: Channel::ApiToEtcd,
+                channel: Channel::ApiToEtcd.into(),
                 kind: Kind::ConfigMap,
                 point: InjectionPoint::Field {
                     path: "data['default/web-1-svc']".into(),

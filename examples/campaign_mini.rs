@@ -18,13 +18,17 @@ fn main() {
     let cluster = ClusterConfig::default();
 
     println!("phase 1 — recording fields during a nominal deploy workload…");
-    let (fields, kinds) =
-        camp::record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 5);
-    println!("  recorded {} fields across {} kinds", fields.len(), kinds.len());
+    let traffic = camp::record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 5);
+    println!(
+        "  recorded {} fields across {} kinds ({} node wires)",
+        traffic.fields.len(),
+        traffic.kinds.len(),
+        traffic.nodes().len()
+    );
 
     println!("phase 2 — generating the injection plan (§IV-C rules)…");
     let mut rng = simkit::Rng::new(9);
-    let plan = camp::generate_plan(&fields, &kinds, DEPLOY, &mut rng);
+    let plan = camp::generate_plan(&traffic, DEPLOY, &mut rng);
     let keep = (plan.len() / budget.max(1)).max(1);
     let sub: Vec<_> =
         plan.iter().enumerate().filter(|(i, _)| i % keep == 0).map(|(_, p)| p.clone()).collect();

@@ -25,7 +25,7 @@ use mutiny_lab::prelude::*;
 
 fn storm_spec(occurrence: u32) -> InjectionSpec {
     InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind: Kind::ReplicaSet,
         point: InjectionPoint::Field {
             path: "spec.template.metadata.labels['app']".into(),

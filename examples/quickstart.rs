@@ -17,7 +17,7 @@ fn main() {
     // replica count is flipped in the apiserver→etcd transaction
     // (2 → 18), after validation already passed.
     let spec = InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind: Kind::Deployment,
         point: InjectionPoint::Field {
             path: "spec.replicas".into(),

@@ -13,7 +13,7 @@ use mutiny_lab::prelude::*;
 
 fn main() {
     let spec = InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind: Kind::ReplicaSet,
         point: InjectionPoint::Field {
             path: "spec.template.metadata.labels['app']".into(),

@@ -15,6 +15,10 @@
 # 4. Run one partition-fault-only slice to smoke the MUTINY_FAULTS
 #    filter, the fault-keyed cache identity, and the window-fault
 #    actuation path end to end.
+# 5. Run one kubelet-crash-restart-only slice to smoke the node-level
+#    fault path: per-node channel identity, victim planning from the
+#    per-node traffic catalogue, and the blackout world actions
+#    (silence + restart) end to end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,6 +43,12 @@ echo "== smoke campaign, partition-fault slice (MUTINY_SCALE=0.02) =="
 MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
 MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
 MUTINY_FAULTS=partition \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
+
+echo "== smoke campaign, kubelet-crash-restart slice (MUTINY_SCALE=0.02) =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_FAULTS=kubelet-crash-restart \
 cargo bench -q -p mutiny-bench --bench table4_of_stats
 
 echo "== verify OK =="

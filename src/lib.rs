@@ -26,8 +26,10 @@
 //!   workloads plus rolling-update, node-drain and hpa-autoscale, with
 //!   SimKube-style virtual-node topology scaling;
 //! * [`faults`] — the pluggable fault engine: the paper's wire triplet
-//!   (bit-flip / value-set / drop) plus temporal (delay, duplicate) and
-//!   infrastructure (partition, crash-restart) fault families;
+//!   (bit-flip / value-set / drop) plus temporal (delay, duplicate),
+//!   infrastructure (partition, crash-restart) and node-level
+//!   (kubelet-crash-restart, node-partition) fault families, the latter
+//!   routed on per-node channel identity (`kubelet->apiserver@w1`);
 //! * [`mutiny`] — the paper's contribution: the injector, the
 //!   campaign manager, the failure classifiers, the FFDA dataset and the
 //!   findings analyses.
@@ -68,18 +70,18 @@ pub use simkit;
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use k8s_cluster::{ClusterConfig, MitigationsConfig, Topology, UserOp, World};
-    pub use k8s_model::{Channel, Kind, Object};
+    pub use k8s_model::{Channel, ChannelClass, ChannelId, Kind, Object};
     pub use mutiny_scenarios::{
         registry, Scenario, ScenarioDef, DEPLOY, FAILOVER, HPA_AUTOSCALE, NODE_DRAIN,
         ROLLING_UPDATE, SCALE_UP,
     };
     pub use mutiny_faults::{
         registry as fault_registry, ArmedFault, Fault, FaultDef, BIT_FLIP, CRASH_RESTART, DELAY,
-        DROP, DUPLICATE, PARTITION, VALUE_SET,
+        DROP, DUPLICATE, KUBELET_CRASH_RESTART, NODE_PARTITION, PARTITION, VALUE_SET,
     };
     pub use mutiny_core::campaign::{
-        plan_campaign, run_experiment, run_experiment_with_baseline, ExperimentConfig,
-        ExperimentOutcome,
+        plan_campaign, record_fields, run_experiment, run_experiment_with_baseline, run_world,
+        ExperimentConfig, ExperimentOutcome,
     };
     pub use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
     pub use mutiny_core::injector::{

@@ -3,7 +3,9 @@
 //! must be identical to a serial run for any worker count and for either
 //! executor (shared-index stealing or the legacy static chunks). The
 //! same holds for every scenario in the registry — the rolling-update
-//! and node-drain additions are pinned here explicitly.
+//! and node-drain additions are pinned here explicitly — and for every
+//! fault family, including the node-level families routed on per-node
+//! channel identity.
 
 use k8s_cluster::ClusterConfig;
 use k8s_model::Channel;
@@ -13,16 +15,18 @@ use mutiny_core::campaign::{
 };
 use mutiny_core::golden::build_baseline_with_threads;
 use mutiny_core::Scenario;
-use mutiny_faults::{CRASH_RESTART, DELAY, DUPLICATE, PARTITION};
+use mutiny_faults::{
+    CRASH_RESTART, DELAY, DUPLICATE, KUBELET_CRASH_RESTART, NODE_PARTITION, PARTITION,
+};
 use mutiny_scenarios::{DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
 use simkit::Rng;
 use std::collections::HashMap;
 
 /// A small but fault-diverse slice of a scenario's real plan.
 fn small_plan(cluster: &ClusterConfig, scenario: Scenario) -> Vec<PlannedExperiment> {
-    let (fields, kinds) = record_fields(cluster, scenario, vec![Channel::ApiToEtcd], 42);
+    let traffic = record_fields(cluster, scenario, vec![Channel::ApiToEtcd], 42);
     let mut rng = Rng::new(7);
-    let full = generate_plan(&fields, &kinds, scenario, &mut rng);
+    let full = generate_plan(&traffic, scenario, &mut rng);
     // Stride widely so the slice spans field mutations, proto-byte flips
     // and drops while staying cheap enough for CI.
     let stride = (full.len() / 6).max(1);
@@ -103,10 +107,10 @@ fn new_fault_families_deterministic_across_thread_counts() {
     // workers. Crash-restart is the hardest case — its heal action
     // restarts the apiserver mid-run — so it is pinned here explicitly.
     let cluster = ClusterConfig::default();
-    let (fields, kinds) = record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
+    let traffic = record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
     let families = [DELAY, DUPLICATE, PARTITION, CRASH_RESTART];
     let mut rng = Rng::new(7);
-    let full = plan_campaign(&fields, &kinds, DEPLOY, &families, &mut rng);
+    let full = plan_campaign(&traffic, DEPLOY, &families, &mut rng);
     // Two specs per family keeps the gauntlet cheap but window-diverse.
     let mut plan: Vec<PlannedExperiment> = Vec::new();
     for family in families {
@@ -131,21 +135,72 @@ fn new_fault_families_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn node_level_families_tsv_byte_identical_across_thread_counts() {
+    // The node-level families are the hardest determinism case yet: a
+    // kubelet blackout silences and restarts one node's kubelet mid-run
+    // through out-of-band world actions, and a node partition drops one
+    // node's wire. Rows — and the rendered TSV, node-scoped channel
+    // column included — must be byte-identical at 1, 2 and 5 workers.
+    let cluster = ClusterConfig::default();
+    let traffic = record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
+    assert!(
+        traffic.nodes().len() >= 5,
+        "per-node wires missing from recorded traffic: {:?}",
+        traffic.nodes()
+    );
+    let families = [KUBELET_CRASH_RESTART, NODE_PARTITION];
+    let mut rng = Rng::new(7);
+    let full = plan_campaign(&traffic, DEPLOY, &families, &mut rng);
+    // Two specs per family: one blackout and one partition window each,
+    // on different victim nodes.
+    let mut plan: Vec<PlannedExperiment> = Vec::new();
+    for family in families {
+        let of_family: Vec<&PlannedExperiment> =
+            full.iter().filter(|p| p.fault == family).collect();
+        assert!(of_family.len() >= 2, "{family} planned too few specs");
+        plan.push(of_family[0].clone());
+        plan.push(of_family[of_family.len() - 1].clone());
+    }
+    assert!(plan.iter().all(|p| p.spec.channel.node().is_some()), "{plan:?}");
+
+    let mut baselines = HashMap::new();
+    baselines.insert(DEPLOY, build_baseline_with_threads(&cluster, DEPLOY, 4, 0xBA5E, 1));
+    let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
+    let serial_tsv = mutiny_bench::render_rows(&serial);
+    assert_eq!(serial_tsv.lines().count(), plan.len());
+    // Node-scoped wires reach the TSV channel column as `class@node`.
+    assert!(
+        serial_tsv.contains("kubelet->apiserver@"),
+        "node column missing from TSV: {serial_tsv}"
+    );
+    // Window faults fire with or without traffic.
+    assert!(serial.rows.iter().all(|r| r.fired), "node-level window faults must fire");
+    for threads in [2usize, 5] {
+        let parallel = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+        assert_eq!(
+            serial_tsv,
+            mutiny_bench::render_rows(&parallel),
+            "node-level families diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn cross_product_tsv_byte_identical_across_thread_counts() {
-    // The acceptance gate: a campaign over {5 scenarios} × {≥7 fault
+    // The acceptance gate: a campaign over {5 scenarios} × {≥9 fault
     // families} produces byte-identical TSV rows at 1, 2 and 5 workers.
     // One spec per (scenario, family) keeps it tractable for CI.
     let cluster = ClusterConfig::default();
     let scenarios = [DEPLOY, SCALE_UP, FAILOVER, ROLLING_UPDATE, NODE_DRAIN];
     let families = mutiny_faults::registry::all();
-    assert!(families.len() >= 7);
+    assert!(families.len() >= 9);
 
     let mut rng = Rng::new(11);
     let mut plan: Vec<PlannedExperiment> = Vec::new();
     let mut baselines = HashMap::new();
     for sc in scenarios {
-        let (fields, kinds) = record_fields(&cluster, sc, vec![Channel::ApiToEtcd], 42);
-        let full = plan_campaign(&fields, &kinds, sc, &families, &mut rng);
+        let traffic = record_fields(&cluster, sc, vec![Channel::ApiToEtcd], 42);
+        let full = plan_campaign(&traffic, sc, &families, &mut rng);
         for family in &families {
             if let Some(p) = full.iter().find(|p| p.fault == *family) {
                 plan.push(p.clone());
@@ -153,7 +208,7 @@ fn cross_product_tsv_byte_identical_across_thread_counts() {
         }
         baselines.insert(sc, build_baseline_with_threads(&cluster, sc, 4, 0xBA5E, 1));
     }
-    assert!(plan.len() >= 5 * 7, "cross-product too small: {}", plan.len());
+    assert!(plan.len() >= 5 * 9, "cross-product too small: {}", plan.len());
 
     let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
     let serial_tsv = mutiny_bench::render_rows(&serial);

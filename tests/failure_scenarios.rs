@@ -20,7 +20,7 @@ fn run(spec: InjectionSpec, seed: u64) -> ExperimentOutcome {
 
 fn field(kind: Kind, path: &str, mutation: FieldMutation, occurrence: u32) -> InjectionSpec {
     InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind,
         point: InjectionPoint::Field { path: path.into(), mutation },
         occurrence,
@@ -120,7 +120,7 @@ fn message_drops_match_paper_outcomes() {
         (Kind::ReplicaSet, 33, &[OrchestratorFailure::No, OrchestratorFailure::Tim][..]),
     ] {
         let spec = InjectionSpec {
-            channel: Channel::ApiToEtcd,
+            channel: Channel::ApiToEtcd.into(),
             kind,
             point: InjectionPoint::Drop,
             occurrence: 1,
@@ -176,6 +176,123 @@ fn service_selector_corruption_breaks_networking() {
     let (cf, _) = mutiny_core::classify::classify_client(&world.stats, baseline());
     assert_eq!(cf, ClientFailure::Su, "client must lose the service");
     assert_eq!(of, OrchestratorFailure::Net, "replicas right, networking wrong");
+}
+
+#[test]
+fn kubelet_blackout_reschedules_victim_pods_on_surviving_nodes() {
+    // The availability-manager recovery path (arXiv:1901.04946), end to
+    // end: a single-node kubelet blackout lapses the node's heartbeats,
+    // the node-lifecycle controller marks it NotReady and evicts its
+    // pods, the scheduler re-places them on surviving nodes, and the
+    // restarted kubelet heals the node — so the run ends with the
+    // victim's pods rescheduled and Ready elsewhere and the node back.
+    let cluster = ClusterConfig::default();
+    let seed = 4242;
+
+    // Phase 1: plan the family from recorded traffic, exactly like the
+    // campaign does — one blackout spec per node wire.
+    let traffic = record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
+    let mut rng = simkit::Rng::new(7);
+    let plan = KUBELET_CRASH_RESTART.plan(&traffic, &mut rng);
+    assert!(plan.len() >= 4, "one blackout per node wire: {plan:?}");
+
+    // The deterministic golden twin (same seed) shows where the app pods
+    // sit when the blackout opens; pick the node hosting the most app
+    // pods as the victim, so the eviction path is guaranteed to carry
+    // real workload.
+    let (mut golden, _) = run_world(&ExperimentConfig::golden(DEPLOY, seed));
+    let victim_of = |spec: &InjectionSpec| spec.channel.node().expect("node-scoped spec");
+    let pods_on = |world: &mut World, node: &str| {
+        let mut keys = Vec::new();
+        world.api.for_each(Kind::Pod, Some("default"), |obj| {
+            if let Object::Pod(p) = obj {
+                if p.metadata.name.starts_with("web-") && p.spec.node_name == node {
+                    keys.push(p.metadata.name.clone());
+                }
+            }
+        });
+        keys
+    };
+    let golden_ready = ready_web_pods(&mut golden);
+    let spec = plan
+        .iter()
+        .max_by_key(|s| pods_on(&mut golden, victim_of(s)).len())
+        .expect("non-empty plan")
+        .clone();
+    let victim = victim_of(&spec);
+    let victim_pods = pods_on(&mut golden, victim);
+    assert!(!victim_pods.is_empty(), "victim node {victim} must host app pods");
+    let InjectionPoint::Crash { from_off, dur_ms } = spec.point else {
+        panic!("expected a crash window: {spec:?}");
+    };
+
+    let cfg = ExperimentConfig::injected_fault(
+        DEPLOY,
+        seed,
+        ArmedFault::new(KUBELET_CRASH_RESTART, spec.clone()),
+    );
+    let (mut world, record) = run_world(&cfg);
+    let blackout_open = world.t0() + from_off;
+    assert!(record.is_some(), "the blackout window must fire");
+
+    // The node lease expired mid-run (NotReady observed), then healed.
+    assert!(
+        world.stats.samples.iter().any(|s| s.nodes_not_ready >= 1),
+        "victim node never went NotReady"
+    );
+    assert_eq!(
+        world.stats.samples.last().map(|s| s.nodes_not_ready),
+        Some(0),
+        "restarted kubelet must heal the node by the end of the run"
+    );
+
+    // The node-lifecycle controller evicted the dark node's pods.
+    assert!(world.kcm.metrics.pods_evicted > 0, "node-lifecycle controller never evicted");
+    assert!(world.stats.app_pods_deleted > 0, "no application pod was deleted");
+
+    // Replacements created in the eviction epoch (node already NotReady,
+    // wire still dark) were re-placed on surviving nodes and came up
+    // Ready — the paper's availability-manager recovery path.
+    let eviction_epoch = blackout_open + cluster.kcm.node_grace_ms;
+    let heal = blackout_open + dur_ms;
+    let mut replacements_ready = 0;
+    world.api.for_each(Kind::Pod, Some("default"), |obj| {
+        if let Object::Pod(p) = obj {
+            let created = p.metadata.creation_timestamp.max(0) as u64;
+            if p.metadata.name.starts_with("web-")
+                && (eviction_epoch..heal).contains(&created)
+                && p.is_ready()
+            {
+                assert_ne!(
+                    p.spec.node_name, victim,
+                    "replacement {} ran on the dark node",
+                    p.metadata.name
+                );
+                replacements_ready += 1;
+            }
+        }
+    });
+    assert!(replacements_ready >= 1, "no rescheduled pod became Ready on a surviving node");
+
+    // Recovery is complete: the service is back to golden strength.
+    assert_eq!(
+        ready_web_pods(&mut world),
+        golden_ready,
+        "ready capacity must return to the golden level"
+    );
+}
+
+/// Ready application pods, for golden-vs-recovered comparisons.
+fn ready_web_pods(world: &mut World) -> usize {
+    let mut n = 0;
+    world.api.for_each(Kind::Pod, Some("default"), |obj| {
+        if let Object::Pod(p) = obj {
+            if p.metadata.name.starts_with("web-") && p.is_ready() {
+                n += 1;
+            }
+        }
+    });
+    n
 }
 
 #[test]

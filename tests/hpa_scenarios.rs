@@ -82,7 +82,7 @@ fn inflated_metric_overprovisions_the_service() {
     // metrics publish overwrites the corruption — the paper's overwrite
     // recovery — but the cooldown keeps the overprovisioning around.
     let spec = InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind: Kind::ConfigMap,
         point: InjectionPoint::Field {
             path: "data['default/web-1-svc']".into(),
@@ -108,7 +108,7 @@ fn zeroed_target_load_pins_the_service_to_minimum() {
     // user-channel validation would have rejected the value — the store
     // channel bypasses it (Table VI).
     let spec = InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind: Kind::HorizontalPodAutoscaler,
         point: InjectionPoint::Field {
             path: "spec.targetLoadPerReplica".into(),

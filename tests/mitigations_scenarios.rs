@@ -20,7 +20,7 @@ fn plain_baseline() -> &'static mutiny_core::Baseline {
 /// pod-template label of a ReplicaSet, post-validation.
 fn storm_spec() -> InjectionSpec {
     InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind: Kind::ReplicaSet,
         point: InjectionPoint::Field {
             path: "spec.template.metadata.labels['app']".into(),
@@ -229,7 +229,7 @@ fn defenses_do_not_change_clean_experiment_outcomes() {
     // A benign injection (absorbed by overwrite recovery) must classify
     // identically with and without defenses.
     let spec = InjectionSpec {
-        channel: Channel::ApiToEtcd,
+        channel: Channel::ApiToEtcd.into(),
         kind: Kind::ReplicaSet,
         point: InjectionPoint::Field {
             path: "spec.replicas".into(),

@@ -2,7 +2,7 @@
 //! store, and the injector — the surfaces a corruption campaign leans on
 //! hardest.
 
-use k8s_model::{Container, Kind, Object, ObjectMeta, Pod, ReplicaSet};
+use k8s_model::{ChannelClass, ChannelId, Container, Kind, Object, ObjectMeta, Pod, ReplicaSet};
 use proptest::prelude::*;
 use protowire::reflect::{Reflect, Value};
 use protowire::Message;
@@ -49,6 +49,44 @@ prop_compose! {
         p.status.ready = ready;
         p.status.restart_count = restart_count;
         p
+    }
+}
+
+fn arb_channel_class() -> impl Strategy<Value = ChannelClass> {
+    any::<u64>().prop_map(|i| ChannelClass::ALL[(i % ChannelClass::ALL.len() as u64) as usize])
+}
+
+fn arb_channel_id() -> impl Strategy<Value = ChannelId> {
+    (arb_channel_class(), proptest::option::of(arb_name())).prop_map(|(class, node)| {
+        // A node identity is only valid on a per-node class; `parse`
+        // rejects `@node` suffixes elsewhere by design.
+        match node {
+            Some(node) if class.per_node() => ChannelId::node_scoped(class, &node),
+            _ => ChannelId::class_wide(class),
+        }
+    })
+}
+
+proptest! {
+    /// `ChannelClass` Display ↔ parse is the identity — the campaign TSV
+    /// cache and every `MUTINY_*` filter key on these strings.
+    #[test]
+    fn channel_class_display_parse_roundtrip(class in arb_channel_class()) {
+        prop_assert_eq!(ChannelClass::parse(&class.to_string()), Some(class));
+    }
+
+    /// `ChannelId` Display ↔ parse is the identity for class-wide ids
+    /// (the historical cache format, no `@node` suffix) and node-scoped
+    /// ids alike, for any valid node name.
+    #[test]
+    fn channel_id_display_parse_roundtrip(id in arb_channel_id()) {
+        let rendered = id.to_string();
+        // Class-wide ids render exactly like the bare class, so every
+        // pre-node TSV cache key is unchanged.
+        if id.node().is_none() {
+            prop_assert_eq!(&rendered, &id.class().to_string());
+        }
+        prop_assert_eq!(ChannelId::parse(&rendered), Some(id));
     }
 }
 
