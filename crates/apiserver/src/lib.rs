@@ -41,15 +41,60 @@ pub use policy::{
     AdmissionPolicy, IntegrityAction, IntegrityChecker, IntegrityMetrics, PolicyCtx,
 };
 
-use etcd_sim::{Etcd, EtcdError};
+use etcd_sim::{Bytes, Etcd, EtcdError};
 use k8s_model::{
-    registry_key, registry_prefix, Channel, ChannelId, Interceptor, Kind, MsgCtx, Object, Op,
-    WireVerdict,
+    registry_key, registry_key_into, registry_prefix_into, Channel, ChannelId, Interceptor, Kind,
+    MsgCtx, Object, Op, WireVerdict,
 };
 use simkit::{Trace, TraceLevel};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide decode-cache hit counter (every apiserver instance feeds
+/// it, so campaign workers aggregate without plumbing).
+static DECODE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide decode-cache miss counter (syncs that had to decode while
+/// the cache was enabled).
+static DECODE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative decode-cache `(hits, misses)` across every apiserver in the
+/// process — the campaign-throughput bench reports the hit rate from this.
+pub fn decode_cache_stats() -> (u64, u64) {
+    (DECODE_CACHE_HITS.load(Ordering::Relaxed), DECODE_CACHE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Resets the process-wide decode-cache counters (bench setup).
+pub fn reset_decode_cache_stats() {
+    DECODE_CACHE_HITS.store(0, Ordering::Relaxed);
+    DECODE_CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// True unless `MUTINY_DECODE_CACHE=0` disables the revision-keyed decode
+/// cache (the determinism tests diff both modes byte-for-byte).
+fn decode_cache_enabled() -> bool {
+    std::env::var("MUTINY_DECODE_CACHE").map(|v| v != "0").unwrap_or(true)
+}
+
+thread_local! {
+    /// Per-thread scratch for registry-key probes: `get`/`list`/`count`
+    /// look keys up far more often than they store them, so the key is
+    /// formatted into this reusable buffer instead of a fresh `String`.
+    static KEY_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Runs `f` with the thread's key-scratch buffer. The buffer is *moved*
+/// out of the thread-local for the duration of `f` (and put back after),
+/// so the `RefCell` borrow never spans caller code — re-entrant use
+/// (e.g. a `for_each` callback reading a second apiserver on the same
+/// thread) just pays one fresh allocation instead of panicking.
+fn with_key_scratch<R>(f: impl FnOnce(&mut String) -> R) -> R {
+    let mut buf = KEY_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    let out = f(&mut buf);
+    KEY_SCRATCH.with(|s| *s.borrow_mut() = buf);
+    out
+}
 
 /// Errors returned to API clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,8 +167,9 @@ enum Deferred {
     Put {
         /// Registry key.
         key: String,
-        /// Encoded object bytes.
-        bytes: Vec<u8>,
+        /// Encoded object bytes (shared — holding a delayed message is a
+        /// refcount bump on the encode-time buffer, not a copy).
+        bytes: Bytes,
     },
     /// A component→apiserver request: replays through the full request
     /// pipeline on delivery (without re-crossing the incoming wire).
@@ -138,8 +184,9 @@ enum Deferred {
         ns: String,
         /// URL name.
         name: String,
-        /// Encoded payload (`None` for deletes).
-        bytes: Option<Vec<u8>>,
+        /// Encoded payload (`None` for deletes), shared with the encode-
+        /// time buffer.
+        bytes: Option<Bytes>,
     },
 }
 
@@ -160,6 +207,21 @@ pub struct ApiServer {
     /// Decoded watch cache. Objects are shared (`Rc`): list/get/watch
     /// readers receive refcount bumps, never deep clones.
     cache: HashMap<String, Rc<Object>>,
+    /// Revision-keyed decode cache: the write path already *has* the
+    /// decoded object it commits, so it remembers `(store bytes, object)`
+    /// per committed revision, and the watch-cache drain reuses the
+    /// object when the event's bytes are `Arc::ptr_eq` with the
+    /// remembered buffer. A fault that replaces/corrupts the bytes
+    /// allocates a fresh buffer, so pointer equality can never serve a
+    /// stale decode of mutated bytes — corrupt deliveries always decode
+    /// fresh. Entries are pruned as soon as their revision is drained.
+    decode_cache: HashMap<u64, (Bytes, Rc<Object>)>,
+    /// False when `MUTINY_DECODE_CACHE=0` forces every sync to decode.
+    decode_cache_on: bool,
+    /// Syncs served from the decode cache (this instance).
+    pub decode_cache_hits: u64,
+    /// Syncs that decoded while the cache was enabled (this instance).
+    pub decode_cache_misses: u64,
     /// Decoded event log served to watchers.
     events: std::collections::VecDeque<ResourceEvent>,
     first_event_index: u64,
@@ -223,6 +285,10 @@ impl ApiServer {
             trace,
             audit: AuditLog::default(),
             cache: HashMap::new(),
+            decode_cache: HashMap::new(),
+            decode_cache_on: decode_cache_enabled(),
+            decode_cache_hits: 0,
+            decode_cache_misses: 0,
             events: std::collections::VecDeque::new(),
             first_event_index: 0,
             etcd_seen_rev,
@@ -287,14 +353,14 @@ impl ApiServer {
     /// Verifies a decoded object against the installed integrity checker
     /// and applies the configured action on failure. Returns the (shared)
     /// object to serve (`None` when it was discarded or withheld).
-    fn check_integrity(&mut self, key: &str, obj: Object) -> Option<Rc<Object>> {
-        let Some(checker) = self.integrity.clone() else { return Some(Rc::new(obj)) };
+    fn check_integrity(&mut self, key: &str, obj: Rc<Object>) -> Option<Rc<Object>> {
+        let Some(checker) = self.integrity.clone() else { return Some(obj) };
         if checker.verify(&obj) {
-            return Some(Rc::new(obj));
+            return Some(obj);
         }
         self.integrity_metrics.violations += 1;
         match checker.action() {
-            IntegrityAction::Observe => Some(Rc::new(obj)),
+            IntegrityAction::Observe => Some(obj),
             IntegrityAction::Discard => {
                 self.integrity_metrics.discarded += 1;
                 self.log(
@@ -316,7 +382,10 @@ impl ApiServer {
                     );
                     // Rewrite the last good bytes to the store; the repair
                     // transaction is internal and bypasses the interceptor.
-                    let _ = self.etcd.put(key, last_good.encode());
+                    let bytes = last_good.encode_shared();
+                    if let Ok(rev) = self.etcd.put(key, bytes.clone()) {
+                        self.remember_decoded(rev, bytes, last_good.clone());
+                    }
                     Some(last_good)
                 }
                 _ => {
@@ -390,6 +459,10 @@ impl ApiServer {
     /// with or drop it before validation; the resulting etcd transaction
     /// may be tampered with again.
     ///
+    /// The returned handle is shared with the decode cache: callers that
+    /// only inspect the admitted object pay a refcount bump, not a deep
+    /// clone.
+    ///
     /// # Errors
     ///
     /// Any [`ApiError`]; every outcome is recorded in the audit log.
@@ -397,7 +470,7 @@ impl ApiServer {
         &mut self,
         channel: impl Into<ChannelId>,
         obj: Object,
-    ) -> Result<Object, ApiError> {
+    ) -> Result<Rc<Object>, ApiError> {
         let (url_ns, url_name) = (obj.namespace().to_owned(), obj.name().to_owned());
         self.request(channel.into(), Op::Create, obj.kind(), &url_ns, &url_name, Some(obj), false)
     }
@@ -411,7 +484,7 @@ impl ApiServer {
         &mut self,
         channel: impl Into<ChannelId>,
         obj: Object,
-    ) -> Result<Object, ApiError> {
+    ) -> Result<Rc<Object>, ApiError> {
         let (url_ns, url_name) = (obj.namespace().to_owned(), obj.name().to_owned());
         self.request(channel.into(), Op::Update, obj.kind(), &url_ns, &url_name, Some(obj), false)
     }
@@ -441,7 +514,7 @@ impl ApiServer {
         url_name: &str,
         obj: Option<Object>,
         deferred: bool,
-    ) -> Result<Object, ApiError> {
+    ) -> Result<Rc<Object>, ApiError> {
         self.sync_cache();
         let key = registry_key(kind, url_ns, url_name);
         let result = self.request_inner(channel, op, kind, &key, url_ns, url_name, obj, deferred);
@@ -474,20 +547,20 @@ impl ApiServer {
         url_name: &str,
         obj: Option<Object>,
         deferred: bool,
-    ) -> Result<Object, ApiError> {
+    ) -> Result<Rc<Object>, ApiError> {
         // 1. The request crosses the component→apiserver wire (a replay
         //    of a delayed/duplicated message already crossed it once).
         let mut incoming: Option<Object> = None;
         if let Some(o) = obj {
-            let bytes = o.encode();
+            let bytes = o.encode_shared();
             let verdict = if deferred {
                 WireVerdict::Pass
             } else {
                 self.intercept(channel, kind, key, op, Some(&bytes))
             };
-            let effective = match verdict {
+            let effective: Bytes = match verdict {
                 WireVerdict::Pass => bytes,
-                WireVerdict::Replace(b) => b,
+                WireVerdict::Replace(b) => b.into(),
                 WireVerdict::Drop => {
                     // The sender's call returns without error; no request
                     // ever arrives (message-drop semantics, §IV-A).
@@ -495,7 +568,7 @@ impl ApiServer {
                         TraceLevel::Debug,
                         format!("{op} {key}: request dropped in flight on {channel}"),
                     );
-                    return Ok(o);
+                    return Ok(Rc::new(o));
                 }
                 WireVerdict::Delay(d) => {
                     // The sender sees success now; the request arrives
@@ -515,10 +588,11 @@ impl ApiServer {
                         TraceLevel::Debug,
                         format!("{op} {key}: request held {d} ms in flight on {channel}"),
                     );
-                    return Ok(o);
+                    return Ok(Rc::new(o));
                 }
                 WireVerdict::Duplicate(d) => {
-                    // Deliver now and echo an identical copy later.
+                    // Deliver now and echo an identical copy later (the
+                    // echo shares the same buffer — a refcount bump).
                     self.defer(
                         d,
                         Deferred::Request {
@@ -545,8 +619,8 @@ impl ApiServer {
             let current = self
                 .cache
                 .get(key)
-                .map(|rc| (**rc).clone())
-                .unwrap_or_else(|| Object::Namespace(k8s_model::Namespace::default()));
+                .cloned()
+                .unwrap_or_else(|| Rc::new(Object::Namespace(k8s_model::Namespace::default())));
             match verdict {
                 WireVerdict::Drop => return Ok(current),
                 WireVerdict::Delay(d) => {
@@ -611,12 +685,13 @@ impl ApiServer {
                             let mut p = p.clone();
                             p.metadata.deletion_timestamp = self.now.max(1) as i64;
                             p.metadata.resource_version = self.etcd.revision() as i64 + 1;
-                            let obj = Object::Pod(p);
+                            let obj = Rc::new(Object::Pod(p));
                             // The terminating mark is an apiserver→etcd
                             // transaction like any other: it crosses the
                             // store wire and is injectable there (the
                             // campaign's primary injection point).
-                            let bytes = obj.encode();
+                            let bytes = obj.encode_shared();
+                            let encoded = Bytes::clone(&bytes);
                             let verdict = self.intercept(
                                 Channel::ApiToEtcd.into(),
                                 kind,
@@ -624,9 +699,9 @@ impl ApiServer {
                                 Op::Update,
                                 Some(&bytes),
                             );
-                            let store_bytes = match verdict {
+                            let store_bytes: Bytes = match verdict {
                                 WireVerdict::Pass => bytes,
-                                WireVerdict::Replace(b) => b,
+                                WireVerdict::Replace(b) => b.into(),
                                 WireVerdict::Drop => {
                                     // The mark silently never lands: the
                                     // pod keeps running and the deleter
@@ -655,7 +730,7 @@ impl ApiServer {
                                     bytes
                                 }
                             };
-                            self.etcd_put(key, store_bytes)?;
+                            self.commit_and_remember(key, store_bytes, encoded, &obj)?;
                             self.schedule_reap(self.now + grace_ms, key);
                             self.log(
                                 TraceLevel::Info,
@@ -672,8 +747,8 @@ impl ApiServer {
                 Ok(self
                     .cache
                     .get(key)
-                    .map(|rc| (**rc).clone())
-                    .unwrap_or_else(|| Object::Namespace(k8s_model::Namespace::default())))
+                    .cloned()
+                    .unwrap_or_else(|| Rc::new(Object::Namespace(k8s_model::Namespace::default()))))
             }
             Op::Create | Op::Update => {
                 let mut new_obj = incoming.expect("create/update carries an object");
@@ -744,13 +819,19 @@ impl ApiServer {
                 }
 
                 // 3. The apiserver→etcd transaction crosses the wire again:
-                //    the campaign's primary injection point.
-                let bytes = new_obj.encode();
+                //    the campaign's primary injection point. The encoding
+                //    is staged in pooled scratch and committed as one
+                //    shared `Arc<[u8]>`: the store write, the watch-log
+                //    entry and any deferred echo are refcount bumps on
+                //    this single allocation.
+                let new_obj = Rc::new(new_obj);
+                let bytes = new_obj.encode_shared();
+                let encoded = Bytes::clone(&bytes);
                 let verdict =
                     self.intercept(Channel::ApiToEtcd.into(), kind, key, op, Some(&bytes));
-                let store_bytes = match verdict {
+                let store_bytes: Bytes = match verdict {
                     WireVerdict::Pass => bytes,
-                    WireVerdict::Replace(b) => b,
+                    WireVerdict::Replace(b) => b.into(),
                     WireVerdict::Drop => {
                         // The state update silently never happens; the
                         // caller still sees success (level-triggered
@@ -784,7 +865,7 @@ impl ApiServer {
                         bytes
                     }
                 };
-                self.etcd_put(key, store_bytes)?;
+                self.commit_and_remember(key, store_bytes, encoded, &new_obj)?;
                 Ok(new_obj)
             }
         }
@@ -802,11 +883,12 @@ impl ApiServer {
         self.interceptor.borrow_mut().on_message(&ctx)
     }
 
-    /// Commits bytes to the store. The value becomes a shared `Arc<[u8]>`
-    /// inside etcd (one allocation for all replicas + the watch log).
-    fn etcd_put(&mut self, key: &str, bytes: impl Into<etcd_sim::Bytes>) -> Result<(), ApiError> {
+    /// Commits bytes to the store and returns the committed revision. The
+    /// value is already a shared `Arc<[u8]>` on the steady-state path, so
+    /// the commit is refcount bumps for all replicas + the watch log.
+    fn etcd_put(&mut self, key: &str, bytes: impl Into<etcd_sim::Bytes>) -> Result<u64, ApiError> {
         match self.etcd.put(key, bytes) {
-            Ok(_) => Ok(()),
+            Ok(rev) => Ok(rev),
             Err(EtcdError::DiskFull) => {
                 self.log(TraceLevel::Error, format!("etcd write for {key} failed: disk full"));
                 Err(ApiError::StoreUnavailable)
@@ -815,6 +897,47 @@ impl ApiServer {
                 self.log(TraceLevel::Error, format!("etcd write for {key} failed: {e}"));
                 Err(ApiError::StoreUnavailable)
             }
+        }
+    }
+
+    /// Remembers the decoded object the write path just committed at
+    /// `rev`, so the watch-cache drain can skip re-decoding when the
+    /// event hands back the very same buffer (`Arc::ptr_eq`). No-op when
+    /// `MUTINY_DECODE_CACHE=0`.
+    fn remember_decoded(&mut self, rev: u64, bytes: Bytes, obj: Rc<Object>) {
+        if self.decode_cache_on {
+            self.decode_cache.insert(rev, (bytes, obj));
+        }
+    }
+
+    /// Commits `store_bytes` for `key` and — iff they are still the
+    /// object's own encoding (`encoded`, by `Arc::ptr_eq`) — remembers
+    /// the decoded object for the watch-cache drain. A `Replace` verdict
+    /// swapped in a fresh (tampered) buffer whose pointer can never
+    /// match, so corrupt bytes always decode fresh when they come back
+    /// through the watch.
+    fn commit_and_remember(
+        &mut self,
+        key: &str,
+        store_bytes: Bytes,
+        encoded: Bytes,
+        obj: &Rc<Object>,
+    ) -> Result<(), ApiError> {
+        let cacheable = std::sync::Arc::ptr_eq(&store_bytes, &encoded);
+        let rev = self.etcd_put(key, store_bytes)?;
+        if cacheable {
+            self.remember_decoded(rev, encoded, obj.clone());
+        }
+        Ok(())
+    }
+
+    /// Overrides the `MUTINY_DECODE_CACHE` environment toggle for this
+    /// instance (A/B tests and benches flip it without touching process
+    /// environment).
+    pub fn set_decode_cache(&mut self, on: bool) {
+        self.decode_cache_on = on;
+        if !on {
+            self.decode_cache.clear();
         }
     }
 
@@ -834,7 +957,7 @@ impl ApiServer {
         let (bytes, _) = self.etcd.get(key)?;
         let kind = kind_of_key(key)?;
         match Object::decode(kind, &bytes) {
-            Ok(o) => self.check_integrity(key, o),
+            Ok(o) => self.check_integrity(key, Rc::new(o)),
             Err(_) => {
                 self.drop_undecodable(key);
                 None
@@ -996,22 +1119,60 @@ impl ApiServer {
                             object: None,
                         });
                     }
-                    Some(bytes) => match Object::decode(kind, &bytes) {
-                        Ok(obj) => {
-                            let Some(obj) = self.check_integrity(&ev.key, obj) else {
-                                continue;
-                            };
-                            self.cache.insert(ev.key.clone(), obj.clone());
-                            self.push_event(ResourceEvent {
-                                index: 0,
-                                kind,
-                                key: ev.key.clone(),
-                                object: Some(obj),
-                            });
-                        }
-                        Err(_) => undecodable.push(ev.key.clone()),
-                    },
+                    Some(bytes) => {
+                        // Revision-keyed decode cache: the write path
+                        // remembered the decoded object under this
+                        // revision; reuse it iff the event carries the
+                        // very same buffer. Fault-corrupted deliveries
+                        // are fresh allocations, so `ptr_eq` fails and
+                        // they decode from bytes like always.
+                        let cached = if self.decode_cache_on {
+                            match self.decode_cache.remove(&ev.revision) {
+                                Some((cb, obj)) if std::sync::Arc::ptr_eq(&cb, &bytes) => {
+                                    self.decode_cache_hits += 1;
+                                    DECODE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                                    Some(obj)
+                                }
+                                _ => None,
+                            }
+                        } else {
+                            None
+                        };
+                        let obj = match cached {
+                            Some(obj) => obj,
+                            None => {
+                                if self.decode_cache_on {
+                                    self.decode_cache_misses += 1;
+                                    DECODE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                                }
+                                match Object::decode(kind, &bytes) {
+                                    Ok(o) => Rc::new(o),
+                                    Err(_) => {
+                                        undecodable.push(ev.key.clone());
+                                        continue;
+                                    }
+                                }
+                            }
+                        };
+                        let Some(obj) = self.check_integrity(&ev.key, obj) else {
+                            continue;
+                        };
+                        self.cache.insert(ev.key.clone(), obj.clone());
+                        self.push_event(ResourceEvent {
+                            index: 0,
+                            kind,
+                            key: ev.key.clone(),
+                            object: Some(obj),
+                        });
+                    }
                 }
+            }
+            // Drained revisions can never be replayed (the cursor only
+            // moves forward), so any entry at or below the cursor —
+            // e.g. for an event the keep-mask coalesced away — is dead.
+            if !self.decode_cache.is_empty() {
+                let cursor = self.etcd_seen_rev;
+                self.decode_cache.retain(|rev, _| *rev > cursor);
             }
             for key in undecodable {
                 // Only delete if the *current* stored bytes are still bad
@@ -1035,13 +1196,16 @@ impl ApiServer {
 
     fn rebuild_cache_from_store(&mut self) {
         self.cache.clear();
+        // A rebuild abandons the watch cursor, so every remembered
+        // revision is unreachable from now on.
+        self.decode_cache.clear();
         let all = self.etcd.range("/registry/");
         let mut bad = Vec::new();
         for (key, bytes, _) in all {
             let Some(kind) = kind_of_key(&key) else { continue };
             match Object::decode(kind, &bytes) {
                 Ok(obj) => {
-                    let Some(obj) = self.check_integrity(&key, obj) else { continue };
+                    let Some(obj) = self.check_integrity(&key, Rc::new(obj)) else { continue };
                     self.cache.insert(key.clone(), obj.clone());
                     self.push_event(ResourceEvent { index: 0, kind, key, object: Some(obj) });
                 }
@@ -1088,11 +1252,14 @@ impl ApiServer {
     }
 
     /// Reads one object through the watch cache (a shared handle — no
-    /// deep clone).
+    /// deep clone). The registry key is formatted into per-thread
+    /// scratch, so a steady-state cache hit performs no allocation.
     pub fn get(&mut self, kind: Kind, namespace: &str, name: &str) -> Option<Rc<Object>> {
         self.sync_cache();
-        let key = registry_key(kind, namespace, name);
-        self.current_object(&key)
+        with_key_scratch(|key| {
+            registry_key_into(key, kind, namespace, name);
+            self.current_object(key)
+        })
     }
 
     /// Reads one object bypassing the cache (quorum read from etcd) — used
@@ -1118,9 +1285,10 @@ impl ApiServer {
     /// handle: listing N objects is N refcount bumps, not N deep clones.
     pub fn list(&mut self, kind: Kind, namespace: Option<&str>) -> Vec<Rc<Object>> {
         self.sync_cache();
-        let prefix = registry_prefix(kind, namespace);
-        let mut keys: Vec<String> =
-            self.cache.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        let mut keys: Vec<String> = with_key_scratch(|prefix| {
+            registry_prefix_into(prefix, kind, namespace);
+            self.cache.keys().filter(|k| k.starts_with(&**prefix)).cloned().collect()
+        });
         keys.sort();
         if self.read_tracking.is_some() {
             for k in &keys {
@@ -1135,19 +1303,23 @@ impl ApiServer {
     /// fabric, which run even while a pod storm floods the cache.
     pub fn for_each(&mut self, kind: Kind, namespace: Option<&str>, mut f: impl FnMut(&Object)) {
         self.sync_cache();
-        let prefix = registry_prefix(kind, namespace);
-        for (k, obj) in &self.cache {
-            if k.starts_with(&prefix) {
-                f(obj);
+        with_key_scratch(|prefix| {
+            registry_prefix_into(prefix, kind, namespace);
+            for (k, obj) in &self.cache {
+                if k.starts_with(&**prefix) {
+                    f(obj);
+                }
             }
-        }
+        });
     }
 
     /// Counts objects of `kind` without cloning.
     pub fn count(&mut self, kind: Kind, namespace: Option<&str>) -> usize {
         self.sync_cache();
-        let prefix = registry_prefix(kind, namespace);
-        self.cache.keys().filter(|k| k.starts_with(&prefix)).count()
+        with_key_scratch(|prefix| {
+            registry_prefix_into(prefix, kind, namespace);
+            self.cache.keys().filter(|k| k.starts_with(&**prefix)).count()
+        })
     }
 
     /// Simulates an apiserver restart: the watch cache is dropped and
@@ -1337,7 +1509,7 @@ mod tests {
         assert_eq!(created.meta().generation, 1);
 
         // Status-only change: generation stays.
-        let mut status_change = created.clone();
+        let mut status_change = (*created).clone();
         if let Object::Pod(p) = &mut status_change {
             p.status.phase = "Running".into();
         }
@@ -1345,7 +1517,7 @@ mod tests {
         assert_eq!(updated.meta().generation, 1);
 
         // Spec change: generation bumps.
-        let mut spec_change = updated.clone();
+        let mut spec_change = (*updated).clone();
         if let Object::Pod(p) = &mut spec_change {
             p.spec.priority = 10;
         }
@@ -1358,13 +1530,13 @@ mod tests {
         // Server-side-apply field ownership: the kubelet owns status only.
         let mut a = api();
         let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
-        let mut evil = created.clone();
+        let mut evil = (*created).clone();
         if let Object::Pod(p) = &mut evil {
             p.spec.priority = 999;
             p.status.phase = "Running".into();
         }
         let stored = a.update(Channel::KubeletToApi, evil).unwrap();
-        if let Object::Pod(p) = &stored {
+        if let Object::Pod(p) = &*stored {
             assert_eq!(p.spec.priority, 0, "kubelet-written spec must be discarded");
             assert_eq!(p.status.phase, "Running");
         } else {
@@ -1433,7 +1605,7 @@ mod tests {
             channel: Channel::ApiToEtcd,
             verdict: Some(WireVerdict::Duplicate(500)),
         }));
-        let Object::Pod(mut p) = created else { unreachable!() };
+        let Object::Pod(mut p) = (*created).clone() else { unreachable!() };
         p.metadata.resource_version = 0; // always write the latest
         p.status.restart_count = 1;
         a.set_now(100);
@@ -1482,7 +1654,7 @@ mod tests {
         // mark must land first so the reaper still finalizes the pod.
         let mut a = api();
         let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
-        let Object::Pod(mut p) = created else { unreachable!() };
+        let Object::Pod(mut p) = (*created).clone() else { unreachable!() };
         p.metadata.resource_version = 0;
         p.status.phase = "Running".into();
         a.set_now(1_000);
@@ -1522,11 +1694,86 @@ mod tests {
     }
 
     #[test]
+    fn key_scratch_survives_reentrant_reads() {
+        // The scratch buffer is thread-shared across apiserver instances:
+        // a `for_each` callback that reads a *second* apiserver on the
+        // same thread must not panic (the buffer is moved out for the
+        // duration of the call, never borrow-locked).
+        let mut a = api();
+        let mut b = api();
+        a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        b.create(Channel::UserToApi, pod("default", "q1")).unwrap();
+        b.create(Channel::UserToApi, pod("default", "q2")).unwrap();
+        let mut seen = 0usize;
+        a.for_each(Kind::Pod, None, |_| {
+            seen += b.count(Kind::Pod, Some("default"));
+            assert!(b.get(Kind::Pod, "default", "q1").is_some());
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn decode_cache_serves_writes_without_redecoding() {
+        let mut a = api();
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        // The trailing sync of the create drained exactly one event, and
+        // its bytes were the very Arc the write path committed.
+        assert_eq!(a.decode_cache_hits, 1, "steady-state write must hit the decode cache");
+        assert_eq!(a.decode_cache_misses, 0);
+        // The watch cache holds the *same* object the caller got back —
+        // no decode ever ran, the whole pipeline shared one allocation.
+        let got = a.get(Kind::Pod, "default", "p1").unwrap();
+        assert!(Rc::ptr_eq(&created, &got), "cache must share the write-path decode");
+        // An update flows the same way.
+        let mut running = (*created).clone();
+        if let Object::Pod(p) = &mut running {
+            p.status.phase = "Running".into();
+        }
+        let updated = a.update(Channel::KubeletToApi, running).unwrap();
+        assert_eq!(a.decode_cache_hits, 2);
+        assert!(Rc::ptr_eq(&updated, &a.get(Kind::Pod, "default", "p1").unwrap()));
+    }
+
+    #[test]
+    fn corrupted_transaction_bypasses_decode_cache() {
+        // A fault Replaces the store transaction with tampered bytes: the
+        // drain must decode those bytes fresh — never serve the pristine
+        // admitted object from the decode cache.
+        let mut evil = pod("default", "p1");
+        if let Object::Pod(p) = &mut evil {
+            p.spec.node_name = "ghost-node".into();
+        }
+        let mut a = api_with(Channel::ApiToEtcd, WireVerdict::Replace(evil.encode()));
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        assert_eq!(a.decode_cache_hits, 0, "tampered bytes must never hit the cache");
+        assert!(a.decode_cache_misses >= 1, "tampered bytes must decode fresh");
+        let got = a.get(Kind::Pod, "default", "p1").unwrap();
+        assert_eq!(
+            got.as_pod().unwrap().spec.node_name,
+            "ghost-node",
+            "served state must reflect the corrupted store bytes"
+        );
+        assert!(!Rc::ptr_eq(&created, &got));
+        assert_eq!(created.as_pod().unwrap().spec.node_name, "");
+    }
+
+    #[test]
+    fn disabled_decode_cache_decodes_but_serves_equal_state() {
+        let mut a = api();
+        a.set_decode_cache(false);
+        let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+        assert_eq!((a.decode_cache_hits, a.decode_cache_misses), (0, 0));
+        let got = a.get(Kind::Pod, "default", "p1").unwrap();
+        assert!(!Rc::ptr_eq(&created, &got), "disabled cache must decode a fresh object");
+        assert_eq!(*got, *created, "decoded state must equal the admitted object exactly");
+    }
+
+    #[test]
     fn restart_rebuilds_cache_and_sees_at_rest_corruption() {
         let mut a = api();
         let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
         // At-rest corruption of a decodable-but-wrong flavour.
-        let mut tampered = created.clone();
+        let mut tampered = (*created).clone();
         if let Object::Pod(p) = &mut tampered {
             p.spec.node_name = "ghost-node".into();
         }

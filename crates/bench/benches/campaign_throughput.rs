@@ -63,10 +63,19 @@ fn main() {
     let baseline_s = t.elapsed().as_secs_f64();
 
     // Measured quantity 1: campaign wall-clock on the work-stealing
-    // executor (the production path).
+    // executor (the production path). The decode-cache counters are
+    // scoped to exactly this run, so the reported hit rate is the
+    // campaign's, not the baseline build's.
+    k8s_apiserver::reset_decode_cache_stats();
     let t = Instant::now();
     let stealing = run_campaign_with_threads(&cluster, &plan, &baselines, seed, threads);
     let stealing_s = t.elapsed().as_secs_f64();
+    let (dc_hits, dc_misses) = k8s_apiserver::decode_cache_stats();
+    let dc_hit_rate = if dc_hits + dc_misses == 0 {
+        0.0
+    } else {
+        dc_hits as f64 / (dc_hits + dc_misses) as f64
+    };
 
     // Measured quantity 2: the same plan on the seed's static-chunk
     // executor, to keep the scheduling gain visible release over release.
@@ -91,7 +100,7 @@ fn main() {
     let experiments_per_sec = plan.len() as f64 / stealing_s.max(1e-9);
     let speedup = static_s / stealing_s.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"decode_cache_hits\": {dc_hits},\n  \"decode_cache_misses\": {dc_misses},\n  \"decode_cache_hit_rate\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
         plan.len(),
         scenario_names.len(),
         scenario_names.join(","),
@@ -105,6 +114,7 @@ fn main() {
         percentile(&per_ms, 0.50),
         percentile(&per_ms, 0.95),
         speedup,
+        dc_hit_rate,
     );
 
     let out_path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))

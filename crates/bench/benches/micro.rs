@@ -29,6 +29,11 @@ fn wire(c: &mut Criterion) {
     let pod = sample_pod();
     let bytes = pod.encode();
     c.bench_function("protowire/encode_pod", |b| b.iter(|| black_box(&pod).encode()));
+    // The store-commit encode shape: staged in pooled scratch, one
+    // exactly-sized `Arc<[u8]>` allocation, no `Vec` on the way.
+    c.bench_function("protowire/encode_pod_shared", |b| {
+        b.iter(|| protowire::Message::encode_shared(black_box(&pod)))
+    });
     c.bench_function("protowire/decode_pod", |b| {
         b.iter(|| k8s_model::Pod::decode(black_box(&bytes)).unwrap())
     });
@@ -53,6 +58,42 @@ fn store(c: &mut Criterion) {
     });
 }
 
+fn apiserver_write_path(c: &mut Criterion) {
+    // The end-to-end write hot path this PR targets: admit → encode
+    // (pooled scratch → shared Arc) → store commit (refcount moves) →
+    // watch-cache sync (decode-cache hit vs full re-decode). The A/B pair
+    // quantifies what the revision-keyed decode cache saves per update.
+    use k8s_model::{Channel, Object};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    fn api() -> k8s_apiserver::ApiServer {
+        k8s_apiserver::ApiServer::new(
+            etcd_sim::Etcd::new(1, 1 << 30),
+            Rc::new(RefCell::new(k8s_model::NoopInterceptor)),
+            Rc::new(RefCell::new(simkit::Trace::new(64))),
+        )
+    }
+    for (name, cache_on) in
+        [("apiserver/update_sync_decode_cache", true), ("apiserver/update_sync_full_decode", false)]
+    {
+        c.bench_function(name, |b| {
+            let mut a = api();
+            a.set_decode_cache(cache_on);
+            a.create(Channel::UserToApi, Object::Pod(sample_pod())).unwrap();
+            let mut pod = sample_pod();
+            pod.metadata.resource_version = 0; // always write the latest
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                pod.status.restart_count = i64::from(i % 7);
+                let stored =
+                    a.update(Channel::KubeletToApi, Object::Pod(pod.clone())).unwrap();
+                black_box(stored);
+            })
+        });
+    }
+}
+
 fn experiment(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiment");
     group.sample_size(10);
@@ -70,5 +111,5 @@ fn experiment(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, wire, store, experiment);
+criterion_group!(benches, wire, store, apiserver_write_path, experiment);
 criterion_main!(benches);

@@ -119,7 +119,8 @@ pub fn checkpoint_rows() -> usize {
         .unwrap_or(250)
 }
 
-fn cache_path() -> PathBuf {
+/// The workspace target directory where campaign/baseline caches live.
+fn cache_dir() -> PathBuf {
     // Benches run with the package directory as CWD, so a relative
     // `target/` would point inside `crates/bench`; resolve the workspace
     // target directory explicitly and make sure it exists.
@@ -129,6 +130,13 @@ fn cache_path() -> PathBuf {
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("target")
         });
     let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// The TSV cache location for the current environment settings. Public
+/// so the checkpoint-resume tests (and `scripts/verify.sh`) can find the
+/// exact file a [`campaign`] call will read and write.
+pub fn cache_path() -> PathBuf {
     // The scenario and fault-family sets are part of the cache identity:
     // a filtered run must not be mistaken for (or poison) the full
     // campaign's rows.
@@ -139,24 +147,79 @@ fn cache_path() -> PathBuf {
     {
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
     }
-    dir.join(format!(
-        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_f{}_{:08x}.tsv",
+    // A run with the decode cache disabled gets its own cache identity:
+    // `scripts/verify.sh` diffs the `_nodc` TSV against the cached-mode
+    // TSV byte for byte, which only works if the two runs cannot reuse
+    // (or poison) each other's rows.
+    let nodc = if std::env::var("MUTINY_DECODE_CACHE").map(|v| v == "0").unwrap_or(false) {
+        "_nodc"
+    } else {
+        ""
+    };
+    cache_dir().join(format!(
+        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_f{}_{:08x}{}.tsv",
         scale(),
         golden_runs(),
         seed(),
         scenario_names.len(),
         fault_names.len(),
         h & 0xffff_ffff,
+        nodc,
     ))
 }
 
-/// Builds the per-scenario baselines.
+/// Disk-cache location for one scenario's golden baseline. The identity
+/// is `(scenario, golden runs, seed)` — exactly the inputs of
+/// [`build_baseline`] beyond the (fixed) default cluster.
+///
+/// Like the campaign TSV cache, the identity does **not** include a code
+/// fingerprint: caches under `target/` trust that the simulation code
+/// has not changed since they were written. `scripts/verify.sh` clears
+/// both cache families up front for exactly that reason; delete
+/// `target/mutiny_baseline_*.tsv` by hand after local changes that move
+/// golden behavior.
+fn baseline_cache_path(sc: Scenario) -> PathBuf {
+    cache_dir().join(format!(
+        "mutiny_baseline_{}_g{}_seed{}.tsv",
+        sc.name(),
+        golden_runs(),
+        seed()
+    ))
+}
+
+/// Builds the per-scenario baselines, sharing them across bench targets
+/// through a disk cache (same template as the campaign TSV checkpoint:
+/// parse-or-rebuild, atomic promote via rename). Before this cache, every
+/// bench target whose campaign TSV was cold re-ran `golden_runs × |scenarios|`
+/// golden simulations; now the first target to need a baseline pays for
+/// it and the other sixteen load it back.
 pub fn baselines() -> HashMap<Scenario, Baseline> {
     let cluster = ClusterConfig::default();
     let runs = golden_runs();
     let mut out = HashMap::new();
     for sc in scenarios() {
-        out.insert(sc, build_baseline(&cluster, sc, runs, seed()));
+        let path = baseline_cache_path(sc);
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(b) = parse_baseline(&text) {
+                eprintln!("[mutiny-bench] loaded cached baseline from {}", path.display());
+                out.insert(sc, b);
+                continue;
+            }
+            eprintln!("[mutiny-bench] discarding stale baseline cache {}", path.display());
+            let _ = std::fs::remove_file(&path);
+        }
+        let b = build_baseline(&cluster, sc, runs, seed());
+        // Atomic promote: a reader never observes a half-written cache.
+        let tmp = path.with_extension("tsv.partial");
+        let persisted = std::fs::write(&tmp, render_baseline(&b))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = persisted {
+            eprintln!(
+                "[mutiny-bench] warning: could not persist baseline cache {}: {e}",
+                path.display()
+            );
+        }
+        out.insert(sc, b);
     }
     out
 }
@@ -193,13 +256,34 @@ fn rows_are_plan_prefix(rows: &CampaignResults, plan: &[PlannedExperiment]) -> b
         })
 }
 
+/// Parses checkpoint text, tolerating a torn trailing row.
+///
+/// A process killed mid-flush leaves the `.partial` file ending in an
+/// incomplete line (every complete flush is newline-terminated), so only
+/// the bytes past the last `\n` can be torn — they are dropped and the
+/// well-formed prefix is kept. Returns the parsed prefix rows plus the
+/// byte length of that prefix, so the caller can truncate the file back
+/// to a clean flush boundary before appending. A malformed line *inside*
+/// the newline-terminated prefix is not tearing — the checkpoint is
+/// corrupt/stale and `None` tells the caller to discard it.
+fn parse_checkpoint(text: &str) -> Option<(CampaignResults, usize)> {
+    let clean = match text.rfind('\n') {
+        Some(i) => &text[..=i],
+        None => "", // a single torn line: no clean prefix at all
+    };
+    let rows = parse_rows(clean)?;
+    Some((rows, clean.len()))
+}
+
 /// The campaign results: loaded from the TSV cache when present, executed
 /// otherwise. Execution checkpoints every [`checkpoint_rows`] finished
 /// experiments to `<cache>.partial` — killing the process mid-campaign
-/// loses at most one chunk, and the next call resumes from the
-/// checkpoint (rows are index-deterministic, so a resumed campaign is
-/// byte-identical to an uninterrupted one). The finished checkpoint is
-/// atomically renamed to the final cache.
+/// loses at most one chunk (a torn trailing row is truncated away on
+/// resume), and the next call resumes from the checkpoint (rows are
+/// index-deterministic, so a resumed campaign is byte-identical to an
+/// uninterrupted one). The finished checkpoint is atomically renamed to
+/// the final cache. Checkpoint IO failures never abort the campaign:
+/// they downgrade to warnings and the run completes in memory.
 pub fn campaign() -> CampaignResults {
     let path = cache_path();
     if let Ok(text) = std::fs::read_to_string(&path) {
@@ -215,14 +299,40 @@ pub fn campaign() -> CampaignResults {
     // Resume from a checkpoint when its rows match the plan prefix.
     let mut done = CampaignResults::default();
     if let Ok(text) = std::fs::read_to_string(&partial_path) {
-        match parse_rows(&text) {
-            Some(rows) if rows_are_plan_prefix(&rows, &plan) => {
-                eprintln!(
-                    "[mutiny-bench] resuming from checkpoint: {}/{} rows already done",
-                    rows.len(),
-                    plan.len()
-                );
-                done = rows;
+        match parse_checkpoint(&text) {
+            Some((rows, clean_len)) if rows_are_plan_prefix(&rows, &plan) => {
+                if clean_len < text.len() {
+                    // Torn tail from a kill mid-flush: truncate back to
+                    // the last complete row so appended chunks produce a
+                    // byte-identical final cache.
+                    eprintln!(
+                        "[mutiny-bench] truncating torn checkpoint tail ({} bytes)",
+                        text.len() - clean_len
+                    );
+                    let truncated = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&partial_path)
+                        .and_then(|f| f.set_len(clean_len as u64));
+                    if truncated.is_err() {
+                        eprintln!(
+                            "[mutiny-bench] discarding untruncatable checkpoint {}",
+                            partial_path.display()
+                        );
+                        let _ = std::fs::remove_file(&partial_path);
+                        done = CampaignResults::default();
+                    } else {
+                        done = rows;
+                    }
+                } else {
+                    done = rows;
+                }
+                if !done.is_empty() {
+                    eprintln!(
+                        "[mutiny-bench] resuming from checkpoint: {}/{} rows already done",
+                        done.len(),
+                        plan.len()
+                    );
+                }
             }
             _ => {
                 eprintln!("[mutiny-bench] discarding stale checkpoint {}", partial_path.display());
@@ -231,6 +341,11 @@ pub fn campaign() -> CampaignResults {
         }
     }
 
+    // The checkpoint file is best-effort: an IO error mid-campaign must
+    // not abort thousands of finished experiments, so failures disable
+    // further checkpointing (and the final promote falls back to a
+    // direct write of the in-memory rows).
+    let can_promote;
     if done.len() < plan.len() {
         eprintln!(
             "[mutiny-bench] building baselines ({} golden runs × {} scenarios)…",
@@ -245,11 +360,21 @@ pub fn campaign() -> CampaignResults {
         );
         let t = std::time::Instant::now();
         let chunk = checkpoint_rows();
-        let mut out = std::fs::OpenOptions::new()
+        let mut checkpoint = match std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&partial_path)
-            .expect("open campaign checkpoint");
+        {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!(
+                    "[mutiny-bench] warning: cannot open campaign checkpoint {}: {e}; \
+                     continuing without checkpointing",
+                    partial_path.display()
+                );
+                None
+            }
+        };
         while done.len() < plan.len() {
             let start = done.len();
             let end = (start + chunk).min(plan.len());
@@ -261,21 +386,143 @@ pub fn campaign() -> CampaignResults {
                 start..end,
                 exec::default_threads(end - start),
             );
-            out.write_all(render_rows(&part).as_bytes()).expect("flush campaign checkpoint");
-            out.flush().expect("flush campaign checkpoint");
+            if let Some(f) = checkpoint.as_mut() {
+                let flushed =
+                    f.write_all(render_rows(&part).as_bytes()).and_then(|()| f.flush());
+                if let Err(e) = flushed {
+                    eprintln!(
+                        "[mutiny-bench] warning: campaign checkpoint write failed: {e}; \
+                         continuing without checkpointing"
+                    );
+                    checkpoint = None;
+                }
+            }
             done.merge(part);
             eprintln!("[mutiny-bench] checkpoint: {}/{} rows", done.len(), plan.len());
         }
         eprintln!("[mutiny-bench] campaign finished in {:?}", t.elapsed());
+        can_promote = checkpoint.is_some();
+    } else {
+        // The checkpoint already held every row (read and parsed above);
+        // it is the finished campaign.
+        can_promote = true;
     }
 
-    // Promote the finished checkpoint to the final cache.
-    if std::fs::rename(&partial_path, &path).is_err() {
-        if let Ok(mut f) = std::fs::File::create(&path) {
-            let _ = f.write_all(render_rows(&done).as_bytes());
+    // Promote the finished checkpoint to the final cache — but only when
+    // every chunk actually reached it; a checkpoint abandoned after an IO
+    // error is a prefix, and renaming it would cache a truncated
+    // campaign. The fallback writes the in-memory rows directly, and the
+    // partial is only removed once the final cache actually holds them —
+    // on a full disk the checkpoint is the sole persisted progress.
+    let promoted = can_promote && std::fs::rename(&partial_path, &path).is_ok();
+    if !promoted {
+        let wrote = std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(render_rows(&done).as_bytes()));
+        match wrote {
+            Ok(()) => {
+                let _ = std::fs::remove_file(&partial_path);
+            }
+            Err(e) => eprintln!(
+                "[mutiny-bench] warning: could not write campaign cache {}: {e}; \
+                 keeping the checkpoint for the next run",
+                path.display()
+            ),
         }
     }
     done
+}
+
+// --- baseline (de)serialization --------------------------------------------
+//
+// Golden baselines must round-trip exactly: z-scores are computed against
+// `avg_response` and `golden_maes`, so a lossy float would shift every
+// classification in the benches that load the cache instead of building.
+// Rust's `{}` float formatting is shortest-round-trip, and `parse::<f64>`
+// restores the identical bit pattern.
+
+/// Renders a [`Baseline`] in the line-oriented baseline cache schema.
+fn render_baseline(b: &Baseline) -> String {
+    fn floats(out: &mut String, name: &str, vs: &[f64]) {
+        out.push_str(name);
+        out.push('\t');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push('\n');
+    }
+    let mut out = String::from("mutiny-baseline-v1\n");
+    floats(&mut out, "avg_response", &b.avg_response);
+    floats(&mut out, "golden_maes", &b.golden_maes);
+    floats(&mut out, "golden_worst_startup", &b.golden_worst_startup);
+    floats(&mut out, "golden_last_creation", &b.golden_last_creation);
+    out.push_str("expected_ready");
+    for (k, v) in &b.expected_ready {
+        out.push_str(&format!("\t{}={v}", escape(k)));
+    }
+    out.push('\n');
+    out.push_str("expected_endpoints");
+    for (k, v) in &b.expected_endpoints {
+        out.push_str(&format!("\t{}={v}", escape(k)));
+    }
+    out.push('\n');
+    out.push_str(&format!("expected_pods_created\t{}\n", b.expected_pods_created));
+    out.push_str(&format!("golden_pods_created_max\t{}\n", b.golden_pods_created_max));
+    out.push_str(&format!("expected_dns_ready\t{}\n", b.expected_dns_ready));
+    out
+}
+
+/// Parses the baseline cache schema; `None` on any mismatch (the caller
+/// rebuilds from golden runs, exactly like a stale campaign checkpoint).
+fn parse_baseline(text: &str) -> Option<Baseline> {
+    let mut lines = text.lines();
+    if lines.next()? != "mutiny-baseline-v1" {
+        return None;
+    }
+    fn floats(line: &str, name: &str) -> Option<Vec<f64>> {
+        let rest = line.strip_prefix(name)?;
+        if rest.is_empty() {
+            return Some(Vec::new()); // field present, no samples
+        }
+        let rest = rest.strip_prefix('\t')?;
+        if rest.is_empty() {
+            return Some(Vec::new());
+        }
+        rest.split(' ').map(|v| v.parse().ok()).collect()
+    }
+    fn map_entries<V: std::str::FromStr>(
+        line: &str,
+        name: &str,
+    ) -> Option<std::collections::BTreeMap<String, V>> {
+        let rest = line.strip_prefix(name)?;
+        let mut out = std::collections::BTreeMap::new();
+        for pair in rest.split('\t').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=')?;
+            out.insert(unescape(k), v.parse().ok()?);
+        }
+        Some(out)
+    }
+    let b = Baseline {
+        avg_response: floats(lines.next()?, "avg_response")?,
+        golden_maes: floats(lines.next()?, "golden_maes")?,
+        golden_worst_startup: floats(lines.next()?, "golden_worst_startup")?,
+        golden_last_creation: floats(lines.next()?, "golden_last_creation")?,
+        expected_ready: map_entries(lines.next()?, "expected_ready")?,
+        expected_endpoints: map_entries(lines.next()?, "expected_endpoints")?,
+        expected_pods_created: lines.next()?.strip_prefix("expected_pods_created\t")?.parse().ok()?,
+        golden_pods_created_max: lines
+            .next()?
+            .strip_prefix("golden_pods_created_max\t")?
+            .parse()
+            .ok()?,
+        expected_dns_ready: lines.next()?.strip_prefix("expected_dns_ready\t")?.parse().ok()?,
+    };
+    if lines.next().is_some() {
+        return None; // trailing garbage: treat as stale
+    }
+    Some(b)
 }
 
 // --- TSV (de)serialization -------------------------------------------------
@@ -618,6 +865,92 @@ mod tests {
         ] {
             assert_eq!(parse_point(&render_point(&point)), Some(point.clone()), "{point:?}");
         }
+    }
+
+    #[test]
+    fn baseline_cache_roundtrips_exactly() {
+        let mut b = Baseline::default();
+        b.avg_response = vec![0.1 + 0.2, 123.456789012345, f64::MIN_POSITIVE, 0.0, 1e308];
+        b.golden_maes = vec![1.5, 2.25];
+        b.golden_worst_startup = vec![1250.0];
+        b.golden_last_creation = Vec::new(); // empty series must survive
+        b.expected_ready.insert("web-1".into(), 2);
+        b.expected_ready.insert("web-4".into(), 3);
+        b.expected_endpoints.insert("web-1-svc".into(), 2);
+        b.expected_pods_created = 12;
+        b.golden_pods_created_max = 14;
+        b.expected_dns_ready = 1;
+        let text = render_baseline(&b);
+        let back = parse_baseline(&text).expect("cache must parse");
+        // Floats must be bit-exact: z-scores are computed against these.
+        assert_eq!(back.avg_response, b.avg_response);
+        assert_eq!(back.golden_maes, b.golden_maes);
+        assert_eq!(back.golden_worst_startup, b.golden_worst_startup);
+        assert_eq!(back.golden_last_creation, b.golden_last_creation);
+        assert_eq!(back.expected_ready, b.expected_ready);
+        assert_eq!(back.expected_endpoints, b.expected_endpoints);
+        assert_eq!(back.expected_pods_created, b.expected_pods_created);
+        assert_eq!(back.golden_pods_created_max, b.golden_pods_created_max);
+        assert_eq!(back.expected_dns_ready, b.expected_dns_ready);
+        // Corrupt or versioned-away caches are rejected, not misparsed.
+        assert!(parse_baseline("mutiny-baseline-v999\n").is_none());
+        assert!(parse_baseline(&text.replace("avg_response", "avg_nonsense")).is_none());
+        assert!(parse_baseline(&format!("{text}trailing garbage\n")).is_none());
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_is_detected_and_dropped() {
+        let row = CampaignRow {
+            scenario: mutiny_scenarios::DEPLOY,
+            spec: InjectionSpec {
+                channel: Channel::ApiToEtcd.into(),
+                kind: Kind::Pod,
+                point: InjectionPoint::Drop,
+                occurrence: 3,
+            },
+            fault: mutiny_faults::DROP,
+            of: OrchestratorFailure::Sta,
+            cf: ClientFailure::Su,
+            z: 12.5,
+            fired: true,
+            activated: false,
+            user_error: true,
+            path: None,
+        };
+        let results = CampaignResults { rows: vec![row.clone(), row.clone(), row] };
+        let text = render_rows(&results);
+
+        // Intact checkpoint: all rows, clean length = full length.
+        let (rows, clean) = parse_checkpoint(&text).expect("intact checkpoint parses");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(clean, text.len());
+
+        // Kill mid-flush: the trailing row is cut mid-line. The two
+        // complete rows survive and the clean length points at the last
+        // newline, wherever the tear lands inside the final row.
+        let second_nl = text
+            .char_indices()
+            .filter(|&(_, c)| c == '\n')
+            .nth(1)
+            .map(|(i, _)| i)
+            .expect("three rows have three newlines");
+        for torn_end in [second_nl + 2, text.len() - 1] {
+            let torn = &text[..torn_end];
+            let (rows, clean) = parse_checkpoint(torn).expect("torn tail must not poison prefix");
+            assert_eq!(rows.len(), 2, "torn at byte {torn_end}");
+            assert_eq!(clean, second_nl + 1);
+            assert_eq!(render_rows(&rows), text[..clean], "prefix must re-render identically");
+        }
+
+        // A tear that eats the whole first line leaves nothing.
+        let (rows, clean) = parse_checkpoint(&text[..10]).expect("single torn line");
+        assert_eq!(rows.len(), 0);
+        assert_eq!(clean, 0);
+
+        // Corruption *inside* the newline-terminated prefix is not a torn
+        // tail: the whole checkpoint is rejected as stale.
+        let corrupt = text.replacen("deploy", "dEploy", 1);
+        assert!(parse_checkpoint(&corrupt).is_none());
     }
 
     #[test]

@@ -244,6 +244,13 @@ impl Etcd {
     /// replicas share one allocation, so the vote is pointer comparisons
     /// until `corrupt_at_rest` has diverged a replica.
     pub fn get(&self, key: &str) -> Option<(Bytes, u64)> {
+        // Single-replica fast path: nothing to vote over, so the read is
+        // a map probe plus one refcount bump — no scratch vectors. The
+        // default campaign config runs one replica, which makes this the
+        // store's hottest read shape.
+        if self.replicas.len() == 1 {
+            return self.replicas[0].data.get(key).map(|v| (v.bytes.clone(), v.mod_rev));
+        }
         let values: Vec<&Versioned> =
             self.replicas.iter().filter_map(|r| r.data.get(key)).collect();
         if values.is_empty() || values.len() * 2 <= self.replicas.len() - 1 {
@@ -459,6 +466,23 @@ mod tests {
         assert!(e.is_stalled() || e.writes_rejected() > 0);
         // Updating an existing key to a smaller value still works.
         assert!(e.put("/k0", vec![0u8; 1]).is_ok());
+    }
+
+    #[test]
+    fn single_replica_fast_path_matches_quorum_semantics() {
+        // The 1-replica fast path must behave exactly like the voting
+        // path: same hit/miss results, shared (not copied) payloads, and
+        // at-rest corruption visible (a 1-replica store has no quorum to
+        // mask it — same answer the vote would give).
+        let mut e = Etcd::new(1, 4096);
+        assert!(e.get("/missing").is_none());
+        let rev = e.put("/a", vec![5, 6]).unwrap();
+        let (bytes, mod_rev) = e.get("/a").unwrap();
+        assert_eq!((bytes.to_vec(), mod_rev), (vec![5, 6], rev));
+        let (direct, _) = e.get_unquorum(0, "/a").unwrap();
+        assert!(Arc::ptr_eq(&bytes, &direct), "fast path must not copy");
+        e.corrupt_at_rest(0, "/a", vec![9]);
+        assert_eq!(e.get("/a").unwrap().0.to_vec(), vec![9]);
     }
 
     #[test]

@@ -34,12 +34,15 @@ pub(crate) fn tick(ctx: &mut Ctx<'_>, ghost_seen: &mut HashMap<String, u64>) {
     // Sweep 1 + 2: pods.
     let pods = ctx.api.list(Kind::Pod, None);
     let mut still_ghost: HashMap<String, u64> = HashMap::new();
+    // One scratch key for the whole sweep: the ghost-map probe runs per
+    // pod per tick, and only the (rare) still-ghost pods own their key.
+    let mut key = String::new();
     for obj in &pods {
         let Object::Pod(pod) = &**obj else { continue };
         if pod.metadata.is_terminating() {
             continue;
         }
-        let key = obj.key();
+        obj.key_into(&mut key);
 
         // Cascading deletion: controller owner vanished.
         if let Some(ctrl) = pod.metadata.controller_ref() {
@@ -80,7 +83,7 @@ pub(crate) fn tick(ctx: &mut Ctx<'_>, ghost_seen: &mut HashMap<String, u64>) {
                 );
                 ctx.metrics.gc_deleted += 1;
             } else {
-                still_ghost.insert(key, first);
+                still_ghost.insert(key.clone(), first);
             }
         }
     }

@@ -174,6 +174,9 @@ pub struct Kcm {
     ghost_seen: HashMap<String, u64>,
     /// Pending-create expectations per ReplicaSet key.
     expectations: HashMap<String, Expectation>,
+    /// Scratch buffer for owner-key probes in the watch router (one
+    /// probe per routed pod event; the buffer outlives them all).
+    owner_key_scratch: String,
     needs_resync: bool,
 }
 
@@ -205,6 +208,7 @@ impl Kcm {
             taint_seen: HashMap::new(),
             ghost_seen: HashMap::new(),
             expectations: HashMap::new(),
+            owner_key_scratch: String::new(),
             needs_resync: true,
         }
     }
@@ -347,12 +351,18 @@ impl Kcm {
                         match ctrl.kind.as_str() {
                             "ReplicaSet" => {
                                 // Creation observed: fulfil expectations.
-                                let rs_key = k8s_model::registry_key(
+                                // The probe key is formatted into scratch
+                                // (most probes miss — only ReplicaSets
+                                // with in-flight creates have an entry).
+                                k8s_model::registry_key_into(
+                                    &mut self.owner_key_scratch,
                                     Kind::ReplicaSet,
                                     &ns,
                                     &ctrl.name,
                                 );
-                                if let Some(exp) = self.expectations.get_mut(&rs_key) {
+                                if let Some(exp) =
+                                    self.expectations.get_mut(&self.owner_key_scratch)
+                                {
                                     exp.seen.insert(key.to_owned());
                                 }
                                 self

@@ -254,8 +254,8 @@ mod tests {
             ..Default::default()
         });
         let created = api.create(Channel::UserToApi, Object::ReplicaSet(rs)).unwrap();
-        match created {
-            Object::ReplicaSet(rs) => rs,
+        match &*created {
+            Object::ReplicaSet(rs) => rs.clone(),
             _ => unreachable!(),
         }
     }

@@ -193,6 +193,35 @@ pub fn registry_prefix(kind: Kind, namespace: Option<&str>) -> String {
     }
 }
 
+/// Writes the registry key for an object into `buf` (cleared first).
+///
+/// The allocation-free twin of [`registry_key`] for hot paths that look a
+/// key up without storing it: the apiserver's per-request get/watch-cache
+/// probes reuse one scratch `String` instead of allocating per call.
+pub fn registry_key_into(buf: &mut String, kind: Kind, namespace: &str, name: &str) {
+    use std::fmt::Write as _;
+    buf.clear();
+    if kind.cluster_scoped() {
+        let _ = write!(buf, "/registry/{}/{}", kind.plural(), name);
+    } else {
+        let _ = write!(buf, "/registry/{}/{}/{}", kind.plural(), namespace, name);
+    }
+}
+
+/// Writes the prefix of [`registry_prefix`] into `buf` (cleared first).
+pub fn registry_prefix_into(buf: &mut String, kind: Kind, namespace: Option<&str>) {
+    use std::fmt::Write as _;
+    buf.clear();
+    match namespace {
+        Some(ns) if !kind.cluster_scoped() => {
+            let _ = write!(buf, "/registry/{}/{}/", kind.plural(), ns);
+        }
+        _ => {
+            let _ = write!(buf, "/registry/{}/", kind.plural());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +238,19 @@ mod tests {
     fn registry_keys() {
         assert_eq!(registry_key(Kind::Pod, "default", "web-0"), "/registry/pods/default/web-0");
         assert_eq!(registry_key(Kind::Node, "ignored", "worker-1"), "/registry/nodes/worker-1");
+    }
+
+    #[test]
+    fn scratch_key_variants_match_the_allocating_ones() {
+        let mut buf = String::from("stale contents");
+        for k in Kind::ALL {
+            registry_key_into(&mut buf, k, "default", "web-0");
+            assert_eq!(buf, registry_key(k, "default", "web-0"));
+            for ns in [Some("default"), None] {
+                registry_prefix_into(&mut buf, k, ns);
+                assert_eq!(buf, registry_prefix(k, ns));
+            }
+        }
     }
 
     #[test]

@@ -103,9 +103,25 @@ impl Object {
         registry_key(self.kind(), self.namespace(), self.name())
     }
 
+    /// Writes the registry key into `buf` (cleared first) — the
+    /// allocation-free twin of [`Object::key`] for hot lookup paths that
+    /// only need a borrowed key.
+    pub fn key_into(&self, buf: &mut String) {
+        crate::registry_key_into(buf, self.kind(), self.namespace(), self.name());
+    }
+
     /// Serializes the instance to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
         dispatch!(self, o => Message::encode(o))
+    }
+
+    /// Serializes the instance into a shared, refcounted buffer.
+    ///
+    /// Byte-identical to [`Object::encode`], but staged in pooled scratch
+    /// with one exactly-sized `Arc<[u8]>` allocation — the form the store
+    /// commits without another copy (etcd_sim values are `Arc<[u8]>`).
+    pub fn encode_shared(&self) -> std::sync::Arc<[u8]> {
+        dispatch!(self, o => Message::encode_shared(o))
     }
 
     /// Decodes wire bytes as the given kind.

@@ -322,6 +322,20 @@ pub trait Message: Default + Clone + fmt::Debug + PartialEq {
         buf
     }
 
+    /// Encodes `self` into a shared, refcounted buffer (`Arc<[u8]>`).
+    ///
+    /// The encoding is staged in the pooled per-thread scratch, so the
+    /// only allocation is the exactly-sized `Arc` itself — the buffer can
+    /// then flow through stores, watch logs and deferred queues as
+    /// refcount bumps instead of copies. This is the steady-state encode
+    /// for values headed into `etcd_sim` (its store holds `Arc<[u8]>`).
+    fn encode_shared(&self) -> std::sync::Arc<[u8]> {
+        with_encode_scratch(|buf| {
+            self.encode_into(buf);
+            std::sync::Arc::from(&buf[..])
+        })
+    }
+
     /// Decodes a message from a byte slice, requiring full consumption.
     ///
     /// # Errors
@@ -389,6 +403,31 @@ mod tests {
         let mut second = Vec::new();
         put_map_entry(&mut second, 4, "app", "web");
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn encode_shared_matches_encode() {
+        // The shared encoding must be byte-for-byte the plain encoding —
+        // it only changes who owns the buffer, never its contents — and
+        // repeated calls must stay stable across scratch-pool reuse.
+        let mut buf = Vec::new();
+        put_map_entry(&mut buf, 4, "app", "web");
+        put_str(&mut buf, 2, "hello");
+
+        #[derive(Debug, Clone, Default, PartialEq)]
+        struct Raw(Vec<u8>);
+        impl Message for Raw {
+            fn encode_into(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.0);
+            }
+            fn decode_from(_r: &mut Reader<'_>) -> Result<Self, WireError> {
+                unreachable!("encode-only test type")
+            }
+        }
+        let raw = Raw(buf);
+        let shared = raw.encode_shared();
+        assert_eq!(&shared[..], raw.encode().as_slice());
+        assert_eq!(&raw.encode_shared()[..], &shared[..]);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 #    fault path: per-node channel identity, victim planning from the
 #    per-node traffic catalogue, and the blackout world actions
 #    (silence + restart) end to end.
+# 6. Re-run the partition slice with MUTINY_DECODE_CACHE=0 (every
+#    watch-cache sync decodes from bytes) and diff its TSV against the
+#    cached-mode TSV byte for byte: the revision-keyed decode cache must
+#    be a pure performance device.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +31,16 @@ cargo build --release
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+# The TSV/baseline caches under target/ trust that the simulation code
+# has not changed since they were written (they are keyed by env, not by
+# code version). verify.sh is exactly the place where the code *has*
+# changed, so clear them all: every smoke slice below must run fresh
+# against the current build, and the decode-cache A/B must never diff
+# against (or resume from) rows produced by an older commit.
+TARGET_DIR="${CARGO_TARGET_DIR:-target}"
+rm -f "$TARGET_DIR"/mutiny_campaign_*.tsv "$TARGET_DIR"/mutiny_campaign_*.tsv.partial \
+      "$TARGET_DIR"/mutiny_baseline_*.tsv "$TARGET_DIR"/mutiny_baseline_*.tsv.partial
 
 echo "== smoke campaign, full registries (MUTINY_SCALE=0.02) =="
 MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
@@ -50,5 +64,26 @@ MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
 MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
 MUTINY_FAULTS=kubelet-crash-restart \
 cargo bench -q -p mutiny-bench --bench table4_of_stats
+
+echo "== decode-cache A/B: partition slice with MUTINY_DECODE_CACHE=0 =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_FAULTS=partition \
+MUTINY_DECODE_CACHE=0 \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
+nodc_found=0
+for nodc in "$TARGET_DIR"/mutiny_campaign_*_nodc.tsv; do
+  [ -e "$nodc" ] || continue
+  nodc_found=1
+  cached="${nodc%_nodc.tsv}.tsv"
+  if ! diff -q "$cached" "$nodc"; then
+    echo "FAIL: MUTINY_DECODE_CACHE=0 changed the campaign TSV ($cached vs $nodc)"
+    exit 1
+  fi
+done
+if [ "$nodc_found" != 1 ]; then
+  echo "FAIL: the MUTINY_DECODE_CACHE=0 slice produced no TSV to diff"
+  exit 1
+fi
 
 echo "== verify OK =="

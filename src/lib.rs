@@ -51,6 +51,22 @@
 //! GKE-webhook-style outage of the paper's Figure 2, the Reddit Pi-Day
 //! network outage) and `crates/bench` for the harnesses that regenerate every
 //! table and figure of the paper's evaluation.
+//!
+//! ## The zero-alloc object hot path
+//!
+//! Campaign throughput is bounded by how fast one simulated cluster can
+//! push state transitions through *serialize → store → watch → decode*.
+//! That path performs no per-message allocations in the steady state:
+//! encoding stages nested messages in pooled per-thread scratch and
+//! commits one exactly-sized `Arc<[u8]>` ([`protowire::Message::encode_shared`]),
+//! the store replicates and watch-logs that buffer by refcount
+//! ([`etcd`]), and the apiserver's watch-cache drain skips re-decoding
+//! entirely when an event hands back the very buffer the write path
+//! committed — a revision-keyed decode cache guarded by `Arc::ptr_eq`,
+//! so fault-corrupted deliveries (fresh allocations by construction)
+//! always decode fresh. Set `MUTINY_DECODE_CACHE=0` to force full
+//! decoding; campaign TSV output is byte-identical either way (enforced
+//! by `tests/decode_cache_determinism.rs`).
 
 pub use etcd_sim as etcd;
 pub use k8s_apiserver as apiserver;

@@ -1,0 +1,95 @@
+//! Kill-mid-checkpoint resume (the acceptance criterion for the
+//! checkpoint bugfixes): a campaign killed while flushing a chunk leaves
+//! a `.partial` file with a torn trailing row; the next run must detect
+//! the tear, truncate back to the last complete row, resume from there,
+//! and produce a final TSV cache byte-identical to an uninterrupted run.
+//!
+//! This file is its own test binary (own process): it owns the `MUTINY_*`
+//! environment, so the tiny deploy×drop slice it configures cannot leak
+//! into the other test binaries.
+
+use std::fs;
+
+fn configure_tiny_campaign() {
+    std::env::set_var("MUTINY_SCENARIOS", "deploy");
+    std::env::set_var("MUTINY_FAULTS", "drop");
+    std::env::set_var("MUTINY_SCALE", "0.05");
+    std::env::set_var("MUTINY_GOLDEN_RUNS", "4");
+    std::env::set_var("MUTINY_SEED", "2024");
+    // One row per chunk: every row lands in its own flush, so a torn
+    // trailing row is exactly "killed mid-checkpoint".
+    std::env::set_var("MUTINY_CHECKPOINT_ROWS", "1");
+    std::env::set_var("MUTINY_THREADS", "2");
+}
+
+#[test]
+fn killed_mid_checkpoint_resumes_byte_identically() {
+    configure_tiny_campaign();
+    let path = mutiny_bench::cache_path();
+    let partial = path.with_extension("tsv.partial");
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&partial);
+
+    // 1. The uninterrupted run: rows land in the final TSV cache.
+    let uninterrupted = mutiny_bench::campaign();
+    assert!(uninterrupted.len() >= 3, "slice too small: {}", uninterrupted.len());
+    let golden_tsv = fs::read_to_string(&path).expect("final cache written");
+    assert_eq!(golden_tsv, mutiny_bench::render_rows(&uninterrupted));
+    assert!(!partial.exists(), "promote must consume the checkpoint");
+
+    // 2. Simulate the kill: a checkpoint holding the first complete rows
+    //    plus a torn half-row (the write the kill interrupted). The first
+    //    kept row gets a sentinel z-score: outcome columns are not part
+    //    of the plan-prefix check, so a *true* resume must carry the
+    //    sentinel through to the final cache untouched — while a silent
+    //    from-scratch re-run would recompute the original value. This is
+    //    what distinguishes "resumed" from "rows happen to be
+    //    deterministic".
+    let lines: Vec<&str> = golden_tsv.lines().collect();
+    let keep = lines.len() - 2;
+    let sentinel_row = {
+        let mut fields: Vec<&str> = lines[0].split('\t').collect();
+        assert_ne!(fields[4], "999.25", "sentinel must differ from the real z");
+        fields[4] = "999.25";
+        fields.join("\t")
+    };
+    let mut torn = String::new();
+    for (i, l) in lines[..keep].iter().enumerate() {
+        torn.push_str(if i == 0 { sentinel_row.as_str() } else { l });
+        torn.push('\n');
+    }
+    let half = &lines[keep][..lines[keep].len() / 2];
+    torn.push_str(half); // no trailing newline: the flush never finished
+    fs::remove_file(&path).expect("drop final cache");
+    fs::write(&partial, &torn).expect("plant interrupted checkpoint");
+
+    // 3. Resume: the torn tail is truncated, only rows `keep..` re-run,
+    //    and the promoted file is the checkpointed prefix (sentinel
+    //    included) plus the re-run tail — byte-identical to the
+    //    uninterrupted run everywhere except the planted sentinel.
+    let mut expected = String::new();
+    expected.push_str(&sentinel_row);
+    expected.push('\n');
+    for l in &lines[1..] {
+        expected.push_str(l);
+        expected.push('\n');
+    }
+    let resumed = mutiny_bench::campaign();
+    assert_eq!(
+        mutiny_bench::render_rows(&resumed),
+        expected,
+        "campaign did not resume from the torn checkpoint (sentinel lost or tail diverged)"
+    );
+    let resumed_tsv = fs::read_to_string(&path).expect("final cache rewritten");
+    assert_eq!(resumed_tsv, expected, "promoted cache file is not the resumed prefix + tail");
+    assert!(!partial.exists());
+
+    // 4. A checkpoint corrupted *before* the tail (not a tear) is stale:
+    //    it must be discarded, and the campaign still completes with the
+    //    same rows from scratch.
+    fs::remove_file(&path).expect("drop final cache again");
+    let corrupt = golden_tsv.replacen("deploy", "dEploy", 1);
+    fs::write(&partial, &corrupt).expect("plant corrupt checkpoint");
+    let rebuilt = mutiny_bench::campaign();
+    assert_eq!(mutiny_bench::render_rows(&rebuilt), golden_tsv);
+}

@@ -1,0 +1,67 @@
+//! The revision-keyed decode cache is a pure performance device: with
+//! `MUTINY_DECODE_CACHE=0` every watch-cache sync decodes from bytes, and
+//! the campaign TSV must not change by a single byte — at any worker
+//! count. This file is its own test binary (own process), so flipping the
+//! environment toggle here cannot race with the other determinism tests.
+
+use k8s_cluster::ClusterConfig;
+use k8s_model::Channel;
+use mutiny_core::campaign::{
+    generate_plan, record_fields, run_campaign_with_threads, PlannedExperiment,
+};
+use mutiny_core::golden::build_baseline_with_threads;
+use mutiny_scenarios::DEPLOY;
+use simkit::Rng;
+use std::collections::HashMap;
+
+#[test]
+fn campaign_tsv_identical_with_decode_cache_on_and_off() {
+    assert!(
+        std::env::var("MUTINY_DECODE_CACHE").is_err(),
+        "test owns this env var; unset it before running"
+    );
+
+    // A fault-diverse slice of the deploy plan: field mutations and
+    // value-sets exercise the Replace (tampered-bytes) path where a stale
+    // cached decode would be visible, drops exercise the nothing-lands
+    // path, proto-byte flips the undecodable path.
+    let cluster = ClusterConfig::default();
+    let traffic = record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
+    let mut rng = Rng::new(7);
+    let full = generate_plan(&traffic, DEPLOY, &mut rng);
+    let stride = (full.len() / 8).max(1);
+    let plan: Vec<PlannedExperiment> = full.into_iter().step_by(stride).take(8).collect();
+    assert!(plan.len() >= 6, "plan too small to be meaningful");
+
+    let mut baselines = HashMap::new();
+    baselines.insert(DEPLOY, build_baseline_with_threads(&cluster, DEPLOY, 4, 0xBA5E, 1));
+
+    // Cached mode (the default): the write path must actually feed the
+    // watch cache — a campaign that never hits the cache would make this
+    // whole test vacuous.
+    let (h0, _) = k8s_apiserver::decode_cache_stats();
+    let cached = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
+    let cached_tsv = mutiny_bench::render_rows(&cached);
+    let (h1, _) = k8s_apiserver::decode_cache_stats();
+    assert!(h1 > h0, "campaign ran without a single decode-cache hit");
+    for threads in [2usize, 5] {
+        let parallel = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+        assert_eq!(
+            cached_tsv,
+            mutiny_bench::render_rows(&parallel),
+            "cached mode diverged at {threads} threads"
+        );
+    }
+
+    // Decode-everything mode: byte-identical TSV at 1, 2 and 5 workers.
+    std::env::set_var("MUTINY_DECODE_CACHE", "0");
+    for threads in [1usize, 2, 5] {
+        let uncached = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+        assert_eq!(
+            cached_tsv,
+            mutiny_bench::render_rows(&uncached),
+            "MUTINY_DECODE_CACHE=0 changed the TSV at {threads} threads"
+        );
+    }
+    std::env::remove_var("MUTINY_DECODE_CACHE");
+}
