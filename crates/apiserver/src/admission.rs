@@ -16,6 +16,11 @@ use k8s_model::{Channel, Object, Op};
 pub enum AdmitError {
     /// Identity or optimistic-concurrency conflict.
     Conflict(String),
+    /// An update reached admission without the stored object it refers
+    /// to — a request-pipeline invariant violation (e.g. the object was
+    /// deleted mid-flight). Surfaced as a typed error instead of a
+    /// panic so an injected campaign run can never abort the process.
+    MissingExisting,
 }
 
 /// Runs admission over an incoming object, mutating it into its stored form.
@@ -40,7 +45,9 @@ pub fn admit(
             meta.generation = 1;
         }
         Op::Update => {
-            let old = existing.expect("update admission requires the existing object");
+            let Some(old) = existing else {
+                return Err(AdmitError::MissingExisting);
+            };
 
             // Optimistic concurrency: a stale resourceVersion is rejected.
             let new_rv = new_obj.meta().resource_version;
@@ -173,6 +180,14 @@ mod tests {
         let mut ctr = 0;
         let err = admit(&mut new, Some(&old), Channel::UserToApi, Op::Update, 0, &mut ctr);
         assert!(matches!(err, Err(AdmitError::Conflict(_))));
+    }
+
+    #[test]
+    fn update_without_existing_is_a_typed_error() {
+        let mut new = stored_pod();
+        let mut ctr = 0;
+        let err = admit(&mut new, None, Channel::UserToApi, Op::Update, 0, &mut ctr);
+        assert_eq!(err, Err(AdmitError::MissingExisting));
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub use policy::{
 
 use etcd_sim::{Bytes, Etcd, EtcdError};
 use k8s_model::{
-    registry_key, registry_key_into, registry_prefix_into, Channel, ChannelId, Interceptor, Kind,
-    MsgCtx, Object, Op, WireVerdict,
+    registry_key, registry_key_into, registry_prefix_into, AdmitCtx, Channel, ChannelId,
+    Interceptor, Kind, MsgCtx, Object, Op, WireVerdict,
 };
 use simkit::{Trace, TraceLevel};
 use std::cell::RefCell;
@@ -254,6 +254,8 @@ pub struct ApiServer {
     policies: Vec<Box<dyn AdmissionPolicy>>,
     /// Requests denied by an admission policy.
     pub policy_denials: u64,
+    /// Requests repaired in place by a mutating admission policy.
+    pub policy_repairs: u64,
     /// Installed integrity checker (§VI-B redundancy codes).
     integrity: Option<Rc<dyn IntegrityChecker>>,
     /// Integrity subsystem counters.
@@ -304,6 +306,7 @@ impl ApiServer {
             sync_events_coalesced: 0,
             policies: Vec::new(),
             policy_denials: 0,
+            policy_repairs: 0,
             integrity: None,
             integrity_metrics: IntegrityMetrics::default(),
             read_tracking: None,
@@ -320,6 +323,37 @@ impl ApiServer {
     /// now on carry a redundancy code that is verified on every decode.
     pub fn install_integrity(&mut self, checker: Rc<dyn IntegrityChecker>) {
         self.integrity = Some(checker);
+    }
+
+    /// Runs the installed policies' repair pass over a create/update:
+    /// each policy may replace the incoming object with a repaired one
+    /// (mutating-webhook semantics) before the review pass sees it.
+    fn repair_policies(
+        &mut self,
+        op: Op,
+        channel: ChannelId,
+        object: &mut Object,
+        existing: Option<&Object>,
+    ) {
+        if self.policies.is_empty() {
+            return;
+        }
+        let mut repairs = 0u64;
+        for p in &mut self.policies {
+            let ctx = PolicyCtx {
+                op,
+                channel: channel.class(),
+                object,
+                existing,
+                now: self.now,
+                view: &self.cache,
+            };
+            if let Some(fixed) = p.repair(&ctx) {
+                *object = fixed;
+                repairs += 1;
+            }
+        }
+        self.policy_repairs += repairs;
     }
 
     /// Runs the installed policies over one request.
@@ -751,7 +785,13 @@ impl ApiServer {
                     .unwrap_or_else(|| Rc::new(Object::Namespace(k8s_model::Namespace::default()))))
             }
             Op::Create | Op::Update => {
-                let mut new_obj = incoming.expect("create/update carries an object");
+                // A create/update without a payload cannot be admitted;
+                // reject it like any other undecodable request instead of
+                // panicking (callers always supply one, but an injected
+                // campaign must never be able to abort the process).
+                let Some(mut new_obj) = incoming else {
+                    return Err(ApiError::Undecodable);
+                };
                 let existing = self.current_object(key);
 
                 if op == Op::Create && existing.is_some() {
@@ -793,7 +833,25 @@ impl ApiServer {
                     }
                 }
 
+                // Admission-time spec mutation: an armed config-defect
+                // actuator may rewrite the decoded object *after* the
+                // built-in validation above (defects are valid specs) and
+                // *before* the policy layer — exactly where a bad-but-
+                // well-formed manifest enters a real cluster. The traffic
+                // recorder observes the same hook, so planned victim
+                // occurrences line up with what an armed actuator sees.
+                if channel != Channel::ApiToEtcd && !status_only {
+                    let ctx = AdmitCtx { channel, kind, key, op, now: self.now };
+                    if self.interceptor.clone().borrow_mut().on_admission(&ctx, &mut new_obj) {
+                        self.log(
+                            TraceLevel::Info,
+                            format!("{op} {key}: spec mutated at admission on {channel}"),
+                        );
+                    }
+                }
+
                 if channel != Channel::ApiToEtcd {
+                    self.repair_policies(op, channel, &mut new_obj, existing.as_deref());
                     self.review_policies(op, channel, &new_obj, existing.as_deref())?;
                 }
 
@@ -807,6 +865,7 @@ impl ApiServer {
                 )
                 .map_err(|e| match e {
                     admission::AdmitError::Conflict(m) => ApiError::Conflict(m),
+                    admission::AdmitError::MissingExisting => ApiError::NotFound,
                 })?;
 
                 // Stamp the resourceVersion the store will assign.

@@ -60,6 +60,14 @@ pub trait AdmissionPolicy {
     ///
     /// A human-readable denial reason; the request is rejected with it.
     fn review(&mut self, ctx: &PolicyCtx<'_>) -> Result<(), String>;
+
+    /// Optional mutating pass run *before* [`AdmissionPolicy::review`]:
+    /// a policy may return a repaired replacement for the incoming
+    /// object (a mutating webhook). `None` leaves the object untouched.
+    /// Repairs count in `ApiServer::policy_repairs`, not as denials.
+    fn repair(&mut self, _ctx: &PolicyCtx<'_>) -> Option<Object> {
+        None
+    }
 }
 
 /// What the apiserver does when a stored object fails integrity

@@ -13,14 +13,53 @@
 //! `MUTINY_GOLDEN_RUNS`, `MUTINY_SEED`); the replay additionally honours
 //! `MUTINY_ABLATION_GOLDEN` (golden runs per arm baseline, default 16).
 
-use k8s_cluster::ClusterConfig;
-use mutiny_core::ablation::{critical_replay_plan, run_ablation, AblationArm, AblationSummary};
+use k8s_cluster::{ClusterConfig, MitigationsConfig};
+use mutiny_core::ablation::{
+    config_replay_plan, critical_replay_plan, family_coverage, run_ablation, AblationArm,
+    AblationSummary,
+};
+
+/// Replays every fired config-defect injection under the unmitigated
+/// and validating-admission arms and prints per-family detection
+/// coverage and false-reject rates — the close-the-loop measurement for
+/// the admission-time defect families.
+fn validating_coverage(results: &mutiny_core::campaign::CampaignResults, golden: usize) {
+    let plan = config_replay_plan(results);
+    println!(
+        "\n== Validating admission — detection coverage over {} config-defect injections ==",
+        plan.len()
+    );
+    if plan.is_empty() {
+        println!("(no config-defect injections fired; include cfg-* families in MUTINY_FAULTS)");
+        return;
+    }
+    let arms = [
+        AblationArm { label: "unmitigated".into(), mitigations: MitigationsConfig::default() },
+        AblationArm {
+            label: "validating".into(),
+            mitigations: MitigationsConfig { validating: true, ..Default::default() },
+        },
+    ];
+    let outcomes =
+        run_ablation(&ClusterConfig::default(), &plan, &arms, golden, mutiny_bench::seed());
+    for cov in family_coverage(&outcomes[0].1, &outcomes[1].1) {
+        println!("{cov}");
+    }
+    println!("\n{}", mutiny_core::tables::config_defect_table(results).render());
+}
 
 fn main() {
     let results = mutiny_bench::campaign();
+    let golden = std::env::var("MUTINY_ABLATION_GOLDEN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+
+    validating_coverage(&results, golden);
+
     let plan = critical_replay_plan(&results);
     println!(
-        "== Ablation — §VI-B mitigations vs the campaign's {} critical injections ==",
+        "\n== Ablation — §VI-B mitigations vs the campaign's {} critical injections ==",
         plan.len()
     );
     if plan.is_empty() {
@@ -28,10 +67,6 @@ fn main() {
         return;
     }
 
-    let golden = std::env::var("MUTINY_ABLATION_GOLDEN")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
     let arms = AblationArm::standard();
     let t = std::time::Instant::now();
     let outcomes = run_ablation(&ClusterConfig::default(), &plan, &arms, golden, mutiny_bench::seed());

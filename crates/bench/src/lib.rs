@@ -549,6 +549,9 @@ fn render_point(point: &InjectionPoint) -> String {
             format!("partition:{from_off}:{dur_ms}")
         }
         InjectionPoint::Crash { from_off, dur_ms } => format!("crash:{from_off}:{dur_ms}"),
+        InjectionPoint::Config { defect, param } => {
+            format!("config:{}:{param}", escape(defect))
+        }
         InjectionPoint::ProtoByte { byte_frac, bit } => format!("proto:{byte_frac}:{bit}"),
         InjectionPoint::Field { path, mutation } => {
             let m = match mutation {
@@ -589,6 +592,16 @@ fn parse_point(s: &str) -> Option<InjectionPoint> {
             dur_ms: dur.parse().ok()?,
         });
     }
+    if let Some(rest) = s.strip_prefix("config:") {
+        // The param is the last `:`-separated piece; the defect class
+        // itself never contains raw colons after escaping, but rsplit
+        // keeps third-party defect names safe anyway.
+        let (defect, param) = rest.rsplit_once(':')?;
+        return Some(InjectionPoint::Config {
+            defect: unescape(defect),
+            param: param.parse().ok()?,
+        });
+    }
     if let Some(rest) = s.strip_prefix("proto:") {
         let (frac, bit) = rest.split_once(':')?;
         return Some(InjectionPoint::ProtoByte {
@@ -627,9 +640,12 @@ pub fn render_rows(results: &CampaignResults) -> String {
         // from a checkpoint re-parses flushed rows, and they must equal
         // the freshly computed ones exactly. The fault-family name and
         // the channel ride along so non-wire families (whose specs may
-        // target any channel) round-trip exactly.
+        // target any channel) round-trip exactly. Config rows carry a
+        // 13th defect-class column; it is re-derived from the point on
+        // parse, so pre-config 12-column caches still load and re-render
+        // byte-identically.
         out.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.scenario.name(),
             r.fault.name(),
             r.of.label(),
@@ -643,6 +659,11 @@ pub fn render_rows(results: &CampaignResults) -> String {
             r.spec.kind,
             r.spec.occurrence,
         ));
+        if let InjectionPoint::Config { defect, .. } = &r.spec.point {
+            out.push('\t');
+            out.push_str(&escape(defect));
+        }
+        out.push('\n');
     }
     out
 }
@@ -653,8 +674,10 @@ fn parse_rows(text: &str) -> Option<CampaignResults> {
         if line.is_empty() {
             continue;
         }
+        // 12 columns pre-config; config rows append a 13th defect-class
+        // column, ignored on parse (re-derived from the point).
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 12 {
+        if f.len() != 12 && f.len() != 13 {
             return None;
         }
         let scenario = registry::find(f[0])?;
@@ -841,6 +864,57 @@ mod tests {
     }
 
     #[test]
+    fn config_rows_carry_a_defect_column_and_old_caches_render_unchanged() {
+        // Config rows append a 13th defect-class column; it must
+        // round-trip and be re-derived from the point.
+        let results = CampaignResults {
+            rows: vec![CampaignRow {
+                scenario: mutiny_scenarios::DEPLOY,
+                spec: InjectionSpec {
+                    channel: Channel::UserToApi.into(),
+                    kind: Kind::Deployment,
+                    point: InjectionPoint::Config { defect: "selector".into(), param: 1 },
+                    occurrence: 2,
+                },
+                fault: mutiny_faults::CFG_SELECTOR,
+                of: OrchestratorFailure::MoR,
+                cf: ClientFailure::Nsi,
+                z: 3.5,
+                fired: true,
+                activated: true,
+                user_error: false,
+                path: None,
+            }],
+        };
+        let text = render_rows(&results);
+        let line = text.lines().next().unwrap();
+        assert_eq!(line.split('\t').count(), 13, "defect column missing: {line}");
+        assert!(line.ends_with("\tselector"), "defect class not last: {line}");
+        assert!(roundtrip_check(&results));
+        let reparsed = parse_rows(&text).expect("13-column config row must parse");
+        assert_eq!(render_rows(&reparsed), text, "config rows must re-render byte-identically");
+
+        // Every pre-config cache row has 12 columns. A representative
+        // set (wire, field, temporal, node-scoped) must parse unchanged
+        // and re-render byte-identically — resumed checkpoints from
+        // older runs depend on it.
+        let old_cache = concat!(
+            "deploy\tdrop\tNo\tNSI\t0\ttrue\tfalse\tfalse\tdrop\tapiserver->etcd\tPod\t1\n",
+            "deploy\tvalue-set\tSta\tSU\t12.5\ttrue\ttrue\tfalse\t",
+            "field:spec.replicas:set-int:0\tapiserver->etcd\tReplicaSet\t3\n",
+            "scale\tdelay\tTim\tNSI\t1.5\ttrue\tfalse\tfalse\t",
+            "delay:3000\tkcm->apiserver\tLease\t2\n",
+            "failover\tnode-partition\tTim\tNSI\t2\ttrue\tfalse\tfalse\t",
+            "partition:2000:8000\tkubelet->apiserver@w1\tNode\t1\n",
+        );
+        let parsed = parse_rows(old_cache).expect("pre-config 12-column rows must parse");
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(render_rows(&parsed), old_cache);
+        // A 14-column row is garbage, not a future schema we understand.
+        assert!(parse_rows("a\tb\tc\td\te\tf\tg\th\ti\tj\tk\tl\tm\tn\n").is_none());
+    }
+
+    #[test]
     fn point_serialization_is_exact() {
         use protowire::reflect::Value;
         for point in [
@@ -849,6 +923,8 @@ mod tests {
             InjectionPoint::Duplicate { echo_ms: 1 },
             InjectionPoint::Partition { from_off: 0, dur_ms: 4_000 },
             InjectionPoint::Crash { from_off: 2_000, dur_ms: 6_000 },
+            InjectionPoint::Config { defect: "resources".into(), param: 2 },
+            InjectionPoint::Config { defect: "odd%class\twith:colons".into(), param: -1 },
             InjectionPoint::ProtoByte { byte_frac: 0.123456789, bit: 7 },
             InjectionPoint::Field {
                 path: "metadata.labels['k8s-app']".into(),

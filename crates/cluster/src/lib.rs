@@ -244,6 +244,9 @@ impl World {
             api.install_policy(Box::new(mutiny_mitigations::ReplicaCeiling::default()));
             api.install_policy(Box::new(mutiny_mitigations::NamespacePodQuota::default()));
         }
+        if cfg.mitigations.validating {
+            api.install_policy(Box::new(mutiny_mitigations::ValidatingAdmission::default()));
+        }
         let breaker = cfg
             .mitigations
             .breaker
@@ -486,13 +489,11 @@ impl World {
                         self.stats.app_pod_restarts = pod.status.restart_count;
                     }
                 }
-                None => {
-                    if self.stats.t0 > 0
-                        && self.api.now() >= self.stats.t0
-                        && self.stats.pod_created.contains_key(&ev.key)
-                    {
-                        self.stats.app_pods_deleted += 1;
-                    }
+                None if self.stats.t0 > 0
+                    && self.api.now() >= self.stats.t0
+                    && self.stats.pod_created.contains_key(&ev.key) =>
+                {
+                    self.stats.app_pods_deleted += 1;
                 }
                 _ => {}
             }
@@ -542,10 +543,8 @@ impl World {
                     _ => {}
                 }
                 match p.metadata.labels.get("app").map(String::as_str) {
-                    Some("net-agent") | Some("kube-proxy") => {
-                        if !p.is_ready() {
-                            netpods_failed = true;
-                        }
+                    Some("net-agent") | Some("kube-proxy") if !p.is_ready() => {
+                        netpods_failed = true;
                     }
                     Some("prometheus") if p.is_ready() => prometheus_ready = true,
                     _ => {}
@@ -660,6 +659,7 @@ mod tests {
             assert_eq!(last.app_ready.get(name), Some(&2), "{name} not converged");
         }
         assert_eq!(w.api.policy_denials, 0, "policies denied a legitimate request");
+        assert_eq!(w.api.policy_repairs, 0, "validating admission repaired a clean spec");
         assert_eq!(w.api.integrity_metrics.violations, 0, "spurious integrity violation");
         assert_eq!(w.breaker.as_ref().unwrap().metrics.trips, 0, "spurious breaker trip");
         assert_eq!(w.guard.as_ref().unwrap().metrics.rollbacks, 0, "spurious rollback");

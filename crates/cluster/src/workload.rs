@@ -146,7 +146,7 @@ pub(crate) fn execute_op(
                     if p.spec.node_name == *node
                         && p.metadata.name.starts_with("web-")
                         && !p.metadata.is_terminating()
-                        && victim.as_deref().map_or(true, |v| p.metadata.name.as_str() < v)
+                        && victim.as_deref().is_none_or(|v| p.metadata.name.as_str() < v)
                     {
                         victim = Some(p.metadata.name.clone());
                     }

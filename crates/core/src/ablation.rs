@@ -47,6 +47,10 @@ impl AblationArm {
                 label: "policies".into(),
                 mitigations: MitigationsConfig { policies: true, ..Default::default() },
             },
+            AblationArm {
+                label: "validating".into(),
+                mitigations: MitigationsConfig { validating: true, ..Default::default() },
+            },
             AblationArm { label: "all".into(), mitigations: MitigationsConfig::all() },
         ]
     }
@@ -119,6 +123,123 @@ pub fn critical_replay_plan(results: &CampaignResults) -> Vec<PlannedExperiment>
         .filter(|r| r.of.is_system_wide() || r.cf == ClientFailure::Su)
         .map(|r| PlannedExperiment { scenario: r.scenario, fault: r.fault, spec: r.spec.clone() })
         .collect()
+}
+
+/// Extracts every *fired* config-defect experiment from campaign results
+/// as a replayable plan. Unlike [`critical_replay_plan`] this keeps the
+/// non-critical rows too: a validating-admission webhook is judged on
+/// how many defective specs it catches overall, not only on the ones
+/// that escalated to Sta/Out/SU.
+pub fn config_replay_plan(results: &CampaignResults) -> Vec<PlannedExperiment> {
+    results
+        .rows
+        .iter()
+        .filter(|r| r.fired && matches!(r.spec.point, crate::injector::InjectionPoint::Config { .. }))
+        .map(|r| PlannedExperiment { scenario: r.scenario, fault: r.fault, spec: r.spec.clone() })
+        .collect()
+}
+
+/// Per-family detection coverage of one defended arm against the
+/// unmitigated arm, over the *same* plan (rows correspond index-wise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyCoverage {
+    /// The fault family.
+    pub family: mutiny_faults::Fault,
+    /// Experiments replayed for this family.
+    pub n: usize,
+    /// Rows that failed (any OF, or a client failure) unmitigated.
+    pub failed_unmitigated: usize,
+    /// Failing rows the defense turned fully clean (No/Nsi).
+    pub neutralized: usize,
+    /// Rows where the defense surfaced a rejection (user-visible API
+    /// error absent in the unmitigated run).
+    pub rejects: usize,
+    /// Rejections of specs whose unmitigated run was clean anyway — the
+    /// policy's false-reject count.
+    pub false_rejects: usize,
+}
+
+impl FamilyCoverage {
+    /// Fraction of unmitigated failures this defense neutralized.
+    pub fn coverage(&self) -> f64 {
+        if self.failed_unmitigated == 0 {
+            return 1.0;
+        }
+        self.neutralized as f64 / self.failed_unmitigated as f64
+    }
+
+    /// Fraction of replayed rows the defense rejected spuriously.
+    pub fn false_reject_rate(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.false_rejects as f64 / self.n as f64
+    }
+}
+
+impl std::fmt::Display for FamilyCoverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<14} n={:<4} failed={:<4} neutralized={:<4} ({:>5.1}%) rejects={:<3} false-rejects={} ({:.1}%)",
+            self.family.to_string(),
+            self.n,
+            self.failed_unmitigated,
+            self.neutralized,
+            100.0 * self.coverage(),
+            self.rejects,
+            self.false_rejects,
+            100.0 * self.false_reject_rate(),
+        )
+    }
+}
+
+/// Compares two arms of the same plan row-by-row and aggregates
+/// detection coverage per fault family. Panics if the arms ran
+/// different plans (row counts must match).
+pub fn family_coverage(
+    unmitigated: &CampaignResults,
+    defended: &CampaignResults,
+) -> Vec<FamilyCoverage> {
+    assert_eq!(
+        unmitigated.len(),
+        defended.len(),
+        "coverage arms must replay the same plan"
+    );
+    let mut out: Vec<FamilyCoverage> = Vec::new();
+    for (base, def) in unmitigated.rows.iter().zip(&defended.rows) {
+        let cov = match out.iter_mut().find(|c| c.family == base.fault) {
+            Some(c) => c,
+            None => {
+                out.push(FamilyCoverage {
+                    family: base.fault,
+                    n: 0,
+                    failed_unmitigated: 0,
+                    neutralized: 0,
+                    rejects: 0,
+                    false_rejects: 0,
+                });
+                out.last_mut().unwrap()
+            }
+        };
+        cov.n += 1;
+        let base_clean =
+            base.of == OrchestratorFailure::No && base.cf == ClientFailure::Nsi;
+        let def_clean = def.of == OrchestratorFailure::No && def.cf == ClientFailure::Nsi;
+        if !base_clean {
+            cov.failed_unmitigated += 1;
+            if def_clean {
+                cov.neutralized += 1;
+            }
+        }
+        if def.user_error && !base.user_error {
+            cov.rejects += 1;
+            if base_clean {
+                cov.false_rejects += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Runs `plan` once per arm and returns the per-arm results, in arm
@@ -218,10 +339,70 @@ mod tests {
         assert!(rendered.contains("Sta=1"));
     }
 
+    fn config_row(of: OrchestratorFailure, cf: ClientFailure, user_error: bool) -> CampaignRow {
+        CampaignRow {
+            spec: InjectionSpec {
+                channel: Channel::KcmToApi.into(),
+                kind: Kind::ReplicaSet,
+                point: InjectionPoint::Config { defect: "selector".into(), param: 0 },
+                occurrence: 1,
+            },
+            fault: mutiny_faults::CFG_SELECTOR,
+            user_error,
+            ..row(of, cf)
+        }
+    }
+
+    #[test]
+    fn config_replay_keeps_noncritical_fired_rows() {
+        let results = CampaignResults {
+            rows: vec![
+                config_row(OrchestratorFailure::LeR, ClientFailure::Nsi, false),
+                config_row(OrchestratorFailure::No, ClientFailure::Nsi, false),
+                row(OrchestratorFailure::Sta, ClientFailure::Su), // wire fault: excluded
+                CampaignRow {
+                    fired: false,
+                    ..config_row(OrchestratorFailure::No, ClientFailure::Nsi, false)
+                },
+            ],
+        };
+        let plan = config_replay_plan(&results);
+        assert_eq!(plan.len(), 2, "fired config rows only, critical or not");
+        assert!(plan.iter().all(|p| p.fault == mutiny_faults::CFG_SELECTOR));
+    }
+
+    #[test]
+    fn family_coverage_counts_neutralizations_and_false_rejects() {
+        let unmitigated = CampaignResults {
+            rows: vec![
+                config_row(OrchestratorFailure::Sta, ClientFailure::Nsi, false),
+                config_row(OrchestratorFailure::LeR, ClientFailure::Hrt, false),
+                config_row(OrchestratorFailure::No, ClientFailure::Nsi, false),
+            ],
+        };
+        let defended = CampaignResults {
+            rows: vec![
+                config_row(OrchestratorFailure::No, ClientFailure::Nsi, false), // neutralized
+                config_row(OrchestratorFailure::LeR, ClientFailure::Hrt, false), // missed
+                config_row(OrchestratorFailure::No, ClientFailure::Nsi, true), // false reject
+            ],
+        };
+        let cov = family_coverage(&unmitigated, &defended);
+        assert_eq!(cov.len(), 1);
+        let c = &cov[0];
+        assert_eq!(c.family, mutiny_faults::CFG_SELECTOR);
+        assert_eq!((c.n, c.failed_unmitigated, c.neutralized), (3, 2, 1));
+        assert_eq!((c.rejects, c.false_rejects), (1, 1));
+        assert!((c.coverage() - 0.5).abs() < 1e-9);
+        assert!((c.false_reject_rate() - 1.0 / 3.0).abs() < 1e-9);
+        let rendered = c.to_string();
+        assert!(rendered.contains("neutralized=1"), "{rendered}");
+    }
+
     #[test]
     fn standard_arms_cover_each_defense() {
         let arms = AblationArm::standard();
-        assert_eq!(arms.len(), 6);
+        assert_eq!(arms.len(), 7);
         assert!(arms.iter().any(|a| a.mitigations == MitigationsConfig::all()));
         assert!(arms.iter().any(|a| !a.mitigations.any()));
         // Each single-defense arm enables exactly one defense.
@@ -233,9 +414,10 @@ mod tests {
                     + usize::from(m.breaker)
                     + usize::from(m.guard)
                     + usize::from(m.policies)
+                    + usize::from(m.validating)
                     == 1
             })
             .count();
-        assert_eq!(singles, 4);
+        assert_eq!(singles, 5);
     }
 }

@@ -564,6 +564,7 @@ mod tests {
             fields,
             kinds: vec![(Channel::ApiToEtcd.into(), Kind::ReplicaSet, 5u64)],
             node_kinds: Vec::new(),
+            user_kinds: Vec::new(),
         };
         let mut rng = Rng::new(1);
         let plan = generate_plan(&traffic, DEPLOY, &mut rng);
@@ -607,6 +608,11 @@ mod tests {
                     4,
                 ),
             ],
+            user_kinds: vec![
+                (Channel::UserToApi, Kind::Deployment, 3),
+                (Channel::KcmToApi, Kind::Pod, 8),
+                (Channel::KcmToApi, Kind::ReplicaSet, 2),
+            ],
         };
         let faults = mutiny_faults::registry::all();
         let mut rng = Rng::new(1);
@@ -623,6 +629,11 @@ mod tests {
             "crash-restart",
             "kubelet-crash-restart",
             "node-partition",
+            "cfg-resources",
+            "cfg-selector",
+            "cfg-probe",
+            "cfg-grace",
+            "cfg-replicas",
         ] {
             assert!(planned_families.contains(&f), "{f} missing from the cross-product");
         }

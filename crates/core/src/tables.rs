@@ -66,7 +66,7 @@ pub fn table4(results: &CampaignResults) -> Table {
         "Table IV — Orchestrator-level failures (OF) per scenario × injection type",
         &["WL", "Injection", "Perf.", "No", "Tim", "LeR", "MoR", "Net", "Sta", "Out"],
     );
-    let mut totals = vec![0usize; 8];
+    let mut totals = [0usize; 8];
     for sc in results.scenarios() {
         // One row per fault family present in the results, in registry
         // order — a registered third-party family extends the table
@@ -108,7 +108,7 @@ pub fn table5(results: &CampaignResults) -> Table {
         "Table V — Client-level failures (CF) per scenario × injection type",
         &["WL", "Injection", "Perf.", "NSI", "HRT", "IA", "SU"],
     );
-    let mut totals = vec![0usize; 5];
+    let mut totals = [0usize; 5];
     for sc in results.scenarios() {
         for fault in results.faults() {
             let rows: Vec<&CampaignRow> = results
@@ -160,6 +160,49 @@ pub fn table6(
             cell.injections.to_string(),
             cell.propagated.to_string(),
             cell.errors.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Config-defect expectation table: each config-defect family's
+/// predicted failure signature (`FaultDef::expectation`) next to the
+/// observed OF/CF distribution — the expected-classification hint for
+/// the admission-time defect families. Families that planned nothing
+/// in these results are omitted.
+pub fn config_defect_table(results: &CampaignResults) -> Table {
+    let mut t = Table::new(
+        "Config defects — expected vs observed classification",
+        &["Injection", "n", "Fired", "Top OF", "Top CF", "Expected"],
+    );
+    for fault in results.faults() {
+        let rows: Vec<&CampaignRow> = results
+            .rows
+            .iter()
+            .filter(|r| {
+                r.fault == fault
+                    && matches!(r.spec.point, crate::injector::InjectionPoint::Config { .. })
+            })
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let fired = rows.iter().filter(|r| r.fired).count();
+        let top_of = OrchestratorFailure::ALL
+            .into_iter()
+            .max_by_key(|of| rows.iter().filter(|r| r.of == *of).count())
+            .unwrap_or(OrchestratorFailure::No);
+        let top_cf = ClientFailure::ALL
+            .into_iter()
+            .max_by_key(|cf| rows.iter().filter(|r| r.cf == *cf).count())
+            .unwrap_or(ClientFailure::Nsi);
+        t.push_row([
+            fault.label().to_string(),
+            rows.len().to_string(),
+            fired.to_string(),
+            top_of.label().to_string(),
+            top_cf.label().to_string(),
+            fault.expectation().to_string(),
         ]);
     }
     t
@@ -308,6 +351,28 @@ mod tests {
                 row(DEPLOY, PARTITION, OrchestratorFailure::Tim, ClientFailure::Hrt),
             ],
         }
+    }
+
+    #[test]
+    fn config_defect_table_pairs_expectation_with_observation() {
+        let mut r = sample_results();
+        // Three cfg-selector rows, Sta dominating, on top of the wire
+        // fixture rows (which must not leak into the defect table).
+        for of in [OrchestratorFailure::Sta, OrchestratorFailure::Sta, OrchestratorFailure::MoR] {
+            let mut cfg_row = row(DEPLOY, mutiny_faults::CFG_SELECTOR, of, ClientFailure::Nsi);
+            cfg_row.spec.point = InjectionPoint::Config { defect: "selector".into(), param: 0 };
+            r.rows.push(cfg_row);
+        }
+        let t = config_defect_table(&r);
+        let s = t.render();
+        assert!(s.contains("Sta"), "dominant OF missing: {s}");
+        assert!(
+            s.contains(mutiny_faults::CFG_SELECTOR.expectation()),
+            "expectation hint missing: {s}"
+        );
+        // Wire-only families contribute no rows — the table is scoped to
+        // config-defect injections.
+        assert!(!s.contains(BIT_FLIP.label()), "wire family leaked into the defect table: {s}");
     }
 
     #[test]

@@ -253,7 +253,7 @@ impl Etcd {
         }
         let values: Vec<&Versioned> =
             self.replicas.iter().filter_map(|r| r.data.get(key)).collect();
-        if values.is_empty() || values.len() * 2 <= self.replicas.len() - 1 {
+        if values.is_empty() || values.len() * 2 < self.replicas.len() {
             return None; // no majority holds the key
         }
         // Majority vote on the byte content (pointer-equality fast path:
@@ -268,7 +268,7 @@ impl Etcd {
                 None => counts.push((1, v)),
             }
         }
-        counts.sort_by(|a, b| b.0.cmp(&a.0));
+        counts.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
         let (_, winner) = counts[0];
         Some((winner.bytes.clone(), winner.mod_rev))
     }

@@ -426,6 +426,7 @@ mod tests {
             ],
             kinds: vec![(Channel::ApiToEtcd.into(), Kind::ReplicaSet, 5u64)],
             node_kinds: Vec::new(),
+            user_kinds: Vec::new(),
         }
     }
 

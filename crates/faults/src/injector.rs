@@ -83,6 +83,22 @@ pub enum InjectionPoint {
         /// Window length.
         dur_ms: u64,
     },
+    /// A configuration defect: mutate the decoded object at the
+    /// apiserver's **admission hook** instead of corrupting bytes on the
+    /// wire. The result is a *valid, decodable* spec that is
+    /// semantically wrong (request above limit, selector mismatch,
+    /// flappy probe, pathological grace, wild replica count) — it probes
+    /// controller logic, not parsers. Actuated by
+    /// [`ConfigDefect`](crate::config::ConfigDefect), which counts
+    /// matching admission events globally (the "Nth admitted spec of
+    /// this kind on this channel"), not per instance.
+    Config {
+        /// Defect class (the `cfg-*` family suffix, e.g. `resources`).
+        defect: String,
+        /// Family-specific parameter selecting the concrete mutation
+        /// (see the family docs in [`config`](crate::config)).
+        param: i64,
+    },
 }
 
 /// The value mutation applied to a field (§IV-C rules).
@@ -131,6 +147,9 @@ pub enum FaultKind {
     Partition,
     /// Component blackout with restart + re-list on recovery.
     Crash,
+    /// Configuration defect: a valid-but-wrong spec mutated at
+    /// admission time.
+    Config,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -143,6 +162,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Duplicate => "Duplicate",
             FaultKind::Partition => "Partition",
             FaultKind::Crash => "Crash-restart",
+            FaultKind::Config => "Config defect",
         };
         f.write_str(s)
     }
@@ -176,6 +196,7 @@ impl InjectionSpec {
             InjectionPoint::Duplicate { .. } => FaultKind::Duplicate,
             InjectionPoint::Partition { .. } => FaultKind::Partition,
             InjectionPoint::Crash { .. } => FaultKind::Crash,
+            InjectionPoint::Config { .. } => FaultKind::Config,
         }
     }
 
@@ -196,6 +217,9 @@ impl InjectionSpec {
             }
             InjectionPoint::Crash { from_off, dur_ms } => {
                 format!("{}:crash @+{from_off}ms for {dur_ms}ms", self.channel)
+            }
+            InjectionPoint::Config { defect, param } => {
+                format!("{}:config {defect} (param {param})", self.kind)
             }
         }
     }
@@ -437,6 +461,11 @@ impl Interceptor for Mutiny {
                         return WireVerdict::Replace(obj.encode());
                     }
                 }
+            }
+            InjectionPoint::Config { .. } => {
+                // Config defects act at the admission hook, not on the
+                // wire; a Config spec armed into Mutiny (the implied-
+                // family compatibility path) simply passes everything.
             }
             InjectionPoint::Partition { .. } | InjectionPoint::Crash { .. } => {
                 unreachable!("window faults handled above")

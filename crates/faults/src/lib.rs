@@ -6,7 +6,7 @@
 //! workload dimension: a [`FaultDef`] describes one **fault family** —
 //! its name, how it plans [`InjectionSpec`]s from recorded wire traffic,
 //! and how it arms an [`Interceptor`]-compatible [`FaultActuator`] — and
-//! lives in a **registry** next to the nine [`registry::BUILTIN`]
+//! lives in a **registry** next to the fourteen [`registry::BUILTIN`]
 //! entries:
 //!
 //! * the paper's wire triplet, re-homed: **bit-flip**, **value-set**,
@@ -26,7 +26,13 @@
 //!   restart) and **node-partition** (a windowed drop-all on one node's
 //!   wire, healed by the kubelet's status replay), the per-node fault
 //!   granularity of the cloud-edge study (arXiv:2507.16109) and the
-//!   availability-manager analysis (arXiv:1901.04946).
+//!   availability-manager analysis (arXiv:1901.04946);
+//! * configuration defects, actuated at the apiserver's **admission
+//!   hook** rather than on the wire — **cfg-resources**,
+//!   **cfg-selector**, **cfg-probe**, **cfg-grace**, **cfg-replicas** —
+//!   valid, decodable spec mutations probing controller logic, the
+//!   misconfiguration dimension of the config-defects study
+//!   (arXiv:2512.05062).
 //!
 //! Campaign plans, result rows, the bench TSV schema and Tables III–V
 //! all key on the fault-family *name*, so [`registry::register`] adds a
@@ -45,6 +51,7 @@
 //! ```
 
 pub mod builtin;
+pub mod config;
 pub mod injector;
 pub mod node;
 pub mod recorder;
@@ -52,13 +59,16 @@ pub mod recorder;
 pub use builtin::{
     BIT_FLIP, CRASH_RESTART, DELAY, DROP, DUPLICATE, PARTITION, VALUE_SET, WIRE_BUILTIN,
 };
+pub use config::{
+    ConfigDefect, CFG_GRACE, CFG_PROBE, CFG_REPLICAS, CFG_RESOURCES, CFG_SELECTOR, CONFIG_BUILTIN,
+};
 pub use injector::{
     FaultKind, FieldMutation, InjectionPoint, InjectionRecord, InjectionSpec, Mutiny,
 };
 pub use node::{KUBELET_CRASH_RESTART, NODE_PARTITION};
 pub use recorder::{FieldRecorder, RecordedField, RecordedTraffic};
 
-use k8s_model::{Interceptor, MsgCtx, NodeName, WireVerdict};
+use k8s_model::{AdmitCtx, Interceptor, MsgCtx, NodeName, Object, WireVerdict};
 use simkit::Rng;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -146,6 +156,10 @@ pub struct SharedActuator(pub Rc<RefCell<Box<dyn FaultActuator>>>);
 impl Interceptor for SharedActuator {
     fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict {
         self.0.borrow_mut().on_message(ctx)
+    }
+
+    fn on_admission(&mut self, ctx: &AdmitCtx<'_>, obj: &mut Object) -> bool {
+        self.0.borrow_mut().on_admission(ctx, obj)
     }
 }
 
@@ -237,6 +251,12 @@ impl Fault {
             FaultKind::Partition => PARTITION,
             FaultKind::Crash if node_scoped => KUBELET_CRASH_RESTART,
             FaultKind::Crash => CRASH_RESTART,
+            FaultKind::Config => match &spec.point {
+                InjectionPoint::Config { defect, .. } => {
+                    config::family_for_defect(defect).unwrap_or(CFG_RESOURCES)
+                }
+                _ => CFG_RESOURCES,
+            },
         }
     }
 }
@@ -283,13 +303,13 @@ impl std::fmt::Display for Fault {
 
 /// The fault registry: the built-ins plus anything added at runtime.
 pub mod registry {
-    use super::{builtin, node, Fault, FaultDef};
+    use super::{builtin, config, node, Fault, FaultDef};
     use std::sync::{OnceLock, RwLock};
 
     /// The built-in fault families, in table order: the paper's wire
     /// triplet first, then the temporal and infrastructure additions,
-    /// then the node-level families.
-    pub static BUILTIN: [Fault; 9] = [
+    /// then the node-level families, then the config-defect families.
+    pub static BUILTIN: [Fault; 14] = [
         builtin::BIT_FLIP,
         builtin::VALUE_SET,
         builtin::DROP,
@@ -299,6 +319,11 @@ pub mod registry {
         builtin::CRASH_RESTART,
         node::KUBELET_CRASH_RESTART,
         node::NODE_PARTITION,
+        config::CFG_RESOURCES,
+        config::CFG_SELECTOR,
+        config::CFG_PROBE,
+        config::CFG_GRACE,
+        config::CFG_REPLICAS,
     ];
 
     fn extras() -> &'static RwLock<Vec<Fault>> {
@@ -385,6 +410,11 @@ mod tests {
             "crash-restart",
             "kubelet-crash-restart",
             "node-partition",
+            "cfg-resources",
+            "cfg-selector",
+            "cfg-probe",
+            "cfg-grace",
+            "cfg-replicas",
         ] {
             assert!(names.contains(&expect), "{expect} missing from {names:?}");
             assert_eq!(registry::find(expect).map(|f| f.name()), Some(expect));

@@ -167,6 +167,7 @@ mod tests {
                 wire("w1", Kind::Pod, 9),
                 wire("w2", Kind::Node, 6),
             ],
+            user_kinds: Vec::new(),
         }
     }
 

@@ -16,7 +16,9 @@
 //!   class filter — node-level fault families need victim nodes even
 //!   when the campaign's field catalogue targets the store wire.
 
-use k8s_model::{Channel, ChannelClass, ChannelId, Interceptor, Kind, MsgCtx, Object, WireVerdict};
+use k8s_model::{
+    AdmitCtx, Channel, ChannelClass, ChannelId, Interceptor, Kind, MsgCtx, Object, WireVerdict,
+};
 use protowire::reflect::{FieldType, Reflect, Value};
 use std::collections::{BTreeMap, HashMap};
 
@@ -59,6 +61,14 @@ pub struct RecordedTraffic {
     /// traffic, not a decoded field catalogue, so the two counts are
     /// not comparable for identical traffic.
     pub node_kinds: Vec<(ChannelId, Kind, u64)>,
+    /// Kinds observed at the **admission hook** per channel class, in
+    /// stable (class, kind) order — the victim catalogue of the
+    /// config-defect families. Counted from the apiserver's
+    /// `on_admission` callback (spec-writing create/update requests
+    /// that survived built-in validation), *always* recorded regardless
+    /// of the class filter, so the counts line up one-to-one with what
+    /// an armed admission actuator will observe in a replay.
+    pub user_kinds: Vec<(ChannelClass, Kind, u64)>,
 }
 
 impl RecordedTraffic {
@@ -73,6 +83,13 @@ impl RecordedTraffic {
             }
         }
         out
+    }
+
+    /// The admission-catalogue entries of the given classes, in stable
+    /// order — the victim catalogue the config-defect families plan
+    /// over.
+    pub fn admission_kinds(&self, classes: &[ChannelClass]) -> Vec<(ChannelClass, Kind, u64)> {
+        self.user_kinds.iter().copied().filter(|(c, _, _)| classes.contains(c)).collect()
     }
 
     /// The distinct node-scoped wires of one class, in stable order,
@@ -103,6 +120,9 @@ pub struct FieldRecorder {
     message_counts: BTreeMap<(ChannelClass, Kind), u64>,
     /// Per-node message counts (node-scoped wires only).
     node_counts: BTreeMap<(ChannelId, Kind), u64>,
+    /// Admission-hook event counts per (class, kind) — the victim
+    /// catalogue of the config-defect families.
+    admission_counts: BTreeMap<(ChannelClass, Kind), u64>,
 }
 
 impl FieldRecorder {
@@ -115,6 +135,7 @@ impl FieldRecorder {
             instance_counts: HashMap::new(),
             message_counts: BTreeMap::new(),
             node_counts: BTreeMap::new(),
+            admission_counts: BTreeMap::new(),
         }
     }
 
@@ -136,12 +157,18 @@ impl FieldRecorder {
         self.node_counts.iter().map(|((c, k), n)| (*c, *k, *n)).collect()
     }
 
+    /// Kinds observed at the admission hook per channel class.
+    pub fn user_kinds_seen(&self) -> Vec<(ChannelClass, Kind, u64)> {
+        self.admission_counts.iter().map(|((c, k), n)| (*c, *k, *n)).collect()
+    }
+
     /// Everything recorded, bundled for the planners.
     pub fn traffic(&self) -> RecordedTraffic {
         RecordedTraffic {
             fields: self.fields(),
             kinds: self.kinds_seen(),
             node_kinds: self.node_kinds_seen(),
+            user_kinds: self.user_kinds_seen(),
         }
     }
 }
@@ -197,6 +224,18 @@ impl Interceptor for FieldRecorder {
             }
         });
         WireVerdict::Pass
+    }
+
+    fn on_admission(&mut self, ctx: &AdmitCtx<'_>, _obj: &mut Object) -> bool {
+        // The admission catalogue is always recorded (like the per-node
+        // wire catalogue): config-defect families need victims even when
+        // the field catalogue targets the store wire. Counting here —
+        // not on the wire — makes the catalogue agree event-for-event
+        // with what an armed admission actuator will see in a replay.
+        if ctx.now >= self.from {
+            *self.admission_counts.entry((ctx.channel.class(), ctx.kind)).or_insert(0) += 1;
+        }
+        false
     }
 }
 
@@ -256,6 +295,37 @@ mod tests {
         };
         rec.on_message(&ctx);
         assert!(rec.fields().is_empty());
+    }
+
+    #[test]
+    fn admission_events_build_the_config_victim_catalogue() {
+        let mut rec = FieldRecorder::new(vec![Channel::ApiToEtcd], 100);
+        let mut pod = k8s_model::Pod::default();
+        pod.metadata = ObjectMeta::named("default", "p");
+        let mut obj = Object::Pod(pod);
+        for (now, class) in
+            [(50u64, Channel::UserToApi), (150, Channel::UserToApi), (200, Channel::KcmToApi)]
+        {
+            let ctx = AdmitCtx {
+                channel: class.into(),
+                kind: Kind::Pod,
+                key: "/registry/pods/default/p",
+                op: Op::Create,
+                now,
+            };
+            assert!(!rec.on_admission(&ctx, &mut obj), "the recorder never mutates");
+        }
+        let traffic = rec.traffic();
+        // The event at t=50 predates the window; the class filter
+        // (store wire) does not apply to the admission catalogue.
+        assert_eq!(
+            traffic.user_kinds,
+            vec![(Channel::KcmToApi, Kind::Pod, 1), (Channel::UserToApi, Kind::Pod, 1)]
+        );
+        assert_eq!(
+            traffic.admission_kinds(&[Channel::UserToApi]),
+            vec![(Channel::UserToApi, Kind::Pod, 1)]
+        );
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub(crate) fn reconcile(ctx: &mut Ctx<'_>, ns: &str, name: &str) -> Result<(), S
                 ready += pods.iter().filter(|p| p.is_ready()).count() as i64;
                 // Duplicates on one node: keep the oldest.
                 if pods.len() > 1 {
-                    let mut extra: Vec<&Pod> = pods.iter().copied().collect();
+                    let mut extra: Vec<&Pod> = pods.to_vec();
                     extra.sort_by_key(|p| p.metadata.creation_timestamp);
                     for p in &extra[1..] {
                         ctx.api

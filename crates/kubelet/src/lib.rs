@@ -38,6 +38,13 @@ pub const KNOWN_COMMANDS: [&str; 5] = ["serve", "netagent", "kubeproxy", "coredn
 /// Volumes that exist on every node.
 pub const KNOWN_VOLUMES: [&str; 1] = ["seed-vol"];
 
+/// Probe windows (period × failure threshold) strictly below this flap a
+/// *healthy* container: the app's warm-up and request-handling jitter
+/// exceed the window, so readiness toggles even though nothing is wrong —
+/// the probe-misconfiguration defect class. Sane windows (the Kubernetes
+/// default is 10 s × 3) never flap.
+pub const AGGRESSIVE_PROBE_WINDOW_MS: u64 = 3_000;
+
 /// Kubelet tunables.
 #[derive(Debug, Clone)]
 pub struct KubeletConfig {
@@ -95,9 +102,30 @@ struct LocalPod {
     /// resync in case the original Running update was lost on the wire
     /// (e.g. a node blackout window).
     started_at: Option<u64>,
+    /// Aggressive readiness-probe window (ms), when the pod spec carries
+    /// one below [`AGGRESSIVE_PROBE_WINDOW_MS`] — the healthy container
+    /// flaps in and out of Ready on this cadence.
+    flappy_window_ms: Option<u64>,
+    /// Readiness last written to the store (dedupes flap updates).
+    reported_ready: bool,
     cpu: i64,
     mem: i64,
     priority: i64,
+}
+
+impl LocalPod {
+    /// The readiness a probe would report right now: false while crashed
+    /// or backing off, toggling on the flappy-window cadence when the
+    /// probe is misconfigured, true otherwise.
+    fn probe_ready(&self, now: u64) -> bool {
+        if self.crash_at.is_some() {
+            return false;
+        }
+        match (self.flappy_window_ms, self.started_at) {
+            (Some(w), Some(started)) if w > 0 => (now.saturating_sub(started) / w) % 2 == 0,
+            _ => true,
+        }
+    }
 }
 
 /// Counters exposed to the failure classifiers.
@@ -113,6 +141,8 @@ pub struct KubeletMetrics {
     pub critical_evictions: u64,
     /// Status writes that corrected a divergent stored status.
     pub status_corrections: u64,
+    /// Readiness transitions caused by misconfigured (aggressive) probes.
+    pub probe_flaps: u64,
 }
 
 /// The simulated kubelet.
@@ -154,6 +184,7 @@ impl std::fmt::Debug for Kubelet {
 
 impl Kubelet {
     /// Creates a kubelet for `node_name` with the given capacity.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         node_name: &str,
         node_index: u32,
@@ -296,6 +327,8 @@ impl Kubelet {
                     crashes: false,
                     crash_at: None,
                     started_at: None,
+                    flappy_window_ms: None,
+                    reported_ready: false,
                     cpu: 0,
                     mem: 0,
                     priority: pod.spec.priority,
@@ -315,14 +348,21 @@ impl Kubelet {
         let command_crashes = pod.spec.containers.iter().any(|c| {
             !c.command.is_empty() && !KNOWN_COMMANDS.contains(&c.command[0].as_str())
         }) || self.netagent_config_broken(api, pod);
+        // A limit below the request throttles the container under its own
+        // floor: it starts, then crash-loops — the cfg-resources defect.
+        let doomed = command_crashes || pod.request_exceeds_limit();
+        let flappy_window_ms =
+            pod.probe_window_ms().filter(|&w| w < AGGRESSIVE_PROBE_WINDOW_MS);
 
         let mut local = LocalPod {
             state: PodState::Pulling { until: now },
             ip: String::new(),
             restart_count: pod.status.restart_count,
-            crashes: command_crashes,
+            crashes: doomed,
             crash_at: None,
             started_at: None,
+            flappy_window_ms,
+            reported_ready: false,
             cpu,
             mem,
             priority: pod.spec.priority,
@@ -424,6 +464,7 @@ impl Kubelet {
                     lp.ip = ip.clone();
                     lp.crash_at = crash_at;
                     lp.started_at = Some(now);
+                    lp.reported_ready = !local.crashes;
                 }
                 self.metrics.started += 1;
                 if let Some(Object::Pod(pod)) = api.get(Kind::Pod, &ns, &name).as_deref() {
@@ -438,6 +479,24 @@ impl Kubelet {
                 }
             }
             PodState::Running => {
+                if local.crash_at.is_none() && local.flappy_window_ms.is_some() {
+                    // Misconfigured probe: the healthy container toggles
+                    // Ready on the (too-short) probe-window cadence.
+                    let ready = local.probe_ready(now);
+                    if ready != local.reported_ready {
+                        self.metrics.probe_flaps += 1;
+                        if let Some(lp) = self.pods.get_mut(key) {
+                            lp.reported_ready = ready;
+                        }
+                        if let Some(Object::Pod(pod)) = api.get(Kind::Pod, &ns, &name).as_deref() {
+                            let mut pod = pod.clone();
+                            pod.status.ready = ready;
+                            pod.status.reason =
+                                if ready { String::new() } else { "Unhealthy".into() };
+                            let _ = api.update(self.channel, Object::Pod(pod));
+                        }
+                    }
+                }
                 if let Some(crash_at) = local.crash_at {
                     if now >= crash_at {
                         // Crash: back off exponentially (circuit breaker).
@@ -507,7 +566,7 @@ impl Kubelet {
                 continue;
             }
             if let PodState::Running = local.state {
-                let truth_ready = local.crash_at.is_none();
+                let truth_ready = local.probe_ready(now);
                 let truth_started = local.started_at.map(|t| t as i64);
                 let start_time_diverged =
                     truth_started.is_some_and(|t| pod.status.start_time != t);
@@ -525,6 +584,9 @@ impl Kubelet {
                         fixed.status.start_time = t;
                     }
                     if api.update(self.channel, Object::Pod(fixed)).is_ok() {
+                        if let Some(lp) = self.pods.get_mut(&key) {
+                            lp.reported_ready = truth_ready;
+                        }
                         self.metrics.status_corrections += 1;
                         self.log(
                             now,
@@ -648,7 +710,7 @@ mod tests {
         let mut kl = kubelet(&api);
         kl.step(&mut api, 0);
         let node = api.get(Kind::Node, "", "w1").unwrap();
-        assert_eq!(node.as_pod().is_none(), true);
+        assert!(node.as_pod().is_none());
         kl.step(&mut api, 10_500);
         if let Object::Node(n) = &*api.get(Kind::Node, "", "w1").unwrap() {
             assert!(n.status.last_heartbeat >= 10_000);
@@ -769,6 +831,59 @@ mod tests {
         assert!(kl.metrics.critical_evictions >= 1);
         let crit = api.get(Kind::Pod, "default", "crit").unwrap();
         assert_eq!(crit.as_pod().unwrap().status.phase, "Running");
+    }
+
+    #[test]
+    fn request_over_limit_crashloops() {
+        // The cfg-resources defect: a valid spec whose limit sits below
+        // its request starts, then crash-loops under throttling.
+        let mut api = api();
+        let mut kl = kubelet(&api);
+        kl.step(&mut api, 0);
+        let mut pod = bound_pod("p1", "registry.local/web:1.0", &["serve"]);
+        if let Object::Pod(p) = &mut pod {
+            p.spec.containers[0].cpu_limit_milli = 100; // below the 500m request
+        }
+        api.create(Channel::UserToApi, pod).unwrap();
+        run_until(&mut kl, &mut api, 200, 30_000);
+        let pod = api.get(Kind::Pod, "default", "p1").unwrap();
+        let p = pod.as_pod().unwrap();
+        assert!(!p.status.ready);
+        assert!(p.status.restart_count >= 1, "restarts: {}", p.status.restart_count);
+        assert!(kl.metrics.crashes >= 1);
+    }
+
+    #[test]
+    fn aggressive_probe_flaps_a_healthy_pod() {
+        // The cfg-probe defect: 1 s × 1 failure probing flaps a pod that
+        // is actually fine; sane (default) probing never does.
+        let mut api = api();
+        let mut kl = kubelet(&api);
+        kl.step(&mut api, 0);
+        let mut pod = bound_pod("p1", "registry.local/web:1.0", &["serve"]);
+        if let Object::Pod(p) = &mut pod {
+            p.spec.probe_period_seconds = 1;
+            p.spec.probe_failure_threshold = 1;
+        }
+        api.create(Channel::UserToApi, pod).unwrap();
+        run_until(&mut kl, &mut api, 200, 30_000);
+        assert!(kl.metrics.probe_flaps >= 4, "flaps: {}", kl.metrics.probe_flaps);
+        assert_eq!(kl.metrics.crashes, 0, "flapping is not crashing");
+
+        // A sane probe window (above the aggressive bound) never flaps.
+        let mut api = tests::api();
+        let mut kl = kubelet(&api);
+        kl.step(&mut api, 0);
+        let mut sane = bound_pod("p2", "registry.local/web:1.0", &["serve"]);
+        if let Object::Pod(p) = &mut sane {
+            p.spec.probe_period_seconds = 10;
+            p.spec.probe_failure_threshold = 3;
+        }
+        api.create(Channel::UserToApi, sane).unwrap();
+        run_until(&mut kl, &mut api, 200, 30_000);
+        assert_eq!(kl.metrics.probe_flaps, 0, "sane probe flapped");
+        let pod = api.get(Kind::Pod, "default", "p2").unwrap();
+        assert!(pod.as_pod().unwrap().status.ready);
     }
 
     #[test]

@@ -26,7 +26,12 @@
 //!   system availability, and possibly roll back to the old values");
 //! * [`policy`] — stricter admission checks ("scaling of coreDNS to 0
 //!   should be denied", "reject the spawning of a large number of Pods
-//!   without resource limits", namespace resource quotas).
+//!   without resource limits", namespace resource quotas);
+//! * [`validating`] — validating admission against the configuration-
+//!   defect fault dimension (`cfg-*` families): repairs or rejects
+//!   semantically broken specs — wrong requests/limits, broken
+//!   selector/template invariants, flappy probes, pathological grace
+//!   periods, runaway replica counts — before they reach a controller.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +58,7 @@ pub mod catalog;
 pub mod checksum;
 pub mod guard;
 pub mod policy;
+pub mod validating;
 
 pub use breaker::{BreakerConfig, BreakerMetrics, ReplicationBreaker};
 pub use catalog::{critical_paths, is_critical_path, CriticalFieldCatalog};
@@ -61,6 +67,7 @@ pub use guard::{ChangeRecord, CriticalFieldGuard, GuardConfig, GuardMetrics, Hea
 pub use policy::{
     DenyCriticalScaleToZero, NamespacePodQuota, ReplicaCeiling, RequireResourceLimits,
 };
+pub use validating::ValidatingAdmission;
 
 /// Which mitigations a cluster enables. All off by default, so installing
 /// the default bundle changes nothing — mirrors how each defense must be
@@ -75,17 +82,25 @@ pub struct MitigationsConfig {
     pub guard: bool,
     /// Install the stricter admission policies.
     pub policies: bool,
+    /// Install validating admission against config defects.
+    pub validating: bool,
 }
 
 impl MitigationsConfig {
     /// Every defense enabled.
     pub fn all() -> MitigationsConfig {
-        MitigationsConfig { integrity: true, breaker: true, guard: true, policies: true }
+        MitigationsConfig {
+            integrity: true,
+            breaker: true,
+            guard: true,
+            policies: true,
+            validating: true,
+        }
     }
 
     /// True when at least one defense is enabled.
     pub fn any(&self) -> bool {
-        self.integrity || self.breaker || self.guard || self.policies
+        self.integrity || self.breaker || self.guard || self.policies || self.validating
     }
 }
 
@@ -101,7 +116,7 @@ mod tests {
     #[test]
     fn all_config_enables_everything() {
         let c = MitigationsConfig::all();
-        assert!(c.integrity && c.breaker && c.guard && c.policies);
+        assert!(c.integrity && c.breaker && c.guard && c.policies && c.validating);
         assert!(c.any());
     }
 }

@@ -234,6 +234,26 @@ pub struct MsgCtx<'a> {
     pub now: u64,
 }
 
+/// Context handed to the interceptor for every admission review on a
+/// component→apiserver channel (never `ApiToEtcd`: store writes have
+/// already been admitted). Unlike [`MsgCtx`], the payload is the decoded
+/// object, after built-in validation and before admission policies — the
+/// seam where a config-defect fault mutates a *valid* spec in flight.
+#[derive(Debug)]
+pub struct AdmitCtx<'a> {
+    /// The concrete wire the request arrived on.
+    pub channel: ChannelId,
+    /// Resource kind under review.
+    pub kind: Kind,
+    /// Registry key of the resource instance.
+    pub key: &'a str,
+    /// Operation being performed (`Create` or `Update`; deletes carry no
+    /// spec to mutate).
+    pub op: Op,
+    /// Simulated time of the request.
+    pub now: u64,
+}
+
 /// The interceptor's decision about a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireVerdict {
@@ -260,6 +280,16 @@ pub enum WireVerdict {
 pub trait Interceptor {
     /// Inspects one message and decides its fate.
     fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict;
+
+    /// Reviews a decoded object at admission time and may mutate it in
+    /// place, returning `true` when it did. Runs after the apiserver's
+    /// built-in validation and before admission policies, so a mutation
+    /// lands exactly where a semantically-bad-but-well-formed spec would:
+    /// past the parser and the syntax checks, in front of the
+    /// controllers. The default reviews nothing.
+    fn on_admission(&mut self, _ctx: &AdmitCtx<'_>, _obj: &mut crate::Object) -> bool {
+        false
+    }
 }
 
 /// Pass-through interceptor used for golden runs.

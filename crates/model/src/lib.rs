@@ -42,7 +42,7 @@ pub mod workloads;
 
 pub use autoscale::{HorizontalPodAutoscaler, HpaSpec, HpaStatus};
 pub use channel::{
-    intern_node, Channel, ChannelClass, ChannelId, Interceptor, MsgCtx, NodeName,
+    intern_node, AdmitCtx, Channel, ChannelClass, ChannelId, Interceptor, MsgCtx, NodeName,
     NoopInterceptor, Op, WireVerdict,
 };
 pub use meta::{ObjectMeta, OwnerReference};

@@ -11,11 +11,29 @@ proto_message! {
         /// start (ImagePullError — a Less-Resources pattern in the paper).
         2 => image: str,
         3 => command: repstr,
-        /// CPU request/limit in millicores (the simulation unifies them).
+        /// CPU request in millicores (doubles as the limit when no
+        /// explicit limit is set).
         4 => cpu_milli @ "cpuMilli": int,
-        /// Memory request/limit in MiB.
+        /// Memory request in MiB (doubles as the limit when no explicit
+        /// limit is set).
         5 => memory_mb @ "memoryMb": int,
         6 => port: int,
+        /// Explicit CPU limit in millicores; 0 means "same as request".
+        /// A limit *below* the request is the classic config defect: the
+        /// container is throttled under its own floor and crash-loops.
+        7 => cpu_limit_milli @ "cpuLimitMilli": int,
+        /// Explicit memory limit in MiB; 0 means "same as request".
+        8 => memory_limit_mb @ "memoryLimitMb": int,
+    }
+}
+
+impl Container {
+    /// True when an explicit limit sits below the request — a spec that
+    /// parses and validates (both values positive) but dooms the
+    /// container at runtime.
+    pub fn request_exceeds_limit(&self) -> bool {
+        (self.cpu_limit_milli > 0 && self.cpu_milli > self.cpu_limit_milli)
+            || (self.memory_limit_mb > 0 && self.memory_mb > self.memory_limit_mb)
     }
 }
 
@@ -49,6 +67,12 @@ proto_message! {
         /// voluntary delete before it is finalized; 0 means the cluster
         /// default (2 s).
         9 => termination_grace_period_seconds @ "terminationGracePeriodSeconds": int,
+        /// Readiness-probe period (seconds); 0 means the cluster default
+        /// (probing folded into the kubelet sync, never flapping).
+        10 => probe_period_seconds @ "probePeriodSeconds": int,
+        /// Consecutive probe failures before the pod is marked NotReady;
+        /// 0 means the cluster default.
+        11 => probe_failure_threshold @ "probeFailureThreshold": int,
     }
 }
 
@@ -110,6 +134,26 @@ impl Pod {
         }
     }
 
+    /// The probe window in milliseconds — period × failure threshold,
+    /// the time a healthy pod has to answer before it is marked NotReady.
+    /// `None` when either knob is unset (cluster-default probing, which
+    /// never flaps a healthy pod).
+    pub fn probe_window_ms(&self) -> Option<u64> {
+        let period = self.spec.probe_period_seconds;
+        let threshold = self.spec.probe_failure_threshold;
+        if period > 0 && threshold > 0 {
+            Some((period as u64).saturating_mul(threshold as u64).saturating_mul(1_000))
+        } else {
+            None
+        }
+    }
+
+    /// True when any container's explicit limit sits below its request
+    /// (see [`Container::request_exceeds_limit`]).
+    pub fn request_exceeds_limit(&self) -> bool {
+        self.spec.containers.iter().any(Container::request_exceeds_limit)
+    }
+
     /// True when the pod tolerates a taint with `key`/`effect`.
     pub fn tolerates(&self, key: &str, effect: &str) -> bool {
         self.spec
@@ -136,6 +180,7 @@ mod tests {
             cpu_milli: 500,
             memory_mb: 256,
             port: 8080,
+            ..Default::default()
         });
         p.spec.restart_policy = "Always".into();
         p.status.phase = "Running".into();
@@ -188,6 +233,32 @@ mod tests {
         p.spec.tolerations.clear();
         p.spec.tolerations.push(Toleration { key: String::new(), effect: "NoExecute".into() });
         assert!(p.tolerates("anything", "NoExecute"));
+    }
+
+    #[test]
+    fn request_over_limit_is_detected() {
+        let mut p = sample();
+        assert!(!p.request_exceeds_limit(), "no explicit limit: request is the limit");
+        p.spec.containers[0].cpu_limit_milli = 250; // below the 500m request
+        assert!(p.spec.containers[0].request_exceeds_limit());
+        assert!(p.request_exceeds_limit());
+        p.spec.containers[0].cpu_limit_milli = 500; // limit == request is fine
+        assert!(!p.request_exceeds_limit());
+        p.spec.containers[0].memory_limit_mb = 128; // below the 256 MiB request
+        assert!(p.request_exceeds_limit());
+    }
+
+    #[test]
+    fn probe_window_needs_both_knobs() {
+        let mut p = sample();
+        assert_eq!(p.probe_window_ms(), None);
+        p.spec.probe_period_seconds = 10;
+        assert_eq!(p.probe_window_ms(), None, "threshold unset: default probing");
+        p.spec.probe_failure_threshold = 3;
+        assert_eq!(p.probe_window_ms(), Some(30_000));
+        p.spec.probe_period_seconds = 1;
+        p.spec.probe_failure_threshold = 1;
+        assert_eq!(p.probe_window_ms(), Some(1_000));
     }
 
     #[test]

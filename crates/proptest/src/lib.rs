@@ -616,8 +616,8 @@ mod tests {
         /// The shim's own macro pipeline works end to end.
         #[test]
         fn shim_smoke(name in "[a-c]{1,3}", n in 0i64..10, flag in any::<bool>(), opt in crate::option::of(0i64..3), v in crate::collection::vec(0u8..4, 0..5)) {
-            prop_assert!(name.len() >= 1 && name.len() <= 3);
-            prop_assert!(n >= 0 && n < 10, "n out of range: {}", n);
+            prop_assert!(!name.is_empty() && name.len() <= 3);
+            prop_assert!((0..10).contains(&n), "n out of range: {}", n);
             prop_assert_eq!(flag, flag);
             prop_assert_ne!(n - 11, n);
             if let Some(x) = opt {

@@ -146,6 +146,10 @@ impl<E> Sim<E> {
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Deliberately not an `Iterator`: popping mutates the clock, and
+    /// callers interleave pops with scheduling.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let Reverse(s) = self.heap.pop()?;
         debug_assert!(s.at >= self.now, "event queue went backwards");

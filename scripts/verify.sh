@@ -23,11 +23,18 @@
 #    watch-cache sync decodes from bytes) and diff its TSV against the
 #    cached-mode TSV byte for byte: the revision-keyed decode cache must
 #    be a pure performance device.
+# 7. Run one cfg-resources-only slice through the ablation bench: the
+#    config-defect admission path end to end, with the validating-
+#    admission arm A/B'd against the unmitigated arm (per-family
+#    detection coverage is printed by the bench).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
+
+echo "== tier-1: cargo clippy --release -- -D warnings =="
+cargo clippy --release --workspace --all-targets -- -D warnings
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
@@ -83,6 +90,18 @@ for nodc in "$TARGET_DIR"/mutiny_campaign_*_nodc.tsv; do
 done
 if [ "$nodc_found" != 1 ]; then
   echo "FAIL: the MUTINY_DECODE_CACHE=0 slice produced no TSV to diff"
+  exit 1
+fi
+
+echo "== smoke ablation, cfg-resources slice: validating on/off A/B =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_ABLATION_GOLDEN=${MUTINY_ABLATION_GOLDEN:-4} \
+MUTINY_SCENARIOS=deploy \
+MUTINY_FAULTS=cfg-resources \
+cargo bench -q -p mutiny-bench --bench ablation_mitigations | tee /tmp/mutiny_cfg_ablation.out
+if ! grep -q "^cfg-resources" /tmp/mutiny_cfg_ablation.out; then
+  echo "FAIL: ablation bench printed no cfg-resources coverage row"
   exit 1
 fi
 

@@ -18,7 +18,7 @@ use mutiny_core::Scenario;
 use mutiny_faults::{
     CRASH_RESTART, DELAY, DUPLICATE, KUBELET_CRASH_RESTART, NODE_PARTITION, PARTITION,
 };
-use mutiny_scenarios::{DEPLOY, FAILOVER, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
+use mutiny_scenarios::{DEPLOY, FAILOVER, HPA_AUTOSCALE, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
 use simkit::Rng;
 use std::collections::HashMap;
 
@@ -187,13 +187,14 @@ fn node_level_families_tsv_byte_identical_across_thread_counts() {
 
 #[test]
 fn cross_product_tsv_byte_identical_across_thread_counts() {
-    // The acceptance gate: a campaign over {5 scenarios} × {≥9 fault
-    // families} produces byte-identical TSV rows at 1, 2 and 5 workers.
-    // One spec per (scenario, family) keeps it tractable for CI.
+    // The acceptance gate: a campaign over {6 scenarios} × {≥14 fault
+    // families, config-defect families included} produces byte-identical
+    // TSV rows at 1, 2 and 5 workers. One spec per (scenario, family)
+    // keeps it tractable for CI.
     let cluster = ClusterConfig::default();
-    let scenarios = [DEPLOY, SCALE_UP, FAILOVER, ROLLING_UPDATE, NODE_DRAIN];
+    let scenarios = [DEPLOY, SCALE_UP, FAILOVER, ROLLING_UPDATE, NODE_DRAIN, HPA_AUTOSCALE];
     let families = mutiny_faults::registry::all();
-    assert!(families.len() >= 9);
+    assert!(families.len() >= 14);
 
     let mut rng = Rng::new(11);
     let mut plan: Vec<PlannedExperiment> = Vec::new();
@@ -206,9 +207,33 @@ fn cross_product_tsv_byte_identical_across_thread_counts() {
                 plan.push(p.clone());
             }
         }
+        // Pod-targeting config defects must find victims in every
+        // scenario's admission catalogue (the controllers always create
+        // pods after the workload starts); workload-targeting defects
+        // (selector, replicas) only plan where ReplicaSets/Deployments
+        // are actually admitted post-arming — failover and node-drain
+        // preinstall their apps, so those two plan nothing there.
+        let workload_only = sc == FAILOVER || sc == NODE_DRAIN;
+        for cfg_family in mutiny_faults::CONFIG_BUILTIN {
+            let workload_family =
+                cfg_family == mutiny_faults::CFG_SELECTOR || cfg_family == mutiny_faults::CFG_REPLICAS;
+            if workload_only && workload_family {
+                assert!(
+                    !full.iter().any(|p| p.fault == cfg_family),
+                    "{cfg_family} planned unreachable victims for {sc}"
+                );
+            } else {
+                assert!(
+                    full.iter().any(|p| p.fault == cfg_family),
+                    "{cfg_family} planned nothing for {sc}"
+                );
+            }
+        }
         baselines.insert(sc, build_baseline_with_threads(&cluster, sc, 4, 0xBA5E, 1));
     }
-    assert!(plan.len() >= 5 * 9, "cross-product too small: {}", plan.len());
+    // 6 scenarios × 14 families, minus the four unreachable
+    // (workload-defect, preinstalled-scenario) combinations above.
+    assert!(plan.len() >= 6 * 14 - 4, "cross-product too small: {}", plan.len());
 
     let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
     let serial_tsv = mutiny_bench::render_rows(&serial);

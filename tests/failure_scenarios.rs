@@ -61,6 +61,32 @@ fn corrupted_template_label_causes_uncontrolled_replication() {
 }
 
 #[test]
+fn cfg_selector_template_typo_orphans_pods() {
+    // The same orphan storm from the configuration-defect dimension: no
+    // bit flips, just a valid ReplicaSet admitted with a pod-template
+    // label that its own selector will never match. The controller
+    // orphans every pod it spawns and keeps spawning replacements.
+    let mut cluster = ClusterConfig::default();
+    cluster.etcd_capacity_bytes = 256 * 1024; // bound the storm
+    let spec = InjectionSpec {
+        channel: Channel::KcmToApi.into(),
+        kind: Kind::ReplicaSet,
+        point: InjectionPoint::Config { defect: "selector".into(), param: 0 },
+        occurrence: 1,
+    };
+    let cfg = ExperimentConfig {
+        cluster,
+        scenario: DEPLOY,
+        injection: Some(mutiny_core::ArmedFault::new(mutiny_faults::CFG_SELECTOR, spec)),
+    };
+    let out = run_experiment_with_baseline(&cfg, baseline());
+    assert!(out.injected.is_some(), "config defect must fire: {out:?}");
+    assert_eq!(out.orchestrator_failure, OrchestratorFailure::Sta, "{out:?}");
+    assert!(out.pods_created > 50, "orphan storm expected, got {}", out.pods_created);
+    assert!(!out.user_saw_error, "a valid spec is admitted without errors (F4)");
+}
+
+#[test]
 fn replica_count_bit_flip_causes_more_resources() {
     // Bit 4 of the Deployment replica count: 2 → 18 (§IV-C's high bit).
     let out = run(field(Kind::Deployment, "spec.replicas", FieldMutation::FlipIntBit(4), 1), 21);

@@ -30,6 +30,17 @@ fn storm_spec() -> InjectionSpec {
     }
 }
 
+/// The cfg-selector config defect: the ReplicaSet is admitted with a
+/// typo'd pod-template label its selector never matches.
+fn selector_defect_spec() -> InjectionSpec {
+    InjectionSpec {
+        channel: Channel::KcmToApi.into(),
+        kind: Kind::ReplicaSet,
+        point: InjectionPoint::Config { defect: "selector".into(), param: 0 },
+        occurrence: 1,
+    }
+}
+
 fn run_with(mitigations: MitigationsConfig, spec: InjectionSpec, seed: u64) -> ExperimentOutcome {
     let baseline = baseline_for(mitigations.clone());
     let cluster = ClusterConfig { seed, mitigations, ..ClusterConfig::default() };
@@ -221,6 +232,44 @@ fn guard_journals_silent_store_corruption() {
             .iter()
             .any(|rec| rec.changes.iter().any(|(p, _, _)| p.contains("labels['app']"))),
         "guard journal must record the corrupted label"
+    );
+}
+
+#[test]
+fn validating_admission_neutralizes_config_defects() {
+    // The PR's close-the-loop test: the cfg-selector defect (template
+    // label typo'd at admission) causes an orphan-pod spawn storm when
+    // unmitigated (see failure_scenarios), but the validating-admission
+    // policy repairs the template from the still-intact selector before
+    // the spec is stored, so the run is indistinguishable from golden.
+    let unmitigated = {
+        let cfg = ExperimentConfig {
+            cluster: ClusterConfig { seed: 49, ..ClusterConfig::default() },
+            scenario: DEPLOY,
+            injection: Some(mutiny_core::ArmedFault::implied(selector_defect_spec())),
+        };
+        mutiny_core::campaign::run_experiment_with_baseline(&cfg, plain_baseline())
+    };
+    let defended = run_with(
+        MitigationsConfig { validating: true, ..Default::default() },
+        selector_defect_spec(),
+        49,
+    );
+    assert!(
+        unmitigated.orchestrator_failure.is_system_wide(),
+        "cfg-selector should storm when unmitigated, got {unmitigated:?}"
+    );
+    assert_eq!(
+        defended.orchestrator_failure,
+        OrchestratorFailure::No,
+        "validating admission must repair the selector defect: {defended:?}"
+    );
+    assert_eq!(defended.client_failure, ClientFailure::Nsi, "{defended:?}");
+    assert!(
+        unmitigated.pods_created > 3 * defended.pods_created,
+        "repair should eliminate the spawn storm: {} vs {}",
+        unmitigated.pods_created,
+        defended.pods_created
     );
 }
 
