@@ -7,6 +7,7 @@
 //! channel, so classifiers can ask exactly that question.
 
 use k8s_model::{Channel, ChannelId, Kind, Op};
+use std::rc::Rc;
 
 /// Outcome of an API request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,8 +38,9 @@ pub struct AuditRecord {
     pub op: Op,
     /// Resource kind.
     pub kind: Kind,
-    /// Registry key.
-    pub key: String,
+    /// Registry key (interned — the request path shares one allocation
+    /// between the audit record and its log lines).
+    pub key: Rc<str>,
     /// Outcome.
     pub result: RequestResult,
 }

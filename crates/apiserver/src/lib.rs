@@ -130,18 +130,55 @@ impl std::error::Error for ApiError {}
 
 /// A decoded change notification served to watching components. The
 /// object is shared (`Rc`): delivering an event to N watchers bumps a
-/// refcount N times instead of deep-cloning the decoded object.
+/// refcount N times instead of deep-cloning the decoded object. The key
+/// is interned the same way (`Rc<str>`): fan-out to N watchers bumps a
+/// refcount instead of re-allocating the key string per delivery.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResourceEvent {
     /// Monotone index in the apiserver's decoded event log.
     pub index: u64,
     /// Kind of the changed object.
     pub kind: Kind,
-    /// Registry key of the changed object.
-    pub key: String,
+    /// Registry key of the changed object (shared — cloning an event is a
+    /// refcount bump, not a string copy).
+    pub key: Rc<str>,
     /// New object state; `None` for deletions.
     pub object: Option<Rc<Object>>,
 }
+
+/// One write observed by a [`RequestTap`] as it enters the request
+/// pipeline — before wire interception, validation, or admission, i.e.
+/// exactly what the submitting client sent.
+#[derive(Debug)]
+pub struct SubmittedWrite<'a> {
+    /// Simulated submission time.
+    pub at: u64,
+    /// The concrete wire the request arrived on.
+    pub channel: ChannelId,
+    /// Operation.
+    pub op: Op,
+    /// Resource kind.
+    pub kind: Kind,
+    /// URL namespace.
+    pub namespace: &'a str,
+    /// URL name.
+    pub name: &'a str,
+    /// The submitted object; `None` for deletes.
+    pub object: Option<&'a Object>,
+}
+
+/// Observer of writes entering the request pipeline (a sibling of the
+/// admission seam): the trace recorder uses it to export runs as
+/// replayable traces. Taps see every non-deferred submission on every
+/// channel — deferred replays of delayed/duplicated messages are skipped,
+/// since their original submission was already observed.
+pub trait RequestTap {
+    /// Called once per submitted write, before the wire verdict.
+    fn on_submit(&mut self, write: &SubmittedWrite<'_>);
+}
+
+/// Shared handle to a request tap.
+pub type RequestTapHandle = Rc<RefCell<dyn RequestTap>>;
 
 /// Shared handle to the injection interceptor.
 pub type InterceptorHandle = Rc<RefCell<dyn Interceptor>>;
@@ -264,6 +301,8 @@ pub struct ApiServer {
     /// analysis: an injection is *activated* when the injected instance is
     /// requested after the injection, §V-C1).
     read_tracking: Option<HashSet<String>>,
+    /// Optional observer of submitted writes (trace export).
+    tap: Option<RequestTapHandle>,
 }
 
 impl std::fmt::Debug for ApiServer {
@@ -310,7 +349,15 @@ impl ApiServer {
             integrity: None,
             integrity_metrics: IntegrityMetrics::default(),
             read_tracking: None,
+            tap: None,
         }
+    }
+
+    /// Installs a request tap observing every submitted write (trace
+    /// export). At most one tap is active; installing replaces any
+    /// previous one.
+    pub fn set_request_tap(&mut self, tap: RequestTapHandle) {
+        self.tap = Some(tap);
     }
 
     /// Installs a validating admission policy; policies run in install
@@ -550,7 +597,25 @@ impl ApiServer {
         deferred: bool,
     ) -> Result<Rc<Object>, ApiError> {
         self.sync_cache();
-        let key = registry_key(kind, url_ns, url_name);
+        // The key is interned once per request: the audit record and the
+        // error log below share the same allocation by refcount.
+        let key: Rc<str> = registry_key(kind, url_ns, url_name).into();
+        // The tap observes the submission exactly as the client sent it —
+        // before the wire verdict, validation, or admission. Deferred
+        // replays are invisible: their original submission was observed.
+        if !deferred {
+            if let Some(tap) = self.tap.clone() {
+                tap.borrow_mut().on_submit(&SubmittedWrite {
+                    at: self.now,
+                    channel,
+                    op,
+                    kind,
+                    namespace: url_ns,
+                    name: url_name,
+                    object: obj.as_ref(),
+                });
+            }
+        }
         let result = self.request_inner(channel, op, kind, &key, url_ns, url_name, obj, deferred);
         self.audit.record(AuditRecord {
             at: self.now,
@@ -1174,7 +1239,7 @@ impl ApiServer {
                         self.push_event(ResourceEvent {
                             index: 0,
                             kind,
-                            key: ev.key.clone(),
+                            key: ev.key.into(),
                             object: None,
                         });
                     }
@@ -1216,11 +1281,15 @@ impl ApiServer {
                         let Some(obj) = self.check_integrity(&ev.key, obj) else {
                             continue;
                         };
-                        self.cache.insert(ev.key.clone(), obj.clone());
+                        // Intern the key once; the cache takes the
+                        // original allocation and the event log shares
+                        // the interned copy with every watcher delivery.
+                        let key: Rc<str> = ev.key.as_str().into();
+                        self.cache.insert(ev.key, obj.clone());
                         self.push_event(ResourceEvent {
                             index: 0,
                             kind,
-                            key: ev.key.clone(),
+                            key,
                             object: Some(obj),
                         });
                     }
@@ -1265,8 +1334,9 @@ impl ApiServer {
             match Object::decode(kind, &bytes) {
                 Ok(obj) => {
                     let Some(obj) = self.check_integrity(&key, Rc::new(obj)) else { continue };
-                    self.cache.insert(key.clone(), obj.clone());
-                    self.push_event(ResourceEvent { index: 0, kind, key, object: Some(obj) });
+                    let shared: Rc<str> = key.as_str().into();
+                    self.cache.insert(key, obj.clone());
+                    self.push_event(ResourceEvent { index: 0, kind, key: shared, object: Some(obj) });
                 }
                 Err(_) => bad.push(key),
             }

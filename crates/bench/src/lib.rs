@@ -26,7 +26,15 @@
 //! * `MUTINY_THREADS` — worker count for the work-stealing executor
 //!   (default: available parallelism). Results are identical for any
 //!   value — per-experiment seeds derive from the plan index — so this
-//!   only trades wall-clock for cores.
+//!   only trades wall-clock for cores;
+//! * `MUTINY_TRACES` — a directory of `*.trace` files; each is
+//!   registered as a replay scenario (`trace-<stem>`) and joins the
+//!   campaign cross-product unchanged;
+//! * `MUTINY_GEN` — `<n>:<seed>`; registers `n` synthesized scenarios
+//!   (`gen-<seed>-<i>`) composed from the scenario primitives;
+//! * `MUTINY_TRACE_EXPORT` — a directory; after the campaign rows are
+//!   available, one golden run per (non-replay) scenario is recorded
+//!   through the apiserver request tap and written there as a trace file.
 //!
 //! The `campaign_throughput` bench writes `BENCH_campaign.json` at the
 //! workspace root (experiments/sec, p50/p95 per-experiment time, and the
@@ -65,14 +73,54 @@ pub fn seed() -> u64 {
     std::env::var("MUTINY_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2024)
 }
 
+/// One-time dynamic scenario registration from `MUTINY_TRACES` (a
+/// directory of `*.trace` files → replay scenarios) and `MUTINY_GEN`
+/// (`<n>:<seed>` → synthesized scenarios). Guarded by a `OnceLock` and
+/// called from [`scenarios`], so every scenario listing — and therefore
+/// the campaign cross-product, the cache identity, and the
+/// `MUTINY_SCENARIOS` filter — sees the dynamic registrations.
+///
+/// # Panics
+///
+/// Panics on an unreadable trace directory, a malformed trace file, or a
+/// malformed `MUTINY_GEN` spec — silently running a smaller campaign
+/// would corrupt the perf trajectory.
+fn register_dynamic_scenarios() {
+    static ONCE: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        if let Ok(dir) = std::env::var("MUTINY_TRACES") {
+            let traces = mutiny_trace::register_traces(std::path::Path::new(&dir))
+                .unwrap_or_else(|e| panic!("MUTINY_TRACES={dir}: {e}"));
+            eprintln!(
+                "[mutiny-bench] registered {} trace scenario(s) from {dir}",
+                traces.len()
+            );
+        }
+        if let Ok(spec) = std::env::var("MUTINY_GEN") {
+            let (n, gen_seed) = spec
+                .split_once(':')
+                .and_then(|(n, s)| Some((n.parse::<u64>().ok()?, s.parse::<u64>().ok()?)))
+                .unwrap_or_else(|| panic!("MUTINY_GEN must be <n>:<seed>, got {spec:?}"));
+            let gens = mutiny_trace::register_generated(n, gen_seed)
+                .unwrap_or_else(|e| panic!("MUTINY_GEN={spec}: {e}"));
+            eprintln!(
+                "[mutiny-bench] registered {} generated scenario(s) under seed {gen_seed}",
+                gens.len()
+            );
+        }
+    });
+}
+
 /// The scenarios this campaign covers: `MUTINY_SCENARIOS` (comma-
-/// separated registry names) or the whole registry.
+/// separated registry names) or the whole registry, including any
+/// dynamic registrations from `MUTINY_TRACES` / `MUTINY_GEN`.
 ///
 /// # Panics
 ///
 /// Panics when the filter names a scenario the registry does not know —
 /// silently running a smaller campaign would corrupt the perf trajectory.
 pub fn scenarios() -> Vec<Scenario> {
+    register_dynamic_scenarios();
     match std::env::var("MUTINY_SCENARIOS") {
         Ok(list) => list
             .split(',')
@@ -429,7 +477,40 @@ pub fn campaign() -> CampaignResults {
             ),
         }
     }
+    export_traces_if_requested();
     done
+}
+
+/// Exports golden-run traces when `MUTINY_TRACE_EXPORT=<dir>` is set:
+/// one recorded golden run (at the campaign seed) per selected scenario,
+/// written as `<dir>/<scenario>.trace`. Replay scenarios (`trace-*`) are
+/// skipped — re-recording a replay adds nothing and would shadow its own
+/// source file. Runs once per process; [`campaign`] calls it after the
+/// rows are available, so `MUTINY_TRACE_EXPORT=traces cargo bench` on
+/// any campaign bench leaves the trace files behind even on a warm
+/// cache.
+///
+/// # Panics
+///
+/// Panics when a trace cannot be written — a silently missing export
+/// would break the replay leg that consumes it.
+pub fn export_traces_if_requested() {
+    static ONCE: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        let Ok(dir) = std::env::var("MUTINY_TRACE_EXPORT") else {
+            return;
+        };
+        let dir = PathBuf::from(dir);
+        let cluster = ClusterConfig::default();
+        for sc in scenarios() {
+            if sc.name().starts_with("trace-") {
+                continue;
+            }
+            let path = mutiny_trace::export_scenario(&cluster, sc, seed(), &dir)
+                .unwrap_or_else(|e| panic!("MUTINY_TRACE_EXPORT: {}: {e}", sc.name()));
+            eprintln!("[mutiny-bench] exported trace {}", path.display());
+        }
+    });
 }
 
 // --- baseline (de)serialization --------------------------------------------
@@ -441,7 +522,9 @@ pub fn campaign() -> CampaignResults {
 // restores the identical bit pattern.
 
 /// Renders a [`Baseline`] in the line-oriented baseline cache schema.
-fn render_baseline(b: &Baseline) -> String {
+/// Public so the trace round-trip tests can assert that a replayed run's
+/// baseline is byte-identical to its recorded source, not just equal.
+pub fn render_baseline(b: &Baseline) -> String {
     fn floats(out: &mut String, name: &str, vs: &[f64]) {
         out.push_str(name);
         out.push('\t');
@@ -476,7 +559,7 @@ fn render_baseline(b: &Baseline) -> String {
 
 /// Parses the baseline cache schema; `None` on any mismatch (the caller
 /// rebuilds from golden runs, exactly like a stale campaign checkpoint).
-fn parse_baseline(text: &str) -> Option<Baseline> {
+pub fn parse_baseline(text: &str) -> Option<Baseline> {
     let mut lines = text.lines();
     if lines.next()? != "mutiny-baseline-v1" {
         return None;

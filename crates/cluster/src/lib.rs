@@ -478,12 +478,12 @@ impl World {
                     let created_at = *self
                         .stats
                         .pod_created
-                        .entry(ev.key.clone())
+                        .entry(String::from(&*ev.key))
                         .or_insert(pod.metadata.creation_timestamp.max(0) as u64);
                     let _ = created_at;
                     if pod.status.phase == "Running" {
                         let start = pod.status.start_time.max(0) as u64;
-                        self.stats.pod_running.entry(ev.key.clone()).or_insert(start);
+                        self.stats.pod_running.entry(String::from(&*ev.key)).or_insert(start);
                     }
                     if pod.status.restart_count > self.stats.app_pod_restarts {
                         self.stats.app_pod_restarts = pod.status.restart_count;
@@ -491,7 +491,7 @@ impl World {
                 }
                 None if self.stats.t0 > 0
                     && self.api.now() >= self.stats.t0
-                    && self.stats.pod_created.contains_key(&ev.key) =>
+                    && self.stats.pod_created.contains_key(&*ev.key) =>
                 {
                     self.stats.app_pods_deleted += 1;
                 }

@@ -13,7 +13,8 @@
 //! hurt it — a propagation subtlety the paper calls out).
 
 use crate::bootstrap::app_deployment_base;
-use k8s_model::{Channel, Deployment, Kind, Object, Service};
+use k8s_model::{Channel, Deployment, Kind, Object, Op, Service};
+use std::sync::Arc;
 
 /// One kbench-style user operation, scheduled by a scenario at an offset
 /// from the workload start (`t0`).
@@ -59,6 +60,26 @@ pub enum UserOp {
     EvictPodOn {
         /// Node name.
         node: String,
+    },
+    /// Re-submit a recorded write verbatim (trace replay): the payload
+    /// bytes captured by the trace recorder go back through the full
+    /// admission pipeline on the user channel. The worlds on both sides
+    /// are deterministic, so recorded metadata (resourceVersions, uids)
+    /// lines up with the replaying world's state.
+    Replay {
+        /// Recorded operation.
+        verb: Op,
+        /// Resource kind.
+        kind: Kind,
+        /// URL namespace.
+        namespace: String,
+        /// URL name.
+        name: String,
+        /// Encoded object as submitted (`None` for deletes). Shared so
+        /// scheduling N replay runs from one loaded trace is refcount
+        /// bumps, and `Arc` keeps [`UserOp`] send-safe for the campaign
+        /// executor.
+        payload: Option<Arc<[u8]>>,
     },
 }
 
@@ -156,6 +177,25 @@ pub(crate) fn execute_op(
                 let _ = api.delete(Channel::UserToApi, Kind::Pod, "default", &name);
             }
         }
+        UserOp::Replay { verb, kind, namespace, name, payload } => match verb {
+            Op::Delete => {
+                let _ = api.delete(Channel::UserToApi, *kind, namespace, name);
+            }
+            Op::Create | Op::Update => {
+                // An unreadable payload means the trace file was damaged
+                // after export; skip the event like kbench skips a failed
+                // request (the audit log still shows the gap).
+                let Some(obj) =
+                    payload.as_ref().and_then(|b| Object::decode(*kind, b).ok())
+                else {
+                    return;
+                };
+                let _ = match verb {
+                    Op::Create => api.create(Channel::UserToApi, obj),
+                    _ => api.update(Channel::UserToApi, obj),
+                };
+            }
+        },
     }
 }
 

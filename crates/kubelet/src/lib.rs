@@ -269,19 +269,19 @@ impl Kubelet {
             match ev.object.as_deref() {
                 Some(Object::Pod(pod)) => {
                     if pod.spec.node_name == self.node_name && !pod.metadata.is_terminating() {
-                        if !self.pods.contains_key(&ev.key) {
+                        if !self.pods.contains_key(&*ev.key) {
                             self.admit(api, now, &ev.key, pod);
                         }
-                    } else if self.pods.contains_key(&ev.key)
+                    } else if self.pods.contains_key(&*ev.key)
                         && pod.spec.node_name != self.node_name
                     {
                         // Rebound elsewhere (corruption): stop the local copy.
-                        self.pods.remove(&ev.key);
+                        self.pods.remove(&*ev.key);
                     }
                 }
                 Some(_) => {}
                 None => {
-                    self.pods.remove(&ev.key);
+                    self.pods.remove(&*ev.key);
                 }
             }
         }

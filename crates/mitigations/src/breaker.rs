@@ -53,7 +53,7 @@ pub struct ReplicationBreaker {
     cfg: BreakerConfig,
     cursor: u64,
     /// Pod keys already observed (to distinguish creates from updates).
-    seen: HashSet<String>,
+    seen: HashSet<std::rc::Rc<str>>,
     /// Creation timestamps per owner key, pruned to the window.
     creates: HashMap<String, VecDeque<u64>>,
     /// Owners already suspended by this breaker.

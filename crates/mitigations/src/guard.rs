@@ -46,8 +46,9 @@ impl Default for GuardConfig {
 pub struct ChangeRecord {
     /// When the change was observed.
     pub at: u64,
-    /// Registry key of the changed object.
-    pub key: String,
+    /// Registry key of the changed object (shared with the watch event
+    /// that produced it).
+    pub key: std::rc::Rc<str>,
     /// Kind of the changed object.
     pub kind: Kind,
     /// Changed paths as `(path, old, new)`; `None` means absent.
@@ -99,14 +100,14 @@ pub struct CriticalFieldGuard {
     cfg: GuardConfig,
     cursor: u64,
     /// Last known state per key (the rollback target).
-    snapshots: HashMap<String, std::rc::Rc<Object>>,
+    snapshots: HashMap<std::rc::Rc<str>, std::rc::Rc<Object>>,
     /// Journal of guarded changes (pre-change snapshot retained until the
     /// window expires).
     journal: Vec<ChangeRecord>,
     /// Pre-change snapshots for journal entries still in the window.
     pending: Vec<(usize, std::rc::Rc<Object>)>,
     /// Rollbacks already spent per key.
-    rollbacks_done: HashMap<String, u32>,
+    rollbacks_done: HashMap<std::rc::Rc<str>, u32>,
     /// Pod count at the last step (storm detection).
     last_pod_count: usize,
     last_step: u64,
@@ -135,7 +136,7 @@ impl CriticalFieldGuard {
         let mut snapshots = HashMap::new();
         for kind in Kind::ALL {
             for obj in api.list(kind, None) {
-                snapshots.insert(obj.key(), obj);
+                snapshots.insert(obj.key().into(), obj);
             }
         }
         CriticalFieldGuard {

@@ -14,6 +14,7 @@
 //! | `bool`        | `bool`                       | varint (skipped if false) |
 //! | `map`         | `BTreeMap<String, String>`   | repeated `{1:k, 2:v}`     |
 //! | `repstr`      | `Vec<String>`                | repeated len-delimited    |
+//! | `bytes`       | `Vec<u8>`                    | len-delimited (if non-[]) |
 //! | `msg<T>`      | `T`                          | len-delimited (always)    |
 //! | `rep<T>`      | `Vec<T>`                     | repeated len-delimited    |
 //!
@@ -147,6 +148,7 @@ macro_rules! proto_message {
     (@fieldty bool) => { bool };
     (@fieldty map) => { ::std::collections::BTreeMap<::std::string::String, ::std::string::String> };
     (@fieldty repstr) => { ::std::vec::Vec<::std::string::String> };
+    (@fieldty bytes) => { ::std::vec::Vec<u8> };
     (@fieldty msg, $ty:ident) => { $ty };
     (@fieldty rep, $ty:ident) => { ::std::vec::Vec<$ty> };
 
@@ -165,6 +167,9 @@ macro_rules! proto_message {
     };
     (@enc $s:expr, $b:expr, $num:literal, $f:ident, repstr) => {
         for v in &$s.$f { $crate::put_str($b, $num, v); }
+    };
+    (@enc $s:expr, $b:expr, $num:literal, $f:ident, bytes) => {
+        if !$s.$f.is_empty() { $crate::put_bytes($b, $num, &$s.$f); }
     };
     (@enc $s:expr, $b:expr, $num:literal, $f:ident, msg, $ty:ident) => {
         $crate::put_msg($b, $num, &$s.$f);
@@ -193,6 +198,9 @@ macro_rules! proto_message {
     };
     (@dec $o:ident, $r:ident, $wt:ident, $f:ident, repstr) => {
         if $wt == $crate::WireType::Len { $o.$f.push($r.string()?); } else { $r.skip($wt)?; }
+    };
+    (@dec $o:ident, $r:ident, $wt:ident, $f:ident, bytes) => {
+        if $wt == $crate::WireType::Len { $o.$f = $r.bytes()?.to_vec(); } else { $r.skip($wt)?; }
     };
     (@dec $o:ident, $r:ident, $wt:ident, $f:ident, msg, $ty:ident) => {
         if $wt == $crate::WireType::Len {
@@ -232,6 +240,9 @@ macro_rules! proto_message {
             $v(&path, $crate::reflect::Value::Str(val.clone()));
         }
     };
+    // Opaque payloads are not reflectable fields: campaign-style field
+    // enumeration/mutation skips them by design.
+    (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, bytes) => {};
     (@vis $s:expr, $p:expr, $v:expr, $f:ident, $jn:expr, msg, $ty:ident) => {{
         let prefix = format!("{}{}.", $p, $jn);
         $crate::reflect::Reflect::visit_fields(&$s.$f, &prefix, $v);
@@ -274,6 +285,9 @@ macro_rules! proto_message {
             }
             _ => None,
         }
+    };
+    (@get $s:expr, $acc:expr, $rest:expr, $f:ident, bytes) => {
+        None::<$crate::reflect::Value>
     };
     (@get $s:expr, $acc:expr, $rest:expr, $f:ident, msg, $ty:ident) => {
         if $acc.is_none() {
@@ -324,6 +338,9 @@ macro_rules! proto_message {
             }
             _ => false,
         }
+    };
+    (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, bytes) => {
+        false
     };
     (@set $s:expr, $acc:expr, $rest:expr, $val:expr, $f:ident, msg, $ty:ident) => {
         match $acc {
@@ -455,6 +472,32 @@ mod tests {
             let mut copy = e.clone();
             assert!(copy.set_field(&path, value), "path {path}");
         }
+    }
+
+    proto_message! {
+        /// Opaque-payload carrier (trace events store encoded objects).
+        pub struct Blob {
+            1 => label: str,
+            2 => data: bytes,
+        }
+    }
+
+    #[test]
+    fn bytes_fields_roundtrip() {
+        let b = Blob { label: "obj".into(), data: vec![0, 1, 2, 0xFF, 0] };
+        let bytes = b.encode();
+        assert_eq!(Blob::decode(&bytes).unwrap(), b);
+        // Empty payloads are skipped on the wire like other defaults.
+        assert!(Blob::default().encode().is_empty());
+    }
+
+    #[test]
+    fn bytes_fields_are_opaque_to_reflection() {
+        let mut b = Blob { label: "obj".into(), data: vec![1, 2, 3] };
+        assert!(b.field_list().iter().all(|(p, _)| !p.starts_with("data")));
+        assert_eq!(b.get_field("data"), None);
+        assert!(!b.set_field("data", Value::Str("x".into())));
+        assert_eq!(b.data, vec![1, 2, 3]);
     }
 
     #[test]

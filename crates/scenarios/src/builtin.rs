@@ -18,9 +18,9 @@
 //!   scaling `web-1` up while the client hammers it and back down to the
 //!   minimum afterwards (the FFDA's *Wrong Autoscale Trigger* surface).
 
-use crate::{Scenario, ScenarioDef};
+use crate::{primitives, Scenario, ScenarioDef};
 use k8s_cluster::{ClusterConfig, RunStats, UserOp, World};
-use k8s_model::{Channel, HorizontalPodAutoscaler, Kind, Object};
+use k8s_model::{Channel, Kind, Object};
 
 /// The image the rolling-update scenario rolls out to.
 pub const ROLLOUT_IMAGE: &str = "registry.local/web:2.0";
@@ -77,11 +77,7 @@ impl ScenarioDef for Deploy {
     }
 
     fn ops(&self) -> Vec<(u64, UserOp)> {
-        vec![
-            (2_000, UserOp::CreateApp { index: 2, replicas: 2 }),
-            (2_200, UserOp::CreateApp { index: 3, replicas: 2 }),
-            (2_400, UserOp::CreateApp { index: 4, replicas: 2 }),
-        ]
+        primitives::deploy(2_000, 200, 2, 3, 2)
     }
 
     fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
@@ -107,14 +103,7 @@ impl ScenarioDef for ScaleUp {
     }
 
     fn ops(&self) -> Vec<(u64, UserOp)> {
-        vec![
-            (2_000, UserOp::Scale { index: 1, replicas: 3 }),
-            (2_100, UserOp::Scale { index: 2, replicas: 3 }),
-            (12_000, UserOp::Scale { index: 1, replicas: 4 }),
-            (12_100, UserOp::Scale { index: 2, replicas: 4 }),
-            (22_000, UserOp::Scale { index: 1, replicas: 5 }),
-            (22_100, UserOp::Scale { index: 2, replicas: 5 }),
-        ]
+        primitives::scale_staircase(2_000, 100, 10_000, &[1, 2], 3..=5)
     }
 
     fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
@@ -140,7 +129,7 @@ impl ScenarioDef for Failover {
     }
 
     fn ops(&self) -> Vec<(u64, UserOp)> {
-        vec![(2_000, UserOp::TaintNode { node: TARGET_NODE.into() })]
+        primitives::taint(2_000, TARGET_NODE)
     }
 
     fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
@@ -180,13 +169,8 @@ impl ScenarioDef for RollingUpdate {
     }
 
     fn ops(&self) -> Vec<(u64, UserOp)> {
-        // Staged: web-1 first, web-2 ten seconds later — the second stage
-        // begins while the first is (or has just finished) rolling, as a
-        // CD pipeline would.
-        vec![
-            (2_000, UserOp::SetImage { index: 1, image: ROLLOUT_IMAGE.into() }),
-            (12_000, UserOp::SetImage { index: 2, image: ROLLOUT_IMAGE.into() }),
-        ]
+        // Staged: web-1 first, web-2 ten seconds later.
+        primitives::rolling_update(2_000, 10_000, &[1, 2], ROLLOUT_IMAGE)
     }
 
     fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
@@ -231,12 +215,8 @@ impl ScenarioDef for NodeDrain {
     fn ops(&self) -> Vec<(u64, UserOp)> {
         // Cordon, then evict one pod every four seconds. Six eviction
         // slots cover the worst possible packing of the six application
-        // pods; slots on an already-empty node are no-ops.
-        let mut ops = vec![(2_000, UserOp::CordonNode { node: TARGET_NODE.into() })];
-        for slot in 0..6u64 {
-            ops.push((5_000 + 4_000 * slot, UserOp::EvictPodOn { node: TARGET_NODE.into() }));
-        }
-        ops
+        // pods.
+        primitives::drain(2_000, TARGET_NODE, 3_000, 4_000, 6)
     }
 
     fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
@@ -293,18 +273,15 @@ impl ScenarioDef for HpaAutoscale {
     }
 
     fn setup(&self, world: &mut World) {
-        let mut hpa = HorizontalPodAutoscaler::default();
-        hpa.metadata = k8s_model::ObjectMeta::named("default", "web-1-hpa");
-        hpa.spec.scale_target = "web-1".into();
         // minReplicas matches the deployed size, so the idle pre-workload
         // phase takes no scale action (and spends no cooldown).
-        hpa.spec.min_replicas = HPA_MIN_REPLICAS;
-        hpa.spec.max_replicas = HPA_MAX_REPLICAS;
-        hpa.spec.target_load = HPA_TARGET_LOAD;
-        world
-            .api
-            .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa))
-            .expect("create scenario hpa");
+        primitives::install_autoscaler(
+            world,
+            1,
+            HPA_MIN_REPLICAS,
+            HPA_MAX_REPLICAS,
+            HPA_TARGET_LOAD,
+        );
     }
 
     fn check_golden(&self, stats: &RunStats, world: &mut World) -> Result<(), String> {
@@ -419,5 +396,45 @@ mod tests {
         assert!(matches!(ops[0].1, UserOp::CordonNode { .. }));
         assert!(ops[1..].iter().all(|(_, op)| matches!(op, UserOp::EvictPodOn { .. })));
         assert!(ops.len() >= 7, "not enough eviction slots for worst-case packing");
+    }
+
+    /// Pins the primitive-rendered schedules to the exact literal ops the
+    /// built-ins shipped with before the extraction — scenario schedules
+    /// key golden baselines and campaign TSVs, so they must never drift.
+    #[test]
+    fn primitive_extraction_is_byte_identical() {
+        assert_eq!(
+            DEPLOY.ops(),
+            vec![
+                (2_000, UserOp::CreateApp { index: 2, replicas: 2 }),
+                (2_200, UserOp::CreateApp { index: 3, replicas: 2 }),
+                (2_400, UserOp::CreateApp { index: 4, replicas: 2 }),
+            ]
+        );
+        assert_eq!(
+            SCALE_UP.ops(),
+            vec![
+                (2_000, UserOp::Scale { index: 1, replicas: 3 }),
+                (2_100, UserOp::Scale { index: 2, replicas: 3 }),
+                (12_000, UserOp::Scale { index: 1, replicas: 4 }),
+                (12_100, UserOp::Scale { index: 2, replicas: 4 }),
+                (22_000, UserOp::Scale { index: 1, replicas: 5 }),
+                (22_100, UserOp::Scale { index: 2, replicas: 5 }),
+            ]
+        );
+        assert_eq!(FAILOVER.ops(), vec![(2_000, UserOp::TaintNode { node: "w1".into() })]);
+        assert_eq!(
+            ROLLING_UPDATE.ops(),
+            vec![
+                (2_000, UserOp::SetImage { index: 1, image: ROLLOUT_IMAGE.into() }),
+                (12_000, UserOp::SetImage { index: 2, image: ROLLOUT_IMAGE.into() }),
+            ]
+        );
+        let mut drain = vec![(2_000, UserOp::CordonNode { node: "w1".into() })];
+        for slot in 0..6u64 {
+            drain.push((5_000 + 4_000 * slot, UserOp::EvictPodOn { node: "w1".into() }));
+        }
+        assert_eq!(NODE_DRAIN.ops(), drain);
+        assert!(HPA_AUTOSCALE.ops().is_empty());
     }
 }

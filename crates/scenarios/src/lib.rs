@@ -28,6 +28,7 @@
 //! ```
 
 mod builtin;
+pub mod primitives;
 
 pub use builtin::{DEPLOY, FAILOVER, HPA_AUTOSCALE, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
 

@@ -1,0 +1,161 @@
+//! Scenario primitives: the reusable workload fragments the built-ins
+//! are made of.
+//!
+//! Each primitive renders one orchestration gesture — a staggered deploy,
+//! a scale staircase, a taint, a staged rollout, a cordon-and-drain — as
+//! timed [`UserOp`]s relative to the workload start. The built-in
+//! scenarios compose them with the paper's parameters (§V-A), and the
+//! trace generator (`mutiny_trace`) composes them with seeded parameters
+//! into arbitrarily many synthetic-but-deterministic workload programs.
+//!
+//! Primitives are pure planning: they allocate no world state and read no
+//! clocks, so the same arguments always render the same schedule — the
+//! property that keeps generated campaign TSVs byte-identical across
+//! thread counts.
+
+use k8s_cluster::{UserOp, World};
+use k8s_model::{Channel, HorizontalPodAutoscaler, Object};
+use std::ops::RangeInclusive;
+
+/// Creates `count` applications (`web-<first_index>` onward) of
+/// `replicas` each, one every `stagger_ms` starting at `at`.
+pub fn deploy(
+    at: u64,
+    stagger_ms: u64,
+    first_index: u32,
+    count: u32,
+    replicas: i64,
+) -> Vec<(u64, UserOp)> {
+    (0..count)
+        .map(|i| {
+            (at + stagger_ms * u64::from(i), UserOp::CreateApp { index: first_index + i, replicas })
+        })
+        .collect()
+}
+
+/// Scales every application in `indices` through each target in
+/// `targets`, one staircase step every `step_ms`; within a step the
+/// applications are scaled `stagger_ms` apart in the given order.
+pub fn scale_staircase(
+    at: u64,
+    stagger_ms: u64,
+    step_ms: u64,
+    indices: &[u32],
+    targets: RangeInclusive<i64>,
+) -> Vec<(u64, UserOp)> {
+    let mut ops = Vec::new();
+    for (step, replicas) in targets.enumerate() {
+        for (pos, index) in indices.iter().enumerate() {
+            ops.push((
+                at + step_ms * step as u64 + stagger_ms * pos as u64,
+                UserOp::Scale { index: *index, replicas },
+            ));
+        }
+    }
+    ops
+}
+
+/// Applies a NoExecute taint to `node` at `at` (abrupt node failure).
+pub fn taint(at: u64, node: &str) -> Vec<(u64, UserOp)> {
+    vec![(at, UserOp::TaintNode { node: node.into() })]
+}
+
+/// Rolls every application in `indices` to `image`, one stage every
+/// `step_ms` (the next stage begins while the previous is — or has just
+/// finished — rolling, as a CD pipeline would).
+pub fn rolling_update(
+    at: u64,
+    step_ms: u64,
+    indices: &[u32],
+    image: &str,
+) -> Vec<(u64, UserOp)> {
+    indices
+        .iter()
+        .enumerate()
+        .map(|(stage, index)| {
+            (at + step_ms * stage as u64, UserOp::SetImage { index: *index, image: image.into() })
+        })
+        .collect()
+}
+
+/// Planned maintenance on `node`: cordon at `at` (NoSchedule taint), then
+/// evict one application pod per slot, `slots` slots every
+/// `evict_every_ms` starting `evict_delay_ms` after the cordon. Slots on
+/// an already-empty node are no-ops, so over-provisioning slots for the
+/// worst-case packing is safe.
+pub fn drain(
+    at: u64,
+    node: &str,
+    evict_delay_ms: u64,
+    evict_every_ms: u64,
+    slots: u64,
+) -> Vec<(u64, UserOp)> {
+    let mut ops = vec![(at, UserOp::CordonNode { node: node.into() })];
+    for slot in 0..slots {
+        ops.push((
+            at + evict_delay_ms + evict_every_ms * slot,
+            UserOp::EvictPodOn { node: node.into() },
+        ));
+    }
+    ops
+}
+
+/// Installs a HorizontalPodAutoscaler `web-<index>-hpa` over
+/// `web-<index>` during scenario setup. The metric source additionally
+/// needs `cfg.net.publish_metrics = true` at configure time.
+pub fn install_autoscaler(
+    world: &mut World,
+    index: u32,
+    min_replicas: i64,
+    max_replicas: i64,
+    target_load: i64,
+) {
+    let mut hpa = HorizontalPodAutoscaler::default();
+    hpa.metadata = k8s_model::ObjectMeta::named("default", &format!("web-{index}-hpa"));
+    hpa.spec.scale_target = format!("web-{index}");
+    hpa.spec.min_replicas = min_replicas;
+    hpa.spec.max_replicas = max_replicas;
+    hpa.spec.target_load = target_load;
+    world
+        .api
+        .create(Channel::UserToApi, Object::HorizontalPodAutoscaler(hpa))
+        .expect("create scenario hpa");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_staggers_indices() {
+        let ops = deploy(2_000, 200, 2, 3, 2);
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0], (2_000, UserOp::CreateApp { index: 2, replicas: 2 }));
+        assert_eq!(ops[2], (2_400, UserOp::CreateApp { index: 4, replicas: 2 }));
+    }
+
+    #[test]
+    fn staircase_orders_steps_then_apps() {
+        let ops = scale_staircase(2_000, 100, 10_000, &[1, 2], 3..=5);
+        assert_eq!(ops.len(), 6);
+        assert_eq!(ops[0], (2_000, UserOp::Scale { index: 1, replicas: 3 }));
+        assert_eq!(ops[1], (2_100, UserOp::Scale { index: 2, replicas: 3 }));
+        assert_eq!(ops[4], (22_000, UserOp::Scale { index: 1, replicas: 5 }));
+    }
+
+    #[test]
+    fn drain_cordons_before_evicting() {
+        let ops = drain(2_000, "w1", 3_000, 4_000, 6);
+        assert_eq!(ops.len(), 7);
+        assert!(matches!(ops[0].1, UserOp::CordonNode { .. }));
+        assert_eq!(ops[1].0, 5_000);
+        assert_eq!(ops[6].0, 25_000);
+    }
+
+    #[test]
+    fn rolling_update_stages() {
+        let ops = rolling_update(2_000, 10_000, &[1, 2], "registry.local/web:2.0");
+        assert_eq!(ops[0].0, 2_000);
+        assert_eq!(ops[1].0, 12_000);
+    }
+}

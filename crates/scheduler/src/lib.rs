@@ -152,7 +152,7 @@ impl Scheduler {
         for ev in events {
             match (ev.kind, ev.object.as_deref()) {
                 (Kind::Pod, Some(Object::Pod(pod))) => {
-                    let key = ev.key.clone();
+                    let key = String::from(&*ev.key);
                     if pod.metadata.is_terminating() {
                         self.assumed.remove(&key);
                         continue;
@@ -178,7 +178,7 @@ impl Scheduler {
                     }
                 }
                 (Kind::Pod, None) => {
-                    self.assumed.remove(&ev.key);
+                    self.assumed.remove(&*ev.key);
                 }
                 _ => {}
             }

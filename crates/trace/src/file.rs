@@ -1,0 +1,156 @@
+//! The versioned trace file format.
+//!
+//! A trace file is the magic prefix [`TRACE_MAGIC`] followed by one
+//! `protowire`-encoded [`TraceFileMsg`]. Payloads are the exact bytes the
+//! recorded client submitted (pre-wire, pre-admission), so replaying them
+//! through the request pipeline reproduces the recorded run.
+
+use protowire::{proto_message, Message};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Current trace file format version.
+pub const TRACE_VERSION: i64 = 1;
+
+/// File magic: identifies a mutiny trace and its container revision.
+pub const TRACE_MAGIC: &[u8; 8] = b"MTRACE1\n";
+
+/// File extension trace scenarios are discovered by.
+pub const TRACE_EXT: &str = "trace";
+
+proto_message! {
+    /// One recorded user-originated write.
+    pub struct TraceEventMsg {
+        1 => at: int,
+        2 => channel: str,
+        3 => verb: str,
+        4 => kind: str,
+        5 => namespace: str,
+        6 => name: str,
+        7 => payload: bytes,
+    }
+}
+
+proto_message! {
+    /// A recorded run: provenance plus the event list.
+    pub struct TraceFileMsg {
+        1 => version: int,
+        2 => source: str,
+        3 => apps: repstr,
+        4 => t0: int,
+        5 => events: rep<TraceEventMsg>,
+    }
+}
+
+/// Errors reading or writing trace files.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a (readable) mutiny trace; the message names the
+    /// problem.
+    Malformed(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Malformed(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes a trace file (magic + encoded message), creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on filesystem failure.
+pub fn write_trace(path: &Path, trace: &TraceFileMsg) -> Result<(), TraceError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(TRACE_MAGIC)?;
+    f.write_all(&trace.encode())?;
+    Ok(())
+}
+
+/// Reads and validates a trace file.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on filesystem failure, [`TraceError::Malformed`]
+/// when the magic, version, or encoding does not check out.
+pub fn read_trace(path: &Path) -> Result<TraceFileMsg, TraceError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let Some(body) = bytes.strip_prefix(TRACE_MAGIC) else {
+        return Err(TraceError::Malformed(format!("{}: missing trace magic", path.display())));
+    };
+    let trace = TraceFileMsg::decode(body)
+        .map_err(|e| TraceError::Malformed(format!("{}: {e:?}", path.display())))?;
+    if trace.version != TRACE_VERSION {
+        return Err(TraceError::Malformed(format!(
+            "{}: unsupported trace version {} (expected {TRACE_VERSION})",
+            path.display(),
+            trace.version
+        )));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceFileMsg {
+        let mut t = TraceFileMsg::default();
+        t.version = TRACE_VERSION;
+        t.source = "deploy".into();
+        t.apps = vec!["1".into()];
+        t.t0 = 35_000;
+        let mut ev = TraceEventMsg::default();
+        ev.at = 37_000;
+        ev.channel = "user->apiserver".into();
+        ev.verb = "create".into();
+        ev.kind = "Deployment".into();
+        ev.namespace = "default".into();
+        ev.name = "web-2".into();
+        ev.payload = vec![1, 2, 3];
+        t.events.push(ev);
+        t
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mutiny_trace_file_test");
+        let path = dir.join("sample.trace");
+        let t = sample();
+        write_trace(&path, &t).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let dir = std::env::temp_dir().join("mutiny_trace_magic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.trace");
+        std::fs::write(&path, b"not a trace").unwrap();
+        assert!(matches!(read_trace(&path), Err(TraceError::Malformed(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

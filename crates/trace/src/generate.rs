@@ -1,0 +1,210 @@
+//! The generative scenario synthesizer.
+//!
+//! [`generate_program`] composes the scenario primitives
+//! ([`mutiny_scenarios::primitives`]) into a seeded workload program: a
+//! couple of preinstalled applications, two to four workload fragments
+//! (deploys, scale staircases, staged rollouts, node lifecycle events)
+//! at accumulating start offsets, and an optional autoscaler. Generation
+//! is **pure planning** — it draws only from a [`Rng`] forked off the
+//! seed and the program index, touches no world state, and reads no
+//! clocks — so the same `(seed, index)` always yields the same program,
+//! and a generated scenario's campaign rows are byte-identical at any
+//! worker-thread count.
+
+use k8s_cluster::{ClusterConfig, UserOp, World};
+use mutiny_scenarios::{primitives, registry, Scenario, ScenarioDef};
+use simkit::Rng;
+
+/// Image generated rollout fragments move applications to.
+pub const GEN_IMAGE: &str = "registry.local/web:gen";
+
+const GEN_HPA_MIN: i64 = 2;
+const GEN_HPA_MAX: i64 = 8;
+const GEN_HPA_TARGET_LOAD: i64 = 5;
+
+/// A synthesized workload program: what a generated scenario runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedProgram {
+    /// Preinstalled application indexes (always `1..=k`).
+    pub apps: Vec<u32>,
+    /// The timed op schedule, sorted by offset.
+    pub ops: Vec<(u64, UserOp)>,
+    /// Whether the scenario installs an autoscaler over `web-1` (and
+    /// turns on metric publication).
+    pub autoscale: bool,
+}
+
+/// Synthesizes the program for generated scenario `index` under `seed`.
+pub fn generate_program(seed: u64, index: u64) -> GeneratedProgram {
+    let mut rng = Rng::new(seed).fork_n(index);
+    let preinstalled = rng.range(1, 3) as u32;
+    let apps: Vec<u32> = (1..=preinstalled).collect();
+
+    let fragments = rng.range(2, 4);
+    let mut next_new = preinstalled + 1;
+    let mut node_fragment_used = false;
+    let mut at = 2_000u64;
+    let mut ops: Vec<(u64, UserOp)> = Vec::new();
+
+    for _ in 0..fragments {
+        // At most one node-lifecycle fragment per program: a second
+        // cordon/taint on a 4-worker testbed starves the workload more
+        // than it exercises the orchestrator.
+        let kinds = if node_fragment_used { 3 } else { 4 };
+        match rng.below(kinds) {
+            0 => {
+                let count = rng.range(1, 2) as u32;
+                let replicas = rng.range(1, 3) as i64;
+                ops.extend(primitives::deploy(at, 200, next_new, count, replicas));
+                next_new += count;
+            }
+            1 => {
+                let index = 1 + rng.below(u64::from(next_new - 1)) as u32;
+                let lo = rng.range(2, 3) as i64;
+                let hi = lo + rng.range(1, 2) as i64;
+                let step_ms = rng.range(4, 8) * 1_000;
+                ops.extend(primitives::scale_staircase(at, 100, step_ms, &[index], lo..=hi));
+            }
+            2 => {
+                let index = 1 + rng.below(u64::from(next_new - 1)) as u32;
+                ops.extend(primitives::rolling_update(at, 10_000, &[index], GEN_IMAGE));
+            }
+            _ => {
+                node_fragment_used = true;
+                // w4 hosts the synthetic client; leave it alone so
+                // generated programs keep the service observable.
+                let node = format!("w{}", rng.range(1, 3));
+                if rng.chance(0.5) {
+                    ops.extend(primitives::taint(at, &node));
+                } else {
+                    ops.extend(primitives::drain(at, &node, 3_000, 4_000, 6));
+                }
+            }
+        }
+        at += rng.range(5, 8) * 1_000;
+    }
+    // Stable sort: fragments already accumulate offsets, but fragments
+    // overlap by design (a staircase outlives the gap to the next
+    // fragment) and the schedule contract is time order.
+    ops.sort_by_key(|(t, _)| *t);
+
+    GeneratedProgram { apps, ops, autoscale: rng.chance(0.25) }
+}
+
+/// A registered synthesized scenario.
+struct GeneratedScenario {
+    name: &'static str,
+    apps: &'static [u32],
+    ops: Vec<(u64, UserOp)>,
+    autoscale: bool,
+}
+
+impl ScenarioDef for GeneratedScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn preinstalled_apps(&self) -> &'static [u32] {
+        self.apps
+    }
+
+    fn ops(&self) -> Vec<(u64, UserOp)> {
+        self.ops.clone()
+    }
+
+    fn configure(&self, cfg: &mut ClusterConfig) {
+        if self.autoscale {
+            cfg.net.publish_metrics = true;
+        }
+    }
+
+    fn setup(&self, world: &mut World) {
+        if self.autoscale {
+            primitives::install_autoscaler(
+                world,
+                1,
+                GEN_HPA_MIN,
+                GEN_HPA_MAX,
+                GEN_HPA_TARGET_LOAD,
+            );
+        }
+    }
+}
+
+/// Synthesizes and registers `n` scenarios named `gen-<seed>-<index>`.
+/// Re-registering the same `(n, seed)` in one process resolves to the
+/// existing registrations.
+///
+/// # Errors
+///
+/// Returns the registry's error when a name collides with a non-generated
+/// scenario.
+pub fn register_generated(n: u64, seed: u64) -> Result<Vec<Scenario>, String> {
+    let mut out = Vec::with_capacity(n as usize);
+    for index in 0..n {
+        let name: &'static str =
+            Box::leak(format!("gen-{seed}-{index}").into_boxed_str());
+        let program = generate_program(seed, index);
+        let def = GeneratedScenario {
+            name,
+            apps: Box::leak(program.apps.into_boxed_slice()),
+            ops: program.ops,
+            autoscale: program.autoscale,
+        };
+        match registry::register(Box::new(def)) {
+            Ok(s) => out.push(s),
+            Err(e) => match registry::find(name) {
+                Some(s) => out.push(s),
+                None => return Err(e),
+            },
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_program() {
+        for index in 0..8 {
+            assert_eq!(generate_program(42, index), generate_program(42, index));
+        }
+        assert_ne!(generate_program(42, 0), generate_program(43, 0));
+    }
+
+    #[test]
+    fn programs_are_plausible_workloads() {
+        for index in 0..16 {
+            let p = generate_program(7, index);
+            assert!(!p.apps.is_empty() && p.apps.len() <= 3, "apps: {:?}", p.apps);
+            assert_eq!(p.apps, (1..=p.apps.len() as u32).collect::<Vec<_>>());
+            assert!(!p.ops.is_empty(), "program {index} has no ops");
+            assert!(p.ops.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted: {:?}", p.ops);
+            // At most one node-lifecycle fragment, and never the client node.
+            let node_ops: Vec<&str> = p
+                .ops
+                .iter()
+                .filter_map(|(_, op)| match op {
+                    UserOp::TaintNode { node } | UserOp::CordonNode { node } => {
+                        Some(node.as_str())
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(node_ops.len() <= 1, "program {index}: {node_ops:?}");
+            assert!(node_ops.iter().all(|n| *n != "w4"), "client node touched");
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_register_and_rerun() {
+        let first = register_generated(2, 99_001).unwrap();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].name(), "gen-99001-0");
+        assert_eq!(registry::find("gen-99001-1"), Some(first[1]));
+        let again = register_generated(2, 99_001).unwrap();
+        assert_eq!(again, first);
+    }
+}

@@ -1,0 +1,59 @@
+//! # mutiny-trace — record, replay, and synthesize workload traces
+//!
+//! The campaign engine's scenarios are *programs*: timed user operations
+//! against the simulated cluster. This crate closes the loop around them
+//! with three pillars:
+//!
+//! 1. **Record** ([`record`]): a [`TraceRecorder`] taps the apiserver
+//!    request pipeline and captures every user-originated write — verb,
+//!    kind, target, and the exact submitted object bytes — into a
+//!    versioned [`TraceFileMsg`] ([`file`]). Any golden or campaign run
+//!    is exportable (`MUTINY_TRACE_EXPORT=<dir>` at the bench layer).
+//! 2. **Replay** ([`replay`]): a [`TraceScenario`] loads a trace file
+//!    and re-submits its events through the same request pipeline at the
+//!    recorded sim-clock offsets. Registered scenarios join the campaign
+//!    cross-product unchanged (`MUTINY_TRACES=<dir>`).
+//! 3. **Generate** ([`generate`]): a seeded synthesizer composes the
+//!    scenario primitives (`mutiny_scenarios::primitives`) into
+//!    deterministic workload programs (`MUTINY_GEN=<n>:<seed>`).
+//!    Generation is pure planning — the same seed always yields the same
+//!    program, so generated campaign rows stay byte-identical across
+//!    worker-thread counts.
+//!
+//! ```no_run
+//! use k8s_cluster::ClusterConfig;
+//! use mutiny_trace::{export_scenario, replay::TraceScenario};
+//! use std::path::Path;
+//!
+//! let dir = Path::new("traces");
+//! let path = export_scenario(&ClusterConfig::default(), mutiny_scenarios::DEPLOY, 1, dir)
+//!     .expect("export");
+//! let scenario = TraceScenario::from_file(&path).expect("load");
+//! ```
+
+pub mod file;
+pub mod generate;
+pub mod record;
+pub mod replay;
+
+pub use file::{read_trace, write_trace, TraceError, TraceEventMsg, TraceFileMsg};
+pub use file::{TRACE_EXT, TRACE_MAGIC, TRACE_VERSION};
+pub use generate::{generate_program, register_generated, GeneratedProgram};
+pub use record::{export_scenario, record_scenario, TraceRecorder};
+pub use replay::{register_traces, TraceScenario};
+
+use k8s_cluster::World;
+use k8s_model::Kind;
+
+/// A canonical digest of the apiserver's object store: every object's
+/// registry key plus its encoded bytes, sorted by key. Two worlds whose
+/// digests are equal ended in the same state — the round-trip tests
+/// compare a recorded run against its replay with this.
+pub fn world_digest(world: &mut World) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for kind in Kind::ALL {
+        world.api.for_each(kind, None, |obj| out.push((obj.key(), obj.encode())));
+    }
+    out.sort();
+    out
+}

@@ -1,0 +1,142 @@
+//! The trace recorder: a [`RequestTap`] that captures user-originated
+//! writes, and the golden-run exporter built on it.
+//!
+//! The recorder taps the request pipeline at submission time — before the
+//! wire verdict, validation, or admission — so a trace holds exactly what
+//! the client sent, successful or not (a rejected write is part of the
+//! workload too: it feeds the audit log the paper's Figure 7 counts).
+//! Pre-workload traffic (bootstrap creates, scenario setup) is excluded
+//! by the `t0` threshold; replay reproduces that phase from the recorded
+//! scenario metadata instead.
+
+use crate::file::{TraceError, TraceEventMsg, TraceFileMsg, TRACE_VERSION};
+use k8s_apiserver::{RequestTap, SubmittedWrite};
+use k8s_cluster::{ClusterConfig, RunStats, WORKLOAD_START_MS};
+use k8s_model::{Channel, ChannelId, NoopInterceptor};
+use mutiny_scenarios::Scenario;
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+/// Records every user-channel write at or after a sim-time threshold.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    threshold: u64,
+    events: Vec<TraceEventMsg>,
+}
+
+impl TraceRecorder {
+    /// A recorder capturing user writes at sim times `>= threshold`
+    /// (normally [`WORKLOAD_START_MS`], so setup traffic is excluded).
+    pub fn new(threshold: u64) -> TraceRecorder {
+        TraceRecorder { threshold, events: Vec::new() }
+    }
+
+    /// Takes the recorded events (oldest first), leaving the recorder
+    /// empty.
+    pub fn take_events(&mut self) -> Vec<TraceEventMsg> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl RequestTap for TraceRecorder {
+    fn on_submit(&mut self, write: &SubmittedWrite<'_>) {
+        if write.at < self.threshold {
+            return;
+        }
+        if !ChannelId::from(Channel::UserToApi).matches(write.channel) {
+            return;
+        }
+        let mut ev = TraceEventMsg::default();
+        ev.at = write.at as i64;
+        ev.channel = write.channel.to_string();
+        ev.verb = write.op.to_string();
+        ev.kind = write.kind.to_string();
+        ev.namespace = write.namespace.to_string();
+        ev.name = write.name.to_string();
+        if let Some(obj) = write.object {
+            ev.payload = obj.encode();
+        }
+        self.events.push(ev);
+    }
+}
+
+/// Runs one golden (fault-free) run of `scenario` with a recorder tapped
+/// in and returns the resulting trace plus the run's statistics.
+pub fn record_scenario(
+    cluster: &ClusterConfig,
+    scenario: Scenario,
+    seed: u64,
+) -> (TraceFileMsg, RunStats) {
+    let cfg = ClusterConfig { seed, ..cluster.clone() };
+    let mut world = scenario.build_world(&cfg, Rc::new(RefCell::new(NoopInterceptor)));
+    let recorder = Rc::new(RefCell::new(TraceRecorder::new(WORKLOAD_START_MS)));
+    world.api.set_request_tap(recorder.clone());
+    scenario.schedule(&mut world);
+    world.run_to_horizon();
+
+    let mut trace = TraceFileMsg::default();
+    trace.version = TRACE_VERSION;
+    trace.source = scenario.name().to_string();
+    trace.apps = scenario.preinstalled_apps().iter().map(u32::to_string).collect();
+    trace.t0 = WORKLOAD_START_MS as i64;
+    trace.events = recorder.borrow_mut().take_events();
+    (trace, world.stats)
+}
+
+/// Records `scenario` (one golden run at `seed`) and writes the trace to
+/// `<dir>/<scenario>.trace`. Returns the written path.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on filesystem failure.
+pub fn export_scenario(
+    cluster: &ClusterConfig,
+    scenario: Scenario,
+    seed: u64,
+    dir: &Path,
+) -> Result<std::path::PathBuf, TraceError> {
+    let (trace, _) = record_scenario(cluster, scenario, seed);
+    let path = dir.join(format!("{}.{}", scenario.name(), crate::file::TRACE_EXT));
+    crate::file::write_trace(&path, &trace)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_captures_deploy_workload() {
+        let (trace, _) = record_scenario(&ClusterConfig::default(), mutiny_scenarios::DEPLOY, 11);
+        // Three CreateApp ops → three Deployments + three Services.
+        assert_eq!(trace.events.len(), 6);
+        assert!(trace.events.iter().all(|e| e.at >= WORKLOAD_START_MS as i64));
+        assert!(trace.events.iter().all(|e| e.verb == "create"));
+        assert!(trace.events.iter().all(|e| !e.payload.is_empty()));
+        assert_eq!(trace.source, "deploy");
+        assert_eq!(trace.apps, vec!["1".to_string()]);
+        // Events are recorded in submission order.
+        assert!(trace.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn threshold_excludes_setup_traffic() {
+        // A zero-threshold recorder installed before `prepare` sees the
+        // bootstrap writes — proving the default threshold is what keeps
+        // them out of exported traces.
+        let mut world = k8s_cluster::World::new(
+            ClusterConfig::default(),
+            Rc::new(RefCell::new(NoopInterceptor)),
+        );
+        let recorder = Rc::new(RefCell::new(TraceRecorder::new(0)));
+        world.api.set_request_tap(recorder.clone());
+        world.prepare(&[1]);
+        let events = recorder.borrow_mut().take_events();
+        assert!(!events.is_empty(), "expected bootstrap user writes");
+        assert!(
+            events.iter().all(|e| e.at < WORKLOAD_START_MS as i64),
+            "all prepare traffic predates the workload window"
+        );
+    }
+}

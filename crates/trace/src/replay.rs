@@ -1,0 +1,229 @@
+//! Replaying a recorded trace as a first-class campaign scenario.
+//!
+//! A [`TraceScenario`] wraps one trace file: its preinstalled apps come
+//! from the recorded provenance, and its op schedule re-submits every
+//! recorded write ([`UserOp::Replay`]) at the recorded offset from the
+//! workload start. Because replayed payloads enter the request pipeline
+//! exactly where the originals did — pre-wire, pre-admission — a replay
+//! under the same seed and cluster config reproduces the recorded run,
+//! and a replay under a fault campaign subjects the *recorded* workload
+//! to new faults.
+//!
+//! Scenario-level `configure`/`setup` hooks (e.g. hpa-autoscale's metric
+//! publication and HPA object) are not captured in a trace; traces of
+//! such scenarios replay the user writes only.
+
+use crate::file::{read_trace, TraceError, TraceFileMsg, TRACE_EXT};
+use k8s_cluster::UserOp;
+use k8s_model::{Kind, Op};
+use mutiny_scenarios::{registry, Scenario, ScenarioDef};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A scenario that re-submits the writes recorded in a trace file.
+pub struct TraceScenario {
+    name: &'static str,
+    apps: &'static [u32],
+    ops: Vec<(u64, UserOp)>,
+}
+
+fn parse_verb(s: &str) -> Option<Op> {
+    [Op::Create, Op::Update, Op::Delete].into_iter().find(|op| op.to_string() == s)
+}
+
+impl TraceScenario {
+    /// Builds a scenario named `trace-<stem>` from a trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] / [`TraceError::Malformed`] when the file does
+    /// not read back as a valid trace.
+    pub fn from_file(path: &Path) -> Result<TraceScenario, TraceError> {
+        let trace = read_trace(path)?;
+        let stem = path
+            .file_stem()
+            .ok_or_else(|| TraceError::Malformed(format!("{}: no file stem", path.display())))?
+            .to_string_lossy();
+        TraceScenario::from_trace(&format!("trace-{stem}"), &trace)
+    }
+
+    /// Builds a scenario from an in-memory trace under an explicit name.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Malformed`] when an event names an unknown verb or
+    /// kind, or the provenance lists a non-numeric app index.
+    pub fn from_trace(name: &str, trace: &TraceFileMsg) -> Result<TraceScenario, TraceError> {
+        let apps: Vec<u32> = trace
+            .apps
+            .iter()
+            .map(|a| {
+                a.parse().map_err(|_| TraceError::Malformed(format!("bad app index {a:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let t0 = u64::try_from(trace.t0).unwrap_or_default();
+        let mut ops = Vec::with_capacity(trace.events.len());
+        for ev in &trace.events {
+            let verb = parse_verb(&ev.verb)
+                .ok_or_else(|| TraceError::Malformed(format!("unknown verb {:?}", ev.verb)))?;
+            let kind = Kind::parse(&ev.kind)
+                .ok_or_else(|| TraceError::Malformed(format!("unknown kind {:?}", ev.kind)))?;
+            let at = u64::try_from(ev.at).unwrap_or_default().saturating_sub(t0);
+            let payload: Option<Arc<[u8]>> = match verb {
+                Op::Delete => None,
+                Op::Create | Op::Update => Some(Arc::from(ev.payload.as_slice())),
+            };
+            ops.push((
+                at,
+                UserOp::Replay {
+                    verb,
+                    kind,
+                    namespace: ev.namespace.clone(),
+                    name: ev.name.clone(),
+                    payload,
+                },
+            ));
+        }
+        Ok(TraceScenario {
+            name: Box::leak(name.to_owned().into_boxed_str()),
+            apps: Box::leak(apps.into_boxed_slice()),
+            ops,
+        })
+    }
+}
+
+impl ScenarioDef for TraceScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn preinstalled_apps(&self) -> &'static [u32] {
+        self.apps
+    }
+
+    fn ops(&self) -> Vec<(u64, UserOp)> {
+        self.ops.clone()
+    }
+}
+
+/// Registers every `*.trace` file in `dir` (sorted by file name, so
+/// registry order is stable) and returns the scenario handles. A name
+/// that is already registered — e.g. the same directory scanned twice in
+/// one process — resolves to the existing registration.
+///
+/// # Errors
+///
+/// [`TraceError`] on an unreadable directory or malformed trace;
+/// [`TraceError::Malformed`] when a registration fails for any reason
+/// other than the name already existing.
+pub fn register_traces(dir: &Path) -> Result<Vec<Scenario>, TraceError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == TRACE_EXT))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let scenario = TraceScenario::from_file(&path)?;
+        let name = scenario.name;
+        match registry::register(Box::new(scenario)) {
+            Ok(s) => out.push(s),
+            Err(e) => match registry::find(name) {
+                Some(s) => out.push(s),
+                None => return Err(TraceError::Malformed(e)),
+            },
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::TraceEventMsg;
+    use crate::file::TRACE_VERSION;
+
+    fn trace_with(events: Vec<TraceEventMsg>) -> TraceFileMsg {
+        let mut t = TraceFileMsg::default();
+        t.version = TRACE_VERSION;
+        t.source = "deploy".into();
+        t.apps = vec!["1".into(), "2".into()];
+        t.t0 = 35_000;
+        t.events = events;
+        t
+    }
+
+    fn event(at: i64, verb: &str, kind: &str, name: &str, payload: Vec<u8>) -> TraceEventMsg {
+        let mut ev = TraceEventMsg::default();
+        ev.at = at;
+        ev.channel = "user->apiserver".into();
+        ev.verb = verb.into();
+        ev.kind = kind.into();
+        ev.namespace = "default".into();
+        ev.name = name.into();
+        ev.payload = payload;
+        ev
+    }
+
+    #[test]
+    fn ops_are_offsets_from_t0() {
+        let t = trace_with(vec![
+            event(37_000, "create", "Deployment", "web-3", vec![1, 2]),
+            event(40_500, "delete", "Service", "web-3-svc", Vec::new()),
+        ]);
+        let sc = TraceScenario::from_trace("trace-unit", &t).unwrap();
+        assert_eq!(sc.preinstalled_apps(), &[1, 2]);
+        let ops = sc.ops();
+        assert_eq!(ops.len(), 2);
+        let (at0, UserOp::Replay { verb, payload, .. }) = &ops[0] else {
+            panic!("expected replay op");
+        };
+        assert_eq!(*at0, 2_000);
+        assert_eq!(*verb, Op::Create);
+        assert_eq!(payload.as_deref(), Some(&[1u8, 2][..]));
+        let (at1, UserOp::Replay { verb, payload, .. }) = &ops[1] else {
+            panic!("expected replay op");
+        };
+        assert_eq!(*at1, 5_500);
+        assert_eq!(*verb, Op::Delete);
+        assert!(payload.is_none());
+    }
+
+    #[test]
+    fn unknown_verbs_and_kinds_are_rejected() {
+        let t = trace_with(vec![event(36_000, "patch", "Deployment", "x", Vec::new())]);
+        assert!(matches!(
+            TraceScenario::from_trace("trace-bad-verb", &t),
+            Err(TraceError::Malformed(_))
+        ));
+        let t = trace_with(vec![event(36_000, "create", "Gizmo", "x", Vec::new())]);
+        assert!(matches!(
+            TraceScenario::from_trace("trace-bad-kind", &t),
+            Err(TraceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn directory_registration_is_sorted_and_idempotent() {
+        let dir = std::env::temp_dir().join("mutiny_trace_register_test");
+        std::fs::remove_dir_all(&dir).ok();
+        for name in ["b-second", "a-first"] {
+            let t = trace_with(vec![event(36_000, "create", "Deployment", "web-3", vec![7])]);
+            crate::file::write_trace(&dir.join(format!("{name}.{TRACE_EXT}")), &t).unwrap();
+        }
+        // A stray non-trace file is ignored.
+        std::fs::write(dir.join("notes.txt"), b"not a trace").unwrap();
+
+        let first = register_traces(&dir).unwrap();
+        let names: Vec<&str> = first.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["trace-a-first", "trace-b-second"]);
+        assert_eq!(registry::find("trace-a-first"), Some(first[0]));
+
+        // Scanning again resolves to the existing registrations.
+        let second = register_traces(&dir).unwrap();
+        assert_eq!(second, first);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -27,6 +27,12 @@
 #    config-defect admission path end to end, with the validating-
 #    admission arm A/B'd against the unmitigated arm (per-family
 #    detection coverage is printed by the bench).
+# 8. Trace round trip: export the deploy scenario's golden trace from a
+#    2% smoke slice (MUTINY_TRACE_EXPORT), replay it as a registered
+#    trace scenario (MUTINY_TRACES), and diff the two golden-baseline
+#    TSVs byte for byte — the replay must reproduce the recorded run.
+#    A two-scenario MUTINY_GEN slice rides along to smoke the generator
+#    registration path end to end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -104,5 +110,40 @@ if ! grep -q "^cfg-resources" /tmp/mutiny_cfg_ablation.out; then
   echo "FAIL: ablation bench printed no cfg-resources coverage row"
   exit 1
 fi
+
+echo "== trace round trip: export deploy, replay, diff baseline TSVs =="
+# Absolute path: cargo runs bench binaries with the *package* directory
+# as CWD, so a relative trace dir would land under crates/bench/.
+TRACE_DIR="$(pwd)/$TARGET_DIR/verify_traces"
+rm -rf "$TRACE_DIR"
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_SCENARIOS=deploy \
+MUTINY_TRACE_EXPORT="$TRACE_DIR" \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
+if [ ! -s "$TRACE_DIR/deploy.trace" ]; then
+  echo "FAIL: trace export produced no deploy.trace"
+  exit 1
+fi
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_TRACES="$TRACE_DIR" \
+MUTINY_SCENARIOS=trace-deploy \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
+runs="${MUTINY_GOLDEN_RUNS:-6}"
+seed="${MUTINY_SEED:-2024}"
+src_baseline="$TARGET_DIR/mutiny_baseline_deploy_g${runs}_seed${seed}.tsv"
+replay_baseline="$TARGET_DIR/mutiny_baseline_trace-deploy_g${runs}_seed${seed}.tsv"
+if ! diff -q "$src_baseline" "$replay_baseline"; then
+  echo "FAIL: replayed golden baseline differs from the recorded scenario's"
+  exit 1
+fi
+
+echo "== smoke campaign, generated-scenario slice (MUTINY_GEN=2:7) =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_GEN=2:7 \
+MUTINY_SCENARIOS=gen-7-0,gen-7-1 \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
 
 echo "== verify OK =="

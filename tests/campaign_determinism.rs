@@ -249,6 +249,40 @@ fn cross_product_tsv_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn generated_scenarios_tsv_byte_identical_across_thread_counts() {
+    // Synthesized scenarios run the same determinism gauntlet as the
+    // built-ins: generation is pure planning (same seed ⇒ same program),
+    // so a generated scenario's campaign TSV must be byte-identical at
+    // 1, 2 and 5 workers.
+    let cluster = ClusterConfig::default();
+    let generated = mutiny_trace::register_generated(2, 0xD15C).expect("register generated");
+    assert_eq!(generated.len(), 2);
+    assert!(generated.iter().all(|s| s.name().starts_with("gen-")));
+
+    let mut plan: Vec<PlannedExperiment> = Vec::new();
+    let mut baselines = HashMap::new();
+    for sc in generated {
+        // The program itself must be stable call over call — ops() feeds
+        // both the plan's traffic recording and every experiment run.
+        assert_eq!(sc.ops(), sc.ops(), "{sc}: non-deterministic program");
+        plan.extend(small_plan(&cluster, sc));
+        baselines.insert(sc, build_baseline_with_threads(&cluster, sc, 4, 0xBA5E, 1));
+    }
+
+    let serial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
+    let serial_tsv = mutiny_bench::render_rows(&serial);
+    assert_eq!(serial_tsv.lines().count(), plan.len());
+    for threads in [2usize, 5] {
+        let parallel = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+        assert_eq!(
+            serial_tsv,
+            mutiny_bench::render_rows(&parallel),
+            "generated scenarios diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn baseline_identical_across_thread_counts() {
     let cluster = ClusterConfig::default();
     let one = build_baseline_with_threads(&cluster, DEPLOY, 5, 77, 1);

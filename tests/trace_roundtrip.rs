@@ -1,0 +1,105 @@
+//! Trace round-trip acceptance: exporting a golden run and replaying the
+//! trace as a scenario must reproduce the run — same final object store,
+//! byte-identical golden baseline TSV — and registered trace scenarios
+//! must behave like any other registry member.
+
+use k8s_cluster::ClusterConfig;
+use k8s_model::NoopInterceptor;
+use mutiny_core::golden::build_baseline_with_threads;
+use mutiny_scenarios::{Scenario, DEPLOY};
+use mutiny_trace::{export_scenario, read_trace, world_digest, TraceScenario};
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+const SEED: u64 = 2024;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mutiny_trace_roundtrip_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// One golden run of `scenario` at `seed`; returns the final object
+/// store digest (every key + its encoded bytes, sorted).
+fn golden_digest(
+    cluster: &ClusterConfig,
+    scenario: Scenario,
+    seed: u64,
+) -> Vec<(String, Vec<u8>)> {
+    let cfg = ClusterConfig { seed, ..cluster.clone() };
+    let mut world = scenario.build_world(&cfg, Rc::new(RefCell::new(NoopInterceptor)));
+    scenario.schedule(&mut world);
+    world.run_to_horizon();
+    world_digest(&mut world)
+}
+
+#[test]
+fn replayed_deploy_reproduces_the_recorded_run() {
+    let cluster = ClusterConfig::default();
+    let dir = temp_dir("deploy");
+
+    // RECORD: export one golden deploy run as a trace file.
+    let path = export_scenario(&cluster, DEPLOY, SEED, &dir).expect("export trace");
+    let trace = read_trace(&path).expect("read back");
+    assert_eq!(trace.source, "deploy");
+    assert_eq!(trace.events.len(), 6, "deploy submits 3 Deployments + 3 Services");
+
+    // REPLAY: the trace as a scenario. The replay re-submits the recorded
+    // bytes at the recorded offsets through the same request pipeline, so
+    // under the recorded seed the final world state must match exactly.
+    let replay =
+        Scenario::new(Box::leak(Box::new(TraceScenario::from_file(&path).expect("load"))));
+    assert_eq!(replay.name(), "trace-deploy");
+    assert_eq!(replay.preinstalled_apps(), DEPLOY.preinstalled_apps());
+
+    let recorded = golden_digest(&cluster, DEPLOY, SEED);
+    let replayed = golden_digest(&cluster, replay, SEED);
+    assert!(!recorded.is_empty());
+    assert_eq!(
+        recorded.len(),
+        replayed.len(),
+        "replay ended with a different object count: {} vs {}",
+        recorded.len(),
+        replayed.len()
+    );
+    for ((rk, rv), (pk, pv)) in recorded.iter().zip(&replayed) {
+        assert_eq!(rk, pk, "object sets differ");
+        assert_eq!(rv, pv, "object {rk} differs between recorded and replayed run");
+    }
+
+    // The golden baseline — built from fresh golden runs of each — must
+    // be byte-identical in the bench cache schema, so a trace scenario's
+    // z-scores are computed against exactly the source scenario's curve.
+    let source = build_baseline_with_threads(&cluster, DEPLOY, 4, SEED, 1);
+    let replayed = build_baseline_with_threads(&cluster, replay, 4, SEED, 1);
+    assert_eq!(
+        mutiny_bench::render_baseline(&source),
+        mutiny_bench::render_baseline(&replayed),
+        "replayed baseline TSV must be byte-identical to the source scenario's"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exported_trace_survives_registration() {
+    // The MUTINY_TRACES path: a directory of exports registers into the
+    // scenario registry and behaves like any other member.
+    let cluster = ClusterConfig::default();
+    let dir = temp_dir("register");
+    export_scenario(&cluster, mutiny_scenarios::SCALE_UP, SEED, &dir).expect("export");
+
+    let registered = mutiny_trace::register_traces(&dir).expect("register");
+    assert_eq!(registered.len(), 1);
+    let sc = registered[0];
+    assert_eq!(sc.name(), "trace-scale");
+    assert_eq!(mutiny_scenarios::registry::find("trace-scale"), Some(sc));
+
+    // A registered trace scenario runs end to end under the campaign's
+    // golden machinery.
+    let stats = mutiny_core::golden::run_golden(&cluster, sc, SEED);
+    assert_eq!(stats.client_failures(), 0, "trace replay golden run failed");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
