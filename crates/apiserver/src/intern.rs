@@ -1,0 +1,63 @@
+//! A tiny `Rc<str>` interner for hot-path name strings.
+//!
+//! The controller and scheduler queues key work items by
+//! `(namespace, name)` pairs extracted from registry keys; every watch
+//! event used to allocate fresh `String`s for both. Interning turns the
+//! steady-state enqueue into two refcount bumps — the distinct-name set
+//! of a simulation is small and stable (a few hundred entries), so the
+//! pool stays tiny and is dropped with its owner (no global state, no
+//! leaks, unlike [`k8s_model::intern_node`]'s program-lifetime pool).
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// An owned pool of interned strings.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    pool: HashSet<Rc<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Returns the pooled copy of `s`, inserting it on first sight.
+    pub fn intern(&mut self, s: &str) -> Rc<str> {
+        if let Some(hit) = self.pool.get(s) {
+            return hit.clone();
+        }
+        let fresh: Rc<str> = Rc::from(s);
+        self.pool.insert(fresh.clone());
+        fresh
+    }
+
+    /// Number of distinct strings pooled so far.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_pointer_stable_and_deduplicated() {
+        let mut pool = Interner::new();
+        let a = pool.intern("default");
+        let b = pool.intern(&String::from("default"));
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 1);
+        let c = pool.intern("kube-system");
+        assert!(!Rc::ptr_eq(&a, &c));
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+    }
+}

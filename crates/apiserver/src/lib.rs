@@ -30,6 +30,7 @@
 
 pub mod admission;
 pub mod audit;
+pub mod intern;
 pub mod leader;
 pub mod policy;
 pub mod validation;
@@ -75,6 +76,88 @@ pub fn reset_decode_cache_stats() {
 /// cache (the determinism tests diff both modes byte-for-byte).
 fn decode_cache_enabled() -> bool {
     std::env::var("MUTINY_DECODE_CACHE").map(|v| v != "0").unwrap_or(true)
+}
+
+/// Static telemetry key tables: per-channel metric names resolved to
+/// `&'static str` so the instrumented hot paths never format a string,
+/// enabled or not.
+mod tele {
+    use k8s_model::{ChannelClass, WireVerdict};
+
+    const CHANNELS: usize = 5;
+
+    fn chan_idx(class: ChannelClass) -> usize {
+        match class {
+            ChannelClass::ApiToEtcd => 0,
+            ChannelClass::KcmToApi => 1,
+            ChannelClass::SchedulerToApi => 2,
+            ChannelClass::KubeletToApi => 3,
+            ChannelClass::UserToApi => 4,
+        }
+    }
+
+    /// Admission-verdict counter key for a request on `class`.
+    pub fn req_key(class: ChannelClass, ok: bool) -> &'static str {
+        const T: [[&str; 2]; CHANNELS] = [
+            ["apiserver.request.etcd.rejected", "apiserver.request.etcd.ok"],
+            ["apiserver.request.kcm.rejected", "apiserver.request.kcm.ok"],
+            ["apiserver.request.scheduler.rejected", "apiserver.request.scheduler.ok"],
+            ["apiserver.request.kubelet.rejected", "apiserver.request.kubelet.ok"],
+            ["apiserver.request.user.rejected", "apiserver.request.user.ok"],
+        ];
+        T[chan_idx(class)][usize::from(ok)]
+    }
+
+    /// Wire-verdict counter key for a message on `class`: what the fault
+    /// interceptor decided (delivered / replaced / dropped / delayed /
+    /// duplicated), per `ChannelClass`.
+    pub fn wire_key(class: ChannelClass, verdict: &WireVerdict) -> &'static str {
+        const T: [[&str; 5]; CHANNELS] = [
+            [
+                "wire.etcd.delivered",
+                "wire.etcd.replaced",
+                "wire.etcd.dropped",
+                "wire.etcd.delayed",
+                "wire.etcd.duplicated",
+            ],
+            [
+                "wire.kcm.delivered",
+                "wire.kcm.replaced",
+                "wire.kcm.dropped",
+                "wire.kcm.delayed",
+                "wire.kcm.duplicated",
+            ],
+            [
+                "wire.scheduler.delivered",
+                "wire.scheduler.replaced",
+                "wire.scheduler.dropped",
+                "wire.scheduler.delayed",
+                "wire.scheduler.duplicated",
+            ],
+            [
+                "wire.kubelet.delivered",
+                "wire.kubelet.replaced",
+                "wire.kubelet.dropped",
+                "wire.kubelet.delayed",
+                "wire.kubelet.duplicated",
+            ],
+            [
+                "wire.user.delivered",
+                "wire.user.replaced",
+                "wire.user.dropped",
+                "wire.user.delayed",
+                "wire.user.duplicated",
+            ],
+        ];
+        let v = match verdict {
+            WireVerdict::Pass => 0,
+            WireVerdict::Replace(_) => 1,
+            WireVerdict::Drop => 2,
+            WireVerdict::Delay(_) => 3,
+            WireVerdict::Duplicate(_) => 4,
+        };
+        T[chan_idx(class)][v]
+    }
 }
 
 thread_local! {
@@ -504,9 +587,12 @@ impl ApiServer {
         }
     }
 
-    /// Advances the apiserver's notion of simulated time.
+    /// Advances the apiserver's notion of simulated time (and the
+    /// ambient telemetry sim clock, so clock-less components stamp
+    /// metrics correctly).
     pub fn set_now(&mut self, now: u64) {
         self.now = now;
+        mutiny_telemetry::set_sim_now(now);
     }
 
     /// Current simulated time.
@@ -617,6 +703,7 @@ impl ApiServer {
             }
         }
         let result = self.request_inner(channel, op, kind, &key, url_ns, url_name, obj, deferred);
+        mutiny_telemetry::counter_add(tele::req_key(channel.class(), result.is_ok()), 1);
         self.audit.record(AuditRecord {
             at: self.now,
             channel,
@@ -908,6 +995,7 @@ impl ApiServer {
                 if channel != Channel::ApiToEtcd && !status_only {
                     let ctx = AdmitCtx { channel, kind, key, op, now: self.now };
                     if self.interceptor.clone().borrow_mut().on_admission(&ctx, &mut new_obj) {
+                        mutiny_telemetry::counter_add("apiserver.admission.mutated", 1);
                         self.log(
                             TraceLevel::Info,
                             format!("{op} {key}: spec mutated at admission on {channel}"),
@@ -1004,7 +1092,9 @@ impl ApiServer {
         bytes: Option<&[u8]>,
     ) -> WireVerdict {
         let ctx = MsgCtx { channel, kind, key, op, bytes, now: self.now };
-        self.interceptor.borrow_mut().on_message(&ctx)
+        let verdict = self.interceptor.borrow_mut().on_message(&ctx);
+        mutiny_telemetry::counter_add(tele::wire_key(channel.class(), &verdict), 1);
+        verdict
     }
 
     /// Commits bytes to the store and returns the committed revision. The
@@ -1141,13 +1231,14 @@ impl ApiServer {
     /// sorted by (due, insertion order) so flushes are deterministic.
     fn defer(&mut self, d: u64, what: Deferred) {
         let entry = DeferredEntry { due: self.now + d, seq: self.delayed_seq, what };
-        self.delayed_seq += 1;
+        self.delayed_seq = self.delayed_seq.saturating_add(1);
         let pos = self
             .delayed
             .iter()
             .position(|e| (e.due, e.seq) > (entry.due, entry.seq))
             .unwrap_or(self.delayed.len());
         self.delayed.insert(pos, entry);
+        mutiny_telemetry::gauge_max("apiserver.deferred.depth_hw", self.delayed.len() as u64);
     }
 
     /// Delivers every deferred message whose simulated time has come.
@@ -1229,9 +1320,11 @@ impl ApiServer {
             let mut undecodable: Vec<String> = Vec::new();
             for (i, ev) in raw.into_iter().enumerate() {
                 if keep.as_ref().is_some_and(|k| !k[i]) {
-                    self.sync_events_coalesced += 1;
+                    self.sync_events_coalesced = self.sync_events_coalesced.saturating_add(1);
+                    mutiny_telemetry::counter_add("apiserver.watch.coalesced", 1);
                     continue;
                 }
+                mutiny_telemetry::counter_add("apiserver.watch.delivered", 1);
                 let Some(kind) = kind_of_key(&ev.key) else { continue };
                 match ev.value {
                     None => {

@@ -32,6 +32,13 @@ pub struct WorkQueue<K> {
     delayed: Vec<(u64, K)>,
     failures: HashMap<K, u32>,
     enqueued_total: u64,
+    /// Telemetry labels: (depth high-water gauge, queue-wait histogram).
+    /// `None` leaves the queue un-instrumented.
+    tele: Option<(&'static str, &'static str)>,
+    /// Sim-time each pending key entered the queue — populated only when
+    /// telemetry is both labelled and enabled, so the steady-state queue
+    /// pays nothing.
+    entered_at: HashMap<K, u64>,
 }
 
 impl<K: Clone + Eq + std::hash::Hash + Ord> Default for WorkQueue<K> {
@@ -49,6 +56,38 @@ impl<K: Clone + Eq + std::hash::Hash + Ord> WorkQueue<K> {
             delayed: Vec::new(),
             failures: HashMap::new(),
             enqueued_total: 0,
+            tele: None,
+            entered_at: HashMap::new(),
+        }
+    }
+
+    /// Labels this queue for telemetry: `depth_key` receives the depth
+    /// high-water gauge, `wait_key` the queue-wait histogram (sim-ms from
+    /// enqueue to pop). Static labels keep the hot path format-free.
+    pub fn with_telemetry(mut self, depth_key: &'static str, wait_key: &'static str) -> Self {
+        self.tele = Some((depth_key, wait_key));
+        self
+    }
+
+    /// Records the depth high-water and remembers when `key` entered, iff
+    /// this queue is labelled and collection is on.
+    fn note_enqueued(&mut self, key: &K, now: u64) {
+        if let Some((depth_key, _)) = self.tele {
+            if mutiny_telemetry::metrics_enabled() {
+                mutiny_telemetry::gauge_max(depth_key, self.queued.len() as u64);
+                self.entered_at.entry(key.clone()).or_insert(now);
+            }
+        }
+    }
+
+    /// Records the queue wait for a popped key, iff labelled and on.
+    fn note_popped(&mut self, key: &K, now: u64) {
+        if let Some((_, wait_key)) = self.tele {
+            if let Some(entered) = self.entered_at.remove(key) {
+                if mutiny_telemetry::metrics_enabled() {
+                    mutiny_telemetry::hist_record(wait_key, now.saturating_sub(entered));
+                }
+            }
         }
     }
 
@@ -57,7 +96,8 @@ impl<K: Clone + Eq + std::hash::Hash + Ord> WorkQueue<K> {
     pub fn enqueue(&mut self, key: K, now: u64) {
         self.promote(now);
         if self.queued.insert(key.clone()) {
-            self.enqueued_total += 1;
+            self.enqueued_total = self.enqueued_total.saturating_add(1);
+            self.note_enqueued(&key, now);
             self.ready.push_back(key);
         }
     }
@@ -74,7 +114,8 @@ impl<K: Clone + Eq + std::hash::Hash + Ord> WorkQueue<K> {
     pub fn enqueue_after(&mut self, key: K, now: u64, delay: u64) {
         self.promote(now);
         if self.queued.insert(key.clone()) {
-            self.enqueued_total += 1;
+            self.enqueued_total = self.enqueued_total.saturating_add(1);
+            self.note_enqueued(&key, now);
             self.delayed.push((now + delay, key));
         }
     }
@@ -89,6 +130,7 @@ impl<K: Clone + Eq + std::hash::Hash + Ord> WorkQueue<K> {
         self.promote(now);
         let key = self.ready.pop_front()?;
         self.queued.remove(&key);
+        self.note_popped(&key, now);
         Some(key)
     }
 
@@ -97,7 +139,8 @@ impl<K: Clone + Eq + std::hash::Hash + Ord> WorkQueue<K> {
             return;
         }
         // Stable promotion in deadline order keeps the queue deterministic.
-        self.delayed.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self.delayed
+            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         let mut rest = Vec::new();
         for (at, key) in self.delayed.drain(..) {
             if at <= now {

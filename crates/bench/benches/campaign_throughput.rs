@@ -31,12 +31,15 @@ fn main() {
     if std::env::var("MUTINY_GOLDEN_RUNS").is_err() {
         std::env::set_var("MUTINY_GOLDEN_RUNS", "12");
     }
+    // The perf trajectory wants the phase breakdown and detection
+    // latencies unconditionally; determinism is pinned elsewhere
+    // (tests/metrics_determinism.rs), so always-on is safe here.
+    mutiny_telemetry::enable_in_process();
 
     let cluster = ClusterConfig::default();
     let seed = mutiny_bench::seed();
     let scale = mutiny_bench::scale();
-    let scenario_names: Vec<&str> =
-        mutiny_bench::scenarios().iter().map(|s| s.name()).collect();
+    let scenario_names: Vec<&str> = mutiny_bench::scenarios().iter().map(|s| s.name()).collect();
     let fault_names: Vec<&str> = mutiny_bench::faults().iter().map(|f| f.name()).collect();
     let plan = mutiny_bench::plan();
     // Distinct per-node wires targeted by node-level families — the
@@ -76,6 +79,12 @@ fn main() {
     } else {
         dc_hits as f64 / (dc_hits + dc_misses) as f64
     };
+    // Snapshot timelines and phases now: the executor-agreement and
+    // per-experiment-latency legs below re-run the same plan, which would
+    // double-count every experiment in the aggregates.
+    mutiny_telemetry::flush_thread();
+    let detection = mutiny_telemetry::timeline::percentiles_by_family();
+    let phases = mutiny_telemetry::profile::snapshot();
 
     // Measured quantity 2: the same plan on the seed's static-chunk
     // executor, to keep the scheduling gain visible release over release.
@@ -112,10 +121,45 @@ fn main() {
     per_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
 
     let experiments_per_sec = plan.len() as f64 / stealing_s.max(1e-9);
-    let trace_scenarios = scenario_names.iter().filter(|n| n.starts_with("trace-")).count();
-    let generated_scenarios = scenario_names.iter().filter(|n| n.starts_with("gen-")).count();
+    let trace_scenarios = scenario_names
+        .iter()
+        .filter(|n| n.starts_with("trace-"))
+        .count();
+    let generated_scenarios = scenario_names
+        .iter()
+        .filter(|n| n.starts_with("gen-"))
+        .count();
+    // Campaign phase breakdown (where wall-clock goes) and per-family
+    // detection latency (how fast faults surface in monitoring), both
+    // from the stealing run snapshotted above.
+    let phases_json = {
+        use mutiny_telemetry::profile::ALL;
+        let per_phase: Vec<String> = ALL
+            .iter()
+            .map(|p| format!("    \"{}_s\": {:.3}", p.label(), phases.of(*p)))
+            .collect();
+        format!(
+            "{{\n{},\n    \"golden_prefix_share\": {:.3}\n  }}",
+            per_phase.join(",\n"),
+            phases.golden_prefix_share()
+        )
+    };
+    let detection_json = if detection.is_empty() {
+        "[]".to_string()
+    } else {
+        let rows: Vec<String> = detection
+            .iter()
+            .map(|f| {
+                format!(
+                    "    {{ \"family\": \"{}\", \"experiments\": {}, \"detected\": {}, \"p50_ms\": {:.1}, \"p95_ms\": {:.1} }}",
+                    f.family, f.experiments, f.detected, f.p50_ms, f.p95_ms
+                )
+            })
+            .collect();
+        format!("[\n{}\n  ]", rows.join(",\n"))
+    };
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"trace_scenarios\": {trace_scenarios},\n  \"generated_scenarios\": {generated_scenarios},\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"decode_cache_hits\": {dc_hits},\n  \"decode_cache_misses\": {dc_misses},\n  \"decode_cache_hit_rate\": {:.3},\n  \"rows_identical_across_executors\": true\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"trace_scenarios\": {trace_scenarios},\n  \"generated_scenarios\": {generated_scenarios},\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"decode_cache_hits\": {dc_hits},\n  \"decode_cache_misses\": {dc_misses},\n  \"decode_cache_hit_rate\": {:.3},\n  \"phases\": {phases_json},\n  \"detection_latency\": {detection_json},\n  \"rows_identical_across_executors\": true\n}}\n",
         plan.len(),
         scenario_names.len(),
         scenario_names.join(","),
@@ -137,11 +181,14 @@ fn main() {
         .join("..")
         .join("BENCH_campaign.json");
     let mut f = std::fs::File::create(&out_path).expect("create BENCH_campaign.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_campaign.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_campaign.json");
     println!("{json}");
     eprintln!("[campaign-throughput] wrote {}", out_path.display());
 
     // This bench drives the executors directly rather than through
-    // `mutiny_bench::campaign`, so honor MUTINY_TRACE_EXPORT explicitly.
+    // `mutiny_bench::campaign`, so honor MUTINY_TRACE_EXPORT and
+    // MUTINY_METRICS explicitly.
     mutiny_bench::export_traces_if_requested();
+    mutiny_telemetry::export::export_if_requested();
 }

@@ -242,6 +242,7 @@ fn baseline_cache_path(sc: Scenario) -> PathBuf {
 /// golden simulations; now the first target to need a baseline pays for
 /// it and the other sixteen load it back.
 pub fn baselines() -> HashMap<Scenario, Baseline> {
+    use mutiny_telemetry::profile::{self, Phase};
     let cluster = ClusterConfig::default();
     let runs = golden_runs();
     let mut out = HashMap::new();
@@ -256,7 +257,7 @@ pub fn baselines() -> HashMap<Scenario, Baseline> {
             eprintln!("[mutiny-bench] discarding stale baseline cache {}", path.display());
             let _ = std::fs::remove_file(&path);
         }
-        let b = build_baseline(&cluster, sc, runs, seed());
+        let b = profile::time(Phase::Baseline, || build_baseline(&cluster, sc, runs, seed()));
         // Atomic promote: a reader never observes a half-written cache.
         let tmp = path.with_extension("tsv.partial");
         let persisted = std::fs::write(&tmp, render_baseline(&b))
@@ -276,20 +277,24 @@ pub fn baselines() -> HashMap<Scenario, Baseline> {
 /// scenario in [`scenarios`] with every fault family in [`faults`] —
 /// subsampled by [`scale`].
 pub fn plan() -> Vec<PlannedExperiment> {
-    let cluster = ClusterConfig::default();
-    let families = faults();
-    let mut rng = Rng::new(seed());
-    let mut all = Vec::new();
-    for sc in scenarios() {
-        let traffic = record_fields(&cluster, sc, vec![Channel::ApiToEtcd], seed() ^ 0xF1E1D);
-        all.extend(plan_campaign(&traffic, sc, &families, &mut rng));
-    }
-    let s = scale();
-    if s >= 0.999 {
-        return all;
-    }
-    let keep_every = (1.0 / s).round().max(1.0) as usize;
-    all.into_iter().enumerate().filter(|(i, _)| i % keep_every == 0).map(|(_, p)| p).collect()
+    use mutiny_telemetry::profile::{self, Phase};
+    profile::time(Phase::Plan, || {
+        let cluster = ClusterConfig::default();
+        let families = faults();
+        let mut rng = Rng::new(seed());
+        let mut all = Vec::new();
+        for sc in scenarios() {
+            let traffic =
+                record_fields(&cluster, sc, vec![Channel::ApiToEtcd], seed() ^ 0xF1E1D);
+            all.extend(plan_campaign(&traffic, sc, &families, &mut rng));
+        }
+        let s = scale();
+        if s >= 0.999 {
+            return all;
+        }
+        let keep_every = (1.0 / s).round().max(1.0) as usize;
+        all.into_iter().enumerate().filter(|(i, _)| i % keep_every == 0).map(|(_, p)| p).collect()
+    })
 }
 
 /// True when `rows` is exactly the result prefix of `plan` (same
@@ -478,6 +483,7 @@ pub fn campaign() -> CampaignResults {
         }
     }
     export_traces_if_requested();
+    mutiny_telemetry::export::export_if_requested();
     done
 }
 

@@ -228,6 +228,11 @@ impl World {
     /// Builds the cluster: system objects installed, components wired,
     /// ticks scheduled. Run [`World::prepare`] next.
     pub fn new(cfg: ClusterConfig, interceptor: InterceptorHandle) -> World {
+        // Refresh the telemetry enable flag from the environment once per
+        // world, mirroring the MUTINY_DECODE_CACHE pattern: the
+        // simulation itself never reads the environment mid-run, and the
+        // determinism tests can flip MUTINY_METRICS between campaigns.
+        mutiny_telemetry::run_begin();
         let trace: TraceHandle = Rc::new(RefCell::new(Trace::new(4_096)));
         trace.borrow_mut().store_debug = false;
         let root_rng = Rng::new(cfg.seed);

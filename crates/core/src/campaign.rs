@@ -93,6 +93,13 @@ pub struct ExperimentOutcome {
 /// the injection record. Shared by the campaign and the propagation study
 /// (§V-C4), which needs post-run access to the store.
 pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
+    use mutiny_telemetry::profile::{self, Phase};
+    // Hoisted once per run: the slice loop below is hot, and profiling
+    // is pure wall-clock (`Instant`) — it never touches the sim clock,
+    // RNG, or event order, so results are identical with it on or off.
+    let profiling = profile::enabled();
+    let build_timer = profiling.then(std::time::Instant::now);
+
     let actuator: Rc<RefCell<Box<dyn FaultActuator>>> =
         Rc::new(RefCell::new(match &cfg.injection {
             Some(armed) => armed.arm(k8s_cluster::WORKLOAD_START_MS),
@@ -102,6 +109,11 @@ pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
         Rc::new(RefCell::new(SharedActuator(Rc::clone(&actuator))));
     let mut world = cfg.scenario.build_world(&cfg.cluster, handle);
     cfg.scenario.schedule(&mut world);
+    // Building and scheduling is pre-injection work: part of the golden
+    // prefix a fork-the-world snapshot would skip.
+    if let Some(t) = build_timer {
+        profile::add(Phase::GoldenPrefix, t.elapsed());
+    }
 
     // Step the horizon in slices so read-tracking can be armed right
     // after the injection fires (activation analysis, §V-C1), and so
@@ -109,7 +121,12 @@ pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
     // (e.g. the apiserver re-list after a crash window heals).
     let mut tracking_armed = false;
     let horizon = world.horizon();
+    let t0 = world.t0();
     while world.now() < horizon {
+        // Attribute the slice by where it *starts*: t0 is a multiple of
+        // the slice size, so every slice is entirely pre- or post-t0.
+        let pre_t0 = world.now() < t0;
+        let slice_timer = profiling.then(std::time::Instant::now);
         let next = (world.now() + 250).min(horizon);
         world.run_until(next);
         let now = world.now();
@@ -139,6 +156,10 @@ pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
             world.api.start_read_tracking();
             tracking_armed = true;
         }
+        if let Some(t) = slice_timer {
+            let phase = if pre_t0 { Phase::GoldenPrefix } else { Phase::FaultWindow };
+            profile::add(phase, t.elapsed());
+        }
     }
     let record = actuator.borrow().record().cloned();
     (world, record)
@@ -149,7 +170,9 @@ pub fn run_experiment_with_baseline(
     cfg: &ExperimentConfig,
     baseline: &Baseline,
 ) -> ExperimentOutcome {
+    use mutiny_telemetry::profile::{self, Phase};
     let (world, injected) = run_world(cfg);
+    let classify_timer = profile::enabled().then(std::time::Instant::now);
     let activated = injected
         .as_ref()
         .map(|r| world.api.was_read(&r.key))
@@ -167,6 +190,22 @@ pub fn run_experiment_with_baseline(
     let orchestrator_failure = classify_orchestrator(stats, baseline);
     let startups = stats.startup_times(t0);
 
+    if mutiny_telemetry::metrics_enabled() {
+        mutiny_telemetry::timeline::record(mutiny_telemetry::timeline::TimelineRecord {
+            scenario: cfg.scenario.name().to_string(),
+            fault: cfg
+                .injection
+                .as_ref()
+                .map(|a| a.fault.name())
+                .unwrap_or("golden")
+                .to_string(),
+            timeline: propagation_timeline(&world, injected.as_ref()),
+        });
+    }
+    if let Some(t) = classify_timer {
+        profile::add(Phase::Classify, t.elapsed());
+    }
+
     ExperimentOutcome {
         orchestrator_failure,
         client_failure,
@@ -177,6 +216,79 @@ pub fn run_experiment_with_baseline(
         pods_created: stats.samples.last().map(|s| s.pods_created_cum).unwrap_or(0),
         worst_startup_ms: simkit::stats::max(&startups),
     }
+}
+
+/// True when a gauge sample shows none of the robust failure signals.
+/// Only signals that stay quiet during the golden workload ramp qualify
+/// (a half-ready deployment mid-rollout is *normal* before the tail), so
+/// divergence timestamps never fire on healthy startup transients.
+fn sample_clean(s: &k8s_cluster::MetricsSample) -> bool {
+    !s.etcd_stalled && s.nodes_not_ready == 0 && !s.netpods_failed
+}
+
+/// Computes the propagation timeline of one finished experiment from
+/// artifacts the run already produced — the injection record, the gauge
+/// samples, the audit log, and the client series — so collecting it
+/// cannot perturb the run. The *detection* milestone is what a
+/// Prometheus-style monitoring view would alert on (deviating gauges,
+/// API errors); *first divergence* additionally counts failed client
+/// requests, which a cluster operator would not see. This is a
+/// monitoring-centric heuristic, deliberately decoupled from the
+/// statistical classifiers (`classify_*`), which compare whole-run
+/// aggregates against the golden baseline.
+fn propagation_timeline(
+    world: &World,
+    injected: Option<&InjectionRecord>,
+) -> mutiny_telemetry::timeline::Timeline {
+    let mut tl = mutiny_telemetry::timeline::Timeline::default();
+    let stats = &world.stats;
+    let end_clean = stats.samples.last().map(sample_clean).unwrap_or(true)
+        && stats.trailing_failures() == 0;
+    tl.steady_at_end = end_clean;
+    let Some(rec) = injected else {
+        return tl; // trigger never matched: nothing to measure against
+    };
+    let inj = rec.at;
+    tl.injected_at = Some(inj);
+
+    // Monitoring-visible deviations at/after the injection.
+    let mut detect: Option<u64> = None;
+    let mut last_dev: Option<u64> = None;
+    let mut note = |at: u64| {
+        detect = Some(detect.map_or(at, |d| d.min(at)));
+        last_dev = Some(last_dev.map_or(at, |d| d.max(at)));
+    };
+    for s in &stats.samples {
+        if s.at >= inj && !sample_clean(s) {
+            note(s.at);
+        }
+    }
+    for r in world.api.audit().records() {
+        if r.at >= inj && r.result.is_err() {
+            note(r.at);
+        }
+    }
+    tl.detection = detect;
+
+    // Any-channel divergence additionally counts failed client requests.
+    let mut first_div = detect;
+    for c in &stats.client {
+        if c.at >= inj && c.outcome.is_failure() {
+            first_div = Some(first_div.map_or(c.at, |d| d.min(c.at)));
+            last_dev = Some(last_dev.map_or(c.at, |d| d.max(c.at)));
+        }
+    }
+    tl.first_divergence = first_div;
+
+    // Recovery: the first clean gauge sample after the last observed
+    // deviation, provided the run actually ended clean.
+    if end_clean {
+        if let Some(last) = last_dev {
+            tl.recovery =
+                stats.samples.iter().find(|s| s.at > last && sample_clean(s)).map(|s| s.at);
+        }
+    }
+    tl
 }
 
 /// Golden runs used by the lazily cached default baselines.

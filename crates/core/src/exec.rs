@@ -39,7 +39,9 @@ where
 {
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let out = (0..n).map(f).collect();
+        mutiny_telemetry::flush_thread();
+        return out;
     }
 
     let next = AtomicUsize::new(0);
@@ -58,6 +60,10 @@ where
                     }
                     local.push((i, f(i)));
                 }
+                // Merge this worker's telemetry before the thread dies;
+                // the sink aggregates deterministically (key-sorted), so
+                // flush order does not matter.
+                mutiny_telemetry::flush_thread();
                 local
             }));
         }
@@ -81,7 +87,9 @@ where
 {
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let out = (0..n).map(f).collect();
+        mutiny_telemetry::flush_thread();
+        return out;
     }
     let chunk = n.div_ceil(threads);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -94,7 +102,11 @@ where
                 break;
             }
             let f = &f;
-            handles.push(scope.spawn(move || (lo, (lo..hi).map(f).collect::<Vec<T>>())));
+            handles.push(scope.spawn(move || {
+                let vals = (lo..hi).map(f).collect::<Vec<T>>();
+                mutiny_telemetry::flush_thread();
+                (lo, vals)
+            }));
         }
         for h in handles {
             let (lo, vals) = h.join().expect("executor worker panicked");

@@ -201,7 +201,8 @@ impl Etcd {
             .map(|v| v.bytes.len() as u64 + key.len() as u64)
             .unwrap_or(0);
         if self.disk_used() + grow.saturating_sub(existing) > self.capacity_bytes {
-            self.writes_rejected += 1;
+            self.writes_rejected = self.writes_rejected.saturating_add(1);
+            mutiny_telemetry::counter_add("etcd.writes_rejected", 1);
             return Err(EtcdError::DiskFull);
         }
         self.revision += 1;
@@ -210,6 +211,8 @@ impl Etcd {
             r.put(key, bytes.clone(), rev);
         }
         self.push_event(WatchEvent { revision: rev, key: key.to_owned(), value: Some(bytes) });
+        mutiny_telemetry::gauge_set("etcd.revision", rev);
+        mutiny_telemetry::gauge_max("etcd.store_bytes_hw", self.disk_used());
         Ok(rev)
     }
 

@@ -17,9 +17,7 @@
 //!   the scheduler loses its egress channel for a window (lease renewals
 //!   included, so leadership lapses) and recovers with a watch re-list.
 
-use crate::injector::{
-    FieldMutation, InjectionPoint, InjectionSpec, FaultKind,
-};
+use crate::injector::{FaultKind, FieldMutation, InjectionPoint, InjectionSpec};
 use crate::recorder::RecordedTraffic;
 use crate::{Fault, FaultDef};
 use k8s_model::{Channel, Kind};
@@ -250,7 +248,9 @@ impl FaultDef for Delay {
                 plan.push(InjectionSpec {
                     channel: *channel,
                     kind: *kind,
-                    point: InjectionPoint::Delay { hold_ms: DELAY_HOLD_MS },
+                    point: InjectionPoint::Delay {
+                        hold_ms: DELAY_HOLD_MS,
+                    },
                     occurrence,
                 });
             }
@@ -291,7 +291,9 @@ impl FaultDef for Duplicate {
                 plan.push(InjectionSpec {
                     channel: *channel,
                     kind: *kind,
-                    point: InjectionPoint::Duplicate { echo_ms: DUPLICATE_ECHO_MS },
+                    point: InjectionPoint::Duplicate {
+                        echo_ms: DUPLICATE_ECHO_MS,
+                    },
                     occurrence,
                 });
             }
@@ -450,9 +452,12 @@ mod tests {
         let mut rng = Rng::new(1);
         let delays = DELAY.plan(&traffic, &mut rng);
         assert_eq!(delays.len(), TEMPORAL_OCCURRENCES as usize);
-        assert!(delays
-            .iter()
-            .all(|s| matches!(s.point, InjectionPoint::Delay { hold_ms: DELAY_HOLD_MS })));
+        assert!(delays.iter().all(|s| matches!(
+            s.point,
+            InjectionPoint::Delay {
+                hold_ms: DELAY_HOLD_MS
+            }
+        )));
         let dups = DUPLICATE.plan(&traffic, &mut rng);
         assert_eq!(dups.len(), TEMPORAL_OCCURRENCES as usize);
     }
@@ -483,7 +488,10 @@ mod tests {
     #[test]
     fn every_builtin_documents_an_expectation() {
         for f in crate::registry::BUILTIN {
-            assert!(!f.expectation().is_empty(), "{f} has no classification hint");
+            assert!(
+                !f.expectation().is_empty(),
+                "{f} has no classification hint"
+            );
         }
     }
 }

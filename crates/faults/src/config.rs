@@ -34,7 +34,9 @@
 use crate::injector::{FaultKind, InjectionPoint, InjectionRecord, InjectionSpec};
 use crate::recorder::RecordedTraffic;
 use crate::{Fault, FaultActuator, FaultDef};
-use k8s_model::{AdmitCtx, ChannelClass, ChannelId, Interceptor, Kind, MsgCtx, Object, WireVerdict};
+use k8s_model::{
+    AdmitCtx, ChannelClass, ChannelId, Interceptor, Kind, MsgCtx, Object, WireVerdict,
+};
 use protowire::reflect::Value;
 use simkit::Rng;
 
@@ -69,8 +71,12 @@ pub const RESOURCES_PARAMS: [i64; 3] = [0, 1, 2];
 pub const SELECTOR_PARAMS: [i64; 2] = [0, 1];
 
 /// Kinds that carry containers (directly or through a pod template).
-const CONTAINER_KINDS: [Kind; 4] =
-    [Kind::Pod, Kind::ReplicaSet, Kind::Deployment, Kind::DaemonSet];
+const CONTAINER_KINDS: [Kind; 4] = [
+    Kind::Pod,
+    Kind::ReplicaSet,
+    Kind::Deployment,
+    Kind::DaemonSet,
+];
 
 /// Kinds that carry a selector/template pair.
 const WORKLOAD_KINDS: [Kind; 3] = [Kind::ReplicaSet, Kind::Deployment, Kind::DaemonSet];
@@ -100,7 +106,10 @@ fn plan_defect(
             plan.push(InjectionSpec {
                 channel: ChannelId::class_wide(class),
                 kind,
-                point: InjectionPoint::Config { defect: defect.into(), param },
+                point: InjectionPoint::Config {
+                    defect: defect.into(),
+                    param,
+                },
                 occurrence: (vrng.below(count) + 1) as u32,
             });
         }
@@ -123,7 +132,12 @@ impl ConfigDefect {
     /// Arms one config spec; admission events before `from` are ignored
     /// (the workload window).
     pub fn armed_from(spec: InjectionSpec, from: u64) -> ConfigDefect {
-        ConfigDefect { spec, armed_from: from, seen: 0, record: None }
+        ConfigDefect {
+            spec,
+            armed_from: from,
+            seen: 0,
+            record: None,
+        }
     }
 }
 
@@ -147,6 +161,7 @@ impl Interceptor for ConfigDefect {
             return false;
         }
         let (before, after, applied) = apply_defect(defect, *param, obj);
+        mutiny_telemetry::counter_add("fault.fired", 1);
         self.record = Some(InjectionRecord {
             at: ctx.now,
             key: ctx.key.to_owned(),
@@ -179,11 +194,19 @@ fn pod_spec_mut(obj: &mut Object) -> Option<&mut k8s_model::PodSpec> {
 /// Applies one defect mutation; returns (before, after, applied). An
 /// unapplicable defect (wrong kind, no containers) records nothing and
 /// leaves the object untouched.
-fn apply_defect(defect: &str, param: i64, obj: &mut Object) -> (Option<Value>, Option<Value>, bool) {
+fn apply_defect(
+    defect: &str,
+    param: i64,
+    obj: &mut Object,
+) -> (Option<Value>, Option<Value>, bool) {
     match defect {
         "resources" => {
-            let Some(spec) = pod_spec_mut(obj) else { return (None, None, false) };
-            let Some(c) = spec.containers.first_mut() else { return (None, None, false) };
+            let Some(spec) = pod_spec_mut(obj) else {
+                return (None, None, false);
+            };
+            let Some(c) = spec.containers.first_mut() else {
+                return (None, None, false);
+            };
             match param {
                 // Missing requests: the scheduler bin-packs on zero.
                 0 => {
@@ -234,17 +257,29 @@ fn apply_defect(defect: &str, param: i64, obj: &mut Object) -> (Option<Value>, O
             }
         }
         "probe" => {
-            let Some(spec) = pod_spec_mut(obj) else { return (None, None, false) };
+            let Some(spec) = pod_spec_mut(obj) else {
+                return (None, None, false);
+            };
             let before = Value::Int(spec.probe_period_seconds);
             spec.probe_period_seconds = param.max(1);
             spec.probe_failure_threshold = 1;
-            (Some(before), Some(Value::Int(spec.probe_period_seconds)), true)
+            (
+                Some(before),
+                Some(Value::Int(spec.probe_period_seconds)),
+                true,
+            )
         }
         "grace" => {
-            let Some(spec) = pod_spec_mut(obj) else { return (None, None, false) };
+            let Some(spec) = pod_spec_mut(obj) else {
+                return (None, None, false);
+            };
             let before = Value::Int(spec.termination_grace_period_seconds);
             spec.termination_grace_period_seconds = param.max(1);
-            (Some(before), Some(Value::Int(spec.termination_grace_period_seconds)), true)
+            (
+                Some(before),
+                Some(Value::Int(spec.termination_grace_period_seconds)),
+                true,
+            )
         }
         "replicas" => {
             let replicas = match obj {
@@ -253,7 +288,11 @@ fn apply_defect(defect: &str, param: i64, obj: &mut Object) -> (Option<Value>, O
                 _ => return (None, None, false),
             };
             let before = Value::Int(*replicas);
-            *replicas = if param == 0 { 0 } else { replicas.saturating_mul(param).max(param) };
+            *replicas = if param == 0 {
+                0
+            } else {
+                replicas.saturating_mul(param).max(param)
+            };
             (Some(before), Some(Value::Int(*replicas)), true)
         }
         _ => (None, None, false),
@@ -360,8 +399,13 @@ config_family!(
 );
 
 /// The five config-defect families, in registry order.
-pub static CONFIG_BUILTIN: [Fault; 5] =
-    [CFG_RESOURCES, CFG_SELECTOR, CFG_PROBE, CFG_GRACE, CFG_REPLICAS];
+pub static CONFIG_BUILTIN: [Fault; 5] = [
+    CFG_RESOURCES,
+    CFG_SELECTOR,
+    CFG_PROBE,
+    CFG_GRACE,
+    CFG_REPLICAS,
+];
 
 #[cfg(test)]
 mod tests {
@@ -385,7 +429,11 @@ mod tests {
         rs.metadata = ObjectMeta::named("default", "web-rs");
         rs.spec.replicas = 2;
         rs.spec.selector = LabelSelector::eq("app", "web");
-        rs.spec.template.metadata.labels.insert("app".into(), "web".into());
+        rs.spec
+            .template
+            .metadata
+            .labels
+            .insert("app".into(), "web".into());
         rs.spec.template.spec.containers.push(k8s_model::Container {
             name: "web".into(),
             image: "registry.local/web:1.0".into(),
@@ -409,7 +457,13 @@ mod tests {
     }
 
     fn admit_ctx(class: Channel, kind: Kind, now: u64) -> AdmitCtx<'static> {
-        AdmitCtx { channel: class.into(), kind, key: "/registry/x/default/y", op: Op::Create, now }
+        AdmitCtx {
+            channel: class.into(),
+            kind,
+            key: "/registry/x/default/y",
+            op: Op::Create,
+            now,
+        }
     }
 
     #[test]
@@ -431,7 +485,10 @@ mod tests {
                 .iter()
                 .find(|(c, k, _)| *c == spec.channel.class() && *k == spec.kind)
                 .unwrap();
-            assert!(u64::from(spec.occurrence) <= *count, "occurrence beyond catalogue");
+            assert!(
+                u64::from(spec.occurrence) <= *count,
+                "occurrence beyond catalogue"
+            );
         }
         // Replicas: RS (kcm) + Deployment (user), 2 params each.
         let plan = CFG_REPLICAS.plan(&traffic(), &mut Rng::new(7));
@@ -443,10 +500,14 @@ mod tests {
         // Dropping the pod victim must not shift the deployment's spec.
         let full = CFG_PROBE.plan(&traffic(), &mut Rng::new(3));
         let mut reduced = traffic();
-        reduced.user_kinds.retain(|(_, k, _)| *k == Kind::Deployment);
+        reduced
+            .user_kinds
+            .retain(|(_, k, _)| *k == Kind::Deployment);
         let only_deploy = CFG_PROBE.plan(&reduced, &mut Rng::new(3));
         assert_eq!(
-            full.iter().filter(|s| s.kind == Kind::Deployment).collect::<Vec<_>>(),
+            full.iter()
+                .filter(|s| s.kind == Kind::Deployment)
+                .collect::<Vec<_>>(),
             only_deploy.iter().collect::<Vec<_>>(),
             "catalogue changes shifted a surviving victim's spec"
         );
@@ -457,7 +518,10 @@ mod tests {
         let spec = InjectionSpec {
             channel: ChannelId::class_wide(Channel::KcmToApi),
             kind: Kind::Pod,
-            point: InjectionPoint::Config { defect: "probe".into(), param: 1 },
+            point: InjectionPoint::Config {
+                defect: "probe".into(),
+                param: 1,
+            },
             occurrence: 2,
         };
         let mut act = ConfigDefect::armed_from(spec, 1_000);
@@ -466,7 +530,10 @@ mod tests {
         assert!(!act.on_admission(&admit_ctx(Channel::KcmToApi, Kind::Pod, 500), &mut obj));
         // Wrong class/kind: not counted.
         assert!(!act.on_admission(&admit_ctx(Channel::UserToApi, Kind::Pod, 1_100), &mut obj));
-        assert!(!act.on_admission(&admit_ctx(Channel::KcmToApi, Kind::Service, 1_100), &mut obj));
+        assert!(!act.on_admission(
+            &admit_ctx(Channel::KcmToApi, Kind::Service, 1_100),
+            &mut obj
+        ));
         // First match passes, second fires.
         assert!(!act.on_admission(&admit_ctx(Channel::KcmToApi, Kind::Pod, 1_200), &mut obj));
         assert!(act.on_admission(&admit_ctx(Channel::KcmToApi, Kind::Pod, 1_300), &mut obj));
@@ -491,14 +558,19 @@ mod tests {
 
         let mut huge = pod();
         apply_defect("resources", 1, &mut huge);
-        assert_eq!(huge.as_pod().unwrap().spec.containers[0].cpu_milli, HUGE_CPU_MILLI);
+        assert_eq!(
+            huge.as_pod().unwrap().spec.containers[0].cpu_milli,
+            HUGE_CPU_MILLI
+        );
 
         let mut throttled = rs();
         let (before, after, applied) = apply_defect("resources", 2, &mut throttled);
         assert!(applied);
         assert_eq!(before, Some(Value::Int(0)));
         assert_eq!(after, Some(Value::Int(250)));
-        let Object::ReplicaSet(r) = &throttled else { unreachable!() };
+        let Object::ReplicaSet(r) = &throttled else {
+            unreachable!()
+        };
         assert!(r.spec.template.spec.containers[0].request_exceeds_limit());
         // Both values positive: the defect validates.
         assert!(k8s_apiserver_validates(&throttled));
@@ -517,7 +589,9 @@ mod tests {
             let mut obj = rs();
             let (_, _, applied) = apply_defect("selector", param, &mut obj);
             assert!(applied, "param {param}");
-            let Object::ReplicaSet(r) = &obj else { unreachable!() };
+            let Object::ReplicaSet(r) = &obj else {
+                unreachable!()
+            };
             assert!(
                 !selector_matches_template(&r.spec.selector, &r.spec.template),
                 "param {param} left the invariant intact"
@@ -536,14 +610,22 @@ mod tests {
     fn grace_and_replica_defects() {
         let mut obj = pod();
         apply_defect("grace", 3_600, &mut obj);
-        assert_eq!(obj.as_pod().unwrap().spec.termination_grace_period_seconds, 3_600);
+        assert_eq!(
+            obj.as_pod().unwrap().spec.termination_grace_period_seconds,
+            3_600
+        );
 
         let mut obj = rs();
         let (before, after, _) = apply_defect("replicas", 100, &mut obj);
-        assert_eq!((before, after), (Some(Value::Int(2)), Some(Value::Int(200))));
+        assert_eq!(
+            (before, after),
+            (Some(Value::Int(2)), Some(Value::Int(200)))
+        );
         let mut obj = rs();
         apply_defect("replicas", 0, &mut obj);
-        let Object::ReplicaSet(r) = &obj else { unreachable!() };
+        let Object::ReplicaSet(r) = &obj else {
+            unreachable!()
+        };
         assert_eq!(r.spec.replicas, 0);
     }
 

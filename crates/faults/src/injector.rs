@@ -21,9 +21,7 @@
 //! crash-restart) drop every matching message while their window is open.
 
 use crate::{FaultActuator, WorldAction};
-use k8s_model::{
-    ChannelClass, ChannelId, Interceptor, Kind, MsgCtx, Object, Op, WireVerdict,
-};
+use k8s_model::{ChannelClass, ChannelId, Interceptor, Kind, MsgCtx, Object, Op, WireVerdict};
 use protowire::corrupt;
 use protowire::reflect::{Reflect, Value};
 use std::collections::HashMap;
@@ -203,7 +201,9 @@ impl InjectionSpec {
     /// Short human-readable target description (for reports).
     pub fn target_description(&self) -> String {
         match &self.point {
-            InjectionPoint::Field { path, mutation } => format!("{}:{path} {mutation:?}", self.kind),
+            InjectionPoint::Field { path, mutation } => {
+                format!("{}:{path} {mutation:?}", self.kind)
+            }
             InjectionPoint::ProtoByte { byte_frac, bit } => {
                 format!("{}:proto-byte@{byte_frac:.2} bit {bit}", self.kind)
             }
@@ -332,6 +332,7 @@ impl Mutiny {
 
     fn mark_window_open(&mut self, start: u64, channel: ChannelId) {
         if self.record.is_none() {
+            mutiny_telemetry::counter_add("fault.fired", 1);
             self.record = Some(InjectionRecord {
                 at: start,
                 key: format!("<{channel}>"),
@@ -345,7 +346,9 @@ impl Mutiny {
 
 impl Interceptor for Mutiny {
     fn on_message(&mut self, ctx: &MsgCtx<'_>) -> WireVerdict {
-        let Some(spec) = &self.spec else { return WireVerdict::Pass };
+        let Some(spec) = &self.spec else {
+            return WireVerdict::Pass;
+        };
         if ctx.now < self.armed_from {
             return WireVerdict::Pass; // workload window only
         }
@@ -359,6 +362,7 @@ impl Interceptor for Mutiny {
             let start = self.armed_from + from_off;
             if ctx.now >= start && ctx.now < start + dur_ms {
                 if self.record.is_none() {
+                    mutiny_telemetry::counter_add("fault.fired", 1);
                     self.record = Some(InjectionRecord {
                         at: ctx.now,
                         key: ctx.key.to_owned(),
@@ -383,6 +387,7 @@ impl Interceptor for Mutiny {
             InjectionPoint::Drop => {
                 let count = bump(&mut self.counters, ctx.key);
                 if count == spec.occurrence {
+                    mutiny_telemetry::counter_add("fault.fired", 1);
                     self.record = Some(InjectionRecord {
                         at: ctx.now,
                         key: ctx.key.to_owned(),
@@ -396,6 +401,7 @@ impl Interceptor for Mutiny {
             InjectionPoint::Delay { hold_ms } => {
                 let count = bump(&mut self.counters, ctx.key);
                 if count == spec.occurrence {
+                    mutiny_telemetry::counter_add("fault.fired", 1);
                     self.record = Some(InjectionRecord {
                         at: ctx.now,
                         key: ctx.key.to_owned(),
@@ -409,6 +415,7 @@ impl Interceptor for Mutiny {
             InjectionPoint::Duplicate { echo_ms } => {
                 let count = bump(&mut self.counters, ctx.key);
                 if count == spec.occurrence {
+                    mutiny_telemetry::counter_add("fault.fired", 1);
                     self.record = Some(InjectionRecord {
                         at: ctx.now,
                         key: ctx.key.to_owned(),
@@ -420,7 +427,9 @@ impl Interceptor for Mutiny {
                 }
             }
             InjectionPoint::ProtoByte { byte_frac, bit } => {
-                let Some(bytes) = ctx.bytes else { return WireVerdict::Pass };
+                let Some(bytes) = ctx.bytes else {
+                    return WireVerdict::Pass;
+                };
                 if bytes.is_empty() {
                     return WireVerdict::Pass;
                 }
@@ -428,6 +437,7 @@ impl Interceptor for Mutiny {
                 if count == spec.occurrence {
                     let idx = ((bytes.len() as f64) * byte_frac.clamp(0.0, 0.999)) as usize;
                     let tampered = corrupt::flip_bit(bytes, idx, *bit);
+                    mutiny_telemetry::counter_add("fault.fired", 1);
                     self.record = Some(InjectionRecord {
                         at: ctx.now,
                         key: ctx.key.to_owned(),
@@ -439,17 +449,22 @@ impl Interceptor for Mutiny {
                 }
             }
             InjectionPoint::Field { path, mutation } => {
-                let Some(bytes) = ctx.bytes else { return WireVerdict::Pass };
+                let Some(bytes) = ctx.bytes else {
+                    return WireVerdict::Pass;
+                };
                 // Only messages in which the injection target appears count
                 // towards the occurrence index (§IV-A, "when").
                 let Ok(mut obj) = Object::decode(ctx.kind, bytes) else {
                     return WireVerdict::Pass;
                 };
-                let Some(before) = obj.get_field(path) else { return WireVerdict::Pass };
+                let Some(before) = obj.get_field(path) else {
+                    return WireVerdict::Pass;
+                };
                 let count = bump(&mut self.counters, ctx.key);
                 if count == spec.occurrence {
                     let after = mutate(&before, mutation);
                     let applied = obj.set_field(path, after.clone());
+                    mutiny_telemetry::counter_add("fault.fired", 1);
                     self.record = Some(InjectionRecord {
                         at: ctx.now,
                         key: ctx.key.to_owned(),
@@ -481,8 +496,12 @@ impl FaultActuator for Mutiny {
     }
 
     fn poll_actions(&mut self, now: u64) -> Vec<WorldAction> {
-        let Some(spec) = self.spec.clone() else { return Vec::new() };
-        let Some((from_off, dur_ms)) = spec.window() else { return Vec::new() };
+        let Some(spec) = self.spec.clone() else {
+            return Vec::new();
+        };
+        let Some((from_off, dur_ms)) = spec.window() else {
+            return Vec::new();
+        };
         let start = self.armed_from + from_off;
         // A window fault is injected even when no message happens to flow
         // through it: mark it fired once the window opens.
@@ -571,7 +590,10 @@ mod tests {
         InjectionSpec {
             channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
-            point: InjectionPoint::Field { path: "spec.replicas".into(), mutation },
+            point: InjectionPoint::Field {
+                path: "spec.replicas".into(),
+                mutation,
+            },
             occurrence,
         }
     }
@@ -580,7 +602,10 @@ mod tests {
     fn fires_on_requested_occurrence_only() {
         let mut m = Mutiny::armed(field_spec(2, FieldMutation::FlipIntBit(0)));
         let bytes = rs_bytes(2);
-        assert_eq!(m.on_message(&ctx(&bytes, "/registry/replicasets/default/web-rs", 1)), WireVerdict::Pass);
+        assert_eq!(
+            m.on_message(&ctx(&bytes, "/registry/replicasets/default/web-rs", 1)),
+            WireVerdict::Pass
+        );
         let v = m.on_message(&ctx(&bytes, "/registry/replicasets/default/web-rs", 2));
         match v {
             WireVerdict::Replace(new_bytes) => {
@@ -593,7 +618,10 @@ mod tests {
         assert_eq!(rec.before, Some(Value::Int(2)));
         assert_eq!(rec.after, Some(Value::Int(3)));
         // Fires exactly once.
-        assert_eq!(m.on_message(&ctx(&bytes, "/registry/replicasets/default/web-rs", 3)), WireVerdict::Pass);
+        assert_eq!(
+            m.on_message(&ctx(&bytes, "/registry/replicasets/default/web-rs", 3)),
+            WireVerdict::Pass
+        );
     }
 
     #[test]
@@ -601,8 +629,14 @@ mod tests {
         let mut m = Mutiny::armed(field_spec(2, FieldMutation::FlipIntBit(0)));
         let bytes = rs_bytes(2);
         // Two different instances at occurrence 1 each: no fire.
-        assert_eq!(m.on_message(&ctx(&bytes, "/registry/replicasets/default/a", 1)), WireVerdict::Pass);
-        assert_eq!(m.on_message(&ctx(&bytes, "/registry/replicasets/default/b", 2)), WireVerdict::Pass);
+        assert_eq!(
+            m.on_message(&ctx(&bytes, "/registry/replicasets/default/a", 1)),
+            WireVerdict::Pass
+        );
+        assert_eq!(
+            m.on_message(&ctx(&bytes, "/registry/replicasets/default/b", 2)),
+            WireVerdict::Pass
+        );
         // Second message of instance a: fire.
         assert!(matches!(
             m.on_message(&ctx(&bytes, "/registry/replicasets/default/a", 3)),
@@ -641,7 +675,10 @@ mod tests {
         let mut m = Mutiny::armed(InjectionSpec {
             channel: Channel::ApiToEtcd.into(),
             kind: Kind::ReplicaSet,
-            point: InjectionPoint::ProtoByte { byte_frac: 0.5, bit: 3 },
+            point: InjectionPoint::ProtoByte {
+                byte_frac: 0.5,
+                bit: 3,
+            },
             occurrence: 1,
         });
         let bytes = rs_bytes(2);
@@ -656,18 +693,27 @@ mod tests {
 
     #[test]
     fn value_mutations() {
-        assert_eq!(mutate(&Value::Int(2), &FieldMutation::FlipIntBit(4)), Value::Int(18));
+        assert_eq!(
+            mutate(&Value::Int(2), &FieldMutation::FlipIntBit(4)),
+            Value::Int(18)
+        );
         assert_eq!(
             mutate(&Value::Str("web".into()), &FieldMutation::FlipStringChar(0)),
             Value::Str("veb".into())
         );
-        assert_eq!(mutate(&Value::Bool(true), &FieldMutation::FlipBool), Value::Bool(false));
+        assert_eq!(
+            mutate(&Value::Bool(true), &FieldMutation::FlipBool),
+            Value::Bool(false)
+        );
         assert_eq!(
             mutate(&Value::Int(7), &FieldMutation::Set(Value::Int(0))),
             Value::Int(0)
         );
         // Mismatched types degrade to no-op instead of panicking.
-        assert_eq!(mutate(&Value::Int(7), &FieldMutation::FlipBool), Value::Int(7));
+        assert_eq!(
+            mutate(&Value::Int(7), &FieldMutation::FlipBool),
+            Value::Int(7)
+        );
     }
 
     #[test]
@@ -698,7 +744,10 @@ mod tests {
         });
         let bytes = rs_bytes(2);
         assert_eq!(m.on_message(&ctx(&bytes, "/k", 1)), WireVerdict::Pass);
-        assert_eq!(m.on_message(&ctx(&bytes, "/k", 2)), WireVerdict::Delay(3_000));
+        assert_eq!(
+            m.on_message(&ctx(&bytes, "/k", 2)),
+            WireVerdict::Delay(3_000)
+        );
         assert!(m.fired());
         // One-shot: the next occurrence passes.
         assert_eq!(m.on_message(&ctx(&bytes, "/k", 3)), WireVerdict::Pass);
@@ -713,7 +762,10 @@ mod tests {
             occurrence: 1,
         });
         let bytes = rs_bytes(2);
-        assert_eq!(m.on_message(&ctx(&bytes, "/k", 1)), WireVerdict::Duplicate(1_000));
+        assert_eq!(
+            m.on_message(&ctx(&bytes, "/k", 1)),
+            WireVerdict::Duplicate(1_000)
+        );
         assert_eq!(m.record().unwrap().key, "/k");
     }
 
@@ -723,7 +775,10 @@ mod tests {
             InjectionSpec {
                 channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod, // informational: the window is channel-wide
-                point: InjectionPoint::Partition { from_off: 100, dur_ms: 200 },
+                point: InjectionPoint::Partition {
+                    from_off: 100,
+                    dur_ms: 200,
+                },
                 occurrence: 1,
             },
             1_000,
@@ -744,7 +799,10 @@ mod tests {
             InjectionSpec {
                 channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod,
-                point: InjectionPoint::Partition { from_off: 100, dur_ms: 200 },
+                point: InjectionPoint::Partition {
+                    from_off: 100,
+                    dur_ms: 200,
+                },
                 occurrence: 1,
             },
             1_000,
@@ -758,7 +816,10 @@ mod tests {
             InjectionSpec {
                 channel: Channel::ApiToEtcd.into(),
                 kind: Kind::Pod,
-                point: InjectionPoint::Crash { from_off: 100, dur_ms: 200 },
+                point: InjectionPoint::Crash {
+                    from_off: 100,
+                    dur_ms: 200,
+                },
                 occurrence: 1,
             },
             1_000,
@@ -779,7 +840,10 @@ mod tests {
             InjectionSpec {
                 channel: Channel::KcmToApi.into(),
                 kind: Kind::Lease,
-                point: InjectionPoint::Crash { from_off: 0, dur_ms: 100 },
+                point: InjectionPoint::Crash {
+                    from_off: 0,
+                    dur_ms: 100,
+                },
                 occurrence: 1,
             },
             0,

@@ -181,7 +181,10 @@ impl ArmedFault {
     /// Pairs a spec with the built-in family its point shape implies
     /// (compatibility path for call sites that predate the registry).
     pub fn implied(spec: InjectionSpec) -> ArmedFault {
-        ArmedFault { fault: Fault::implied_by(&spec), spec }
+        ArmedFault {
+            fault: Fault::implied_by(&spec),
+            spec,
+        }
     }
 
     /// Arms the actuator for this fault.
@@ -335,7 +338,13 @@ pub mod registry {
     /// registrations in registration order.
     pub fn all() -> Vec<Fault> {
         let mut out: Vec<Fault> = BUILTIN.to_vec();
-        out.extend(extras().read().expect("fault registry poisoned").iter().copied());
+        out.extend(
+            extras()
+                .read()
+                .expect("fault registry poisoned")
+                .iter()
+                .copied(),
+        );
         out
     }
 
@@ -359,7 +368,11 @@ pub mod registry {
             return Err(format!("invalid fault name {name:?}"));
         }
         let mut extras = extras().write().expect("fault registry poisoned");
-        if BUILTIN.iter().chain(extras.iter()).any(|f| f.name() == name) {
+        if BUILTIN
+            .iter()
+            .chain(extras.iter())
+            .any(|f| f.name() == name)
+        {
             return Err(format!("fault name {name:?} already registered"));
         }
         let fault = Fault::new(Box::leak(def));
@@ -397,7 +410,11 @@ mod tests {
         assert!(all.len() >= 7, "registry lost built-ins: {all:?}");
         let names: Vec<&str> = all.iter().map(|f| f.name()).collect();
         let unique: HashSet<&str> = names.iter().copied().collect();
-        assert_eq!(unique.len(), names.len(), "duplicate fault names: {names:?}");
+        assert_eq!(
+            unique.len(),
+            names.len(),
+            "duplicate fault names: {names:?}"
+        );
         // The TSV cache, MUTINY_FAULTS filters, and the tables key on
         // these exact strings.
         for expect in [
@@ -487,11 +504,17 @@ mod tests {
             occurrence: 1,
         };
         assert_eq!(
-            Fault::implied_by(&node_spec(InjectionPoint::Crash { from_off: 0, dur_ms: 1 })),
+            Fault::implied_by(&node_spec(InjectionPoint::Crash {
+                from_off: 0,
+                dur_ms: 1
+            })),
             KUBELET_CRASH_RESTART
         );
         assert_eq!(
-            Fault::implied_by(&node_spec(InjectionPoint::Partition { from_off: 0, dur_ms: 1 })),
+            Fault::implied_by(&node_spec(InjectionPoint::Partition {
+                from_off: 0,
+                dur_ms: 1
+            })),
             NODE_PARTITION
         );
         assert_eq!(Fault::implied_by(&spec(InjectionPoint::Drop)), DROP);
@@ -500,7 +523,10 @@ mod tests {
             DELAY
         );
         assert_eq!(
-            Fault::implied_by(&spec(InjectionPoint::Crash { from_off: 0, dur_ms: 1 })),
+            Fault::implied_by(&spec(InjectionPoint::Crash {
+                from_off: 0,
+                dur_ms: 1
+            })),
             CRASH_RESTART
         );
         assert_eq!(

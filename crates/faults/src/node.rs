@@ -156,9 +156,8 @@ mod tests {
     use k8s_model::{Channel, MsgCtx, Op, WireVerdict};
 
     fn traffic() -> RecordedTraffic {
-        let wire = |node: &str, kind, n| {
-            (ChannelId::node_scoped(Channel::KubeletToApi, node), kind, n)
-        };
+        let wire =
+            |node: &str, kind, n| (ChannelId::node_scoped(Channel::KubeletToApi, node), kind, n);
         RecordedTraffic {
             fields: Vec::new(),
             kinds: vec![(Channel::ApiToEtcd.into(), Kind::Pod, 40u64)],
@@ -206,11 +205,15 @@ mod tests {
         let mut full_rng = Rng::new(3);
         let full = KUBELET_CRASH_RESTART.plan(&traffic(), &mut full_rng);
         let mut reduced = traffic();
-        reduced.node_kinds.retain(|(c, _, _)| c.node() == Some("w2"));
+        reduced
+            .node_kinds
+            .retain(|(c, _, _)| c.node() == Some("w2"));
         let mut reduced_rng = Rng::new(3);
         let only_w2 = KUBELET_CRASH_RESTART.plan(&reduced, &mut reduced_rng);
         assert_eq!(
-            full.iter().filter(|s| s.channel.node() == Some("w2")).collect::<Vec<_>>(),
+            full.iter()
+                .filter(|s| s.channel.node() == Some("w2"))
+                .collect::<Vec<_>>(),
             only_w2.iter().collect::<Vec<_>>(),
             "victim-set changes shifted another node's spec"
         );
@@ -229,8 +232,14 @@ mod tests {
     fn armed_blackout_targets_only_its_node() {
         let mut rng = Rng::new(3);
         let plan = KUBELET_CRASH_RESTART.plan(&traffic(), &mut rng);
-        let spec = plan.iter().find(|s| s.channel.node() == Some("w1")).unwrap().clone();
-        let InjectionPoint::Crash { from_off, dur_ms } = spec.point else { unreachable!() };
+        let spec = plan
+            .iter()
+            .find(|s| s.channel.node() == Some("w1"))
+            .unwrap()
+            .clone();
+        let InjectionPoint::Crash { from_off, dur_ms } = spec.point else {
+            unreachable!()
+        };
         let mut actuator = KUBELET_CRASH_RESTART.arm(&spec, 1_000);
         let start = 1_000 + from_off;
 
@@ -243,20 +252,32 @@ mod tests {
             now,
         };
         // Inside the window: w1's wire is dead, w2's is untouched.
-        assert_eq!(actuator.on_message(&ctx("w1", start + 10)), WireVerdict::Drop);
-        assert_eq!(actuator.on_message(&ctx("w2", start + 10)), WireVerdict::Pass);
+        assert_eq!(
+            actuator.on_message(&ctx("w1", start + 10)),
+            WireVerdict::Drop
+        );
+        assert_eq!(
+            actuator.on_message(&ctx("w2", start + 10)),
+            WireVerdict::Pass
+        );
         // The blackout lifecycle: silence at open, restart at heal.
         assert_eq!(
             actuator.poll_actions(start + 10),
             vec![WorldAction::SilenceKubelet("w1")]
         );
-        assert!(actuator.record().is_some(), "window faults fire when the window opens");
+        assert!(
+            actuator.record().is_some(),
+            "window faults fire when the window opens"
+        );
         assert_eq!(
             actuator.poll_actions(start + dur_ms),
             vec![WorldAction::RestartKubelet("w1")]
         );
         assert!(actuator.poll_actions(start + dur_ms + 500).is_empty());
         // Healed: the wire passes again.
-        assert_eq!(actuator.on_message(&ctx("w1", start + dur_ms + 10)), WireVerdict::Pass);
+        assert_eq!(
+            actuator.on_message(&ctx("w1", start + dur_ms + 10)),
+            WireVerdict::Pass
+        );
     }
 }

@@ -89,7 +89,11 @@ impl RecordedTraffic {
     /// order — the victim catalogue the config-defect families plan
     /// over.
     pub fn admission_kinds(&self, classes: &[ChannelClass]) -> Vec<(ChannelClass, Kind, u64)> {
-        self.user_kinds.iter().copied().filter(|(c, _, _)| classes.contains(c)).collect()
+        self.user_kinds
+            .iter()
+            .copied()
+            .filter(|(c, _, _)| classes.contains(c))
+            .collect()
     }
 
     /// The distinct node-scoped wires of one class, in stable order,
@@ -154,12 +158,18 @@ impl FieldRecorder {
 
     /// Kinds observed per node-scoped wire, with message counts.
     pub fn node_kinds_seen(&self) -> Vec<(ChannelId, Kind, u64)> {
-        self.node_counts.iter().map(|((c, k), n)| (*c, *k, *n)).collect()
+        self.node_counts
+            .iter()
+            .map(|((c, k), n)| (*c, *k, *n))
+            .collect()
     }
 
     /// Kinds observed at the admission hook per channel class.
     pub fn user_kinds_seen(&self) -> Vec<(ChannelClass, Kind, u64)> {
-        self.admission_counts.iter().map(|((c, k), n)| (*c, *k, *n)).collect()
+        self.admission_counts
+            .iter()
+            .map(|((c, k), n)| (*c, *k, *n))
+            .collect()
     }
 
     /// Everything recorded, bundled for the planners.
@@ -186,10 +196,17 @@ impl Interceptor for FieldRecorder {
         if !self.channels.contains(&ctx.channel.class()) {
             return WireVerdict::Pass;
         }
-        let Some(bytes) = ctx.bytes else { return WireVerdict::Pass };
-        let Ok(obj) = Object::decode(ctx.kind, bytes) else { return WireVerdict::Pass };
+        let Some(bytes) = ctx.bytes else {
+            return WireVerdict::Pass;
+        };
+        let Ok(obj) = Object::decode(ctx.kind, bytes) else {
+            return WireVerdict::Pass;
+        };
 
-        *self.message_counts.entry((ctx.channel.class(), ctx.kind)).or_insert(0) += 1;
+        *self
+            .message_counts
+            .entry((ctx.channel.class(), ctx.kind))
+            .or_insert(0) += 1;
         let inst = self
             .instance_counts
             .entry((ctx.channel, ctx.kind, ctx.key.to_owned()))
@@ -201,8 +218,9 @@ impl Interceptor for FieldRecorder {
         let kind = ctx.kind;
         let fields = &mut self.fields;
         obj.visit_fields("", &mut |path, value| {
-            let entry = fields.entry((channel, kind, path.to_owned())).or_insert_with(|| {
-                RecordedField {
+            let entry = fields
+                .entry((channel, kind, path.to_owned()))
+                .or_insert_with(|| RecordedField {
                     channel,
                     kind,
                     path: path.to_owned(),
@@ -210,15 +228,12 @@ impl Interceptor for FieldRecorder {
                     sample: value.clone(),
                     message_count: 0,
                     max_occurrence: 0,
-                }
-            });
+                });
             entry.message_count += 1;
             entry.max_occurrence = entry.max_occurrence.max(occurrence);
             // Prefer a non-default sample if one shows up later.
-            let default_sample = matches!(
-                &entry.sample,
-                Value::Int(0) | Value::Bool(false)
-            ) || entry.sample.as_str().map(str::is_empty).unwrap_or(false);
+            let default_sample = matches!(&entry.sample, Value::Int(0) | Value::Bool(false))
+                || entry.sample.as_str().map(str::is_empty).unwrap_or(false);
             if default_sample {
                 entry.sample = value;
             }
@@ -233,7 +248,10 @@ impl Interceptor for FieldRecorder {
         // not on the wire — makes the catalogue agree event-for-event
         // with what an armed admission actuator will see in a replay.
         if ctx.now >= self.from {
-            *self.admission_counts.entry((ctx.channel.class(), ctx.kind)).or_insert(0) += 1;
+            *self
+                .admission_counts
+                .entry((ctx.channel.class(), ctx.kind))
+                .or_insert(0) += 1;
         }
         false
     }
@@ -303,9 +321,11 @@ mod tests {
         let mut pod = k8s_model::Pod::default();
         pod.metadata = ObjectMeta::named("default", "p");
         let mut obj = Object::Pod(pod);
-        for (now, class) in
-            [(50u64, Channel::UserToApi), (150, Channel::UserToApi), (200, Channel::KcmToApi)]
-        {
+        for (now, class) in [
+            (50u64, Channel::UserToApi),
+            (150, Channel::UserToApi),
+            (200, Channel::KcmToApi),
+        ] {
             let ctx = AdmitCtx {
                 channel: class.into(),
                 kind: Kind::Pod,
@@ -313,14 +333,20 @@ mod tests {
                 op: Op::Create,
                 now,
             };
-            assert!(!rec.on_admission(&ctx, &mut obj), "the recorder never mutates");
+            assert!(
+                !rec.on_admission(&ctx, &mut obj),
+                "the recorder never mutates"
+            );
         }
         let traffic = rec.traffic();
         // The event at t=50 predates the window; the class filter
         // (store wire) does not apply to the admission catalogue.
         assert_eq!(
             traffic.user_kinds,
-            vec![(Channel::KcmToApi, Kind::Pod, 1), (Channel::UserToApi, Kind::Pod, 1)]
+            vec![
+                (Channel::KcmToApi, Kind::Pod, 1),
+                (Channel::UserToApi, Kind::Pod, 1)
+            ]
         );
         assert_eq!(
             traffic.admission_kinds(&[Channel::UserToApi]),
@@ -352,8 +378,16 @@ mod tests {
         assert_eq!(
             traffic.node_kinds,
             vec![
-                (ChannelId::node_scoped(Channel::KubeletToApi, "w1"), Kind::Node, 1),
-                (ChannelId::node_scoped(Channel::KubeletToApi, "w2"), Kind::Node, 2),
+                (
+                    ChannelId::node_scoped(Channel::KubeletToApi, "w1"),
+                    Kind::Node,
+                    1
+                ),
+                (
+                    ChannelId::node_scoped(Channel::KubeletToApi, "w2"),
+                    Kind::Node,
+                    2
+                ),
             ]
         );
         assert_eq!(traffic.nodes(), vec!["w1", "w2"]);

@@ -31,10 +31,12 @@ pub mod replicaset;
 /// Re-export of the shared work-queue utility.
 pub use k8s_apiserver::workqueue;
 
+use k8s_apiserver::intern::Interner;
 use k8s_apiserver::{ApiServer, LeaderElector, TraceHandle};
 use k8s_model::{Channel, Kind, Object};
 use simkit::{Rng, TraceLevel};
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 use workqueue::WorkQueue;
 
 /// Pending-create expectations of one ReplicaSet (the mechanism that keeps
@@ -61,19 +63,21 @@ impl Expectation {
 /// Expectation time-to-live (kube-controller-manager: 5 minutes).
 pub const EXPECTATION_TTL_MS: u64 = 300_000;
 
-/// One reconcile unit of work.
+/// One reconcile unit of work, keyed by interned `(namespace, name)` —
+/// watch-event routing enqueues the same handful of names thousands of
+/// times per run, so queue churn is refcount bumps, not string copies.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum WorkItem {
     /// Reconcile a Deployment.
-    Deployment(String, String),
+    Deployment(Rc<str>, Rc<str>),
     /// Reconcile a ReplicaSet.
-    ReplicaSet(String, String),
+    ReplicaSet(Rc<str>, Rc<str>),
     /// Reconcile a DaemonSet.
-    DaemonSet(String, String),
+    DaemonSet(Rc<str>, Rc<str>),
     /// Reconcile a Service's Endpoints.
-    Service(String, String),
+    Service(Rc<str>, Rc<str>),
     /// Reconcile a HorizontalPodAutoscaler.
-    Hpa(String, String),
+    Hpa(Rc<str>, Rc<str>),
 }
 
 /// Tunables for the controller manager.
@@ -177,6 +181,8 @@ pub struct Kcm {
     /// Scratch buffer for owner-key probes in the watch router (one
     /// probe per routed pod event; the buffer outlives them all).
     owner_key_scratch: String,
+    /// Interned `(namespace, name)` pool backing [`WorkItem`] keys.
+    names: Interner,
     needs_resync: bool,
 }
 
@@ -197,7 +203,8 @@ impl Kcm {
         Kcm {
             cursor: api.watch_head(),
             elector: LeaderElector::new("kcm-leader", identity, Channel::KcmToApi),
-            queue: WorkQueue::new(),
+            queue: WorkQueue::new()
+                .with_telemetry("kcm.queue.depth_hw", "kcm.reconcile.wait_ms"),
             cfg,
             metrics: KcmMetrics::default(),
             trace,
@@ -209,6 +216,7 @@ impl Kcm {
             ghost_seen: HashMap::new(),
             expectations: HashMap::new(),
             owner_key_scratch: String::new(),
+            names: Interner::new(),
             needs_resync: true,
         }
     }
@@ -295,7 +303,7 @@ impl Kcm {
             match result {
                 Ok(()) => self.queue.forget_failures(&item),
                 Err(msg) => {
-                    metrics.reconcile_errors += 1;
+                    metrics.reconcile_errors = metrics.reconcile_errors.saturating_add(1);
                     self.trace.borrow_mut().log(
                         now,
                         TraceLevel::Warn,
@@ -311,24 +319,29 @@ impl Kcm {
 
     fn resync(&mut self, api: &mut ApiServer, now: u64) {
         for obj in api.list(Kind::Deployment, None) {
-            self.queue.enqueue(
-                WorkItem::Deployment(obj.namespace().into(), obj.name().into()),
-                now,
-            );
+            let item =
+                WorkItem::Deployment(self.names.intern(obj.namespace()), self.names.intern(obj.name()));
+            self.queue.enqueue(item, now);
         }
         for obj in api.list(Kind::ReplicaSet, None) {
-            self.queue
-                .enqueue(WorkItem::ReplicaSet(obj.namespace().into(), obj.name().into()), now);
+            let item =
+                WorkItem::ReplicaSet(self.names.intern(obj.namespace()), self.names.intern(obj.name()));
+            self.queue.enqueue(item, now);
         }
         for obj in api.list(Kind::DaemonSet, None) {
-            self.queue
-                .enqueue(WorkItem::DaemonSet(obj.namespace().into(), obj.name().into()), now);
+            let item =
+                WorkItem::DaemonSet(self.names.intern(obj.namespace()), self.names.intern(obj.name()));
+            self.queue.enqueue(item, now);
         }
         for obj in api.list(Kind::Service, None) {
-            self.queue.enqueue(WorkItem::Service(obj.namespace().into(), obj.name().into()), now);
+            let item =
+                WorkItem::Service(self.names.intern(obj.namespace()), self.names.intern(obj.name()));
+            self.queue.enqueue(item, now);
         }
         for obj in api.list(Kind::HorizontalPodAutoscaler, None) {
-            self.queue.enqueue(WorkItem::Hpa(obj.namespace().into(), obj.name().into()), now);
+            let item =
+                WorkItem::Hpa(self.names.intern(obj.namespace()), self.names.intern(obj.name()));
+            self.queue.enqueue(item, now);
         }
     }
 
@@ -340,7 +353,8 @@ impl Kcm {
         obj: Option<&Object>,
         now: u64,
     ) {
-        let Some((ns, name)) = split_key(key) else { return };
+        let Some((ns, name)) = split_key_parts(key) else { return };
+        let (ns, name) = (self.names.intern(ns), self.names.intern(name));
         match kind {
             Kind::Pod => {
                 // Owner-based routing.
@@ -365,13 +379,17 @@ impl Kcm {
                                 {
                                     exp.seen.insert(key.to_owned());
                                 }
+                                let owner = self.names.intern(&ctrl.name);
                                 self
                                 .queue
-                                .enqueue(WorkItem::ReplicaSet(ns.clone(), ctrl.name.clone()), now)
+                                .enqueue(WorkItem::ReplicaSet(ns.clone(), owner), now)
                             },
-                            "DaemonSet" => self
+                            "DaemonSet" => {
+                                let owner = self.names.intern(&ctrl.name);
+                                self
                                 .queue
-                                .enqueue(WorkItem::DaemonSet(ns.clone(), ctrl.name.clone()), now),
+                                .enqueue(WorkItem::DaemonSet(ns.clone(), owner), now)
+                            }
                             _ => routed_owner = false,
                         }
                     }
@@ -380,17 +398,18 @@ impl Kcm {
                     // Orphan or deletion: wake every workload controller in
                     // the namespace (adoption/replacement checks).
                     for rs in api.list(Kind::ReplicaSet, Some(&ns)) {
-                        self.queue
-                            .enqueue(WorkItem::ReplicaSet(ns.clone(), rs.name().into()), now);
+                        let item = WorkItem::ReplicaSet(ns.clone(), self.names.intern(rs.name()));
+                        self.queue.enqueue(item, now);
                     }
                     for ds in api.list(Kind::DaemonSet, Some(&ns)) {
-                        self.queue
-                            .enqueue(WorkItem::DaemonSet(ns.clone(), ds.name().into()), now);
+                        let item = WorkItem::DaemonSet(ns.clone(), self.names.intern(ds.name()));
+                        self.queue.enqueue(item, now);
                     }
                 }
                 // Endpoints follow pod readiness.
                 for svc in api.list(Kind::Service, Some(&ns)) {
-                    self.queue.enqueue(WorkItem::Service(ns.clone(), svc.name().into()), now);
+                    let item = WorkItem::Service(ns.clone(), self.names.intern(svc.name()));
+                    self.queue.enqueue(item, now);
                 }
             }
             Kind::ReplicaSet => {
@@ -398,8 +417,8 @@ impl Kcm {
                 if let Some(Object::ReplicaSet(rs)) = obj {
                     if let Some(ctrl) = rs.metadata.controller_ref() {
                         if ctrl.kind == "Deployment" {
-                            self.queue
-                                .enqueue(WorkItem::Deployment(ns, ctrl.name.clone()), now);
+                            let owner = self.names.intern(&ctrl.name);
+                            self.queue.enqueue(WorkItem::Deployment(ns, owner), now);
                         }
                     }
                 }
@@ -411,10 +430,11 @@ impl Kcm {
             Kind::Node => {
                 // A node change affects every DaemonSet.
                 for ds in api.list(Kind::DaemonSet, None) {
-                    self.queue.enqueue(
-                        WorkItem::DaemonSet(ds.namespace().into(), ds.name().into()),
-                        now,
+                    let item = WorkItem::DaemonSet(
+                        self.names.intern(ds.namespace()),
+                        self.names.intern(ds.name()),
                     );
+                    self.queue.enqueue(item, now);
                 }
             }
             Kind::HorizontalPodAutoscaler => {
@@ -422,12 +442,13 @@ impl Kcm {
             }
             Kind::ConfigMap => {
                 // A refreshed load metric wakes every autoscaler.
-                if name == hpa::METRICS_CONFIGMAP {
+                if &*name == hpa::METRICS_CONFIGMAP {
                     for h in api.list(Kind::HorizontalPodAutoscaler, None) {
-                        self.queue.enqueue(
-                            WorkItem::Hpa(h.namespace().into(), h.name().into()),
-                            now,
+                        let item = WorkItem::Hpa(
+                            self.names.intern(h.namespace()),
+                            self.names.intern(h.name()),
                         );
+                        self.queue.enqueue(item, now);
                     }
                 }
             }
@@ -439,12 +460,18 @@ impl Kcm {
 /// Splits a registry key into `(namespace, name)`; cluster-scoped keys get
 /// an empty namespace.
 pub fn split_key(key: &str) -> Option<(String, String)> {
+    split_key_parts(key).map(|(ns, n)| (ns.to_owned(), n.to_owned()))
+}
+
+/// Borrowed flavor of [`split_key`]: the watch router interns the parts
+/// instead of allocating them.
+fn split_key_parts(key: &str) -> Option<(&str, &str)> {
     let mut parts = key.strip_prefix("/registry/")?.split('/');
     let _plural = parts.next()?;
     let a = parts.next()?;
     match parts.next() {
-        Some(b) => Some((a.to_owned(), b.to_owned())),
-        None => Some((String::new(), a.to_owned())),
+        Some(b) => Some((a, b)),
+        None => Some(("", a)),
     }
 }
 

@@ -255,6 +255,7 @@ impl Kubelet {
                 let mut node = node.clone();
                 node.status.last_heartbeat = now as i64;
                 node.status.ready = true;
+                mutiny_telemetry::counter_add("kubelet.heartbeats", 1);
                 let _ = api.update(self.channel, Object::Node(node));
             }
         }
@@ -311,7 +312,7 @@ impl Kubelet {
         }
         let (cpu_used, mem_used) = self.local_usage();
         if cpu_used + cpu > self.cpu_capacity || mem_used + mem > self.mem_capacity {
-            self.metrics.rejected += 1;
+            self.metrics.rejected = self.metrics.rejected.saturating_add(1);
             self.log(now, TraceLevel::Warn, format!("rejecting pod {key}: out of resources"));
             let mut rejected = pod.clone();
             rejected.status.phase = "Failed".into();
@@ -425,7 +426,7 @@ impl Kubelet {
                 let _ = api.delete(self.channel, Kind::Pod, &ns, &name);
             }
             self.pods.remove(&key);
-            self.metrics.critical_evictions += 1;
+            self.metrics.critical_evictions = self.metrics.critical_evictions.saturating_add(1);
             cpu_used -= cpu;
             mem_used -= mem;
         }
@@ -466,7 +467,7 @@ impl Kubelet {
                     lp.started_at = Some(now);
                     lp.reported_ready = !local.crashes;
                 }
-                self.metrics.started += 1;
+                self.metrics.started = self.metrics.started.saturating_add(1);
                 if let Some(Object::Pod(pod)) = api.get(Kind::Pod, &ns, &name).as_deref() {
                     let mut pod = pod.clone();
                     pod.status.phase = "Running".into();
@@ -484,7 +485,7 @@ impl Kubelet {
                     // Ready on the (too-short) probe-window cadence.
                     let ready = local.probe_ready(now);
                     if ready != local.reported_ready {
-                        self.metrics.probe_flaps += 1;
+                        self.metrics.probe_flaps = self.metrics.probe_flaps.saturating_add(1);
                         if let Some(lp) = self.pods.get_mut(key) {
                             lp.reported_ready = ready;
                         }
@@ -500,7 +501,8 @@ impl Kubelet {
                 if let Some(crash_at) = local.crash_at {
                     if now >= crash_at {
                         // Crash: back off exponentially (circuit breaker).
-                        self.metrics.crashes += 1;
+                        self.metrics.crashes = self.metrics.crashes.saturating_add(1);
+                        mutiny_telemetry::counter_add("kubelet.pod_restarts", 1);
                         let restarts = local.restart_count + 1;
                         let backoff = (self.cfg.crash_backoff_base_ms
                             << (restarts - 1).clamp(0, 16) as u32)
@@ -587,7 +589,7 @@ impl Kubelet {
                         if let Some(lp) = self.pods.get_mut(&key) {
                             lp.reported_ready = truth_ready;
                         }
-                        self.metrics.status_corrections += 1;
+                        self.metrics.status_corrections = self.metrics.status_corrections.saturating_add(1);
                         self.log(
                             now,
                             TraceLevel::Info,

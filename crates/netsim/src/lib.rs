@@ -326,10 +326,22 @@ impl NetSim {
     ) -> RequestOutcome {
         let outcome = self.request_inner(api, now, from_node, ns, svc, expect_port, needs_dns);
         match outcome {
-            RequestOutcome::Ok { .. } => self.metrics.ok += 1,
-            RequestOutcome::Refused => self.metrics.refused += 1,
-            RequestOutcome::Timeout => self.metrics.timeouts += 1,
-            RequestOutcome::DnsFailure => self.metrics.dns_failures += 1,
+            RequestOutcome::Ok { .. } => {
+                self.metrics.ok = self.metrics.ok.saturating_add(1);
+                mutiny_telemetry::counter_add("net.request.ok", 1);
+            }
+            RequestOutcome::Refused => {
+                self.metrics.refused = self.metrics.refused.saturating_add(1);
+                mutiny_telemetry::counter_add("net.request.refused", 1);
+            }
+            RequestOutcome::Timeout => {
+                self.metrics.timeouts = self.metrics.timeouts.saturating_add(1);
+                mutiny_telemetry::counter_add("net.request.timeout", 1);
+            }
+            RequestOutcome::DnsFailure => {
+                self.metrics.dns_failures = self.metrics.dns_failures.saturating_add(1);
+                mutiny_telemetry::counter_add("net.request.dns_failure", 1);
+            }
         }
         outcome
     }

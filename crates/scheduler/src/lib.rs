@@ -21,6 +21,7 @@ use k8s_model::node::{TAINT_NO_EXECUTE, TAINT_NO_SCHEDULE};
 use k8s_model::{Channel, Kind, Node, Object, Pod};
 use simkit::TraceLevel;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Scheduler tunables.
 #[derive(Debug, Clone)]
@@ -64,9 +65,11 @@ enum State {
 pub struct Scheduler {
     cursor: u64,
     elector: LeaderElector,
-    pending: WorkQueue<String>,
+    /// Pending pod keys, shared with the watch cache's interned keys: the
+    /// steady-state enqueue is a refcount bump, not a string copy.
+    pending: WorkQueue<Rc<str>>,
     /// The scheduler's own view of bindings: pod key → node name.
-    assumed: HashMap<String, String>,
+    assumed: HashMap<Rc<str>, String>,
     state: State,
     cfg: SchedulerConfig,
     /// Metrics exposed to the classifiers.
@@ -93,7 +96,8 @@ impl Scheduler {
         Scheduler {
             cursor: api.watch_head(),
             elector: LeaderElector::new("scheduler-leader", identity, Channel::SchedulerToApi),
-            pending: WorkQueue::new(),
+            pending: WorkQueue::new()
+                .with_telemetry("scheduler.queue.depth_hw", "scheduler.bind.wait_ms"),
             assumed: HashMap::new(),
             state: State::Running,
             cfg,
@@ -148,11 +152,13 @@ impl Scheduler {
         // Consume watch events.
         let (events, next) = api.poll_events(self.cursor);
         self.cursor = next;
-        let mut mismatch: Option<(String, String, String)> = None;
+        let mut mismatch: Option<(Rc<str>, String, String)> = None;
         for ev in events {
             match (ev.kind, ev.object.as_deref()) {
                 (Kind::Pod, Some(Object::Pod(pod))) => {
-                    let key = String::from(&*ev.key);
+                    // The event key is already interned by the watch
+                    // cache; keep sharing its allocation.
+                    let key = ev.key.clone();
                     if pod.metadata.is_terminating() {
                         self.assumed.remove(&key);
                         continue;
@@ -187,7 +193,8 @@ impl Scheduler {
         if let Some((key, assumed, stored)) = mismatch {
             // The stored binding disagrees with our cache. Assume cache
             // corruption and restart (paper §V-C, Timing example).
-            self.metrics.restarts += 1;
+            self.metrics.restarts = self.metrics.restarts.saturating_add(1);
+            mutiny_telemetry::counter_add("scheduler.cache_restarts", 1);
             self.incarnation += 1;
             self.log(
                 api,
@@ -198,7 +205,8 @@ impl Scheduler {
                 ),
             );
             self.assumed.clear();
-            self.pending = WorkQueue::new();
+            self.pending = WorkQueue::new()
+                .with_telemetry("scheduler.queue.depth_hw", "scheduler.bind.wait_ms");
             self.elector.resign();
             // A fresh identity models the restarted process; it must wait
             // out the old lease before scheduling again.
@@ -249,7 +257,7 @@ impl Scheduler {
                         Ok(_) => {
                             usage.add(&node_name, pod.cpu_request(), pod.memory_request());
                             self.assumed.insert(key.clone(), node_name);
-                            self.metrics.scheduled += 1;
+                            self.metrics.scheduled = self.metrics.scheduled.saturating_add(1);
                         }
                         Err(e) => {
                             self.log(api, TraceLevel::Warn, format!("bind {key} failed: {e}"));
@@ -258,7 +266,8 @@ impl Scheduler {
                     }
                 }
                 None => {
-                    self.metrics.unschedulable_rounds += 1;
+                    self.metrics.unschedulable_rounds =
+                        self.metrics.unschedulable_rounds.saturating_add(1);
                     if pod.spec.priority > 0 {
                         self.try_preempt(api, pod, &nodes, &all_pods);
                     }
@@ -275,8 +284,9 @@ impl Scheduler {
             if pod.metadata.is_terminating() {
                 continue;
             }
-            let key =
-                k8s_model::registry_key(Kind::Pod, &pod.metadata.namespace, &pod.metadata.name);
+            let key: Rc<str> =
+                k8s_model::registry_key(Kind::Pod, &pod.metadata.namespace, &pod.metadata.name)
+                    .into();
             if pod.spec.node_name.is_empty() {
                 self.pending.enqueue(key, now);
             } else {
@@ -358,7 +368,7 @@ impl Scheduler {
                         &v.metadata.namespace,
                         &v.metadata.name,
                     );
-                    self.metrics.preempted += 1;
+                    self.metrics.preempted = self.metrics.preempted.saturating_add(1);
                 }
                 return;
             }

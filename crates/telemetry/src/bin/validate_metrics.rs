@@ -1,0 +1,78 @@
+//! Schema validator for `MUTINY_METRICS` JSON exports.
+//!
+//! Usage: `validate_metrics <path> [--require-prefix-share]`
+//!
+//! Exits nonzero when the file fails to parse, violates the version-1
+//! schema, or (with `--require-prefix-share`) reports a zero
+//! golden-prefix share — the CI check that the phase profiler actually
+//! attributed experiment time.
+
+use mutiny_telemetry::export::{parse, validate, Json};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match args.next() {
+        Some(p) if p != "--require-prefix-share" => p,
+        _ => {
+            eprintln!("usage: validate_metrics <metrics.json> [--require-prefix-share]");
+            std::process::exit(2);
+        }
+    };
+    let mut require_share = false;
+    for flag in args {
+        match flag.as_str() {
+            "--require-prefix-share" => require_share = true,
+            other => {
+                eprintln!("validate_metrics: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_metrics: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("validate_metrics: {path}: parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = validate(&doc) {
+        eprintln!("validate_metrics: {path}: schema violation: {e}");
+        std::process::exit(1);
+    }
+
+    let share = doc
+        .get("phases")
+        .and_then(|p| p.get("golden_prefix_share"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    if require_share && share <= 0.0 {
+        eprintln!(
+            "validate_metrics: {path}: golden_prefix_share is {share} — phase profiler \
+             recorded no pre-injection experiment time"
+        );
+        std::process::exit(1);
+    }
+
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+    let timelines = doc
+        .get("timelines")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+    println!(
+        "validate_metrics: {path}: ok (version 1, {metrics} metrics, {timelines} timelines, \
+         golden_prefix_share {share:.3})"
+    );
+}

@@ -1,0 +1,585 @@
+//! Versioned JSON export of everything the sink collected, plus a human
+//! summary table.
+//!
+//! `MUTINY_METRICS=<path>` selects the destination;
+//! [`export_if_requested`] writes it (the bench layer calls this after a
+//! campaign). The format is versioned (`mutiny_metrics_version`) and
+//! shipped with its own minimal parser ([`parse`]) and schema validator
+//! ([`validate`]) so CI can round-trip the file without external
+//! dependencies — `validate_metrics` (this crate's bin target) is the
+//! command-line wrapper `scripts/verify.sh` runs.
+
+use crate::{timeline, Metric};
+use std::path::PathBuf;
+
+/// Format version written to (and required from) the JSON export.
+pub const METRICS_VERSION: u64 = 1;
+
+/// The export path requested via `MUTINY_METRICS`, if any.
+pub fn requested_path() -> Option<PathBuf> {
+    match std::env::var(crate::METRICS_ENV) {
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders the full export document from the current sink and profiler
+/// state. Flush recording threads first ([`crate::flush_thread`]).
+pub fn render_json() -> String {
+    let phases = crate::profile::snapshot();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"mutiny_metrics_version\": {METRICS_VERSION},\n"
+    ));
+
+    // Phase breakdown (wall-clock seconds).
+    out.push_str("  \"phases\": {\n");
+    for phase in crate::profile::ALL {
+        out.push_str(&format!(
+            "    \"{}_s\": {:.6},\n",
+            phase.label(),
+            phases.of(phase)
+        ));
+    }
+    out.push_str(&format!(
+        "    \"golden_prefix_share\": {:.6}\n  }},\n",
+        phases.golden_prefix_share()
+    ));
+
+    // Metrics, in key order (BTreeMap: deterministic).
+    out.push_str("  \"metrics\": [\n");
+    {
+        let sink = crate::sink().lock().expect("telemetry sink poisoned");
+        let mut first = true;
+        for (key, metric) in &sink.metrics {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            match metric {
+                Metric::Counter { total, last_at } => out.push_str(&format!(
+                    "    {{\"key\": \"{}\", \"type\": \"counter\", \"total\": {total}, \"last_at_ms\": {last_at}}}",
+                    esc(key)
+                )),
+                Metric::Gauge { last, max, last_at } => out.push_str(&format!(
+                    "    {{\"key\": \"{}\", \"type\": \"gauge\", \"last\": {last}, \"max\": {max}, \"last_at_ms\": {last_at}}}",
+                    esc(key)
+                )),
+                Metric::Histogram(h) => {
+                    let min = if h.count == 0 { 0 } else { h.min };
+                    out.push_str(&format!(
+                        "    {{\"key\": \"{}\", \"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {}, \"p50\": {}, \"p95\": {}}}",
+                        esc(key),
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                    ));
+                }
+            }
+        }
+        if !first {
+            out.push('\n');
+        }
+    }
+    out.push_str("  ],\n");
+
+    // Per-family detection-latency aggregates.
+    out.push_str("  \"detection_latency\": [\n");
+    let fams = timeline::percentiles_by_family();
+    for (i, f) in fams.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"experiments\": {}, \"detected\": {}, \"p50_ms\": {:.1}, \"p95_ms\": {:.1}}}{}\n",
+            esc(&f.family),
+            f.experiments,
+            f.detected,
+            f.p50_ms,
+            f.p95_ms,
+            if i + 1 < fams.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // Raw per-experiment timelines, in deterministic order.
+    out.push_str("  \"timelines\": [\n");
+    let recs = timeline::sorted_records();
+    for (i, r) in recs.iter().enumerate() {
+        let t = &r.timeline;
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"fault\": \"{}\", \"injected_at_ms\": {}, \"first_divergence_ms\": {}, \"detection_ms\": {}, \"recovery_ms\": {}, \"steady_at_end\": {}}}{}\n",
+            esc(&r.scenario),
+            esc(&r.fault),
+            opt_u64(t.injected_at),
+            opt_u64(t.first_divergence),
+            opt_u64(t.detection),
+            opt_u64(t.recovery),
+            t.steady_at_end,
+            if i + 1 < recs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The human summary: phases, top counters/gauges, per-family detection.
+pub fn summary_table() -> String {
+    let phases = crate::profile::snapshot();
+    let mut out = String::new();
+    out.push_str("campaign phase breakdown (wall-clock)\n");
+    out.push_str("phase            seconds   share\n");
+    let total = phases.total().max(1e-9);
+    for phase in crate::profile::ALL {
+        let s = phases.of(phase);
+        out.push_str(&format!(
+            "{:<15} {:>8.2}  {:>5.1}%\n",
+            phase.label(),
+            s,
+            100.0 * s / total
+        ));
+    }
+    out.push_str(&format!(
+        "golden-prefix share of experiment time: {:.1}%\n",
+        100.0 * phases.golden_prefix_share()
+    ));
+
+    {
+        let sink = crate::sink().lock().expect("telemetry sink poisoned");
+        if !sink.metrics.is_empty() {
+            out.push_str("\nmetric                                        value\n");
+            for (key, metric) in &sink.metrics {
+                let v = match metric {
+                    Metric::Counter { total, .. } => format!("{total}"),
+                    Metric::Gauge { last, max, .. } => format!("{last} (hw {max})"),
+                    Metric::Histogram(h) => format!(
+                        "n={} p50={} p95={}",
+                        h.count,
+                        h.quantile(0.50),
+                        h.quantile(0.95)
+                    ),
+                };
+                out.push_str(&format!("{key:<45} {v}\n"));
+            }
+        }
+    }
+
+    let fams = timeline::percentiles_by_family();
+    if !fams.is_empty() {
+        out.push_str("\ndetection latency by fault family (sim-ms)\n");
+        out.push_str("family                 runs  detected    p50      p95\n");
+        for f in &fams {
+            out.push_str(&format!(
+                "{:<21} {:>5} {:>9} {:>8.0} {:>8.0}\n",
+                f.family, f.experiments, f.detected, f.p50_ms, f.p95_ms
+            ));
+        }
+    }
+    out
+}
+
+/// Writes the JSON export to the `MUTINY_METRICS` path (flushing this
+/// thread first) and prints the summary table to stderr. Returns the
+/// path written, or `None` when no export was requested. IO failures
+/// downgrade to warnings — telemetry must never abort a campaign.
+pub fn export_if_requested() -> Option<PathBuf> {
+    let path = requested_path()?;
+    crate::flush_thread();
+    let json = render_json();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    // Atomic promote, same template as the campaign TSV cache: a reader
+    // never observes a half-written export.
+    let tmp = path.with_extension("json.partial");
+    let written = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, &path));
+    match written {
+        Ok(()) => {
+            eprintln!("[mutiny-telemetry] wrote {}", path.display());
+            eprintln!("{}", summary_table());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!(
+                "[mutiny-telemetry] warning: could not write {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser + schema validation (round-trip without deps)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64; the export never needs > 2^53).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, s: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members = Vec::new();
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.ws();
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    members.push((key, val));
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(members));
+                        }
+                        _ => return Err(format!("bad object at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("bad array at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .map(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+                    .unwrap_or(false)
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8")?;
+                text.parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| format!("bad number at byte {start}"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+}
+
+/// Parses a JSON document (the subset the export emits).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Validates a parsed document against the version-1 export schema.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("mutiny_metrics_version")
+        .and_then(Json::as_num)
+        .ok_or("missing mutiny_metrics_version")?;
+    if version != METRICS_VERSION as f64 {
+        return Err(format!("unsupported metrics version {version}"));
+    }
+
+    let phases = doc.get("phases").ok_or("missing phases section")?;
+    for phase in crate::profile::ALL {
+        let key = format!("{}_s", phase.label());
+        let v = phases
+            .get(&key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("phases.{key} missing or not a number"))?;
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(format!("phases.{key} = {v} out of range"));
+        }
+    }
+    let share = phases
+        .get("golden_prefix_share")
+        .and_then(Json::as_num)
+        .ok_or("phases.golden_prefix_share missing")?;
+    if !(0.0..=1.0).contains(&share) {
+        return Err(format!("golden_prefix_share {share} outside [0, 1]"));
+    }
+
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .ok_or("metrics is not an array")?;
+    for m in metrics {
+        let key = m
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or("metric without key")?;
+        let ty = m
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("metric {key} without type"))?;
+        let need: &[&str] = match ty {
+            "counter" => &["total", "last_at_ms"],
+            "gauge" => &["last", "max", "last_at_ms"],
+            "histogram" => &["count", "sum", "min", "max", "p50", "p95"],
+            other => return Err(format!("metric {key}: unknown type {other}")),
+        };
+        for field in need {
+            if m.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("metric {key}: field {field} missing"));
+            }
+        }
+    }
+
+    let detection = doc
+        .get("detection_latency")
+        .and_then(Json::as_arr)
+        .ok_or("detection_latency is not an array")?;
+    for d in detection {
+        for field in ["experiments", "detected", "p50_ms", "p95_ms"] {
+            if d.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("detection_latency entry missing {field}"));
+            }
+        }
+        if d.get("family").and_then(Json::as_str).is_none() {
+            return Err("detection_latency entry missing family".into());
+        }
+    }
+
+    let timelines = doc
+        .get("timelines")
+        .and_then(Json::as_arr)
+        .ok_or("timelines is not an array")?;
+    for t in timelines {
+        if t.get("scenario").and_then(Json::as_str).is_none()
+            || t.get("fault").and_then(Json::as_str).is_none()
+        {
+            return Err("timeline entry missing scenario/fault".into());
+        }
+        for field in [
+            "injected_at_ms",
+            "first_divergence_ms",
+            "detection_ms",
+            "recovery_ms",
+        ] {
+            match t.get(field) {
+                Some(Json::Num(_)) | Some(Json::Null) => {}
+                _ => return Err(format!("timeline entry: {field} must be number|null")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_the_export_subset() {
+        let doc = parse(r#"{"a": 1, "b": [true, false, null, "x\ty"], "c": {"d": -2.5e1}}"#)
+            .expect("parse");
+        assert_eq!(doc.get("a").and_then(Json::as_num), Some(1.0));
+        assert_eq!(
+            doc.get("c").and_then(|c| c.get("d")).and_then(Json::as_num),
+            Some(-25.0)
+        );
+        let arr = doc.get("b").and_then(Json::as_arr).expect("array");
+        assert_eq!(arr[3], Json::Str("x\ty".into()));
+        assert!(parse("{").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "quote\" slash\\ tab\t nl\n";
+        let json = format!("{{\"k\": \"{}\"}}", esc(nasty));
+        let doc = parse(&json).expect("parse escaped");
+        assert_eq!(doc.get("k").and_then(Json::as_str), Some(nasty));
+    }
+}

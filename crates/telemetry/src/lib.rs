@@ -1,0 +1,515 @@
+//! Deterministic telemetry: the observability layer under every
+//! simulated component.
+//!
+//! Three instruments, one rule. The instruments:
+//!
+//! * **sim-time metrics** ([`counter_add`], [`gauge_set`], [`gauge_max`],
+//!   [`hist_record`]) — interned-key counters, gauges and log₂-bucket
+//!   histograms stamped with the *simulated* clock ([`set_sim_now`]),
+//!   recorded per worker thread and merged into a process-wide sink;
+//! * **campaign phase profiler** ([`profile`]) — *wall-clock* time split
+//!   into plan / baseline / golden-prefix / fault-window / classify, the
+//!   numbers that size the fork-the-world win (ROADMAP item 1);
+//! * **propagation timelines** ([`timeline`]) — per-experiment sim-times
+//!   of injection → first divergence → detection → recovery, aggregated
+//!   into per-fault-family detection-latency percentiles.
+//!
+//! The rule: **recording must never perturb the simulation.** Telemetry
+//! is pure side-band bookkeeping — it draws no random numbers, schedules
+//! no events, and changes no simulated state, so the campaign TSV is
+//! byte-identical with telemetry on or off at any worker count (pinned by
+//! `tests/metrics_determinism.rs`). When disabled every entry point is a
+//! thread-local flag check and an early return.
+//!
+//! Enablement: `MUTINY_METRICS=<path>` (also selects the JSON export
+//! destination, see [`export`]) or [`enable_in_process`] (what the
+//! throughput bench uses — collect without exporting). The flag is
+//! re-read at every [`run_begin`] (one world construction), so tests can
+//! toggle the environment mid-process. All arithmetic saturates: a
+//! counter that hits `u64::MAX` pins there instead of wrapping.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+pub mod export;
+pub mod profile;
+pub mod timeline;
+
+/// Environment variable naming the JSON export path (its presence turns
+/// metric collection on).
+pub const METRICS_ENV: &str = "MUTINY_METRICS";
+
+/// Number of log₂ histogram buckets: values `0`, `1`, `2..3`, `4..7`, …
+/// bucket `i` holds values with `63 - leading_zeros == i - 1` (bucket 0
+/// is the zero value). 17 buckets cover sim durations up to ~65 s; the
+/// last bucket absorbs everything larger.
+pub const HIST_BUCKETS: usize = 17;
+
+static FORCED: AtomicBool = AtomicBool::new(false);
+
+/// Turns collection on for the rest of the process regardless of the
+/// environment (takes effect at each world's [`run_begin`]). Used by
+/// benches that want phase/timeline data without writing a JSON file.
+pub fn enable_in_process() {
+    FORCED.store(true, Ordering::Relaxed);
+}
+
+/// True when `MUTINY_METRICS` is set non-empty or [`enable_in_process`]
+/// was called. Reads the environment — callers on hot paths should use
+/// the thread-local [`metrics_enabled`] instead.
+pub fn requested() -> bool {
+    FORCED.load(Ordering::Relaxed)
+        || std::env::var(METRICS_ENV)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SIM_NOW: Cell<u64> = const { Cell::new(0) };
+    static RECORDER: RefCell<Recorder> = RefCell::new(Recorder::default());
+}
+
+/// Refreshes this thread's enabled flag from the environment/override.
+/// Called once per simulated-world construction — the simulation itself
+/// never reads the environment (determinism rule), so this is the only
+/// place the flag can flip.
+pub fn run_begin() {
+    ENABLED.with(|e| e.set(requested()));
+}
+
+/// True when this thread is currently collecting metrics.
+pub fn metrics_enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Advances the ambient simulated clock used to stamp recordings.
+/// Cheap enough to call unconditionally (one TLS store).
+pub fn set_sim_now(now: u64) {
+    SIM_NOW.with(|c| c.set(now));
+}
+
+fn sim_now() -> u64 {
+    SIM_NOW.with(Cell::get)
+}
+
+// ---------------------------------------------------------------------------
+// Metric model
+// ---------------------------------------------------------------------------
+
+/// A log₂-bucket histogram with saturating arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Log₂ buckets (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Lower bound of bucket `i` (for export/summary rendering).
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Hist {
+    /// Records one sample (saturating).
+    pub fn record(&mut self, value: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] = self.buckets[bucket_of(value)].saturating_add(1);
+    }
+
+    /// Merges another histogram into this one (saturating).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+    }
+
+    /// Approximate quantile from the buckets (upper bound of the bucket
+    /// holding the q-th sample; exact min/max for q at the extremes).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*b);
+            if seen >= target {
+                // Clamp the bucket bound into the observed range so the
+                // approximation never exceeds the true extremes.
+                let upper = if i + 1 < HIST_BUCKETS {
+                    bucket_floor(i + 1).saturating_sub(1)
+                } else {
+                    u64::MAX
+                };
+                return upper.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One named instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotone event count; `last_at` is the sim-time of the last bump.
+    Counter {
+        /// Saturating total.
+        total: u64,
+        /// Sim-time of the most recent increment.
+        last_at: u64,
+    },
+    /// Point-in-time value with a retained high-water mark.
+    Gauge {
+        /// Most recent value.
+        last: u64,
+        /// Largest value ever set.
+        max: u64,
+        /// Sim-time of the most recent set.
+        last_at: u64,
+    },
+    /// Distribution of recorded values.
+    Histogram(Hist),
+}
+
+impl Metric {
+    fn merge(&mut self, other: &Metric) {
+        match (self, other) {
+            (
+                Metric::Counter { total, last_at },
+                Metric::Counter {
+                    total: t2,
+                    last_at: a2,
+                },
+            ) => {
+                *total = total.saturating_add(*t2);
+                *last_at = (*last_at).max(*a2);
+            }
+            (
+                Metric::Gauge { last, max, last_at },
+                Metric::Gauge {
+                    last: l2,
+                    max: m2,
+                    last_at: a2,
+                },
+            ) => {
+                // "Last" across threads is ill-defined; keep the one with
+                // the later sim stamp (deterministic: sim stamps derive
+                // from the plan, not the interleaving).
+                if *a2 >= *last_at {
+                    *last = *l2;
+                    *last_at = *a2;
+                }
+                *max = (*max).max(*m2);
+            }
+            (Metric::Histogram(h), Metric::Histogram(h2)) => h.merge(h2),
+            // A key recorded with two different instrument types is a
+            // programming error; keep the first sighting rather than
+            // panicking inside the merge path.
+            _ => {}
+        }
+    }
+}
+
+/// Per-thread recorder: interned keys, metrics parallel to them.
+#[derive(Debug, Default)]
+struct Recorder {
+    index: HashMap<Box<str>, usize>,
+    names: Vec<Box<str>>,
+    metrics: Vec<Metric>,
+    timelines: Vec<timeline::TimelineRecord>,
+}
+
+impl Recorder {
+    fn slot(&mut self, key: &str, init: impl FnOnce() -> Metric) -> &mut Metric {
+        if let Some(&i) = self.index.get(key) {
+            return &mut self.metrics[i];
+        }
+        let boxed: Box<str> = key.into();
+        self.index.insert(boxed.clone(), self.metrics.len());
+        self.names.push(boxed);
+        self.metrics.push(init());
+        self.metrics.last_mut().expect("just pushed")
+    }
+
+    fn is_empty(&self) -> bool {
+        self.metrics.is_empty() && self.timelines.is_empty()
+    }
+}
+
+/// Bumps counter `key` by `delta` (saturating), stamped with the ambient
+/// sim clock. No-op when collection is off.
+pub fn counter_add(key: &str, delta: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let now = sim_now();
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        if let Metric::Counter { total, last_at } = r.slot(key, || Metric::Counter {
+            total: 0,
+            last_at: 0,
+        }) {
+            *total = total.saturating_add(delta);
+            *last_at = now;
+        }
+    });
+}
+
+/// Sets gauge `key` to `value`, retaining the high-water mark. No-op when
+/// collection is off.
+pub fn gauge_set(key: &str, value: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let now = sim_now();
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        if let Metric::Gauge { last, max, last_at } = r.slot(key, || Metric::Gauge {
+            last: 0,
+            max: 0,
+            last_at: 0,
+        }) {
+            *last = value;
+            *max = (*max).max(value);
+            *last_at = now;
+        }
+    });
+}
+
+/// Raises gauge `key` to `value` if it is a new high-water mark (the
+/// depth-high-water idiom). No-op when collection is off.
+pub fn gauge_max(key: &str, value: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    let now = sim_now();
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        if let Metric::Gauge { last, max, last_at } = r.slot(key, || Metric::Gauge {
+            last: 0,
+            max: 0,
+            last_at: 0,
+        }) {
+            *last = value;
+            *last_at = now;
+            *max = (*max).max(value);
+        }
+    });
+}
+
+/// Records `value` into histogram `key`. No-op when collection is off.
+pub fn hist_record(key: &str, value: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        if let Metric::Histogram(h) = r.slot(key, || Metric::Histogram(Hist::default())) {
+            h.record(value);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The process-wide sink
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+pub(crate) struct Sink {
+    pub(crate) metrics: BTreeMap<String, Metric>,
+    pub(crate) timelines: Vec<timeline::TimelineRecord>,
+}
+
+pub(crate) fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::default()))
+}
+
+/// Merges this thread's recordings into the process-wide sink and clears
+/// them. The campaign executor calls this as each worker finishes (and on
+/// the serial path), so nothing is lost when worker threads exit.
+pub fn flush_thread() {
+    let drained = RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        if r.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(&mut *r))
+    });
+    let Some(rec) = drained else { return };
+    let mut sink = sink().lock().expect("telemetry sink poisoned");
+    for (name, metric) in rec.names.iter().zip(rec.metrics.iter()) {
+        match sink.metrics.get_mut(name.as_ref()) {
+            Some(existing) => existing.merge(metric),
+            None => {
+                sink.metrics.insert(name.to_string(), metric.clone());
+            }
+        }
+    }
+    sink.timelines.extend(rec.timelines);
+}
+
+/// Clears the process-wide sink (and this thread's pending recordings).
+/// Benches use it to scope reported metrics to the measured region.
+pub fn reset() {
+    RECORDER.with(|r| {
+        *r.borrow_mut() = Recorder::default();
+    });
+    let mut sink = sink().lock().expect("telemetry sink poisoned");
+    sink.metrics.clear();
+    sink.timelines.clear();
+}
+
+/// The merged total of counter `key`, if it exists in the sink (flush
+/// first). Test/assertion helper.
+pub fn counter_value(key: &str) -> Option<u64> {
+    let sink = sink().lock().expect("telemetry sink poisoned");
+    match sink.metrics.get(key) {
+        Some(Metric::Counter { total, .. }) => Some(*total),
+        _ => None,
+    }
+}
+
+/// The merged high-water mark of gauge `key`, if present (flush first).
+pub fn gauge_high_water(key: &str) -> Option<u64> {
+    let sink = sink().lock().expect("telemetry sink poisoned");
+    match sink.metrics.get(key) {
+        Some(Metric::Gauge { max, .. }) => Some(*max),
+        _ => None,
+    }
+}
+
+pub(crate) fn record_timeline_local(rec: timeline::TimelineRecord) {
+    RECORDER.with(|r| r.borrow_mut().timelines.push(rec));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Serialize tests that flip the global enable switch: the thread
+    // flag is per-test-thread, but the sink is shared.
+    fn with_enabled(f: impl FnOnce()) {
+        ENABLED.with(|e| e.set(true));
+        f();
+        flush_thread();
+        ENABLED.with(|e| e.set(false));
+    }
+
+    #[test]
+    fn disabled_recording_is_a_noop() {
+        ENABLED.with(|e| e.set(false));
+        counter_add("test.noop.counter", 5);
+        gauge_max("test.noop.gauge", 9);
+        hist_record("test.noop.hist", 3);
+        flush_thread();
+        assert_eq!(counter_value("test.noop.counter"), None);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        with_enabled(|| {
+            counter_add("test.sat.counter", u64::MAX - 1);
+            counter_add("test.sat.counter", 10);
+        });
+        assert_eq!(counter_value("test.sat.counter"), Some(u64::MAX));
+    }
+
+    #[test]
+    fn hist_buckets_and_quantiles() {
+        let mut h = Hist::default();
+        for v in [0u64, 1, 2, 3, 4, 200, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.sum, 1210);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), 1000);
+        // Saturation: a sample at u64::MAX must not wrap the sum.
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.buckets[bucket_of(200)], 1);
+        assert_eq!(h.buckets[bucket_of(1000)], 1);
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1); // only MAX overflows
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(2), 2);
+        assert_eq!(bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water_across_merge() {
+        with_enabled(|| {
+            set_sim_now(100);
+            gauge_max("test.hw.gauge", 4);
+            set_sim_now(200);
+            gauge_max("test.hw.gauge", 9);
+            set_sim_now(300);
+            gauge_max("test.hw.gauge", 2);
+        });
+        assert_eq!(gauge_high_water("test.hw.gauge"), Some(9));
+    }
+}

@@ -1,0 +1,217 @@
+//! The campaign phase profiler: where does campaign *wall-clock* go?
+//!
+//! ROADMAP item 1 (fork-the-world) claims the golden-prefix recompute —
+//! re-simulating the identical pre-injection window of every experiment —
+//! dominates campaign cost. This module produces the number that sizes
+//! that claim: cumulative wall time split into
+//!
+//! * **Plan** — traffic recording + spec generation,
+//! * **Baseline** — golden runs building the classification baseline,
+//! * **GoldenPrefix** — per-experiment sim time before the injection
+//!   window opens (`t0`): the part fork-the-world would snapshot away,
+//! * **FaultWindow** — per-experiment sim time at/after `t0`,
+//! * **Classify** — post-run statistics and failure classification,
+//! * **Other** — anything explicitly attributed outside those five.
+//!
+//! Accumulation is process-wide (saturating atomic nanoseconds), so
+//! worker threads add straight in; wall-clock timing never touches the
+//! simulated clock, RNG, or event order, so it cannot perturb results.
+//! Enabled by `MUTINY_PROFILE` (any value but `0`), by metrics collection
+//! (`MUTINY_METRICS`), or by [`crate::enable_in_process`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable enabling the profiler on its own.
+pub const PROFILE_ENV: &str = "MUTINY_PROFILE";
+
+/// A campaign phase wall time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Traffic recording and injection-spec planning.
+    Plan,
+    /// Golden runs building the classification baseline.
+    Baseline,
+    /// Pre-injection (`now < t0`) share of experiment simulation.
+    GoldenPrefix,
+    /// At/after-`t0` share of experiment simulation.
+    FaultWindow,
+    /// Post-run statistics and classification.
+    Classify,
+    /// Explicitly attributed miscellaneous work.
+    Other,
+}
+
+/// All phases, in reporting order.
+pub const ALL: [Phase; 6] = [
+    Phase::Plan,
+    Phase::Baseline,
+    Phase::GoldenPrefix,
+    Phase::FaultWindow,
+    Phase::Classify,
+    Phase::Other,
+];
+
+impl Phase {
+    /// Stable snake_case label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Plan => "plan",
+            Phase::Baseline => "baseline",
+            Phase::GoldenPrefix => "golden_prefix",
+            Phase::FaultWindow => "fault_window",
+            Phase::Classify => "classify",
+            Phase::Other => "other",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Phase::Plan => 0,
+            Phase::Baseline => 1,
+            Phase::GoldenPrefix => 2,
+            Phase::FaultWindow => 3,
+            Phase::Classify => 4,
+            Phase::Other => 5,
+        }
+    }
+}
+
+static NANOS: [AtomicU64; 6] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// True when phase attribution should be collected. Reads the
+/// environment; call once per experiment/phase, not per event.
+pub fn enabled() -> bool {
+    crate::requested()
+        || std::env::var(PROFILE_ENV)
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+}
+
+fn saturating_fetch_add(cell: &AtomicU64, v: u64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(v);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Adds `nanos` of wall time to `phase` (saturating).
+pub fn add_nanos(phase: Phase, nanos: u64) {
+    saturating_fetch_add(&NANOS[phase.idx()], nanos);
+}
+
+/// Adds an [`std::time::Duration`] of wall time to `phase`.
+pub fn add(phase: Phase, elapsed: std::time::Duration) {
+    add_nanos(phase, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+}
+
+/// Times `f`, attributing its wall time to `phase` when profiling is on.
+pub fn time<T>(phase: Phase, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    let t = std::time::Instant::now();
+    let out = f();
+    add(phase, t.elapsed());
+    out
+}
+
+/// Zeroes every phase accumulator (bench scoping).
+pub fn reset() {
+    for cell in &NANOS {
+        cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the phase accumulators, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Snapshot {
+    /// Seconds per phase, indexed like [`ALL`].
+    pub seconds: [f64; 6],
+}
+
+impl Snapshot {
+    /// Seconds attributed to `phase`.
+    pub fn of(&self, phase: Phase) -> f64 {
+        self.seconds[phase.idx()]
+    }
+
+    /// Total attributed seconds.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// The golden-prefix share of per-experiment time (prefix + fault
+    /// window + classify) — the fraction fork-the-world could avoid
+    /// re-simulating. Zero when no experiment time was recorded.
+    pub fn golden_prefix_share(&self) -> f64 {
+        let prefix = self.of(Phase::GoldenPrefix);
+        let experiment = prefix + self.of(Phase::FaultWindow) + self.of(Phase::Classify);
+        if experiment <= 0.0 {
+            0.0
+        } else {
+            prefix / experiment
+        }
+    }
+}
+
+/// Snapshots the accumulators.
+pub fn snapshot() -> Snapshot {
+    let mut s = Snapshot::default();
+    for (i, cell) in NANOS.iter().enumerate() {
+        s.seconds[i] = cell.load(Ordering::Relaxed) as f64 / 1e9;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_share_is_bounded() {
+        // Distinctive values so parallel unit tests touching other
+        // phases cannot confuse this one: only relative deltas checked.
+        let before = snapshot();
+        add_nanos(Phase::GoldenPrefix, 3_000_000_000);
+        add_nanos(Phase::FaultWindow, 1_000_000_000);
+        add_nanos(Phase::Classify, 0);
+        let after = snapshot();
+        assert!(after.of(Phase::GoldenPrefix) - before.of(Phase::GoldenPrefix) >= 2.9);
+        assert!(after.golden_prefix_share() > 0.0);
+        assert!(after.golden_prefix_share() <= 1.0);
+    }
+
+    #[test]
+    fn saturating_add_pins_at_max() {
+        let cell = AtomicU64::new(u64::MAX - 5);
+        saturating_fetch_add(&cell, 10);
+        assert_eq!(cell.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "plan",
+                "baseline",
+                "golden_prefix",
+                "fault_window",
+                "classify",
+                "other"
+            ]
+        );
+    }
+}

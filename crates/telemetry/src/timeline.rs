@@ -1,0 +1,182 @@
+//! Per-experiment propagation timelines (sim-time, not wall-clock).
+//!
+//! A campaign row says *what* an injection did (`OF`/`CF` categories); a
+//! timeline says *when*: the sim-time of the injection, of the first
+//! observable divergence, of detection through the monitoring gauges, and
+//! of recovery back to a clean steady state. Timelines are computed
+//! **after** a run from artifacts the simulation already produces (the
+//! injection record, the 3-second gauge samples, the client series, the
+//! audit log), so collecting them cannot perturb the run.
+//!
+//! Aggregation: [`percentiles_by_family`] folds the recorded timelines
+//! into per-fault-family p50/p95 *detection latency* (detection sim-time
+//! minus injection sim-time) — the cloud-edge resilience literature's
+//! headline number, and the one `BENCH_campaign.json` tracks.
+
+/// Sim-time milestones of one injection experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// Sim-time the injection fired (`None`: trigger never matched).
+    pub injected_at: Option<u64>,
+    /// First observable deviation on *any* channel: a failed client
+    /// request, an apiserver audit error, or a deviating gauge sample.
+    pub first_divergence: Option<u64>,
+    /// First deviation visible to the *monitoring* view (gauge samples /
+    /// audit errors) — what a Prometheus-style alert would fire on.
+    pub detection: Option<u64>,
+    /// First clean gauge sample after the last observed deviation, when
+    /// the run ends clean (`None`: still deviating at the horizon, or
+    /// nothing ever deviated).
+    pub recovery: Option<u64>,
+    /// The final gauge sample and client tail showed no deviation.
+    pub steady_at_end: bool,
+}
+
+impl Timeline {
+    /// Detection latency (detection − injection) in sim-ms, when both
+    /// milestones exist.
+    pub fn detection_latency_ms(&self) -> Option<u64> {
+        match (self.injected_at, self.detection) {
+            (Some(inj), Some(det)) => Some(det.saturating_sub(inj)),
+            _ => None,
+        }
+    }
+
+    /// Recovery latency (recovery − injection) in sim-ms.
+    pub fn recovery_latency_ms(&self) -> Option<u64> {
+        match (self.injected_at, self.recovery) {
+            (Some(inj), Some(rec)) => Some(rec.saturating_sub(inj)),
+            _ => None,
+        }
+    }
+}
+
+/// One experiment's timeline, tagged with its campaign coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Fault-family name.
+    pub fault: String,
+    /// The milestones.
+    pub timeline: Timeline,
+}
+
+/// Records one experiment timeline (no-op when collection is off).
+pub fn record(rec: TimelineRecord) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    crate::record_timeline_local(rec);
+}
+
+/// Detection-latency aggregate for one fault family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyLatency {
+    /// Fault-family name.
+    pub family: String,
+    /// Timelines recorded for the family.
+    pub experiments: usize,
+    /// Timelines with both an injection and a detection milestone.
+    pub detected: usize,
+    /// Median detection latency (sim-ms) over detected experiments.
+    pub p50_ms: f64,
+    /// 95th-percentile detection latency (sim-ms).
+    pub p95_ms: f64,
+}
+
+/// Exact percentile over a sorted slice (nearest-rank on the index).
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+/// Per-family p50/p95 detection latency over every timeline flushed to
+/// the sink so far, sorted by family name (deterministic export order).
+/// Call [`crate::flush_thread`] first on threads that recorded.
+pub fn percentiles_by_family() -> Vec<FamilyLatency> {
+    let sink = crate::sink().lock().expect("telemetry sink poisoned");
+    let mut by_family: std::collections::BTreeMap<&str, (usize, Vec<u64>)> =
+        std::collections::BTreeMap::new();
+    for rec in &sink.timelines {
+        let entry = by_family.entry(rec.fault.as_str()).or_default();
+        entry.0 += 1;
+        if let Some(lat) = rec.timeline.detection_latency_ms() {
+            entry.1.push(lat);
+        }
+    }
+    by_family
+        .into_iter()
+        .map(|(family, (experiments, mut lats))| {
+            lats.sort_unstable();
+            FamilyLatency {
+                family: family.to_string(),
+                experiments,
+                detected: lats.len(),
+                p50_ms: percentile(&lats, 0.50),
+                p95_ms: percentile(&lats, 0.95),
+            }
+        })
+        .collect()
+}
+
+/// A sorted copy of every timeline in the sink: by (scenario, fault,
+/// injection time) so the export is independent of worker interleaving.
+pub fn sorted_records() -> Vec<TimelineRecord> {
+    let sink = crate::sink().lock().expect("telemetry sink poisoned");
+    let mut out = sink.timelines.clone();
+    out.sort_by(|a, b| {
+        (
+            &a.scenario,
+            &a.fault,
+            a.timeline.injected_at,
+            a.timeline.detection,
+        )
+            .cmp(&(
+                &b.scenario,
+                &b.fault,
+                b.timeline.injected_at,
+                b.timeline.detection,
+            ))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_subtract_and_saturate() {
+        let t = Timeline {
+            injected_at: Some(35_000),
+            first_divergence: Some(35_200),
+            detection: Some(38_000),
+            recovery: Some(60_000),
+            steady_at_end: true,
+        };
+        assert_eq!(t.detection_latency_ms(), Some(3_000));
+        assert_eq!(t.recovery_latency_ms(), Some(25_000));
+        let none = Timeline::default();
+        assert_eq!(none.detection_latency_ms(), None);
+        // A clock anomaly (detection stamped before injection) clamps to
+        // zero instead of wrapping.
+        let odd = Timeline {
+            injected_at: Some(100),
+            detection: Some(40),
+            ..t
+        };
+        assert_eq!(odd.detection_latency_ms(), Some(0));
+    }
+
+    #[test]
+    fn percentile_is_exact_on_small_sets() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7], 0.5), 7.0);
+        assert_eq!(percentile(&[1, 2, 3, 4, 5], 0.5), 3.0);
+        assert_eq!(percentile(&[1, 2, 3, 4, 100], 0.95), 100.0);
+    }
+}

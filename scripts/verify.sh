@@ -33,6 +33,12 @@
 #    TSVs byte for byte — the replay must reproduce the recorded run.
 #    A two-scenario MUTINY_GEN slice rides along to smoke the generator
 #    registration path end to end.
+#
+# The step-2 smoke campaign also runs with MUTINY_METRICS set: the JSON
+# export is schema-validated by the telemetry crate's own validator, a
+# nonzero golden-prefix share is asserted (the phase profiler must have
+# attributed experiment time), and BENCH_campaign.json must carry the
+# phase breakdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,10 +61,29 @@ TARGET_DIR="${CARGO_TARGET_DIR:-target}"
 rm -f "$TARGET_DIR"/mutiny_campaign_*.tsv "$TARGET_DIR"/mutiny_campaign_*.tsv.partial \
       "$TARGET_DIR"/mutiny_baseline_*.tsv "$TARGET_DIR"/mutiny_baseline_*.tsv.partial
 
-echo "== smoke campaign, full registries (MUTINY_SCALE=0.02) =="
+echo "== smoke campaign, full registries (MUTINY_SCALE=0.02, metrics on) =="
+METRICS_JSON="$(pwd)/$TARGET_DIR/verify_metrics.json"
+rm -f "$METRICS_JSON"
 MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
 MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_METRICS="$METRICS_JSON" \
 cargo bench -q -p mutiny-bench --bench campaign_throughput
+
+echo "== telemetry: validate JSON export + golden-prefix share =="
+if [ ! -s "$METRICS_JSON" ]; then
+  echo "FAIL: MUTINY_METRICS produced no JSON export at $METRICS_JSON"
+  exit 1
+fi
+cargo run -q --release -p mutiny-telemetry --bin validate_metrics -- \
+  "$METRICS_JSON" --require-prefix-share
+if ! grep -q '"golden_prefix_share"' BENCH_campaign.json; then
+  echo "FAIL: BENCH_campaign.json is missing the phase breakdown"
+  exit 1
+fi
+if ! grep -q '"detection_latency"' BENCH_campaign.json; then
+  echo "FAIL: BENCH_campaign.json is missing the detection-latency table"
+  exit 1
+fi
 
 echo "== smoke campaign, rolling-update slice (MUTINY_SCALE=0.02) =="
 MUTINY_SCALE=${MUTINY_SCALE:-0.02} \

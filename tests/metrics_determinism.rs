@@ -1,0 +1,91 @@
+//! Telemetry is observation, not participation: with `MUTINY_METRICS`
+//! set, every counter/gauge/histogram/timeline rides the run without
+//! touching the RNG, the event order, or a single allocation the
+//! simulation branches on — so the campaign TSV must not change by one
+//! byte, at any worker count. This file is its own test binary (own
+//! process), so flipping the environment toggle here cannot race with
+//! the other determinism tests.
+
+use k8s_cluster::ClusterConfig;
+use k8s_model::Channel;
+use mutiny_core::campaign::{
+    generate_plan, record_fields, run_campaign_with_threads, PlannedExperiment,
+};
+use mutiny_core::golden::build_baseline_with_threads;
+use mutiny_scenarios::DEPLOY;
+use simkit::Rng;
+use std::collections::HashMap;
+
+#[test]
+fn campaign_tsv_identical_with_metrics_on_and_off() {
+    assert!(
+        std::env::var(mutiny_telemetry::METRICS_ENV).is_err(),
+        "test owns MUTINY_METRICS; unset it before running"
+    );
+    assert!(
+        std::env::var(mutiny_telemetry::profile::PROFILE_ENV).is_err(),
+        "test owns MUTINY_PROFILE; unset it before running"
+    );
+
+    // A fault-diverse slice of the deploy plan, so the instrumented
+    // paths all fire: wire verdict counters (drops/replaces), deferred
+    // queue high-water (delays), workqueue depth/wait histograms, and
+    // the injection→detection timeline milestones.
+    let cluster = ClusterConfig::default();
+    let traffic = record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
+    let mut rng = Rng::new(7);
+    let full = generate_plan(&traffic, DEPLOY, &mut rng);
+    let stride = (full.len() / 8).max(1);
+    let plan: Vec<PlannedExperiment> = full.into_iter().step_by(stride).take(8).collect();
+    assert!(plan.len() >= 6, "plan too small to be meaningful");
+
+    let mut baselines = HashMap::new();
+    baselines.insert(
+        DEPLOY,
+        build_baseline_with_threads(&cluster, DEPLOY, 4, 0xBA5E, 1),
+    );
+
+    // Reference: metrics off (the default), one worker.
+    let off = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 1);
+    let off_tsv = mutiny_bench::render_rows(&off);
+
+    // Metrics on: byte-identical TSV at 1, 2 and 5 workers. The export
+    // path is never invoked here, so no file appears at the target.
+    let export_target = std::env::temp_dir().join("mutiny_metrics_determinism_unused.json");
+    std::env::set_var(mutiny_telemetry::METRICS_ENV, &export_target);
+    mutiny_telemetry::reset();
+    mutiny_telemetry::profile::reset();
+    for threads in [1usize, 2, 5] {
+        let on = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, threads);
+        assert_eq!(
+            off_tsv,
+            mutiny_bench::render_rows(&on),
+            "MUTINY_METRICS changed the TSV at {threads} threads"
+        );
+    }
+    std::env::remove_var(mutiny_telemetry::METRICS_ENV);
+
+    // Non-vacuity: the instrumented runs must actually have recorded —
+    // a telemetry layer that never fires would make the identity above
+    // meaningless. Workers flush into the process sink on completion.
+    let fired = mutiny_telemetry::counter_value("fault.fired").unwrap_or(0);
+    assert!(fired > 0, "no injection fired during the instrumented runs");
+    let requests: u64 = ["etcd", "kcm", "scheduler", "kubelet", "user"]
+        .iter()
+        .filter_map(|c| mutiny_telemetry::counter_value(&format!("apiserver.request.{c}.ok")))
+        .sum();
+    assert!(requests > 0, "no apiserver request counters recorded");
+    assert!(
+        !mutiny_telemetry::timeline::sorted_records().is_empty(),
+        "no propagation timelines recorded"
+    );
+}
+
+#[test]
+fn exported_json_round_trips_through_the_schema_validator() {
+    // Schema check on a representative export rendered in-process: the
+    // validator must accept exactly what `render_json` emits.
+    let rendered = mutiny_telemetry::export::render_json();
+    let parsed = mutiny_telemetry::export::parse(&rendered).expect("export must parse");
+    mutiny_telemetry::export::validate(&parsed).expect("export must satisfy its own schema");
+}
