@@ -280,7 +280,7 @@ pub const POD_TERMINATION_GRACE_MS: u64 = 2_000;
 
 /// A message held by a [`WireVerdict::Delay`] or echoed by a
 /// [`WireVerdict::Duplicate`], awaiting its simulated delivery time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Deferred {
     /// An apiserver→etcd transaction: lands as a raw store write (it
     /// already passed validation/admission when it crossed the wire).
@@ -311,7 +311,7 @@ enum Deferred {
 }
 
 /// One queued deferred delivery, ordered by (due, seq).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DeferredEntry {
     due: u64,
     seq: u64,
@@ -432,6 +432,50 @@ impl ApiServer {
             integrity: None,
             integrity_metrics: IntegrityMetrics::default(),
             read_tracking: None,
+            tap: None,
+        }
+    }
+
+    /// Forks this apiserver for fork-the-world execution: a structural
+    /// clone of the whole request-path state (store, watch cache, decode
+    /// cache, audit log, deferred deliveries, admission state) with a
+    /// fresh interceptor and trace handle. The clone is cheap where it
+    /// matters — the etcd store shares its `Arc<[u8]>` buffers, the watch
+    /// and decode caches bump `Rc<Object>` refcounts — so a fork is
+    /// mostly refcount traffic, not deep copies. The request tap is
+    /// deliberately dropped: taps observe one specific run.
+    pub fn fork(&self, interceptor: InterceptorHandle, trace: TraceHandle) -> ApiServer {
+        ApiServer {
+            etcd: self.etcd.clone(),
+            interceptor,
+            trace,
+            audit: self.audit.clone(),
+            cache: self.cache.clone(),
+            decode_cache: self.decode_cache.clone(),
+            decode_cache_on: self.decode_cache_on,
+            decode_cache_hits: self.decode_cache_hits,
+            decode_cache_misses: self.decode_cache_misses,
+            events: self.events.clone(),
+            first_event_index: self.first_event_index,
+            etcd_seen_rev: self.etcd_seen_rev,
+            uid_counter: self.uid_counter,
+            now: self.now,
+            validation_enabled: self.validation_enabled,
+            undecodable_deleted: self.undecodable_deleted,
+            reap_at: self.reap_at.clone(),
+            reap_seq: self.reap_seq,
+            delayed: self.delayed.clone(),
+            delayed_seq: self.delayed_seq,
+            flushing: self.flushing,
+            sync_events_coalesced: self.sync_events_coalesced,
+            policies: self.policies.iter().map(|p| p.clone_box()).collect(),
+            policy_denials: self.policy_denials,
+            policy_repairs: self.policy_repairs,
+            // Integrity checkers are stateless (a sealing strategy), so
+            // forks share the instance.
+            integrity: self.integrity.clone(),
+            integrity_metrics: self.integrity_metrics,
+            read_tracking: self.read_tracking.clone(),
             tap: None,
         }
     }

@@ -68,6 +68,11 @@ pub trait AdmissionPolicy {
     fn repair(&mut self, _ctx: &PolicyCtx<'_>) -> Option<Object> {
         None
     }
+
+    /// Clones the policy behind its trait object, preserving any
+    /// accumulated review state (fork-the-world snapshots carry installed
+    /// policies into every forked run).
+    fn clone_box(&self) -> Box<dyn AdmissionPolicy>;
 }
 
 /// What the apiserver does when a stored object fails integrity
@@ -129,6 +134,9 @@ mod tests {
         }
         fn review(&mut self, _ctx: &PolicyCtx<'_>) -> Result<(), String> {
             Err("denied".into())
+        }
+        fn clone_box(&self) -> Box<dyn AdmissionPolicy> {
+            Box::new(DenyAll)
         }
     }
 

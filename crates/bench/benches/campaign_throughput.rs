@@ -70,9 +70,18 @@ fn main() {
     // scoped to exactly this run, so the reported hit rate is the
     // campaign's, not the baseline build's.
     k8s_apiserver::reset_decode_cache_stats();
+    mutiny_core::campaign::reset_fork_stats();
     let t = Instant::now();
     let stealing = run_campaign_with_threads(&cluster, &plan, &baselines, seed, threads);
     let stealing_s = t.elapsed().as_secs_f64();
+    // Fork-the-world counters for exactly the stealing run: how many
+    // golden prefixes were built once vs served from the snapshot cache.
+    let (fork_snapshots, fork_hits) = mutiny_core::campaign::fork_stats();
+    let fork_hit_rate = if fork_snapshots + fork_hits == 0 {
+        0.0
+    } else {
+        fork_hits as f64 / (fork_snapshots + fork_hits) as f64
+    };
     let (dc_hits, dc_misses) = k8s_apiserver::decode_cache_stats();
     let dc_hit_rate = if dc_hits + dc_misses == 0 {
         0.0
@@ -159,7 +168,7 @@ fn main() {
         format!("[\n{}\n  ]", rows.join(",\n"))
     };
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"trace_scenarios\": {trace_scenarios},\n  \"generated_scenarios\": {generated_scenarios},\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"decode_cache_hits\": {dc_hits},\n  \"decode_cache_misses\": {dc_misses},\n  \"decode_cache_hit_rate\": {:.3},\n  \"phases\": {phases_json},\n  \"detection_latency\": {detection_json},\n  \"rows_identical_across_executors\": true\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"trace_scenarios\": {trace_scenarios},\n  \"generated_scenarios\": {generated_scenarios},\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"decode_cache_hits\": {dc_hits},\n  \"decode_cache_misses\": {dc_misses},\n  \"decode_cache_hit_rate\": {:.3},\n  \"fork_snapshots\": {fork_snapshots},\n  \"fork_hit_rate\": {fork_hit_rate:.3},\n  \"phases\": {phases_json},\n  \"detection_latency\": {detection_json},\n  \"rows_identical_across_executors\": true\n}}\n",
         plan.len(),
         scenario_names.len(),
         scenario_names.join(","),

@@ -1,0 +1,34 @@
+//! Merges per-shard campaign TSVs back into the unsharded TSV.
+//!
+//! Usage: `merge_shards <out.tsv> <shard0.tsv> <shard1.tsv> …` with the
+//! shard files given in shard order (`MUTINY_SHARD=0/n` first). The merge
+//! is the exact inverse of the residue-class split, so the output is
+//! byte-identical to the TSV an unsharded run of the same campaign
+//! writes; `scripts/verify.sh` diffs exactly that.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: merge_shards <out.tsv> <shard0.tsv> <shard1.tsv> [...]");
+        std::process::exit(2);
+    }
+    let out_path = &args[0];
+    let texts: Vec<String> = args[1..]
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p)
+                .unwrap_or_else(|e| panic!("merge_shards: cannot read {p}: {e}"))
+        })
+        .collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let merged = mutiny_bench::merge_shard_texts(&refs).unwrap_or_else(|| {
+        eprintln!(
+            "merge_shards: shard line counts are inconsistent with one \
+             round-robin partition — are these shards of the same campaign?"
+        );
+        std::process::exit(1);
+    });
+    std::fs::write(out_path, merged)
+        .unwrap_or_else(|e| panic!("merge_shards: cannot write {out_path}: {e}"));
+    eprintln!("merge_shards: wrote {out_path} from {} shard(s)", texts.len());
+}

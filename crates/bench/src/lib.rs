@@ -25,8 +25,15 @@
 //!   instead of restarting;
 //! * `MUTINY_THREADS` — worker count for the work-stealing executor
 //!   (default: available parallelism). Results are identical for any
-//!   value — per-experiment seeds derive from the plan index — so this
-//!   only trades wall-clock for cores;
+//!   value — per-experiment seeds derive from the (campaign, scenario)
+//!   pair — so this only trades wall-clock for cores;
+//! * `MUTINY_FORK` — fork-the-world execution (default on): snapshot
+//!   each scenario's fault-free prefix at `t0` and fork it per
+//!   experiment; `MUTINY_FORK=0` replays every prefix from `t=0`
+//!   (byte-identical rows, own `_nofork` cache identity);
+//! * `MUTINY_SHARD` — `i/n`; plan the full cross-product but run only
+//!   plan indices ≡ i (mod n), writing a `_shard<i>of<n>` TSV; the
+//!   `merge_shards` bin reassembles the unsharded TSV byte-identically;
 //! * `MUTINY_TRACES` — a directory of `*.trace` files; each is
 //!   registered as a replay scenario (`trace-<stem>`) and joins the
 //!   campaign cross-product unchanged;
@@ -43,7 +50,7 @@
 
 use mutiny_core::campaign::{
     plan_campaign, record_fields, run_campaign_range, CampaignResults, CampaignRow,
-    PlannedExperiment,
+    PlannedExperiment, FORK_ENV,
 };
 use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
 use mutiny_core::exec;
@@ -158,6 +165,67 @@ pub fn faults() -> Vec<Fault> {
     }
 }
 
+/// The campaign shard from `MUTINY_SHARD=i/n`: plan the full
+/// cross-product, run only the experiments whose plan index ≡ `i`
+/// (mod `n`). `None` when unset. Rows depend only on their planned
+/// (scenario, spec) — never on the plan index — so the `n` shard TSVs
+/// round-robin-merge ([`merge_shard_texts`]) byte-identically into the
+/// unsharded campaign TSV.
+///
+/// # Panics
+///
+/// Panics on a malformed value (not `i/n`, `n == 0`, or `i >= n`): a
+/// silently ignored shard spec would run the full campaign `n` times.
+pub fn shard() -> Option<(usize, usize)> {
+    let v = std::env::var("MUTINY_SHARD").ok()?;
+    let parse = |v: &str| -> Option<(usize, usize)> {
+        let (i, n) = v.split_once('/')?;
+        let (i, n) = (i.trim().parse().ok()?, n.trim().parse().ok()?);
+        (n >= 1 && i < n).then_some((i, n))
+    };
+    match parse(&v) {
+        Some(pair) => Some(pair),
+        None => panic!("MUTINY_SHARD must be i/n with i < n, got {v:?}"),
+    }
+}
+
+/// Restricts `plan` to the configured [`shard`]'s residue class (plan
+/// order preserved). The identity transform when no shard is set.
+pub fn shard_plan(plan: Vec<PlannedExperiment>) -> Vec<PlannedExperiment> {
+    match shard() {
+        Some((i, n)) => plan
+            .into_iter()
+            .enumerate()
+            .filter(|(idx, _)| idx % n == i)
+            .map(|(_, p)| p)
+            .collect(),
+        None => plan,
+    }
+}
+
+/// Round-robin-merges per-shard campaign TSVs (shard order `0..n`) back
+/// into the unsharded TSV: merged row `j` is row `j / n` of shard
+/// `j % n`, exactly inverting the residue-class split. Returns `None`
+/// when the shard line counts are inconsistent with one round-robin
+/// partition (e.g. files from different campaigns, or a shard missing).
+pub fn merge_shard_texts(shards: &[&str]) -> Option<String> {
+    let n = shards.len();
+    if n == 0 {
+        return None;
+    }
+    let lines: Vec<Vec<&str>> = shards.iter().map(|s| s.lines().collect()).collect();
+    let total: usize = lines.iter().map(Vec::len).sum();
+    let mut out = String::with_capacity(shards.iter().map(|s| s.len()).sum());
+    for j in 0..total {
+        // Inconsistent shard sizes leave some index unservable before
+        // `total` rows are emitted.
+        let row = lines[j % n].get(j / n)?;
+        out.push_str(row);
+        out.push('\n');
+    }
+    Some(out)
+}
+
 /// Rows per checkpoint chunk from `MUTINY_CHECKPOINT_ROWS`.
 pub fn checkpoint_rows() -> usize {
     std::env::var("MUTINY_CHECKPOINT_ROWS")
@@ -204,8 +272,22 @@ pub fn cache_path() -> PathBuf {
     } else {
         ""
     };
+    // Same isolation for the fork-the-world escape hatch: verify.sh diffs
+    // the `_nofork` TSV against the forked-mode TSV byte for byte.
+    let nofork = if std::env::var(FORK_ENV).map(|v| v == "0").unwrap_or(false) {
+        "_nofork"
+    } else {
+        ""
+    };
+    // Shards write disjoint row subsets: each residue class gets its own
+    // cache (and checkpoint) identity so shards can run concurrently and
+    // `merge_shard_texts` can reassemble the unsharded TSV.
+    let shard_tag = match shard() {
+        Some((i, n)) => format!("_shard{i}of{n}"),
+        None => String::new(),
+    };
     cache_dir().join(format!(
-        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_f{}_{:08x}{}.tsv",
+        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_f{}_{:08x}{}{}{}.tsv",
         scale(),
         golden_runs(),
         seed(),
@@ -213,6 +295,8 @@ pub fn cache_path() -> PathBuf {
         fault_names.len(),
         h & 0xffff_ffff,
         nodc,
+        nofork,
+        shard_tag,
     ))
 }
 
@@ -346,7 +430,10 @@ pub fn campaign() -> CampaignResults {
         }
     }
     let cluster = ClusterConfig::default();
-    let plan = plan();
+    // Plan the full cross-product, then keep only this process's residue
+    // class (no shard: the identity transform). Sharded rows are the
+    // exact rows the unsharded campaign would produce at those indices.
+    let plan = shard_plan(plan());
     let partial_path = path.with_extension("tsv.partial");
 
     // Resume from a checkpoint when its rows match the plan prefix.
@@ -542,7 +629,7 @@ pub fn render_baseline(b: &Baseline) -> String {
         }
         out.push('\n');
     }
-    let mut out = String::from("mutiny-baseline-v1\n");
+    let mut out = String::from("mutiny-baseline-v2\n");
     floats(&mut out, "avg_response", &b.avg_response);
     floats(&mut out, "golden_maes", &b.golden_maes);
     floats(&mut out, "golden_worst_startup", &b.golden_worst_startup);
@@ -560,6 +647,7 @@ pub fn render_baseline(b: &Baseline) -> String {
     out.push_str(&format!("expected_pods_created\t{}\n", b.expected_pods_created));
     out.push_str(&format!("golden_pods_created_max\t{}\n", b.golden_pods_created_max));
     out.push_str(&format!("expected_dns_ready\t{}\n", b.expected_dns_ready));
+    out.push_str(&format!("golden_settle_ms\t{}\n", b.golden_settle_ms));
     out
 }
 
@@ -567,7 +655,7 @@ pub fn render_baseline(b: &Baseline) -> String {
 /// rebuilds from golden runs, exactly like a stale campaign checkpoint).
 pub fn parse_baseline(text: &str) -> Option<Baseline> {
     let mut lines = text.lines();
-    if lines.next()? != "mutiny-baseline-v1" {
+    if lines.next()? != "mutiny-baseline-v2" {
         return None;
     }
     fn floats(line: &str, name: &str) -> Option<Vec<f64>> {
@@ -607,6 +695,7 @@ pub fn parse_baseline(text: &str) -> Option<Baseline> {
             .parse()
             .ok()?,
         expected_dns_ready: lines.next()?.strip_prefix("expected_dns_ready\t")?.parse().ok()?,
+        golden_settle_ms: lines.next()?.strip_prefix("golden_settle_ms\t")?.parse().ok()?,
     };
     if lines.next().is_some() {
         return None; // trailing garbage: treat as stale
@@ -1045,6 +1134,7 @@ mod tests {
         b.expected_pods_created = 12;
         b.golden_pods_created_max = 14;
         b.expected_dns_ready = 1;
+        b.golden_settle_ms = 53_000;
         let text = render_baseline(&b);
         let back = parse_baseline(&text).expect("cache must parse");
         // Floats must be bit-exact: z-scores are computed against these.
@@ -1057,6 +1147,7 @@ mod tests {
         assert_eq!(back.expected_pods_created, b.expected_pods_created);
         assert_eq!(back.golden_pods_created_max, b.golden_pods_created_max);
         assert_eq!(back.expected_dns_ready, b.expected_dns_ready);
+        assert_eq!(back.golden_settle_ms, b.golden_settle_ms);
         // Corrupt or versioned-away caches are rejected, not misparsed.
         assert!(parse_baseline("mutiny-baseline-v999\n").is_none());
         assert!(parse_baseline(&text.replace("avg_response", "avg_nonsense")).is_none());

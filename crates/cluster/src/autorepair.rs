@@ -51,7 +51,7 @@ pub struct RepairMetrics {
 }
 
 /// The cloud-provider node-repair loop.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NodeRepairer {
     cfg: NodeRepairConfig,
     /// First time each node was observed NotReady.

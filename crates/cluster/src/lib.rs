@@ -327,6 +327,53 @@ impl World {
         }
     }
 
+    /// Forks this world at its current simulated time: a structurally
+    /// independent copy sharing immutable payloads (`Arc<[u8]>` store
+    /// buffers, `Rc<Object>` cache entries) with the original, wired to a
+    /// fresh `interceptor`. Fork-the-world campaign execution snapshots a
+    /// scenario once at `t0` and forks per experiment instead of
+    /// replaying the fault-free prefix; every fault family is inert
+    /// before its arm time, so a forked run is byte-identical to a
+    /// replay-from-zero with the same interceptor.
+    pub fn fork(&self, interceptor: InterceptorHandle) -> World {
+        // Mirror `World::new`: refresh the telemetry enable flag once per
+        // (forked) run so determinism tests can flip MUTINY_METRICS
+        // between campaigns in fork mode too.
+        mutiny_telemetry::run_begin();
+        let trace: TraceHandle = Rc::new(RefCell::new(self.trace.borrow().clone()));
+        let api = self.api.fork(interceptor, Rc::clone(&trace));
+        let mut kcm = self.kcm.clone();
+        kcm.set_trace(Rc::clone(&trace));
+        let mut scheduler = self.scheduler.clone();
+        scheduler.set_trace(Rc::clone(&trace));
+        let mut kubelets = self.kubelets.clone();
+        for kl in &mut kubelets {
+            kl.set_trace(Rc::clone(&trace));
+        }
+        World {
+            cfg: self.cfg.clone(),
+            sim: self.sim.clone(),
+            api,
+            kcm,
+            scheduler,
+            kubelets,
+            net: self.net.clone(),
+            trace,
+            stats: self.stats.clone(),
+            breaker: self.breaker.clone(),
+            guard: self.guard.clone(),
+            repairer: self.repairer.clone(),
+            user_ops: self.user_ops.clone(),
+            client_node: self.client_node.clone(),
+            client_target: self.client_target.clone(),
+            horizon: self.horizon,
+            t0: self.t0,
+            stats_cursor: self.stats_cursor,
+            metrics_scheduled: self.metrics_scheduled,
+            cp_tainted: self.cp_tainted,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> u64 {
         self.sim.now()

@@ -13,7 +13,9 @@
 //! built-ins of `mutiny_faults` produce; [`generate_plan`] keeps that
 //! paper-faithful subset, [`plan_campaign`] takes an explicit family set.
 
-use crate::classify::{classify_client, classify_orchestrator, ClientFailure, OrchestratorFailure};
+use crate::classify::{
+    classify_client, classify_orchestrator, ClientFailure, OrchestratorFailure, TIM_Z_THRESHOLD,
+};
 use crate::golden::{build_baseline, Baseline};
 use crate::injector::{InjectionRecord, InjectionSpec, Mutiny};
 use crate::recorder::{FieldRecorder, RecordedTraffic};
@@ -89,16 +91,119 @@ pub struct ExperimentOutcome {
     pub worst_startup_ms: f64,
 }
 
+/// Environment variable controlling fork-the-world execution. Any value
+/// but `0` (the default is on) makes [`run_world`] snapshot each
+/// (scenario, cluster-config) world at `t0` and fork per experiment
+/// instead of replaying the fault-free prefix from `t=0`. `MUTINY_FORK=0`
+/// is the replay escape hatch `verify.sh` diffs against.
+pub const FORK_ENV: &str = "MUTINY_FORK";
+
+/// True when fork-the-world execution is enabled (default: on).
+pub fn fork_enabled() -> bool {
+    std::env::var(FORK_ENV).map(|v| v != "0").unwrap_or(true)
+}
+
+/// Snapshots built (fork-cache misses) since the last reset.
+static FORK_SNAPSHOTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Experiments served by forking an existing snapshot (fork-cache hits).
+static FORK_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// `(snapshots_built, forks_served)` counters of fork-the-world
+/// execution, accumulated across every worker thread since the last
+/// [`reset_fork_stats`]. The hit rate is
+/// `forks_served / (snapshots_built + forks_served)`.
+pub fn fork_stats() -> (u64, u64) {
+    (
+        FORK_SNAPSHOTS.load(std::sync::atomic::Ordering::Relaxed),
+        FORK_HITS.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the fork counters (bench scoping).
+pub fn reset_fork_stats() {
+    FORK_SNAPSHOTS.store(0, std::sync::atomic::Ordering::Relaxed);
+    FORK_HITS.store(0, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Snapshot-cache entries kept per worker thread before the cache is
+/// cleared wholesale (campaigns touch one entry per scenario; only
+/// config-sweeping tests ever approach the cap).
+const SNAPSHOT_CACHE_CAP: usize = 32;
+
+thread_local! {
+    /// Per-thread fork-the-world snapshot cache: one `World`, parked at
+    /// `t0`, per (scenario, cluster-config) pair. Thread-local because a
+    /// `World` is single-threaded by construction (`Rc` throughout); each
+    /// campaign worker builds its own prefix once and forks it for every
+    /// experiment it steals.
+    static SNAPSHOTS: RefCell<std::collections::HashMap<String, World>> =
+        RefCell::new(std::collections::HashMap::new());
+}
+
+/// Returns a world ready to run the injection window: the cached
+/// (scenario, config) prefix — built on first use by running a fault-free
+/// world to `t0` — forked onto the experiment's interceptor.
+///
+/// Soundness: every fault family is inert before its arm time (wire
+/// faults pass messages through without counting occurrences, config
+/// defects admit unchanged, node faults schedule no actions), so the
+/// prefix simulated under a no-op interceptor is byte-identical to the
+/// prefix an armed experiment would have simulated itself.
+fn forked_prefix(cfg: &ExperimentConfig, handle: InterceptorHandle, profiling: bool) -> World {
+    use mutiny_telemetry::profile::{self, Phase};
+    SNAPSHOTS.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        let key = format!("{}\n{:?}", cfg.scenario.name(), cfg.cluster);
+        if !cache.contains_key(&key) {
+            if cache.len() >= SNAPSHOT_CACHE_CAP {
+                cache.clear();
+            }
+            let timer = profiling.then(std::time::Instant::now);
+            let noop: InterceptorHandle = Rc::new(RefCell::new(k8s_model::NoopInterceptor));
+            let mut world = cfg.scenario.build_world(&cfg.cluster, noop);
+            cfg.scenario.schedule(&mut world);
+            let t0 = world.t0();
+            world.run_until(t0);
+            if let Some(t) = timer {
+                profile::add(Phase::GoldenPrefix, t.elapsed());
+            }
+            FORK_SNAPSHOTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            cache.insert(key.clone(), world);
+        } else {
+            FORK_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        // The fork itself replaces the prefix replay, so its (small) cost
+        // is attributed to the same phase.
+        let timer = profiling.then(std::time::Instant::now);
+        let world = cache.get(&key).expect("snapshot just ensured").fork(handle);
+        if let Some(t) = timer {
+            profile::add(Phase::GoldenPrefix, t.elapsed());
+        }
+        world
+    })
+}
+
 /// Runs the full experiment timeline and returns the finished world plus
 /// the injection record. Shared by the campaign and the propagation study
-/// (§V-C4), which needs post-run access to the store.
+/// (§V-C4), which needs post-run access to the store. Honors
+/// [`FORK_ENV`]; use [`run_world_with_fork`] to pin the mode explicitly
+/// (environment reads are racy across parallel tests).
 pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
+    run_world_with_fork(cfg, fork_enabled())
+}
+
+/// [`run_world`] with the execution mode pinned: `fork` snapshots and
+/// forks the golden prefix, `!fork` replays it from `t=0`. Both modes
+/// produce byte-identical results (see `tests/fork_determinism.rs`).
+pub fn run_world_with_fork(
+    cfg: &ExperimentConfig,
+    fork: bool,
+) -> (World, Option<InjectionRecord>) {
     use mutiny_telemetry::profile::{self, Phase};
     // Hoisted once per run: the slice loop below is hot, and profiling
     // is pure wall-clock (`Instant`) — it never touches the sim clock,
     // RNG, or event order, so results are identical with it on or off.
     let profiling = profile::enabled();
-    let build_timer = profiling.then(std::time::Instant::now);
 
     let actuator: Rc<RefCell<Box<dyn FaultActuator>>> =
         Rc::new(RefCell::new(match &cfg.injection {
@@ -107,13 +212,19 @@ pub fn run_world(cfg: &ExperimentConfig) -> (World, Option<InjectionRecord>) {
         }));
     let handle: InterceptorHandle =
         Rc::new(RefCell::new(SharedActuator(Rc::clone(&actuator))));
-    let mut world = cfg.scenario.build_world(&cfg.cluster, handle);
-    cfg.scenario.schedule(&mut world);
-    // Building and scheduling is pre-injection work: part of the golden
-    // prefix a fork-the-world snapshot would skip.
-    if let Some(t) = build_timer {
-        profile::add(Phase::GoldenPrefix, t.elapsed());
-    }
+    let mut world = if fork {
+        forked_prefix(cfg, handle, profiling)
+    } else {
+        let build_timer = profiling.then(std::time::Instant::now);
+        let mut world = cfg.scenario.build_world(&cfg.cluster, handle);
+        cfg.scenario.schedule(&mut world);
+        // Building and scheduling is pre-injection work: part of the
+        // golden prefix a fork-the-world snapshot skips.
+        if let Some(t) = build_timer {
+            profile::add(Phase::GoldenPrefix, t.elapsed());
+        }
+        world
+    };
 
     // Step the horizon in slices so read-tracking can be armed right
     // after the injection fires (activation analysis, §V-C1), and so
@@ -170,8 +281,17 @@ pub fn run_experiment_with_baseline(
     cfg: &ExperimentConfig,
     baseline: &Baseline,
 ) -> ExperimentOutcome {
+    run_experiment_with_baseline_fork(cfg, baseline, fork_enabled())
+}
+
+/// [`run_experiment_with_baseline`] with the fork-the-world mode pinned.
+pub fn run_experiment_with_baseline_fork(
+    cfg: &ExperimentConfig,
+    baseline: &Baseline,
+    fork: bool,
+) -> ExperimentOutcome {
     use mutiny_telemetry::profile::{self, Phase};
-    let (world, injected) = run_world(cfg);
+    let (world, injected) = run_world_with_fork(cfg, fork);
     let classify_timer = profile::enabled().then(std::time::Instant::now);
     let activated = injected
         .as_ref()
@@ -199,7 +319,7 @@ pub fn run_experiment_with_baseline(
                 .map(|a| a.fault.name())
                 .unwrap_or("golden")
                 .to_string(),
-            timeline: propagation_timeline(&world, injected.as_ref()),
+            timeline: propagation_timeline(&world, injected.as_ref(), Some(baseline)),
         });
     }
     if let Some(t) = classify_timer {
@@ -226,19 +346,104 @@ fn sample_clean(s: &k8s_cluster::MetricsSample) -> bool {
     !s.etcd_stalled && s.nodes_not_ready == 0 && !s.netpods_failed
 }
 
+/// One gauge-sample period (ms): absorbs seed-to-seed settling jitter
+/// when comparing an experiment run against the golden settle deadline.
+const SETTLE_SLACK_MS: u64 = 3_000;
+
+/// Sim-times (at/after `inj`) where a per-deployment readiness gauge or
+/// per-service endpoint count sat below the baseline's steady-state
+/// expectation *after* the golden settle deadline — the "deployment
+/// degraded / underreplicated" alert a real monitoring stack fires. The
+/// deadline gate keeps the signal quiet on every healthy trajectory by
+/// construction (no golden run is below expectation past it), including
+/// scenarios whose healthy runs churn replicas mid-flight
+/// (rolling-update, failover, node-drain), while still catching victims
+/// that never converge at all — the signature wire-fault damage.
+fn readiness_shortfalls(
+    stats: &k8s_cluster::RunStats,
+    baseline: &Baseline,
+    inj: u64,
+    mut note: impl FnMut(u64),
+) {
+    let deadline = baseline.golden_settle_ms.saturating_add(SETTLE_SLACK_MS);
+    for s in &stats.samples {
+        if s.at < inj || s.at <= deadline {
+            continue;
+        }
+        let ready_below = baseline
+            .expected_ready
+            .iter()
+            .any(|(k, &want)| s.app_ready.get(k).copied().unwrap_or(0) < want);
+        let ep_below = baseline
+            .expected_endpoints
+            .iter()
+            .any(|(k, &want)| s.app_endpoints.get(k).copied().unwrap_or(0) < want);
+        if ready_below || ep_below {
+            note(s.at);
+        }
+    }
+}
+
+/// Notes pods whose creation→Running span exceeds the golden
+/// worst-startup bound — the monitoring-view analog of the classifier's
+/// Tim rule. A pod-age panel can alert the instant a pod outlives the
+/// bound, so the milestone is `created + bound`, not the (later) moment
+/// the pod finally came up. The bound is the golden maximum padded by
+/// the same z-margin the classifier uses, so no baseline golden run can
+/// trip it; only completed startups count — a pod still Pending at the
+/// horizon is the shortfall signal's business, and flagging it here
+/// would false-fire on end-of-run churn a longer horizon would absorb.
+fn slow_startups(
+    stats: &k8s_cluster::RunStats,
+    baseline: &Baseline,
+    inj: u64,
+    mut note: impl FnMut(u64),
+) {
+    let gw = &baseline.golden_worst_startup;
+    if gw.is_empty() {
+        return;
+    }
+    let bound = simkit::stats::max(gw)
+        .max(simkit::stats::mean(gw) + TIM_Z_THRESHOLD * simkit::stats::std_dev(gw))
+        as u64;
+    // Pods created from `t0` qualify, not just post-injection ones: a
+    // delayed Running update slows down a pod the scenario created
+    // *before* the fault actuated. Its age can only cross the bound
+    // after the injection (the prefix is fault-free), but clamp the
+    // milestone to `inj` so the timeline invariant holds regardless.
+    for (pod, &created) in &stats.pod_created {
+        if created < stats.t0 {
+            continue;
+        }
+        if let Some(&running) = stats.pod_running.get(pod) {
+            if running.saturating_sub(created) > bound {
+                note(inj.max(created + bound));
+            }
+        }
+    }
+}
+
 /// Computes the propagation timeline of one finished experiment from
 /// artifacts the run already produced — the injection record, the gauge
 /// samples, the audit log, and the client series — so collecting it
 /// cannot perturb the run. The *detection* milestone is what a
-/// Prometheus-style monitoring view would alert on (deviating gauges,
-/// API errors); *first divergence* additionally counts failed client
-/// requests, which a cluster operator would not see. This is a
-/// monitoring-centric heuristic, deliberately decoupled from the
-/// statistical classifiers (`classify_*`), which compare whole-run
+/// Prometheus-style monitoring view would alert on: deviating gauges,
+/// readiness regressions against the baseline's steady state, API audit
+/// errors, and failed synthetic probes (the client series doubles as the
+/// monitoring stack's blackbox probe). Wire families like
+/// drop/delay/partition never dirty the hard gauges — their damage is
+/// lost or untimely messages, which surface as deployments stuck below
+/// their expected replica/endpoint counts (the post-settle shortfall
+/// signal, [`readiness_shortfalls`]) or as controllers re-doing work
+/// and spawning more pods than any golden run did (the excess-creation
+/// signal).
+/// This is a monitoring-centric heuristic, deliberately decoupled from
+/// the statistical classifiers (`classify_*`), which compare whole-run
 /// aggregates against the golden baseline.
-fn propagation_timeline(
+pub fn propagation_timeline(
     world: &World,
     injected: Option<&InjectionRecord>,
+    baseline: Option<&Baseline>,
 ) -> mutiny_telemetry::timeline::Timeline {
     let mut tl = mutiny_telemetry::timeline::Timeline::default();
     let stats = &world.stats;
@@ -251,7 +456,10 @@ fn propagation_timeline(
     let inj = rec.at;
     tl.injected_at = Some(inj);
 
-    // Monitoring-visible deviations at/after the injection.
+    // Monitoring-visible deviations at/after the injection: gauges,
+    // audit errors, and failed blackbox probes (client requests). Golden
+    // runs keep all these channels clean, so detection never fires on a
+    // healthy rollout.
     let mut detect: Option<u64> = None;
     let mut last_dev: Option<u64> = None;
     let mut note = |at: u64| {
@@ -268,17 +476,30 @@ fn propagation_timeline(
             note(r.at);
         }
     }
-    tl.detection = detect;
-
-    // Any-channel divergence additionally counts failed client requests.
-    let mut first_div = detect;
     for c in &stats.client {
         if c.at >= inj && c.outcome.is_failure() {
-            first_div = Some(first_div.map_or(c.at, |d| d.min(c.at)));
-            last_dev = Some(last_dev.map_or(c.at, |d| d.max(c.at)));
+            note(c.at);
         }
     }
-    tl.first_divergence = first_div;
+    if let Some(b) = baseline {
+        readiness_shortfalls(stats, b, inj, &mut note);
+        // Excess pod creation: controllers spawning more pods than any
+        // golden run ever did (the paper's More-Resources transient — a
+        // delayed or duplicated control message resurrects work the
+        // controller then re-does). The cumulative-pod-count panel is
+        // the cheapest alert a kube-state-metrics stack fires.
+        for s in &stats.samples {
+            if s.at >= inj && s.pods_created_cum > b.golden_pods_created_max {
+                note(s.at);
+            }
+        }
+        slow_startups(stats, b, inj, &mut note);
+    }
+    tl.detection = detect;
+    // With probes and regressions feeding detection, every observable
+    // channel is part of the monitoring view; first divergence coincides
+    // with detection.
+    tl.first_divergence = detect;
 
     // Recovery: the first clean gauge sample after the last observed
     // deviation, provided the run actually ended clean.
@@ -497,48 +718,92 @@ impl CampaignResults {
     }
 }
 
-/// Runs plan entry `index`: derives the experiment seed from the plan
-/// index (so results do not depend on which worker runs it) and produces
-/// the finished row.
+/// A per-experiment campaign failure. Campaign executors skip the
+/// affected rows with a warning instead of aborting the whole run —
+/// a missing or corrupt per-scenario baseline disk cache
+/// (`target/mutiny_baseline_*`) costs that scenario's rows, not the
+/// campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// No baseline was supplied for a planned scenario.
+    MissingBaseline {
+        /// Name of the scenario whose baseline is absent.
+        scenario: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::MissingBaseline { scenario } => write!(
+                f,
+                "no baseline for scenario `{scenario}` (missing or corrupt \
+                 target/mutiny_baseline_* cache?); skipping its rows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Stable per-(campaign, scenario) world seed. Every experiment of a
+/// scenario shares one seed — and therefore one fault-free prefix — so
+/// fork-the-world can snapshot that prefix once and fork it per
+/// experiment, and so a row depends only on its (scenario, spec), never
+/// on its plan index. That index-independence is what makes residue-class
+/// sharding (`MUTINY_SHARD`) and checkpoint resume trivially exact.
+pub fn scenario_world_seed(base_seed: u64, scenario: Scenario) -> u64 {
+    // FNV-1a over the scenario name, mixed with the campaign seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in scenario.name().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ base_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Runs one planned experiment with the campaign's per-scenario seed and
+/// produces the finished row.
+///
+/// # Errors
+///
+/// [`CampaignError::MissingBaseline`] when `baselines` has no entry for
+/// the planned scenario.
 fn run_planned(
     cluster: &ClusterConfig,
     planned: &PlannedExperiment,
     baselines: &std::collections::HashMap<Scenario, Baseline>,
     base_seed: u64,
-    index: usize,
-) -> CampaignRow {
-    let seed = base_seed.wrapping_add(index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    let cfg = ExperimentConfig {
-        cluster: ClusterConfig { seed, ..cluster.clone() },
-        scenario: planned.scenario,
-        injection: Some(ArmedFault::new(planned.fault, planned.spec.clone())),
-    };
-    let baseline =
-        baselines.get(&planned.scenario).expect("baseline for every planned scenario");
-    let outcome = run_experiment_with_baseline(&cfg, baseline);
-    CampaignRow {
-        scenario: planned.scenario,
-        fault: planned.fault,
-        path: match &planned.spec.point {
-            crate::injector::InjectionPoint::Field { path, .. } => Some(path.clone()),
-            _ => None,
-        },
-        spec: planned.spec.clone(),
-        of: outcome.orchestrator_failure,
-        cf: outcome.client_failure,
-        z: outcome.z_latency,
-        fired: outcome.injected.is_some(),
-        activated: outcome.activated,
-        user_error: outcome.user_saw_error,
+) -> Result<CampaignRow, CampaignError> {
+    run_planned_with_fork(cluster, planned, baselines, base_seed, fork_enabled())
+}
+
+/// Folds per-experiment results into rows, warning once per distinct
+/// error instead of once per affected row (a missing baseline hits every
+/// row of its scenario).
+fn collect_rows(results: Vec<Result<CampaignRow, CampaignError>>) -> CampaignResults {
+    let mut rows = Vec::with_capacity(results.len());
+    let mut warned: Vec<CampaignError> = Vec::new();
+    for res in results {
+        match res {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                if !warned.contains(&e) {
+                    eprintln!("[campaign] warning: {e}");
+                    warned.push(e);
+                }
+            }
+        }
     }
+    CampaignResults { rows }
 }
 
 /// Executes a plan on the work-stealing executor; `baselines` must match
 /// the plan's scenario distribution (one baseline per scenario).
 ///
-/// Per-experiment seeds derive from the plan index, so the result rows are
-/// byte-identical to a serial run for any worker count (see
-/// [`run_campaign_with_threads`] and the determinism tests).
+/// Per-experiment seeds derive from the (campaign, scenario) pair alone,
+/// so the result rows are byte-identical to a serial run for any worker
+/// count (see [`run_campaign_with_threads`] and the determinism tests).
 pub fn run_campaign(
     cluster: &ClusterConfig,
     plan: &[PlannedExperiment],
@@ -566,11 +831,24 @@ pub fn run_campaign_with_threads(
     run_campaign_range(cluster, plan, baselines, base_seed, 0..plan.len(), threads)
 }
 
-/// Runs the plan slice `range` with seeds derived from **global** plan
-/// indices: executing `0..n` in any partition of consecutive ranges
-/// yields exactly the rows of one full run. This is what the TSV
-/// checkpointing in `mutiny_bench` builds on — an interrupted campaign
-/// resumes at the first row it never flushed.
+/// [`run_campaign_with_threads`] with the fork-the-world mode pinned
+/// explicitly (for tests that compare both modes in one process).
+pub fn run_campaign_with_threads_fork(
+    cluster: &ClusterConfig,
+    plan: &[PlannedExperiment],
+    baselines: &std::collections::HashMap<Scenario, Baseline>,
+    base_seed: u64,
+    threads: usize,
+    fork: bool,
+) -> CampaignResults {
+    run_campaign_range_with_fork(cluster, plan, baselines, base_seed, 0..plan.len(), threads, fork)
+}
+
+/// Runs the plan slice `range`. A row depends only on its planned
+/// (scenario, spec) — seeds are per-scenario, never per-index — so
+/// executing `0..n` in any partition (consecutive ranges for checkpoint
+/// resume, residue classes for `MUTINY_SHARD` sharding) yields exactly
+/// the rows of one full run.
 pub fn run_campaign_range(
     cluster: &ClusterConfig,
     plan: &[PlannedExperiment],
@@ -579,12 +857,63 @@ pub fn run_campaign_range(
     range: std::ops::Range<usize>,
     threads: usize,
 ) -> CampaignResults {
+    run_campaign_range_with_fork(cluster, plan, baselines, base_seed, range, threads, fork_enabled())
+}
+
+/// [`run_campaign_range`] with the fork-the-world mode pinned explicitly
+/// (the determinism tests compare both modes without racing on the
+/// environment).
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_range_with_fork(
+    cluster: &ClusterConfig,
+    plan: &[PlannedExperiment],
+    baselines: &std::collections::HashMap<Scenario, Baseline>,
+    base_seed: u64,
+    range: std::ops::Range<usize>,
+    threads: usize,
+    fork: bool,
+) -> CampaignResults {
     let start = range.start.min(plan.len());
     let end = range.end.min(plan.len()).max(start);
-    let rows = crate::exec::run_indexed(end - start, threads, |i| {
-        run_planned(cluster, &plan[start + i], baselines, base_seed, start + i)
+    let results = crate::exec::run_indexed(end - start, threads, |i| {
+        run_planned_with_fork(cluster, &plan[start + i], baselines, base_seed, fork)
     });
-    CampaignResults { rows }
+    collect_rows(results)
+}
+
+/// [`run_planned`] with the execution mode pinned.
+fn run_planned_with_fork(
+    cluster: &ClusterConfig,
+    planned: &PlannedExperiment,
+    baselines: &std::collections::HashMap<Scenario, Baseline>,
+    base_seed: u64,
+    fork: bool,
+) -> Result<CampaignRow, CampaignError> {
+    let seed = scenario_world_seed(base_seed, planned.scenario);
+    let cfg = ExperimentConfig {
+        cluster: ClusterConfig { seed, ..cluster.clone() },
+        scenario: planned.scenario,
+        injection: Some(ArmedFault::new(planned.fault, planned.spec.clone())),
+    };
+    let baseline = baselines.get(&planned.scenario).ok_or_else(|| {
+        CampaignError::MissingBaseline { scenario: planned.scenario.name().to_string() }
+    })?;
+    let outcome = run_experiment_with_baseline_fork(&cfg, baseline, fork);
+    Ok(CampaignRow {
+        scenario: planned.scenario,
+        fault: planned.fault,
+        path: match &planned.spec.point {
+            crate::injector::InjectionPoint::Field { path, .. } => Some(path.clone()),
+            _ => None,
+        },
+        spec: planned.spec.clone(),
+        of: outcome.orchestrator_failure,
+        cf: outcome.client_failure,
+        z: outcome.z_latency,
+        fired: outcome.injected.is_some(),
+        activated: outcome.activated,
+        user_error: outcome.user_saw_error,
+    })
 }
 
 /// The seed's static-chunk executor over the same per-index experiment
@@ -597,10 +926,10 @@ pub fn run_campaign_static_chunks(
     base_seed: u64,
     threads: usize,
 ) -> CampaignResults {
-    let rows = crate::exec::run_chunked(plan.len(), threads, |i| {
-        run_planned(cluster, &plan[i], baselines, base_seed, i)
+    let results = crate::exec::run_chunked(plan.len(), threads, |i| {
+        run_planned(cluster, &plan[i], baselines, base_seed)
     });
-    CampaignResults { rows }
+    collect_rows(results)
 }
 
 #[cfg(test)]

@@ -36,6 +36,16 @@ pub struct Baseline {
     pub golden_pods_created_max: u64,
     /// Steady-state ready coreDNS pods.
     pub expected_dns_ready: i64,
+    /// Latest sim-time (ms) at which any golden run still had a tracked
+    /// gauge (per-deployment ready count, per-service endpoint count)
+    /// below its steady-state expectation — the settle deadline. After
+    /// it, a healthy run keeps every gauge at or above expectation, so a
+    /// below-expectation sample past the deadline is monitoring-alert
+    /// material (the propagation-timeline detection predicate). A golden
+    /// run that *ends* below expectation (possible: expectations are
+    /// medians) pushes the deadline to the horizon, disabling the signal
+    /// for that scenario rather than risking false alerts.
+    pub golden_settle_ms: u64,
 }
 
 /// Runs one golden (fault-free) experiment and returns its statistics.
@@ -130,6 +140,24 @@ pub fn build_baseline_with_threads(
     dns_votes.sort_unstable();
     let expected_dns_ready = dns_votes.get(dns_votes.len() / 2).copied().unwrap_or(0);
 
+    // Settle deadline: see the field docs. Computed against the voted
+    // expectations, so a run below the median at some instant counts as
+    // "not yet settled" there.
+    let mut golden_settle_ms = 0u64;
+    for st in &stats {
+        for s in &st.samples {
+            let ready_below = expected_ready
+                .iter()
+                .any(|(k, &want)| s.app_ready.get(k).copied().unwrap_or(0) < want);
+            let ep_below = expected_endpoints
+                .iter()
+                .any(|(k, &want)| s.app_endpoints.get(k).copied().unwrap_or(0) < want);
+            if ready_below || ep_below {
+                golden_settle_ms = golden_settle_ms.max(s.at);
+            }
+        }
+    }
+
     Baseline {
         avg_response,
         golden_maes,
@@ -140,6 +168,7 @@ pub fn build_baseline_with_threads(
         expected_pods_created,
         golden_pods_created_max,
         expected_dns_ready,
+        golden_settle_ms,
     }
 }
 

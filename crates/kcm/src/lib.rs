@@ -160,6 +160,7 @@ impl Ctx<'_> {
 }
 
 /// The controller manager.
+#[derive(Clone)]
 pub struct Kcm {
     cursor: u64,
     elector: LeaderElector,
@@ -232,6 +233,12 @@ impl Kcm {
     }
 
     /// Runs one controller-manager step at simulated time `now`.
+    /// Repoints the shared trace buffer (fork-the-world gives each forked
+    /// run its own trace so siblings never interleave log lines).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     pub fn step(&mut self, api: &mut ApiServer, now: u64) {
         if !self.elector.step(api, now) {
             // Not leading: drop event backlog; full resync on re-election.

@@ -146,6 +146,7 @@ pub struct KubeletMetrics {
 }
 
 /// The simulated kubelet.
+#[derive(Clone)]
 pub struct Kubelet {
     /// Node this kubelet manages.
     pub node_name: String,
@@ -235,6 +236,12 @@ impl Kubelet {
     }
 
     /// Runs one kubelet step at simulated time `now`.
+    /// Repoints the shared trace buffer (fork-the-world gives each forked
+    /// run its own trace so siblings never interleave log lines).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     pub fn step(&mut self, api: &mut ApiServer, now: u64) {
         // Register (or re-register) the Node object.
         if api.get(Kind::Node, "", &self.node_name).is_none() {

@@ -49,6 +49,7 @@ pub struct BreakerMetrics {
 }
 
 /// Watches pod-creation rates per owner and suspends runaway controllers.
+#[derive(Clone)]
 pub struct ReplicationBreaker {
     cfg: BreakerConfig,
     cursor: u64,

@@ -96,6 +96,7 @@ pub struct GuardMetrics {
 
 /// Watches for critical-field changes and rolls them back when cluster
 /// health degrades inside the observation window.
+#[derive(Clone)]
 pub struct CriticalFieldGuard {
     cfg: GuardConfig,
     cursor: u64,

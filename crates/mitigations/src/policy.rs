@@ -26,6 +26,10 @@ fn is_critical_deployment(d: &k8s_model::Deployment) -> bool {
 pub struct DenyCriticalScaleToZero;
 
 impl AdmissionPolicy for DenyCriticalScaleToZero {
+    fn clone_box(&self) -> Box<dyn AdmissionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &str {
         "deny-critical-scale-to-zero"
     }
@@ -70,6 +74,10 @@ impl RequireResourceLimits {
 }
 
 impl AdmissionPolicy for RequireResourceLimits {
+    fn clone_box(&self) -> Box<dyn AdmissionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &str {
         "require-resource-limits"
     }
@@ -109,6 +117,10 @@ impl Default for ReplicaCeiling {
 }
 
 impl AdmissionPolicy for ReplicaCeiling {
+    fn clone_box(&self) -> Box<dyn AdmissionPolicy> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &str {
         "replica-ceiling"
     }
@@ -148,6 +160,10 @@ impl Default for NamespacePodQuota {
 }
 
 impl AdmissionPolicy for NamespacePodQuota {
+    fn clone_box(&self) -> Box<dyn AdmissionPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         "namespace-pod-quota"
     }

@@ -116,6 +116,10 @@ fn probe_window_ms(spec: &PodSpec) -> Option<u64> {
 }
 
 impl AdmissionPolicy for ValidatingAdmission {
+    fn clone_box(&self) -> Box<dyn AdmissionPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         "validating-admission"
     }

@@ -100,6 +100,7 @@ struct ProxyEntry {
 }
 
 /// The simulated cluster network.
+#[derive(Clone)]
 pub struct NetSim {
     cfg: NetConfig,
     /// Destination nodes reachable from each node (programmed routes).

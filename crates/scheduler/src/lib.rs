@@ -62,6 +62,7 @@ enum State {
 }
 
 /// The simulated scheduler.
+#[derive(Clone)]
 pub struct Scheduler {
     cursor: u64,
     elector: LeaderElector,
@@ -129,6 +130,12 @@ impl Scheduler {
     }
 
     /// Runs one scheduler step at simulated time `now`.
+    /// Repoints the shared trace buffer (fork-the-world gives each forked
+    /// run its own trace so siblings never interleave log lines).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     pub fn step(&mut self, api: &mut ApiServer, now: u64) {
         if let State::Restarting(until) = self.state {
             if now < until {

@@ -94,7 +94,7 @@ impl<E> Ord for Scheduled<E> {
 /// }
 /// assert_eq!(ticks, 6);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sim<E> {
     now: SimTime,
     seq: u64,

@@ -261,10 +261,41 @@ impl Metric {
     }
 }
 
+/// FNV-1a, hand-rolled so the per-thread recorder's key lookup (one per
+/// `counter_add`/`gauge_set`, millions per campaign) skips SipHash's
+/// per-lookup setup cost. Metric keys are short trusted literals — no
+/// HashDoS exposure — and the process-wide [`Sink`] merges by name, so
+/// hash choice cannot affect exported results.
+#[derive(Debug)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
 /// Per-thread recorder: interned keys, metrics parallel to them.
 #[derive(Debug, Default)]
 struct Recorder {
-    index: HashMap<Box<str>, usize>,
+    index: HashMap<Box<str>, usize, FnvBuild>,
     names: Vec<Box<str>>,
     metrics: Vec<Metric>,
     timelines: Vec<timeline::TimelineRecord>,

@@ -21,8 +21,12 @@ pub struct Timeline {
     /// First observable deviation on *any* channel: a failed client
     /// request, an apiserver audit error, or a deviating gauge sample.
     pub first_divergence: Option<u64>,
-    /// First deviation visible to the *monitoring* view (gauge samples /
-    /// audit errors) — what a Prometheus-style alert would fire on.
+    /// First deviation visible to the *monitoring* view (gauge samples,
+    /// audit errors, or a failed client request — the client series
+    /// doubles as a blackbox probe) — what a Prometheus-style alert
+    /// would fire on. Wire faults (drop/delay/partition…) often surface
+    /// *only* through the probe: they break requests without dirtying
+    /// stored state.
     pub detection: Option<u64>,
     /// First clean gauge sample after the last observed deviation, when
     /// the run ends clean (`None`: still deviating at the horizon, or

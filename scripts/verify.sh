@@ -23,11 +23,18 @@
 #    watch-cache sync decodes from bytes) and diff its TSV against the
 #    cached-mode TSV byte for byte: the revision-keyed decode cache must
 #    be a pure performance device.
-# 7. Run one cfg-resources-only slice through the ablation bench: the
+# 7. Re-run the partition slice with MUTINY_FORK=0 (replay the golden
+#    prefix from t=0 instead of forking the world snapshot) and diff its
+#    TSV against the forked-mode TSV byte for byte, then run the same
+#    slice as MUTINY_SHARD=0/2 + 1/2, merge the shard TSVs with the
+#    merge_shards bin, and diff the merge against the unsharded TSV:
+#    fork-the-world and residue-class sharding must both be pure
+#    performance devices.
+# 8. Run one cfg-resources-only slice through the ablation bench: the
 #    config-defect admission path end to end, with the validating-
 #    admission arm A/B'd against the unmitigated arm (per-family
 #    detection coverage is printed by the bench).
-# 8. Trace round trip: export the deploy scenario's golden trace from a
+# 9. Trace round trip: export the deploy scenario's golden trace from a
 #    2% smoke slice (MUTINY_TRACE_EXPORT), replay it as a registered
 #    trace scenario (MUTINY_TRACES), and diff the two golden-baseline
 #    TSVs byte for byte — the replay must reproduce the recorded run.
@@ -121,6 +128,54 @@ for nodc in "$TARGET_DIR"/mutiny_campaign_*_nodc.tsv; do
 done
 if [ "$nodc_found" != 1 ]; then
   echo "FAIL: the MUTINY_DECODE_CACHE=0 slice produced no TSV to diff"
+  exit 1
+fi
+
+echo "== fork A/B: partition slice with MUTINY_FORK=0 =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_FAULTS=partition \
+MUTINY_FORK=0 \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
+nofork_found=0
+for nofork in "$TARGET_DIR"/mutiny_campaign_*_nofork.tsv; do
+  [ -e "$nofork" ] || continue
+  nofork_found=1
+  forked="${nofork%_nofork.tsv}.tsv"
+  if ! diff -q "$forked" "$nofork"; then
+    echo "FAIL: MUTINY_FORK=0 changed the campaign TSV ($forked vs $nofork)"
+    exit 1
+  fi
+done
+if [ "$nofork_found" != 1 ]; then
+  echo "FAIL: the MUTINY_FORK=0 slice produced no TSV to diff"
+  exit 1
+fi
+
+echo "== shard merge: partition slice as MUTINY_SHARD=0/2 + 1/2 =="
+for s in 0 1; do
+  MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+  MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+  MUTINY_FAULTS=partition \
+  MUTINY_SHARD="$s/2" \
+  cargo bench -q -p mutiny-bench --bench table4_of_stats
+done
+shard_found=0
+for shard0 in "$TARGET_DIR"/mutiny_campaign_*_shard0of2.tsv; do
+  [ -e "$shard0" ] || continue
+  shard_found=1
+  shard1="${shard0%_shard0of2.tsv}_shard1of2.tsv"
+  unsharded="${shard0%_shard0of2.tsv}.tsv"
+  merged="$TARGET_DIR/verify_merged_shards.tsv"
+  cargo run -q --release -p mutiny-bench --bin merge_shards -- \
+    "$merged" "$shard0" "$shard1"
+  if ! diff -q "$unsharded" "$merged"; then
+    echo "FAIL: two-shard merge differs from the unsharded TSV ($unsharded)"
+    exit 1
+  fi
+done
+if [ "$shard_found" != 1 ]; then
+  echo "FAIL: the MUTINY_SHARD slices produced no shard TSVs to merge"
   exit 1
 fi
 

@@ -1,7 +1,8 @@
 //! Work-stealing must not change results: per-experiment seeds derive
-//! from the plan index, so the campaign rows (and the golden baselines)
-//! must be identical to a serial run for any worker count and for either
-//! executor (shared-index stealing or the legacy static chunks). The
+//! from the planned (scenario, spec) — never from the plan index — so
+//! the campaign rows (and the golden baselines) must be identical to a
+//! serial run for any worker count and for either executor
+//! (shared-index stealing or the legacy static chunks). The
 //! same holds for every scenario in the registry — the rolling-update
 //! and node-drain additions are pinned here explicitly — and for every
 //! fault family, including the node-level families routed on per-node

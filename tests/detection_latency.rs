@@ -1,0 +1,138 @@
+//! Detection-latency regression wall for the wire fault families.
+//!
+//! The propagation-timeline detector used to consider only the hard
+//! failure gauges (etcd stalled, nodes not ready, network pods failed)
+//! and audit errors the *monitoring* view, so the wire families
+//! (drop/delay/duplicate/partition/node-partition) — whose damage is
+//! lost or untimely control messages, not dirty stored state — reported
+//! `detected=0` across entire campaigns. The fixed predicate also feeds
+//! failed client requests (the blackbox probe), post-settle readiness
+//! shortfalls against the baseline, excess pod creation, and over-bound
+//! pod startups (the monitoring analog of the classifier's Tim rule)
+//! into the detection milestone; this test pins one detected case per
+//! wire family so the regression cannot return.
+
+use k8s_cluster::ClusterConfig;
+use k8s_model::Channel;
+use mutiny_core::campaign::{
+    plan_campaign, propagation_timeline, record_fields, run_world_with_fork, ExperimentConfig,
+    PlannedExperiment,
+};
+use mutiny_core::golden::build_baseline_with_threads;
+use mutiny_core::Scenario;
+use mutiny_faults::{ArmedFault, Fault, DELAY, DROP, DUPLICATE, NODE_PARTITION, PARTITION};
+use mutiny_scenarios::{DEPLOY, ROLLING_UPDATE};
+use simkit::Rng;
+
+#[test]
+fn every_wire_family_has_a_detected_case() {
+    let cluster = ClusterConfig::default();
+    // Each family paired with a scenario where its damage is observable:
+    // drop/partition starve deploy's rollout below its expected replica
+    // counts; delay/duplicate make rolling-update's controllers re-do
+    // work (excess pod creation, the paper's More-Resources transient).
+    let pairs: [(Fault, Scenario); 5] = [
+        (DROP, DEPLOY),
+        (PARTITION, DEPLOY),
+        (NODE_PARTITION, DEPLOY),
+        (DELAY, ROLLING_UPDATE),
+        (DUPLICATE, ROLLING_UPDATE),
+    ];
+
+    let mut baselines = std::collections::HashMap::new();
+    for (_, sc) in &pairs {
+        baselines
+            .entry(*sc)
+            .or_insert_with(|| build_baseline_with_threads(&cluster, *sc, 12, 0xBA5E, 1));
+    }
+
+    for (family, sc) in pairs {
+        let baseline = &baselines[&sc];
+        let traffic = record_fields(&cluster, sc, vec![Channel::ApiToEtcd], 42);
+        let mut rng = Rng::new(7);
+        let full = plan_campaign(&traffic, sc, &[family], &mut rng);
+        let specs: Vec<&PlannedExperiment> =
+            full.iter().filter(|p| p.fault == family).collect();
+        assert!(!specs.is_empty(), "{family} planned no specs for {sc}");
+
+        let mut detected = None;
+        for planned in &specs {
+            let cfg = ExperimentConfig {
+                cluster: cluster.clone(),
+                scenario: sc,
+                injection: Some(ArmedFault::new(planned.fault, planned.spec.clone())),
+            };
+            let (world, injected) = run_world_with_fork(&cfg, true);
+            let tl = propagation_timeline(&world, injected.as_ref(), Some(baseline));
+            if let Some(lat) = tl.detection_latency_ms() {
+                detected = Some((planned.spec.clone(), lat));
+                break;
+            }
+        }
+        let (spec, lat) = detected.unwrap_or_else(|| {
+            panic!("{sc}/{family}: no spec out of {} produced a detection", specs.len())
+        });
+        // Detection must land inside the run's horizon.
+        assert!(lat < 120_000, "{sc}/{family}: absurd latency {lat}ms for {spec:?}");
+    }
+}
+
+#[test]
+fn golden_runs_stay_quiet_under_the_detection_predicate() {
+    // The flip side of the detection fix: none of the added signals
+    // (probes, post-settle shortfalls, excess pod creation) may fire on
+    // a healthy run — including at seeds the baseline never saw, and in
+    // scenarios whose healthy trajectory churns replicas mid-flight
+    // (rolling-update replaces pods; see also failover/node-drain,
+    // probed during development). Checked via the latest settle rule
+    // directly: golden samples past the deadline keep every gauge at or
+    // above expectation and never exceed the golden pod-creation max.
+    for sc in [DEPLOY, ROLLING_UPDATE] {
+        let cluster = ClusterConfig::default();
+        let baseline = build_baseline_with_threads(&cluster, sc, 12, 0xBA5E, 1);
+        let gw = &baseline.golden_worst_startup;
+        let startup_bound = simkit::stats::max(gw)
+            .max(simkit::stats::mean(gw) + 3.0 * simkit::stats::std_dev(gw))
+            as u64;
+        for seed in [4242u64, 77, 900_001] {
+            let cfg = ExperimentConfig::golden(sc, seed);
+            let (world, injected) = run_world_with_fork(&cfg, true);
+            assert!(injected.is_none());
+            for (pod, &created) in &world.stats.pod_created {
+                if created < world.stats.t0 {
+                    continue;
+                }
+                if let Some(&running) = world.stats.pod_running.get(pod) {
+                    assert!(
+                        running.saturating_sub(created) <= startup_bound,
+                        "{sc} seed {seed}: golden pod {pod} outlived the startup bound"
+                    );
+                }
+            }
+            let deadline = baseline.golden_settle_ms + 3_000;
+            for s in &world.stats.samples {
+                assert!(
+                    s.pods_created_cum <= baseline.golden_pods_created_max,
+                    "{sc} seed {seed}: golden run exceeded the pod-creation max"
+                );
+                if s.at <= deadline {
+                    continue;
+                }
+                let ready_below = baseline
+                    .expected_ready
+                    .iter()
+                    .any(|(k, &want)| s.app_ready.get(k).copied().unwrap_or(0) < want);
+                let ep_below = baseline
+                    .expected_endpoints
+                    .iter()
+                    .any(|(k, &want)| s.app_endpoints.get(k).copied().unwrap_or(0) < want);
+                assert!(
+                    !ready_below && !ep_below,
+                    "{sc} seed {seed}: golden gauge below expectation at {}ms \
+                     (settle deadline {deadline}ms)",
+                    s.at
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fork-the-world determinism wall.
+//!
+//! Forked execution (snapshot the world at `t0`, fork per experiment)
+//! must be a pure optimization: the campaign TSV has to be byte-identical
+//! to replay execution (`MUTINY_FORK=0`, golden prefix re-run from `t=0`)
+//! at any worker count. Likewise residue-class sharding: running the
+//! shards of a plan separately and round-robin-merging their TSVs must
+//! reproduce the unsharded TSV byte for byte. Both identities hold by
+//! construction — per-experiment seeds derive from the (scenario, spec),
+//! never from the plan index or execution mode — and this wall keeps
+//! them held.
+
+use k8s_cluster::ClusterConfig;
+use k8s_model::Channel;
+use mutiny_core::campaign::{
+    plan_campaign, record_fields, run_campaign_with_threads_fork, PlannedExperiment,
+};
+use mutiny_core::golden::build_baseline_with_threads;
+use mutiny_core::Scenario;
+use mutiny_scenarios::{DEPLOY, FAILOVER, HPA_AUTOSCALE, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
+use simkit::Rng;
+use std::collections::HashMap;
+
+/// One spec per (scenario, family) over the full 6×14 cross-product,
+/// with baselines for every scenario.
+fn cross_product_plan(
+    cluster: &ClusterConfig,
+) -> (Vec<PlannedExperiment>, HashMap<Scenario, mutiny_core::golden::Baseline>) {
+    let scenarios = [DEPLOY, SCALE_UP, FAILOVER, ROLLING_UPDATE, NODE_DRAIN, HPA_AUTOSCALE];
+    let families = mutiny_faults::registry::all();
+    assert!(families.len() >= 14);
+    let mut rng = Rng::new(11);
+    let mut plan = Vec::new();
+    let mut baselines = HashMap::new();
+    for sc in scenarios {
+        let traffic = record_fields(cluster, sc, vec![Channel::ApiToEtcd], 42);
+        let full = plan_campaign(&traffic, sc, &families, &mut rng);
+        for family in &families {
+            if let Some(p) = full.iter().find(|p| p.fault == *family) {
+                plan.push(p.clone());
+            }
+        }
+        baselines.insert(sc, build_baseline_with_threads(cluster, sc, 4, 0xBA5E, 1));
+    }
+    // 6 scenarios × ≥14 families minus the four unreachable
+    // (workload-defect × preinstalled-scenario) combinations.
+    assert!(plan.len() >= 6 * 14 - 4, "cross-product too small: {}", plan.len());
+    (plan, baselines)
+}
+
+#[test]
+fn forked_tsv_byte_identical_to_replay_across_thread_counts() {
+    let cluster = ClusterConfig::default();
+    let (plan, baselines) = cross_product_plan(&cluster);
+
+    // The ground truth: replay execution, serial.
+    let replay = run_campaign_with_threads_fork(&cluster, &plan, &baselines, 2024, 1, false);
+    let replay_tsv = mutiny_bench::render_rows(&replay);
+    assert_eq!(replay_tsv.lines().count(), plan.len());
+
+    for threads in [1usize, 2, 5] {
+        let forked =
+            run_campaign_with_threads_fork(&cluster, &plan, &baselines, 2024, threads, true);
+        assert_eq!(
+            replay_tsv,
+            mutiny_bench::render_rows(&forked),
+            "forked TSV diverged from replay at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn two_shard_merge_byte_identical_to_unsharded() {
+    let cluster = ClusterConfig::default();
+    let (plan, baselines) = cross_product_plan(&cluster);
+
+    let unsharded = run_campaign_with_threads_fork(&cluster, &plan, &baselines, 2024, 2, true);
+    let unsharded_tsv = mutiny_bench::render_rows(&unsharded);
+
+    // Residue classes of the same plan: shard i runs indices ≡ i (mod 2).
+    let mut shard_tsvs = Vec::new();
+    for i in 0..2usize {
+        let shard: Vec<PlannedExperiment> = plan
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx % 2 == i)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let res = run_campaign_with_threads_fork(&cluster, &shard, &baselines, 2024, 2, true);
+        shard_tsvs.push(mutiny_bench::render_rows(&res));
+    }
+    let refs: Vec<&str> = shard_tsvs.iter().map(String::as_str).collect();
+    let merged = mutiny_bench::merge_shard_texts(&refs).expect("consistent shards");
+    assert_eq!(unsharded_tsv, merged, "two-shard merge diverged from unsharded TSV");
+
+    // Inconsistent shard sizes are detected, not silently mismerged.
+    // (Dropping a row from shard 0 makes the sizes impossible for any
+    // round-robin partition: shard 0 must hold ⌈total/n⌉ rows.)
+    let truncated: String =
+        shard_tsvs[0].lines().skip(1).map(|l| format!("{l}\n")).collect();
+    assert!(mutiny_bench::merge_shard_texts(&[&truncated, &shard_tsvs[1]]).is_none());
+}
+
+#[test]
+fn shard_plan_honors_the_env_residue_class() {
+    // `shard_plan` is the only env-coupled piece; pin its filtering
+    // against a manual residue-class split. Set/remove the variable
+    // inside one test so parallel tests in this binary never see it.
+    let cluster = ClusterConfig::default();
+    let traffic = record_fields(&cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
+    let mut rng = Rng::new(7);
+    let full = plan_campaign(&traffic, DEPLOY, &mutiny_faults::WIRE_BUILTIN, &mut rng);
+    assert!(full.len() >= 10);
+
+    std::env::set_var("MUTINY_SHARD", "1/3");
+    let sharded = mutiny_bench::shard_plan(full.clone());
+    std::env::remove_var("MUTINY_SHARD");
+
+    let manual: Vec<&PlannedExperiment> =
+        full.iter().enumerate().filter(|(i, _)| i % 3 == 1).map(|(_, p)| p).collect();
+    assert_eq!(sharded.len(), manual.len());
+    for (s, m) in sharded.iter().zip(manual) {
+        assert_eq!(format!("{:?}", s.spec), format!("{:?}", m.spec));
+    }
+}

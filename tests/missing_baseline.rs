@@ -1,0 +1,43 @@
+//! A missing (or corrupt-and-discarded) baseline must not abort the
+//! whole campaign: the affected scenario's rows are skipped with a
+//! warning — a typed [`CampaignError::MissingBaseline`], not the old
+//! `.expect("baseline for every planned scenario")` panic.
+
+use k8s_cluster::ClusterConfig;
+use k8s_model::Channel;
+use mutiny_core::campaign::{
+    plan_campaign, record_fields, run_campaign_with_threads, CampaignError, PlannedExperiment,
+};
+use mutiny_core::golden::build_baseline_with_threads;
+use mutiny_faults::WIRE_BUILTIN;
+use mutiny_scenarios::{DEPLOY, SCALE_UP};
+use simkit::Rng;
+use std::collections::HashMap;
+
+fn first_specs(cluster: &ClusterConfig, sc: mutiny_core::Scenario) -> Vec<PlannedExperiment> {
+    let traffic = record_fields(cluster, sc, vec![Channel::ApiToEtcd], 42);
+    let mut rng = Rng::new(7);
+    plan_campaign(&traffic, sc, &WIRE_BUILTIN, &mut rng).into_iter().take(3).collect()
+}
+
+#[test]
+fn missing_baseline_skips_the_scenario_instead_of_panicking() {
+    let cluster = ClusterConfig::default();
+    let mut plan = first_specs(&cluster, DEPLOY);
+    let deploy_rows = plan.len();
+    plan.extend(first_specs(&cluster, SCALE_UP));
+
+    // Baseline present for deploy only: scale's rows must be skipped,
+    // deploy's must come through untouched.
+    let mut baselines = HashMap::new();
+    baselines.insert(DEPLOY, build_baseline_with_threads(&cluster, DEPLOY, 4, 0xBA5E, 1));
+    let partial = run_campaign_with_threads(&cluster, &plan, &baselines, 2024, 2);
+    assert_eq!(partial.len(), deploy_rows);
+    assert!(partial.rows.iter().all(|r| r.scenario == DEPLOY));
+
+    // The error type names the scenario, so the warning is actionable.
+    let err = CampaignError::MissingBaseline { scenario: SCALE_UP.name().to_string() };
+    let msg = err.to_string();
+    assert!(msg.contains("scale"), "error message must name the scenario: {msg}");
+    assert!(msg.contains("baseline"), "error message must say what is missing: {msg}");
+}
