@@ -1588,11 +1588,18 @@ impl ApiServer {
         })
     }
 
-    /// Simulates an apiserver restart: the watch cache is dropped and
-    /// rebuilt from the store with quorum reads, which is when at-rest
-    /// corruption finally gets picked up (§V-C1).
+    /// Simulates an apiserver restart: the storage backend runs crash
+    /// recovery (replaying its durable structures — a no-op for the
+    /// in-memory engine, a segment-log replay for the log engine), then
+    /// the watch cache is dropped and rebuilt from the recovered store
+    /// with quorum reads, which is when at-rest corruption finally gets
+    /// picked up (§V-C1).
     pub fn restart(&mut self) {
-        self.log(TraceLevel::Warn, "apiserver restarting: rebuilding watch cache".to_owned());
+        self.log(
+            TraceLevel::Warn,
+            "apiserver restarting: recovering store, rebuilding watch cache".to_owned(),
+        );
+        self.etcd.recover();
         self.etcd_seen_rev = self.etcd.revision();
         self.rebuild_cache_from_store();
     }
@@ -1665,7 +1672,7 @@ mod tests {
     }
 
     #[test]
-    fn drain_coalesces_superseded_revisions() {
+    fn drain_coalesces_superseded_revisions() -> Result<(), EtcdError> {
         // Three revisions of one key land in the store between two
         // drains (a watcher catching up after idling): only the newest
         // is decoded, the superseded two are skipped.
@@ -1673,9 +1680,7 @@ mod tests {
         let Object::Pod(mut p) = pod("default", "p1") else { unreachable!() };
         for i in 0..3 {
             p.status.restart_count = i;
-            a.etcd_mut()
-                .put("/registry/pods/default/p1", Object::Pod(p.clone()).encode())
-                .expect("seed store");
+            a.etcd_mut().put("/registry/pods/default/p1", Object::Pod(p.clone()).encode())?;
         }
         let got = a.get(Kind::Pod, "default", "p1").expect("pod visible");
         assert_eq!(got.as_pod().expect("pod").status.restart_count, 2, "newest revision wins");
@@ -1683,6 +1688,7 @@ mod tests {
         // A second drain with nothing new coalesces nothing.
         let _ = a.list(Kind::Pod, None);
         assert_eq!(a.sync_events_coalesced, 2);
+        Ok(())
     }
 
     #[test]
@@ -1749,15 +1755,16 @@ mod tests {
     }
 
     #[test]
-    fn undecodable_store_bytes_delete_resource() {
+    fn undecodable_store_bytes_delete_resource() -> Result<(), EtcdError> {
         let mut a = api();
         a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
         // Corrupt the stored bytes into garbage via a raw etcd write,
         // emulating a serialization-byte injection that broke decoding.
-        a.etcd_mut().put("/registry/pods/default/p1", vec![0xff, 0xff, 0xff]).unwrap();
+        a.etcd_mut().put("/registry/pods/default/p1", vec![0xff, 0xff, 0xff])?;
         assert!(a.get(Kind::Pod, "default", "p1").is_none());
         assert_eq!(a.undecodable_deleted, 1);
         assert!(a.etcd().get("/registry/pods/default/p1").is_none());
+        Ok(())
     }
 
     #[test]
@@ -2051,5 +2058,42 @@ mod tests {
         a.restart();
         let fresh = a.get(Kind::Pod, "default", "p1").unwrap();
         assert_eq!(fresh.as_pod().unwrap().spec.node_name, "ghost-node");
+    }
+
+    #[test]
+    fn at_rest_corruption_invisible_to_watch_pipeline_until_restart() {
+        // Corruption families tamper below the wire: no revision bump, no
+        // watch event. Watchers and the cache keep serving the clean
+        // object until a restart's recover-and-relist surfaces the
+        // damage. Both storage engines must agree — on `log` the tamper
+        // has to survive the backend's crash-recovery replay.
+        for kind in [etcd_sim::StorageKind::Mem, etcd_sim::StorageKind::Log] {
+            let etcd = Etcd::with_backend(kind, 1, 10 * 1024 * 1024);
+            let interceptor: InterceptorHandle = Rc::new(RefCell::new(NoopInterceptor));
+            let trace: TraceHandle = Rc::new(RefCell::new(Trace::new(1024)));
+            let mut a = ApiServer::new(etcd, interceptor, trace);
+            let created = a.create(Channel::UserToApi, pod("default", "p1")).unwrap();
+            let cursor = a.watch_head();
+            let mut tampered = (*created).clone();
+            if let Object::Pod(p) = &mut tampered {
+                p.spec.node_name = "ghost-node".into();
+            }
+            assert!(a
+                .etcd_mut()
+                .corrupt_at_rest(0, "/registry/pods/default/p1", tampered.encode()));
+            let (events, _) = a.poll_events(cursor);
+            assert!(events.is_empty(), "{kind:?}: at-rest corruption must not emit watch events");
+            assert_eq!(
+                a.get(Kind::Pod, "default", "p1").unwrap().as_pod().unwrap().spec.node_name,
+                "",
+                "{kind:?}: the watch cache keeps serving the clean object"
+            );
+            a.restart();
+            assert_eq!(
+                a.get(Kind::Pod, "default", "p1").unwrap().as_pod().unwrap().spec.node_name,
+                "ghost-node",
+                "{kind:?}: restart recovery must surface the corruption"
+            );
+        }
     }
 }

@@ -130,6 +130,28 @@ fn main() {
     per_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
 
     let experiments_per_sec = plan.len() as f64 / stealing_s.max(1e-9);
+    // The active storage engine and per-family storage-experiment counts:
+    // the trajectory of the storage fault dimension, and which backend
+    // this perf point was measured on.
+    let storage_backend = match cluster.storage {
+        etcd_sim::StorageKind::Mem => "mem",
+        etcd_sim::StorageKind::Log => "log",
+    };
+    let storage_counts_json = {
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for p in plan.iter().filter(|p| p.fault.name().starts_with("etcd-")) {
+            *counts.entry(p.fault.name()).or_default() += 1;
+        }
+        let rows: Vec<String> = counts
+            .iter()
+            .map(|(name, n)| format!("    \"{name}\": {n}"))
+            .collect();
+        if rows.is_empty() {
+            "{}".to_string()
+        } else {
+            format!("{{\n{}\n  }}", rows.join(",\n"))
+        }
+    };
     let trace_scenarios = scenario_names
         .iter()
         .filter(|n| n.starts_with("trace-"))
@@ -168,7 +190,7 @@ fn main() {
         format!("[\n{}\n  ]", rows.join(",\n"))
     };
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"trace_scenarios\": {trace_scenarios},\n  \"generated_scenarios\": {generated_scenarios},\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"decode_cache_hits\": {dc_hits},\n  \"decode_cache_misses\": {dc_misses},\n  \"decode_cache_hit_rate\": {:.3},\n  \"fork_snapshots\": {fork_snapshots},\n  \"fork_hit_rate\": {fork_hit_rate:.3},\n  \"phases\": {phases_json},\n  \"detection_latency\": {detection_json},\n  \"rows_identical_across_executors\": true\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"experiments\": {},\n  \"scale\": {scale},\n  \"scenarios\": {},\n  \"scenario_names\": \"{}\",\n  \"trace_scenarios\": {trace_scenarios},\n  \"generated_scenarios\": {generated_scenarios},\n  \"faults\": {},\n  \"fault_names\": \"{}\",\n  \"node_channels\": {node_channels},\n  \"storage_backend\": \"{storage_backend}\",\n  \"storage_experiments\": {storage_counts_json},\n  \"threads\": {threads},\n  \"golden_runs\": {},\n  \"baseline_build_s\": {:.3},\n  \"campaign_wall_s\": {:.3},\n  \"static_chunk_wall_s\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \"per_experiment_p50_ms\": {:.3},\n  \"per_experiment_p95_ms\": {:.3},\n  \"speedup_vs_static_chunk\": {:.3},\n  \"decode_cache_hits\": {dc_hits},\n  \"decode_cache_misses\": {dc_misses},\n  \"decode_cache_hit_rate\": {:.3},\n  \"fork_snapshots\": {fork_snapshots},\n  \"fork_hit_rate\": {fork_hit_rate:.3},\n  \"phases\": {phases_json},\n  \"detection_latency\": {detection_json},\n  \"rows_identical_across_executors\": true\n}}\n",
         plan.len(),
         scenario_names.len(),
         scenario_names.join(","),

@@ -55,7 +55,7 @@ use mutiny_core::campaign::{
 use mutiny_core::classify::{ClientFailure, OrchestratorFailure};
 use mutiny_core::exec;
 use mutiny_core::golden::{build_baseline, Baseline};
-use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec};
+use mutiny_core::injector::{FieldMutation, InjectionPoint, InjectionSpec, StorageOp};
 use k8s_cluster::ClusterConfig;
 use k8s_model::{Channel, ChannelId, Kind};
 use mutiny_faults::{registry as fault_registry, Fault};
@@ -279,6 +279,14 @@ pub fn cache_path() -> PathBuf {
     } else {
         ""
     };
+    // The log-structured storage engine must produce byte-identical
+    // rows, but its TSV still gets its own cache identity so
+    // `scripts/verify.sh` can diff a `MUTINY_STORAGE=log` run against
+    // the `mem` TSV without either run reusing the other's cached rows.
+    let storage = match etcd_sim::StorageKind::from_env() {
+        etcd_sim::StorageKind::Mem => "",
+        etcd_sim::StorageKind::Log => "_log",
+    };
     // Shards write disjoint row subsets: each residue class gets its own
     // cache (and checkpoint) identity so shards can run concurrently and
     // `merge_shard_texts` can reassemble the unsharded TSV.
@@ -287,13 +295,14 @@ pub fn cache_path() -> PathBuf {
         None => String::new(),
     };
     cache_dir().join(format!(
-        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_f{}_{:08x}{}{}{}.tsv",
+        "mutiny_campaign_s{:.2}_g{}_seed{}_sc{}_f{}_{:08x}{}{}{}{}.tsv",
         scale(),
         golden_runs(),
         seed(),
         scenario_names.len(),
         fault_names.len(),
         h & 0xffff_ffff,
+        storage,
         nodc,
         nofork,
         shard_tag,
@@ -730,6 +739,9 @@ fn render_point(point: &InjectionPoint) -> String {
         InjectionPoint::Config { defect, param } => {
             format!("config:{}:{param}", escape(defect))
         }
+        InjectionPoint::Storage { op, from_off, dur_ms, replica, param } => {
+            format!("storage:{op}:{from_off}:{dur_ms}:{replica}:{param}")
+        }
         InjectionPoint::ProtoByte { byte_frac, bit } => format!("proto:{byte_frac}:{bit}"),
         InjectionPoint::Field { path, mutation } => {
             let m = match mutation {
@@ -779,6 +791,27 @@ fn parse_point(s: &str) -> Option<InjectionPoint> {
             defect: unescape(defect),
             param: param.parse().ok()?,
         });
+    }
+    if let Some(rest) = s.strip_prefix("storage:") {
+        let mut parts = rest.split(':');
+        let op = match parts.next()? {
+            "disk-full" => StorageOp::DiskFull,
+            "compaction-pressure" => StorageOp::CompactionPressure,
+            "corrupt-at-rest" => StorageOp::CorruptAtRest,
+            "inconsistent-view" => StorageOp::InconsistentView,
+            _ => return None,
+        };
+        let point = InjectionPoint::Storage {
+            op,
+            from_off: parts.next()?.parse().ok()?,
+            dur_ms: parts.next()?.parse().ok()?,
+            replica: parts.next()?.parse().ok()?,
+            param: parts.next()?.parse().ok()?,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        return Some(point);
     }
     if let Some(rest) = s.strip_prefix("proto:") {
         let (frac, bit) = rest.split_once(':')?;
@@ -1039,6 +1072,47 @@ mod tests {
         assert_eq!(spec.channel.node(), None);
         // And re-rendering it emits the identical historical key.
         assert_eq!(render_rows(&parsed), old_cache);
+    }
+
+    #[test]
+    fn storage_rows_roundtrip_with_op_encoding() {
+        // Storage rows encode the whole injection point in the point
+        // column (`storage:<op>:<from>:<dur>:<replica>:<param>`); every
+        // op must survive the cache round-trip and re-render
+        // byte-identically — ablation replays cached specs verbatim.
+        let row = |fault: Fault, op, dur_ms, param| CampaignRow {
+            scenario: mutiny_scenarios::DEPLOY,
+            spec: InjectionSpec {
+                channel: Channel::ApiToEtcd.into(),
+                kind: Kind::Pod,
+                point: InjectionPoint::Storage { op, from_off: 2_250, dur_ms, replica: 1, param },
+                occurrence: 1,
+            },
+            fault,
+            of: OrchestratorFailure::Sta,
+            cf: ClientFailure::Su,
+            z: 4.0,
+            fired: true,
+            activated: false,
+            user_error: false,
+            path: None,
+        };
+        let results = CampaignResults {
+            rows: vec![
+                row(mutiny_faults::ETCD_DISK_FULL, StorageOp::DiskFull, 10_000, 0),
+                row(mutiny_faults::ETCD_COMPACTION_PRESSURE, StorageOp::CompactionPressure, 8_000, 0),
+                row(mutiny_faults::ETCD_CORRUPT_AT_REST, StorageOp::CorruptAtRest, 0, 7),
+                row(mutiny_faults::ETCD_INCONSISTENT_VIEW, StorageOp::InconsistentView, 6_000, 0),
+            ],
+        };
+        let text = render_rows(&results);
+        assert!(
+            text.contains("\tstorage:disk-full:2250:10000:1:0\t"),
+            "storage point encoding missing: {text}"
+        );
+        assert!(roundtrip_check(&results));
+        let reparsed = parse_rows(&text).expect("storage rows must parse");
+        assert_eq!(render_rows(&reparsed), text, "storage rows must re-render byte-identically");
     }
 
     #[test]

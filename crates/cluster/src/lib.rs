@@ -105,6 +105,10 @@ pub struct ClusterConfig {
     pub etcd_replicas: usize,
     /// etcd disk budget — fills up under uncontrolled replication.
     pub etcd_capacity_bytes: u64,
+    /// Storage engine backing etcd (defaults from `MUTINY_STORAGE`; part
+    /// of the config — and of the fork-snapshot cache key via `Debug` —
+    /// so one process can run both engines deterministically).
+    pub storage: etcd_sim::StorageKind,
     /// Per-node allocatable CPU (millicores).
     pub worker_cpu_milli: i64,
     /// Per-node allocatable memory (MiB).
@@ -140,6 +144,7 @@ impl Default for ClusterConfig {
             workers: 4,
             etcd_replicas: 1,
             etcd_capacity_bytes: 2 * 1024 * 1024,
+            storage: etcd_sim::StorageKind::from_env(),
             worker_cpu_milli: 8_000,
             worker_memory_mb: 4_096,
             kcm: KcmConfig::default(),
@@ -237,7 +242,8 @@ impl World {
         trace.borrow_mut().store_debug = false;
         let root_rng = Rng::new(cfg.seed);
 
-        let etcd = etcd_sim::Etcd::new(cfg.etcd_replicas, cfg.etcd_capacity_bytes);
+        let etcd =
+            etcd_sim::Etcd::with_backend(cfg.storage, cfg.etcd_replicas, cfg.etcd_capacity_bytes);
         let mut api = ApiServer::new(etcd, interceptor, Rc::clone(&trace));
         if cfg.mitigations.integrity {
             api.install_integrity(Rc::new(CriticalFieldSealer::default()));
@@ -577,8 +583,7 @@ impl World {
         sample.pods_total = self.api.count(Kind::Pod, None);
         sample.pods_created_cum = self.kcm.metrics.pods_created;
         sample.etcd_objects = self.api.etcd().object_count();
-        sample.etcd_stalled =
-            self.api.etcd().is_stalled() || self.api.etcd().writes_rejected() > 0;
+        sample.etcd_stalled = self.api.etcd().is_degraded();
         sample.kcm_leader = self.kcm.is_leader();
         sample.kcm_queue = self.kcm.queue_len();
         sample.sched_leader = self.scheduler.is_leader();

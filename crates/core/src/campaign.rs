@@ -261,6 +261,22 @@ pub fn run_world_with_fork(
                         kubelets[idx].restart(api, now);
                     }
                 }
+                WorldAction::EtcdClampDiskBudget => {
+                    world.api.etcd_mut().clamp_disk_budget();
+                }
+                WorldAction::EtcdRestoreDiskBudget => {
+                    world.api.etcd_mut().restore_disk_budget();
+                }
+                WorldAction::EtcdForceCompaction => world.api.etcd_mut().compact(),
+                WorldAction::EtcdCorruptReplica { replica, nth } => {
+                    world.api.etcd_mut().corrupt_nth_at_rest(replica as usize, nth as usize);
+                }
+                WorldAction::EtcdBeginInconsistentView { replica } => {
+                    world.api.etcd_mut().begin_inconsistent_view(replica as usize);
+                }
+                WorldAction::EtcdEndInconsistentView => {
+                    world.api.etcd_mut().end_inconsistent_view();
+                }
             }
         }
         if !tracking_armed && actuator.borrow().record().is_some() {
@@ -1075,6 +1091,10 @@ mod tests {
             "cfg-probe",
             "cfg-grace",
             "cfg-replicas",
+            "etcd-disk-full",
+            "etcd-compaction-pressure",
+            "etcd-corrupt-at-rest",
+            "etcd-inconsistent-view",
         ] {
             assert!(planned_families.contains(&f), "{f} missing from the cross-product");
         }

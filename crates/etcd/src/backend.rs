@@ -1,0 +1,242 @@
+//! The storage seam: [`StorageBackend`] is the engine interface the
+//! [`Etcd`](crate::Etcd) front-end drives.
+//!
+//! The front-end owns *policy* — the disk budget and write rejection,
+//! the inconsistent-view overlay, telemetry — while a backend owns
+//! *mechanism*: where bytes live, how the watch log is kept, what a
+//! crash recovery replays. Two engines ship with the crate
+//! ([`MemBackend`](crate::MemBackend), [`LogBackend`](crate::LogBackend));
+//! third parties can implement the trait and plug in via
+//! [`Etcd::from_backend`](crate::Etcd::from_backend) — see
+//! `crates/etcd/README.md` for a worked example.
+//!
+//! Every observable behind the seam — revisions, logical disk
+//! accounting, quorum votes, watch-log retention and compaction — must
+//! be **byte-identical across backends**: the campaign TSV is diffed
+//! between `MUTINY_STORAGE=mem` and `=log`, so only invisible state
+//! (segment layout, physical bytes, telemetry counters) may differ.
+
+use crate::{Bytes, EtcdError, WatchEvent, WATCH_LOG_RETENTION};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A pluggable storage engine.
+///
+/// Contract highlights (all pinned by the cross-backend tests in
+/// `crates/etcd/src/lib.rs`):
+///
+/// * [`commit`](StorageBackend::commit) never rejects — the *front-end*
+///   enforces the disk budget before calling it, so both engines reject
+///   the exact same writes;
+/// * [`disk_used`](StorageBackend::disk_used) is **logical** live bytes
+///   (`key.len() + value.len()` summed over the leader's live keys) —
+///   the budget basis, identical across engines.
+///   [`physical_bytes`](StorageBackend::physical_bytes) is the
+///   engine-specific on-disk footprint (the log engine's garbage);
+/// * [`fork`](StorageBackend::fork) is a copy-on-write snapshot:
+///   `World::fork` clones the store once per experiment, so it must be
+///   refcount bumps, not deep copies;
+/// * [`recover`](StorageBackend::recover) is a crash-recovery: rebuild
+///   any in-memory acceleration state from durable state, changing
+///   nothing observable (at-rest corruption is durable and survives).
+pub trait StorageBackend: std::fmt::Debug {
+    /// Engine name (`"mem"`, `"log"`), exported to `BENCH_campaign.json`.
+    fn name(&self) -> &'static str;
+
+    /// Number of replicas.
+    fn replica_count(&self) -> usize;
+
+    /// Current global revision.
+    fn revision(&self) -> u64;
+
+    /// Logical live bytes on the leader replica (the budget basis).
+    fn disk_used(&self) -> u64;
+
+    /// Engine-specific on-disk footprint (≥ [`disk_used`] for a log
+    /// engine carrying garbage; equal for the in-memory engine).
+    ///
+    /// [`disk_used`]: StorageBackend::disk_used
+    fn physical_bytes(&self) -> u64;
+
+    /// Number of live keys.
+    fn object_count(&self) -> usize;
+
+    /// `key.len() + value.len()` of the leader's live version of `key`,
+    /// `0` when absent. The front-end's capacity check subtracts this
+    /// from a rewrite's growth.
+    fn live_size(&self, key: &str) -> u64;
+
+    /// The `nth` live key in key order (victim selection for at-rest
+    /// corruption).
+    fn nth_key(&self, nth: usize) -> Option<String>;
+
+    /// Commits a write to every replica and appends the watch event.
+    /// Returns the new revision. Capacity is the front-end's job;
+    /// `commit` must always succeed.
+    fn commit(&mut self, key: &str, bytes: Bytes) -> u64;
+
+    /// Deletes a key from every replica. Returns the deletion revision,
+    /// or `None` when the key did not exist.
+    fn delete(&mut self, key: &str) -> Option<u64>;
+
+    /// Quorum read (majority vote across replicas).
+    fn get(&self, key: &str) -> Option<(Bytes, u64)>;
+
+    /// Quorum range read over a key prefix, in key order.
+    fn range(&self, prefix: &str) -> Vec<(String, Bytes, u64)>;
+
+    /// Watch events with log index ≥ `cursor`, plus the next cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::Compacted`] when `cursor` precedes the retention
+    /// window.
+    fn events_since(&self, cursor: u64) -> Result<(Vec<WatchEvent>, u64), EtcdError>;
+
+    /// Watch events committed at a revision > `revision`, plus the new
+    /// resume revision.
+    ///
+    /// # Errors
+    ///
+    /// [`EtcdError::Compacted`] when that history is gone.
+    fn events_after_revision(&self, revision: u64) -> Result<(Vec<WatchEvent>, u64), EtcdError>;
+
+    /// Log index one past the newest event.
+    fn event_head(&self) -> u64;
+
+    /// Explicit compaction: drops the retained watch history (lagging
+    /// watchers get [`EtcdError::Compacted`] and must re-list) and lets
+    /// the engine reclaim storage garbage. Store contents, revisions
+    /// and disk accounting are untouched.
+    fn compact(&mut self);
+
+    /// Crash recovery: rebuild in-memory acceleration state from the
+    /// engine's durable state. Observably a no-op — durable at-rest
+    /// corruption survives it.
+    fn recover(&mut self);
+
+    /// Silently corrupts one replica's bytes for `key` (no revision
+    /// bump, no watch event). Returns `false` when the replica or key
+    /// does not exist.
+    fn corrupt_at_rest(&mut self, replica: usize, key: &str, bytes: Bytes) -> bool;
+
+    /// Reads a single replica without quorum.
+    fn get_unquorum(&self, replica: usize, key: &str) -> Option<(Bytes, u64)>;
+
+    /// Copy-on-write snapshot of the engine (refcount bumps, no deep
+    /// copy); writes to either side never reach the other.
+    fn fork(&self) -> Box<dyn StorageBackend>;
+
+    /// Storage segments currently on disk (`0` for engines without a
+    /// segmented layout).
+    fn segments(&self) -> u64 {
+        0
+    }
+
+    /// Compactions performed so far (explicit and engine-internal).
+    fn compactions(&self) -> u64;
+}
+
+/// One stored version: refcounted bytes plus MVCC metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Versioned {
+    pub(crate) bytes: Bytes,
+    pub(crate) create_rev: u64,
+    pub(crate) mod_rev: u64,
+}
+
+/// The shared watch-log implementation: a bounded event deque behind an
+/// `Arc` so a fork is one refcount bump (the first post-fork append
+/// clones). Both engines embed it, which is what makes their watch
+/// semantics — retention, compaction, replay errors — identical by
+/// construction.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WatchLog {
+    events: Arc<VecDeque<WatchEvent>>,
+    /// Log index of `events[0]`.
+    first_event_index: u64,
+}
+
+impl WatchLog {
+    pub(crate) fn push(&mut self, ev: WatchEvent) {
+        let events = Arc::make_mut(&mut self.events);
+        if events.len() == WATCH_LOG_RETENTION {
+            events.pop_front();
+            self.first_event_index += 1;
+        }
+        events.push_back(ev);
+    }
+
+    /// Drops all retained events: any cursor short of the head now
+    /// replays as [`EtcdError::Compacted`].
+    pub(crate) fn compact(&mut self) {
+        self.first_event_index = self.head();
+        Arc::make_mut(&mut self.events).clear();
+    }
+
+    pub(crate) fn head(&self) -> u64 {
+        self.first_event_index + self.events.len() as u64
+    }
+
+    pub(crate) fn events_since(&self, cursor: u64) -> Result<(Vec<WatchEvent>, u64), EtcdError> {
+        if cursor < self.first_event_index {
+            return Err(EtcdError::Compacted);
+        }
+        let start = ((cursor - self.first_event_index) as usize).min(self.events.len());
+        let out: Vec<WatchEvent> = self.events.range(start..).cloned().collect();
+        Ok((out, self.head()))
+    }
+
+    pub(crate) fn events_after_revision(
+        &self,
+        revision: u64,
+        current: u64,
+    ) -> Result<(Vec<WatchEvent>, u64), EtcdError> {
+        let first_rev = match self.events.front() {
+            Some(ev) => ev.revision,
+            None => {
+                // Empty log: fine unless history before `revision` is gone.
+                return if revision >= current {
+                    Ok((Vec::new(), current))
+                } else {
+                    Err(EtcdError::Compacted)
+                };
+            }
+        };
+        if revision + 1 < first_rev {
+            return Err(EtcdError::Compacted);
+        }
+        let start = ((revision + 1 - first_rev) as usize).min(self.events.len());
+        debug_assert!(
+            self.events.get(start).map(|ev| ev.revision > revision).unwrap_or(true),
+            "watch log not contiguous in revision"
+        );
+        let out: Vec<WatchEvent> = self.events.range(start..).cloned().collect();
+        Ok((out, current))
+    }
+}
+
+/// Majority vote over per-replica `(bytes, mod_rev)` views, shared by
+/// both engines so the vote (including its pointer-equality fast path
+/// and first-seen tie-break) cannot drift between them. `None` unless a
+/// strict majority of `replicas` holds the key.
+pub(crate) fn quorum_vote(values: &[(&Bytes, u64)], replicas: usize) -> Option<(Bytes, u64)> {
+    if values.is_empty() || values.len() * 2 < replicas {
+        return None; // no majority holds the key
+    }
+    // Majority vote on the byte content (pointer-equality fast path:
+    // replicas that share the committed Arc agree by construction).
+    let mut counts: Vec<(usize, (&Bytes, u64))> = Vec::new();
+    for v in values {
+        match counts
+            .iter_mut()
+            .find(|(_, u)| Arc::ptr_eq(u.0, v.0) || u.0 == v.0)
+        {
+            Some((c, _)) => *c += 1,
+            None => counts.push((1, *v)),
+        }
+    }
+    counts.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
+    let (_, (bytes, mod_rev)) = counts[0];
+    Some((bytes.clone(), mod_rev))
+}

@@ -1,0 +1,211 @@
+//! The default in-memory engine: per-replica `BTreeMap`s behind
+//! copy-on-write `Arc`s. This is the store the campaign has always run
+//! on, now behind the [`StorageBackend`] seam; its answers define the
+//! observable contract the log engine must match byte-for-byte.
+
+use crate::backend::{quorum_vote, StorageBackend, Versioned, WatchLog};
+use crate::{Bytes, EtcdError, WatchEvent};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A single etcd replica: a byte map plus disk accounting. The map is
+/// `Arc`-wrapped so [`StorageBackend::fork`] is a refcount bump; the
+/// first post-fork write clones via [`Arc::make_mut`].
+#[derive(Debug, Clone, Default)]
+struct Replica {
+    data: Arc<BTreeMap<String, Versioned>>,
+    disk_used: u64,
+}
+
+impl Replica {
+    fn put(&mut self, key: &str, bytes: Bytes, rev: u64) {
+        let len = bytes.len() as u64 + key.len() as u64;
+        let data = Arc::make_mut(&mut self.data);
+        match data.get_mut(key) {
+            Some(v) => {
+                self.disk_used =
+                    self.disk_used + len - (v.bytes.len() as u64 + key.len() as u64);
+                v.bytes = bytes;
+                v.mod_rev = rev;
+            }
+            None => {
+                self.disk_used += len;
+                data.insert(
+                    key.to_owned(),
+                    Versioned { bytes, create_rev: rev, mod_rev: rev },
+                );
+            }
+        }
+    }
+
+    fn delete(&mut self, key: &str) -> bool {
+        if !self.data.contains_key(key) {
+            return false;
+        }
+        let data = Arc::make_mut(&mut self.data);
+        if let Some(v) = data.remove(key) {
+            self.disk_used -= v.bytes.len() as u64 + key.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The in-memory storage engine (`MUTINY_STORAGE=mem`, the default).
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    replicas: Vec<Replica>,
+    revision: u64,
+    log: WatchLog,
+    compactions: u64,
+}
+
+impl MemBackend {
+    /// An empty engine with `replicas` replicas (≥ 1).
+    pub fn new(replicas: usize) -> MemBackend {
+        assert!(replicas >= 1, "etcd needs at least one replica");
+        MemBackend {
+            replicas: vec![Replica::default(); replicas],
+            revision: 0,
+            log: WatchLog::default(),
+            compactions: 0,
+        }
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn disk_used(&self) -> u64 {
+        self.replicas[0].disk_used
+    }
+
+    fn physical_bytes(&self) -> u64 {
+        // No log, no garbage: the heap footprint is the logical size.
+        self.disk_used()
+    }
+
+    fn object_count(&self) -> usize {
+        self.replicas[0].data.len()
+    }
+
+    fn live_size(&self, key: &str) -> u64 {
+        self.replicas[0]
+            .data
+            .get(key)
+            .map(|v| v.bytes.len() as u64 + key.len() as u64)
+            .unwrap_or(0)
+    }
+
+    fn nth_key(&self, nth: usize) -> Option<String> {
+        self.replicas[0].data.keys().nth(nth).cloned()
+    }
+
+    fn commit(&mut self, key: &str, bytes: Bytes) -> u64 {
+        self.revision += 1;
+        let rev = self.revision;
+        for r in &mut self.replicas {
+            r.put(key, bytes.clone(), rev);
+        }
+        self.log.push(WatchEvent { revision: rev, key: key.to_owned(), value: Some(bytes) });
+        rev
+    }
+
+    fn delete(&mut self, key: &str) -> Option<u64> {
+        let mut any = false;
+        for r in &mut self.replicas {
+            any |= r.delete(key);
+        }
+        if !any {
+            return None;
+        }
+        self.revision += 1;
+        let rev = self.revision;
+        self.log.push(WatchEvent { revision: rev, key: key.to_owned(), value: None });
+        Some(rev)
+    }
+
+    fn get(&self, key: &str) -> Option<(Bytes, u64)> {
+        // Single-replica fast path: nothing to vote over, so the read is
+        // a map probe plus one refcount bump — no scratch vectors. The
+        // default campaign config runs one replica, which makes this the
+        // store's hottest read shape.
+        if self.replicas.len() == 1 {
+            return self.replicas[0].data.get(key).map(|v| (v.bytes.clone(), v.mod_rev));
+        }
+        let values: Vec<(&Bytes, u64)> = self
+            .replicas
+            .iter()
+            .filter_map(|r| r.data.get(key).map(|v| (&v.bytes, v.mod_rev)))
+            .collect();
+        quorum_vote(&values, self.replicas.len())
+    }
+
+    fn range(&self, prefix: &str) -> Vec<(String, Bytes, u64)> {
+        let leader = &self.replicas[0];
+        leader
+            .data
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, _)| self.get(k).map(|(b, rev)| (k.clone(), b, rev)))
+            .collect()
+    }
+
+    fn events_since(&self, cursor: u64) -> Result<(Vec<WatchEvent>, u64), EtcdError> {
+        self.log.events_since(cursor)
+    }
+
+    fn events_after_revision(&self, revision: u64) -> Result<(Vec<WatchEvent>, u64), EtcdError> {
+        self.log.events_after_revision(revision, self.revision)
+    }
+
+    fn event_head(&self) -> u64 {
+        self.log.head()
+    }
+
+    fn compact(&mut self) {
+        self.log.compact();
+        self.compactions += 1;
+        mutiny_telemetry::counter_add("etcd.compactions", 1);
+    }
+
+    fn recover(&mut self) {
+        // Everything is in memory already; a crash recovery has nothing
+        // to replay.
+    }
+
+    fn corrupt_at_rest(&mut self, replica: usize, key: &str, bytes: Bytes) -> bool {
+        match self.replicas.get_mut(replica) {
+            Some(r) if r.data.contains_key(key) => {
+                if let Some(v) = Arc::make_mut(&mut r.data).get_mut(key) {
+                    v.bytes = bytes;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn get_unquorum(&self, replica: usize, key: &str) -> Option<(Bytes, u64)> {
+        self.replicas.get(replica)?.data.get(key).map(|v| (v.bytes.clone(), v.mod_rev))
+    }
+
+    fn fork(&self) -> Box<dyn StorageBackend> {
+        Box::new(self.clone())
+    }
+
+    fn compactions(&self) -> u64 {
+        self.compactions
+    }
+}

@@ -97,6 +97,60 @@ pub enum InjectionPoint {
         /// (see the family docs in [`config`](crate::config)).
         param: i64,
     },
+    /// A storage-engine fault: act on the etcd store itself instead of
+    /// the wire — disk-budget exhaustion, forced compaction pressure,
+    /// at-rest corruption of one replica's bytes, or an inconsistent
+    /// read view. Actuated out-of-band through
+    /// [`WorldAction`](crate::WorldAction)s emitted by the
+    /// storage-family actuator ([`storage`](crate::storage)); messages
+    /// on the wire are never touched.
+    Storage {
+        /// Which storage operation the fault performs.
+        op: StorageOp,
+        /// Window start, relative to the arming time.
+        from_off: u64,
+        /// Window length (`0` for one-shot operations like at-rest
+        /// corruption).
+        dur_ms: u64,
+        /// Victim replica index (applied modulo the configured replica
+        /// count, so one plan fits any cluster size).
+        replica: u32,
+        /// Operation-specific parameter (e.g. which stored key, by
+        /// index modulo the object count, corruption targets).
+        param: u32,
+    },
+}
+
+/// The storage operation a [`InjectionPoint::Storage`] spec performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StorageOp {
+    /// Clamp the disk budget to the current usage for the window, so
+    /// every growing write is rejected (`etcd.writes_rejected`).
+    DiskFull,
+    /// Force a store + watch-log compaction on every poll while the
+    /// window is open: lagging watch cursors observe
+    /// `EtcdError::Compacted` and must re-list.
+    CompactionPressure,
+    /// Replace one stored value's bytes on one replica's disk (§V-C1
+    /// at-rest corruption, quorum-vote observable).
+    CorruptAtRest,
+    /// Serve one replica's stale snapshot to every reader for the
+    /// window while writes keep advancing the revision (the
+    /// inconsistent-view anomaly of the multi-master BFT analysis,
+    /// arXiv:1904.06206).
+    InconsistentView,
+}
+
+impl std::fmt::Display for StorageOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StorageOp::DiskFull => "disk-full",
+            StorageOp::CompactionPressure => "compaction-pressure",
+            StorageOp::CorruptAtRest => "corrupt-at-rest",
+            StorageOp::InconsistentView => "inconsistent-view",
+        };
+        f.write_str(s)
+    }
 }
 
 /// The value mutation applied to a field (§IV-C rules).
@@ -148,6 +202,10 @@ pub enum FaultKind {
     /// Configuration defect: a valid-but-wrong spec mutated at
     /// admission time.
     Config,
+    /// Storage-engine fault: the etcd store itself misbehaves (disk
+    /// full, compaction pressure, at-rest corruption, inconsistent
+    /// view).
+    Storage,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -161,6 +219,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Partition => "Partition",
             FaultKind::Crash => "Crash-restart",
             FaultKind::Config => "Config defect",
+            FaultKind::Storage => "Storage",
         };
         f.write_str(s)
     }
@@ -195,6 +254,7 @@ impl InjectionSpec {
             InjectionPoint::Partition { .. } => FaultKind::Partition,
             InjectionPoint::Crash { .. } => FaultKind::Crash,
             InjectionPoint::Config { .. } => FaultKind::Config,
+            InjectionPoint::Storage { .. } => FaultKind::Storage,
         }
     }
 
@@ -220,6 +280,9 @@ impl InjectionSpec {
             }
             InjectionPoint::Config { defect, param } => {
                 format!("{}:config {defect} (param {param})", self.kind)
+            }
+            InjectionPoint::Storage { op, from_off, dur_ms, replica, .. } => {
+                format!("etcd:{op} r{replica} @+{from_off}ms for {dur_ms}ms")
             }
         }
     }
@@ -481,6 +544,11 @@ impl Interceptor for Mutiny {
                 // Config defects act at the admission hook, not on the
                 // wire; a Config spec armed into Mutiny (the implied-
                 // family compatibility path) simply passes everything.
+            }
+            InjectionPoint::Storage { .. } => {
+                // Storage faults act on the store through world actions
+                // (see `storage::StorageActuator`), never on the wire; a
+                // Storage spec armed into Mutiny passes everything.
             }
             InjectionPoint::Partition { .. } | InjectionPoint::Crash { .. } => {
                 unreachable!("window faults handled above")

@@ -6,7 +6,7 @@
 //! workload dimension: a [`FaultDef`] describes one **fault family** —
 //! its name, how it plans [`InjectionSpec`]s from recorded wire traffic,
 //! and how it arms an [`Interceptor`]-compatible [`FaultActuator`] — and
-//! lives in a **registry** next to the fourteen [`registry::BUILTIN`]
+//! lives in a **registry** next to the eighteen [`registry::BUILTIN`]
 //! entries:
 //!
 //! * the paper's wire triplet, re-homed: **bit-flip**, **value-set**,
@@ -32,7 +32,16 @@
 //!   **cfg-selector**, **cfg-probe**, **cfg-grace**, **cfg-replicas** —
 //!   valid, decodable spec mutations probing controller logic, the
 //!   misconfiguration dimension of the config-defects study
-//!   (arXiv:2512.05062).
+//!   (arXiv:2512.05062);
+//! * storage-engine faults, actuated on the etcd store itself through
+//!   out-of-band [`WorldAction`]s rather than on any wire —
+//!   **etcd-disk-full** (windowed budget exhaustion),
+//!   **etcd-compaction-pressure** (forced compactions; lagging watch
+//!   cursors observe `Compacted` and re-list), **etcd-corrupt-at-rest**
+//!   (one replica's stored bytes replaced, §V-C1, quorum-vote
+//!   observable) and **etcd-inconsistent-view** (one replica's stale
+//!   snapshot served to every reader while writes advance, per the
+//!   multi-master BFT analysis arXiv:1904.06206).
 //!
 //! Campaign plans, result rows, the bench TSV schema and Tables III–V
 //! all key on the fault-family *name*, so [`registry::register`] adds a
@@ -55,6 +64,7 @@ pub mod config;
 pub mod injector;
 pub mod node;
 pub mod recorder;
+pub mod storage;
 
 pub use builtin::{
     BIT_FLIP, CRASH_RESTART, DELAY, DROP, DUPLICATE, PARTITION, VALUE_SET, WIRE_BUILTIN,
@@ -63,9 +73,13 @@ pub use config::{
     ConfigDefect, CFG_GRACE, CFG_PROBE, CFG_REPLICAS, CFG_RESOURCES, CFG_SELECTOR, CONFIG_BUILTIN,
 };
 pub use injector::{
-    FaultKind, FieldMutation, InjectionPoint, InjectionRecord, InjectionSpec, Mutiny,
+    FaultKind, FieldMutation, InjectionPoint, InjectionRecord, InjectionSpec, Mutiny, StorageOp,
 };
 pub use node::{KUBELET_CRASH_RESTART, NODE_PARTITION};
+pub use storage::{
+    StorageActuator, ETCD_COMPACTION_PRESSURE, ETCD_CORRUPT_AT_REST, ETCD_DISK_FULL,
+    ETCD_INCONSISTENT_VIEW, STORAGE_BUILTIN,
+};
 pub use recorder::{FieldRecorder, RecordedField, RecordedTraffic};
 
 use k8s_model::{AdmitCtx, Interceptor, MsgCtx, NodeName, Object, WireVerdict};
@@ -132,6 +146,34 @@ pub enum WorldAction {
     /// A node blackout healed: the named node's kubelet restarts with a
     /// node-local re-list and resumes heartbeating (containers survived).
     RestartKubelet(NodeName),
+    /// Clamp etcd's disk budget to its current usage: every growing
+    /// write is rejected until the budget is restored (the disk-full
+    /// window opening).
+    EtcdClampDiskBudget,
+    /// Restore etcd's original disk budget (the disk-full window
+    /// healing). Rejected-write counters stay latched.
+    EtcdRestoreDiskBudget,
+    /// Force an etcd store + watch-log compaction now: watch cursors
+    /// that lag behind the head observe `Compacted` and must re-list.
+    EtcdForceCompaction,
+    /// Replace one stored value's bytes on one replica's disk (at-rest
+    /// corruption, §V-C1). `replica` and `nth` are applied modulo the
+    /// replica and object counts, so a planned spec fits any store.
+    EtcdCorruptReplica {
+        /// Victim replica index (modulo the replica count).
+        replica: u32,
+        /// Victim key index in stored-key order (modulo the count).
+        nth: u32,
+    },
+    /// Pin every read to the named replica's current snapshot while
+    /// writes keep advancing the revision (inconsistent view opening).
+    EtcdBeginInconsistentView {
+        /// Replica whose snapshot is served (modulo the replica count).
+        replica: u32,
+    },
+    /// Drop the pinned snapshot and serve live quorum reads again
+    /// (inconsistent view healing).
+    EtcdEndInconsistentView,
 }
 
 /// A live, armed fault: the wire interceptor plus the out-of-band hooks
@@ -260,6 +302,10 @@ impl Fault {
                 }
                 _ => CFG_RESOURCES,
             },
+            FaultKind::Storage => match &spec.point {
+                InjectionPoint::Storage { op, .. } => storage::family_for_op(*op),
+                _ => ETCD_DISK_FULL,
+            },
         }
     }
 }
@@ -306,13 +352,14 @@ impl std::fmt::Display for Fault {
 
 /// The fault registry: the built-ins plus anything added at runtime.
 pub mod registry {
-    use super::{builtin, config, node, Fault, FaultDef};
+    use super::{builtin, config, node, storage, Fault, FaultDef};
     use std::sync::{OnceLock, RwLock};
 
     /// The built-in fault families, in table order: the paper's wire
     /// triplet first, then the temporal and infrastructure additions,
-    /// then the node-level families, then the config-defect families.
-    pub static BUILTIN: [Fault; 14] = [
+    /// then the node-level families, then the config-defect families,
+    /// then the storage-engine families.
+    pub static BUILTIN: [Fault; 18] = [
         builtin::BIT_FLIP,
         builtin::VALUE_SET,
         builtin::DROP,
@@ -327,6 +374,10 @@ pub mod registry {
         config::CFG_PROBE,
         config::CFG_GRACE,
         config::CFG_REPLICAS,
+        storage::ETCD_DISK_FULL,
+        storage::ETCD_COMPACTION_PRESSURE,
+        storage::ETCD_CORRUPT_AT_REST,
+        storage::ETCD_INCONSISTENT_VIEW,
     ];
 
     fn extras() -> &'static RwLock<Vec<Fault>> {
@@ -432,6 +483,10 @@ mod tests {
             "cfg-probe",
             "cfg-grace",
             "cfg-replicas",
+            "etcd-disk-full",
+            "etcd-compaction-pressure",
+            "etcd-corrupt-at-rest",
+            "etcd-inconsistent-view",
         ] {
             assert!(names.contains(&expect), "{expect} missing from {names:?}");
             assert_eq!(registry::find(expect).map(|f| f.name()), Some(expect));

@@ -46,6 +46,9 @@ pub struct BreakerMetrics {
     pub trips: u64,
     /// Surplus pods deleted after a trip.
     pub surplus_deleted: u64,
+    /// Trips whose suspend annotation could not land (store refusing
+    /// writes); surplus deletion still ran and the trip is retried.
+    pub trips_deferred: u64,
 }
 
 /// Watches pod-creation rates per owner and suspends runaway controllers.
@@ -152,7 +155,16 @@ impl ReplicationBreaker {
             .annotations
             .insert(SUSPEND_ANNOTATION.to_owned(), "true".to_owned());
         if api.update(Channel::UserToApi, owner).is_err() {
-            return; // retried on the next runaway create
+            // The store may be refusing writes (disk-full): the suspend
+            // annotation cannot land, but deleting surplus children still
+            // frees store space and stops the storm's write pressure. Do
+            // that now; the annotation is retried on the next runaway
+            // create.
+            self.metrics.trips_deferred += 1;
+            if self.cfg.delete_surplus {
+                self.delete_surplus_children(api, kind, ns, name, desired);
+            }
+            return;
         }
         self.tripped.insert(owner_key(&kind.to_string(), ns, name));
         self.metrics.trips += 1;
@@ -327,6 +339,34 @@ mod tests {
             b.step(&mut a, (i as u64 + 1) * 2_000);
         }
         assert_eq!(b.metrics.trips, 0);
+    }
+
+    #[test]
+    fn disk_full_trip_defers_annotation_but_still_sheds_surplus() {
+        let mut a = api();
+        let rs = install_rs(&mut a, 2);
+        let mut b = ReplicationBreaker::new(BreakerConfig::default(), &a);
+        for i in 0..30 {
+            storm_pod(&mut a, &rs, i);
+        }
+        a.etcd_mut().clamp_disk_budget(); // the etcd-disk-full actuation
+        b.step(&mut a, 2_000);
+        assert_eq!(b.metrics.trips, 0, "annotation cannot land on a full store");
+        assert_eq!(b.metrics.trips_deferred, 1);
+        assert!(
+            b.metrics.surplus_deleted > 0,
+            "surplus shedding must not wait for the annotation"
+        );
+        let fresh = a.get(Kind::ReplicaSet, "default", "web-rs").unwrap();
+        assert!(!k8s_model::is_suspended(fresh.meta()));
+        // Budget restored (window closes): the next runaway create
+        // re-trips and the suspension lands.
+        a.etcd_mut().restore_disk_budget();
+        storm_pod(&mut a, &rs, 30);
+        b.step(&mut a, 2_500);
+        assert_eq!(b.metrics.trips, 1);
+        let fresh = a.get(Kind::ReplicaSet, "default", "web-rs").unwrap();
+        assert!(k8s_model::is_suspended(fresh.meta()));
     }
 
     #[test]

@@ -92,6 +92,8 @@ pub struct GuardMetrics {
     pub rollbacks: u64,
     /// Rollbacks skipped because the per-key budget was spent.
     pub rollback_budget_exhausted: u64,
+    /// Compactions requested in response to a degraded store.
+    pub store_compactions: u64,
 }
 
 /// Watches for critical-field changes and rolls them back when cluster
@@ -194,7 +196,7 @@ impl CriticalFieldGuard {
             dns_ready,
             netpods_failed,
             pod_storm,
-            etcd_stalled: api.etcd().is_stalled() || api.etcd().writes_rejected() > 0,
+            etcd_stalled: api.etcd().is_degraded(),
             nodes_not_ready,
         }
     }
@@ -206,6 +208,15 @@ impl CriticalFieldGuard {
         self.observe_changes(api, now);
 
         let health = self.sample_health(api);
+        // Storage-pressure response: a degraded store (disk budget
+        // exhausted or writes already rejected) gets an operator-style
+        // compaction — semantics-preserving, reclaims the log engine's
+        // physical bytes, and trims the watch log so lagging watchers
+        // re-list instead of replaying into the stall.
+        if health.etcd_stalled {
+            api.etcd_mut().compact();
+            self.metrics.store_compactions += 1;
+        }
         if !self.armed {
             // Arm once the cluster is healthy; bootstrap churn is not a
             // guarded change's fault.
@@ -492,6 +503,23 @@ mod tests {
         g.step(&mut a, 5_000);
         assert_eq!(g.metrics.rollbacks, 0);
         assert_eq!(g.metrics.rollback_budget_exhausted, 1);
+    }
+
+    #[test]
+    fn degraded_store_triggers_compaction() {
+        let mut a = api();
+        install_healthy(&mut a);
+        let mut g = CriticalFieldGuard::new(GuardConfig::default(), &mut a);
+        g.step(&mut a, 1_000); // arm on a healthy cluster
+        assert_eq!(g.metrics.store_compactions, 0);
+        let before = a.etcd().compactions();
+        a.etcd_mut().clamp_disk_budget(); // the etcd-disk-full actuation
+        g.step(&mut a, 2_000);
+        assert_eq!(g.metrics.store_compactions, 1);
+        assert!(a.etcd().compactions() > before, "compaction must reach the engine");
+        a.etcd_mut().restore_disk_budget();
+        g.step(&mut a, 3_000);
+        assert_eq!(g.metrics.store_compactions, 1, "a healthy store is not compacted");
     }
 
     #[test]

@@ -30,11 +30,16 @@
 #    merge_shards bin, and diff the merge against the unsharded TSV:
 #    fork-the-world and residue-class sharding must both be pure
 #    performance devices.
-# 8. Run one cfg-resources-only slice through the ablation bench: the
+# 8. Run one etcd-disk-full-only slice (the storage fault path: windowed
+#    disk-budget clamp, write rejection, world-action actuation between
+#    slices), then re-run it with MUTINY_STORAGE=log and diff the
+#    log-engine TSV (cache suffix `_log`) against the mem TSV byte for
+#    byte: the storage engine must be a pure implementation choice.
+# 9. Run one cfg-resources-only slice through the ablation bench: the
 #    config-defect admission path end to end, with the validating-
 #    admission arm A/B'd against the unmitigated arm (per-family
 #    detection coverage is printed by the bench).
-# 9. Trace round trip: export the deploy scenario's golden trace from a
+# 10. Trace round trip: export the deploy scenario's golden trace from a
 #    2% smoke slice (MUTINY_TRACE_EXPORT), replay it as a registered
 #    trace scenario (MUTINY_TRACES), and diff the two golden-baseline
 #    TSVs byte for byte — the replay must reproduce the recorded run.
@@ -89,6 +94,10 @@ if ! grep -q '"golden_prefix_share"' BENCH_campaign.json; then
 fi
 if ! grep -q '"detection_latency"' BENCH_campaign.json; then
   echo "FAIL: BENCH_campaign.json is missing the detection-latency table"
+  exit 1
+fi
+if ! grep -q '"storage_backend"' BENCH_campaign.json; then
+  echo "FAIL: BENCH_campaign.json is missing the storage backend name"
   exit 1
 fi
 
@@ -176,6 +185,31 @@ for shard0 in "$TARGET_DIR"/mutiny_campaign_*_shard0of2.tsv; do
 done
 if [ "$shard_found" != 1 ]; then
   echo "FAIL: the MUTINY_SHARD slices produced no shard TSVs to merge"
+  exit 1
+fi
+
+echo "== storage slice + engine A/B: etcd-disk-full, mem then MUTINY_STORAGE=log =="
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_FAULTS=etcd-disk-full \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
+MUTINY_SCALE=${MUTINY_SCALE:-0.02} \
+MUTINY_GOLDEN_RUNS=${MUTINY_GOLDEN_RUNS:-6} \
+MUTINY_FAULTS=etcd-disk-full \
+MUTINY_STORAGE=log \
+cargo bench -q -p mutiny-bench --bench table4_of_stats
+log_found=0
+for logtsv in "$TARGET_DIR"/mutiny_campaign_*_log.tsv; do
+  [ -e "$logtsv" ] || continue
+  log_found=1
+  mem="${logtsv%_log.tsv}.tsv"
+  if ! diff -q "$mem" "$logtsv"; then
+    echo "FAIL: MUTINY_STORAGE=log changed the campaign TSV ($mem vs $logtsv)"
+    exit 1
+  fi
+done
+if [ "$log_found" != 1 ]; then
+  echo "FAIL: the MUTINY_STORAGE=log slice produced no TSV to diff"
   exit 1
 fi
 

@@ -321,6 +321,111 @@ fn ready_web_pods(world: &mut World) -> usize {
     n
 }
 
+/// Plans `family` from DEPLOY's recorded store traffic, exactly like the
+/// campaign does, and returns its spec for `replica` (specs other than
+/// corrupt-at-rest plan a single replica-0 spec).
+fn storage_spec(cluster: &ClusterConfig, family: Fault, replica: u32) -> InjectionSpec {
+    let traffic = record_fields(cluster, DEPLOY, vec![Channel::ApiToEtcd], 42);
+    let mut rng = simkit::Rng::new(7);
+    let plan = family.plan(&traffic, &mut rng);
+    plan.iter()
+        .find(|s| matches!(s.point, InjectionPoint::Storage { replica: r, .. } if r == replica))
+        .unwrap_or_else(|| panic!("{} planned no replica-{replica} spec: {plan:?}", family.name()))
+        .clone()
+}
+
+#[test]
+fn etcd_disk_full_stalls_and_is_detected() {
+    let cluster = ClusterConfig::default();
+    let spec = storage_spec(&cluster, mutiny_faults::ETCD_DISK_FULL, 0);
+    let cfg = ExperimentConfig::injected_fault(
+        DEPLOY,
+        4242,
+        ArmedFault::new(mutiny_faults::ETCD_DISK_FULL, spec),
+    );
+    let (world, record) = run_world(&cfg);
+    assert!(record.is_some(), "the disk-full window must fire");
+    let tl =
+        mutiny_core::campaign::propagation_timeline(&world, record.as_ref(), Some(baseline()));
+    assert!(tl.detection.is_some(), "a stalled store must be monitoring-visible: {tl:?}");
+    let of = mutiny_core::classify::classify_orchestrator(&world.stats, baseline());
+    assert_eq!(of, OrchestratorFailure::Sta, "rejected writes stall the rollout");
+    assert!(world.api.etcd().writes_rejected() > 0, "the clamp must reject real writes");
+}
+
+#[test]
+fn etcd_corrupt_at_rest_is_masked_by_quorum() {
+    // arXiv:1904.06206's replica-corruption case: one corrupted replica
+    // of three is outvoted on every quorum read, so the fault fires,
+    // nothing reaches the workload, and the run classifies clean — the
+    // masking the family's expectation hint documents. The unmasked
+    // paths (unquorum reads, 1-replica garbage, restart visibility) are
+    // pinned at the etcd and apiserver layers.
+    let mut cluster = ClusterConfig::default();
+    cluster.etcd_replicas = 3;
+    let spec = storage_spec(&cluster, mutiny_faults::ETCD_CORRUPT_AT_REST, 0);
+    let cfg = ExperimentConfig {
+        cluster,
+        scenario: DEPLOY,
+        injection: Some(ArmedFault::new(mutiny_faults::ETCD_CORRUPT_AT_REST, spec)),
+    };
+    let (world, record) = run_world(&cfg);
+    assert!(record.is_some(), "corruption must fire");
+    let tl =
+        mutiny_core::campaign::propagation_timeline(&world, record.as_ref(), Some(baseline()));
+    assert!(tl.detection.is_none(), "quorum masking keeps monitoring quiet: {tl:?}");
+    assert!(tl.steady_at_end, "the run must end steady: {tl:?}");
+    let out = run_experiment_with_baseline(&cfg, baseline());
+    assert_eq!(out.orchestrator_failure, OrchestratorFailure::No, "{out:?}");
+    assert_eq!(out.client_failure, ClientFailure::Nsi, "{out:?}");
+    assert!(!out.user_saw_error, "masked corruption is silent (F4)");
+}
+
+#[test]
+fn etcd_compaction_pressure_relists_and_converges() {
+    let cluster = ClusterConfig::default();
+    let spec = storage_spec(&cluster, mutiny_faults::ETCD_COMPACTION_PRESSURE, 0);
+    let cfg = ExperimentConfig::injected_fault(
+        DEPLOY,
+        4242,
+        ArmedFault::new(mutiny_faults::ETCD_COMPACTION_PRESSURE, spec),
+    );
+    let (world, record) = run_world(&cfg);
+    assert!(record.is_some(), "the pressure window must fire");
+    assert!(
+        world.api.etcd().compactions() >= 10,
+        "forced compaction every slice inside the window, got {}",
+        world.api.etcd().compactions()
+    );
+    let out = run_experiment_with_baseline(&cfg, baseline());
+    assert_eq!(out.orchestrator_failure, OrchestratorFailure::No, "re-lists converge: {out:?}");
+    assert!(!out.user_saw_error);
+}
+
+#[test]
+fn etcd_inconsistent_view_heals_when_the_window_closes() {
+    let cluster = ClusterConfig::default();
+    let spec = storage_spec(&cluster, mutiny_faults::ETCD_INCONSISTENT_VIEW, 1);
+    let cfg = ExperimentConfig::injected_fault(
+        DEPLOY,
+        4242,
+        ArmedFault::new(mutiny_faults::ETCD_INCONSISTENT_VIEW, spec),
+    );
+    let (world, record) = run_world(&cfg);
+    assert!(record.is_some(), "the stale-view window must fire");
+    assert!(
+        !world.api.etcd().inconsistent_view_active(),
+        "the view must heal when the window closes"
+    );
+    let out = run_experiment_with_baseline(&cfg, baseline());
+    assert_eq!(
+        out.orchestrator_failure,
+        OrchestratorFailure::No,
+        "reconciliation repairs on heal: {out:?}"
+    );
+    assert!(!out.user_saw_error);
+}
+
 #[test]
 fn outcomes_are_deterministic_for_identical_seeds() {
     let spec = field(Kind::Deployment, "spec.replicas", FieldMutation::FlipIntBit(0), 1);

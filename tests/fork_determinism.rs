@@ -21,14 +21,14 @@ use mutiny_scenarios::{DEPLOY, FAILOVER, HPA_AUTOSCALE, NODE_DRAIN, ROLLING_UPDA
 use simkit::Rng;
 use std::collections::HashMap;
 
-/// One spec per (scenario, family) over the full 6×14 cross-product,
+/// One spec per (scenario, family) over the full 6×18 cross-product,
 /// with baselines for every scenario.
 fn cross_product_plan(
     cluster: &ClusterConfig,
 ) -> (Vec<PlannedExperiment>, HashMap<Scenario, mutiny_core::golden::Baseline>) {
     let scenarios = [DEPLOY, SCALE_UP, FAILOVER, ROLLING_UPDATE, NODE_DRAIN, HPA_AUTOSCALE];
     let families = mutiny_faults::registry::all();
-    assert!(families.len() >= 14);
+    assert!(families.len() >= 18);
     let mut rng = Rng::new(11);
     let mut plan = Vec::new();
     let mut baselines = HashMap::new();
@@ -42,9 +42,9 @@ fn cross_product_plan(
         }
         baselines.insert(sc, build_baseline_with_threads(cluster, sc, 4, 0xBA5E, 1));
     }
-    // 6 scenarios × ≥14 families minus the four unreachable
+    // 6 scenarios × ≥18 families minus the four unreachable
     // (workload-defect × preinstalled-scenario) combinations.
-    assert!(plan.len() >= 6 * 14 - 4, "cross-product too small: {}", plan.len());
+    assert!(plan.len() >= 6 * 18 - 4, "cross-product too small: {}", plan.len());
     (plan, baselines)
 }
 
@@ -67,6 +67,27 @@ fn forked_tsv_byte_identical_to_replay_across_thread_counts() {
             "forked TSV diverged from replay at {threads} thread(s)"
         );
     }
+}
+
+#[test]
+fn log_backend_fork_byte_identical_to_replay() {
+    // Fork-the-world must stay a pure optimization on the log-structured
+    // engine too: its fork() is refcount bumps over sealed segments and
+    // the index, and forked children must replay byte-identically.
+    let mut cluster = ClusterConfig::default();
+    cluster.storage = etcd_sim::StorageKind::Log;
+    let (plan, baselines) = cross_product_plan(&cluster);
+
+    let replay = run_campaign_with_threads_fork(&cluster, &plan, &baselines, 2024, 1, false);
+    let replay_tsv = mutiny_bench::render_rows(&replay);
+    assert_eq!(replay_tsv.lines().count(), plan.len());
+
+    let forked = run_campaign_with_threads_fork(&cluster, &plan, &baselines, 2024, 2, true);
+    assert_eq!(
+        replay_tsv,
+        mutiny_bench::render_rows(&forked),
+        "log-backend forked TSV diverged from replay"
+    );
 }
 
 #[test]

@@ -1,0 +1,88 @@
+//! Storage-engine determinism wall.
+//!
+//! The storage backend must be a pure implementation choice: a campaign
+//! run on the log-structured engine has to produce a TSV byte-identical
+//! to the in-memory engine's, at any worker count. Observable semantics
+//! (revisions, watch events, quorum votes, capacity rejections) are
+//! defined by the `Etcd` front-end; segments, physical bytes and
+//! auto-compactions are telemetry-only differences. This wall keeps the
+//! seam honest for every (scenario, family) pair, storage families
+//! included.
+
+use k8s_cluster::ClusterConfig;
+use k8s_model::Channel;
+use mutiny_core::campaign::{
+    plan_campaign, record_fields, run_campaign_with_threads_fork, PlannedExperiment,
+};
+use mutiny_core::golden::build_baseline_with_threads;
+use mutiny_core::Scenario;
+use mutiny_scenarios::{DEPLOY, FAILOVER, HPA_AUTOSCALE, NODE_DRAIN, ROLLING_UPDATE, SCALE_UP};
+use simkit::Rng;
+use std::collections::HashMap;
+
+/// One spec per (scenario, family) cross-product plus per-scenario
+/// baselines, all built on `cluster` — so the plan itself (recorded
+/// traffic, planned offsets) comes from the engine under test.
+fn cross_product(
+    cluster: &ClusterConfig,
+) -> (Vec<PlannedExperiment>, HashMap<Scenario, mutiny_core::golden::Baseline>) {
+    let scenarios = [DEPLOY, SCALE_UP, FAILOVER, ROLLING_UPDATE, NODE_DRAIN, HPA_AUTOSCALE];
+    let families = mutiny_faults::registry::all();
+    let mut rng = Rng::new(11);
+    let mut plan = Vec::new();
+    let mut baselines = HashMap::new();
+    for sc in scenarios {
+        let traffic = record_fields(cluster, sc, vec![Channel::ApiToEtcd], 42);
+        let full = plan_campaign(&traffic, sc, &families, &mut rng);
+        for family in &families {
+            if let Some(p) = full.iter().find(|p| p.fault == *family) {
+                plan.push(p.clone());
+            }
+        }
+        baselines.insert(sc, build_baseline_with_threads(cluster, sc, 4, 0xBA5E, 1));
+    }
+    (plan, baselines)
+}
+
+#[test]
+fn log_backend_tsv_byte_identical_to_mem_across_thread_counts() {
+    let mem_cluster = ClusterConfig::default();
+    assert_eq!(
+        mem_cluster.storage,
+        etcd_sim::StorageKind::Mem,
+        "this wall assumes the default engine (run it without MUTINY_STORAGE)"
+    );
+    let mut log_cluster = ClusterConfig::default();
+    log_cluster.storage = etcd_sim::StorageKind::Log;
+
+    // Ground truth: the in-memory engine, serial.
+    let (mem_plan, mem_baselines) = cross_product(&mem_cluster);
+    let mem =
+        run_campaign_with_threads_fork(&mem_cluster, &mem_plan, &mem_baselines, 2024, 1, true);
+    let mem_tsv = mutiny_bench::render_rows(&mem);
+    assert_eq!(mem_tsv.lines().count(), mem_plan.len());
+    assert!(
+        mem_tsv.contains("etcd-disk-full") && mem_tsv.contains("etcd-inconsistent-view"),
+        "storage families missing from the cross-product: {mem_tsv}"
+    );
+
+    // The log engine plans from its own recorded traffic — identical
+    // planning is part of the byte-identity claim.
+    let (log_plan, log_baselines) = cross_product(&log_cluster);
+    assert_eq!(mem_plan.len(), log_plan.len(), "engines planned different cross-products");
+    for threads in [1usize, 2, 5] {
+        let log = run_campaign_with_threads_fork(
+            &log_cluster,
+            &log_plan,
+            &log_baselines,
+            2024,
+            threads,
+            true,
+        );
+        assert_eq!(
+            mem_tsv,
+            mutiny_bench::render_rows(&log),
+            "log-backend TSV diverged from mem at {threads} thread(s)"
+        );
+    }
+}
